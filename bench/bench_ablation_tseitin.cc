@@ -1,0 +1,74 @@
+// Ablation (Section 1 discussion): the paper's *direct* compilation vs
+// the Petke–Razgon *indirect* route through Tseitin forms,
+//   C(X) == (exists Z) D_T(X, Z),
+// whose size depends on the circuit size m rather than the variable
+// count n, and whose quantification step destroys determinism for DNNF.
+// With a canonical SDD manager the quantified result re-canonicalizes to
+// the same SDD the direct route produces — so what the ablation exposes
+// is the *cost*: the Tseitin intermediate is much larger (it carries one
+// variable per gate) and the quantification pass does real work.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "circuit/families.h"
+#include "circuit/tseitin.h"
+#include "compile/pipeline.h"
+#include "sdd/sdd.h"
+#include "sdd/sdd_compile.h"
+#include "util/timer.h"
+#include "vtree/from_decomposition.h"
+
+namespace ctsdd {
+namespace {
+
+void Run() {
+  bench::Header(
+      "Ablation: direct treewidth compilation vs the Tseitin route "
+      "(exists Z) D_T(X, Z)  [ladder k=2]");
+  std::printf("%5s %5s %6s | %9s %8s | %9s %10s %9s\n", "rows", "n",
+              "m(cnf)", "direct_sz", "direct_ms", "tseitin_sz",
+              "afterEx_sz", "route_ms");
+  for (int rows = 4; rows <= 12; rows += 2) {
+    const Circuit circuit = LadderCircuit(rows, 2);
+    const int n = static_cast<int>(circuit.Vars().size());
+
+    // Direct route.
+    Timer direct_timer;
+    const auto direct = CompileWithTreewidth(circuit);
+    const double direct_ms = direct_timer.ElapsedMillis();
+    if (!direct.ok()) continue;
+
+    // Tseitin route: compile D_T(X, Z), then existentially quantify Z.
+    Timer route_timer;
+    const Cnf cnf = TseitinCnf(circuit);
+    const Circuit cnf_circuit = CnfToCircuit(cnf);
+    const auto vtree = VtreeForCircuit(cnf_circuit);
+    if (!vtree.ok()) continue;
+    SddManager manager(vtree.value());
+    const auto dt = CompileCircuitToSdd(&manager, cnf_circuit);
+    const int tseitin_size = manager.Size(dt);
+    std::vector<int> gate_vars;
+    for (int v = n; v < cnf.num_vars; ++v) gate_vars.push_back(v);
+    const auto quantified = manager.ExistsAll(dt, gate_vars);
+    const double route_ms = route_timer.ElapsedMillis();
+
+    std::printf("%5d %5d %6d | %9d %8.1f | %9d %10d %9.1f\n", rows, n,
+                cnf.num_vars, direct->sdd.size, direct_ms, tseitin_size,
+                manager.Size(quantified), route_ms);
+  }
+  bench::Note(
+      "direct_sz depends on n only; tseitin_sz carries one variable per "
+      "gate (m), and quantification does the extra work the paper's "
+      "direct construction avoids — with a *deterministic* target the "
+      "indirect route could not even express the result (Section 1).");
+}
+
+}  // namespace
+}  // namespace ctsdd
+
+int main() {
+  ctsdd::Run();
+  return 0;
+}

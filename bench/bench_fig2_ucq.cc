@@ -1,0 +1,88 @@
+// Figure 2: query compilation panorama for UCQs (no inequalities).
+//   - Inversion-free (hierarchical) UCQs: constant-width, linear-size
+//     OBDD lineages — everything collapses to OBDD(O(1)).
+//   - UCQs with inversions: lineages exponential for deterministic
+//     structured forms (SDDs included) — the gray region is empty.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "db/inversion.h"
+#include "db/lineage.h"
+#include "db/query.h"
+#include "db/query_compile.h"
+
+namespace ctsdd {
+namespace {
+
+Database InterleavedRsDatabase(int n) {
+  Database db;
+  db.AddRelation("R", 1);
+  db.AddRelation("S", 2);
+  for (int l = 1; l <= n; ++l) {
+    db.AddTuple("R", {l}, 0.5);
+    for (int m = 1; m <= n; ++m) db.AddTuple("S", {l, m}, 0.5);
+  }
+  return db;
+}
+
+void HierarchicalSide() {
+  bench::Header(
+      "Fig 2 (inversion-free side): hierarchical UCQ R(x),S(x,y) -> "
+      "constant OBDD width");
+  const Ucq q = HierarchicalRSQuery();
+  std::printf("query: %s   hierarchical=%d inversion=%d\n",
+              q.DebugString().c_str(), IsHierarchicalUcq(q),
+              HasInversion(q));
+  std::printf("%4s %8s %10s %10s %10s %12s\n", "n", "tuples", "obdd_size",
+              "obdd_wid", "sdd_size", "P(Q)");
+  int max_width = 0;
+  for (int n = 2; n <= 8; ++n) {
+    const Database db = InterleavedRsDatabase(n);
+    const auto comp = CompileQuery(q, db, VtreeStrategy::kRightLinear);
+    if (!comp.ok()) continue;
+    max_width = std::max(max_width, comp->obdd_width);
+    std::printf("%4d %8d %10d %10d %10d %12.6f\n", n, comp->num_tuples,
+                comp->obdd_size, comp->obdd_width, comp->sdd_size,
+                comp->probability);
+  }
+  std::printf("  -> max OBDD width %d: constant in n (OBDD(O(1)) = "
+              "SDD(n^O(1)) for UCQ lineages)\n", max_width);
+}
+
+void InversionSide() {
+  bench::Header(
+      "Fig 2 (inversion side): chain UCQ with inversion length 1 -> "
+      "exponential lineage compilations");
+  const Ucq q = InversionChainUcq(1);
+  std::printf("query: %s   hierarchical=%d inversion_length=%d\n",
+              q.DebugString().c_str(), IsHierarchicalUcq(q),
+              FindInversionLength(q));
+  std::printf("%4s %8s %10s %10s %12s\n", "n", "tuples", "obdd_size",
+              "sdd_size", "P(Q)");
+  std::vector<double> ns;
+  std::vector<double> sdd_sizes;
+  for (int n = 2; n <= 6; ++n) {
+    const Database db = ChainDatabase(1, n);
+    const auto comp = CompileQuery(q, db, VtreeStrategy::kBalanced);
+    if (!comp.ok()) continue;
+    ns.push_back(n);
+    sdd_sizes.push_back(comp->sdd_size);
+    std::printf("%4d %8d %10d %10d %12.6f\n", n, comp->num_tuples,
+                comp->obdd_size, comp->sdd_size, comp->probability);
+  }
+  std::printf("  -> SDD size grows ~2^{%.2f n} (Theorem 5: exponential "
+              "for every deterministic structured form)\n",
+              bench::SemiLogSlope(ns, sdd_sizes));
+}
+
+}  // namespace
+}  // namespace ctsdd
+
+int main() {
+  ctsdd::HierarchicalSide();
+  ctsdd::InversionSide();
+  return 0;
+}

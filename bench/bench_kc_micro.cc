@@ -1,0 +1,113 @@
+// Micro benchmarks (google-benchmark) for the knowledge-compilation
+// substrate: OBDD/SDD apply throughput, model counting, weighted model
+// counting, and the full treewidth pipeline.
+
+#include <map>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "circuit/families.h"
+#include "compile/pipeline.h"
+#include "func/bool_func.h"
+#include "obdd/obdd.h"
+#include "obdd/obdd_compile.h"
+#include "sdd/sdd.h"
+#include "sdd/sdd_compile.h"
+#include "util/random.h"
+#include "vtree/from_decomposition.h"
+
+namespace ctsdd {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+void BM_ObddCompileParity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Circuit c = ParityCircuit(n);
+  for (auto _ : state) {
+    ObddManager m(Iota(n));
+    benchmark::DoNotOptimize(CompileCircuitToObdd(&m, c));
+  }
+}
+BENCHMARK(BM_ObddCompileParity)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ObddCompileMajority(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Circuit c = MajorityCircuit(n);
+  for (auto _ : state) {
+    ObddManager m(Iota(n));
+    benchmark::DoNotOptimize(CompileCircuitToObdd(&m, c));
+  }
+}
+BENCHMARK(BM_ObddCompileMajority)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SddCompileLadder(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Circuit c = LadderCircuit(rows, 2);
+  const auto vtree = VtreeForCircuit(c);
+  for (auto _ : state) {
+    SddManager m(vtree.value());
+    benchmark::DoNotOptimize(CompileCircuitToSdd(&m, c));
+  }
+}
+BENCHMARK(BM_SddCompileLadder)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SddApplyRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(42);
+  const Vtree vt = Vtree::Balanced(Iota(n));
+  SddManager m(vt);
+  const BoolFunc fa = BoolFunc::Random(Iota(n), &rng);
+  const BoolFunc fb = BoolFunc::Random(Iota(n), &rng);
+  const auto a = CompileFuncToSdd(&m, fa);
+  const auto b = CompileFuncToSdd(&m, fb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.And(a, b));
+    benchmark::DoNotOptimize(m.Or(a, b));
+  }
+}
+BENCHMARK(BM_SddApplyRandom)->Arg(8)->Arg(12);
+
+void BM_SddModelCount(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Circuit c = LadderCircuit(rows, 2);
+  const auto vtree = VtreeForCircuit(c);
+  SddManager m(vtree.value());
+  const auto root = CompileCircuitToSdd(&m, c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.CountModels(root));
+  }
+}
+BENCHMARK(BM_SddModelCount)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SddWmc(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Circuit c = LadderCircuit(rows, 2);
+  const auto vtree = VtreeForCircuit(c);
+  SddManager m(vtree.value());
+  const auto root = CompileCircuitToSdd(&m, c);
+  std::map<int, double> probs;
+  for (int v : c.Vars()) probs[v] = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.WeightedModelCount(root, probs));
+  }
+}
+BENCHMARK(BM_SddWmc)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_TreewidthPipeline(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Circuit c = LadderCircuit(rows, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompileWithTreewidth(c));
+  }
+}
+BENCHMARK(BM_TreewidthPipeline)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+}  // namespace ctsdd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Shared helpers for the table-emitting benchmark harnesses: fixed-width
+// row printing and growth-rate estimation (log-log slope between sweep
+// points), so every bench reports the paper's qualitative shape —
+// constant vs linear vs polynomial vs exponential — next to raw numbers.
+
+#ifndef CTSDD_BENCH_BENCH_UTIL_H_
+#define CTSDD_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ctsdd {
+namespace bench {
+
+// Line-buffer stdout even when piped, so partially completed sweeps
+// survive timeouts and show up in tee'd logs as they happen.
+inline void EnsureLineBuffered() {
+  static const bool done = [] {
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
+    return true;
+  }();
+  (void)done;
+}
+
+inline void Header(const std::string& title) {
+  EnsureLineBuffered();
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+// Least-squares slope of log(y) against log(x): the fitted exponent of a
+// power law y ~ x^slope. Ignores non-positive entries.
+inline double LogLogSlope(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+// Least-squares slope of log2(y) against x: the fitted exponent base of
+// an exponential law y ~ 2^{slope * x}.
+inline double SemiLogSlope(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    if (y[i] <= 0) continue;
+    const double ly = std::log2(y[i]);
+    sx += x[i];
+    sy += ly;
+    sxx += x[i] * x[i];
+    sxy += x[i] * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace bench
+}  // namespace ctsdd
+
+#endif  // CTSDD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,103 @@
+// Proposition 2 and inequalities (22)-(23), (29)-(30): the width sandwich.
+// For random functions and named families: fw, fiw, sdw relative to a
+// common vtree, the treewidth of the compiled C_{F,T}, and the checks
+//   fiw <= fw^2, sdw <= 2^{2 fw + 1}, tw(C_{F,T}) <= 3 fiw.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "circuit/families.h"
+#include "circuit/primal_graph.h"
+#include "compile/factor_compile.h"
+#include "compile/sdd_canonical.h"
+#include "compile/widths.h"
+#include "func/bool_func.h"
+#include "graph/exact_treewidth.h"
+#include "util/random.h"
+
+namespace ctsdd {
+namespace {
+
+void Row(const char* name, const BoolFunc& f, const Vtree& vt) {
+  const int fw = FactorWidth(f, vt);
+  const FactorCompilation cft = CompileFactorNnf(f, vt);
+  const SddCanonicalCompilation sft = CompileCanonicalSdd(f, vt);
+  int tw_cft;
+  if (cft.circuit.num_gates() <= kMaxExactVertices) {
+    tw_cft = ExactCircuitTreewidth(cft.circuit).value();
+  } else {
+    tw_cft = HeuristicCircuitTreewidth(cft.circuit);
+  }
+  const bool ok22 = cft.fiw <= fw * fw;
+  const bool ok29 = sft.sdw <= (1 << std::min(2 * fw + 1, 30));
+  const bool ok23 = tw_cft <= 3 * cft.fiw;
+  std::printf("%-14s %4d %4d %4d %4d %10d %7s %7s %7s\n", name,
+              f.num_vars(), fw, cft.fiw, sft.sdw, tw_cft,
+              ok22 ? "ok" : "FAIL", ok29 ? "ok" : "FAIL",
+              ok23 ? "ok" : "FAIL");
+}
+
+void Run() {
+  bench::Header(
+      "Width sandwich (Prop. 2, (22)-(23), (29)-(30)): fw / fiw / sdw / "
+      "tw(C_{F,T})");
+  std::printf("%-14s %4s %4s %4s %4s %10s %7s %7s %7s\n", "function", "n",
+              "fw", "fiw", "sdw", "tw(CFT)", "(22)", "(29)", "(23)");
+  Rng rng(2024);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<int> vars;
+    for (int v = 0; v < 4 + (i % 3); ++v) vars.push_back(v);
+    const BoolFunc f = BoolFunc::Random(vars, &rng);
+    const Vtree vt = Vtree::Random(vars, &rng);
+    Row(("random#" + std::to_string(i)).c_str(), f, vt);
+  }
+  {
+    const BoolFunc f = BoolFunc::FromCircuit(ParityCircuit(6));
+    Row("parity6", f, Vtree::Balanced(f.vars()));
+  }
+  {
+    const BoolFunc f = BoolFunc::FromCircuit(MajorityCircuit(5));
+    Row("majority5", f, Vtree::Balanced(f.vars()));
+  }
+  {
+    const BoolFunc f = BoolFunc::FromCircuit(DisjointnessCircuit(3));
+    Row("disjoint3", f, Vtree::Balanced(f.vars()));
+  }
+  {
+    const BoolFunc f = BoolFunc::FromCircuit(BandedCnfCircuit(6, 2));
+    Row("banded6", f, Vtree::Balanced(f.vars()));
+  }
+  bench::Note("(22): fiw <= fw^2   (29): sdw <= 2^{2fw+1}   (23): "
+              "tw(C_{F,T}) <= 3 fiw (hence ctw(F)/3 <= fiw(F))");
+
+  bench::Header("Exact minimized widths over ALL vtrees (n <= 5)");
+  std::printf("%-14s %6s %8s %8s\n", "function", "fw*", "fiw*", "sdw*");
+  {
+    const BoolFunc f = BoolFunc::FromCircuit(ParityCircuit(4));
+    std::printf("%-14s %6d %8d %8d\n", "parity4",
+                MinFactorWidthOverVtrees(f), MinFiwOverVtrees(f),
+                MinSdwOverVtrees(f));
+  }
+  {
+    const BoolFunc f = BoolFunc::FromCircuit(MajorityCircuit(5));
+    std::printf("%-14s %6d %8d %8d\n", "majority5",
+                MinFactorWidthOverVtrees(f), MinFiwOverVtrees(f),
+                MinSdwOverVtrees(f));
+  }
+  {
+    Rng rng2(7);
+    const BoolFunc f = BoolFunc::Random({0, 1, 2, 3, 4}, &rng2);
+    std::printf("%-14s %6d %8d %8d\n", "random5",
+                MinFactorWidthOverVtrees(f), MinFiwOverVtrees(f),
+                MinSdwOverVtrees(f));
+  }
+}
+
+}  // namespace
+}  // namespace ctsdd
+
+int main() {
+  ctsdd::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "circuit/builder.h"
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+Expr operator&(Expr a, Expr b) {
+  CTSDD_CHECK(a.valid() && b.valid());
+  CTSDD_CHECK_EQ(a.circuit_, b.circuit_);
+  return Expr(a.circuit_, a.circuit_->AndGate(a.gate_, b.gate_));
+}
+
+Expr operator|(Expr a, Expr b) {
+  CTSDD_CHECK(a.valid() && b.valid());
+  CTSDD_CHECK_EQ(a.circuit_, b.circuit_);
+  return Expr(a.circuit_, a.circuit_->OrGate(a.gate_, b.gate_));
+}
+
+Expr operator!(Expr a) {
+  CTSDD_CHECK(a.valid());
+  return Expr(a.circuit_, a.circuit_->NotGate(a.gate_));
+}
+
+Expr ExprFactory::And(const std::vector<Expr>& terms) {
+  if (terms.empty()) return True();
+  std::vector<int> gates;
+  gates.reserve(terms.size());
+  for (const Expr& t : terms) {
+    CTSDD_CHECK_EQ(t.circuit(), circuit_);
+    gates.push_back(t.gate());
+  }
+  return Expr(circuit_, circuit_->AndGate(std::move(gates)));
+}
+
+Expr ExprFactory::Or(const std::vector<Expr>& terms) {
+  if (terms.empty()) return False();
+  std::vector<int> gates;
+  gates.reserve(terms.size());
+  for (const Expr& t : terms) {
+    CTSDD_CHECK_EQ(t.circuit(), circuit_);
+    gates.push_back(t.gate());
+  }
+  return Expr(circuit_, circuit_->OrGate(std::move(gates)));
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,66 @@
+// Operator-overloaded expression building on top of Circuit.
+//
+//   Circuit c;
+//   ExprFactory f(&c);
+//   Expr out = (f.Var(0) & f.Var(1)) | !f.Var(2);
+//   f.SetOutput(out);
+//
+// Each operator application appends one gate; common-subexpression sharing
+// is the caller's job (reuse the Expr).
+
+#ifndef CTSDD_CIRCUIT_BUILDER_H_
+#define CTSDD_CIRCUIT_BUILDER_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace ctsdd {
+
+class ExprFactory;
+
+// A handle to a gate of a particular circuit.
+class Expr {
+ public:
+  Expr() = default;
+  int gate() const { return gate_; }
+  Circuit* circuit() const { return circuit_; }
+  bool valid() const { return circuit_ != nullptr && gate_ >= 0; }
+
+ private:
+  friend class ExprFactory;
+  friend Expr operator&(Expr a, Expr b);
+  friend Expr operator|(Expr a, Expr b);
+  friend Expr operator!(Expr a);
+
+  Expr(Circuit* circuit, int gate) : circuit_(circuit), gate_(gate) {}
+
+  Circuit* circuit_ = nullptr;
+  int gate_ = -1;
+};
+
+Expr operator&(Expr a, Expr b);
+Expr operator|(Expr a, Expr b);
+Expr operator!(Expr a);
+
+class ExprFactory {
+ public:
+  explicit ExprFactory(Circuit* circuit) : circuit_(circuit) {}
+
+  Expr Var(int v) { return Expr(circuit_, circuit_->VarGate(v)); }
+  Expr True() { return Expr(circuit_, circuit_->ConstGate(true)); }
+  Expr False() { return Expr(circuit_, circuit_->ConstGate(false)); }
+
+  // n-ary connectives; empty input lists yield the respective unit.
+  Expr And(const std::vector<Expr>& terms);
+  Expr Or(const std::vector<Expr>& terms);
+
+  void SetOutput(Expr e) { circuit_->SetOutput(e.gate()); }
+
+ private:
+  Circuit* circuit_;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_CIRCUIT_BUILDER_H_

@@ -1,0 +1,246 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+const char* GateKindName(GateKind kind) {
+  switch (kind) {
+    case GateKind::kConstFalse:
+      return "false";
+    case GateKind::kConstTrue:
+      return "true";
+    case GateKind::kVar:
+      return "var";
+    case GateKind::kNot:
+      return "not";
+    case GateKind::kAnd:
+      return "and";
+    case GateKind::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+int Circuit::AddGate(Gate gate) {
+  for (int input : gate.inputs) {
+    CTSDD_CHECK_GE(input, 0);
+    CTSDD_CHECK_LT(input, num_gates());
+  }
+  gates_.push_back(std::move(gate));
+  return num_gates() - 1;
+}
+
+int Circuit::VarGate(int var) {
+  CTSDD_CHECK_GE(var, 0);
+  if (var >= static_cast<int>(var_gate_.size())) {
+    var_gate_.resize(var + 1, -1);
+  }
+  if (var_gate_[var] < 0) {
+    var_gate_[var] = AddGate({GateKind::kVar, var, {}});
+    num_vars_ = std::max(num_vars_, var + 1);
+  }
+  return var_gate_[var];
+}
+
+int Circuit::ConstGate(bool value) {
+  return AddGate(
+      {value ? GateKind::kConstTrue : GateKind::kConstFalse, -1, {}});
+}
+
+int Circuit::NotGate(int input) {
+  return AddGate({GateKind::kNot, -1, {input}});
+}
+
+int Circuit::AndGate(std::vector<int> inputs) {
+  CTSDD_CHECK(!inputs.empty()) << "AND gate needs at least one input";
+  return AddGate({GateKind::kAnd, -1, std::move(inputs)});
+}
+
+int Circuit::OrGate(std::vector<int> inputs) {
+  CTSDD_CHECK(!inputs.empty()) << "OR gate needs at least one input";
+  return AddGate({GateKind::kOr, -1, std::move(inputs)});
+}
+
+void Circuit::SetOutput(int gate) {
+  CTSDD_CHECK_GE(gate, 0);
+  CTSDD_CHECK_LT(gate, num_gates());
+  output_ = gate;
+}
+
+void Circuit::DeclareVars(int n) { num_vars_ = std::max(num_vars_, n); }
+
+std::vector<int> Circuit::VarsBelow(int gate) const {
+  CTSDD_CHECK_GE(gate, 0);
+  CTSDD_CHECK_LT(gate, num_gates());
+  std::vector<bool> reached(num_gates(), false);
+  std::vector<int> stack = {gate};
+  reached[gate] = true;
+  std::set<int> vars;
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const Gate& g = gates_[id];
+    if (g.kind == GateKind::kVar) vars.insert(g.var);
+    for (int input : g.inputs) {
+      if (!reached[input]) {
+        reached[input] = true;
+        stack.push_back(input);
+      }
+    }
+  }
+  return std::vector<int>(vars.begin(), vars.end());
+}
+
+bool Circuit::IsNnf() const {
+  for (const Gate& g : gates_) {
+    if (g.kind == GateKind::kNot) {
+      const Gate& in = gates_[g.inputs[0]];
+      if (in.kind != GateKind::kVar && in.kind != GateKind::kConstFalse &&
+          in.kind != GateKind::kConstTrue) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Circuit Circuit::ToNnf() const {
+  CTSDD_CHECK_GE(output_, 0) << "circuit has no output";
+  Circuit out;
+  out.DeclareVars(num_vars_);
+  // memo[(id, negated)] -> new gate id
+  std::vector<int> pos(num_gates(), -1);
+  std::vector<int> neg(num_gates(), -1);
+
+  // Iterative post-order over (gate, negated) pairs.
+  struct Frame {
+    int id;
+    bool negated;
+    size_t next_input = 0;
+  };
+  std::vector<Frame> stack;
+  auto memo = [&](int id, bool negated) -> int& {
+    return negated ? neg[id] : pos[id];
+  };
+  stack.push_back({output_, false});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Gate& g = gates_[frame.id];
+    if (memo(frame.id, frame.negated) >= 0) {
+      stack.pop_back();
+      continue;
+    }
+    switch (g.kind) {
+      case GateKind::kConstFalse:
+        memo(frame.id, frame.negated) = out.ConstGate(frame.negated);
+        stack.pop_back();
+        break;
+      case GateKind::kConstTrue:
+        memo(frame.id, frame.negated) = out.ConstGate(!frame.negated);
+        stack.pop_back();
+        break;
+      case GateKind::kVar: {
+        const int var_gate = out.VarGate(g.var);
+        memo(frame.id, frame.negated) =
+            frame.negated ? out.NotGate(var_gate) : var_gate;
+        stack.pop_back();
+        break;
+      }
+      case GateKind::kNot: {
+        const int child = g.inputs[0];
+        const bool child_neg = !frame.negated;
+        if (memo(child, child_neg) < 0) {
+          stack.push_back({child, child_neg});
+        } else {
+          memo(frame.id, frame.negated) = memo(child, child_neg);
+          stack.pop_back();
+        }
+        break;
+      }
+      case GateKind::kAnd:
+      case GateKind::kOr: {
+        if (frame.next_input < g.inputs.size()) {
+          const int child = g.inputs[frame.next_input++];
+          if (memo(child, frame.negated) < 0) {
+            stack.push_back({child, frame.negated});
+          }
+          break;
+        }
+        std::vector<int> inputs;
+        inputs.reserve(g.inputs.size());
+        for (int input : g.inputs) {
+          inputs.push_back(memo(input, frame.negated));
+        }
+        const bool make_and = (g.kind == GateKind::kAnd) != frame.negated;
+        memo(frame.id, frame.negated) = make_and
+                                            ? out.AndGate(std::move(inputs))
+                                            : out.OrGate(std::move(inputs));
+        stack.pop_back();
+        break;
+      }
+    }
+  }
+  out.SetOutput(pos[output_] >= 0 ? pos[output_] : neg[output_]);
+  CTSDD_CHECK(out.IsNnf());
+  return out;
+}
+
+Status Circuit::Validate() const {
+  if (output_ < 0 || output_ >= num_gates()) {
+    return Status::FailedPrecondition("circuit output not set");
+  }
+  std::vector<bool> var_seen(num_vars_, false);
+  for (int id = 0; id < num_gates(); ++id) {
+    const Gate& g = gates_[id];
+    for (int input : g.inputs) {
+      if (input < 0 || input >= id) {
+        return Status::Internal("gate inputs must precede the gate");
+      }
+    }
+    switch (g.kind) {
+      case GateKind::kConstFalse:
+      case GateKind::kConstTrue:
+        if (!g.inputs.empty()) return Status::Internal("constant with inputs");
+        break;
+      case GateKind::kVar:
+        if (!g.inputs.empty()) return Status::Internal("variable with inputs");
+        if (g.var < 0 || g.var >= num_vars_) {
+          return Status::Internal("variable index out of range");
+        }
+        if (var_seen[g.var]) {
+          return Status::Internal("duplicate gate for variable " +
+                                  std::to_string(g.var));
+        }
+        var_seen[g.var] = true;
+        break;
+      case GateKind::kNot:
+        if (g.inputs.size() != 1) return Status::Internal("NOT arity != 1");
+        break;
+      case GateKind::kAnd:
+      case GateKind::kOr:
+        if (g.inputs.empty()) return Status::Internal("empty AND/OR gate");
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Circuit::DebugString() const {
+  std::ostringstream os;
+  os << "Circuit(vars=" << num_vars_ << ", gates=" << num_gates()
+     << ", output=g" << output_ << ")";
+  for (int id = 0; id < num_gates(); ++id) {
+    const Gate& g = gates_[id];
+    os << "\n  g" << id << " = " << GateKindName(g.kind);
+    if (g.kind == GateKind::kVar) os << " x" << g.var;
+    for (int input : g.inputs) os << " g" << input;
+  }
+  return os.str();
+}
+
+}  // namespace ctsdd

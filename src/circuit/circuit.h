@@ -1,0 +1,96 @@
+// Boolean circuits over the standard basis {AND, OR, NOT, variables, 0, 1},
+// represented as DAGs in topological order (Section 2.1 of the paper).
+//
+// Gates are identified by dense integer ids; inputs of a gate always have
+// smaller ids, so a single forward sweep evaluates the circuit. Variables
+// are integers 0..num_vars()-1; each variable labels at most one input gate
+// (the paper requires pairwise distinct variable labels).
+
+#ifndef CTSDD_CIRCUIT_CIRCUIT_H_
+#define CTSDD_CIRCUIT_CIRCUIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ctsdd {
+
+enum class GateKind : uint8_t {
+  kConstFalse,
+  kConstTrue,
+  kVar,
+  kNot,
+  kAnd,  // unbounded fanin
+  kOr,   // unbounded fanin
+};
+
+const char* GateKindName(GateKind kind);
+
+struct Gate {
+  GateKind kind;
+  int var = -1;             // for kVar: the variable index
+  std::vector<int> inputs;  // gate ids, all smaller than this gate's id
+};
+
+class Circuit {
+ public:
+  Circuit() = default;
+
+  // --- Construction (ids are returned; inputs must already exist) ---
+
+  // Returns the gate for variable `var`, creating it on first use.
+  int VarGate(int var);
+  int ConstGate(bool value);
+  int NotGate(int input);
+  int AndGate(std::vector<int> inputs);
+  int OrGate(std::vector<int> inputs);
+  // Binary conveniences.
+  int AndGate(int a, int b) { return AndGate(std::vector<int>{a, b}); }
+  int OrGate(int a, int b) { return OrGate(std::vector<int>{a, b}); }
+
+  void SetOutput(int gate);
+
+  // --- Accessors ---
+
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  int num_vars() const { return num_vars_; }
+  int output() const { return output_; }
+  const Gate& gate(int id) const { return gates_[id]; }
+
+  // Ensures variables 0..n-1 exist as far as numbering is concerned (gates
+  // are still created lazily; unused variables simply never get a gate).
+  void DeclareVars(int n);
+
+  // The variables that actually appear at input gates of the subcircuit
+  // rooted at `gate` — var(C_g) in the paper. Sorted.
+  std::vector<int> VarsBelow(int gate) const;
+
+  // All variables appearing anywhere in the circuit. Sorted.
+  std::vector<int> Vars() const { return VarsBelow(output_); }
+
+  // True if every NOT gate is wired directly by an input gate (NNF).
+  bool IsNnf() const;
+
+  // Equivalent circuit in negation normal form (negations pushed to the
+  // leaves via De Morgan). Variables keep their indices.
+  Circuit ToNnf() const;
+
+  // Structural well-formedness (topological input order, output set, arities).
+  Status Validate() const;
+
+  std::string DebugString() const;
+
+ private:
+  int AddGate(Gate gate);
+
+  std::vector<Gate> gates_;
+  std::vector<int> var_gate_;  // var index -> gate id or -1
+  int num_vars_ = 0;
+  int output_ = -1;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_CIRCUIT_CIRCUIT_H_

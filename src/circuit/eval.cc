@@ -1,0 +1,80 @@
+#include "circuit/eval.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+std::vector<bool> EvaluateAllGates(const Circuit& circuit,
+                                   const std::vector<bool>& assignment) {
+  std::vector<bool> value(circuit.num_gates(), false);
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    switch (g.kind) {
+      case GateKind::kConstFalse:
+        value[id] = false;
+        break;
+      case GateKind::kConstTrue:
+        value[id] = true;
+        break;
+      case GateKind::kVar:
+        CTSDD_CHECK_LT(static_cast<size_t>(g.var), assignment.size());
+        value[id] = assignment[g.var];
+        break;
+      case GateKind::kNot:
+        value[id] = !value[g.inputs[0]];
+        break;
+      case GateKind::kAnd: {
+        bool v = true;
+        for (int input : g.inputs) v = v && value[input];
+        value[id] = v;
+        break;
+      }
+      case GateKind::kOr: {
+        bool v = false;
+        for (int input : g.inputs) v = v || value[input];
+        value[id] = v;
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+bool Evaluate(const Circuit& circuit, const std::vector<bool>& assignment) {
+  CTSDD_CHECK_GE(circuit.output(), 0);
+  return EvaluateAllGates(circuit, assignment)[circuit.output()];
+}
+
+bool EvaluateMask(const Circuit& circuit, uint64_t mask) {
+  CTSDD_CHECK_LE(circuit.num_vars(), 64);
+  std::vector<bool> assignment(circuit.num_vars());
+  for (int v = 0; v < circuit.num_vars(); ++v) {
+    assignment[v] = (mask >> v) & 1;
+  }
+  return Evaluate(circuit, assignment);
+}
+
+uint64_t BruteForceModelCount(const Circuit& circuit) {
+  const int n = circuit.num_vars();
+  CTSDD_CHECK_LE(n, 30);
+  uint64_t count = 0;
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    if (EvaluateMask(circuit, mask)) ++count;
+  }
+  return count;
+}
+
+bool BruteForceEquivalent(const Circuit& a, const Circuit& b) {
+  const int n = std::max(a.num_vars(), b.num_vars());
+  CTSDD_CHECK_LE(n, 30);
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<bool> assignment(n);
+    for (int v = 0; v < n; ++v) assignment[v] = (mask >> v) & 1;
+    if (Evaluate(a, assignment) != Evaluate(b, assignment)) return false;
+  }
+  return true;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,35 @@
+// Circuit evaluation under total variable assignments.
+
+#ifndef CTSDD_CIRCUIT_EVAL_H_
+#define CTSDD_CIRCUIT_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace ctsdd {
+
+// Evaluates the circuit; assignment[v] is the value of variable v. The
+// assignment must cover all of the circuit's variables.
+bool Evaluate(const Circuit& circuit, const std::vector<bool>& assignment);
+
+// Evaluates with variable v reading bit v of `mask` (requires
+// circuit.num_vars() <= 64).
+bool EvaluateMask(const Circuit& circuit, uint64_t mask);
+
+// Values of every gate under the assignment (indexable by gate id).
+std::vector<bool> EvaluateAllGates(const Circuit& circuit,
+                                   const std::vector<bool>& assignment);
+
+// Brute-force model count over all 2^num_vars assignments
+// (requires num_vars <= 30; intended for tests).
+uint64_t BruteForceModelCount(const Circuit& circuit);
+
+// Brute-force semantic equivalence test (requires <= 30 shared vars; the
+// circuits are compared over the union of their variable sets).
+bool BruteForceEquivalent(const Circuit& a, const Circuit& b);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_CIRCUIT_EVAL_H_

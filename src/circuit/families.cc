@@ -1,0 +1,244 @@
+#include "circuit/families.h"
+
+#include "circuit/builder.h"
+#include "util/logging.h"
+
+namespace ctsdd {
+
+Circuit DisjointnessCircuit(int n) {
+  CTSDD_CHECK_GE(n, 1);
+  Circuit c;
+  ExprFactory f(&c);
+  std::vector<Expr> clauses;
+  clauses.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    clauses.push_back((!f.Var(i)) | (!f.Var(n + i)));
+  }
+  f.SetOutput(f.And(clauses));
+  return c;
+}
+
+Circuit IntersectionCircuit(int n) {
+  CTSDD_CHECK_GE(n, 1);
+  Circuit c;
+  ExprFactory f(&c);
+  std::vector<Expr> terms;
+  terms.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    terms.push_back(f.Var(i) & f.Var(n + i));
+  }
+  f.SetOutput(f.Or(terms));
+  return c;
+}
+
+int HFamilyVars::X(int l) const {
+  CTSDD_CHECK_GE(l, 1);
+  CTSDD_CHECK_LE(l, n);
+  return l - 1;
+}
+
+int HFamilyVars::Y(int m) const {
+  CTSDD_CHECK_GE(m, 1);
+  CTSDD_CHECK_LE(m, n);
+  return n + (m - 1);
+}
+
+int HFamilyVars::Z(int i, int l, int m) const {
+  CTSDD_CHECK_GE(i, 1);
+  CTSDD_CHECK_LE(i, k);
+  CTSDD_CHECK_GE(l, 1);
+  CTSDD_CHECK_LE(l, n);
+  CTSDD_CHECK_GE(m, 1);
+  CTSDD_CHECK_LE(m, n);
+  return 2 * n + (i - 1) * n * n + (l - 1) * n + (m - 1);
+}
+
+int HFamilyVars::TotalVars() const { return 2 * n + k * n * n; }
+
+Circuit HChainCircuit(int k, int n, int i) {
+  CTSDD_CHECK_GE(k, 1);
+  CTSDD_CHECK_GE(n, 1);
+  CTSDD_CHECK_GE(i, 0);
+  CTSDD_CHECK_LE(i, k);
+  const HFamilyVars vars{k, n};
+  Circuit c;
+  c.DeclareVars(vars.TotalVars());
+  ExprFactory f(&c);
+  std::vector<Expr> terms;
+  terms.reserve(n * n);
+  for (int l = 1; l <= n; ++l) {
+    for (int m = 1; m <= n; ++m) {
+      Expr left = (i == 0) ? f.Var(vars.X(l)) : f.Var(vars.Z(i, l, m));
+      Expr right =
+          (i == k) ? f.Var(vars.Y(m)) : f.Var(vars.Z(i + 1, l, m));
+      terms.push_back(left & right);
+    }
+  }
+  f.SetOutput(f.Or(terms));
+  return c;
+}
+
+bool IsaParams::Valid() const {
+  if (k < 1 || m < 1 || m > 30) return false;
+  return (1LL << k) * m == (1LL << m);
+}
+
+int IsaParams::NumVars() const { return k + (1 << m); }
+
+int IsaParams::YVar(int a) const {
+  CTSDD_CHECK_GE(a, 1);
+  CTSDD_CHECK_LE(a, k);
+  return a - 1;
+}
+
+int IsaParams::ZVar(int j) const {
+  CTSDD_CHECK_GE(j, 1);
+  CTSDD_CHECK_LE(j, 1 << m);
+  return k + (j - 1);
+}
+
+int IsaParams::XVar(int i, int j) const {
+  CTSDD_CHECK_GE(i, 1);
+  CTSDD_CHECK_LE(i, 1 << k);
+  CTSDD_CHECK_GE(j, 1);
+  CTSDD_CHECK_LE(j, m);
+  return ZVar((i - 1) * m + j);
+}
+
+Circuit IsaCircuit(const IsaParams& params) {
+  CTSDD_CHECK(params.Valid()) << "need 2^k * m == 2^m";
+  const int k = params.k;
+  const int m = params.m;
+  Circuit c;
+  c.DeclareVars(params.NumVars());
+  ExprFactory f(&c);
+  // ISA(y, z) = OR over blocks i and addresses j of
+  //   ("y selects block i" & "block i's bits read j" & z_j).
+  // "binary representation": per the paper, (a_1, ..., a_k) represents
+  // i - 1, reading a_1 as the most significant bit.
+  auto selector = [&](const std::vector<int>& bit_vars, int value) {
+    // AND of literals making bit_vars spell `value` (MSB first).
+    std::vector<Expr> lits;
+    const int width = static_cast<int>(bit_vars.size());
+    for (int b = 0; b < width; ++b) {
+      const bool bit = (value >> (width - 1 - b)) & 1;
+      Expr v = f.Var(bit_vars[b]);
+      lits.push_back(bit ? v : !v);
+    }
+    return f.And(lits);
+  };
+  std::vector<int> y_vars;
+  for (int a = 1; a <= k; ++a) y_vars.push_back(params.YVar(a));
+  std::vector<Expr> cases;
+  for (int i = 1; i <= (1 << k); ++i) {
+    Expr block_sel = selector(y_vars, i - 1);
+    std::vector<int> addr_vars;
+    for (int j = 1; j <= m; ++j) addr_vars.push_back(params.XVar(i, j));
+    for (int j = 1; j <= (1 << m); ++j) {
+      Expr addr_sel = selector(addr_vars, j - 1);
+      cases.push_back(block_sel & addr_sel & f.Var(params.ZVar(j)));
+    }
+  }
+  f.SetOutput(f.Or(cases));
+  return c;
+}
+
+Circuit ParityCircuit(int n) {
+  CTSDD_CHECK_GE(n, 1);
+  Circuit c;
+  ExprFactory f(&c);
+  Expr acc = f.Var(0);
+  for (int i = 1; i < n; ++i) {
+    Expr x = f.Var(i);
+    acc = (acc & (!x)) | ((!acc) & x);
+  }
+  f.SetOutput(acc);
+  return c;
+}
+
+Circuit ThresholdCircuit(int n, int t) {
+  CTSDD_CHECK_GE(n, 1);
+  Circuit c;
+  c.DeclareVars(n);
+  ExprFactory f(&c);
+  if (t <= 0) {
+    f.SetOutput(f.True());
+    return c;
+  }
+  if (t > n) {
+    f.SetOutput(f.False());
+    return c;
+  }
+  // dp[j] = "at least j of the first i variables are true", j in [0, t].
+  std::vector<Expr> dp(t + 1);
+  dp[0] = f.True();
+  for (int j = 1; j <= t; ++j) dp[j] = f.False();
+  for (int i = 0; i < n; ++i) {
+    Expr x = f.Var(i);
+    // Update downward so dp[j-1] still refers to the previous row.
+    for (int j = t; j >= 1; --j) {
+      dp[j] = dp[j] | (dp[j - 1] & x);
+    }
+  }
+  f.SetOutput(dp[t]);
+  return c;
+}
+
+Circuit MajorityCircuit(int n) { return ThresholdCircuit(n, (n + 2) / 2); }
+
+Circuit BandedCnfCircuit(int n, int band) {
+  CTSDD_CHECK_GE(band, 1);
+  CTSDD_CHECK_GE(n, band);
+  Circuit c;
+  ExprFactory f(&c);
+  std::vector<Expr> clauses;
+  for (int i = 0; i + band <= n; ++i) {
+    std::vector<Expr> lits;
+    for (int j = 0; j < band; ++j) lits.push_back(f.Var(i + j));
+    clauses.push_back(f.Or(lits));
+  }
+  f.SetOutput(f.And(clauses));
+  return c;
+}
+
+Circuit TreeCnfCircuit(int num_leaves) {
+  CTSDD_CHECK_GE(num_leaves, 2);
+  // Complete binary tree stored heap-style: node t has children 2t+1, 2t+2.
+  // Number of internal nodes = num_leaves - 1; total = 2*num_leaves - 1.
+  const int total = 2 * num_leaves - 1;
+  const int internal = num_leaves - 1;
+  Circuit c;
+  c.DeclareVars(total);
+  ExprFactory f(&c);
+  std::vector<Expr> clauses;
+  clauses.reserve(internal);
+  for (int t = 0; t < internal; ++t) {
+    clauses.push_back(f.Var(t) | f.Var(2 * t + 1) | f.Var(2 * t + 2));
+  }
+  f.SetOutput(f.And(clauses));
+  return c;
+}
+
+Circuit LadderCircuit(int n, int k) {
+  CTSDD_CHECK_GE(n, 2);
+  CTSDD_CHECK_GE(k, 1);
+  // Variables: cell (row, col) -> row * k + col, rows 0..n-1, cols 0..k-1.
+  Circuit c;
+  c.DeclareVars(n * k);
+  ExprFactory f(&c);
+  auto var = [&](int row, int col) { return f.Var(row * k + col); };
+  std::vector<Expr> rows;
+  rows.reserve(n - 1);
+  for (int row = 0; row + 1 < n; ++row) {
+    // Row constraint: some column agrees-on (cell & next-row cell).
+    std::vector<Expr> options;
+    for (int col = 0; col < k; ++col) {
+      options.push_back(var(row, col) & var(row + 1, col));
+    }
+    rows.push_back(f.Or(options));
+  }
+  f.SetOutput(f.And(rows));
+  return c;
+}
+
+}  // namespace ctsdd

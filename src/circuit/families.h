@@ -1,0 +1,98 @@
+// Named circuit families from the paper and the width-parameterized
+// workload families used by the benchmark harnesses.
+//
+// Variable numbering conventions are documented per family; helper structs
+// expose the index maps so tests and benches can address variables by role.
+
+#ifndef CTSDD_CIRCUIT_FAMILIES_H_
+#define CTSDD_CIRCUIT_FAMILIES_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace ctsdd {
+
+// ---------------------------------------------------------------------------
+// Disjointness (paper (7)): D_n(X, Y) = AND_i (!x_i | !y_i), with x_i = i
+// and y_i = n + i. Its communication matrix w.r.t. (X, Y) has rank 2^n (8).
+Circuit DisjointnessCircuit(int n);
+
+// Complement of disjointness: OR_i (x_i & y_i) — the "intersection"
+// function C'_0 appearing in the proof of Theorem 5.
+Circuit IntersectionCircuit(int n);
+
+// ---------------------------------------------------------------------------
+// The H^i_{k,n} chain functions of Section 4.1. Variable layout:
+//   x_l        -> l - 1                      (l in [n])
+//   y_m        -> n + (m - 1)                (m in [n])
+//   z^i_{l,m}  -> 2n + (i-1)*n^2 + (l-1)*n + (m-1)   (i in [k]; l, m in [n])
+// Every H^i_{k,n} circuit is built over the full variable set (2n + k*n^2
+// variables declared) so the family shares one numbering.
+struct HFamilyVars {
+  int k;
+  int n;
+  int X(int l) const;        // l in [1, n]
+  int Y(int m) const;        // m in [1, n]
+  int Z(int i, int l, int m) const;  // i in [1, k]
+  int TotalVars() const;
+};
+
+// H^0_{k,n}(X, Z^1)       = OR_{l,m} (x_l & z^1_{l,m})        for i == 0
+// H^i_{k,n}(Z^i, Z^{i+1}) = OR_{l,m} (z^i_{l,m} & z^{i+1}_{l,m}) for 0<i<k
+// H^k_{k,n}(Z^k, Y)       = OR_{l,m} (z^k_{l,m} & y_m)        for i == k
+Circuit HChainCircuit(int k, int n, int i);
+
+// ---------------------------------------------------------------------------
+// Indirect storage access (Appendix A). Valid (k, m) pairs satisfy
+// 2^k * m = 2^m, e.g., (1,2), (2,4), (5,8), (12,16); n = k + 2^m.
+// Variable layout: y_1..y_k -> 0..k-1; z_1..z_{2^m} -> k..k+2^m-1, where
+// block i (i in [1, 2^k]) of the storage consists of
+// x_{i,j} = z_{(i-1)*m + j} (j in [1, m]).
+struct IsaParams {
+  int k;
+  int m;
+  bool Valid() const;        // 2^k * m == 2^m
+  int NumVars() const;       // k + 2^m
+  int YVar(int a) const;     // a in [1, k]
+  int ZVar(int j) const;     // j in [1, 2^m]
+  int XVar(int i, int j) const;  // block i in [1, 2^k], bit j in [1, m]
+};
+
+Circuit IsaCircuit(const IsaParams& params);
+
+// ---------------------------------------------------------------------------
+// Miscellaneous standard functions.
+
+// Odd parity of n variables (vars 0..n-1), built as a chain of XOR blocks.
+Circuit ParityCircuit(int n);
+
+// Threshold-t of n variables: true iff at least t inputs are true. Built by
+// the standard O(n*t) dynamic-programming network.
+Circuit ThresholdCircuit(int n, int t);
+
+// Majority = Threshold(n, ceil((n+1)/2)).
+Circuit MajorityCircuit(int n);
+
+// ---------------------------------------------------------------------------
+// Width-parameterized workload families (benchmark substrates).
+
+// Banded CNF: AND_{i=0}^{n-band} OR(x_i, ..., x_{i+band-1}).
+// Circuit pathwidth O(band): the natural circuit has a path-like primal
+// graph. Workload for the CPW(O(1)) = OBDD(O(1)) region of Figure 1.
+Circuit BandedCnfCircuit(int n, int band);
+
+// Tree CNF: variables at the nodes of a complete binary tree with
+// `num_leaves` leaves; one clause (x_v | x_left(v) | x_right(v)) per
+// internal node v. Circuit treewidth O(1) but pathwidth Theta(log n):
+// workload for the CTW(O(1)) \ CPW(O(1)) region of Figure 1.
+Circuit TreeCnfCircuit(int num_leaves);
+
+// Chained conjunction-of-equalities ladder of width k: variables arranged
+// in an n x k grid; F = AND over rows of OR over the row's window pairs.
+// Primal treewidth O(k); used for the Result 1 linear-size sweep.
+Circuit LadderCircuit(int n, int k);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_CIRCUIT_FAMILIES_H_

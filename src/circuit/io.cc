@@ -1,0 +1,162 @@
+#include "circuit/io.h"
+
+#include <sstream>
+
+namespace ctsdd {
+
+std::string SerializeCircuit(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "vars " << circuit.num_vars() << "\n";
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    switch (g.kind) {
+      case GateKind::kVar:
+        os << "var " << g.var << "\n";
+        break;
+      case GateKind::kConstFalse:
+        os << "const 0\n";
+        break;
+      case GateKind::kConstTrue:
+        os << "const 1\n";
+        break;
+      case GateKind::kNot:
+        os << "not " << g.inputs[0] << "\n";
+        break;
+      case GateKind::kAnd:
+      case GateKind::kOr: {
+        os << (g.kind == GateKind::kAnd ? "and" : "or");
+        for (int input : g.inputs) os << " " << input;
+        os << "\n";
+        break;
+      }
+    }
+  }
+  os << "output " << circuit.output() << "\n";
+  return os.str();
+}
+
+StatusOr<Circuit> ParseCircuit(const std::string& text) {
+  std::istringstream is(text);
+  Circuit circuit;
+  std::string line;
+  int next_id = 0;
+  bool have_output = false;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op) || op == "c" || op[0] == '#') continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + why);
+    };
+    if (op == "vars") {
+      int n;
+      if (!(ls >> n) || n < 0) return fail("bad vars count");
+      circuit.DeclareVars(n);
+    } else if (op == "var") {
+      int v;
+      if (!(ls >> v) || v < 0) return fail("bad variable");
+      const int id = circuit.VarGate(v);
+      if (id != next_id) return fail("duplicate variable gate");
+      ++next_id;
+    } else if (op == "const") {
+      int v;
+      if (!(ls >> v) || (v != 0 && v != 1)) return fail("bad constant");
+      circuit.ConstGate(v == 1);
+      ++next_id;
+    } else if (op == "not") {
+      int g;
+      if (!(ls >> g) || g < 0 || g >= next_id) return fail("bad NOT input");
+      circuit.NotGate(g);
+      ++next_id;
+    } else if (op == "and" || op == "or") {
+      std::vector<int> inputs;
+      int g;
+      while (ls >> g) {
+        if (g < 0 || g >= next_id) return fail("bad gate input");
+        inputs.push_back(g);
+      }
+      if (inputs.empty()) return fail("empty AND/OR");
+      if (op == "and") {
+        circuit.AndGate(std::move(inputs));
+      } else {
+        circuit.OrGate(std::move(inputs));
+      }
+      ++next_id;
+    } else if (op == "output") {
+      int g;
+      if (!(ls >> g) || g < 0 || g >= next_id) return fail("bad output");
+      circuit.SetOutput(g);
+      have_output = true;
+    } else {
+      return fail("unknown directive '" + op + "'");
+    }
+  }
+  if (!have_output) return Status::InvalidArgument("missing output line");
+  CTSDD_RETURN_IF_ERROR(circuit.Validate());
+  return circuit;
+}
+
+StatusOr<Cnf> ParseDimacsCnf(const std::string& text) {
+  std::istringstream is(text);
+  Cnf cnf;
+  std::string line;
+  bool have_header = false;
+  int expected_clauses = 0;
+  std::vector<int> current;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first) || first == "c") continue;
+    if (first == "p") {
+      std::string kind;
+      if (!(ls >> kind >> cnf.num_vars >> expected_clauses) || kind != "cnf") {
+        return Status::InvalidArgument("bad DIMACS header");
+      }
+      have_header = true;
+      continue;
+    }
+    if (!have_header) {
+      return Status::InvalidArgument("clause before DIMACS header");
+    }
+    // `first` is the first literal of this line.
+    std::istringstream rest(line);
+    int lit;
+    while (rest >> lit) {
+      if (lit == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+      } else {
+        const int var = std::abs(lit) - 1;
+        if (var >= cnf.num_vars) {
+          return Status::InvalidArgument("literal out of range");
+        }
+        current.push_back(lit > 0 ? Cnf::PosLit(var) : Cnf::NegLit(var));
+      }
+    }
+  }
+  if (!current.empty()) cnf.clauses.push_back(current);
+  if (expected_clauses != 0 &&
+      static_cast<int>(cnf.clauses.size()) != expected_clauses) {
+    return Status::InvalidArgument("clause count mismatch");
+  }
+  return cnf;
+}
+
+std::string SerializeDimacsCnf(const Cnf& cnf) {
+  std::ostringstream os;
+  os << "p cnf " << cnf.num_vars << " " << cnf.clauses.size() << "\n";
+  for (const auto& clause : cnf.clauses) {
+    for (int lit : clause) {
+      os << (Cnf::LitNegated(lit) ? -(Cnf::LitVar(lit) + 1)
+                                  : (Cnf::LitVar(lit) + 1))
+         << " ";
+    }
+    os << "0\n";
+  }
+  return os.str();
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,37 @@
+// Text serialization for circuits and DIMACS CNF parsing.
+//
+// Circuit format (one gate per line, ids implicit in order):
+//   c <comment>
+//   vars <n>
+//   var <v>                 # input gate labeled with variable v
+//   const <0|1>
+//   not <gate>
+//   and <gate> <gate> ...
+//   or <gate> <gate> ...
+//   output <gate>
+
+#ifndef CTSDD_CIRCUIT_IO_H_
+#define CTSDD_CIRCUIT_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.h"
+#include "circuit/tseitin.h"
+#include "util/status.h"
+
+namespace ctsdd {
+
+std::string SerializeCircuit(const Circuit& circuit);
+
+StatusOr<Circuit> ParseCircuit(const std::string& text);
+
+// DIMACS CNF ("p cnf <vars> <clauses>", clauses as 0-terminated literal
+// lists; literal i stands for variable i-1).
+StatusOr<Cnf> ParseDimacsCnf(const std::string& text);
+
+std::string SerializeDimacsCnf(const Cnf& cnf);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_CIRCUIT_IO_H_

@@ -1,0 +1,28 @@
+#include "circuit/primal_graph.h"
+
+#include "graph/elimination.h"
+#include "graph/exact_treewidth.h"
+
+namespace ctsdd {
+
+Graph PrimalGraph(const Circuit& circuit) {
+  Graph g(circuit.num_gates());
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    for (int input : circuit.gate(id).inputs) {
+      g.AddEdge(input, id);
+    }
+  }
+  return g;
+}
+
+int HeuristicCircuitTreewidth(const Circuit& circuit) {
+  const Graph g = PrimalGraph(circuit);
+  return EliminationOrderWidth(
+      g, GreedyEliminationOrder(g, EliminationHeuristic::kMinFill));
+}
+
+StatusOr<int> ExactCircuitTreewidth(const Circuit& circuit) {
+  return ExactTreewidth(PrimalGraph(circuit));
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,25 @@
+// The undirected graph underlying a circuit DAG: one vertex per gate, one
+// edge per wire. The paper defines tw(C) as the treewidth of this graph,
+// and the circuit treewidth ctw(F) as the minimum over circuits computing F.
+
+#ifndef CTSDD_CIRCUIT_PRIMAL_GRAPH_H_
+#define CTSDD_CIRCUIT_PRIMAL_GRAPH_H_
+
+#include "circuit/circuit.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ctsdd {
+
+// Vertex i of the result corresponds to gate i of the circuit.
+Graph PrimalGraph(const Circuit& circuit);
+
+// Heuristic upper bound on tw(C) via min-fill elimination.
+int HeuristicCircuitTreewidth(const Circuit& circuit);
+
+// Exact tw(C) for circuits with at most kMaxExactVertices gates.
+StatusOr<int> ExactCircuitTreewidth(const Circuit& circuit);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_CIRCUIT_PRIMAL_GRAPH_H_

@@ -1,0 +1,97 @@
+#include "circuit/tseitin.h"
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+Cnf TseitinCnf(const Circuit& circuit, std::vector<int>* gate_var_of_gate) {
+  CTSDD_CHECK_GE(circuit.output(), 0);
+  Cnf cnf;
+  const int n = circuit.num_vars();
+  cnf.num_vars = n;
+  // var_of[id] = the CNF variable representing gate id.
+  std::vector<int> var_of(circuit.num_gates(), -1);
+  auto fresh = [&cnf]() { return cnf.num_vars++; };
+
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    switch (g.kind) {
+      case GateKind::kVar:
+        var_of[id] = g.var;
+        break;
+      case GateKind::kConstFalse: {
+        var_of[id] = fresh();
+        cnf.clauses.push_back({Cnf::NegLit(var_of[id])});
+        break;
+      }
+      case GateKind::kConstTrue: {
+        var_of[id] = fresh();
+        cnf.clauses.push_back({Cnf::PosLit(var_of[id])});
+        break;
+      }
+      case GateKind::kNot: {
+        var_of[id] = fresh();
+        const int a = var_of[g.inputs[0]];
+        cnf.clauses.push_back({Cnf::NegLit(var_of[id]), Cnf::NegLit(a)});
+        cnf.clauses.push_back({Cnf::PosLit(var_of[id]), Cnf::PosLit(a)});
+        break;
+      }
+      case GateKind::kAnd: {
+        var_of[id] = fresh();
+        const int z = var_of[id];
+        std::vector<int> big = {Cnf::PosLit(z)};
+        for (int input : g.inputs) {
+          const int a = var_of[input];
+          cnf.clauses.push_back({Cnf::NegLit(z), Cnf::PosLit(a)});
+          big.push_back(Cnf::NegLit(a));
+        }
+        cnf.clauses.push_back(std::move(big));
+        break;
+      }
+      case GateKind::kOr: {
+        var_of[id] = fresh();
+        const int z = var_of[id];
+        std::vector<int> big = {Cnf::NegLit(z)};
+        for (int input : g.inputs) {
+          const int a = var_of[input];
+          cnf.clauses.push_back({Cnf::PosLit(z), Cnf::NegLit(a)});
+          big.push_back(Cnf::PosLit(a));
+        }
+        cnf.clauses.push_back(std::move(big));
+        break;
+      }
+    }
+  }
+  // Assert the output.
+  cnf.clauses.push_back({Cnf::PosLit(var_of[circuit.output()])});
+  if (gate_var_of_gate != nullptr) *gate_var_of_gate = var_of;
+  return cnf;
+}
+
+Circuit CnfToCircuit(const Cnf& cnf) {
+  Circuit circuit;
+  circuit.DeclareVars(cnf.num_vars);
+  std::vector<int> clause_gates;
+  clause_gates.reserve(cnf.clauses.size());
+  for (const auto& clause : cnf.clauses) {
+    CTSDD_CHECK(!clause.empty()) << "empty clause";
+    std::vector<int> lits;
+    lits.reserve(clause.size());
+    for (int lit : clause) {
+      const int vg = circuit.VarGate(Cnf::LitVar(lit));
+      lits.push_back(Cnf::LitNegated(lit) ? circuit.NotGate(vg) : vg);
+    }
+    clause_gates.push_back(lits.size() == 1 ? lits[0]
+                                            : circuit.OrGate(std::move(lits)));
+  }
+  if (clause_gates.empty()) {
+    circuit.SetOutput(circuit.ConstGate(true));
+  } else if (clause_gates.size() == 1) {
+    circuit.SetOutput(clause_gates[0]);
+  } else {
+    circuit.SetOutput(circuit.AndGate(std::move(clause_gates)));
+  }
+  return circuit;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,37 @@
+// Tseitin transformation: CNF encodings of circuits, and CNF<->circuit
+// conversion. Used to reproduce the Petke–Razgon indirect compilation route
+// that the paper's direct construction improves upon (Section 1).
+
+#ifndef CTSDD_CIRCUIT_TSEITIN_H_
+#define CTSDD_CIRCUIT_TSEITIN_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace ctsdd {
+
+// A CNF over variables 0..num_vars-1. A literal is (var << 1) | negated.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+
+  static int PosLit(int var) { return var << 1; }
+  static int NegLit(int var) { return (var << 1) | 1; }
+  static int LitVar(int lit) { return lit >> 1; }
+  static bool LitNegated(int lit) { return lit & 1; }
+};
+
+// Tseitin CNF of the circuit: introduces one fresh variable per non-input
+// gate (gate variables come after the circuit's input variables). The CNF
+// is satisfied by an assignment iff the gate variables are consistent with
+// the inputs and the output gate variable is true. T(X, Z) in the paper.
+Cnf TseitinCnf(const Circuit& circuit,
+               std::vector<int>* gate_var_of_gate = nullptr);
+
+// The obvious AND-of-ORs circuit computing a CNF.
+Circuit CnfToCircuit(const Cnf& cnf);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_CIRCUIT_TSEITIN_H_

@@ -1,0 +1,122 @@
+#include "compile/factor_compile.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+namespace {
+
+class FactorCompiler {
+ public:
+  FactorCompiler(const BoolFunc& f, const Vtree& vtree)
+      : f_(f), vtree_(vtree) {}
+
+  FactorCompilation Run() {
+    FactorCompilation out;
+    // Precompute factor sets at every vtree node.
+    factor_sets_.resize(vtree_.num_nodes());
+    out.factor_counts.assign(vtree_.num_nodes(), 0);
+    for (int v = 0; v < vtree_.num_nodes(); ++v) {
+      factor_sets_[v] = ComputeFactors(f_, vtree_.VarsBelow(v));
+      out.factor_counts[v] = factor_sets_[v].size();
+    }
+    out.fw = *std::max_element(out.factor_counts.begin(),
+                               out.factor_counts.end());
+
+    out.and_profile.assign(vtree_.num_nodes(), 0);
+    and_profile_ = &out.and_profile;
+    circuit_ = &out.circuit;
+    circuit_->DeclareVars(f_.num_vars() == 0
+                              ? 0
+                              : f_.vars().back() + 1);
+
+    // Root factor: the factor of F relative to X whose cofactor (over the
+    // empty set) is constantly 1, i.e., whose models are sat(F).
+    if (f_.IsConstantFalse()) {
+      circuit_->SetOutput(circuit_->ConstGate(false));
+    } else {
+      const FactorSet& root_set = factor_sets_[vtree_.root()];
+      int root_factor = -1;
+      for (int i = 0; i < root_set.size(); ++i) {
+        if (root_set.cofactors[i].IsConstantTrue()) {
+          root_factor = i;
+          break;
+        }
+      }
+      CTSDD_CHECK_GE(root_factor, 0);
+      circuit_->SetOutput(Build(vtree_.root(), root_factor));
+    }
+    out.fiw = *std::max_element(out.and_profile.begin(),
+                                out.and_profile.end());
+    return out;
+  }
+
+ private:
+  // Gate id of C_{v, H} for factor index h at vtree node v.
+  int Build(int v, int h) {
+    const auto key = std::make_pair(v, h);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const FactorSet& fs = factor_sets_[v];
+    int gate;
+    if (vtree_.is_leaf(v)) {
+      // Equations (17)-(19). When the vtree leaf's variable is outside F's
+      // variable set, there is a single factor TOP over the empty set.
+      const BoolFunc& factor = fs.factors[h];
+      if (factor.num_vars() == 0 || fs.size() == 1) {
+        gate = circuit_->ConstGate(true);
+      } else {
+        // Two factors: x and !x; identify by the model of the factor.
+        const int var = factor.vars()[0];
+        const bool positive = factor.EvalIndex(1);
+        gate = positive ? circuit_->VarGate(var)
+                        : circuit_->NotGate(circuit_->VarGate(var));
+      }
+    } else {
+      // Equation (20): disjoin the factorized implicants of H.
+      const int w = vtree_.left(v);
+      const int wp = vtree_.right(v);
+      const FactorSet& fw = factor_sets_[w];
+      const FactorSet& fwp = factor_sets_[wp];
+      std::vector<int> disjuncts;
+      for (int i = 0; i < fw.size(); ++i) {
+        for (int j = 0; j < fwp.size(); ++j) {
+          if (ImplicantTarget(f_, fw, i, fwp, j, fs) != h) continue;
+          const int left_gate = Build(w, i);
+          const int right_gate = Build(wp, j);
+          disjuncts.push_back(circuit_->AndGate(left_gate, right_gate));
+          ++(*and_profile_)[v];
+        }
+      }
+      CTSDD_CHECK(!disjuncts.empty())
+          << "every factor has at least one factorized implicant (Lemma 3)";
+      gate = disjuncts.size() == 1 ? disjuncts[0]
+                                   : circuit_->OrGate(std::move(disjuncts));
+    }
+    memo_.emplace(key, gate);
+    return gate;
+  }
+
+  const BoolFunc& f_;
+  const Vtree& vtree_;
+  std::vector<FactorSet> factor_sets_;
+  std::map<std::pair<int, int>, int> memo_;
+  std::vector<int>* and_profile_ = nullptr;
+  Circuit* circuit_ = nullptr;
+};
+
+}  // namespace
+
+FactorCompilation CompileFactorNnf(const BoolFunc& f, const Vtree& vtree) {
+  // Every variable of f must appear in the vtree.
+  for (int v : f.vars()) {
+    CTSDD_CHECK_GE(vtree.LeafOf(v), 0)
+        << "vtree missing function variable x" << v;
+  }
+  return FactorCompiler(f, vtree).Run();
+}
+
+}  // namespace ctsdd

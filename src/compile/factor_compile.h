@@ -1,0 +1,48 @@
+// The paper's core construction (Section 3.2.1): the canonical
+// deterministic structured NNF C_{F,T} built from factorized implicants,
+// equations (17)-(21), together with the factorized implicant width
+// fiw(F, T) of Definition 4.
+//
+// For every vtree node v and factor H of F relative to X_v, C_{v,H} is
+//   - at a leaf {x}: TOP, x, or !x depending on factors(F, {x});
+//   - at an internal node v with children w, w':
+//       OR over (G, G') in impl(F, H, X_w, X_w') of (C_{w,G} AND C_{w',G'}),
+// and C_{F,T} = C_{root,F}. Lemma 4: C_{v,H} is a deterministic structured
+// NNF respecting T_v and computes H. Theorem 3: |C_{F,T}| = O(fiw * n).
+//
+// The construction here is lazy from the root, so the emitted circuit
+// contains exactly the gates of C_{F,T} reachable from the output.
+
+#ifndef CTSDD_COMPILE_FACTOR_COMPILE_H_
+#define CTSDD_COMPILE_FACTOR_COMPILE_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "func/bool_func.h"
+#include "func/factor.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+
+struct FactorCompilation {
+  Circuit circuit;  // C_{F,T}; output gate set
+
+  // AND gates structured by each vtree node (indexed by vtree node id).
+  std::vector<int> and_profile;
+
+  // fiw(F, T) = max over vtree nodes of and_profile (Definition 4).
+  int fiw = 0;
+
+  // |factors(F, X_v)| per vtree node, and fw(F, T) = their max (Def. 2).
+  std::vector<int> factor_counts;
+  int fw = 0;
+};
+
+// Builds C_{F,T}. The vtree's variable set must contain F's variables
+// (extra vtree variables are allowed, matching Definition 2's Z ⊇ X).
+FactorCompilation CompileFactorNnf(const BoolFunc& f, const Vtree& vtree);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_COMPILE_FACTOR_COMPILE_H_

@@ -1,0 +1,37 @@
+#include "compile/isa.h"
+
+#include "sdd/sdd_compile.h"
+#include "util/logging.h"
+
+namespace ctsdd {
+
+Vtree IsaVtree(const IsaParams& params) {
+  CTSDD_CHECK(params.Valid());
+  Vtree vt;
+  // Left-linear subtree over z_1, ..., z_{2^m}: z_1 is the unique left
+  // leaf, z_2, ..., z_{2^m} hang as right leaves going up.
+  int z_root = vt.AddLeaf(params.ZVar(1));
+  for (int j = 2; j <= (1 << params.m); ++j) {
+    z_root = vt.AddInternal(z_root, vt.AddLeaf(params.ZVar(j)));
+  }
+  // Right-linear spine over y_1, ..., y_k ending at the z subtree.
+  int root = z_root;
+  for (int a = params.k; a >= 1; --a) {
+    root = vt.AddInternal(vt.AddLeaf(params.YVar(a)), root);
+  }
+  vt.SetRoot(root);
+  return vt;
+}
+
+IsaCompilation CompileIsaOnAppendixVtree(const IsaParams& params) {
+  IsaCompilation out;
+  out.params = params;
+  out.num_vars = params.NumVars();
+  const Circuit circuit = IsaCircuit(params);
+  SddManager manager(IsaVtree(params));
+  const SddManager::NodeId root = CompileCircuitToSdd(&manager, circuit);
+  out.sdd = ComputeSddStats(manager, root);
+  return out;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,34 @@
+// Appendix A: the indirect storage access function has SDD size
+// O(n^{13/5}) (Proposition 3), witnessed on the special vtree T_n — a
+// right-linear spine over the address variables y_1..y_k whose final right
+// leaf position holds a left-linear subtree over the storage z_1..z_{2^m}
+// (z_1 deepest; Figure 4 of the paper).
+
+#ifndef CTSDD_COMPILE_ISA_H_
+#define CTSDD_COMPILE_ISA_H_
+
+#include "circuit/families.h"
+#include "sdd/sdd.h"
+#include "sdd/sdd_compile.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+
+// The Appendix A vtree T_n for the given ISA parameters.
+Vtree IsaVtree(const IsaParams& params);
+
+struct IsaCompilation {
+  IsaParams params;
+  int num_vars = 0;
+  SddStats sdd;  // canonical SDD on the Appendix A vtree
+};
+
+// Compiles ISA on T_n and reports the canonical SDD statistics. The
+// canonical (compressed + trimmed) SDD for a fixed vtree is unique, so its
+// size lower-bounds no construction but is the natural measured quantity;
+// Proposition 3's explicit SDD witnesses the same asymptotics.
+IsaCompilation CompileIsaOnAppendixVtree(const IsaParams& params);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_COMPILE_ISA_H_

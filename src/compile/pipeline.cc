@@ -1,0 +1,56 @@
+#include "compile/pipeline.h"
+
+#include <utility>
+
+#include "circuit/primal_graph.h"
+#include "compile/factor_compile.h"
+#include "compile/sdd_canonical.h"
+#include "compile/widths.h"
+#include "func/bool_func.h"
+#include "graph/elimination.h"
+#include "graph/exact_treewidth.h"
+#include "vtree/from_decomposition.h"
+
+namespace ctsdd {
+
+StatusOr<PipelineResult> CompileWithTreewidth(const Circuit& circuit,
+                                              const PipelineOptions& options) {
+  CTSDD_RETURN_IF_ERROR(circuit.Validate());
+  const Graph primal = PrimalGraph(circuit);
+
+  TreeDecomposition td;
+  if (options.prefer_exact_treewidth &&
+      primal.num_vertices() <= kMaxExactVertices) {
+    const auto order = OptimalEliminationOrder(primal);
+    CTSDD_RETURN_IF_ERROR(order.status());
+    td = DecompositionFromOrder(primal, order.value());
+  } else {
+    td = HeuristicDecomposition(primal);
+  }
+  CTSDD_RETURN_IF_ERROR(td.Validate(primal));
+
+  const NiceTreeDecomposition nice = MakeNice(td);
+  CTSDD_RETURN_IF_ERROR(nice.Validate(primal));
+
+  auto vtree = VtreeFromNiceDecomposition(circuit, nice);
+  CTSDD_RETURN_IF_ERROR(vtree.status());
+
+  PipelineResult result;
+  result.decomposition_width = td.Width();
+  result.vtree = vtree.value();
+  result.manager = std::make_unique<SddManager>(result.vtree);
+  result.root = CompileCircuitToSdd(result.manager.get(), circuit);
+  result.sdd = ComputeSddStats(*result.manager, result.root);
+
+  if (options.compute_exact_widths &&
+      static_cast<int>(circuit.Vars().size()) <= BoolFunc::kMaxVars &&
+      circuit.Vars().size() <= 16) {
+    const BoolFunc f = BoolFunc::FromCircuit(circuit);
+    result.fw = FactorWidth(f, result.vtree);
+    result.fiw = CompileFactorNnf(f, result.vtree).fiw;
+    result.sdw_direct = CompileCanonicalSdd(f, result.vtree).sdw;
+  }
+  return result;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,50 @@
+// The end-to-end Result 1 pipeline: circuit -> tree decomposition of the
+// primal graph -> nice decomposition -> Lemma 1 vtree -> compiled forms.
+//
+// The apply-based SDD compilation runs at any scale; the factor-based
+// exact constructions (C_{F,T}, S_{F,T}, fw/fiw/sdw) additionally run when
+// the circuit has at most BoolFunc::kMaxVars variables and are reported
+// alongside for verification.
+
+#ifndef CTSDD_COMPILE_PIPELINE_H_
+#define CTSDD_COMPILE_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+
+#include "circuit/circuit.h"
+#include "sdd/sdd.h"
+#include "sdd/sdd_compile.h"
+#include "util/status.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+
+struct PipelineOptions {
+  // Use the exact treewidth DP when the circuit has at most
+  // kMaxExactVertices gates; otherwise min-fill.
+  bool prefer_exact_treewidth = false;
+  // Also run the factor-based constructions when feasible.
+  bool compute_exact_widths = false;
+};
+
+struct PipelineResult {
+  // Width of the tree decomposition used (upper bound on tw(C)).
+  int decomposition_width = 0;
+  Vtree vtree;
+  // Apply-based canonical SDD on the Lemma 1 vtree.
+  std::unique_ptr<SddManager> manager;
+  SddManager::NodeId root = 0;
+  SddStats sdd;
+  // Exact widths (set when compute_exact_widths and the var count allows).
+  std::optional<int> fw;
+  std::optional<int> fiw;
+  std::optional<int> sdw_direct;
+};
+
+StatusOr<PipelineResult> CompileWithTreewidth(
+    const Circuit& circuit, const PipelineOptions& options = {});
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_COMPILE_PIPELINE_H_

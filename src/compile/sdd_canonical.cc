@@ -1,0 +1,123 @@
+#include "compile/sdd_canonical.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "func/factor.h"
+#include "util/logging.h"
+
+namespace ctsdd {
+namespace {
+
+class CanonicalSddCompiler {
+ public:
+  CanonicalSddCompiler(const BoolFunc& f, const Vtree& vtree)
+      : f_(f), vtree_(vtree) {}
+
+  SddCanonicalCompilation Run() {
+    SddCanonicalCompilation out;
+    factor_sets_.resize(vtree_.num_nodes());
+    for (int v = 0; v < vtree_.num_nodes(); ++v) {
+      factor_sets_[v] = ComputeFactors(f_, vtree_.VarsBelow(v));
+      CTSDD_CHECK_LE(factor_sets_[v].size(), 63)
+          << "factor subsets are bitmask-encoded";
+    }
+    out.and_profile.assign(vtree_.num_nodes(), 0);
+    and_profile_ = &out.and_profile;
+    circuit_ = &out.circuit;
+    circuit_->DeclareVars(f_.num_vars() == 0 ? 0 : f_.vars().back() + 1);
+
+    if (f_.IsConstantFalse()) {
+      circuit_->SetOutput(circuit_->ConstGate(false));
+    } else {
+      const FactorSet& root_set = factor_sets_[vtree_.root()];
+      uint64_t root_mask = 0;
+      for (int i = 0; i < root_set.size(); ++i) {
+        if (root_set.cofactors[i].IsConstantTrue()) root_mask |= 1ULL << i;
+      }
+      CTSDD_CHECK_NE(root_mask, 0u);
+      circuit_->SetOutput(Build(vtree_.root(), root_mask));
+    }
+    out.sdw = *std::max_element(out.and_profile.begin(),
+                                out.and_profile.end());
+    return out;
+  }
+
+ private:
+  // Gate id of C_{v, H} where `mask` encodes the factor subset H.
+  int Build(int v, uint64_t mask) {
+    const auto key = std::make_pair(v, mask);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const FactorSet& fs = factor_sets_[v];
+    const uint64_t full = (fs.size() >= 64) ? ~0ULL
+                                            : ((1ULL << fs.size()) - 1);
+    int gate;
+    if (mask == 0) {
+      gate = circuit_->ConstGate(false);
+    } else if (mask == full) {
+      gate = circuit_->ConstGate(true);
+    } else if (vtree_.is_leaf(v)) {
+      // Non-trivial subsets at a leaf are single factors: x or !x.
+      CTSDD_CHECK_EQ(std::popcount(mask), 1);
+      const int h = std::countr_zero(mask);
+      const BoolFunc& factor = fs.factors[h];
+      CTSDD_CHECK_EQ(factor.num_vars(), 1);
+      const int var = factor.vars()[0];
+      gate = factor.EvalIndex(1)
+                 ? circuit_->VarGate(var)
+                 : circuit_->NotGate(circuit_->VarGate(var));
+    } else {
+      const int w = vtree_.left(v);
+      const int wp = vtree_.right(v);
+      const FactorSet& fw = factor_sets_[w];
+      const FactorSet& fwp = factor_sets_[wp];
+      // S_G for every factor G of F relative to X_w.
+      std::map<uint64_t, uint64_t> prime_mask_of_sub_mask;  // S -> P
+      for (int i = 0; i < fw.size(); ++i) {
+        uint64_t s_mask = 0;
+        for (int j = 0; j < fwp.size(); ++j) {
+          const int target = ImplicantTarget(f_, fw, i, fwp, j,
+                                             factor_sets_[v]);
+          if (mask & (1ULL << target)) s_mask |= 1ULL << j;
+        }
+        prime_mask_of_sub_mask[s_mask] |= 1ULL << i;
+      }
+      std::vector<int> disjuncts;
+      disjuncts.reserve(prime_mask_of_sub_mask.size());
+      for (const auto& [s_mask, p_mask] : prime_mask_of_sub_mask) {
+        const int prime = Build(w, p_mask);
+        const int sub = Build(wp, s_mask);
+        disjuncts.push_back(circuit_->AndGate(prime, sub));
+        ++(*and_profile_)[v];
+      }
+      gate = disjuncts.size() == 1 ? disjuncts[0]
+                                   : circuit_->OrGate(std::move(disjuncts));
+    }
+    memo_.emplace(key, gate);
+    return gate;
+  }
+
+  const BoolFunc& f_;
+  const Vtree& vtree_;
+  std::vector<FactorSet> factor_sets_;
+  std::map<std::pair<int, uint64_t>, int> memo_;
+  std::vector<int>* and_profile_ = nullptr;
+  Circuit* circuit_ = nullptr;
+};
+
+}  // namespace
+
+SddCanonicalCompilation CompileCanonicalSdd(const BoolFunc& f,
+                                            const Vtree& vtree) {
+  for (int v : f.vars()) {
+    CTSDD_CHECK_GE(vtree.LeafOf(v), 0)
+        << "vtree missing function variable x" << v;
+  }
+  return CanonicalSddCompiler(f, vtree).Run();
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,46 @@
+// The paper's direct construction of the canonical SDD S_{F,T}
+// (Section 3.2.2, equations (25)-(28) and properties (SD1)-(SD3)),
+// together with the sentential decision width sdw(F, T) of Definition 5.
+//
+// For a vtree node v and a *set* H of factors of F relative to X_v, the
+// circuit C_{v,H} computes the disjunction of H. At an internal node with
+// children w, w', the factors G of F relative to X_w are grouped by
+//   S_G = { G' : (G, G') is a factorized implicant of some H in H },
+// yielding the sentential decision (26): primes are disjunctions of factor
+// groups P_i (which partition {0,1}^{X_w}, giving (SD1)-(SD2)), and subs
+// are the disjunctions of the S_i (distinct by grouping, giving (SD3)).
+//
+// The construction emits an explicit circuit, so its determinism,
+// structuredness, and widths can be verified independently. Relation to
+// the apply-based SDD manager: the manager additionally *trims*
+// ({(true, s)} -> s; {(p, true), (!p, false)} -> p), so its Definition 5
+// width is bounded by — and can be strictly below — this construction's
+// sdw; the tests check manager_width <= sdw plus semantic equality.
+
+#ifndef CTSDD_COMPILE_SDD_CANONICAL_H_
+#define CTSDD_COMPILE_SDD_CANONICAL_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "func/bool_func.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+
+struct SddCanonicalCompilation {
+  Circuit circuit;  // S_{F,T} as an explicit circuit
+
+  // AND gates structured by each vtree node; sdw(F,T) is their max.
+  std::vector<int> and_profile;
+  int sdw = 0;
+};
+
+// Builds S_{F,T}. Requires every variable of f present in the vtree and
+// at most 63 factors per vtree node (factor subsets are bitmask-encoded).
+SddCanonicalCompilation CompileCanonicalSdd(const BoolFunc& f,
+                                            const Vtree& vtree);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_COMPILE_SDD_CANONICAL_H_

@@ -1,0 +1,171 @@
+#include "compile/widths.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/primal_graph.h"
+#include "compile/factor_compile.h"
+#include "compile/sdd_canonical.h"
+#include "graph/exact_treewidth.h"
+#include "func/factor.h"
+#include "util/logging.h"
+
+namespace ctsdd {
+
+int FactorWidth(const BoolFunc& f, const Vtree& vtree) {
+  int width = 0;
+  for (int v = 0; v < vtree.num_nodes(); ++v) {
+    width = std::max(width, CountFactors(f, vtree.VarsBelow(v)));
+  }
+  return width;
+}
+
+namespace {
+
+// Enumerates all binary tree shapes over vars[lo, hi) appended to *vt,
+// invoking `sink` with the root node id of each shape. Because Vtree nodes
+// are append-only, enumeration rebuilds the vtree per shape; callers drive
+// this through ForEachVtree which manages fresh Vtree objects.
+struct ShapeEnumerator {
+  const std::vector<int>& vars;
+  std::function<bool(const Vtree&)> callback;
+  bool stopped = false;
+
+  // Shapes are encoded as preorder split sequences; Emit decodes them with
+  // the same traversal. EnumeratePair enumerates all shapes of vars[lo,hi)
+  // and invokes `next` (a continuation) for each complete subsequence.
+  bool EnumeratePair(std::vector<int>* splits, int lo, int hi,
+                     const std::function<bool(std::vector<int>*)>& next) {
+    if (hi - lo == 1) return next(splits);
+    for (int split = lo + 1; split < hi; ++split) {
+      splits->push_back(split);
+      bool keep = true;
+      // Recurse into left then right of this range, then continue.
+      keep = EnumeratePairInner(splits, lo, split, hi, next);
+      splits->pop_back();
+      if (!keep) return false;
+    }
+    return true;
+  }
+
+  bool EnumeratePairInner(std::vector<int>* splits, int lo, int split,
+                          int hi,
+                          const std::function<bool(std::vector<int>*)>& next) {
+    return EnumeratePair(splits, lo, split, [&](std::vector<int>* s) {
+      return EnumeratePair(s, split, hi, next);
+    });
+  }
+
+  bool Emit(const std::vector<int>& splits) {
+    Vtree vt;
+    size_t cursor = 0;
+    std::function<int(int, int)> build = [&](int lo, int hi) -> int {
+      if (hi - lo == 1) return vt.AddLeaf(vars[lo]);
+      CTSDD_CHECK_LT(cursor, splits.size());
+      const int split = splits[cursor++];
+      const int l = build(lo, split);
+      const int r = build(split, hi);
+      return vt.AddInternal(l, r);
+    };
+    vt.SetRoot(build(0, static_cast<int>(vars.size())));
+    if (!callback(vt)) {
+      stopped = true;
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+void ForEachVtree(const std::vector<int>& vars,
+                  const std::function<bool(const Vtree&)>& callback) {
+  CTSDD_CHECK(!vars.empty());
+  CTSDD_CHECK_LE(vars.size(), 6u) << "vtree enumeration too large";
+  std::vector<int> perm = vars;
+  std::sort(perm.begin(), perm.end());
+  do {
+    ShapeEnumerator enumerator{perm, callback};
+    std::vector<int> splits;
+    if (perm.size() == 1) {
+      if (!enumerator.Emit(splits)) return;
+      continue;
+    }
+    if (!enumerator.EnumeratePair(
+            &splits, 0, static_cast<int>(perm.size()),
+            [&](std::vector<int>* s) { return enumerator.Emit(*s); })) {
+      return;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+int MinFactorWidthOverVtrees(const BoolFunc& f) {
+  CTSDD_CHECK_GE(f.num_vars(), 1);
+  int best = -1;
+  ForEachVtree(f.vars(), [&](const Vtree& vt) {
+    const int width = FactorWidth(f, vt);
+    if (best < 0 || width < best) best = width;
+    return true;
+  });
+  return best;
+}
+
+int MinFiwOverVtrees(const BoolFunc& f) {
+  CTSDD_CHECK_GE(f.num_vars(), 1);
+  int best = -1;
+  ForEachVtree(f.vars(), [&](const Vtree& vt) {
+    const int fiw = CompileFactorNnf(f, vt).fiw;
+    if (best < 0 || fiw < best) best = fiw;
+    return true;
+  });
+  return best;
+}
+
+int MinSdwOverVtrees(const BoolFunc& f) {
+  CTSDD_CHECK_GE(f.num_vars(), 1);
+  int best = -1;
+  ForEachVtree(f.vars(), [&](const Vtree& vt) {
+    const int sdw = CompileCanonicalSdd(f, vt).sdw;
+    if (best < 0 || sdw < best) best = sdw;
+    return true;
+  });
+  return best;
+}
+
+double Log2FactorWidthBound(int ctw) {
+  return (ctw + 2.0) * std::exp2(ctw + 1);
+}
+
+double Log2FiwBound(int ctw) { return 2.0 * Log2FactorWidthBound(ctw); }
+
+CtwBounds CircuitTreewidthBounds(const BoolFunc& f) {
+  CTSDD_CHECK_GE(f.num_vars(), 1);
+  CTSDD_CHECK_LE(f.num_vars(), 5);
+  CtwBounds bounds;
+  // Upper bound: treewidth of the best compiled C_{F,T}.
+  int best_upper = -1;
+  int best_fw = -1;
+  ForEachVtree(f.vars(), [&](const Vtree& vt) {
+    const FactorCompilation comp = CompileFactorNnf(f, vt);
+    int tw;
+    if (comp.circuit.num_gates() <= kMaxExactVertices) {
+      tw = ExactCircuitTreewidth(comp.circuit).value();
+    } else {
+      tw = HeuristicCircuitTreewidth(comp.circuit);
+    }
+    if (best_upper < 0 || tw < best_upper) best_upper = tw;
+    if (best_fw < 0 || comp.fw < best_fw) best_fw = comp.fw;
+    return true;
+  });
+  bounds.upper = best_upper;
+  // Lower bound: invert Lemma 1 on fw(F).
+  int k = 0;
+  while (Log2FactorWidthBound(k) < std::log2(static_cast<double>(best_fw))) {
+    ++k;
+  }
+  bounds.lower = k;
+  CTSDD_CHECK_LE(bounds.lower, bounds.upper);
+  return bounds;
+}
+
+}  // namespace ctsdd

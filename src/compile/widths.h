@@ -1,0 +1,59 @@
+// Width parameters of Boolean functions (Definitions 2, 4, 5) and the
+// quantitative bounds relating them to circuit treewidth:
+//   Lemma 1:  fw(F)  <= 2^{(ctw+2) 2^{ctw+1}}
+//   (22):     fiw(F) <= fw(F)^2
+//   (29):     sdw(F) <= 2^{2 fw(F) + 1}
+//   Prop. 2 / (23), (30):  ctw(F)/3 <= fiw(F), ctw(F)/3 <= sdw(F)
+// The exponential bounds are reported in log2 to stay in double range.
+
+#ifndef CTSDD_COMPILE_WIDTHS_H_
+#define CTSDD_COMPILE_WIDTHS_H_
+
+#include <functional>
+#include <vector>
+
+#include "func/bool_func.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+
+// fw(F, T) = max over vtree nodes v of |factors(F, X_v)| (Definition 2).
+int FactorWidth(const BoolFunc& f, const Vtree& vtree);
+
+// Enumerates every vtree over `vars` (all leaf permutations x all binary
+// shapes); n! * Catalan(n-1) trees, so n <= 6. Stops early if the callback
+// returns false.
+void ForEachVtree(const std::vector<int>& vars,
+                  const std::function<bool(const Vtree&)>& callback);
+
+// Exact fw(F) (Definition 2, minimized over vtrees); requires <= 6 vars.
+int MinFactorWidthOverVtrees(const BoolFunc& f);
+
+// Exact fiw(F) (Definition 4) over all vtrees; requires <= 6 vars.
+int MinFiwOverVtrees(const BoolFunc& f);
+
+// Exact sdw(F) (Definition 5) over all vtrees; requires <= 6 vars.
+int MinSdwOverVtrees(const BoolFunc& f);
+
+// log2 of the Lemma 1 bound on fw given circuit treewidth.
+double Log2FactorWidthBound(int ctw);
+
+// log2 of the (22) bound on fiw given circuit treewidth.
+double Log2FiwBound(int ctw);
+
+// Effective bounds on ctw(F) — the executable face of Result 2 (the
+// paper's exact procedure is Seese's MSO decidability, astronomically
+// infeasible). Upper bound: the treewidth of the compiled C_{F,T*} over
+// the best vtree (Prop. 2 guarantees <= 3 fiw(F)). Lower bound: the
+// smallest k whose Lemma 1 bound 2^{(k+2)2^{k+1}} reaches fw(F) — weak
+// (the bound is triple exponential) but sound. Requires <= 5 variables
+// (vtree enumeration) for the exact minimization.
+struct CtwBounds {
+  int lower = 0;
+  int upper = 0;
+};
+CtwBounds CircuitTreewidthBounds(const BoolFunc& f);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_COMPILE_WIDTHS_H_

@@ -1,0 +1,75 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+int Database::AddRelation(const std::string& name, int arity) {
+  CTSDD_CHECK_GE(arity, 1);
+  CTSDD_CHECK(index_.find(name) == index_.end())
+      << "duplicate relation " << name;
+  const int idx = num_relations();
+  names_.push_back(name);
+  arities_.push_back(arity);
+  tuples_.emplace_back();
+  index_.emplace(name, idx);
+  return idx;
+}
+
+int Database::RelationIndex(const std::string& name) const {
+  const auto it = index_.find(name);
+  CTSDD_CHECK(it != index_.end()) << "unknown relation " << name;
+  return it->second;
+}
+
+int Database::AddTuple(const std::string& relation, std::vector<int> values,
+                       double prob) {
+  const int rel = RelationIndex(relation);
+  CTSDD_CHECK_EQ(static_cast<int>(values.size()), arities_[rel]);
+  CTSDD_CHECK_GE(prob, 0.0);
+  CTSDD_CHECK_LE(prob, 1.0);
+  CTSDD_CHECK_EQ(FindTuple(relation, values), -1) << "duplicate tuple";
+  DbTuple tuple;
+  tuple.id = num_tuples();
+  tuple.values = std::move(values);
+  tuple.prob = prob;
+  tuples_[rel].push_back(tuple);
+  tuple_probs_.push_back(prob);
+  return tuple.id;
+}
+
+bool Database::HasRelation(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+int Database::RelationArity(const std::string& name) const {
+  return arities_[RelationIndex(name)];
+}
+
+const std::vector<DbTuple>& Database::TuplesOf(
+    const std::string& name) const {
+  return tuples_[RelationIndex(name)];
+}
+
+int Database::FindTuple(const std::string& relation,
+                        const std::vector<int>& values) const {
+  for (const DbTuple& t : tuples_[RelationIndex(relation)]) {
+    if (t.values == values) return t.id;
+  }
+  return -1;
+}
+
+std::vector<int> Database::ActiveDomain() const {
+  std::set<int> domain;
+  for (const auto& rel : tuples_) {
+    for (const DbTuple& t : rel) {
+      domain.insert(t.values.begin(), t.values.end());
+    }
+  }
+  return std::vector<int>(domain.begin(), domain.end());
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,63 @@
+// Tuple-independent probabilistic databases (Section 1; Suciu et al.).
+//
+// Every tuple is a Boolean variable of query lineages; tuple ids are dense
+// and double as the global variable ids used by circuits, OBDDs, and SDDs.
+
+#ifndef CTSDD_DB_DATABASE_H_
+#define CTSDD_DB_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ctsdd {
+
+// Constants of the active domain are plain ints.
+struct DbTuple {
+  int id = -1;  // tuple id == lineage Boolean variable id
+  std::vector<int> values;
+  double prob = 0.5;
+};
+
+class Database {
+ public:
+  // Declares a relation; returns its index. Names must be unique.
+  int AddRelation(const std::string& name, int arity);
+
+  // Inserts a tuple (duplicates rejected); returns the tuple id.
+  int AddTuple(const std::string& relation, std::vector<int> values,
+               double prob);
+
+  int num_relations() const { return static_cast<int>(names_.size()); }
+  int num_tuples() const { return static_cast<int>(tuple_probs_.size()); }
+
+  bool HasRelation(const std::string& name) const;
+  int RelationArity(const std::string& name) const;
+  const std::vector<DbTuple>& TuplesOf(const std::string& name) const;
+
+  // Tuple id of relation(values), or -1 if absent.
+  int FindTuple(const std::string& relation,
+                const std::vector<int>& values) const;
+
+  double TupleProb(int tuple_id) const { return tuple_probs_[tuple_id]; }
+  // Probabilities indexed by tuple id.
+  const std::vector<double>& tuple_probs() const { return tuple_probs_; }
+
+  // All constants appearing in tuples, sorted.
+  std::vector<int> ActiveDomain() const;
+
+ private:
+  int RelationIndex(const std::string& name) const;
+
+  std::vector<std::string> names_;
+  std::vector<int> arities_;
+  std::vector<std::vector<DbTuple>> tuples_;
+  std::map<std::string, int> index_;
+  std::vector<double> tuple_probs_;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_DB_DATABASE_H_

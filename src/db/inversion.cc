@@ -1,0 +1,156 @@
+#include "db/inversion.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace ctsdd {
+namespace {
+
+// at(x): indices of atoms of `cq` containing variable x.
+std::map<int, std::set<int>> AtomSets(const ConjunctiveQuery& cq) {
+  std::map<int, std::set<int>> at;
+  for (size_t a = 0; a < cq.atoms.size(); ++a) {
+    for (int arg : cq.atoms[a].args) {
+      if (!IsConstantTerm(arg)) at[arg].insert(static_cast<int>(a));
+    }
+  }
+  return at;
+}
+
+enum class PairType { kEqual, kGreater, kLess, kIncomparable };
+
+PairType Compare(const std::set<int>& ax, const std::set<int>& ay) {
+  const bool x_in_y =
+      std::includes(ay.begin(), ay.end(), ax.begin(), ax.end());
+  const bool y_in_x =
+      std::includes(ax.begin(), ax.end(), ay.begin(), ay.end());
+  if (x_in_y && y_in_x) return PairType::kEqual;
+  if (y_in_x) return PairType::kGreater;  // at(x) ⊋ at(y)
+  if (x_in_y) return PairType::kLess;     // at(x) ⊊ at(y)
+  return PairType::kIncomparable;
+}
+
+// A node of the unification graph: a relation with an ordered position
+// pair carrying the (x, y) variable pair.
+using PosPair = std::tuple<std::string, int, int>;
+
+struct Occurrence {
+  PosPair node;
+  PairType type;
+  int disjunct;
+  int x;  // variable at the first position
+  int y;  // variable at the second position
+};
+
+std::vector<Occurrence> CollectOccurrences(const Ucq& query) {
+  std::vector<Occurrence> occurrences;
+  for (size_t d = 0; d < query.disjuncts.size(); ++d) {
+    const ConjunctiveQuery& cq = query.disjuncts[d];
+    const auto at = AtomSets(cq);
+    for (const Atom& atom : cq.atoms) {
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        for (size_t j = 0; j < atom.args.size(); ++j) {
+          if (i == j) continue;
+          const int x = atom.args[i];
+          const int y = atom.args[j];
+          if (IsConstantTerm(x) || IsConstantTerm(y) || x == y) continue;
+          occurrences.push_back(
+              {{atom.relation, static_cast<int>(i), static_cast<int>(j)},
+               Compare(at.at(x), at.at(y)),
+               static_cast<int>(d),
+               x,
+               y});
+        }
+      }
+    }
+  }
+  return occurrences;
+}
+
+}  // namespace
+
+bool IsHierarchical(const ConjunctiveQuery& cq) {
+  const auto at = AtomSets(cq);
+  for (auto itx = at.begin(); itx != at.end(); ++itx) {
+    for (auto ity = std::next(itx); ity != at.end(); ++ity) {
+      std::vector<int> common;
+      std::set_intersection(itx->second.begin(), itx->second.end(),
+                            ity->second.begin(), ity->second.end(),
+                            std::back_inserter(common));
+      if (common.empty()) continue;
+      if (Compare(itx->second, ity->second) == PairType::kIncomparable) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsHierarchicalUcq(const Ucq& query) {
+  for (const ConjunctiveQuery& cq : query.disjuncts) {
+    if (!IsHierarchical(cq)) return false;
+  }
+  return true;
+}
+
+int FindInversionLength(const Ucq& query) {
+  const std::vector<Occurrence> occurrences = CollectOccurrences(query);
+  // A variable pair straddling incomparable atom sets inside one atom is
+  // an immediate (length-1) inversion witness.
+  for (const Occurrence& occ : occurrences) {
+    if (occ.type == PairType::kIncomparable) return 1;
+  }
+  // Unification edges: two occurrences in the same disjunct carrying the
+  // same (x, y) variable pair link their relation-position nodes.
+  std::map<PosPair, std::vector<PosPair>> edges;
+  for (size_t i = 0; i < occurrences.size(); ++i) {
+    for (size_t j = i + 1; j < occurrences.size(); ++j) {
+      const Occurrence& a = occurrences[i];
+      const Occurrence& b = occurrences[j];
+      if (a.disjunct != b.disjunct || a.node == b.node) continue;
+      if (a.x == b.x && a.y == b.y) {
+        edges[a.node].push_back(b.node);
+        edges[b.node].push_back(a.node);
+      }
+    }
+  }
+  // BFS from every GT-typed node to any LT-typed node.
+  std::set<PosPair> gt_nodes;
+  std::set<PosPair> lt_nodes;
+  for (const Occurrence& occ : occurrences) {
+    if (occ.type == PairType::kGreater) gt_nodes.insert(occ.node);
+    if (occ.type == PairType::kLess) lt_nodes.insert(occ.node);
+  }
+  int best = 0;
+  std::map<PosPair, int> dist;
+  std::queue<PosPair> frontier;
+  for (const PosPair& node : gt_nodes) {
+    dist[node] = 1;
+    frontier.push(node);
+  }
+  while (!frontier.empty()) {
+    const PosPair node = frontier.front();
+    frontier.pop();
+    if (lt_nodes.count(node)) {
+      best = dist[node];
+      break;
+    }
+    const auto it = edges.find(node);
+    if (it == edges.end()) continue;
+    for (const PosPair& next : it->second) {
+      if (!dist.count(next)) {
+        dist[next] = dist[node] + 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return best;
+}
+
+bool HasInversion(const Ucq& query) { return FindInversionLength(query) > 0; }
+
+}  // namespace ctsdd

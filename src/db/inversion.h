@@ -1,0 +1,45 @@
+// Hierarchy and inversion tests for UCQs (Section 4; Dalvi–Suciu 2007).
+//
+// For a conjunctive query, at(x) is the set of atoms containing variable
+// x; the query is *hierarchical* when for every two variables the sets
+// at(x), at(y) are comparable or disjoint. For self-join-free queries,
+// hierarchical = inversion-free = constant-width OBDD lineages (Jha–Suciu).
+//
+// An *inversion* (Dalvi–Suciu) starts from a pair of unifiable atoms
+// where a variable pair flips its hierarchy relation: we detect length-1
+// witnesses by scanning pairs of atoms of the same relation whose
+// positions (i, j) carry, in one occurrence, a "root" variable
+// (at(x) ⊋ at(y)) and in the other a "leaf" variable (at(x) ⊊ at(y)),
+// chained through shared relations for longer inversions. This covers the
+// query families evaluated here (the chain queries of Lemma 7 and all
+// hierarchical baselines); a complete Dalvi–Suciu inversion test over
+// arbitrary UCQ unification paths is documented as out of scope in
+// DESIGN.md.
+
+#ifndef CTSDD_DB_INVERSION_H_
+#define CTSDD_DB_INVERSION_H_
+
+#include "db/query.h"
+
+namespace ctsdd {
+
+// Hierarchical test for one conjunctive query.
+bool IsHierarchical(const ConjunctiveQuery& cq);
+
+// All disjuncts hierarchical.
+bool IsHierarchicalUcq(const Ucq& query);
+
+// Detects an inversion witness: a chain of relations
+// q_0 --R_1-- q_1 --R_2-- ... where some disjunct contains R_i with an
+// (x ⊐ y)-typed occurrence and another contains R_i with an (x ⊏ y)-typed
+// occurrence, possibly chained through disjuncts containing both (the
+// "middle" disjuncts of the chain queries). Returns the inversion length
+// (>= 1) or 0 when no witness is found.
+int FindInversionLength(const Ucq& query);
+
+// Convenience: FindInversionLength(query) > 0.
+bool HasInversion(const Ucq& query);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_DB_INVERSION_H_

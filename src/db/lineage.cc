@@ -1,0 +1,145 @@
+#include "db/lineage.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "circuit/eval.h"
+#include "util/logging.h"
+
+namespace ctsdd {
+
+StatusOr<Circuit> BuildLineage(const Ucq& query, const Database& db) {
+  Circuit circuit;
+  circuit.DeclareVars(db.num_tuples());
+  const std::vector<int> domain = db.ActiveDomain();
+  std::vector<int> or_terms;
+
+  for (const ConjunctiveQuery& cq : query.disjuncts) {
+    for (const Atom& atom : cq.atoms) {
+      if (!db.HasRelation(atom.relation)) {
+        return Status::InvalidArgument("unknown relation " + atom.relation);
+      }
+      if (db.RelationArity(atom.relation) !=
+          static_cast<int>(atom.args.size())) {
+        return Status::InvalidArgument("arity mismatch on " + atom.relation);
+      }
+    }
+    const std::vector<int> vars = cq.Variables();
+    // Enumerate all assignments of the query variables into the active
+    // domain; emit one AND term per satisfying grounding.
+    std::vector<int> assignment(vars.size(), 0);
+    std::function<void(size_t)> enumerate = [&](size_t next) {
+      if (next == vars.size()) {
+        // Check inequalities.
+        auto value_of = [&](int var) {
+          const auto it = std::lower_bound(vars.begin(), vars.end(), var);
+          return domain[assignment[it - vars.begin()]];
+        };
+        for (const Inequality& ineq : cq.inequalities) {
+          if (value_of(ineq.var1) == value_of(ineq.var2)) return;
+        }
+        // Match each atom to a tuple.
+        std::vector<int> tuple_vars;
+        for (const Atom& atom : cq.atoms) {
+          std::vector<int> values;
+          values.reserve(atom.args.size());
+          for (int arg : atom.args) {
+            values.push_back(IsConstantTerm(arg) ? DecodeConstant(arg)
+                                                 : value_of(arg));
+          }
+          const int tuple = db.FindTuple(atom.relation, values);
+          if (tuple < 0) return;  // grounding unmatched: contributes false
+          tuple_vars.push_back(tuple);
+        }
+        std::sort(tuple_vars.begin(), tuple_vars.end());
+        tuple_vars.erase(std::unique(tuple_vars.begin(), tuple_vars.end()),
+                         tuple_vars.end());
+        std::vector<int> gates;
+        gates.reserve(tuple_vars.size());
+        for (int t : tuple_vars) gates.push_back(circuit.VarGate(t));
+        or_terms.push_back(gates.size() == 1
+                               ? gates[0]
+                               : circuit.AndGate(std::move(gates)));
+        return;
+      }
+      for (size_t d = 0; d < domain.size(); ++d) {
+        assignment[next] = static_cast<int>(d);
+        enumerate(next + 1);
+      }
+    };
+    if (vars.empty()) {
+      enumerate(0);
+    } else if (!domain.empty()) {
+      enumerate(0);
+    }
+  }
+
+  if (or_terms.empty()) {
+    circuit.SetOutput(circuit.ConstGate(false));
+  } else if (or_terms.size() == 1) {
+    circuit.SetOutput(or_terms[0]);
+  } else {
+    circuit.SetOutput(circuit.OrGate(std::move(or_terms)));
+  }
+  return circuit;
+}
+
+StatusOr<double> BruteForceQueryProbability(const Ucq& query,
+                                            const Database& db) {
+  auto lineage = BuildLineage(query, db);
+  CTSDD_RETURN_IF_ERROR(lineage.status());
+  const Circuit& circuit = lineage.value();
+  const int n = db.num_tuples();
+  if (n > 24) {
+    return Status::ResourceExhausted("too many tuples for brute force");
+  }
+  double total = 0.0;
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<bool> present(n);
+    double weight = 1.0;
+    for (int t = 0; t < n; ++t) {
+      present[t] = (mask >> t) & 1;
+      weight *= present[t] ? db.TupleProb(t) : 1.0 - db.TupleProb(t);
+    }
+    if (weight == 0.0) continue;
+    if (Evaluate(circuit, present)) total += weight;
+  }
+  return total;
+}
+
+Database ChainDatabase(int k, int n, double prob) {
+  CTSDD_CHECK_GE(k, 1);
+  CTSDD_CHECK_GE(n, 1);
+  Database db;
+  db.AddRelation("R", 1);
+  for (int i = 1; i <= k; ++i) {
+    db.AddRelation("S" + std::to_string(i), 2);
+  }
+  db.AddRelation("T", 1);
+  for (int l = 1; l <= n; ++l) db.AddTuple("R", {l}, prob);
+  for (int i = 1; i <= k; ++i) {
+    for (int l = 1; l <= n; ++l) {
+      for (int m = 1; m <= n; ++m) {
+        db.AddTuple("S" + std::to_string(i), {l, m}, prob);
+      }
+    }
+  }
+  for (int m = 1; m <= n; ++m) db.AddTuple("T", {m}, prob);
+  return db;
+}
+
+Database BipartiteRstDatabase(int n, double prob) {
+  CTSDD_CHECK_GE(n, 1);
+  Database db;
+  db.AddRelation("R", 1);
+  db.AddRelation("S", 2);
+  db.AddRelation("T", 1);
+  for (int l = 1; l <= n; ++l) db.AddTuple("R", {l}, prob);
+  for (int l = 1; l <= n; ++l) {
+    for (int m = 1; m <= n; ++m) db.AddTuple("S", {l, m}, prob);
+  }
+  for (int m = 1; m <= n; ++m) db.AddTuple("T", {m}, prob);
+  return db;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,42 @@
+// Lineage construction: the Boolean function L(Q, D) over the tuples of D
+// accepting exactly the subdatabases satisfying Q (Section 1 / Section 4).
+//
+// The lineage is produced as a monotone circuit (OR over disjuncts and
+// groundings of ANDs over matched tuples), computable in polynomial time
+// for a fixed query — the object the paper's compilation pipeline starts
+// from.
+
+#ifndef CTSDD_DB_LINEAGE_H_
+#define CTSDD_DB_LINEAGE_H_
+
+#include "circuit/circuit.h"
+#include "db/database.h"
+#include "db/query.h"
+#include "util/status.h"
+
+namespace ctsdd {
+
+// Builds L(Q, D). The circuit's variables are tuple ids of `db` (it
+// declares db.num_tuples() variables). Fails on unknown relations or
+// arity mismatches.
+StatusOr<Circuit> BuildLineage(const Ucq& query, const Database& db);
+
+// Ground-truth query probability by brute force over the lineage
+// variables (requires few enough tuples; for tests).
+StatusOr<double> BruteForceQueryProbability(const Ucq& query,
+                                            const Database& db);
+
+// --- Database generators for the Section 4 experiments ---
+
+// The bipartite chain database for InversionChainUcq(k) over domain [n]:
+// R(l), S_i(l, m), T(m) for all l, m in [n], all with probability `prob`.
+// Lineages of the chain query over this database restrict to the
+// H^i_{k,n} functions (Lemma 7).
+Database ChainDatabase(int k, int n, double prob = 0.5);
+
+// Bipartite database for queries over R(x), S(x,y), T(y) with domain [n].
+Database BipartiteRstDatabase(int n, double prob = 0.5);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_DB_LINEAGE_H_

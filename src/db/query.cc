@@ -1,0 +1,132 @@
+#include "db/query.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ctsdd {
+
+std::vector<int> ConjunctiveQuery::Variables() const {
+  std::set<int> vars;
+  for (const Atom& atom : atoms) {
+    for (int arg : atom.args) {
+      if (!IsConstantTerm(arg)) vars.insert(arg);
+    }
+  }
+  for (const Inequality& ineq : inequalities) {
+    vars.insert(ineq.var1);
+    vars.insert(ineq.var2);
+  }
+  return std::vector<int>(vars.begin(), vars.end());
+}
+
+bool ConjunctiveQuery::HasSelfJoin() const {
+  std::set<std::string> seen;
+  for (const Atom& atom : atoms) {
+    if (!seen.insert(atom.relation).second) return true;
+  }
+  return false;
+}
+
+bool Ucq::HasInequalities() const {
+  for (const ConjunctiveQuery& cq : disjuncts) {
+    if (!cq.inequalities.empty()) return true;
+  }
+  return false;
+}
+
+std::string Ucq::DebugString() const {
+  std::ostringstream os;
+  for (size_t d = 0; d < disjuncts.size(); ++d) {
+    if (d) os << " v ";
+    const ConjunctiveQuery& cq = disjuncts[d];
+    os << "(";
+    bool first = true;
+    for (const Atom& atom : cq.atoms) {
+      if (!first) os << ", ";
+      first = false;
+      os << atom.relation << "(";
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        if (i) os << ",";
+        if (IsConstantTerm(atom.args[i])) {
+          os << "'" << DecodeConstant(atom.args[i]) << "'";
+        } else {
+          os << "v" << atom.args[i];
+        }
+      }
+      os << ")";
+    }
+    for (const Inequality& ineq : cq.inequalities) {
+      os << ", v" << ineq.var1 << "!=v" << ineq.var2;
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+Ucq InversionChainUcq(int k) {
+  Ucq q;
+  // Variables 0 (x) and 1 (y), fresh per disjunct semantically (each CQ is
+  // existentially closed independently).
+  {
+    ConjunctiveQuery first;
+    first.atoms.push_back({"R", {0}});
+    first.atoms.push_back({"S1", {0, 1}});
+    q.disjuncts.push_back(first);
+  }
+  for (int i = 1; i < k; ++i) {
+    ConjunctiveQuery middle;
+    middle.atoms.push_back({"S" + std::to_string(i), {0, 1}});
+    middle.atoms.push_back({"S" + std::to_string(i + 1), {0, 1}});
+    q.disjuncts.push_back(middle);
+  }
+  {
+    ConjunctiveQuery last;
+    last.atoms.push_back({"S" + std::to_string(k), {0, 1}});
+    last.atoms.push_back({"T", {1}});
+    q.disjuncts.push_back(last);
+  }
+  return q;
+}
+
+Ucq HierarchicalRSQuery() {
+  Ucq q;
+  ConjunctiveQuery cq;
+  cq.atoms.push_back({"R", {0}});
+  cq.atoms.push_back({"S", {0, 1}});
+  q.disjuncts.push_back(cq);
+  return q;
+}
+
+Ucq NonHierarchicalH0Query() {
+  Ucq q;
+  ConjunctiveQuery cq;
+  cq.atoms.push_back({"R", {0}});
+  cq.atoms.push_back({"S", {0, 1}});
+  cq.atoms.push_back({"T", {1}});
+  q.disjuncts.push_back(cq);
+  return q;
+}
+
+Ucq DistinctPairQuery() {
+  Ucq q;
+  ConjunctiveQuery cq;
+  cq.atoms.push_back({"R", {0}});
+  cq.atoms.push_back({"S", {1}});
+  cq.inequalities.push_back({0, 1});
+  q.disjuncts.push_back(cq);
+  return q;
+}
+
+Ucq InequalityExampleQuery() {
+  Ucq q;
+  ConjunctiveQuery cq;
+  cq.atoms.push_back({"R", {0}});
+  cq.atoms.push_back({"S", {0, 1}});
+  cq.atoms.push_back({"R", {2}});
+  cq.inequalities.push_back({0, 2});
+  q.disjuncts.push_back(cq);
+  return q;
+}
+
+}  // namespace ctsdd

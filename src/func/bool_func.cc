@@ -1,0 +1,293 @@
+#include "func/bool_func.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "circuit/eval.h"
+#include "util/logging.h"
+
+namespace ctsdd {
+namespace {
+
+void CheckVarsSortedUnique(const std::vector<int>& vars) {
+  CTSDD_CHECK_LE(static_cast<int>(vars.size()), BoolFunc::kMaxVars)
+      << "BoolFunc limited to " << BoolFunc::kMaxVars << " variables";
+  for (size_t i = 0; i < vars.size(); ++i) {
+    CTSDD_CHECK_GE(vars[i], 0);
+    if (i > 0) CTSDD_CHECK_LT(vars[i - 1], vars[i]) << "vars must be sorted";
+  }
+}
+
+}  // namespace
+
+BoolFunc::BoolFunc() : BoolFunc({}, std::vector<uint64_t>(1, 0)) {}
+
+BoolFunc::BoolFunc(std::vector<int> vars, std::vector<uint64_t> words)
+    : vars_(std::move(vars)), words_(std::move(words)) {
+  CheckVarsSortedUnique(vars_);
+  CTSDD_CHECK_EQ(words_.size(), NumWords());
+  MaskTail();
+}
+
+void BoolFunc::MaskTail() {
+  const uint32_t bits = table_size();
+  if (bits % 64 != 0) {
+    words_.back() &= (1ULL << (bits % 64)) - 1;
+  }
+}
+
+BoolFunc BoolFunc::Constant(bool value) {
+  return BoolFunc({}, std::vector<uint64_t>(1, value ? 1 : 0));
+}
+
+BoolFunc BoolFunc::ConstantOver(std::vector<int> vars, bool value) {
+  std::sort(vars.begin(), vars.end());
+  CheckVarsSortedUnique(vars);
+  const size_t words = ((1u << vars.size()) + 63) / 64;
+  return BoolFunc(std::move(vars),
+                  std::vector<uint64_t>(words, value ? ~0ULL : 0ULL));
+}
+
+BoolFunc BoolFunc::Literal(int var, bool positive) {
+  // Over {var}: table bit 0 = F(0), bit 1 = F(1).
+  const uint64_t table = positive ? 0b10 : 0b01;
+  return BoolFunc({var}, std::vector<uint64_t>(1, table));
+}
+
+BoolFunc BoolFunc::FromTable(std::vector<int> vars,
+                             const std::vector<bool>& table) {
+  std::sort(vars.begin(), vars.end());
+  CheckVarsSortedUnique(vars);
+  CTSDD_CHECK_EQ(table.size(), 1u << vars.size());
+  std::vector<uint64_t> words((table.size() + 63) / 64, 0);
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (table[i]) words[i / 64] |= (1ULL << (i % 64));
+  }
+  return BoolFunc(std::move(vars), std::move(words));
+}
+
+BoolFunc BoolFunc::FromCircuit(const Circuit& circuit) {
+  return FromCircuitOver(circuit, circuit.Vars());
+}
+
+BoolFunc BoolFunc::FromCircuitOver(const Circuit& circuit,
+                                   std::vector<int> vars) {
+  std::sort(vars.begin(), vars.end());
+  CheckVarsSortedUnique(vars);
+  // Every circuit variable must be covered.
+  for (int v : circuit.Vars()) {
+    CTSDD_CHECK(std::binary_search(vars.begin(), vars.end(), v))
+        << "circuit variable x" << v << " missing from BoolFunc var set";
+  }
+  const int n = static_cast<int>(vars.size());
+  const int max_var = circuit.num_vars();
+  std::vector<uint64_t> words(((1u << n) + 63) / 64, 0);
+  std::vector<bool> assignment(std::max(
+      max_var, vars.empty() ? 0 : vars.back() + 1));
+  for (uint32_t index = 0; index < (1u << n); ++index) {
+    for (int i = 0; i < n; ++i) {
+      assignment[vars[i]] = (index >> i) & 1;
+    }
+    if (Evaluate(circuit, assignment)) {
+      words[index / 64] |= (1ULL << (index % 64));
+    }
+  }
+  return BoolFunc(std::move(vars), std::move(words));
+}
+
+BoolFunc BoolFunc::Random(std::vector<int> vars, Rng* rng) {
+  std::sort(vars.begin(), vars.end());
+  CheckVarsSortedUnique(vars);
+  std::vector<uint64_t> words(((1u << vars.size()) + 63) / 64);
+  for (auto& w : words) w = rng->Next64();
+  return BoolFunc(std::move(vars), std::move(words));
+}
+
+bool BoolFunc::EvalIndex(uint32_t index) const {
+  CTSDD_CHECK_LT(index, table_size());
+  return (words_[index / 64] >> (index % 64)) & 1;
+}
+
+bool BoolFunc::Eval(const std::vector<bool>& values) const {
+  CTSDD_CHECK_EQ(values.size(), vars_.size());
+  uint32_t index = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i]) index |= (1u << i);
+  }
+  return EvalIndex(index);
+}
+
+bool BoolFunc::DependsOnPosition(int position) const {
+  CTSDD_CHECK_GE(position, 0);
+  CTSDD_CHECK_LT(position, num_vars());
+  const uint32_t bit = 1u << position;
+  for (uint32_t index = 0; index < table_size(); ++index) {
+    if ((index & bit) == 0 && EvalIndex(index) != EvalIndex(index | bit)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t BoolFunc::CountModels() const {
+  uint64_t count = 0;
+  for (uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+bool BoolFunc::IsConstantFalse() const { return CountModels() == 0; }
+
+bool BoolFunc::IsConstantTrue() const {
+  return CountModels() == table_size();
+}
+
+int64_t BoolFunc::AnyModelIndex() const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<int64_t>(w) * 64 + std::countr_zero(words_[w]);
+    }
+  }
+  return -1;
+}
+
+BoolFunc BoolFunc::Restrict(int var, bool value) const {
+  const auto it = std::lower_bound(vars_.begin(), vars_.end(), var);
+  CTSDD_CHECK(it != vars_.end() && *it == var)
+      << "Restrict: variable not present";
+  const int pos = static_cast<int>(it - vars_.begin());
+  std::vector<int> new_vars = vars_;
+  new_vars.erase(new_vars.begin() + pos);
+  const uint32_t new_size = table_size() >> 1;
+  std::vector<uint64_t> words((new_size + 63) / 64, 0);
+  const uint32_t low_mask = (1u << pos) - 1;
+  for (uint32_t j = 0; j < new_size; ++j) {
+    // Insert `value` at bit `pos` of j to get the source index.
+    const uint32_t index = ((j & ~low_mask) << 1) | (j & low_mask) |
+                           (static_cast<uint32_t>(value) << pos);
+    if (EvalIndex(index)) words[j / 64] |= (1ULL << (j % 64));
+  }
+  return BoolFunc(std::move(new_vars), std::move(words));
+}
+
+BoolFunc BoolFunc::ExpandTo(const std::vector<int>& new_vars) const {
+  std::vector<int> sorted = new_vars;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  CheckVarsSortedUnique(sorted);
+  CTSDD_CHECK(std::includes(sorted.begin(), sorted.end(), vars_.begin(),
+                            vars_.end()))
+      << "ExpandTo target must be a superset";
+  if (sorted == vars_) return *this;
+  // position_in_old[i] = index into vars_ for sorted[i], or -1 if new.
+  std::vector<int> position_in_old(sorted.size(), -1);
+  for (size_t i = 0, j = 0; i < sorted.size(); ++i) {
+    if (j < vars_.size() && vars_[j] == sorted[i]) {
+      position_in_old[i] = static_cast<int>(j++);
+    }
+  }
+  const int n = static_cast<int>(sorted.size());
+  std::vector<uint64_t> words(((1u << n) + 63) / 64, 0);
+  for (uint32_t index = 0; index < (1u << n); ++index) {
+    uint32_t old_index = 0;
+    for (int i = 0; i < n; ++i) {
+      if (position_in_old[i] >= 0 && ((index >> i) & 1)) {
+        old_index |= (1u << position_in_old[i]);
+      }
+    }
+    if (EvalIndex(old_index)) words[index / 64] |= (1ULL << (index % 64));
+  }
+  return BoolFunc(std::move(sorted), std::move(words));
+}
+
+BoolFunc BoolFunc::Shrink() const {
+  std::vector<int> needed;
+  BoolFunc current = *this;
+  // Repeatedly drop one irrelevant variable (Restrict on an irrelevant
+  // variable does not change the function).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int pos = 0; pos < current.num_vars(); ++pos) {
+      if (!current.DependsOnPosition(pos)) {
+        current = current.Restrict(current.vars()[pos], false);
+        changed = true;
+        break;
+      }
+    }
+  }
+  (void)needed;
+  return current;
+}
+
+BoolFunc BoolFunc::operator~() const {
+  BoolFunc out = *this;
+  for (auto& w : out.words_) w = ~w;
+  out.MaskTail();
+  return out;
+}
+
+namespace {
+
+template <typename Op>
+BoolFunc Combine(const BoolFunc& a, const BoolFunc& b, Op op) {
+  std::vector<int> all = a.vars();
+  all.insert(all.end(), b.vars().begin(), b.vars().end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  const BoolFunc ea = a.ExpandTo(all);
+  const BoolFunc eb = b.ExpandTo(all);
+  std::vector<bool> table(ea.table_size());
+  for (uint32_t i = 0; i < ea.table_size(); ++i) {
+    table[i] = op(ea.EvalIndex(i), eb.EvalIndex(i));
+  }
+  return BoolFunc::FromTable(all, table);
+}
+
+}  // namespace
+
+BoolFunc operator&(const BoolFunc& a, const BoolFunc& b) {
+  return Combine(a, b, [](bool x, bool y) { return x && y; });
+}
+
+BoolFunc operator|(const BoolFunc& a, const BoolFunc& b) {
+  return Combine(a, b, [](bool x, bool y) { return x || y; });
+}
+
+BoolFunc operator^(const BoolFunc& a, const BoolFunc& b) {
+  return Combine(a, b, [](bool x, bool y) { return x != y; });
+}
+
+bool operator==(const BoolFunc& a, const BoolFunc& b) {
+  return a.vars_ == b.vars_ && a.words_ == b.words_;
+}
+
+uint64_t BoolFunc::Hash() const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL + vars_.size();
+  for (int v : vars_) {
+    h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  for (uint64_t w : words_) {
+    h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string BoolFunc::DebugString() const {
+  std::ostringstream os;
+  os << "BoolFunc(vars={";
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (i) os << ",";
+    os << "x" << vars_[i];
+  }
+  os << "}, table=";
+  for (uint32_t i = 0; i < table_size() && i < 64; ++i) {
+    os << (EvalIndex(i) ? '1' : '0');
+  }
+  if (table_size() > 64) os << "...";
+  os << ")";
+  return os.str();
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,137 @@
+#include "func/factor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+namespace {
+
+// Positions (indices into f.vars()) of the variables in `y`, and the
+// complementary positions.
+void SplitPositions(const BoolFunc& f, const std::vector<int>& y,
+                    std::vector<int>* y_positions,
+                    std::vector<int>* rest_positions) {
+  std::vector<int> sorted_y = y;
+  std::sort(sorted_y.begin(), sorted_y.end());
+  for (int i = 0; i < f.num_vars(); ++i) {
+    if (std::binary_search(sorted_y.begin(), sorted_y.end(), f.vars()[i])) {
+      y_positions->push_back(i);
+    } else {
+      rest_positions->push_back(i);
+    }
+  }
+}
+
+// Packs the bits of `index` located at `positions` into a compact index.
+uint32_t ExtractBits(uint32_t index, const std::vector<int>& positions) {
+  uint32_t out = 0;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    out |= ((index >> positions[i]) & 1u) << i;
+  }
+  return out;
+}
+
+}  // namespace
+
+FactorSet ComputeFactors(const BoolFunc& f, const std::vector<int>& y) {
+  std::vector<int> y_pos;
+  std::vector<int> rest_pos;
+  SplitPositions(f, y, &y_pos, &rest_pos);
+
+  FactorSet out;
+  for (int p : y_pos) out.y_vars.push_back(f.vars()[p]);
+  std::vector<int> rest_vars;
+  for (int p : rest_pos) rest_vars.push_back(f.vars()[p]);
+
+  const uint32_t y_size = 1u << y_pos.size();
+  const uint32_t rest_size = 1u << rest_pos.size();
+
+  // cof_table[a] = the truth table (as bool vector) of the cofactor induced
+  // by assignment index a of the Y-part.
+  std::vector<std::vector<bool>> cof_table(y_size,
+                                           std::vector<bool>(rest_size));
+  for (uint32_t index = 0; index < f.table_size(); ++index) {
+    const uint32_t a = ExtractBits(index, y_pos);
+    const uint32_t r = ExtractBits(index, rest_pos);
+    cof_table[a][r] = f.EvalIndex(index);
+  }
+
+  // Group assignments by identical cofactor table, in first-seen order.
+  std::map<std::vector<bool>, int> id_of;
+  out.factor_of_index.assign(y_size, -1);
+  for (uint32_t a = 0; a < y_size; ++a) {
+    auto [it, inserted] =
+        id_of.try_emplace(cof_table[a], static_cast<int>(id_of.size()));
+    out.factor_of_index[a] = it->second;
+    if (inserted) {
+      out.cofactors.push_back(BoolFunc::FromTable(rest_vars, cof_table[a]));
+    }
+  }
+
+  // Build the factor functions over y_vars.
+  const int num_factors = static_cast<int>(out.cofactors.size());
+  std::vector<std::vector<bool>> factor_tables(
+      num_factors, std::vector<bool>(y_size, false));
+  for (uint32_t a = 0; a < y_size; ++a) {
+    factor_tables[out.factor_of_index[a]][a] = true;
+  }
+  out.factors.reserve(num_factors);
+  for (int i = 0; i < num_factors; ++i) {
+    out.factors.push_back(BoolFunc::FromTable(out.y_vars, factor_tables[i]));
+  }
+  return out;
+}
+
+int ImplicantTarget(const BoolFunc& f, const FactorSet& fy, int i,
+                    const FactorSet& fyp, int j, const FactorSet& fu) {
+  CTSDD_CHECK_GE(i, 0);
+  CTSDD_CHECK_LT(i, fy.size());
+  CTSDD_CHECK_GE(j, 0);
+  CTSDD_CHECK_LT(j, fyp.size());
+  // Sample models of G_i and G'_j, combine into an assignment index over
+  // fu.y_vars, and look up its factor (well defined by Lemma 2).
+  const int64_t bi = fy.factors[i].AnyModelIndex();
+  const int64_t bj = fyp.factors[j].AnyModelIndex();
+  CTSDD_CHECK_GE(bi, 0) << "factors are nonempty by construction";
+  CTSDD_CHECK_GE(bj, 0);
+  uint32_t combined = 0;
+  for (size_t p = 0; p < fu.y_vars.size(); ++p) {
+    const int var = fu.y_vars[p];
+    const auto iy =
+        std::lower_bound(fy.y_vars.begin(), fy.y_vars.end(), var);
+    bool bit;
+    if (iy != fy.y_vars.end() && *iy == var) {
+      bit = (bi >> (iy - fy.y_vars.begin())) & 1;
+    } else {
+      const auto ip =
+          std::lower_bound(fyp.y_vars.begin(), fyp.y_vars.end(), var);
+      CTSDD_CHECK(ip != fyp.y_vars.end() && *ip == var)
+          << "Y ∪ Y' must cover fu.y_vars";
+      bit = (bj >> (ip - fyp.y_vars.begin())) & 1;
+    }
+    if (bit) combined |= (1u << p);
+  }
+  (void)f;
+  return fu.factor_of_index[combined];
+}
+
+std::vector<std::vector<std::pair<int, int>>> AllImplicants(
+    const BoolFunc& f, const FactorSet& fy, const FactorSet& fyp,
+    const FactorSet& fu) {
+  std::vector<std::vector<std::pair<int, int>>> result(fu.size());
+  for (int i = 0; i < fy.size(); ++i) {
+    for (int j = 0; j < fyp.size(); ++j) {
+      const int h = ImplicantTarget(f, fy, i, fyp, j, fu);
+      result[h].emplace_back(i, j);
+    }
+  }
+  return result;
+}
+
+int CountFactors(const BoolFunc& f, const std::vector<int>& y) {
+  return ComputeFactors(f, y).size();
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,62 @@
+// Factors of a Boolean function (Definition 1 of the paper) and factorized
+// implicants (Definition 3).
+//
+// For F = F(X) and a variable set Y, the assignments of Y ∩ X are grouped
+// by the cofactor of F they induce; each group, read as a Boolean function
+// G(Y ∩ X), is a *factor* of F relative to Y. The factors partition
+// {0,1}^{Y∩X} (equation (10)). Lemma 2 shows the rectangle of two factors
+// G(Y), G'(Y') is contained in exactly one factor H of F relative to
+// Y ∪ Y' or disjoint from all models: the pairs landing inside H are H's
+// *factorized implicants*, and they form a disjoint rectangle cover of H
+// (Lemma 3). These sets drive the canonical compilations of Section 3.2.
+
+#ifndef CTSDD_FUNC_FACTOR_H_
+#define CTSDD_FUNC_FACTOR_H_
+
+#include <vector>
+
+#include "func/bool_func.h"
+
+namespace ctsdd {
+
+// The set factors(F, Y), together with the induced-cofactor bookkeeping.
+struct FactorSet {
+  std::vector<int> y_vars;  // Y ∩ X, sorted
+
+  // factors[i] is G_i over y_vars; cofactors[i] is the cofactor of F
+  // (over X \ Y) induced by every model of G_i. Factor order is by the
+  // smallest assignment index inducing each cofactor (deterministic).
+  std::vector<BoolFunc> factors;
+  std::vector<BoolFunc> cofactors;
+
+  // factor_of_index[a] = i such that assignment index a (over y_vars, in
+  // BoolFunc index convention) models G_i.
+  std::vector<int> factor_of_index;
+
+  int size() const { return static_cast<int>(factors.size()); }
+};
+
+// Computes factors(F, Y). Variables of `y` outside F's variable set are
+// ignored, per equation (9).
+FactorSet ComputeFactors(const BoolFunc& f, const std::vector<int>& y);
+
+// Given disjoint variable sets Y, Y' (both relative to F) with factor sets
+// `fy`, `fyp`, and the factor set `fu` of F relative to Y ∪ Y': returns the
+// index (into fu.factors) of the unique factor H whose models contain the
+// rectangle sat(G_i) x sat(G'_j). Lemma 2 guarantees uniqueness.
+int ImplicantTarget(const BoolFunc& f, const FactorSet& fy, int i,
+                    const FactorSet& fyp, int j, const FactorSet& fu);
+
+// All factorized implicants of every factor in `fu`:
+// result[h] = list of (i, j) with rect(G_i, G'_j) contained in fu factor h.
+std::vector<std::vector<std::pair<int, int>>> AllImplicants(
+    const BoolFunc& f, const FactorSet& fy, const FactorSet& fyp,
+    const FactorSet& fu);
+
+// |factors(F, Y)| without materializing the factor functions (used by the
+// width computations, which only need counts).
+int CountFactors(const BoolFunc& f, const std::vector<int>& y);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_FUNC_FACTOR_H_

@@ -1,0 +1,129 @@
+#include "graph/elimination.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+namespace {
+
+// Number of fill edges eliminating v would create in `g`.
+int FillIn(const Graph& g, int v) {
+  const auto& nbrs = g.Neighbors(v);
+  int fill = 0;
+  for (auto it = nbrs.begin(); it != nbrs.end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != nbrs.end(); ++jt) {
+      if (!g.HasEdge(*it, *jt)) ++fill;
+    }
+  }
+  return fill;
+}
+
+}  // namespace
+
+std::vector<int> GreedyEliminationOrder(const Graph& graph,
+                                        EliminationHeuristic heuristic,
+                                        Rng* rng) {
+  Graph g = graph;  // working copy; elimination mutates it
+  const int n = g.num_vertices();
+  std::vector<bool> eliminated(n, false);
+  std::vector<int> order;
+  order.reserve(n);
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    long best_score = std::numeric_limits<long>::max();
+    int num_tied = 0;
+    for (int v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      const long score = heuristic == EliminationHeuristic::kMinDegree
+                             ? g.Degree(v)
+                             : FillIn(g, v);
+      if (score < best_score) {
+        best_score = score;
+        best = v;
+        num_tied = 1;
+      } else if (score == best_score && rng != nullptr) {
+        // Reservoir sampling over tied candidates.
+        ++num_tied;
+        if (rng->NextBelow(num_tied) == 0) best = v;
+      }
+    }
+    CTSDD_CHECK_GE(best, 0);
+    g.MakeNeighborsClique(best);
+    g.IsolateVertex(best);
+    eliminated[best] = true;
+    order.push_back(best);
+  }
+  return order;
+}
+
+int EliminationOrderWidth(const Graph& graph, const std::vector<int>& order) {
+  Graph g = graph;
+  int width = 0;
+  for (int v : order) {
+    width = std::max(width, g.Degree(v));
+    g.MakeNeighborsClique(v);
+    g.IsolateVertex(v);
+  }
+  return width;
+}
+
+TreeDecomposition DecompositionFromOrder(const Graph& graph,
+                                         const std::vector<int>& order) {
+  const int n = graph.num_vertices();
+  CTSDD_CHECK_EQ(static_cast<int>(order.size()), n);
+  if (n == 0) {
+    TreeDecomposition td;
+    td.AddNode({}, -1);
+    return td;
+  }
+  // Bag of vertex v = {v} union its neighborhood at elimination time.
+  Graph g = graph;
+  std::vector<int> position(n);
+  for (int i = 0; i < n; ++i) position[order[i]] = i;
+  std::vector<std::vector<int>> bags(n);
+  for (int v : order) {
+    bags[v].push_back(v);
+    for (int w : g.Neighbors(v)) bags[v].push_back(w);
+    g.MakeNeighborsClique(v);
+    g.IsolateVertex(v);
+  }
+  // Parent of v's bag: the earliest-eliminated vertex among bag(v) \ {v};
+  // the last eliminated vertex is the root. Build in reverse elimination
+  // order so parents get smaller TreeDecomposition ids than children.
+  TreeDecomposition td;
+  std::vector<int> td_id(n, -1);
+  for (int i = n - 1; i >= 0; --i) {
+    const int v = order[i];
+    int parent_vertex = -1;
+    int best_pos = std::numeric_limits<int>::max();
+    for (int w : bags[v]) {
+      if (w == v) continue;
+      if (position[w] < best_pos) {
+        best_pos = position[w];
+        parent_vertex = w;
+      }
+    }
+    // parent_vertex was eliminated after v? No: bag neighbors of v at its
+    // elimination time are all eliminated later than v, so their positions
+    // are > i. The parent is the *first* of them to be eliminated.
+    const int parent_id = parent_vertex < 0 ? -1 : td_id[parent_vertex];
+    if (parent_id < 0 && td.num_nodes() > 0) {
+      // Disconnected graph: attach to the root to keep a single tree.
+      td_id[v] = td.AddNode(bags[v], td.root());
+    } else {
+      td_id[v] = td.AddNode(bags[v], parent_id);
+    }
+  }
+  return td;
+}
+
+TreeDecomposition HeuristicDecomposition(const Graph& graph,
+                                         EliminationHeuristic heuristic) {
+  return DecompositionFromOrder(graph,
+                                GreedyEliminationOrder(graph, heuristic));
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,47 @@
+// Elimination-order based treewidth upper bounds and tree decompositions.
+//
+// Eliminating a vertex connects its neighbors into a clique and removes the
+// vertex; the width of an elimination order is the largest neighborhood
+// encountered. Every elimination order yields a tree decomposition of that
+// width, and the minimum over all orders is exactly the treewidth.
+
+#ifndef CTSDD_GRAPH_ELIMINATION_H_
+#define CTSDD_GRAPH_ELIMINATION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree_decomposition.h"
+#include "util/random.h"
+
+namespace ctsdd {
+
+enum class EliminationHeuristic {
+  kMinDegree,
+  kMinFill,
+};
+
+// Greedy elimination order. Ties are broken by vertex id (deterministic) or,
+// if `rng` is provided, uniformly at random among the tied candidates.
+std::vector<int> GreedyEliminationOrder(const Graph& graph,
+                                        EliminationHeuristic heuristic,
+                                        Rng* rng = nullptr);
+
+// Width of an elimination order (max neighborhood size during elimination,
+// i.e., max bag size - 1 of the induced decomposition).
+int EliminationOrderWidth(const Graph& graph, const std::vector<int>& order);
+
+// Builds the tree decomposition induced by an elimination order. The root
+// bag corresponds to the last vertex eliminated.
+TreeDecomposition DecompositionFromOrder(const Graph& graph,
+                                         const std::vector<int>& order);
+
+// Convenience: greedy heuristic decomposition (min-fill by default, which
+// is almost always at least as good as min-degree).
+TreeDecomposition HeuristicDecomposition(
+    const Graph& graph,
+    EliminationHeuristic heuristic = EliminationHeuristic::kMinFill);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_GRAPH_ELIMINATION_H_

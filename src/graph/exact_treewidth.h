@@ -1,0 +1,36 @@
+// Exact treewidth via dynamic programming over vertex subsets
+// (Bodlaender et al.'s formulation of the QuickBB recurrence).
+//
+// Feasible up to roughly 20 vertices (O(2^n * n^2) time, O(2^n) space).
+// For larger graphs use the heuristics in elimination.h.
+
+#ifndef CTSDD_GRAPH_EXACT_TREEWIDTH_H_
+#define CTSDD_GRAPH_EXACT_TREEWIDTH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ctsdd {
+
+// Maximum vertex count accepted by the exact algorithms.
+inline constexpr int kMaxExactVertices = 24;
+
+// Exact treewidth. Fails with kResourceExhausted when the graph has more
+// than kMaxExactVertices vertices.
+StatusOr<int> ExactTreewidth(const Graph& graph);
+
+// Exact treewidth together with an optimal elimination order.
+StatusOr<std::vector<int>> OptimalEliminationOrder(const Graph& graph);
+
+// Exact pathwidth (vertex separation number). Same size limits.
+StatusOr<int> ExactPathwidth(const Graph& graph);
+
+// Exact pathwidth together with an optimal vertex layout (the order in
+// which vertices enter the path decomposition).
+StatusOr<std::vector<int>> OptimalPathLayout(const Graph& graph);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_GRAPH_EXACT_TREEWIDTH_H_

@@ -1,0 +1,122 @@
+#include "graph/generators.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+Graph PathGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph CycleGraph(int n) {
+  CTSDD_CHECK_GE(n, 3);
+  Graph g = PathGraph(n);
+  g.AddEdge(n - 1, 0);
+  return g;
+}
+
+Graph CompleteGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+Graph GridGraph(int rows, int cols) {
+  CTSDD_CHECK_GE(rows, 1);
+  CTSDD_CHECK_GE(cols, 1);
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph RandomTree(int n, Rng* rng) {
+  Graph g(n);
+  for (int v = 1; v < n; ++v) {
+    g.AddEdge(v, static_cast<int>(rng->NextBelow(v)));
+  }
+  return g;
+}
+
+Graph RandomKTree(int n, int k, Rng* rng) {
+  CTSDD_CHECK_GE(k, 1);
+  CTSDD_CHECK_GE(n, k + 1);
+  Graph g = CompleteGraph(k + 1);
+  g.EnsureVertices(n);
+  // Track the k-cliques available for extension; simple approach: remember
+  // for each added vertex the clique it attached to, and sample cliques as
+  // (existing vertex set) combinations discovered along the way.
+  std::vector<std::vector<int>> cliques;
+  {
+    std::vector<int> base;
+    for (int i = 0; i <= k; ++i) base.push_back(i);
+    // All k-subsets of the initial (k+1)-clique.
+    for (int skip = 0; skip <= k; ++skip) {
+      std::vector<int> clique;
+      for (int i = 0; i <= k; ++i) {
+        if (i != skip) clique.push_back(i);
+      }
+      cliques.push_back(clique);
+    }
+  }
+  for (int v = k + 1; v < n; ++v) {
+    // Copy: the push_backs below may reallocate `cliques`.
+    const std::vector<int> clique = cliques[rng->NextBelow(cliques.size())];
+    for (int u : clique) g.AddEdge(v, u);
+    // New k-cliques: clique with one member replaced by v.
+    for (size_t drop = 0; drop < clique.size(); ++drop) {
+      std::vector<int> next;
+      for (size_t i = 0; i < clique.size(); ++i) {
+        next.push_back(i == drop ? v : clique[i]);
+      }
+      cliques.push_back(std::move(next));
+    }
+  }
+  return g;
+}
+
+Graph RandomPartialKTree(int n, int k, double edge_keep_prob, Rng* rng) {
+  const Graph ktree = RandomKTree(n, k, rng);
+  Graph g(n);
+  for (int v = 0; v < n; ++v) {
+    for (int w : ktree.Neighbors(v)) {
+      if (w > v && rng->NextBool(edge_keep_prob)) g.AddEdge(v, w);
+    }
+  }
+  return g;
+}
+
+Graph RandomGraph(int n, double p, Rng* rng) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng->NextBool(p)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph Caterpillar(int spine, int legs) {
+  CTSDD_CHECK_GE(spine, 1);
+  CTSDD_CHECK_GE(legs, 0);
+  Graph g(spine * (1 + legs));
+  for (int i = 0; i + 1 < spine; ++i) g.AddEdge(i, i + 1);
+  int next = spine;
+  for (int i = 0; i < spine; ++i) {
+    for (int l = 0; l < legs; ++l) g.AddEdge(i, next++);
+  }
+  return g;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,42 @@
+// Graph generators for tests and width-parameterized benchmark families.
+
+#ifndef CTSDD_GRAPH_GENERATORS_H_
+#define CTSDD_GRAPH_GENERATORS_H_
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace ctsdd {
+
+// Path on n vertices (treewidth 1 for n >= 2).
+Graph PathGraph(int n);
+
+// Cycle on n >= 3 vertices (treewidth 2).
+Graph CycleGraph(int n);
+
+// Complete graph on n vertices (treewidth n - 1).
+Graph CompleteGraph(int n);
+
+// rows x cols grid (treewidth min(rows, cols)).
+Graph GridGraph(int rows, int cols);
+
+// A random tree on n vertices (treewidth 1 for n >= 2).
+Graph RandomTree(int n, Rng* rng);
+
+// A random k-tree on n >= k+1 vertices: treewidth exactly k (for n > k).
+Graph RandomKTree(int n, int k, Rng* rng);
+
+// A random subgraph of a k-tree keeping each edge with probability p
+// (treewidth at most k — the standard "partial k-tree" model).
+Graph RandomPartialKTree(int n, int k, double edge_keep_prob, Rng* rng);
+
+// Erdos–Renyi G(n, p).
+Graph RandomGraph(int n, double p, Rng* rng);
+
+// Caterpillar: a path of `spine` vertices with `legs` pendant vertices per
+// spine vertex (pathwidth 1).
+Graph Caterpillar(int spine, int legs);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_GRAPH_GENERATORS_H_

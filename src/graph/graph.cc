@@ -1,0 +1,123 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+Graph::Graph(int num_vertices) : adj_(num_vertices) {
+  CTSDD_CHECK_GE(num_vertices, 0);
+}
+
+void Graph::EnsureVertices(int n) {
+  if (n > num_vertices()) adj_.resize(n);
+}
+
+void Graph::AddEdge(int u, int v) {
+  CTSDD_CHECK_GE(u, 0);
+  CTSDD_CHECK_GE(v, 0);
+  if (u == v) return;
+  EnsureVertices(std::max(u, v) + 1);
+  if (adj_[u].insert(v).second) {
+    adj_[v].insert(u);
+    ++num_edges_;
+  }
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  if (u < 0 || u >= num_vertices() || v < 0 || v >= num_vertices()) {
+    return false;
+  }
+  return adj_[u].count(v) > 0;
+}
+
+const std::set<int>& Graph::Neighbors(int v) const {
+  CTSDD_CHECK_GE(v, 0);
+  CTSDD_CHECK_LT(v, num_vertices());
+  return adj_[v];
+}
+
+int Graph::Degree(int v) const {
+  return static_cast<int>(Neighbors(v).size());
+}
+
+Graph Graph::InducedSubgraph(const std::vector<int>& vertices) const {
+  std::vector<int> index(num_vertices(), -1);
+  for (int i = 0; i < static_cast<int>(vertices.size()); ++i) {
+    index[vertices[i]] = i;
+  }
+  Graph sub(static_cast<int>(vertices.size()));
+  for (int i = 0; i < static_cast<int>(vertices.size()); ++i) {
+    for (int w : Neighbors(vertices[i])) {
+      if (index[w] > i) sub.AddEdge(i, index[w]);
+    }
+  }
+  return sub;
+}
+
+std::vector<std::vector<int>> Graph::ConnectedComponents() const {
+  std::vector<std::vector<int>> components;
+  std::vector<bool> seen(num_vertices(), false);
+  std::vector<int> stack;
+  for (int s = 0; s < num_vertices(); ++s) {
+    if (seen[s]) continue;
+    components.emplace_back();
+    stack.push_back(s);
+    seen[s] = true;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      components.back().push_back(v);
+      for (int w : adj_[v]) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool Graph::IsConnected() const {
+  return ConnectedComponents().size() <= 1;
+}
+
+void Graph::IsolateVertex(int v) {
+  CTSDD_CHECK_GE(v, 0);
+  CTSDD_CHECK_LT(v, num_vertices());
+  for (int w : adj_[v]) {
+    adj_[w].erase(v);
+    --num_edges_;
+  }
+  adj_[v].clear();
+}
+
+int Graph::MakeNeighborsClique(int v) {
+  int fill = 0;
+  const std::vector<int> nbrs(adj_[v].begin(), adj_[v].end());
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (!HasEdge(nbrs[i], nbrs[j])) {
+        AddEdge(nbrs[i], nbrs[j]);
+        ++fill;
+      }
+    }
+  }
+  return fill;
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_vertices() << ", m=" << num_edges() << ")";
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (adj_[v].empty()) continue;
+    os << "\n  " << v << ":";
+    for (int w : adj_[v]) os << " " << w;
+  }
+  return os.str();
+}
+
+}  // namespace ctsdd

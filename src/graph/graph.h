@@ -1,0 +1,63 @@
+// Simple undirected graph used for circuit primal graphs, tree
+// decompositions, and treewidth computation.
+
+#ifndef CTSDD_GRAPH_GRAPH_H_
+#define CTSDD_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ctsdd {
+
+// An undirected simple graph on vertices {0, ..., n-1}. Self-loops are
+// ignored on insertion (the paper's loop-decorations in Proposition 1 do not
+// affect treewidth and are not needed by the algorithms here).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_vertices);
+
+  int num_vertices() const { return static_cast<int>(adj_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  // Grows the vertex set to `n` vertices. No-op if already at least n.
+  void EnsureVertices(int n);
+
+  // Adds an undirected edge {u, v}. Ignores self-loops and duplicates.
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+
+  const std::set<int>& Neighbors(int v) const;
+
+  int Degree(int v) const;
+
+  // Vertex-induced subgraph; `vertices` are relabeled 0..k-1 in the given
+  // order. Also returns nothing else — callers track the mapping.
+  Graph InducedSubgraph(const std::vector<int>& vertices) const;
+
+  // Connected components as lists of vertex ids.
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+  // True if the graph is connected (vacuously true when empty).
+  bool IsConnected() const;
+
+  // Removes vertex v's incident edges (keeps the vertex as isolated).
+  void IsolateVertex(int v);
+
+  // Connects all pairs of v's current neighbors (used by elimination).
+  // Returns the number of fill edges added.
+  int MakeNeighborsClique(int v);
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<std::set<int>> adj_;
+  int num_edges_ = 0;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_GRAPH_GRAPH_H_

@@ -1,0 +1,64 @@
+#include "graph/lower_bound.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+namespace {
+
+// Shared driver: pick the min-degree vertex, record its degree, then
+// either delete it or contract it into a least-degree neighbor.
+int MmdDriver(const Graph& graph, bool contract) {
+  Graph g = graph;
+  const int n = g.num_vertices();
+  std::vector<bool> alive(n, true);
+  int remaining = n;
+  int bound = 0;
+  while (remaining > 1) {
+    int v = -1;
+    int min_degree = std::numeric_limits<int>::max();
+    for (int u = 0; u < n; ++u) {
+      if (alive[u] && g.Degree(u) < min_degree) {
+        min_degree = g.Degree(u);
+        v = u;
+      }
+    }
+    bound = std::max(bound, min_degree);
+    if (contract && min_degree > 0) {
+      // Contract v into its least-degree neighbor w: w inherits v's
+      // other neighbors.
+      int w = -1;
+      int w_degree = std::numeric_limits<int>::max();
+      for (int u : g.Neighbors(v)) {
+        if (g.Degree(u) < w_degree) {
+          w_degree = g.Degree(u);
+          w = u;
+        }
+      }
+      const std::vector<int> nbrs(g.Neighbors(v).begin(),
+                                  g.Neighbors(v).end());
+      for (int u : nbrs) {
+        if (u != w) g.AddEdge(w, u);
+      }
+    }
+    g.IsolateVertex(v);
+    alive[v] = false;
+    --remaining;
+  }
+  return bound;
+}
+
+}  // namespace
+
+int TreewidthLowerBoundMmd(const Graph& graph) {
+  return MmdDriver(graph, /*contract=*/false);
+}
+
+int TreewidthLowerBoundMmdPlus(const Graph& graph) {
+  return MmdDriver(graph, /*contract=*/true);
+}
+
+}  // namespace ctsdd

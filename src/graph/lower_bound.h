@@ -1,0 +1,27 @@
+// Treewidth lower bounds.
+//
+// MMD (maximum minimum degree, a.k.a. degeneracy): repeatedly delete a
+// minimum-degree vertex; the maximum minimum degree observed lower-bounds
+// the treewidth. MMD+ (least-c variant): instead of deleting, contract
+// the minimum-degree vertex into its least-degree neighbor, which can
+// only raise the bound. Used to certify the exact DP and to sandwich
+// heuristic widths on graphs too large for the exact algorithm.
+
+#ifndef CTSDD_GRAPH_LOWER_BOUND_H_
+#define CTSDD_GRAPH_LOWER_BOUND_H_
+
+#include "graph/graph.h"
+
+namespace ctsdd {
+
+// The degeneracy bound: max over the deletion sequence of the minimum
+// degree. Always <= treewidth.
+int TreewidthLowerBoundMmd(const Graph& graph);
+
+// MMD+ with contraction into the least-degree neighbor. Always >= MMD
+// and still <= treewidth.
+int TreewidthLowerBoundMmdPlus(const Graph& graph);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_GRAPH_LOWER_BOUND_H_

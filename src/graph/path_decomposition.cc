@@ -1,0 +1,108 @@
+#include "graph/path_decomposition.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+std::vector<std::vector<int>> PathDecompositionFromLayout(
+    const Graph& graph, const std::vector<int>& layout) {
+  const int n = graph.num_vertices();
+  CTSDD_CHECK_EQ(static_cast<int>(layout.size()), n);
+  std::vector<int> position(n);
+  for (int i = 0; i < n; ++i) position[layout[i]] = i;
+  std::vector<std::vector<int>> bags;
+  bags.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> bag = {layout[i]};
+    for (int j = 0; j < i; ++j) {
+      const int u = layout[j];
+      for (int w : graph.Neighbors(u)) {
+        if (position[w] >= i) {
+          bag.push_back(u);
+          break;
+        }
+      }
+    }
+    std::sort(bag.begin(), bag.end());
+    bag.erase(std::unique(bag.begin(), bag.end()), bag.end());
+    bags.push_back(std::move(bag));
+  }
+  return bags;
+}
+
+int PathLayoutWidth(const Graph& graph, const std::vector<int>& layout) {
+  int width = 0;
+  for (const auto& bag : PathDecompositionFromLayout(graph, layout)) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+TreeDecomposition PathAsTreeDecomposition(const Graph& graph,
+                                          const std::vector<int>& layout) {
+  const auto bags = PathDecompositionFromLayout(graph, layout);
+  TreeDecomposition td;
+  if (bags.empty()) {
+    td.AddNode({}, -1);
+    return td;
+  }
+  // Root at the last bag so the path hangs downward; children get larger
+  // ids than parents as required by TreeDecomposition::AddNode.
+  int prev = -1;
+  for (int i = static_cast<int>(bags.size()) - 1; i >= 0; --i) {
+    prev = td.AddNode(bags[i], prev);
+  }
+  return td;
+}
+
+std::vector<int> BfsLayout(const Graph& graph) {
+  const int n = graph.num_vertices();
+  std::vector<int> layout;
+  layout.reserve(n);
+  std::vector<bool> seen(n, false);
+
+  // Pseudo-peripheral start: repeat BFS from the last-visited vertex twice.
+  auto bfs_last = [&](int start) {
+    std::vector<bool> visited(n, false);
+    std::queue<int> queue;
+    queue.push(start);
+    visited[start] = true;
+    int last = start;
+    while (!queue.empty()) {
+      last = queue.front();
+      queue.pop();
+      for (int w : graph.Neighbors(last)) {
+        if (!visited[w]) {
+          visited[w] = true;
+          queue.push(w);
+        }
+      }
+    }
+    return last;
+  };
+
+  for (int s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    int start = bfs_last(bfs_last(s));
+    std::queue<int> queue;
+    queue.push(start);
+    seen[start] = true;
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop();
+      layout.push_back(v);
+      for (int w : graph.Neighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push(w);
+        }
+      }
+    }
+  }
+  return layout;
+}
+
+}  // namespace ctsdd

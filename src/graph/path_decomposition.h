@@ -1,0 +1,37 @@
+// Path decompositions derived from vertex layouts.
+//
+// A layout v_1, ..., v_n induces the path decomposition whose i-th bag is
+// {v_j : j <= i and v_j has a neighbor v_k with k >= i} ∪ {v_i}; its width
+// equals the vertex separation of the layout, and the minimum over layouts
+// is the pathwidth.
+
+#ifndef CTSDD_GRAPH_PATH_DECOMPOSITION_H_
+#define CTSDD_GRAPH_PATH_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree_decomposition.h"
+
+namespace ctsdd {
+
+// Bags of the path decomposition induced by `layout` (one per vertex, in
+// layout order).
+std::vector<std::vector<int>> PathDecompositionFromLayout(
+    const Graph& graph, const std::vector<int>& layout);
+
+// Width of the induced path decomposition (max bag size - 1).
+int PathLayoutWidth(const Graph& graph, const std::vector<int>& layout);
+
+// Wraps the bags as a (path-shaped) TreeDecomposition rooted at the last
+// bag, so the generic validators and the nice-form transform apply.
+TreeDecomposition PathAsTreeDecomposition(const Graph& graph,
+                                          const std::vector<int>& layout);
+
+// Heuristic layout: BFS order from a pseudo-peripheral start vertex (a
+// classical bandwidth/pathwidth heuristic). Deterministic.
+std::vector<int> BfsLayout(const Graph& graph);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_GRAPH_PATH_DECOMPOSITION_H_

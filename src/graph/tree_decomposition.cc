@@ -1,0 +1,318 @@
+#include "graph/tree_decomposition.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+int TreeDecomposition::AddNode(std::vector<int> bag, int parent) {
+  std::sort(bag.begin(), bag.end());
+  bag.erase(std::unique(bag.begin(), bag.end()), bag.end());
+  const int id = num_nodes();
+  if (parent < 0) {
+    CTSDD_CHECK_EQ(id, 0) << "only the first node may be the root";
+  } else {
+    CTSDD_CHECK_LT(parent, id);
+  }
+  bags_.push_back(std::move(bag));
+  parents_.push_back(parent);
+  children_.emplace_back();
+  if (parent >= 0) children_[parent].push_back(id);
+  return id;
+}
+
+int TreeDecomposition::Width() const {
+  int width = -1;
+  for (const auto& bag : bags_) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+Status TreeDecomposition::Validate(const Graph& graph) const {
+  const int n = graph.num_vertices();
+  // Property 1: every vertex occurs in some bag. Also gather occurrences.
+  std::vector<std::vector<int>> occurrences(n);
+  for (int node = 0; node < num_nodes(); ++node) {
+    for (int v : bags_[node]) {
+      if (v < 0 || v >= n) {
+        return Status::InvalidArgument("bag contains out-of-range vertex");
+      }
+      occurrences[v].push_back(node);
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (occurrences[v].empty()) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " appears in no bag");
+    }
+  }
+  // Property 2: every edge covered by some bag.
+  for (int u = 0; u < n; ++u) {
+    for (int w : graph.Neighbors(u)) {
+      if (w < u) continue;
+      bool covered = false;
+      for (int node : occurrences[u]) {
+        const auto& bag = bags_[node];
+        if (std::binary_search(bag.begin(), bag.end(), w)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return Status::InvalidArgument("edge {" + std::to_string(u) + "," +
+                                       std::to_string(w) +
+                                       "} covered by no bag");
+      }
+    }
+  }
+  // Property 3: occurrences of each vertex form a connected subtree.
+  for (int v = 0; v < n; ++v) {
+    std::set<int> occ(occurrences[v].begin(), occurrences[v].end());
+    // BFS within occ from its first element.
+    std::set<int> seen;
+    std::vector<int> stack = {*occ.begin()};
+    seen.insert(stack.back());
+    while (!stack.empty()) {
+      const int node = stack.back();
+      stack.pop_back();
+      std::vector<int> adjacent = children_[node];
+      if (parents_[node] >= 0) adjacent.push_back(parents_[node]);
+      for (int next : adjacent) {
+        if (occ.count(next) && !seen.count(next)) {
+          seen.insert(next);
+          stack.push_back(next);
+        }
+      }
+    }
+    if (seen.size() != occ.size()) {
+      return Status::InvalidArgument("occurrences of vertex " +
+                                     std::to_string(v) +
+                                     " are not connected");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string TreeDecomposition::DebugString() const {
+  std::ostringstream os;
+  os << "TreeDecomposition(width=" << Width() << ")";
+  for (int node = 0; node < num_nodes(); ++node) {
+    os << "\n  node " << node << " (parent " << parents_[node] << "): {";
+    for (size_t i = 0; i < bags_[node].size(); ++i) {
+      if (i) os << ",";
+      os << bags_[node][i];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+int NiceTreeDecomposition::Width() const {
+  int width = -1;
+  for (const auto& node : nodes) {
+    width = std::max(width, static_cast<int>(node.bag.size()) - 1);
+  }
+  return width;
+}
+
+Status NiceTreeDecomposition::Validate(const Graph& graph) const {
+  if (nodes.empty()) return Status::InvalidArgument("empty nice TD");
+  if (!nodes[root].bag.empty()) {
+    return Status::InvalidArgument("root bag must be empty");
+  }
+  std::vector<int> forget_count(graph.num_vertices(), 0);
+  for (int id = 0; id < static_cast<int>(nodes.size()); ++id) {
+    const Node& node = nodes[id];
+    if (!std::is_sorted(node.bag.begin(), node.bag.end())) {
+      return Status::Internal("bag not sorted");
+    }
+    switch (node.kind) {
+      case NiceNodeKind::kLeaf:
+        if (!node.children.empty() || !node.bag.empty()) {
+          return Status::InvalidArgument("malformed leaf node");
+        }
+        break;
+      case NiceNodeKind::kIntroduce: {
+        if (node.children.size() != 1) {
+          return Status::InvalidArgument("introduce node needs one child");
+        }
+        const auto& child_bag = nodes[node.children[0]].bag;
+        if (node.bag.size() != child_bag.size() + 1 ||
+            !std::includes(node.bag.begin(), node.bag.end(),
+                           child_bag.begin(), child_bag.end()) ||
+            !std::binary_search(node.bag.begin(), node.bag.end(),
+                                node.vertex) ||
+            std::binary_search(child_bag.begin(), child_bag.end(),
+                               node.vertex)) {
+          return Status::InvalidArgument("malformed introduce node");
+        }
+        break;
+      }
+      case NiceNodeKind::kForget: {
+        if (node.children.size() != 1) {
+          return Status::InvalidArgument("forget node needs one child");
+        }
+        const auto& child_bag = nodes[node.children[0]].bag;
+        if (child_bag.size() != node.bag.size() + 1 ||
+            !std::includes(child_bag.begin(), child_bag.end(),
+                           node.bag.begin(), node.bag.end()) ||
+            !std::binary_search(child_bag.begin(), child_bag.end(),
+                                node.vertex) ||
+            std::binary_search(node.bag.begin(), node.bag.end(),
+                               node.vertex)) {
+          return Status::InvalidArgument("malformed forget node");
+        }
+        if (node.vertex >= 0 &&
+            node.vertex < static_cast<int>(forget_count.size())) {
+          ++forget_count[node.vertex];
+        }
+        break;
+      }
+      case NiceNodeKind::kJoin: {
+        if (node.children.size() != 2) {
+          return Status::InvalidArgument("join node needs two children");
+        }
+        if (nodes[node.children[0]].bag != node.bag ||
+            nodes[node.children[1]].bag != node.bag) {
+          return Status::InvalidArgument("join children bags differ");
+        }
+        break;
+      }
+    }
+  }
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (forget_count[v] != 1) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " forgotten " +
+                                     std::to_string(forget_count[v]) +
+                                     " times (want exactly 1)");
+    }
+  }
+  // Reuse the generic validator for the three TD properties.
+  TreeDecomposition td;
+  // Rebuild as a TreeDecomposition in a parent-before-child order (ids in
+  // `nodes` may be arbitrary; do a DFS from root).
+  std::vector<int> order;
+  std::vector<int> remap(nodes.size(), -1);
+  std::vector<int> stack = {root};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    for (int c : nodes[id].children) stack.push_back(c);
+  }
+  for (int id : order) {
+    const int parent = nodes[id].parent;
+    remap[id] = td.AddNode(nodes[id].bag, parent < 0 ? -1 : remap[parent]);
+  }
+  return td.Validate(graph);
+}
+
+namespace {
+
+// Builder that emits the nice nodes bottom-up.
+class NiceBuilder {
+ public:
+  explicit NiceBuilder(const TreeDecomposition& td) : td_(td) {}
+
+  NiceTreeDecomposition Build() {
+    NiceTreeDecomposition out;
+    if (td_.num_nodes() == 0) {
+      out.nodes.push_back({NiceNodeKind::kLeaf, {}, -1, -1, {}});
+      out.root = 0;
+      return out;
+    }
+    result_ = &out;
+    // Build a chain from the root bag down to the empty bag: the subtree for
+    // the root node, then forget all of the root's bag vertices.
+    const int top = BuildSubtree(td_.root());
+    int current = top;
+    std::vector<int> bag = td_.bag(td_.root());
+    while (!bag.empty()) {
+      const int v = bag.back();
+      bag.pop_back();
+      current = Emit(NiceNodeKind::kForget, bag, v, {current});
+    }
+    out.root = current;
+    // Fill parent pointers.
+    for (int id = 0; id < static_cast<int>(out.nodes.size()); ++id) {
+      for (int child : out.nodes[id].children) {
+        out.nodes[child].parent = id;
+      }
+    }
+    out.nodes[out.root].parent = -1;
+    return out;
+  }
+
+ private:
+  int Emit(NiceNodeKind kind, std::vector<int> bag, int vertex,
+           std::vector<int> children) {
+    std::sort(bag.begin(), bag.end());
+    result_->nodes.push_back(
+        {kind, std::move(bag), vertex, -1, std::move(children)});
+    return static_cast<int>(result_->nodes.size()) - 1;
+  }
+
+  // Emits a chain that transforms bag `from` into bag `to` (both sorted),
+  // starting at nice node `below` whose bag is `from`. Vertices in from\to
+  // are forgotten, then vertices in to\from introduced. Returns the top node.
+  int MorphBag(int below, std::vector<int> from, const std::vector<int>& to) {
+    int current = below;
+    std::vector<int> bag = from;
+    for (int v : from) {
+      if (!std::binary_search(to.begin(), to.end(), v)) {
+        bag.erase(std::find(bag.begin(), bag.end(), v));
+        current = Emit(NiceNodeKind::kForget, bag, v, {current});
+      }
+    }
+    for (int v : to) {
+      if (!std::binary_search(from.begin(), from.end(), v)) {
+        bag.insert(std::lower_bound(bag.begin(), bag.end(), v), v);
+        current = Emit(NiceNodeKind::kIntroduce, bag, v, {current});
+      }
+    }
+    return current;
+  }
+
+  // Emits a chain building bag `bag` from a leaf via introduces.
+  int BuildFromLeaf(const std::vector<int>& bag) {
+    int current = Emit(NiceNodeKind::kLeaf, {}, -1, {});
+    return MorphBag(current, {}, bag);
+  }
+
+  // Returns the id of a nice node whose bag equals td_.bag(node) and whose
+  // subtree handles all of `node`'s descendants.
+  int BuildSubtree(int node) {
+    const std::vector<int>& bag = td_.bag(node);
+    const auto& children = td_.children(node);
+    if (children.empty()) return BuildFromLeaf(bag);
+    // One branch per child, each morphed to this node's bag; then join.
+    std::vector<int> branches;
+    branches.reserve(children.size());
+    for (int child : children) {
+      const int sub = BuildSubtree(child);
+      branches.push_back(MorphBag(sub, td_.bag(child), bag));
+    }
+    int current = branches[0];
+    for (size_t i = 1; i < branches.size(); ++i) {
+      current = Emit(NiceNodeKind::kJoin, bag, -1, {current, branches[i]});
+    }
+    return current;
+  }
+
+  const TreeDecomposition& td_;
+  NiceTreeDecomposition* result_ = nullptr;
+};
+
+}  // namespace
+
+NiceTreeDecomposition MakeNice(const TreeDecomposition& td) {
+  return NiceBuilder(td).Build();
+}
+
+}  // namespace ctsdd

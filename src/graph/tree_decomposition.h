@@ -1,0 +1,87 @@
+// Tree decompositions, validation, and the nice-form transform.
+//
+// A tree decomposition of a graph G = (V, E) is a tree whose nodes carry
+// bags (vertex subsets of V) such that (1) every vertex occurs in some bag,
+// (2) every edge is contained in some bag, and (3) for each vertex the set
+// of bags containing it forms a connected subtree. Its width is the largest
+// bag size minus one.
+//
+// Nice tree decompositions (Kloks) restrict node shapes to Leaf / Introduce /
+// Forget / Join and are the form consumed by the Lemma 1 vtree construction:
+// rooted at an empty bag, every graph vertex is forgotten exactly once.
+
+#ifndef CTSDD_GRAPH_TREE_DECOMPOSITION_H_
+#define CTSDD_GRAPH_TREE_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ctsdd {
+
+// A rooted tree decomposition. Node 0 is the root unless empty.
+class TreeDecomposition {
+ public:
+  TreeDecomposition() = default;
+
+  // Adds a node with the given bag; returns its id. `parent` is -1 for the
+  // root (allowed only for the first node).
+  int AddNode(std::vector<int> bag, int parent);
+
+  int num_nodes() const { return static_cast<int>(bags_.size()); }
+  const std::vector<int>& bag(int node) const { return bags_[node]; }
+  int parent(int node) const { return parents_[node]; }
+  const std::vector<int>& children(int node) const { return children_[node]; }
+  int root() const { return 0; }
+
+  // Width = max bag size - 1 (or -1 for the empty decomposition).
+  int Width() const;
+
+  // Verifies the three tree-decomposition properties against `graph`.
+  Status Validate(const Graph& graph) const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<std::vector<int>> bags_;
+  std::vector<int> parents_;
+  std::vector<std::vector<int>> children_;
+};
+
+// Node kinds of a nice tree decomposition.
+enum class NiceNodeKind {
+  kLeaf,       // empty bag, no children
+  kIntroduce,  // bag = child bag + one vertex
+  kForget,     // bag = child bag - one vertex
+  kJoin,       // two children with identical bags
+};
+
+// A nice tree decomposition, rooted at node 0 which always has an empty bag
+// (so every vertex of the underlying graph is forgotten exactly once).
+struct NiceTreeDecomposition {
+  struct Node {
+    NiceNodeKind kind;
+    std::vector<int> bag;       // sorted
+    int vertex = -1;            // the introduced/forgotten vertex, or -1
+    int parent = -1;
+    std::vector<int> children;  // 0, 1, or 2 entries
+  };
+
+  std::vector<Node> nodes;
+  int root = 0;
+
+  int Width() const;
+
+  // Checks structural well-formedness (shapes, bags, forget-once property).
+  Status Validate(const Graph& graph) const;
+};
+
+// Converts an arbitrary rooted tree decomposition into nice form over the
+// same graph. The result's root has an empty bag.
+NiceTreeDecomposition MakeNice(const TreeDecomposition& td);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_GRAPH_TREE_DECOMPOSITION_H_

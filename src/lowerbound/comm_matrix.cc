@@ -1,0 +1,53 @@
+#include "lowerbound/comm_matrix.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+CommMatrix BuildCommMatrix(const BoolFunc& f, const std::vector<int>& x1_vars,
+                           const std::vector<int>& x2_vars) {
+  std::vector<int> x1 = x1_vars;
+  std::vector<int> x2 = x2_vars;
+  std::sort(x1.begin(), x1.end());
+  std::sort(x2.begin(), x2.end());
+  CTSDD_CHECK_LE(x1.size(), 12u);
+  CTSDD_CHECK_LE(x2.size(), 12u);
+  // The two blocks must partition f's variables.
+  std::vector<int> all = x1;
+  all.insert(all.end(), x2.begin(), x2.end());
+  std::sort(all.begin(), all.end());
+  CTSDD_CHECK(all == f.vars()) << "(X1, X2) must partition the variables";
+
+  // Positions of x1/x2 variables within f's variable list.
+  std::vector<int> pos1;
+  std::vector<int> pos2;
+  for (int i = 0; i < f.num_vars(); ++i) {
+    if (std::binary_search(x1.begin(), x1.end(), f.vars()[i])) {
+      pos1.push_back(i);
+    } else {
+      pos2.push_back(i);
+    }
+  }
+
+  CommMatrix m;
+  m.rows = 1 << x1.size();
+  m.cols = 1 << x2.size();
+  m.data.assign(static_cast<size_t>(m.rows) * m.cols, 0.0);
+  for (uint32_t index = 0; index < f.table_size(); ++index) {
+    uint32_t r = 0;
+    for (size_t i = 0; i < pos1.size(); ++i) {
+      r |= ((index >> pos1[i]) & 1u) << i;
+    }
+    uint32_t c = 0;
+    for (size_t i = 0; i < pos2.size(); ++i) {
+      c |= ((index >> pos2[i]) & 1u) << i;
+    }
+    m.at(static_cast<int>(r), static_cast<int>(c)) =
+        f.EvalIndex(index) ? 1.0 : 0.0;
+  }
+  return m;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,37 @@
+// Communication matrices (Section 2.2): cm(F, X1, X2) has rows indexed by
+// assignments of X1, columns by assignments of X2, and entry F(b1 ∪ b2);
+// its real rank lower-bounds the size of any disjoint rectangle cover with
+// underlying partition (X1, X2) (Theorem 2), which in turn lower-bounds
+// deterministic structured NNF size via Theorem 1.
+
+#ifndef CTSDD_LOWERBOUND_COMM_MATRIX_H_
+#define CTSDD_LOWERBOUND_COMM_MATRIX_H_
+
+#include <vector>
+
+#include "func/bool_func.h"
+
+namespace ctsdd {
+
+// A dense 0/1 matrix stored row-major as doubles (for rank computation).
+struct CommMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<double> data;
+
+  double& at(int r, int c) { return data[static_cast<size_t>(r) * cols + c]; }
+  double at(int r, int c) const {
+    return data[static_cast<size_t>(r) * cols + c];
+  }
+};
+
+// Builds cm(F, X1, X2) where x1_vars ∪ x2_vars must partition f's
+// variables. Row index bit i corresponds to the i-th variable of x1_vars
+// in sorted order (BoolFunc convention), likewise for columns.
+// Requires |x1_vars| <= 12 and |x2_vars| <= 12.
+CommMatrix BuildCommMatrix(const BoolFunc& f, const std::vector<int>& x1_vars,
+                           const std::vector<int>& x2_vars);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_LOWERBOUND_COMM_MATRIX_H_

@@ -1,0 +1,62 @@
+#include "lowerbound/rank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/families.h"
+#include "util/logging.h"
+
+namespace ctsdd {
+
+int MatrixRank(CommMatrix matrix) {
+  constexpr double kTolerance = 1e-9;
+  int rank = 0;
+  int pivot_row = 0;
+  for (int col = 0; col < matrix.cols && pivot_row < matrix.rows; ++col) {
+    // Partial pivoting.
+    int best = pivot_row;
+    for (int r = pivot_row + 1; r < matrix.rows; ++r) {
+      if (std::fabs(matrix.at(r, col)) > std::fabs(matrix.at(best, col))) {
+        best = r;
+      }
+    }
+    if (std::fabs(matrix.at(best, col)) < kTolerance) continue;
+    if (best != pivot_row) {
+      for (int c = col; c < matrix.cols; ++c) {
+        std::swap(matrix.at(best, c), matrix.at(pivot_row, c));
+      }
+    }
+    const double pivot = matrix.at(pivot_row, col);
+    for (int r = pivot_row + 1; r < matrix.rows; ++r) {
+      const double factor = matrix.at(r, col) / pivot;
+      if (factor == 0.0) continue;
+      for (int c = col; c < matrix.cols; ++c) {
+        matrix.at(r, c) -= factor * matrix.at(pivot_row, c);
+      }
+    }
+    ++pivot_row;
+    ++rank;
+  }
+  return rank;
+}
+
+int CoverLowerBound(const BoolFunc& f, const std::vector<int>& x1_vars,
+                    const std::vector<int>& x2_vars) {
+  return MatrixRank(BuildCommMatrix(f, x1_vars, x2_vars));
+}
+
+int DisjointnessRank(int n) {
+  CTSDD_CHECK_GE(n, 1);
+  CTSDD_CHECK_LE(n, 12);
+  const Circuit circuit = DisjointnessCircuit(n);
+  const BoolFunc f = BoolFunc::FromCircuit(circuit);
+  std::vector<int> x_vars;
+  std::vector<int> y_vars;
+  for (int i = 0; i < n; ++i) {
+    x_vars.push_back(i);
+    y_vars.push_back(n + i);
+  }
+  return CoverLowerBound(f, x_vars, y_vars);
+}
+
+}  // namespace ctsdd

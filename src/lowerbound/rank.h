@@ -1,0 +1,30 @@
+// Real matrix rank by Gaussian elimination with partial pivoting, and the
+// Theorem 2 rectangle-cover lower bounds built on it. For the 0/1 matrices
+// arising here the double-precision computation is exact in practice and
+// is cross-checked against closed forms (e.g., rank(cm(D_n)) = 2^n, (8)).
+
+#ifndef CTSDD_LOWERBOUND_RANK_H_
+#define CTSDD_LOWERBOUND_RANK_H_
+
+#include <vector>
+
+#include "func/bool_func.h"
+#include "lowerbound/comm_matrix.h"
+
+namespace ctsdd {
+
+// Rank of the matrix (destructive on a copy).
+int MatrixRank(CommMatrix matrix);
+
+// rank(cm(F, X1, X2)): Theorem 2 lower bound on disjoint rectangle covers
+// of F with underlying partition (X1, X2).
+int CoverLowerBound(const BoolFunc& f, const std::vector<int>& x1_vars,
+                    const std::vector<int>& x2_vars);
+
+// Convenience for the disjointness function (7): builds D_n and returns
+// rank(cm(D_n, X_n, Y_n)) — equation (8) says this is exactly 2^n.
+int DisjointnessRank(int n);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_LOWERBOUND_RANK_H_

@@ -1,0 +1,72 @@
+#include "nnf/checks.h"
+
+#include <algorithm>
+
+#include "nnf/nnf.h"
+#include "util/logging.h"
+
+namespace ctsdd {
+
+bool IsDecomposable(const Circuit& circuit) {
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    if (g.kind != GateKind::kAnd) continue;
+    std::vector<std::vector<int>> var_sets;
+    var_sets.reserve(g.inputs.size());
+    for (int input : g.inputs) {
+      var_sets.push_back(circuit.VarsBelow(input));
+    }
+    for (size_t i = 0; i < var_sets.size(); ++i) {
+      for (size_t j = i + 1; j < var_sets.size(); ++j) {
+        std::vector<int> common;
+        std::set_intersection(var_sets[i].begin(), var_sets[i].end(),
+                              var_sets[j].begin(), var_sets[j].end(),
+                              std::back_inserter(common));
+        if (!common.empty()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsDeterministic(const Circuit& circuit) {
+  // Pairwise emptiness of sat(C_h) ∩ sat(C_h'), each over var(C): two
+  // subcircuits conflict iff their conjunction (over the union of their
+  // own variables) is satisfiable.
+  std::vector<BoolFunc> funcs = AllGateFuncs(circuit);
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    if (g.kind != GateKind::kOr) continue;
+    for (size_t i = 0; i < g.inputs.size(); ++i) {
+      for (size_t j = i + 1; j < g.inputs.size(); ++j) {
+        const BoolFunc conflict = funcs[g.inputs[i]] & funcs[g.inputs[j]];
+        if (!conflict.IsConstantFalse()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsStructuredBy(const Circuit& circuit, const Vtree& vtree) {
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    if (g.kind != GateKind::kAnd) continue;
+    if (g.inputs.size() != 2) return false;
+    if (StructuringNode(circuit, vtree, id) < 0) return false;
+  }
+  return true;
+}
+
+Status CheckDeterministicStructuredNnf(const Circuit& circuit,
+                                       const Vtree& vtree) {
+  CTSDD_RETURN_IF_ERROR(circuit.Validate());
+  if (!circuit.IsNnf()) return Status::Internal("not in NNF");
+  if (!IsDecomposable(circuit)) return Status::Internal("not decomposable");
+  if (!IsStructuredBy(circuit, vtree)) {
+    return Status::Internal("not structured by the vtree");
+  }
+  if (!IsDeterministic(circuit)) return Status::Internal("not deterministic");
+  return Status::Ok();
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,34 @@
+// Exact verification of the circuit properties of Section 2.1:
+// negation normal form, decomposability, determinism, structuredness.
+//
+// Determinism is co-NP-hard in general; these checks are semantic (truth
+// table based) and intended for the verification of compiled outputs with
+// at most BoolFunc::kMaxVars variables, which covers the test regime.
+
+#ifndef CTSDD_NNF_CHECKS_H_
+#define CTSDD_NNF_CHECKS_H_
+
+#include "circuit/circuit.h"
+#include "util/status.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+
+// Every AND gate's wiring circuits are defined on pairwise disjoint
+// variable sets.
+bool IsDecomposable(const Circuit& circuit);
+
+// Every OR gate's wiring circuits have pairwise disjoint model sets, each
+// viewed as a circuit over var(C) (exact, exponential in var counts).
+bool IsDeterministic(const Circuit& circuit);
+
+// Every AND gate has fanin 2 and is structured by some node of `vtree`.
+bool IsStructuredBy(const Circuit& circuit, const Vtree& vtree);
+
+// Convenience: NNF + decomposable + deterministic + structured.
+Status CheckDeterministicStructuredNnf(const Circuit& circuit,
+                                       const Vtree& vtree);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_NNF_CHECKS_H_

@@ -1,0 +1,59 @@
+#include "nnf/nnf.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+BoolFunc GateFunc(const Circuit& circuit, int gate) {
+  // Restrict evaluation to the subcircuit rooted at `gate`.
+  const std::vector<int> vars = circuit.VarsBelow(gate);
+  CTSDD_CHECK_LE(static_cast<int>(vars.size()), BoolFunc::kMaxVars);
+  Circuit sub = circuit;  // evaluation only follows gates below `gate`
+  sub.SetOutput(gate);
+  return BoolFunc::FromCircuitOver(sub, vars);
+}
+
+std::vector<BoolFunc> AllGateFuncs(const Circuit& circuit) {
+  std::vector<BoolFunc> funcs;
+  funcs.reserve(circuit.num_gates());
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    funcs.push_back(GateFunc(circuit, id));
+  }
+  return funcs;
+}
+
+int StructuringNode(const Circuit& circuit, const Vtree& vtree, int gate) {
+  const Gate& g = circuit.gate(gate);
+  if (g.kind != GateKind::kAnd || g.inputs.size() != 2) return -1;
+  const std::vector<int> left_vars = circuit.VarsBelow(g.inputs[0]);
+  const std::vector<int> right_vars = circuit.VarsBelow(g.inputs[1]);
+  auto contained = [&](const std::vector<int>& vars, int vnode) {
+    const auto& below = vtree.VarsBelow(vnode);
+    return std::includes(below.begin(), below.end(), vars.begin(),
+                         vars.end());
+  };
+  int best = -1;
+  for (int v = 0; v < vtree.num_nodes(); ++v) {
+    if (vtree.is_leaf(v)) continue;
+    if (!vtree.IsAncestorOrSelf(vtree.root(), v)) continue;
+    if (contained(left_vars, vtree.left(v)) &&
+        contained(right_vars, vtree.right(v))) {
+      if (best < 0 || vtree.depth(v) > vtree.depth(best)) best = v;
+    }
+  }
+  return best;
+}
+
+std::vector<int> StructuredGateProfile(const Circuit& circuit,
+                                       const Vtree& vtree) {
+  std::vector<int> profile(vtree.num_nodes(), 0);
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const int v = StructuringNode(circuit, vtree, id);
+    if (v >= 0) ++profile[v];
+  }
+  return profile;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,37 @@
+// Helpers for viewing circuits as (structured) NNFs: per-gate semantic
+// functions and per-vtree-node gate accounting, shared by the checks,
+// width definitions, and rectangle-cover machinery.
+
+#ifndef CTSDD_NNF_NNF_H_
+#define CTSDD_NNF_NNF_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "func/bool_func.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+
+// The function computed by the subcircuit rooted at `gate`, over exactly
+// var(C_g). Exponential in |var(C_g)|; intended for verification.
+BoolFunc GateFunc(const Circuit& circuit, int gate);
+
+// Functions of all gates at once (each over its own variable set).
+std::vector<BoolFunc> AllGateFuncs(const Circuit& circuit);
+
+// For each internal vtree node v (indexed by vtree node id), the number of
+// fanin-2 AND gates of the circuit structured by v — i.e., gates g with
+// wires from h, h' such that var(C_h) ⊆ X_{left(v)} and
+// var(C_h') ⊆ X_{right(v)}. A gate structured by several nodes is counted
+// at its deepest structuring node. Gates structured by no node get -1 from
+// StructuringNode and are not counted.
+std::vector<int> StructuredGateProfile(const Circuit& circuit,
+                                       const Vtree& vtree);
+
+// The deepest vtree node structuring AND gate `gate`, or -1.
+int StructuringNode(const Circuit& circuit, const Vtree& vtree, int gate);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_NNF_NNF_H_

@@ -1,0 +1,77 @@
+#include "nnf/rectangle_cover.h"
+
+#include <algorithm>
+
+#include "func/factor.h"
+#include "util/logging.h"
+
+namespace ctsdd {
+
+std::vector<Rectangle> CanonicalRectangleCover(const BoolFunc& f,
+                                               const std::vector<int>& y) {
+  // Complement of y within f's variables.
+  std::vector<int> y_sorted = y;
+  std::sort(y_sorted.begin(), y_sorted.end());
+  std::vector<int> rest;
+  for (int v : f.vars()) {
+    if (!std::binary_search(y_sorted.begin(), y_sorted.end(), v)) {
+      rest.push_back(v);
+    }
+  }
+  const FactorSet fy = ComputeFactors(f, y_sorted);
+  const FactorSet frest = ComputeFactors(f, rest);
+  // Pairs whose rectangle lies inside F: test a sample point of the
+  // rectangle (Lemma 2 makes the sample decisive).
+  std::vector<Rectangle> cover;
+  for (int i = 0; i < fy.size(); ++i) {
+    const int64_t bi = fy.factors[i].AnyModelIndex();
+    CTSDD_CHECK_GE(bi, 0);
+    for (int j = 0; j < frest.size(); ++j) {
+      const int64_t bj = frest.factors[j].AnyModelIndex();
+      CTSDD_CHECK_GE(bj, 0);
+      // Combine (bi over y-part, bj over rest) into an index of f.
+      uint32_t index = 0;
+      for (int pos = 0; pos < f.num_vars(); ++pos) {
+        const int var = f.vars()[pos];
+        const auto iy = std::lower_bound(fy.y_vars.begin(), fy.y_vars.end(),
+                                         var);
+        bool bit;
+        if (iy != fy.y_vars.end() && *iy == var) {
+          bit = (bi >> (iy - fy.y_vars.begin())) & 1;
+        } else {
+          const auto ir = std::lower_bound(frest.y_vars.begin(),
+                                           frest.y_vars.end(), var);
+          CTSDD_CHECK(ir != frest.y_vars.end() && *ir == var);
+          bit = (bj >> (ir - frest.y_vars.begin())) & 1;
+        }
+        if (bit) index |= (1u << pos);
+      }
+      if (f.EvalIndex(index)) {
+        cover.push_back({fy.factors[i], frest.factors[j]});
+      }
+    }
+  }
+  return cover;
+}
+
+Status ValidateDisjointCover(const BoolFunc& f, const std::vector<int>& y,
+                             const std::vector<Rectangle>& cover) {
+  (void)y;
+  // Union of rectangles equals f and rectangles are pairwise disjoint:
+  // check by accumulating the union and intersecting incrementally.
+  BoolFunc unioned = BoolFunc::ConstantOver(f.vars(), false);
+  for (const Rectangle& r : cover) {
+    BoolFunc rect = (r.row_part & r.col_part).ExpandTo(f.vars());
+    const BoolFunc overlap = unioned & rect;
+    if (!overlap.IsConstantFalse()) {
+      return Status::Internal("rectangles overlap");
+    }
+    unioned = unioned | rect;
+  }
+  if (!(unioned == f.ExpandTo(unioned.vars()))) {
+    return Status::Internal("cover does not equal the function");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ctsdd

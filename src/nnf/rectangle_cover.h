@@ -1,0 +1,40 @@
+// Disjoint rectangle covers (Section 2.2, Theorem 1).
+//
+// For a partition (Y, X \ Y) of F's variables, the factorized implicants
+// of F's own top-level factor give a canonical disjoint rectangle cover
+// (Lemma 3 applied with Y' = X \ Y and H the factor of F relative to X
+// whose cofactor is the constant-1 function). Theorem 1 says any
+// deterministic structured NNF computing F and respecting a vtree with a
+// node of scope Y yields a cover of size at most |C|; Theorem 2 bounds any
+// such cover from below by the rank of the communication matrix.
+
+#ifndef CTSDD_NNF_RECTANGLE_COVER_H_
+#define CTSDD_NNF_RECTANGLE_COVER_H_
+
+#include <utility>
+#include <vector>
+
+#include "func/bool_func.h"
+#include "util/status.h"
+
+namespace ctsdd {
+
+// One combinatorial rectangle A(Y) x B(X \ Y).
+struct Rectangle {
+  BoolFunc row_part;  // over Y
+  BoolFunc col_part;  // over X \ Y
+};
+
+// The canonical factor-based disjoint rectangle cover of F with underlying
+// partition (Y ∩ X, X \ Y).
+std::vector<Rectangle> CanonicalRectangleCover(const BoolFunc& f,
+                                               const std::vector<int>& y);
+
+// Verifies that `cover` is a disjoint rectangle cover of f (each rectangle
+// with underlying partition (Y, X \ Y)).
+Status ValidateDisjointCover(const BoolFunc& f, const std::vector<int>& y,
+                             const std::vector<Rectangle>& cover);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_NNF_RECTANGLE_COVER_H_

@@ -1,0 +1,137 @@
+#include "nnf/wmc.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+namespace {
+
+// Sorted variable sets of every gate, computed in one bottom-up pass.
+std::vector<std::vector<int>> GateVarSets(const Circuit& circuit) {
+  std::vector<std::vector<int>> vars(circuit.num_gates());
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    if (g.kind == GateKind::kVar) {
+      vars[id] = {g.var};
+      continue;
+    }
+    std::vector<int> merged;
+    for (int input : g.inputs) {
+      std::vector<int> next;
+      std::set_union(merged.begin(), merged.end(), vars[input].begin(),
+                     vars[input].end(), std::back_inserter(next));
+      merged = std::move(next);
+    }
+    vars[id] = std::move(merged);
+  }
+  return vars;
+}
+
+}  // namespace
+
+StatusOr<uint64_t> CountModelsDetDecomposable(const Circuit& circuit) {
+  CTSDD_RETURN_IF_ERROR(circuit.Validate());
+  if (!circuit.IsNnf()) {
+    return Status::FailedPrecondition("circuit is not in NNF");
+  }
+  const auto vars = GateVarSets(circuit);
+  const int total_vars =
+      static_cast<int>(vars[circuit.output()].size());
+  if (total_vars > 62) {
+    return Status::ResourceExhausted("too many variables for uint64 count");
+  }
+  std::vector<uint64_t> count(circuit.num_gates(), 0);
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    switch (g.kind) {
+      case GateKind::kConstFalse:
+        count[id] = 0;
+        break;
+      case GateKind::kConstTrue:
+        count[id] = 1;  // over the empty variable set
+        break;
+      case GateKind::kVar:
+        count[id] = 1;
+        break;
+      case GateKind::kNot:
+        // NNF: input is a variable or constant.
+        count[id] = circuit.gate(g.inputs[0]).kind == GateKind::kVar
+                        ? 1
+                        : (count[g.inputs[0]] == 0 ? 1 : 0);
+        break;
+      case GateKind::kAnd: {
+        // Decomposable: children have disjoint variable sets; models
+        // multiply (children jointly cover vars[id] exactly).
+        uint64_t product = 1;
+        for (int input : g.inputs) product *= count[input];
+        count[id] = product;
+        break;
+      }
+      case GateKind::kOr: {
+        // Deterministic: children have disjoint model sets; models add
+        // after scaling each child to the gate's variable set.
+        uint64_t total = 0;
+        for (int input : g.inputs) {
+          const int gap = static_cast<int>(vars[id].size()) -
+                          static_cast<int>(vars[input].size());
+          total += count[input] << gap;
+        }
+        count[id] = total;
+        break;
+      }
+    }
+  }
+  return count[circuit.output()];
+}
+
+StatusOr<double> WmcDetDecomposable(const Circuit& circuit,
+                                    const std::map<int, double>& prob) {
+  CTSDD_RETURN_IF_ERROR(circuit.Validate());
+  if (!circuit.IsNnf()) {
+    return Status::FailedPrecondition("circuit is not in NNF");
+  }
+  auto prob_of = [&prob](int var) {
+    const auto it = prob.find(var);
+    return it == prob.end() ? 0.5 : it->second;
+  };
+  std::vector<double> weight(circuit.num_gates(), 0.0);
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    switch (g.kind) {
+      case GateKind::kConstFalse:
+        weight[id] = 0.0;
+        break;
+      case GateKind::kConstTrue:
+        weight[id] = 1.0;
+        break;
+      case GateKind::kVar:
+        weight[id] = prob_of(g.var);
+        break;
+      case GateKind::kNot: {
+        const Gate& in = circuit.gate(g.inputs[0]);
+        weight[id] = in.kind == GateKind::kVar ? 1.0 - prob_of(in.var)
+                                               : 1.0 - weight[g.inputs[0]];
+        break;
+      }
+      case GateKind::kAnd: {
+        double product = 1.0;
+        for (int input : g.inputs) product *= weight[input];
+        weight[id] = product;
+        break;
+      }
+      case GateKind::kOr: {
+        // Free variables of a child contribute factor 1 each, so no gap
+        // correction is needed for probabilities.
+        double total = 0.0;
+        for (int input : g.inputs) total += weight[input];
+        weight[id] = total;
+        break;
+      }
+    }
+  }
+  return weight[circuit.output()];
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,42 @@
+// Linear-time model counting and weighted model counting on deterministic
+// decomposable NNF circuits — the tractability that motivates query
+// compilation (Section 1): once a lineage is in deterministic
+// decomposable form (C_{F,T}, S_{F,T}, an SDD, or an OBDD read as a
+// circuit), probability computation is a single bottom-up pass with
+// products at AND gates and sums at OR gates.
+//
+// Model counts additionally need gap factors 2^{|vars(g)| - |vars(h)|}
+// where a child mentions fewer variables than its parent (implicit
+// smoothing); probabilities need none, since each free variable
+// contributes p + (1 - p) = 1.
+//
+// The functions below *trust* determinism/decomposability (they are
+// guaranteed by construction for this library's compilers and checkable
+// exactly with nnf/checks.h); on a non-deterministic OR the results are
+// simply wrong, matching the paper's point that determinism is the
+// feature that buys counting.
+
+#ifndef CTSDD_NNF_WMC_H_
+#define CTSDD_NNF_WMC_H_
+
+#include <cstdint>
+#include <map>
+
+#include "circuit/circuit.h"
+#include "util/status.h"
+
+namespace ctsdd {
+
+// Number of models of a deterministic decomposable NNF over exactly the
+// variables appearing in it (vars(C)). Fails on circuits with > 62
+// variables (count would overflow) or non-NNF shape.
+StatusOr<uint64_t> CountModelsDetDecomposable(const Circuit& circuit);
+
+// Probability of the circuit when variable v is independently true with
+// probability prob.at(v) (variables absent from the map default to 0.5).
+StatusOr<double> WmcDetDecomposable(const Circuit& circuit,
+                                    const std::map<int, double>& prob);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_NNF_WMC_H_

@@ -1,0 +1,201 @@
+#include "obdd/obdd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+
+namespace ctsdd {
+
+ObddManager::ObddManager(std::vector<int> var_order)
+    : var_order_(std::move(var_order)) {
+  for (int i = 0; i < num_levels(); ++i) {
+    const auto [it, inserted] = level_of_var_.emplace(var_order_[i], i);
+    CTSDD_CHECK(inserted) << "duplicate variable in order";
+    (void)it;
+  }
+  // Terminals occupy ids 0 and 1 with a sentinel level beyond the last.
+  nodes_.push_back({num_levels(), -1, -1});
+  nodes_.push_back({num_levels(), -1, -1});
+}
+
+int ObddManager::LevelOf(int var) const {
+  const auto it = level_of_var_.find(var);
+  return it == level_of_var_.end() ? -1 : it->second;
+}
+
+ObddManager::NodeId ObddManager::MakeNode(int level, NodeId lo, NodeId hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const Key key{level, lo, hi};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  nodes_.push_back({level, lo, hi});
+  const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  unique_.emplace(key, id);
+  return id;
+}
+
+ObddManager::NodeId ObddManager::Literal(int var, bool positive) {
+  const int level = LevelOf(var);
+  CTSDD_CHECK_GE(level, 0) << "variable x" << var << " not in order";
+  return positive ? MakeNode(level, kFalse, kTrue)
+                  : MakeNode(level, kTrue, kFalse);
+}
+
+ObddManager::NodeId ObddManager::CofactorLo(NodeId f, int level) const {
+  const Node& n = nodes_[f];
+  return n.level == level ? n.lo : f;
+}
+
+ObddManager::NodeId ObddManager::CofactorHi(NodeId f, int level) const {
+  const Node& n = nodes_[f];
+  return n.level == level ? n.hi : f;
+}
+
+ObddManager::NodeId ObddManager::Ite(NodeId f, NodeId g, NodeId h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  const IteKey key{f, g, h};
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+  const int level =
+      std::min({nodes_[f].level, nodes_[g].level, nodes_[h].level});
+  const NodeId lo =
+      Ite(CofactorLo(f, level), CofactorLo(g, level), CofactorLo(h, level));
+  const NodeId hi =
+      Ite(CofactorHi(f, level), CofactorHi(g, level), CofactorHi(h, level));
+  const NodeId result = MakeNode(level, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+ObddManager::NodeId ObddManager::Not(NodeId f) {
+  return Ite(f, kFalse, kTrue);
+}
+
+ObddManager::NodeId ObddManager::And(NodeId f, NodeId g) {
+  return Ite(f, g, kFalse);
+}
+
+ObddManager::NodeId ObddManager::Or(NodeId f, NodeId g) {
+  return Ite(f, kTrue, g);
+}
+
+ObddManager::NodeId ObddManager::Xor(NodeId f, NodeId g) {
+  return Ite(f, Not(g), g);
+}
+
+ObddManager::NodeId ObddManager::Restrict(NodeId f, int var, bool value) {
+  const int level = LevelOf(var);
+  CTSDD_CHECK_GE(level, 0);
+  // Recursive restrict with a local cache keyed by node id.
+  std::unordered_map<NodeId, NodeId> cache;
+  std::vector<NodeId> stack = {f};
+  // Simple recursive lambda (depth bounded by number of levels).
+  std::function<NodeId(NodeId)> rec = [&](NodeId u) -> NodeId {
+    if (IsTerminal(u) || nodes_[u].level > level) return u;
+    const auto it = cache.find(u);
+    if (it != cache.end()) return it->second;
+    NodeId result;
+    if (nodes_[u].level == level) {
+      result = value ? nodes_[u].hi : nodes_[u].lo;
+    } else {
+      result = MakeNode(nodes_[u].level, rec(nodes_[u].lo), rec(nodes_[u].hi));
+    }
+    cache.emplace(u, result);
+    return result;
+  };
+  (void)stack;
+  return rec(f);
+}
+
+bool ObddManager::Evaluate(NodeId f,
+                           const std::vector<bool>& values_by_level) const {
+  CTSDD_CHECK_EQ(static_cast<int>(values_by_level.size()), num_levels());
+  while (!IsTerminal(f)) {
+    const Node& n = nodes_[f];
+    f = values_by_level[n.level] ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+uint64_t ObddManager::CountModels(NodeId f) const {
+  CTSDD_CHECK_LE(num_levels(), 63);
+  std::unordered_map<NodeId, uint64_t> memo;
+  // count(u) = number of models of the subfunction over levels
+  // [node(u).level, num_levels).
+  std::function<uint64_t(NodeId)> rec = [&](NodeId u) -> uint64_t {
+    if (u == kFalse) return 0;
+    if (u == kTrue) return 1;
+    const auto it = memo.find(u);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[u];
+    const uint64_t lo = rec(n.lo)
+                        << (nodes_[n.lo].level - n.level - 1);
+    const uint64_t hi = rec(n.hi)
+                        << (nodes_[n.hi].level - n.level - 1);
+    const uint64_t result = lo + hi;
+    memo.emplace(u, result);
+    return result;
+  };
+  return rec(f) << nodes_[f].level;
+}
+
+double ObddManager::WeightedModelCount(
+    NodeId f, const std::vector<double>& prob_by_level) const {
+  CTSDD_CHECK_EQ(static_cast<int>(prob_by_level.size()), num_levels());
+  std::unordered_map<NodeId, double> memo;
+  std::function<double(NodeId)> rec = [&](NodeId u) -> double {
+    if (u == kFalse) return 0.0;
+    if (u == kTrue) return 1.0;
+    const auto it = memo.find(u);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[u];
+    const double p = prob_by_level[n.level];
+    const double result = (1.0 - p) * rec(n.lo) + p * rec(n.hi);
+    memo.emplace(u, result);
+    return result;
+  };
+  return rec(f);
+}
+
+int ObddManager::Size(NodeId f) const {
+  std::set<NodeId> seen;
+  std::vector<NodeId> stack = {f};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (IsTerminal(u) || seen.count(u)) continue;
+    seen.insert(u);
+    stack.push_back(nodes_[u].lo);
+    stack.push_back(nodes_[u].hi);
+  }
+  return static_cast<int>(seen.size());
+}
+
+std::vector<int> ObddManager::LevelProfile(NodeId f) const {
+  std::vector<int> profile(num_levels(), 0);
+  std::set<NodeId> seen;
+  std::vector<NodeId> stack = {f};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (IsTerminal(u) || seen.count(u)) continue;
+    seen.insert(u);
+    ++profile[nodes_[u].level];
+    stack.push_back(nodes_[u].lo);
+    stack.push_back(nodes_[u].hi);
+  }
+  return profile;
+}
+
+int ObddManager::Width(NodeId f) const {
+  const auto profile = LevelProfile(f);
+  return profile.empty() ? 0 : *std::max_element(profile.begin(),
+                                                 profile.end());
+}
+
+}  // namespace ctsdd

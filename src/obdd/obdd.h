@@ -1,0 +1,122 @@
+// A reduced ordered binary decision diagram (OBDD) package with a shared
+// unique table, apply/ite with memoization, model counting, and weighted
+// model counting (the probability computation of Section 1).
+//
+// OBDDs are the linear-vtree special case of SDDs (Section 3.2.2); the
+// paper measures functions by OBDD *width* — the largest number of nodes
+// labeled by the same variable — which this package reports alongside size.
+
+#ifndef CTSDD_OBDD_OBDD_H_
+#define CTSDD_OBDD_OBDD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace ctsdd {
+
+class ObddManager {
+ public:
+  // Node ids: 0 = false terminal, 1 = true terminal, >= 2 internal.
+  using NodeId = int;
+  static constexpr NodeId kFalse = 0;
+  static constexpr NodeId kTrue = 1;
+
+  // `var_order[i]` is the global variable id tested at level i.
+  explicit ObddManager(std::vector<int> var_order);
+
+  const std::vector<int>& var_order() const { return var_order_; }
+  int num_levels() const { return static_cast<int>(var_order_.size()); }
+  // Level of a global variable id; -1 if not in the order.
+  int LevelOf(int var) const;
+
+  NodeId False() const { return kFalse; }
+  NodeId True() const { return kTrue; }
+  NodeId Literal(int var, bool positive);
+
+  NodeId Not(NodeId f);
+  NodeId And(NodeId f, NodeId g);
+  NodeId Or(NodeId f, NodeId g);
+  NodeId Xor(NodeId f, NodeId g);
+  NodeId Ite(NodeId f, NodeId g, NodeId h);
+
+  // Shannon cofactors of f by the level-`level` variable.
+  NodeId CofactorLo(NodeId f, int level) const;
+  NodeId CofactorHi(NodeId f, int level) const;
+
+  // Restricts f by var := value.
+  NodeId Restrict(NodeId f, int var, bool value);
+
+  bool Evaluate(NodeId f, const std::vector<bool>& values_by_level) const;
+
+  // Number of models over the full variable order.
+  uint64_t CountModels(NodeId f) const;
+
+  // Probability of f when variable at level i is independently true with
+  // probability prob_by_level[i].
+  double WeightedModelCount(NodeId f,
+                            const std::vector<double>& prob_by_level) const;
+
+  // Reachable node count, terminals excluded.
+  int Size(NodeId f) const;
+
+  // Max number of reachable nodes on a single level (OBDD width).
+  int Width(NodeId f) const;
+
+  // Nodes per level, for profile plots.
+  std::vector<int> LevelProfile(NodeId f) const;
+
+  // Total nodes ever created (manager footprint).
+  int NumNodes() const { return static_cast<int>(nodes_.size()); }
+
+  struct Node {
+    int level;  // index into var_order_
+    NodeId lo;
+    NodeId hi;
+  };
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  bool IsTerminal(NodeId id) const { return id <= 1; }
+
+ private:
+  NodeId MakeNode(int level, NodeId lo, NodeId hi);
+
+  struct Key {
+    int level;
+    NodeId lo;
+    NodeId hi;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = static_cast<uint64_t>(k.level) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(k.lo) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      h ^= static_cast<uint64_t>(k.hi) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct IteKey {
+    NodeId f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    size_t operator()(const IteKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.f) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(k.g) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      h ^= static_cast<uint64_t>(k.h) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  std::vector<int> var_order_;
+  std::unordered_map<int, int> level_of_var_;
+  std::vector<Node> nodes_;
+  std::unordered_map<Key, NodeId, KeyHash> unique_;
+  std::unordered_map<IteKey, NodeId, IteKeyHash> ite_cache_;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_OBDD_OBDD_H_

@@ -1,0 +1,131 @@
+#include "obdd/obdd_compile.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+ObddManager::NodeId CompileCircuitToObdd(ObddManager* manager,
+                                         const Circuit& circuit) {
+  CTSDD_CHECK_GE(circuit.output(), 0);
+  std::vector<ObddManager::NodeId> value(circuit.num_gates());
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    switch (g.kind) {
+      case GateKind::kConstFalse:
+        value[id] = manager->False();
+        break;
+      case GateKind::kConstTrue:
+        value[id] = manager->True();
+        break;
+      case GateKind::kVar:
+        value[id] = manager->Literal(g.var, true);
+        break;
+      case GateKind::kNot:
+        value[id] = manager->Not(value[g.inputs[0]]);
+        break;
+      case GateKind::kAnd: {
+        ObddManager::NodeId acc = manager->True();
+        for (int input : g.inputs) acc = manager->And(acc, value[input]);
+        value[id] = acc;
+        break;
+      }
+      case GateKind::kOr: {
+        ObddManager::NodeId acc = manager->False();
+        for (int input : g.inputs) acc = manager->Or(acc, value[input]);
+        value[id] = acc;
+        break;
+      }
+    }
+  }
+  return value[circuit.output()];
+}
+
+ObddManager::NodeId CompileFuncToObdd(ObddManager* manager,
+                                      const BoolFunc& f) {
+  // Shannon-expand along the manager's order restricted to f's variables.
+  // Memoize on the (sub)function itself.
+  std::unordered_map<BoolFunc, ObddManager::NodeId, BoolFunc::Hasher> memo;
+  // Order f's variables by manager level.
+  std::vector<int> vars = f.vars();
+  std::sort(vars.begin(), vars.end(), [&](int a, int b) {
+    return manager->LevelOf(a) < manager->LevelOf(b);
+  });
+  for (int v : vars) {
+    CTSDD_CHECK_GE(manager->LevelOf(v), 0)
+        << "variable x" << v << " missing from OBDD order";
+  }
+  std::function<ObddManager::NodeId(const BoolFunc&, size_t)> rec =
+      [&](const BoolFunc& g, size_t next) -> ObddManager::NodeId {
+    if (g.IsConstantFalse()) return manager->False();
+    if (g.IsConstantTrue()) return manager->True();
+    const auto it = memo.find(g);
+    if (it != memo.end()) return it->second;
+    CTSDD_CHECK_LT(next, vars.size());
+    const int var = vars[next];
+    const ObddManager::NodeId lo = rec(g.Restrict(var, false), next + 1);
+    const ObddManager::NodeId hi = rec(g.Restrict(var, true), next + 1);
+    const ObddManager::NodeId result =
+        manager->Ite(manager->Literal(var, true), hi, lo);
+    memo.emplace(g, result);
+    return result;
+  };
+  return rec(f, 0);
+}
+
+ObddStats ObddStatsForOrder(const BoolFunc& f, const std::vector<int>& order) {
+  ObddManager manager(order);
+  const auto root = CompileFuncToObdd(&manager, f);
+  return {manager.Size(root), manager.Width(root), order};
+}
+
+ObddStats BestObddOverAllOrders(const BoolFunc& f, bool minimize_width) {
+  CTSDD_CHECK_LE(f.num_vars(), 10) << "exhaustive order search too large";
+  std::vector<int> order = f.vars();
+  std::sort(order.begin(), order.end());
+  ObddStats best;
+  bool first = true;
+  do {
+    const ObddStats stats = ObddStatsForOrder(f, order);
+    const int objective = minimize_width ? stats.width : stats.size;
+    const int best_objective = minimize_width ? best.width : best.size;
+    if (first || objective < best_objective) {
+      best = stats;
+      first = false;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+ObddStats BestObddBySifting(const BoolFunc& f, bool minimize_width,
+                            int rounds) {
+  std::vector<int> order = f.vars();
+  ObddStats best = ObddStatsForOrder(f, order);
+  auto objective = [&](const ObddStats& s) {
+    return minimize_width ? s.width : s.size;
+  };
+  for (int round = 0; round < rounds; ++round) {
+    bool improved = false;
+    // Move each variable through every position, keep the best placement.
+    for (size_t i = 0; i < order.size(); ++i) {
+      for (size_t j = 0; j < order.size(); ++j) {
+        if (i == j) continue;
+        std::vector<int> candidate = best.order;
+        const int var = candidate[i];
+        candidate.erase(candidate.begin() + i);
+        candidate.insert(candidate.begin() + j, var);
+        const ObddStats stats = ObddStatsForOrder(f, candidate);
+        if (objective(stats) < objective(best)) {
+          best = stats;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,45 @@
+// Compiling circuits and semantic functions into OBDDs, plus small-n
+// exhaustive search over variable orders (used to measure OBDD width/size
+// of a *function* rather than of one particular order).
+
+#ifndef CTSDD_OBDD_OBDD_COMPILE_H_
+#define CTSDD_OBDD_OBDD_COMPILE_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "func/bool_func.h"
+#include "obdd/obdd.h"
+
+namespace ctsdd {
+
+// Bottom-up compilation of a circuit (manager order must cover its vars).
+ObddManager::NodeId CompileCircuitToObdd(ObddManager* manager,
+                                         const Circuit& circuit);
+
+// Compilation of an explicit function (manager order must cover its vars;
+// manager variables outside f's set are irrelevant).
+ObddManager::NodeId CompileFuncToObdd(ObddManager* manager,
+                                      const BoolFunc& f);
+
+struct ObddStats {
+  int size = 0;
+  int width = 0;
+  std::vector<int> order;  // the variable order achieving the stats
+};
+
+// Stats of f under one particular order.
+ObddStats ObddStatsForOrder(const BoolFunc& f, const std::vector<int>& order);
+
+// Exhaustive minimum over all orders of f's variables; `minimize_width`
+// selects the objective (width vs size). Requires f.num_vars() <= 10.
+ObddStats BestObddOverAllOrders(const BoolFunc& f, bool minimize_width);
+
+// Greedy sifting-style local search over orders starting from f's natural
+// variable order; usable beyond the exhaustive range.
+ObddStats BestObddBySifting(const BoolFunc& f, bool minimize_width,
+                            int rounds = 2);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_OBDD_OBDD_COMPILE_H_

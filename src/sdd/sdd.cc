@@ -1,0 +1,460 @@
+#include "sdd/sdd.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+SddManager::SddManager(Vtree vtree) : vtree_(std::move(vtree)) {
+  CTSDD_CHECK_GE(vtree_.root(), 0) << "vtree must be rooted";
+  // Terminal constants.
+  nodes_.push_back({Kind::kConst, false, -1, -1, {}});
+  nodes_.push_back({Kind::kConst, true, -1, -1, {}});
+}
+
+SddManager::NodeId SddManager::Literal(int var, bool positive) {
+  const uint64_t key = (static_cast<uint64_t>(var) << 1) | positive;
+  const auto it = literal_ids_.find(key);
+  if (it != literal_ids_.end()) return it->second;
+  const int leaf = vtree_.LeafOf(var);
+  CTSDD_CHECK_GE(leaf, 0) << "variable x" << var << " not in vtree";
+  nodes_.push_back({Kind::kLiteral, positive, var, leaf, {}});
+  const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  literal_ids_.emplace(key, id);
+  return id;
+}
+
+SddManager::NodeId SddManager::MakeDecision(int vnode, Elements elements) {
+  // Drop false primes.
+  elements.erase(std::remove_if(elements.begin(), elements.end(),
+                                [](const auto& e) { return e.first == kFalse; }),
+                 elements.end());
+  CTSDD_CHECK(!elements.empty())
+      << "decision with no satisfiable prime (primes must be exhaustive)";
+  // Compress: merge elements with equal subs by disjoining their primes.
+  std::map<NodeId, NodeId> prime_of_sub;  // sub -> accumulated prime
+  for (const auto& [p, s] : elements) {
+    const auto it = prime_of_sub.find(s);
+    if (it == prime_of_sub.end()) {
+      prime_of_sub.emplace(s, p);
+    } else {
+      it->second = Apply(it->second, p, Op::kOr);
+    }
+  }
+  elements.clear();
+  for (const auto& [s, p] : prime_of_sub) elements.emplace_back(p, s);
+  // Trim rule 1: {(true, s)} -> s.
+  if (elements.size() == 1) {
+    CTSDD_CHECK_EQ(elements[0].first, kTrue)
+        << "single-element decision must have a valid (exhaustive) prime";
+    return elements[0].second;
+  }
+  // Trim rule 2: {(p, true), (q, false)} -> p (since q = !p by partition).
+  if (elements.size() == 2) {
+    NodeId true_prime = -1;
+    NodeId false_prime = -1;
+    for (const auto& [p, s] : elements) {
+      if (s == kTrue) true_prime = p;
+      if (s == kFalse) false_prime = p;
+    }
+    if (true_prime >= 0 && false_prime >= 0) return true_prime;
+  }
+  std::sort(elements.begin(), elements.end());
+  const ElementsKey key{vnode, elements};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  nodes_.push_back({Kind::kDecision, false, -1, vnode, elements});
+  const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  unique_.emplace(key, id);
+  return id;
+}
+
+SddManager::Elements SddManager::LiftTo(int vnode, NodeId a) {
+  const Node& n = nodes_[a];
+  if (n.kind == Kind::kDecision && n.vnode == vnode) return n.elements;
+  const int where = n.vnode;
+  CTSDD_CHECK_GE(where, 0);
+  if (vtree_.IsAncestorOrSelf(vtree_.left(vnode), where)) {
+    // `a` lives in the left subtree: (a AND true) OR (!a AND false).
+    return Elements{{a, kTrue}, {Not(a), kFalse}};
+  }
+  CTSDD_CHECK(vtree_.IsAncestorOrSelf(vtree_.right(vnode), where))
+      << "operand does not respect the vtree";
+  return Elements{{kTrue, a}};
+}
+
+SddManager::NodeId SddManager::Apply(NodeId a, NodeId b, Op op) {
+  // Terminal cases.
+  if (op == Op::kAnd) {
+    if (a == kFalse || b == kFalse) return kFalse;
+    if (a == kTrue) return b;
+    if (b == kTrue) return a;
+  } else {
+    if (a == kTrue || b == kTrue) return kTrue;
+    if (a == kFalse) return b;
+    if (b == kFalse) return a;
+  }
+  if (a == b) return a;
+  if (a > b) std::swap(a, b);
+  const ApplyKey key{a, b, op};
+  const auto it = apply_cache_.find(key);
+  if (it != apply_cache_.end()) return it->second;
+
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  NodeId result;
+  if (na.kind == Kind::kLiteral && nb.kind == Kind::kLiteral &&
+      na.var == nb.var) {
+    // Same variable, different signs (equal handled above).
+    result = (op == Op::kAnd) ? kFalse : kTrue;
+  } else {
+    const int lca = vtree_.Lca(na.vnode, nb.vnode);
+    CTSDD_CHECK(!vtree_.is_leaf(lca));
+    const Elements ea = LiftTo(lca, a);
+    const Elements eb = LiftTo(lca, b);
+    Elements out;
+    out.reserve(ea.size() * eb.size());
+    for (const auto& [p1, s1] : ea) {
+      for (const auto& [p2, s2] : eb) {
+        const NodeId p = Apply(p1, p2, Op::kAnd);
+        if (p == kFalse) continue;
+        out.emplace_back(p, Apply(s1, s2, op));
+      }
+    }
+    result = MakeDecision(lca, std::move(out));
+  }
+  apply_cache_.emplace(key, result);
+  return result;
+}
+
+SddManager::NodeId SddManager::And(NodeId a, NodeId b) {
+  return Apply(a, b, Op::kAnd);
+}
+
+SddManager::NodeId SddManager::Or(NodeId a, NodeId b) {
+  return Apply(a, b, Op::kOr);
+}
+
+SddManager::NodeId SddManager::Not(NodeId a) {
+  if (a == kFalse) return kTrue;
+  if (a == kTrue) return kFalse;
+  const auto it = neg_cache_.find(a);
+  if (it != neg_cache_.end()) return it->second;
+  // Copy: recursive calls below may grow nodes_ and invalidate references.
+  const Node n = nodes_[a];
+  NodeId result;
+  if (n.kind == Kind::kLiteral) {
+    result = Literal(n.var, !n.sense);
+  } else {
+    Elements out = n.elements;
+    for (auto& [p, s] : out) s = Not(s);
+    result = MakeDecision(n.vnode, std::move(out));
+  }
+  neg_cache_.emplace(a, result);
+  neg_cache_.emplace(result, a);
+  return result;
+}
+
+SddManager::NodeId SddManager::Restrict(NodeId a, int var, bool value) {
+  const int leaf = vtree_.LeafOf(var);
+  CTSDD_CHECK_GE(leaf, 0);
+  std::unordered_map<NodeId, NodeId> memo;
+  std::function<NodeId(NodeId)> rec = [&](NodeId u) -> NodeId {
+    if (IsConst(u)) return u;
+    // Copy: recursive calls below may grow nodes_ and invalidate references.
+    const Node n = nodes_[u];
+    // If var is outside u's scope, u is unchanged.
+    if (!vtree_.IsAncestorOrSelf(n.vnode, leaf)) return u;
+    const auto it = memo.find(u);
+    if (it != memo.end()) return it->second;
+    NodeId result;
+    if (n.kind == Kind::kLiteral) {
+      result = (n.sense == value) ? kTrue : kFalse;
+    } else {
+      Elements out = n.elements;
+      if (vtree_.IsAncestorOrSelf(vtree_.left(n.vnode), leaf)) {
+        for (auto& [p, s] : out) p = rec(p);
+      } else {
+        for (auto& [p, s] : out) s = rec(s);
+      }
+      result = MakeDecision(n.vnode, std::move(out));
+    }
+    memo.emplace(u, result);
+    return result;
+  };
+  return rec(a);
+}
+
+SddManager::NodeId SddManager::Exists(NodeId a, int var) {
+  return Or(Restrict(a, var, false), Restrict(a, var, true));
+}
+
+SddManager::NodeId SddManager::Forall(NodeId a, int var) {
+  return And(Restrict(a, var, false), Restrict(a, var, true));
+}
+
+SddManager::NodeId SddManager::ExistsAll(NodeId a,
+                                         const std::vector<int>& vars) {
+  for (int var : vars) a = Exists(a, var);
+  return a;
+}
+
+bool SddManager::AnyModel(NodeId a, std::map<int, bool>* out) const {
+  out->clear();
+  if (a == kFalse) return false;
+  // Walk down: at each decision pick a satisfiable (prime, sub) pair with
+  // sub != false; fill unconstrained variables with false.
+  std::function<bool(NodeId)> descend = [&](NodeId u) -> bool {
+    if (u == kFalse) return false;
+    if (u == kTrue) return true;
+    const Node& n = nodes_[u];
+    if (n.kind == Kind::kLiteral) {
+      out->emplace(n.var, n.sense);
+      return true;
+    }
+    for (const auto& [p, s] : n.elements) {
+      if (s == kFalse) continue;
+      // Primes are satisfiable by construction.
+      if (!descend(p)) continue;
+      return descend(s);
+    }
+    return false;
+  };
+  if (!descend(a)) return false;
+  for (int v : vtree_.Vars()) out->try_emplace(v, false);
+  return true;
+}
+
+bool SddManager::Evaluate(NodeId a,
+                          const std::map<int, bool>& assignment) const {
+  std::function<bool(NodeId)> rec = [&](NodeId u) -> bool {
+    if (u == kFalse) return false;
+    if (u == kTrue) return true;
+    const Node& n = nodes_[u];
+    if (n.kind == Kind::kLiteral) {
+      const auto it = assignment.find(n.var);
+      CTSDD_CHECK(it != assignment.end())
+          << "assignment missing variable x" << n.var;
+      return it->second == n.sense;
+    }
+    for (const auto& [p, s] : n.elements) {
+      if (rec(p)) return rec(s);
+    }
+    CTSDD_CHECK(false) << "primes must be exhaustive";
+    return false;
+  };
+  return rec(a);
+}
+
+uint64_t SddManager::CountModelsAt(
+    NodeId a, int vnode, std::unordered_map<uint64_t, uint64_t>* memo) const {
+  const int scope = static_cast<int>(vtree_.VarsBelow(vnode).size());
+  CTSDD_CHECK_LE(scope, 62);
+  if (a == kFalse) return 0;
+  if (a == kTrue) return 1ULL << scope;
+  const uint64_t key = (static_cast<uint64_t>(a) << 20) |
+                       static_cast<uint64_t>(vnode);
+  const auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+  const Node& n = nodes_[a];
+  CTSDD_CHECK(vtree_.IsAncestorOrSelf(vnode, n.vnode))
+      << "node out of scope for model counting";
+  uint64_t result;
+  if (n.kind == Kind::kLiteral) {
+    result = 1ULL << (scope - 1);
+  } else {
+    const int w = n.vnode;
+    uint64_t base = 0;
+    for (const auto& [p, s] : n.elements) {
+      base += CountModelsAt(p, vtree_.left(w), memo) *
+              CountModelsAt(s, vtree_.right(w), memo);
+    }
+    const int w_scope = static_cast<int>(vtree_.VarsBelow(w).size());
+    result = base << (scope - w_scope);
+  }
+  memo->emplace(key, result);
+  return result;
+}
+
+uint64_t SddManager::CountModels(NodeId a) const {
+  std::unordered_map<uint64_t, uint64_t> memo;
+  return CountModelsAt(a, vtree_.root(), &memo);
+}
+
+double SddManager::WmcAt(NodeId a, int vnode,
+                         const std::vector<double>& prob_of_var,
+                         std::unordered_map<uint64_t, double>* memo) const {
+  if (a == kFalse) return 0.0;
+  if (a == kTrue) return 1.0;
+  const uint64_t key = (static_cast<uint64_t>(a) << 20) |
+                       static_cast<uint64_t>(vnode);
+  const auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+  const Node& n = nodes_[a];
+  double result;
+  if (n.kind == Kind::kLiteral) {
+    const double p = prob_of_var[n.var];
+    result = n.sense ? p : 1.0 - p;
+  } else {
+    const int w = n.vnode;
+    result = 0.0;
+    for (const auto& [p, s] : n.elements) {
+      result += WmcAt(p, vtree_.left(w), prob_of_var, memo) *
+                WmcAt(s, vtree_.right(w), prob_of_var, memo);
+    }
+  }
+  memo->emplace(key, result);
+  return result;
+}
+
+double SddManager::WeightedModelCount(
+    NodeId a, const std::map<int, double>& prob) const {
+  int max_var = 0;
+  for (int v : vtree_.Vars()) max_var = std::max(max_var, v);
+  std::vector<double> prob_of_var(max_var + 1, 0.5);
+  for (const auto& [v, p] : prob) {
+    if (v <= max_var) prob_of_var[v] = p;
+  }
+  std::unordered_map<uint64_t, double> memo;
+  return WmcAt(a, vtree_.root(), prob_of_var, &memo);
+}
+
+BoolFunc SddManager::ToBoolFunc(NodeId a) const {
+  const std::vector<int>& all = vtree_.Vars();
+  CTSDD_CHECK_LE(static_cast<int>(all.size()), BoolFunc::kMaxVars);
+  std::unordered_map<NodeId, BoolFunc> memo;
+  std::function<BoolFunc(NodeId)> rec = [&](NodeId u) -> BoolFunc {
+    if (u == kFalse) return BoolFunc::Constant(false);
+    if (u == kTrue) return BoolFunc::Constant(true);
+    const auto it = memo.find(u);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[u];
+    BoolFunc result;
+    if (n.kind == Kind::kLiteral) {
+      result = BoolFunc::Literal(n.var, n.sense);
+    } else {
+      result = BoolFunc::Constant(false);
+      for (const auto& [p, s] : n.elements) {
+        result = result | (rec(p) & rec(s));
+      }
+    }
+    memo.emplace(u, result);
+    return result;
+  };
+  return rec(a).ExpandTo(all);
+}
+
+int SddManager::Size(NodeId a) const {
+  int total = 0;
+  for (int count : VtreeProfile(a)) total += count;
+  return total;
+}
+
+int SddManager::NumDecisions(NodeId a) const {
+  int count = 0;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack = {a};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (IsConst(u) || seen[u]) continue;
+    seen[u] = true;
+    if (nodes_[u].kind == Kind::kDecision) {
+      ++count;
+      for (const auto& [p, s] : nodes_[u].elements) {
+        stack.push_back(p);
+        stack.push_back(s);
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<int> SddManager::VtreeProfile(NodeId a) const {
+  std::vector<int> profile(vtree_.num_nodes(), 0);
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack = {a};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (IsConst(u) || seen[u]) continue;
+    seen[u] = true;
+    const Node& n = nodes_[u];
+    if (n.kind == Kind::kDecision) {
+      profile[n.vnode] += static_cast<int>(n.elements.size());
+      for (const auto& [p, s] : n.elements) {
+        stack.push_back(p);
+        stack.push_back(s);
+      }
+    }
+  }
+  return profile;
+}
+
+int SddManager::Width(NodeId a) const {
+  int width = 0;
+  for (int count : VtreeProfile(a)) width = std::max(width, count);
+  return width;
+}
+
+Status SddManager::Validate(NodeId a) {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack = {a};
+  std::unordered_map<uint64_t, uint64_t> memo;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (IsConst(u) || seen[u]) continue;
+    seen[u] = true;
+    // Copy: the disjointness checks below may grow nodes_.
+    const Node n = nodes_[u];
+    if (n.kind == Kind::kLiteral) continue;
+    if (vtree_.is_leaf(n.vnode)) {
+      return Status::Internal("decision normalized at a vtree leaf");
+    }
+    if (n.elements.size() < 2) {
+      return Status::Internal("untrimmed single-element decision");
+    }
+    const int left = vtree_.left(n.vnode);
+    const int right = vtree_.right(n.vnode);
+    uint64_t prime_models = 0;
+    std::vector<NodeId> subs;
+    for (const auto& [p, s] : n.elements) {
+      if (p == kFalse || p == kTrue) {
+        return Status::Internal("constant prime in multi-element decision");
+      }
+      if (!vtree_.IsAncestorOrSelf(left, nodes_[p].vnode)) {
+        return Status::Internal("prime outside left vtree subtree");
+      }
+      if (!IsConst(s) && !vtree_.IsAncestorOrSelf(right, nodes_[s].vnode)) {
+        return Status::Internal("sub outside right vtree subtree");
+      }
+      prime_models += CountModelsAt(p, left, &memo);
+      subs.push_back(s);
+      stack.push_back(p);
+      stack.push_back(s);
+    }
+    // Pairwise disjointness of primes.
+    for (size_t i = 0; i < n.elements.size(); ++i) {
+      for (size_t j = i + 1; j < n.elements.size(); ++j) {
+        if (And(n.elements[i].first, n.elements[j].first) != kFalse) {
+          return Status::Internal("primes not pairwise disjoint");
+        }
+      }
+    }
+    // Exhaustiveness: disjoint primes partition iff counts sum to the cube.
+    const int left_scope = static_cast<int>(vtree_.VarsBelow(left).size());
+    if (prime_models != (1ULL << left_scope)) {
+      return Status::Internal("primes do not partition their scope");
+    }
+    std::sort(subs.begin(), subs.end());
+    if (std::adjacent_find(subs.begin(), subs.end()) != subs.end()) {
+      return Status::Internal("duplicate subs (compression violated)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,176 @@
+// Sentential decision diagrams (Darwiche 2011; Section 2.1 of the paper).
+//
+// An SDD respecting a vtree T is either a constant, a literal, or a
+// decision node normalized at an internal vtree node v: a set of elements
+// {(p_i, s_i)} where the primes p_i are SDDs over X_{left(v)} forming an
+// exhaustive, pairwise-disjoint case distinction ((1)-(2) in the paper)
+// and the subs s_i are SDDs over X_{right(v)}. Canonical SDDs additionally
+// keep subs distinct ((3)); with compression and trimming the manager
+// below maintains canonical form, so semantically equal SDDs are pointer
+// equal.
+//
+// Width (Definition 5) is reported as the maximum, over vtree nodes v, of
+// the number of elements of reachable decision nodes normalized at v —
+// each element is one AND gate structured by v in the circuit reading of
+// the SDD.
+
+#ifndef CTSDD_SDD_SDD_H_
+#define CTSDD_SDD_SDD_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "func/bool_func.h"
+#include "util/status.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+
+class SddManager {
+ public:
+  using NodeId = int;
+  static constexpr NodeId kFalse = 0;
+  static constexpr NodeId kTrue = 1;
+
+  // Elements of a decision node, sorted by (prime, sub) id.
+  using Elements = std::vector<std::pair<NodeId, NodeId>>;
+
+  explicit SddManager(Vtree vtree);
+
+  const Vtree& vtree() const { return vtree_; }
+
+  NodeId False() const { return kFalse; }
+  NodeId True() const { return kTrue; }
+  NodeId Literal(int var, bool positive);
+
+  NodeId And(NodeId a, NodeId b);
+  NodeId Or(NodeId a, NodeId b);
+  NodeId Not(NodeId a);
+
+  // Conditions on var := value.
+  NodeId Restrict(NodeId a, int var, bool value);
+
+  // Existential / universal quantification of one variable:
+  // Exists = f|x=0 OR f|x=1, Forall = f|x=0 AND f|x=1. Note that
+  // disjoining the two restrictions does not preserve determinism in
+  // general — this is exactly the paper's observation (Section 1) about
+  // why the Tseitin route of Petke–Razgon cannot stay deterministic; the
+  // manager re-canonicalizes, which may cost size.
+  NodeId Exists(NodeId a, int var);
+  NodeId Forall(NodeId a, int var);
+
+  // Existentially quantifies a set of variables (in the given order).
+  NodeId ExistsAll(NodeId a, const std::vector<int>& vars);
+
+  // Some model of `a` as a (var -> value) map over the full vtree
+  // variable set; nullopt-like: returns false and leaves `out` empty when
+  // unsatisfiable.
+  bool AnyModel(NodeId a, std::map<int, bool>* out) const;
+
+  bool Evaluate(NodeId a, const std::map<int, bool>& assignment) const;
+
+  // Models over the full vtree variable set.
+  uint64_t CountModels(NodeId a) const;
+
+  // Probability under independent variable probabilities (by global id;
+  // variables absent from the map default to probability 0.5).
+  double WeightedModelCount(NodeId a,
+                            const std::map<int, double>& prob) const;
+
+  // The function computed by `a`, over the full vtree variable set
+  // (requires <= BoolFunc::kMaxVars variables; for tests).
+  BoolFunc ToBoolFunc(NodeId a) const;
+
+  // --- Structural statistics ---
+
+  // Total elements over reachable decision nodes (the standard SDD size).
+  int Size(NodeId a) const;
+  // Number of reachable decision nodes.
+  int NumDecisions(NodeId a) const;
+  // Definition 5 width: max over vtree nodes of elements structured there.
+  int Width(NodeId a) const;
+  // Elements per vtree node (indexed by vtree node id).
+  std::vector<int> VtreeProfile(NodeId a) const;
+
+  // Checks the SDD invariants of `a`: primes partition their scope
+  // (pairwise-disjoint via Apply, exhaustive via model counts), subs are
+  // distinct (canonicity), and nodes respect the vtree. Non-const because
+  // the disjointness checks go through the apply cache.
+  Status Validate(NodeId a);
+
+  int NumNodes() const { return static_cast<int>(nodes_.size()); }
+
+  // --- Node access (read-only) ---
+  enum class Kind : uint8_t { kConst, kLiteral, kDecision };
+  struct Node {
+    Kind kind;
+    // kConst: value in `sense`. kLiteral: var + sense. kDecision: vnode +
+    // elements.
+    bool sense = false;
+    int var = -1;
+    int vnode = -1;  // vtree node where normalized (leaf for literals)
+    Elements elements;
+  };
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  bool IsConst(NodeId id) const { return id <= 1; }
+
+  // The vtree node a node is normalized at (-1 for constants).
+  int VtreeOf(NodeId id) const { return nodes_[id].vnode; }
+
+ private:
+  enum class Op : uint8_t { kAnd, kOr };
+
+  NodeId MakeDecision(int vnode, Elements elements);
+  NodeId Apply(NodeId a, NodeId b, Op op);
+  // Applies at the given vtree node, having lifted both operands to it.
+  Elements LiftTo(int vnode, NodeId a);
+
+  uint64_t CountModelsAt(NodeId a, int vnode,
+                         std::unordered_map<uint64_t, uint64_t>* memo) const;
+  double WmcAt(NodeId a, int vnode, const std::vector<double>& prob_of_var,
+               std::unordered_map<uint64_t, double>* memo) const;
+
+  struct ElementsKey {
+    int vnode;
+    Elements elements;
+    bool operator==(const ElementsKey&) const = default;
+  };
+  struct ElementsKeyHash {
+    size_t operator()(const ElementsKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.vnode) * 0x9e3779b97f4a7c15ULL;
+      for (const auto& [p, s] : k.elements) {
+        h ^= (static_cast<uint64_t>(p) << 32 | static_cast<uint32_t>(s)) +
+             0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  struct ApplyKey {
+    NodeId a, b;
+    Op op;
+    bool operator==(const ApplyKey&) const = default;
+  };
+  struct ApplyKeyHash {
+    size_t operator()(const ApplyKey& k) const {
+      uint64_t h = (static_cast<uint64_t>(k.a) << 33) ^
+                   (static_cast<uint64_t>(k.b) << 1) ^
+                   static_cast<uint64_t>(k.op);
+      h *= 0x9e3779b97f4a7c15ULL;
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+
+  Vtree vtree_;
+  std::vector<Node> nodes_;
+  std::unordered_map<ElementsKey, NodeId, ElementsKeyHash> unique_;
+  std::unordered_map<uint64_t, NodeId> literal_ids_;  // (var<<1|sign) -> id
+  std::unordered_map<ApplyKey, NodeId, ApplyKeyHash> apply_cache_;
+  std::unordered_map<NodeId, NodeId> neg_cache_;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_SDD_SDD_H_

@@ -1,0 +1,123 @@
+#include "sdd/sdd_compile.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+namespace {
+
+// Combines wide gates by balanced pairwise reduction instead of a left
+// fold: intermediate results stay local (small scopes conjoin/disjoin
+// first), which avoids the blowup a sequential accumulation suffers on
+// wide DNF-like gates.
+SddManager::NodeId FoldBalanced(SddManager* manager,
+                                std::vector<SddManager::NodeId> items,
+                                bool is_and) {
+  if (items.empty()) return is_and ? manager->True() : manager->False();
+  while (items.size() > 1) {
+    std::vector<SddManager::NodeId> next;
+    next.reserve((items.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < items.size(); i += 2) {
+      next.push_back(is_and ? manager->And(items[i], items[i + 1])
+                            : manager->Or(items[i], items[i + 1]));
+    }
+    if (items.size() % 2 == 1) next.push_back(items.back());
+    items = std::move(next);
+  }
+  return items[0];
+}
+
+}  // namespace
+
+SddManager::NodeId CompileCircuitToSdd(SddManager* manager,
+                                       const Circuit& circuit) {
+  CTSDD_CHECK_GE(circuit.output(), 0);
+  // Preorder positions of vtree nodes: inputs of wide gates are sorted by
+  // the position of the vtree node they are normalized at, so that
+  // scope-adjacent operands combine first in the balanced fold.
+  const Vtree& vt = manager->vtree();
+  std::vector<int> preorder(vt.num_nodes(), 0);
+  {
+    int counter = 0;
+    std::vector<int> stack = {vt.root()};
+    while (!stack.empty()) {
+      const int node = stack.back();
+      stack.pop_back();
+      preorder[node] = counter++;
+      if (!vt.is_leaf(node)) {
+        stack.push_back(vt.right(node));
+        stack.push_back(vt.left(node));
+      }
+    }
+  }
+  auto position = [&](SddManager::NodeId id) {
+    const int vnode = manager->VtreeOf(id);
+    return vnode < 0 ? -1 : preorder[vnode];
+  };
+  std::vector<SddManager::NodeId> value(circuit.num_gates());
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    switch (g.kind) {
+      case GateKind::kConstFalse:
+        value[id] = manager->False();
+        break;
+      case GateKind::kConstTrue:
+        value[id] = manager->True();
+        break;
+      case GateKind::kVar:
+        value[id] = manager->Literal(g.var, true);
+        break;
+      case GateKind::kNot:
+        value[id] = manager->Not(value[g.inputs[0]]);
+        break;
+      case GateKind::kAnd:
+      case GateKind::kOr: {
+        std::vector<SddManager::NodeId> inputs;
+        inputs.reserve(g.inputs.size());
+        for (int input : g.inputs) inputs.push_back(value[input]);
+        std::stable_sort(inputs.begin(), inputs.end(),
+                         [&](SddManager::NodeId a, SddManager::NodeId b) {
+                           return position(a) < position(b);
+                         });
+        value[id] =
+            FoldBalanced(manager, std::move(inputs), g.kind == GateKind::kAnd);
+        break;
+      }
+    }
+  }
+  return value[circuit.output()];
+}
+
+SddManager::NodeId CompileFuncToSdd(SddManager* manager, const BoolFunc& f) {
+  std::unordered_map<BoolFunc, SddManager::NodeId, BoolFunc::Hasher> memo;
+  std::function<SddManager::NodeId(const BoolFunc&)> rec =
+      [&](const BoolFunc& g) -> SddManager::NodeId {
+    if (g.IsConstantFalse()) return manager->False();
+    if (g.IsConstantTrue()) return manager->True();
+    const auto it = memo.find(g);
+    if (it != memo.end()) return it->second;
+    const int var = g.vars()[0];
+    const SddManager::NodeId lo = rec(g.Restrict(var, false));
+    const SddManager::NodeId hi = rec(g.Restrict(var, true));
+    const SddManager::NodeId x = manager->Literal(var, true);
+    const SddManager::NodeId result = manager->Or(
+        manager->And(x, hi), manager->And(manager->Not(x), lo));
+    memo.emplace(g, result);
+    return result;
+  };
+  return rec(f);
+}
+
+SddStats ComputeSddStats(const SddManager& manager, SddManager::NodeId root) {
+  SddStats stats;
+  stats.size = manager.Size(root);
+  stats.width = manager.Width(root);
+  stats.decisions = manager.NumDecisions(root);
+  return stats;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,37 @@
+// Compiling circuits and semantic functions into canonical SDDs via apply.
+//
+// Because the manager maintains compressed + trimmed (canonical) form, the
+// result is *the* canonical SDD of the function for the manager's vtree,
+// regardless of the construction route (Darwiche 2011; the paper's S_{F,T}
+// in Section 3.2.2 is the same object, and compile/sdd_canonical.cc builds
+// it directly from factors — the two constructions are cross-checked in
+// the tests).
+
+#ifndef CTSDD_SDD_SDD_COMPILE_H_
+#define CTSDD_SDD_SDD_COMPILE_H_
+
+#include "circuit/circuit.h"
+#include "func/bool_func.h"
+#include "sdd/sdd.h"
+
+namespace ctsdd {
+
+// Bottom-up apply-based compilation of a circuit. The manager's vtree must
+// contain every circuit variable.
+SddManager::NodeId CompileCircuitToSdd(SddManager* manager,
+                                       const Circuit& circuit);
+
+// Compilation of an explicit function by Shannon expansion + apply.
+SddManager::NodeId CompileFuncToSdd(SddManager* manager, const BoolFunc& f);
+
+struct SddStats {
+  int size = 0;       // total elements (AND gates)
+  int width = 0;      // Definition 5 width
+  int decisions = 0;  // decision (OR) nodes
+};
+
+SddStats ComputeSddStats(const SddManager& manager, SddManager::NodeId root);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_SDD_SDD_COMPILE_H_

@@ -1,0 +1,27 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ctsdd {
+namespace internal_logging {
+
+void DieBecause(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "%s:%d: CHECK failed: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+CheckFailureStream::CheckFailureStream(const char* file, int line,
+                                       const char* condition)
+    : file_(file), line_(line) {
+  stream_ << condition;
+}
+
+CheckFailureStream::~CheckFailureStream() {
+  DieBecause(file_, line_, stream_.str());
+}
+
+}  // namespace internal_logging
+}  // namespace ctsdd

@@ -1,0 +1,59 @@
+// CHECK macros and minimal logging for invariant enforcement.
+//
+// CHECK(cond) aborts the process with a diagnostic when `cond` is false.
+// These guard programming errors (violated invariants), not recoverable
+// conditions — those go through util/status.h.
+
+#ifndef CTSDD_UTIL_LOGGING_H_
+#define CTSDD_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ctsdd {
+namespace internal_logging {
+
+// Aborts the process after printing `file:line: message` to stderr.
+[[noreturn]] void DieBecause(const char* file, int line,
+                             const std::string& message);
+
+// Stream collector used by the CHECK macros to build failure messages.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailureStream();
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace ctsdd
+
+#define CTSDD_CHECK(cond)                                             \
+  while (!(cond))                                                     \
+  ::ctsdd::internal_logging::CheckFailureStream(__FILE__, __LINE__, #cond)
+
+#define CTSDD_CHECK_EQ(a, b) CTSDD_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CTSDD_CHECK_NE(a, b) CTSDD_CHECK((a) != (b))
+#define CTSDD_CHECK_LT(a, b) CTSDD_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CTSDD_CHECK_LE(a, b) CTSDD_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CTSDD_CHECK_GT(a, b) CTSDD_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CTSDD_CHECK_GE(a, b) CTSDD_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+// Checks that a Status-returning expression is OK.
+#define CTSDD_CHECK_OK(expr)                          \
+  do {                                                \
+    const ::ctsdd::Status _s = (expr);                \
+    CTSDD_CHECK(_s.ok()) << _s.ToString();            \
+  } while (0)
+
+#endif  // CTSDD_UTIL_LOGGING_H_

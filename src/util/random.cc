@@ -1,0 +1,69 @@
+#include "util/random.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  CTSDD_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::NextInt(int lo, int hi) {
+  CTSDD_CHECK_LE(lo, hi);
+  return lo + static_cast<int>(NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const int j = static_cast<int>(NextBelow(static_cast<uint64_t>(i) + 1));
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random generation used by tests, generators, and
+// benchmarks. All randomness in the library flows through Rng so that every
+// experiment is reproducible from a seed.
+
+#ifndef CTSDD_UTIL_RANDOM_H_
+#define CTSDD_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ctsdd {
+
+// SplitMix64-seeded xoshiro256** generator. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next64();
+
+  // Uniform in [0, bound). Requires bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int NextInt(int lo, int hi);
+
+  // Bernoulli(p) draw; p is clamped to [0, 1].
+  bool NextBool(double p = 0.5);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // A uniformly random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_UTIL_RANDOM_H_

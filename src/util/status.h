@@ -1,0 +1,123 @@
+// Lightweight Status / StatusOr error-handling primitives.
+//
+// The library's public API reports recoverable errors through Status and
+// StatusOr<T> rather than exceptions, following the conventions of
+// production database codebases. Programming errors (violated invariants)
+// are handled with CHECK macros from util/logging.h instead.
+
+#ifndef CTSDD_UTIL_STATUS_H_
+#define CTSDD_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ctsdd {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kUnimplemented = 4,
+  kInternal = 5,
+  kResourceExhausted = 6,
+  kFailedPrecondition = 7,
+};
+
+// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+// A Status carries a code and, when not OK, an explanatory message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// StatusOr<T> holds either a value of type T or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr ergonomics:
+  // `return value;` and `return Status::...;` both work.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  // Precondition: ok(). Checked in logging.h-based accessors; here we rely
+  // on std::get which throws std::bad_variant_access on misuse in debug use.
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace ctsdd
+
+// Evaluates `expr` (a Status) and returns it from the enclosing function if
+// it is not OK.
+#define CTSDD_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::ctsdd::Status _ctsdd_status = (expr);           \
+    if (!_ctsdd_status.ok()) return _ctsdd_status;    \
+  } while (0)
+
+#endif  // CTSDD_UTIL_STATUS_H_

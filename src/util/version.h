@@ -1,0 +1,15 @@
+// Library version constants.
+
+#ifndef CTSDD_UTIL_VERSION_H_
+#define CTSDD_UTIL_VERSION_H_
+
+namespace ctsdd {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_UTIL_VERSION_H_

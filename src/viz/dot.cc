@@ -1,0 +1,120 @@
+#include "viz/dot.h"
+
+#include <sstream>
+#include <vector>
+
+namespace ctsdd {
+
+std::string CircuitToDot(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "digraph circuit {\n  rankdir=BT;\n";
+  for (int id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    os << "  g" << id;
+    switch (g.kind) {
+      case GateKind::kVar:
+        os << " [shape=plaintext,label=\"x" << g.var << "\"];\n";
+        break;
+      case GateKind::kConstFalse:
+        os << " [shape=plaintext,label=\"0\"];\n";
+        break;
+      case GateKind::kConstTrue:
+        os << " [shape=plaintext,label=\"1\"];\n";
+        break;
+      case GateKind::kNot:
+        os << " [shape=box,label=\"NOT\"];\n";
+        break;
+      case GateKind::kAnd:
+        os << " [shape=box,label=\"AND\"];\n";
+        break;
+      case GateKind::kOr:
+        os << " [shape=box,label=\"OR\"];\n";
+        break;
+    }
+    for (int input : g.inputs) {
+      os << "  g" << input << " -> g" << id << ";\n";
+    }
+  }
+  if (circuit.output() >= 0) {
+    os << "  out [shape=plaintext,label=\"output\"];\n  g"
+       << circuit.output() << " -> out;\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string VtreeToDot(const Vtree& vtree) {
+  std::ostringstream os;
+  os << "graph vtree {\n";
+  std::vector<int> stack = {vtree.root()};
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    if (vtree.is_leaf(node)) {
+      os << "  v" << node << " [shape=plaintext,label=\"x"
+         << vtree.var(node) << "\"];\n";
+      continue;
+    }
+    os << "  v" << node << " [shape=point];\n";
+    os << "  v" << node << " -- v" << vtree.left(node) << ";\n";
+    os << "  v" << node << " -- v" << vtree.right(node) << ";\n";
+    stack.push_back(vtree.left(node));
+    stack.push_back(vtree.right(node));
+  }
+  os << "}\n";
+  return os.str();
+}
+
+namespace {
+
+std::string SddLeafLabel(const SddManager& manager, SddManager::NodeId id) {
+  if (id == SddManager::kFalse) return "F";
+  if (id == SddManager::kTrue) return "T";
+  const auto& node = manager.node(id);
+  if (node.kind == SddManager::Kind::kLiteral) {
+    return (node.sense ? "x" : "!x") + std::to_string(node.var);
+  }
+  return "";  // decision: drawn as its own record
+}
+
+}  // namespace
+
+std::string SddToDot(const SddManager& manager, SddManager::NodeId root) {
+  std::ostringstream os;
+  os << "digraph sdd {\n  node [shape=record];\n";
+  std::vector<bool> seen(manager.NumNodes(), false);
+  std::vector<SddManager::NodeId> stack = {root};
+  while (!stack.empty()) {
+    const auto id = stack.back();
+    stack.pop_back();
+    if (manager.IsConst(id) || seen[id]) continue;
+    seen[id] = true;
+    const auto& node = manager.node(id);
+    if (node.kind != SddManager::Kind::kDecision) continue;
+    os << "  n" << id << " [label=\"";
+    for (size_t i = 0; i < node.elements.size(); ++i) {
+      const auto [p, s] = node.elements[i];
+      if (i) os << "|";
+      os << "{<p" << i << "> " << SddLeafLabel(manager, p) << "|<s" << i
+         << "> " << SddLeafLabel(manager, s) << "}";
+    }
+    os << "\" xlabel=\"v" << node.vnode << "\"];\n";
+    for (size_t i = 0; i < node.elements.size(); ++i) {
+      const auto [p, s] = node.elements[i];
+      if (!manager.IsConst(p) &&
+          manager.node(p).kind == SddManager::Kind::kDecision) {
+        os << "  n" << id << ":p" << i << " -> n" << p << ";\n";
+        stack.push_back(p);
+      }
+      if (!manager.IsConst(s) &&
+          manager.node(s).kind == SddManager::Kind::kDecision) {
+        os << "  n" << id << ":s" << i << " -> n" << s << ";\n";
+        stack.push_back(s);
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ctsdd

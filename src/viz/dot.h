@@ -1,0 +1,27 @@
+// Graphviz (DOT) exports for circuits, vtrees, and SDDs — debugging and
+// documentation aids (`dot -Tpdf` renders them).
+
+#ifndef CTSDD_VIZ_DOT_H_
+#define CTSDD_VIZ_DOT_H_
+
+#include <string>
+
+#include "circuit/circuit.h"
+#include "sdd/sdd.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+
+// Gates as boxes (AND/OR/NOT) and plaintext variables; edges follow wires.
+std::string CircuitToDot(const Circuit& circuit);
+
+// Internal vtree nodes as points, leaves labeled with their variables.
+std::string VtreeToDot(const Vtree& vtree);
+
+// Decision nodes as element records "p|s" (the standard SDD drawing);
+// terminal/literal children inlined into the records.
+std::string SddToDot(const SddManager& manager, SddManager::NodeId root);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_VIZ_DOT_H_

@@ -1,0 +1,63 @@
+#include "vtree/from_decomposition.h"
+
+#include <functional>
+
+#include "circuit/primal_graph.h"
+#include "graph/elimination.h"
+#include "util/logging.h"
+
+namespace ctsdd {
+
+StatusOr<Vtree> VtreeFromNiceDecomposition(
+    const Circuit& circuit, const NiceTreeDecomposition& nice) {
+  // Recursively combine: a forget node for a variable gate contributes a
+  // leaf; joins combine both sides; everything else passes through. The
+  // result is already dummy-free (pruning is implicit: decomposition leaves
+  // contribute nothing).
+  Vtree vt;
+  int vars_attached = 0;
+  std::function<int(int)> build = [&](int node) -> int {
+    const auto& nd = nice.nodes[node];
+    int below = -1;
+    for (int child : nd.children) {
+      const int sub = build(child);
+      if (sub < 0) continue;
+      below = (below < 0) ? sub : vt.AddInternal(below, sub);
+    }
+    if (nd.kind == NiceNodeKind::kForget && nd.vertex >= 0 &&
+        nd.vertex < circuit.num_gates() &&
+        circuit.gate(nd.vertex).kind == GateKind::kVar) {
+      const int leaf = vt.AddLeaf(circuit.gate(nd.vertex).var);
+      ++vars_attached;
+      below = (below < 0) ? leaf : vt.AddInternal(below, leaf);
+    }
+    return below;
+  };
+  const int root = build(nice.root);
+  const int num_circuit_vars = static_cast<int>(circuit.Vars().size());
+  if (vars_attached != num_circuit_vars) {
+    return Status::InvalidArgument(
+        "nice decomposition forgets " + std::to_string(vars_attached) +
+        " variable gates; circuit has " + std::to_string(num_circuit_vars));
+  }
+  if (root < 0) {
+    return Status::InvalidArgument("circuit has no variables");
+  }
+  vt.SetRoot(root);
+  return vt;
+}
+
+StatusOr<Vtree> VtreeForCircuit(const Circuit& circuit) {
+  const Graph primal = PrimalGraph(circuit);
+  const TreeDecomposition td = HeuristicDecomposition(primal);
+  return VtreeFromNiceDecomposition(circuit, MakeNice(td));
+}
+
+StatusOr<Vtree> VtreeForCircuitWithOrder(const Circuit& circuit,
+                                         const std::vector<int>& gate_order) {
+  const Graph primal = PrimalGraph(circuit);
+  const TreeDecomposition td = DecompositionFromOrder(primal, gate_order);
+  return VtreeFromNiceDecomposition(circuit, MakeNice(td));
+}
+
+}  // namespace ctsdd

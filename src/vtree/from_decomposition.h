@@ -1,0 +1,37 @@
+// The Lemma 1 vtree construction: from a (nice) tree decomposition of a
+// circuit's gates to a vtree for the circuit's variables.
+//
+// The paper attaches a fresh leaf for variable x to the unique node of the
+// nice decomposition that forgets x's input gate, and pads the remaining
+// leaves with dummy variables. We additionally prune the dummy leaves and
+// contract unary chains, which only removes vtree nodes and leaves every
+// surviving node's variable set X_v unchanged — so the factor-width bound
+// |factors(F, X_v)| <= 2^{(k+1)2^k} of Lemma 1 is preserved.
+
+#ifndef CTSDD_VTREE_FROM_DECOMPOSITION_H_
+#define CTSDD_VTREE_FROM_DECOMPOSITION_H_
+
+#include "circuit/circuit.h"
+#include "graph/tree_decomposition.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+
+// Builds the Lemma-1 vtree for `circuit` from a nice tree decomposition of
+// its primal graph (vertex i of the decomposition = gate i). Fails if some
+// circuit variable's gate is never forgotten (i.e., `nice` is not a valid
+// nice decomposition of the circuit's gates).
+StatusOr<Vtree> VtreeFromNiceDecomposition(const Circuit& circuit,
+                                           const NiceTreeDecomposition& nice);
+
+// Convenience: heuristic (min-fill) tree decomposition of the circuit's
+// primal graph, made nice, then the Lemma-1 vtree.
+StatusOr<Vtree> VtreeForCircuit(const Circuit& circuit);
+
+// Same, but from an explicit elimination order of the circuit's gates.
+StatusOr<Vtree> VtreeForCircuitWithOrder(const Circuit& circuit,
+                                         const std::vector<int>& gate_order);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_VTREE_FROM_DECOMPOSITION_H_

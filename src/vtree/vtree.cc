@@ -1,0 +1,237 @@
+#include "vtree/vtree.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ctsdd {
+
+int Vtree::AddLeaf(int var) {
+  CTSDD_CHECK_GE(var, 0);
+  var_.push_back(var);
+  left_.push_back(-1);
+  right_.push_back(-1);
+  parent_.push_back(-1);
+  depth_.push_back(0);
+  vars_below_.emplace_back();
+  return num_nodes() - 1;
+}
+
+int Vtree::AddInternal(int left, int right) {
+  CTSDD_CHECK_GE(left, 0);
+  CTSDD_CHECK_LT(left, num_nodes());
+  CTSDD_CHECK_GE(right, 0);
+  CTSDD_CHECK_LT(right, num_nodes());
+  CTSDD_CHECK_NE(left, right);
+  var_.push_back(-1);
+  left_.push_back(left);
+  right_.push_back(right);
+  parent_.push_back(-1);
+  depth_.push_back(0);
+  vars_below_.emplace_back();
+  return num_nodes() - 1;
+}
+
+void Vtree::ComputeBelow(int node) {
+  if (is_leaf(node)) {
+    vars_below_[node] = {var_[node]};
+    return;
+  }
+  const int l = left_[node];
+  const int r = right_[node];
+  parent_[l] = node;
+  parent_[r] = node;
+  depth_[l] = depth_[node] + 1;
+  depth_[r] = depth_[node] + 1;
+  ComputeBelow(l);
+  ComputeBelow(r);
+  vars_below_[node].clear();
+  std::merge(vars_below_[l].begin(), vars_below_[l].end(),
+             vars_below_[r].begin(), vars_below_[r].end(),
+             std::back_inserter(vars_below_[node]));
+}
+
+void Vtree::SetRoot(int node) {
+  CTSDD_CHECK_GE(node, 0);
+  CTSDD_CHECK_LT(node, num_nodes());
+  root_ = node;
+  parent_[root_] = -1;
+  depth_[root_] = 0;
+  ComputeBelow(root_);
+  CTSDD_CHECK_OK(Validate());
+}
+
+Vtree Vtree::RightLinear(const std::vector<int>& vars) {
+  CTSDD_CHECK(!vars.empty());
+  Vtree vt;
+  int node = vt.AddLeaf(vars.back());
+  for (int i = static_cast<int>(vars.size()) - 2; i >= 0; --i) {
+    node = vt.AddInternal(vt.AddLeaf(vars[i]), node);
+  }
+  vt.SetRoot(node);
+  return vt;
+}
+
+Vtree Vtree::LeftLinear(const std::vector<int>& vars) {
+  CTSDD_CHECK(!vars.empty());
+  Vtree vt;
+  int node = vt.AddLeaf(vars.front());
+  for (size_t i = 1; i < vars.size(); ++i) {
+    node = vt.AddInternal(node, vt.AddLeaf(vars[i]));
+  }
+  vt.SetRoot(node);
+  return vt;
+}
+
+Vtree Vtree::Balanced(const std::vector<int>& vars) {
+  CTSDD_CHECK(!vars.empty());
+  Vtree vt;
+  std::function<int(int, int)> build = [&](int lo, int hi) -> int {
+    if (lo + 1 == hi) return vt.AddLeaf(vars[lo]);
+    const int mid = (lo + hi) / 2;
+    const int l = build(lo, mid);
+    const int r = build(mid, hi);
+    return vt.AddInternal(l, r);
+  };
+  vt.SetRoot(build(0, static_cast<int>(vars.size())));
+  return vt;
+}
+
+Vtree Vtree::Random(const std::vector<int>& vars, Rng* rng) {
+  CTSDD_CHECK(!vars.empty());
+  const std::vector<int> perm = rng->Permutation(static_cast<int>(vars.size()));
+  Vtree vt;
+  // Start with leaves in permuted order; repeatedly merge a random adjacent
+  // pair, producing a uniform-ish random shape.
+  std::vector<int> roots;
+  roots.reserve(vars.size());
+  for (int p : perm) roots.push_back(vt.AddLeaf(vars[p]));
+  while (roots.size() > 1) {
+    const size_t i = rng->NextBelow(roots.size() - 1);
+    const int merged = vt.AddInternal(roots[i], roots[i + 1]);
+    roots[i] = merged;
+    roots.erase(roots.begin() + i + 1);
+  }
+  vt.SetRoot(roots[0]);
+  return vt;
+}
+
+int Vtree::num_leaves() const {
+  int count = 0;
+  for (int v : var_) count += (v >= 0);
+  return count;
+}
+
+int Vtree::LeafOf(int var) const {
+  for (int node = 0; node < num_nodes(); ++node) {
+    if (var_[node] == var) return node;
+  }
+  return -1;
+}
+
+bool Vtree::IsAncestorOrSelf(int ancestor, int node) const {
+  while (node >= 0) {
+    if (node == ancestor) return true;
+    node = parent_[node];
+  }
+  return false;
+}
+
+int Vtree::Lca(int a, int b) const {
+  while (depth_[a] > depth_[b]) a = parent_[a];
+  while (depth_[b] > depth_[a]) b = parent_[b];
+  while (a != b) {
+    a = parent_[a];
+    b = parent_[b];
+  }
+  return a;
+}
+
+bool Vtree::IsRightLinear() const {
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    if (is_leaf(node)) continue;
+    if (!is_leaf(left_[node])) return false;
+    stack.push_back(right_[node]);
+  }
+  return true;
+}
+
+std::vector<int> Vtree::LeafOrder() const {
+  std::vector<int> order;
+  std::function<void(int)> walk = [&](int node) {
+    if (is_leaf(node)) {
+      order.push_back(var_[node]);
+      return;
+    }
+    walk(left_[node]);
+    walk(right_[node]);
+  };
+  walk(root_);
+  return order;
+}
+
+std::vector<int> Vtree::InternalNodesBottomUp() const {
+  std::vector<int> order;
+  std::function<void(int)> walk = [&](int node) {
+    if (is_leaf(node)) return;
+    walk(left_[node]);
+    walk(right_[node]);
+    order.push_back(node);
+  };
+  walk(root_);
+  return order;
+}
+
+Status Vtree::Validate() const {
+  if (root_ < 0) return Status::FailedPrecondition("root not set");
+  // Reachable nodes form a binary tree; leaves carry distinct variables.
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<int> stack = {root_};
+  std::vector<int> leaf_vars;
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    if (seen[node]) return Status::Internal("vtree node reached twice");
+    seen[node] = true;
+    if (is_leaf(node)) {
+      leaf_vars.push_back(var_[node]);
+    } else {
+      stack.push_back(left_[node]);
+      stack.push_back(right_[node]);
+    }
+  }
+  std::sort(leaf_vars.begin(), leaf_vars.end());
+  if (std::adjacent_find(leaf_vars.begin(), leaf_vars.end()) !=
+      leaf_vars.end()) {
+    return Status::Internal("duplicate variable in vtree");
+  }
+  return Status::Ok();
+}
+
+std::string Vtree::DebugString() const {
+  std::ostringstream os;
+  std::function<void(int)> walk = [&](int node) {
+    if (is_leaf(node)) {
+      os << "x" << var_[node];
+      return;
+    }
+    os << "(";
+    walk(left_[node]);
+    os << " ";
+    walk(right_[node]);
+    os << ")";
+  };
+  if (root_ < 0) {
+    os << "<unrooted>";
+  } else {
+    walk(root_);
+  }
+  return os.str();
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,95 @@
+// Variable trees (vtrees): rooted, ordered, binary trees whose leaves
+// correspond bijectively to variables (Section 2.1). Vtrees structure both
+// the paper's canonical deterministic structured NNFs and SDDs; a
+// right-linear vtree recovers OBDDs with the left-to-right leaf order as
+// the variable order.
+
+#ifndef CTSDD_VTREE_VTREE_H_
+#define CTSDD_VTREE_VTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ctsdd {
+
+class Vtree {
+ public:
+  Vtree() = default;
+
+  // --- Bottom-up construction ---
+  int AddLeaf(int var);
+  int AddInternal(int left, int right);
+  // Sets the root and freezes the tree: computes parents, depths, and the
+  // sorted variable set below every node. Must be called before queries.
+  void SetRoot(int node);
+
+  // --- Factories ---
+  // Right-linear vtree: ((x1, (x2, (x3, ...)))) — every left child is a
+  // leaf; corresponds to an OBDD with variable order `vars`.
+  static Vtree RightLinear(const std::vector<int>& vars);
+  // Left-linear: mirror image of right-linear.
+  static Vtree LeftLinear(const std::vector<int>& vars);
+  // Balanced vtree over `vars` (split at midpoints).
+  static Vtree Balanced(const std::vector<int>& vars);
+  // Uniformly random binary shape over a random permutation of `vars`.
+  static Vtree Random(const std::vector<int>& vars, Rng* rng);
+
+  // --- Queries (valid after SetRoot) ---
+  int num_nodes() const { return static_cast<int>(var_.size()); }
+  int num_leaves() const;
+  int root() const { return root_; }
+  bool is_leaf(int node) const { return var_[node] >= 0; }
+  int var(int node) const { return var_[node]; }
+  int left(int node) const { return left_[node]; }
+  int right(int node) const { return right_[node]; }
+  int parent(int node) const { return parent_[node]; }
+  int depth(int node) const { return depth_[node]; }
+
+  // X_v: sorted global variable ids at the leaves of the subtree at `node`.
+  const std::vector<int>& VarsBelow(int node) const {
+    return vars_below_[node];
+  }
+  // All variables (VarsBelow(root)).
+  const std::vector<int>& Vars() const { return vars_below_[root_]; }
+
+  // The leaf node carrying variable `var`, or -1.
+  int LeafOf(int var) const;
+
+  // True if `ancestor` is `node` or an ancestor of `node`.
+  bool IsAncestorOrSelf(int ancestor, int node) const;
+
+  // Lowest common ancestor of two nodes.
+  int Lca(int a, int b) const;
+
+  // True if every left child is a leaf (the OBDD case).
+  bool IsRightLinear() const;
+
+  // Leaves in left-to-right order (the OBDD variable order when
+  // right-linear).
+  std::vector<int> LeafOrder() const;
+
+  // Internal nodes in a bottom-up (children before parents) order.
+  std::vector<int> InternalNodesBottomUp() const;
+
+  Status Validate() const;
+
+  std::string DebugString() const;
+
+ private:
+  void ComputeBelow(int node);
+
+  std::vector<int> var_;     // leaf variable or -1 for internal nodes
+  std::vector<int> left_;    // -1 for leaves
+  std::vector<int> right_;   // -1 for leaves
+  std::vector<int> parent_;  // -1 for root (set by SetRoot)
+  std::vector<int> depth_;
+  std::vector<std::vector<int>> vars_below_;
+  int root_ = -1;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_VTREE_VTREE_H_

@@ -1,0 +1,239 @@
+#include <bit>
+
+#include "circuit/builder.h"
+#include "circuit/circuit.h"
+#include "circuit/eval.h"
+#include "circuit/families.h"
+#include "circuit/io.h"
+#include "circuit/primal_graph.h"
+#include "circuit/tseitin.h"
+#include "gtest/gtest.h"
+
+namespace ctsdd {
+namespace {
+
+TEST(CircuitTest, BuildAndEvaluate) {
+  Circuit c;
+  ExprFactory f(&c);
+  f.SetOutput((f.Var(0) & f.Var(1)) | (!f.Var(2)));
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_TRUE(EvaluateMask(c, 0b011));   // x0=1, x1=1
+  EXPECT_TRUE(EvaluateMask(c, 0b000));   // x2=0
+  EXPECT_FALSE(EvaluateMask(c, 0b100));  // only x2
+}
+
+TEST(CircuitTest, VarGatesAreShared) {
+  Circuit c;
+  const int a = c.VarGate(3);
+  const int b = c.VarGate(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CircuitTest, VarsBelow) {
+  Circuit c;
+  ExprFactory f(&c);
+  Expr left = f.Var(0) & f.Var(2);
+  Expr right = f.Var(5);
+  f.SetOutput(left | right);
+  EXPECT_EQ(c.Vars(), (std::vector<int>{0, 2, 5}));
+  EXPECT_EQ(c.VarsBelow(left.gate()), (std::vector<int>{0, 2}));
+}
+
+TEST(CircuitTest, ToNnfPushesNegations) {
+  Circuit c;
+  ExprFactory f(&c);
+  f.SetOutput(!((f.Var(0) | f.Var(1)) & (!f.Var(2))));
+  EXPECT_FALSE(c.IsNnf());
+  const Circuit nnf = c.ToNnf();
+  EXPECT_TRUE(nnf.IsNnf());
+  EXPECT_TRUE(BruteForceEquivalent(c, nnf));
+}
+
+TEST(CircuitTest, ToNnfDoubleNegation) {
+  Circuit c;
+  ExprFactory f(&c);
+  f.SetOutput(!(!(f.Var(0) & f.Var(1))));
+  const Circuit nnf = c.ToNnf();
+  EXPECT_TRUE(nnf.IsNnf());
+  EXPECT_TRUE(BruteForceEquivalent(c, nnf));
+}
+
+TEST(CircuitTest, ModelCounts) {
+  EXPECT_EQ(BruteForceModelCount(ParityCircuit(4)), 8u);
+  EXPECT_EQ(BruteForceModelCount(MajorityCircuit(3)), 4u);
+  // D_n has 3^n models (per pair: 00, 01, 10).
+  EXPECT_EQ(BruteForceModelCount(DisjointnessCircuit(3)), 27u);
+}
+
+TEST(FamiliesTest, DisjointnessAndIntersectionAreComplements) {
+  const Circuit d = DisjointnessCircuit(3);
+  Circuit complement = IntersectionCircuit(3);
+  for (uint64_t mask = 0; mask < 64; ++mask) {
+    EXPECT_NE(EvaluateMask(d, mask), EvaluateMask(complement, mask));
+  }
+}
+
+TEST(FamiliesTest, HChainEndpoints) {
+  const int k = 2, n = 2;
+  const HFamilyVars vars{k, n};
+  // H^0 = OR_{l,m} x_l & z^1_{l,m}.
+  const Circuit h0 = HChainCircuit(k, n, 0);
+  std::vector<bool> a(vars.TotalVars(), false);
+  EXPECT_FALSE(Evaluate(h0, a));
+  a[vars.X(1)] = true;
+  a[vars.Z(1, 1, 2)] = true;
+  EXPECT_TRUE(Evaluate(h0, a));
+  // H^k = OR_{l,m} z^k_{l,m} & y_m.
+  const Circuit hk = HChainCircuit(k, n, k);
+  std::vector<bool> b(vars.TotalVars(), false);
+  b[vars.Z(k, 2, 1)] = true;
+  EXPECT_FALSE(Evaluate(hk, b));
+  b[vars.Y(1)] = true;
+  EXPECT_TRUE(Evaluate(hk, b));
+}
+
+TEST(FamiliesTest, HChainMiddle) {
+  const int k = 2, n = 2;
+  const HFamilyVars vars{k, n};
+  const Circuit h1 = HChainCircuit(k, n, 1);
+  std::vector<bool> a(vars.TotalVars(), false);
+  a[vars.Z(1, 1, 1)] = true;
+  a[vars.Z(2, 1, 2)] = true;  // mismatched (l, m) pair
+  EXPECT_FALSE(Evaluate(h1, a));
+  a[vars.Z(2, 1, 1)] = true;
+  EXPECT_TRUE(Evaluate(h1, a));
+}
+
+TEST(FamiliesTest, IsaParamsValidity) {
+  EXPECT_TRUE((IsaParams{1, 2}).Valid());
+  EXPECT_TRUE((IsaParams{2, 4}).Valid());
+  EXPECT_TRUE((IsaParams{5, 8}).Valid());
+  EXPECT_FALSE((IsaParams{2, 3}).Valid());
+  EXPECT_FALSE((IsaParams{3, 5}).Valid());
+}
+
+TEST(FamiliesTest, IsaSemantics) {
+  // k=1, m=2: n = 1 + 4 variables; y1 selects block 1 or 2; block i reads
+  // address from x_{i,1..2} = z_{2i-1}, z_{2i}; output is z_j.
+  const IsaParams params{1, 2};
+  const Circuit isa = IsaCircuit(params);
+  ASSERT_EQ(params.NumVars(), 5);
+  // Exhaustively compare against a direct evaluator.
+  for (uint32_t mask = 0; mask < 32; ++mask) {
+    std::vector<bool> a(5);
+    for (int i = 0; i < 5; ++i) a[i] = (mask >> i) & 1;
+    const int y = a[params.YVar(1)];
+    const int block = y + 1;  // (a1) MSB-first: i-1 = y
+    int addr = 0;
+    for (int j = 1; j <= 2; ++j) {
+      addr = (addr << 1) | (a[params.XVar(block, j)] ? 1 : 0);
+    }
+    const bool expected = a[params.ZVar(addr + 1)];
+    EXPECT_EQ(Evaluate(isa, a), expected) << "mask=" << mask;
+  }
+}
+
+TEST(FamiliesTest, ThresholdCounts) {
+  const Circuit th = ThresholdCircuit(5, 3);
+  uint64_t count = 0;
+  for (uint32_t mask = 0; mask < 32; ++mask) {
+    if (std::popcount(mask) >= 3) ++count;
+    EXPECT_EQ(EvaluateMask(th, mask), std::popcount(mask) >= 3);
+  }
+  EXPECT_EQ(BruteForceModelCount(th), count);
+}
+
+TEST(FamiliesTest, ThresholdEdgeCases) {
+  EXPECT_EQ(BruteForceModelCount(ThresholdCircuit(3, 0)), 8u);
+  EXPECT_EQ(BruteForceModelCount(ThresholdCircuit(3, 4)), 0u);
+}
+
+TEST(FamiliesTest, BandedCnfPathwidthBounded) {
+  const Circuit c = BandedCnfCircuit(12, 3);
+  EXPECT_LE(HeuristicCircuitTreewidth(c), 6);
+}
+
+TEST(FamiliesTest, TreeCnfTreewidthSmall) {
+  const Circuit c = TreeCnfCircuit(8);
+  EXPECT_LE(HeuristicCircuitTreewidth(c), 4);
+}
+
+TEST(PrimalGraphTest, StructureMatchesWires) {
+  Circuit c;
+  ExprFactory f(&c);
+  f.SetOutput(f.Var(0) & f.Var(1));
+  const Graph g = PrimalGraph(c);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(PrimalGraphTest, ChainCircuitHasSmallTreewidth) {
+  // x0 & x1 & ... & x9 as a chain of binary ANDs: treewidth 1.
+  Circuit c;
+  ExprFactory f(&c);
+  Expr acc = f.Var(0);
+  for (int i = 1; i < 10; ++i) acc = acc & f.Var(i);
+  f.SetOutput(acc);
+  EXPECT_EQ(ExactCircuitTreewidth(c).value(), 1);
+}
+
+TEST(TseitinTest, EquisatisfiableOnProjection) {
+  Circuit c;
+  ExprFactory f(&c);
+  f.SetOutput((f.Var(0) & f.Var(1)) | (!f.Var(0) & f.Var(2)));
+  const Cnf cnf = TseitinCnf(c);
+  const Circuit cnf_circuit = CnfToCircuit(cnf);
+  // For every assignment of the original inputs, the circuit accepts iff
+  // the Tseitin CNF is satisfiable with those inputs fixed. Check by brute
+  // force over all CNF variables.
+  const int n = c.num_vars();
+  const int total = cnf.num_vars;
+  for (uint32_t input = 0; input < (1u << n); ++input) {
+    bool sat = false;
+    for (uint32_t rest = 0; rest < (1u << (total - n)); ++rest) {
+      std::vector<bool> a(total);
+      for (int i = 0; i < n; ++i) a[i] = (input >> i) & 1;
+      for (int i = n; i < total; ++i) a[i] = (rest >> (i - n)) & 1;
+      if (Evaluate(cnf_circuit, a)) {
+        sat = true;
+        break;
+      }
+    }
+    EXPECT_EQ(sat, EvaluateMask(c, input)) << "input=" << input;
+  }
+}
+
+TEST(IoTest, RoundTrip) {
+  Circuit c;
+  ExprFactory f(&c);
+  f.SetOutput((f.Var(0) | f.Var(1)) & (!f.Var(2)) & f.True());
+  const std::string text = SerializeCircuit(c);
+  const auto parsed = ParseCircuit(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(BruteForceEquivalent(c, parsed.value()));
+}
+
+TEST(IoTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseCircuit("var 0\n").ok());             // no output
+  EXPECT_FALSE(ParseCircuit("and 0 1\noutput 0\n").ok()); // bad inputs
+  EXPECT_FALSE(ParseCircuit("bogus\noutput 0\n").ok());
+}
+
+TEST(IoTest, DimacsRoundTrip) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {{Cnf::PosLit(0), Cnf::NegLit(1)}, {Cnf::PosLit(2)}};
+  const auto parsed = ParseDimacsCnf(SerializeDimacsCnf(cnf));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().num_vars, 3);
+  EXPECT_EQ(parsed.value().clauses, cnf.clauses);
+}
+
+TEST(IoTest, DimacsParsesComments) {
+  const auto parsed = ParseDimacsCnf("c hello\np cnf 2 1\n1 -2 0\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().clauses.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ctsdd

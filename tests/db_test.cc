@@ -1,0 +1,245 @@
+#include <cmath>
+
+#include "circuit/eval.h"
+#include "db/database.h"
+#include "db/inversion.h"
+#include "db/lineage.h"
+#include "db/query.h"
+#include "db/query_compile.h"
+#include "gtest/gtest.h"
+
+namespace ctsdd {
+namespace {
+
+TEST(DatabaseTest, TuplesAndIds) {
+  Database db;
+  db.AddRelation("R", 1);
+  db.AddRelation("S", 2);
+  const int t0 = db.AddTuple("R", {1}, 0.5);
+  const int t1 = db.AddTuple("S", {1, 2}, 0.25);
+  EXPECT_EQ(t0, 0);
+  EXPECT_EQ(t1, 1);
+  EXPECT_EQ(db.num_tuples(), 2);
+  EXPECT_EQ(db.FindTuple("S", {1, 2}), 1);
+  EXPECT_EQ(db.FindTuple("S", {2, 1}), -1);
+  EXPECT_DOUBLE_EQ(db.TupleProb(1), 0.25);
+  EXPECT_EQ(db.ActiveDomain(), (std::vector<int>{1, 2}));
+}
+
+TEST(LineageTest, HierarchicalQuerySmall) {
+  // R(x), S(x,y) over R={1}, S={(1,1),(1,2)}:
+  // lineage = r1 & (s11 | s12).
+  Database db;
+  db.AddRelation("R", 1);
+  db.AddRelation("S", 2);
+  const int r1 = db.AddTuple("R", {1}, 0.5);
+  const int s11 = db.AddTuple("S", {1, 1}, 0.5);
+  const int s12 = db.AddTuple("S", {1, 2}, 0.5);
+  const auto lineage = BuildLineage(HierarchicalRSQuery(), db);
+  ASSERT_TRUE(lineage.ok());
+  auto eval = [&](bool br, bool b11, bool b12) {
+    std::vector<bool> a(3);
+    a[r1] = br;
+    a[s11] = b11;
+    a[s12] = b12;
+    return Evaluate(lineage.value(), a);
+  };
+  EXPECT_TRUE(eval(true, true, false));
+  EXPECT_TRUE(eval(true, false, true));
+  EXPECT_FALSE(eval(true, false, false));
+  EXPECT_FALSE(eval(false, true, true));
+}
+
+TEST(LineageTest, EmptyDatabaseGivesFalse) {
+  Database db;
+  db.AddRelation("R", 1);
+  db.AddRelation("S", 2);
+  const auto lineage = BuildLineage(HierarchicalRSQuery(), db);
+  ASSERT_TRUE(lineage.ok());
+  EXPECT_EQ(BruteForceModelCount(lineage.value()), 0u);
+}
+
+TEST(LineageTest, UnknownRelationFails) {
+  Database db;
+  db.AddRelation("R", 1);
+  EXPECT_FALSE(BuildLineage(HierarchicalRSQuery(), db).ok());
+}
+
+TEST(LineageTest, ConstantsInAtoms) {
+  // Q = S('1', y): only tuples with first column 1 matter.
+  Database db;
+  db.AddRelation("S", 2);
+  const int s12 = db.AddTuple("S", {1, 2}, 0.5);
+  db.AddTuple("S", {2, 2}, 0.5);
+  Ucq q;
+  ConjunctiveQuery cq;
+  cq.atoms.push_back({"S", {EncodeConstant(1), 0}});
+  q.disjuncts.push_back(cq);
+  const auto lineage = BuildLineage(q, db);
+  ASSERT_TRUE(lineage.ok());
+  std::vector<bool> a(2, false);
+  a[s12] = true;
+  EXPECT_TRUE(Evaluate(lineage.value(), a));
+  a[s12] = false;
+  a[1] = true;
+  EXPECT_FALSE(Evaluate(lineage.value(), a));
+}
+
+TEST(LineageTest, InequalitiesFilterGroundings) {
+  // Q = R(x), R(y), x != y over R = {1, 2}: lineage = r1 & r2.
+  Database db;
+  db.AddRelation("R", 1);
+  const int r1 = db.AddTuple("R", {1}, 0.5);
+  const int r2 = db.AddTuple("R", {2}, 0.5);
+  Ucq q;
+  ConjunctiveQuery cq;
+  cq.atoms.push_back({"R", {0}});
+  cq.atoms.push_back({"R", {1}});
+  cq.inequalities.push_back({0, 1});
+  q.disjuncts.push_back(cq);
+  const auto lineage = BuildLineage(q, db);
+  ASSERT_TRUE(lineage.ok());
+  std::vector<bool> a(2, false);
+  a[r1] = true;
+  EXPECT_FALSE(Evaluate(lineage.value(), a));
+  a[r2] = true;
+  EXPECT_TRUE(Evaluate(lineage.value(), a));
+}
+
+TEST(LineageTest, ProbabilityIndependentAndOr) {
+  // P(r & (s1 | s2)) with all probs 1/2 = 0.5 * 0.75.
+  Database db;
+  db.AddRelation("R", 1);
+  db.AddRelation("S", 2);
+  db.AddTuple("R", {1}, 0.5);
+  db.AddTuple("S", {1, 1}, 0.5);
+  db.AddTuple("S", {1, 2}, 0.5);
+  const auto p = BruteForceQueryProbability(HierarchicalRSQuery(), db);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value(), 0.5 * 0.75, 1e-12);
+}
+
+TEST(InversionTest, HierarchicalQueries) {
+  EXPECT_TRUE(IsHierarchicalUcq(HierarchicalRSQuery()));
+  EXPECT_FALSE(IsHierarchical(NonHierarchicalH0Query().disjuncts[0]));
+  EXPECT_FALSE(HasInversion(HierarchicalRSQuery()));
+  EXPECT_TRUE(HasInversion(NonHierarchicalH0Query()));
+}
+
+TEST(InversionTest, ChainLengthDetected) {
+  for (int k = 1; k <= 4; ++k) {
+    const Ucq q = InversionChainUcq(k);
+    EXPECT_TRUE(IsHierarchicalUcq(q));  // each disjunct is hierarchical
+    EXPECT_EQ(FindInversionLength(q), k) << "k=" << k;
+  }
+}
+
+TEST(InversionTest, InequalityQueryStillHierarchical) {
+  const Ucq q = InequalityExampleQuery();
+  EXPECT_TRUE(q.HasInequalities());
+}
+
+TEST(DistinctPairTest, LineageSemanticsAndWidthGrowth) {
+  // Q = R(x), S(y), x != y: true iff some R-element and some *different*
+  // S-element are present.
+  const Ucq q = DistinctPairQuery();
+  EXPECT_TRUE(q.HasInequalities());
+  EXPECT_FALSE(HasInversion(q));
+  std::vector<int> widths;
+  for (int n = 2; n <= 6; ++n) {
+    Database db;
+    db.AddRelation("R", 1);
+    db.AddRelation("S", 1);
+    for (int l = 1; l <= n; ++l) db.AddTuple("R", {l}, 0.5);
+    for (int l = 1; l <= n; ++l) db.AddTuple("S", {l}, 0.5);
+    const auto comp = CompileQuery(q, db, VtreeStrategy::kRightLinear);
+    ASSERT_TRUE(comp.ok());
+    const auto brute = BruteForceQueryProbability(q, db);
+    ASSERT_TRUE(brute.ok());
+    EXPECT_NEAR(comp->probability, brute.value(), 1e-9);
+    widths.push_back(comp->obdd_width);
+  }
+  // Width grows with n under the block order (Figure 3's non-constant
+  // width witness).
+  EXPECT_GT(widths.back(), widths.front());
+}
+
+TEST(QueryCompileTest, ProbabilitiesMatchBruteForce) {
+  Database db = BipartiteRstDatabase(2, 0.5);
+  const Ucq q = NonHierarchicalH0Query();
+  const auto brute = BruteForceQueryProbability(q, db);
+  ASSERT_TRUE(brute.ok());
+  for (const VtreeStrategy strategy :
+       {VtreeStrategy::kRightLinear, VtreeStrategy::kBalanced,
+        VtreeStrategy::kFromTreewidth}) {
+    const auto comp = CompileQuery(q, db, strategy);
+    ASSERT_TRUE(comp.ok()) << comp.status();
+    EXPECT_NEAR(comp->probability, brute.value(), 1e-9);
+  }
+}
+
+TEST(QueryCompileTest, NonUniformProbabilities) {
+  Database db;
+  db.AddRelation("R", 1);
+  db.AddRelation("S", 2);
+  db.AddTuple("R", {1}, 0.9);
+  db.AddTuple("S", {1, 1}, 0.2);
+  db.AddTuple("S", {1, 2}, 0.7);
+  const Ucq q = HierarchicalRSQuery();
+  const auto comp = CompileQuery(q, db);
+  ASSERT_TRUE(comp.ok());
+  EXPECT_NEAR(comp->probability, 0.9 * (1.0 - 0.8 * 0.3), 1e-9);
+}
+
+TEST(QueryCompileTest, HierarchicalQueryConstantObddWidth) {
+  // Figure 2: inversion-free lineages have constant OBDD width under the
+  // "process tuples group by group" order; tuple-id order realizes it for
+  // the RS query.
+  int max_width = 0;
+  for (int n = 2; n <= 6; ++n) {
+    Database db;
+    db.AddRelation("R", 1);
+    db.AddRelation("S", 2);
+    // Interleave R(l) with its S(l, *) tuples so the tuple-id order is the
+    // hierarchical processing order.
+    for (int l = 1; l <= n; ++l) {
+      db.AddTuple("R", {l}, 0.5);
+      for (int m = 1; m <= n; ++m) db.AddTuple("S", {l, m}, 0.5);
+    }
+    const auto comp = CompileQuery(HierarchicalRSQuery(), db,
+                                   VtreeStrategy::kRightLinear);
+    ASSERT_TRUE(comp.ok());
+    max_width = std::max(max_width, comp->obdd_width);
+  }
+  EXPECT_LE(max_width, 4);
+}
+
+TEST(QueryCompileTest, ChainDatabaseLineageRestrictsToH) {
+  // Lemma 7 (executable form): the lineage of the chain query over the
+  // chain database, with R and T tuples set true and S^{j != i} neutral,
+  // yields functions with the H^i structure. Spot-check k=1, i=0: set all
+  // T false... T appears only in the last disjunct; setting the S^1-T
+  // disjunct's T tuples to false leaves OR_{l,m} (R_l & S1_{l,m}).
+  const int k = 1, n = 2;
+  const Ucq q = InversionChainUcq(k);
+  Database db = ChainDatabase(k, n);
+  const auto lineage = BuildLineage(q, db);
+  ASSERT_TRUE(lineage.ok());
+  const Circuit& c = lineage.value();
+  // Assignment: T tuples false -> remaining function is
+  // OR_{l,m} (r_l & s_{l,m}) over r and s tuple variables.
+  std::vector<bool> a(db.num_tuples(), false);
+  auto r_id = [&](int l) { return db.FindTuple("R", {l}); };
+  auto s_id = [&](int l, int m) { return db.FindTuple("S1", {l, m}); };
+  a[r_id(1)] = true;
+  a[s_id(1, 2)] = true;
+  EXPECT_TRUE(Evaluate(c, a));
+  a[s_id(1, 2)] = false;
+  a[s_id(2, 2)] = true;
+  EXPECT_FALSE(Evaluate(c, a));  // r2 missing
+  a[r_id(2)] = true;
+  EXPECT_TRUE(Evaluate(c, a));
+}
+
+}  // namespace
+}  // namespace ctsdd

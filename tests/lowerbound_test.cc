@@ -1,0 +1,110 @@
+#include "circuit/families.h"
+#include "func/bool_func.h"
+#include "gtest/gtest.h"
+#include "lowerbound/comm_matrix.h"
+#include "lowerbound/rank.h"
+#include "util/random.h"
+
+namespace ctsdd {
+namespace {
+
+TEST(CommMatrixTest, BuildsCorrectEntries) {
+  // f = x0 AND x2 over partition ({0}, {2}).
+  const BoolFunc f = BoolFunc::Literal(0, true) & BoolFunc::Literal(2, true);
+  const CommMatrix m = BuildCommMatrix(f, {0}, {2});
+  EXPECT_EQ(m.rows, 2);
+  EXPECT_EQ(m.cols, 2);
+  EXPECT_EQ(m.at(0, 0), 0.0);
+  EXPECT_EQ(m.at(1, 1), 1.0);
+  EXPECT_EQ(m.at(0, 1), 0.0);
+  EXPECT_EQ(m.at(1, 0), 0.0);
+}
+
+TEST(RankTest, SimpleRanks) {
+  CommMatrix identity;
+  identity.rows = identity.cols = 4;
+  identity.data.assign(16, 0.0);
+  for (int i = 0; i < 4; ++i) identity.at(i, i) = 1.0;
+  EXPECT_EQ(MatrixRank(identity), 4);
+
+  CommMatrix ones;
+  ones.rows = ones.cols = 4;
+  ones.data.assign(16, 1.0);
+  EXPECT_EQ(MatrixRank(ones), 1);
+
+  CommMatrix zero;
+  zero.rows = zero.cols = 3;
+  zero.data.assign(9, 0.0);
+  EXPECT_EQ(MatrixRank(zero), 0);
+}
+
+TEST(RankTest, RectangularMatrix) {
+  CommMatrix m;
+  m.rows = 2;
+  m.cols = 3;
+  m.data = {1, 0, 1,   //
+            0, 1, 1};
+  EXPECT_EQ(MatrixRank(m), 2);
+}
+
+TEST(DisjointnessTest, RankIsTwoToTheN) {
+  // Equation (8): rank(cm(D_n, X_n, Y_n)) = 2^n.
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_EQ(DisjointnessRank(n), 1 << n) << "n=" << n;
+  }
+}
+
+TEST(DisjointnessTest, ComplementRankAtLeastAlmostFull) {
+  // rank(1 - cm) >= 2^n - 1 (the Claim 3 computation in Theorem 5).
+  const int n = 5;
+  const BoolFunc f = BoolFunc::FromCircuit(IntersectionCircuit(n));
+  std::vector<int> x_vars;
+  std::vector<int> y_vars;
+  for (int i = 0; i < n; ++i) {
+    x_vars.push_back(i);
+    y_vars.push_back(n + i);
+  }
+  EXPECT_GE(CoverLowerBound(f, x_vars, y_vars), (1 << n) - 1);
+}
+
+TEST(RankTest, ParityCommunicationRankIsTwo) {
+  const BoolFunc f = BoolFunc::FromCircuit(ParityCircuit(6));
+  EXPECT_EQ(CoverLowerBound(f, {0, 1, 2}, {3, 4, 5}), 2);
+}
+
+TEST(RankTest, RandomFunctionRankBounds) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BoolFunc f = BoolFunc::Random({0, 1, 2, 3, 4, 5}, &rng);
+    const int rank = CoverLowerBound(f, {0, 1, 2}, {3, 4, 5});
+    EXPECT_GE(rank, 0);
+    EXPECT_LE(rank, 8);
+  }
+}
+
+TEST(RankTest, HChainCofactorRank) {
+  // The restricted intersection-like slices of H^i functions have nearly
+  // full rank across the (left-block, right-block) partition — the engine
+  // of Lemma 8.
+  const int n = 3;
+  const Circuit h0 = HChainCircuit(1, n, 0);
+  const HFamilyVars vars{1, n};
+  // Restrict z^1_{l,m} = 0 except the diagonal z^1_{l,l}; the remaining
+  // function is OR_l (x_l & z_{l,l}) — an intersection function of size n.
+  BoolFunc f = BoolFunc::FromCircuit(h0);
+  for (int l = 1; l <= n; ++l) {
+    for (int m = 1; m <= n; ++m) {
+      if (l != m) f = f.Restrict(vars.Z(1, l, m), false);
+    }
+  }
+  std::vector<int> x_vars;
+  std::vector<int> z_diag;
+  for (int l = 1; l <= n; ++l) {
+    x_vars.push_back(vars.X(l));
+    z_diag.push_back(vars.Z(1, l, l));
+  }
+  EXPECT_GE(CoverLowerBound(f, x_vars, z_diag), (1 << n) - 1);
+}
+
+}  // namespace
+}  // namespace ctsdd

@@ -1,0 +1,216 @@
+#include <map>
+
+#include "circuit/builder.h"
+#include "circuit/families.h"
+#include "compile/factor_compile.h"
+#include "compile/sdd_canonical.h"
+#include "func/bool_func.h"
+#include "nnf/wmc.h"
+#include "gtest/gtest.h"
+#include "lowerbound/rank.h"
+#include "nnf/checks.h"
+#include "nnf/nnf.h"
+#include "nnf/rectangle_cover.h"
+#include "util/random.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+TEST(GateFuncTest, ComputesSubcircuitSemantics) {
+  Circuit c;
+  ExprFactory f(&c);
+  Expr sub = f.Var(0) & f.Var(2);
+  f.SetOutput(sub | f.Var(1));
+  const BoolFunc g = GateFunc(c, sub.gate());
+  EXPECT_EQ(g.vars(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(g.CountModels(), 1u);
+}
+
+TEST(ChecksTest, DecomposabilityDetection) {
+  Circuit good;
+  {
+    ExprFactory f(&good);
+    f.SetOutput(f.Var(0) & f.Var(1));
+  }
+  EXPECT_TRUE(IsDecomposable(good));
+  Circuit bad;
+  {
+    ExprFactory f(&bad);
+    f.SetOutput(f.Var(0) & (f.Var(0) | f.Var(1)));
+  }
+  EXPECT_FALSE(IsDecomposable(bad));
+}
+
+TEST(ChecksTest, DeterminismDetection) {
+  Circuit det;
+  {
+    // (x0 & x1) | (!x0 & x2): branches conflict on x0.
+    ExprFactory f(&det);
+    f.SetOutput((f.Var(0) & f.Var(1)) | ((!f.Var(0)) & f.Var(2)));
+  }
+  EXPECT_TRUE(IsDeterministic(det));
+  Circuit nondet;
+  {
+    ExprFactory f(&nondet);
+    f.SetOutput(f.Var(0) | f.Var(1));  // overlapping models
+  }
+  EXPECT_FALSE(IsDeterministic(nondet));
+}
+
+TEST(ChecksTest, StructurednessAgainstVtree) {
+  // (x0 & x1) structured by ((0 1) shape); (x0 & x1) over vtree (1 0) too
+  // (structured gates may use either orientation only if subsets fit).
+  Circuit c;
+  {
+    ExprFactory f(&c);
+    f.SetOutput(f.Var(0) & f.Var(1));
+  }
+  EXPECT_TRUE(IsStructuredBy(c, Vtree::RightLinear({0, 1})));
+  // A fanin-3 AND cannot be structured.
+  Circuit wide;
+  wide.SetOutput(wide.AndGate(
+      {wide.VarGate(0), wide.VarGate(1), wide.VarGate(2)}));
+  EXPECT_FALSE(IsStructuredBy(wide, Vtree::RightLinear({0, 1, 2})));
+  // Crossing variable scopes violate structuredness: (x0&x2) needs a node
+  // separating 0 from 2, with 1 elsewhere.
+  Circuit cross;
+  {
+    ExprFactory f(&cross);
+    f.SetOutput((f.Var(0) & f.Var(2)) & f.Var(1));
+  }
+  Vtree vt;  // ((0 1) 2): x0&x2 is not structured here
+  const int a = vt.AddInternal(vt.AddLeaf(0), vt.AddLeaf(1));
+  vt.SetRoot(vt.AddInternal(a, vt.AddLeaf(2)));
+  EXPECT_FALSE(IsStructuredBy(cross, vt));
+}
+
+TEST(ChecksTest, StructuringNodeFindsDeepest) {
+  Circuit c;
+  ExprFactory f(&c);
+  Expr g = f.Var(0) & f.Var(1);
+  f.SetOutput(g);
+  Vtree vt;  // ((0 1) 2)
+  const int a = vt.AddInternal(vt.AddLeaf(0), vt.AddLeaf(1));
+  const int r = vt.AddInternal(a, vt.AddLeaf(2));
+  vt.SetRoot(r);
+  EXPECT_EQ(StructuringNode(c, vt, g.gate()), a);
+}
+
+TEST(RectangleCoverTest, CanonicalCoverIsValid) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BoolFunc f = BoolFunc::Random(Iota(6), &rng);
+    const std::vector<int> y = {0, 2, 4};
+    const auto cover = CanonicalRectangleCover(f, y);
+    EXPECT_TRUE(ValidateDisjointCover(f, y, cover).ok());
+  }
+}
+
+TEST(RectangleCoverTest, CoverAtLeastRank) {
+  // Theorem 2: disjoint covers are at least as large as the rank.
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BoolFunc f = BoolFunc::Random(Iota(6), &rng);
+    const std::vector<int> y = {0, 1, 2};
+    const std::vector<int> rest = {3, 4, 5};
+    const auto cover = CanonicalRectangleCover(f, y);
+    const int rank = CoverLowerBound(f, y, rest);
+    EXPECT_GE(static_cast<int>(cover.size()), rank);
+  }
+}
+
+TEST(RectangleCoverTest, DisjointnessCoverIsExponential) {
+  // Every disjoint cover of D_n across (X, Y) needs 2^n rectangles; the
+  // canonical cover achieves within factor ~1 of it.
+  for (int n = 2; n <= 4; ++n) {
+    const BoolFunc f = BoolFunc::FromCircuit(DisjointnessCircuit(n));
+    std::vector<int> x_vars;
+    for (int i = 0; i < n; ++i) x_vars.push_back(i);
+    const auto cover = CanonicalRectangleCover(f, x_vars);
+    EXPECT_GE(static_cast<int>(cover.size()), 1 << n);
+    EXPECT_TRUE(ValidateDisjointCover(f, x_vars, cover).ok());
+  }
+}
+
+TEST(RectangleCoverTest, ConstantFunctionsHaveTrivialCovers) {
+  const BoolFunc top = BoolFunc::ConstantOver(Iota(4), true);
+  const auto cover = CanonicalRectangleCover(top, {0, 1});
+  EXPECT_EQ(cover.size(), 1u);
+  EXPECT_TRUE(ValidateDisjointCover(top, {0, 1}, cover).ok());
+  const BoolFunc bottom = BoolFunc::ConstantOver(Iota(4), false);
+  EXPECT_TRUE(CanonicalRectangleCover(bottom, {0, 1}).empty());
+}
+
+TEST(WmcTest, CountsOnCompiledForms) {
+  // Model counting on C_{F,T} (deterministic structured by Lemma 4) must
+  // match the semantic count — the Section 1 payoff, in linear time.
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const BoolFunc f = BoolFunc::Random(Iota(6), &rng);
+    const Vtree vt = Vtree::Random(Iota(6), &rng);
+    const Circuit compiled = CompileFactorNnf(f, vt).circuit;
+    const auto count = CountModelsDetDecomposable(compiled);
+    ASSERT_TRUE(count.ok()) << count.status();
+    EXPECT_EQ(count.value(), f.CountModels());
+  }
+}
+
+TEST(WmcTest, ProbabilitiesOnCompiledForms) {
+  Rng rng(9);
+  const BoolFunc f = BoolFunc::Random(Iota(5), &rng);
+  const Vtree vt = Vtree::Random(Iota(5), &rng);
+  const Circuit compiled = CompileFactorNnf(f, vt).circuit;
+  std::map<int, double> probs;
+  for (int v = 0; v < 5; ++v) probs[v] = 0.1 + 0.15 * v;
+  const auto wmc = WmcDetDecomposable(compiled, probs);
+  ASSERT_TRUE(wmc.ok());
+  // Brute-force reference.
+  double expected = 0.0;
+  for (uint32_t mask = 0; mask < 32; ++mask) {
+    if (!f.EvalIndex(mask)) continue;
+    double w = 1.0;
+    for (int v = 0; v < 5; ++v) {
+      w *= ((mask >> v) & 1) ? probs[v] : 1.0 - probs[v];
+    }
+    expected += w;
+  }
+  EXPECT_NEAR(wmc.value(), expected, 1e-12);
+}
+
+TEST(WmcTest, CountsOnCanonicalSddCircuit) {
+  Rng rng(11);
+  const BoolFunc f = BoolFunc::Random(Iota(5), &rng);
+  const Vtree vt = Vtree::Balanced(Iota(5));
+  const Circuit sft = CompileCanonicalSdd(f, vt).circuit;
+  const auto count = CountModelsDetDecomposable(sft);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), f.CountModels());
+}
+
+TEST(WmcTest, RejectsNonNnf) {
+  Circuit c;
+  ExprFactory fac(&c);
+  fac.SetOutput(!(fac.Var(0) & fac.Var(1)));
+  EXPECT_FALSE(CountModelsDetDecomposable(c).ok());
+}
+
+TEST(StructuredGateProfileTest, CountsPerNode) {
+  Circuit c;
+  ExprFactory f(&c);
+  f.SetOutput((f.Var(0) & f.Var(1)) | ((!f.Var(0)) & f.Var(1)));
+  const Vtree vt = Vtree::RightLinear({0, 1});
+  const auto profile = StructuredGateProfile(c, vt);
+  int total = 0;
+  for (int p : profile) total += p;
+  EXPECT_EQ(total, 2);
+}
+
+}  // namespace
+}  // namespace ctsdd

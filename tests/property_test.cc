@@ -1,0 +1,182 @@
+// Parameterized property tests sweeping random functions, vtrees, and
+// seeds: the executable versions of the paper's lemmas must hold on every
+// instance.
+
+#include <cmath>
+
+#include "circuit/eval.h"
+#include "circuit/families.h"
+#include "circuit/io.h"
+#include "compile/factor_compile.h"
+#include "compile/sdd_canonical.h"
+#include "compile/widths.h"
+#include "func/bool_func.h"
+#include "func/factor.h"
+#include "gtest/gtest.h"
+#include "nnf/checks.h"
+#include "nnf/rectangle_cover.h"
+#include "obdd/obdd_compile.h"
+#include "sdd/sdd_compile.h"
+#include "util/random.h"
+
+namespace ctsdd {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+// --- Sweep over (num_vars, seed) ---
+
+class RandomFunctionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  int num_vars() const { return std::get<0>(GetParam()); }
+  uint64_t seed() const { return static_cast<uint64_t>(std::get<1>(GetParam())) * 7919 + num_vars(); }
+};
+
+TEST_P(RandomFunctionProperty, FactorPartition) {
+  Rng rng(seed());
+  const BoolFunc f = BoolFunc::Random(Iota(num_vars()), &rng);
+  // Random split.
+  std::vector<int> y;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (rng.NextBool()) y.push_back(v);
+  }
+  const FactorSet fs = ComputeFactors(f, y);
+  uint64_t total = 0;
+  for (const BoolFunc& g : fs.factors) total += g.CountModels();
+  EXPECT_EQ(total, 1u << fs.y_vars.size());
+}
+
+TEST_P(RandomFunctionProperty, CompilationEquivalenceAndCanonicity) {
+  Rng rng(seed());
+  const BoolFunc f = BoolFunc::Random(Iota(num_vars()), &rng);
+  const Vtree vt = Vtree::Random(Iota(num_vars()), &rng);
+  // C_{F,T} computes F and is a canonical det. structured NNF.
+  const FactorCompilation cft = CompileFactorNnf(f, vt);
+  const BoolFunc via_cft =
+      BoolFunc::FromCircuitOver(cft.circuit, Iota(num_vars()));
+  EXPECT_TRUE(via_cft == f.ExpandTo(Iota(num_vars())));
+  // S_{F,T} computes F.
+  const SddCanonicalCompilation sft = CompileCanonicalSdd(f, vt);
+  const BoolFunc via_sft =
+      BoolFunc::FromCircuitOver(sft.circuit, Iota(num_vars()));
+  EXPECT_TRUE(via_sft == f.ExpandTo(Iota(num_vars())));
+  // Canonicity: rebuilding C_{F,T} yields a syntactically equal circuit.
+  const FactorCompilation again = CompileFactorNnf(f, vt);
+  EXPECT_EQ(SerializeCircuit(cft.circuit), SerializeCircuit(again.circuit));
+}
+
+TEST_P(RandomFunctionProperty, SddManagerAgreesWithDirectConstruction) {
+  Rng rng(seed());
+  const BoolFunc f = BoolFunc::Random(Iota(num_vars()), &rng);
+  const Vtree vt = Vtree::Random(Iota(num_vars()), &rng);
+  SddManager manager(vt);
+  const auto root = CompileFuncToSdd(&manager, f);
+  const SddCanonicalCompilation direct = CompileCanonicalSdd(f, vt);
+  // Trimmed canonical SDDs never exceed the paper's untrimmed S_{F,T}.
+  EXPECT_LE(manager.Width(root), direct.sdw);
+  EXPECT_EQ(manager.CountModels(root), f.CountModels());
+}
+
+TEST_P(RandomFunctionProperty, WidthInequalities) {
+  Rng rng(seed());
+  const BoolFunc f = BoolFunc::Random(Iota(num_vars()), &rng);
+  const Vtree vt = Vtree::Random(Iota(num_vars()), &rng);
+  const int fw = FactorWidth(f, vt);
+  const FactorCompilation cft = CompileFactorNnf(f, vt);
+  const SddCanonicalCompilation sft = CompileCanonicalSdd(f, vt);
+  EXPECT_LE(cft.fiw, fw * fw);                 // (22)
+  EXPECT_LE(sft.sdw, 1 << (2 * fw + 1));       // (29)
+  EXPECT_GE(fw, 1);
+}
+
+TEST_P(RandomFunctionProperty, RectangleCoversValid) {
+  Rng rng(seed());
+  const BoolFunc f = BoolFunc::Random(Iota(num_vars()), &rng);
+  std::vector<int> y;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (v % 2 == 0) y.push_back(v);
+  }
+  const auto cover = CanonicalRectangleCover(f, y);
+  EXPECT_TRUE(ValidateDisjointCover(f, y, cover).ok());
+}
+
+TEST_P(RandomFunctionProperty, ObddSddCountsAgree) {
+  Rng rng(seed());
+  const BoolFunc f = BoolFunc::Random(Iota(num_vars()), &rng);
+  ObddManager obdd(Iota(num_vars()));
+  const auto obdd_root = CompileFuncToObdd(&obdd, f);
+  SddManager sdd(Vtree::Random(Iota(num_vars()), &rng));
+  const auto sdd_root = CompileFuncToSdd(&sdd, f);
+  EXPECT_EQ(obdd.CountModels(obdd_root), sdd.CountModels(sdd_root));
+  EXPECT_EQ(obdd.CountModels(obdd_root), f.CountModels());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomFunctionProperty,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6),
+                       ::testing::Range(0, 6)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Sweep over named function families ---
+
+struct FamilyCase {
+  const char* name;
+  Circuit (*make)(int);
+  int param;
+};
+
+Circuit MakeParity(int n) { return ParityCircuit(n); }
+Circuit MakeMajority(int n) { return MajorityCircuit(n); }
+Circuit MakeBanded(int n) { return BandedCnfCircuit(n, 2); }
+Circuit MakeDisjointness(int n) { return DisjointnessCircuit(n); }
+Circuit MakeIntersection(int n) { return IntersectionCircuit(n); }
+
+class FamilyProperty : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(FamilyProperty, AllRoutesComputeTheSameFunction) {
+  const FamilyCase& fc = GetParam();
+  const Circuit circuit = fc.make(fc.param);
+  const BoolFunc f = BoolFunc::FromCircuit(circuit);
+  Rng rng(99);
+  const Vtree vt = Vtree::Random(f.vars(), &rng);
+  const FactorCompilation cft = CompileFactorNnf(f, vt);
+  EXPECT_TRUE(BoolFunc::FromCircuitOver(cft.circuit, f.vars()) == f)
+      << fc.name;
+  SddManager manager(vt);
+  EXPECT_EQ(manager.CountModels(CompileCircuitToSdd(&manager, circuit)),
+            f.CountModels())
+      << fc.name;
+}
+
+TEST_P(FamilyProperty, CompiledFormIsDeterministicStructured) {
+  const FamilyCase& fc = GetParam();
+  const Circuit circuit = fc.make(fc.param);
+  const BoolFunc f = BoolFunc::FromCircuit(circuit);
+  Rng rng(7);
+  const Vtree vt = Vtree::Random(f.vars(), &rng);
+  const FactorCompilation cft = CompileFactorNnf(f, vt);
+  EXPECT_TRUE(CheckDeterministicStructuredNnf(cft.circuit, vt).ok())
+      << fc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FamilyProperty,
+    ::testing::Values(FamilyCase{"parity", MakeParity, 5},
+                      FamilyCase{"majority", MakeMajority, 5},
+                      FamilyCase{"banded", MakeBanded, 6},
+                      FamilyCase{"disjointness", MakeDisjointness, 3},
+                      FamilyCase{"intersection", MakeIntersection, 3}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ctsdd

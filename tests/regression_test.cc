@@ -1,0 +1,306 @@
+// Additional invariants and regression tests: algebraic laws of the
+// managers, boundary conditions, and the executable form of Lemma 7
+// (lineages of the chain query restrict to the H^i functions).
+
+#include <map>
+
+#include "circuit/builder.h"
+#include "circuit/eval.h"
+#include "circuit/families.h"
+#include "circuit/tseitin.h"
+#include "compile/factor_compile.h"
+#include "db/inversion.h"
+#include "db/lineage.h"
+#include "db/query.h"
+#include "func/bool_func.h"
+#include "gtest/gtest.h"
+#include "obdd/obdd.h"
+#include "obdd/obdd_compile.h"
+#include "sdd/sdd.h"
+#include "sdd/sdd_compile.h"
+#include "util/random.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+TEST(SddAlgebraTest, CommutativityViaCanonicity) {
+  Rng rng(1);
+  const Vtree vt = Vtree::Random(Iota(5), &rng);
+  SddManager m(vt);
+  const auto a = CompileFuncToSdd(&m, BoolFunc::Random(Iota(5), &rng));
+  const auto b = CompileFuncToSdd(&m, BoolFunc::Random(Iota(5), &rng));
+  EXPECT_EQ(m.And(a, b), m.And(b, a));
+  EXPECT_EQ(m.Or(a, b), m.Or(b, a));
+  EXPECT_EQ(m.And(a, a), a);
+  EXPECT_EQ(m.Or(a, a), a);
+}
+
+TEST(SddAlgebraTest, DeMorganViaCanonicity) {
+  Rng rng(2);
+  const Vtree vt = Vtree::Random(Iota(5), &rng);
+  SddManager m(vt);
+  const auto a = CompileFuncToSdd(&m, BoolFunc::Random(Iota(5), &rng));
+  const auto b = CompileFuncToSdd(&m, BoolFunc::Random(Iota(5), &rng));
+  EXPECT_EQ(m.Not(m.And(a, b)), m.Or(m.Not(a), m.Not(b)));
+  EXPECT_EQ(m.Not(m.Or(a, b)), m.And(m.Not(a), m.Not(b)));
+  EXPECT_EQ(m.Not(m.Not(a)), a);
+}
+
+TEST(SddAlgebraTest, AbsorptionAndDistribution) {
+  Rng rng(3);
+  const Vtree vt = Vtree::Balanced(Iota(6));
+  SddManager m(vt);
+  const auto a = CompileFuncToSdd(&m, BoolFunc::Random(Iota(6), &rng));
+  const auto b = CompileFuncToSdd(&m, BoolFunc::Random(Iota(6), &rng));
+  const auto c = CompileFuncToSdd(&m, BoolFunc::Random(Iota(6), &rng));
+  EXPECT_EQ(m.And(a, m.Or(a, b)), a);
+  EXPECT_EQ(m.Or(a, m.And(a, b)), a);
+  EXPECT_EQ(m.And(a, m.Or(b, c)), m.Or(m.And(a, b), m.And(a, c)));
+}
+
+TEST(SddAlgebraTest, RestrictOfIrrelevantVariableIsIdentity) {
+  Rng rng(4);
+  const Vtree vt = Vtree::Balanced(Iota(4));
+  SddManager m(vt);
+  // f over variables {0, 1} only; restricting 3 is a no-op.
+  const auto f = m.And(m.Literal(0, true), m.Literal(1, false));
+  EXPECT_EQ(m.Restrict(f, 3, true), f);
+  EXPECT_EQ(m.Restrict(f, 3, false), f);
+}
+
+TEST(SddAlgebraTest, ShannonExpansionIdentity) {
+  Rng rng(5);
+  const Vtree vt = Vtree::Random(Iota(5), &rng);
+  SddManager m(vt);
+  const auto f = CompileFuncToSdd(&m, BoolFunc::Random(Iota(5), &rng));
+  for (int var = 0; var < 5; ++var) {
+    const auto x = m.Literal(var, true);
+    const auto expansion =
+        m.Or(m.And(x, m.Restrict(f, var, true)),
+             m.And(m.Not(x), m.Restrict(f, var, false)));
+    EXPECT_EQ(expansion, f) << "var " << var;
+  }
+}
+
+TEST(ObddAlgebraTest, XorAndIteConsistency) {
+  ObddManager m(Iota(6));
+  Rng rng(6);
+  const auto a = CompileFuncToObdd(&m, BoolFunc::Random(Iota(6), &rng));
+  const auto b = CompileFuncToObdd(&m, BoolFunc::Random(Iota(6), &rng));
+  EXPECT_EQ(m.Xor(a, b), m.Or(m.And(a, m.Not(b)), m.And(m.Not(a), b)));
+  EXPECT_EQ(m.Ite(a, b, b), b);
+  EXPECT_EQ(m.Xor(a, a), m.False());
+}
+
+TEST(ObddAlgebraTest, CountModelsWithSkippedLevels) {
+  // A node testing only the last variable must count 2^(levels-1) per
+  // branch correctly.
+  ObddManager m(Iota(10));
+  const auto x9 = m.Literal(9, true);
+  EXPECT_EQ(m.CountModels(x9), 512u);
+  const auto x0 = m.Literal(0, true);
+  EXPECT_EQ(m.CountModels(m.And(x0, x9)), 256u);
+}
+
+TEST(BoolFuncEdgeTest, ExpandToSameSetIsIdentity) {
+  Rng rng(7);
+  const BoolFunc f = BoolFunc::Random({1, 3, 5}, &rng);
+  EXPECT_TRUE(f.ExpandTo({1, 3, 5}) == f);
+}
+
+TEST(BoolFuncEdgeTest, RestrictsCommute) {
+  Rng rng(8);
+  const BoolFunc f = BoolFunc::Random(Iota(5), &rng);
+  const BoolFunc a = f.Restrict(1, true).Restrict(3, false);
+  const BoolFunc b = f.Restrict(3, false).Restrict(1, true);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(FactorCompileEdgeTest, VtreeStrictlyLargerThanSupport) {
+  // Definition 2 allows vtrees over Z ⊇ X; compile x0&x1 on a vtree that
+  // also contains variables 2 and 3.
+  Circuit c;
+  ExprFactory fac(&c);
+  fac.SetOutput(fac.Var(0) & fac.Var(1));
+  const BoolFunc f = BoolFunc::FromCircuit(c);
+  const Vtree vt = Vtree::Balanced(Iota(4));
+  const FactorCompilation comp = CompileFactorNnf(f, vt);
+  EXPECT_TRUE(BoolFunc::FromCircuitOver(comp.circuit, {0, 1}) == f);
+}
+
+TEST(Lemma7Test, ChainLineageRestrictsToEveryLayer) {
+  // Lemma 7, executable: the lineage F of the chain query Q_k over the
+  // chain database has assignments b_i with F(b_i, rest) == H^i_{k,n}.
+  const int k = 2;
+  const int n = 2;
+  const Ucq q = InversionChainUcq(k);
+  const Database db = ChainDatabase(k, n);
+  const auto lineage = BuildLineage(q, db);
+  ASSERT_TRUE(lineage.ok());
+  // Tuple variables: R(l), S_i(l,m), T(m).
+  auto r_id = [&](int l) { return db.FindTuple("R", {l}); };
+  auto s_id = [&](int i, int l, int m) {
+    return db.FindTuple("S" + std::to_string(i), {l, m});
+  };
+  auto t_id = [&](int m) { return db.FindTuple("T", {m}); };
+
+  // Layer i = 1 (middle): set R and T tuples to false; S^1 and S^2 free.
+  // The remaining function is OR_{l,m} (s1_{l,m} & s2_{l,m}) = H^1.
+  {
+    BoolFunc f = BoolFunc::FromCircuit(lineage.value());
+    for (int l = 1; l <= n; ++l) f = f.Restrict(r_id(l), false);
+    for (int m = 1; m <= n; ++m) f = f.Restrict(t_id(m), false);
+    // Expected: OR over (l, m) of s1 & s2.
+    BoolFunc expected = BoolFunc::Constant(false);
+    for (int l = 1; l <= n; ++l) {
+      for (int m = 1; m <= n; ++m) {
+        expected = expected | (BoolFunc::Literal(s_id(1, l, m), true) &
+                               BoolFunc::Literal(s_id(2, l, m), true));
+      }
+    }
+    EXPECT_TRUE(f.Shrink() == expected.ExpandTo(f.vars()).Shrink());
+  }
+
+  // Layer i = 0: set T false and S^2 false; R and S^1 free.
+  {
+    BoolFunc f = BoolFunc::FromCircuit(lineage.value());
+    for (int m = 1; m <= n; ++m) f = f.Restrict(t_id(m), false);
+    for (int l = 1; l <= n; ++l) {
+      for (int m = 1; m <= n; ++m) f = f.Restrict(s_id(2, l, m), false);
+    }
+    BoolFunc expected = BoolFunc::Constant(false);
+    for (int l = 1; l <= n; ++l) {
+      for (int m = 1; m <= n; ++m) {
+        expected = expected | (BoolFunc::Literal(r_id(l), true) &
+                               BoolFunc::Literal(s_id(1, l, m), true));
+      }
+    }
+    EXPECT_TRUE(f.Shrink() == expected.ExpandTo(f.vars()).Shrink());
+  }
+
+  // Layer i = k: set R false and S^1 false; S^2 and T free.
+  {
+    BoolFunc f = BoolFunc::FromCircuit(lineage.value());
+    for (int l = 1; l <= n; ++l) f = f.Restrict(r_id(l), false);
+    for (int l = 1; l <= n; ++l) {
+      for (int m = 1; m <= n; ++m) f = f.Restrict(s_id(1, l, m), false);
+    }
+    BoolFunc expected = BoolFunc::Constant(false);
+    for (int l = 1; l <= n; ++l) {
+      for (int m = 1; m <= n; ++m) {
+        expected = expected | (BoolFunc::Literal(s_id(2, l, m), true) &
+                               BoolFunc::Literal(t_id(m), true));
+      }
+    }
+    EXPECT_TRUE(f.Shrink() == expected.ExpandTo(f.vars()).Shrink());
+  }
+}
+
+TEST(InversionEdgeTest, SingleAtomQueries) {
+  Ucq q;
+  ConjunctiveQuery cq;
+  cq.atoms.push_back({"R", {0, 1}});
+  q.disjuncts.push_back(cq);
+  // R(x, y) alone: at(x) = at(y) = {R}; hierarchical, no inversion.
+  EXPECT_TRUE(IsHierarchicalUcq(q));
+  EXPECT_FALSE(HasInversion(q));
+}
+
+TEST(InversionEdgeTest, ConstantArgumentsIgnored) {
+  Ucq q;
+  ConjunctiveQuery cq;
+  cq.atoms.push_back({"R", {0, EncodeConstant(7)}});
+  cq.atoms.push_back({"S", {0}});
+  q.disjuncts.push_back(cq);
+  EXPECT_TRUE(IsHierarchicalUcq(q));
+  EXPECT_FALSE(HasInversion(q));
+}
+
+TEST(SddQuantifyTest, ExistsMatchesSemantics) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vtree vt = Vtree::Random(Iota(5), &rng);
+    SddManager m(vt);
+    const BoolFunc f = BoolFunc::Random(Iota(5), &rng);
+    const auto root = CompileFuncToSdd(&m, f);
+    for (int var = 0; var < 5; ++var) {
+      const BoolFunc expected =
+          (f.Restrict(var, false) | f.Restrict(var, true)).ExpandTo(Iota(5));
+      EXPECT_TRUE(m.ToBoolFunc(m.Exists(root, var)) == expected);
+      const BoolFunc forall =
+          (f.Restrict(var, false) & f.Restrict(var, true)).ExpandTo(Iota(5));
+      EXPECT_TRUE(m.ToBoolFunc(m.Forall(root, var)) == forall);
+    }
+  }
+}
+
+TEST(SddQuantifyTest, ExistsAllProjectsToSupport) {
+  // Quantifying the Tseitin gate variables of a circuit recovers the
+  // circuit's own function (the Petke–Razgon identity from Section 1).
+  Circuit c;
+  {
+    ExprFactory f(&c);
+    f.SetOutput((f.Var(0) & f.Var(1)) | ((!f.Var(0)) & f.Var(2)));
+  }
+  const Cnf cnf = TseitinCnf(c);
+  const Circuit cnf_circuit = CnfToCircuit(cnf);
+  SddManager m(Vtree::Balanced(Iota(cnf.num_vars)));
+  const auto dt = CompileCircuitToSdd(&m, cnf_circuit);
+  std::vector<int> gate_vars;
+  for (int v = c.num_vars(); v < cnf.num_vars; ++v) gate_vars.push_back(v);
+  const auto projected = m.ExistsAll(dt, gate_vars);
+  const BoolFunc recovered =
+      m.ToBoolFunc(projected).Shrink();
+  EXPECT_TRUE(recovered == BoolFunc::FromCircuit(c).Shrink());
+}
+
+TEST(SddModelTest, AnyModelSatisfies) {
+  Rng rng(37);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vtree vt = Vtree::Random(Iota(5), &rng);
+    SddManager m(vt);
+    const BoolFunc f = BoolFunc::Random(Iota(5), &rng);
+    const auto root = CompileFuncToSdd(&m, f);
+    std::map<int, bool> model;
+    const bool sat = m.AnyModel(root, &model);
+    EXPECT_EQ(sat, !f.IsConstantFalse());
+    if (sat) {
+      EXPECT_EQ(model.size(), 5u);
+      EXPECT_TRUE(m.Evaluate(root, model));
+    }
+  }
+}
+
+TEST(SddModelTest, AnyModelOfFalseFails) {
+  SddManager m(Vtree::Balanced(Iota(3)));
+  std::map<int, bool> model;
+  EXPECT_FALSE(m.AnyModel(m.False(), &model));
+  EXPECT_TRUE(m.AnyModel(m.True(), &model));
+  EXPECT_EQ(model.size(), 3u);
+}
+
+TEST(WmcLinearity, SddProbabilityIsMultilinear) {
+  // P(F) as a function of one tuple's probability is affine; check by
+  // evaluating at three points.
+  const Circuit c = IntersectionCircuit(2);
+  SddManager m(Vtree::Balanced(Iota(4)));
+  const auto root = CompileCircuitToSdd(&m, c);
+  auto wmc = [&](double p0) {
+    std::map<int, double> probs = {{0, p0}, {1, 0.5}, {2, 0.5}, {3, 0.5}};
+    return m.WeightedModelCount(root, probs);
+  };
+  const double at0 = wmc(0.0);
+  const double at1 = wmc(1.0);
+  const double athalf = wmc(0.5);
+  EXPECT_NEAR(athalf, 0.5 * (at0 + at1), 1e-12);
+}
+
+}  // namespace
+}  // namespace ctsdd

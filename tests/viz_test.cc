@@ -1,0 +1,64 @@
+#include <algorithm>
+#include <string>
+
+#include "circuit/builder.h"
+#include "circuit/families.h"
+#include "func/bool_func.h"
+#include "gtest/gtest.h"
+#include "sdd/sdd.h"
+#include "sdd/sdd_compile.h"
+#include "util/random.h"
+#include "viz/dot.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+namespace {
+
+TEST(DotTest, CircuitExportMentionsEveryGate) {
+  Circuit c;
+  ExprFactory f(&c);
+  f.SetOutput((f.Var(0) & f.Var(1)) | (!f.Var(2)));
+  const std::string dot = CircuitToDot(c);
+  EXPECT_NE(dot.find("digraph circuit"), std::string::npos);
+  EXPECT_NE(dot.find("x0"), std::string::npos);
+  EXPECT_NE(dot.find("AND"), std::string::npos);
+  EXPECT_NE(dot.find("OR"), std::string::npos);
+  EXPECT_NE(dot.find("NOT"), std::string::npos);
+  EXPECT_NE(dot.find("output"), std::string::npos);
+  // One node line per gate.
+  size_t gate_lines = 0;
+  for (size_t pos = 0; (pos = dot.find("[shape=", pos)) != std::string::npos;
+       ++pos) {
+    ++gate_lines;
+  }
+  EXPECT_EQ(gate_lines, static_cast<size_t>(c.num_gates()) + 1);  // + output
+}
+
+TEST(DotTest, VtreeExportHasAllLeaves) {
+  const Vtree vt = Vtree::Balanced({0, 1, 2, 3, 4});
+  const std::string dot = VtreeToDot(vt);
+  EXPECT_NE(dot.find("graph vtree"), std::string::npos);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_NE(dot.find("\"x" + std::to_string(v) + "\""), std::string::npos);
+  }
+}
+
+TEST(DotTest, SddExportWellFormed) {
+  Rng rng(3);
+  SddManager m(Vtree::Balanced({0, 1, 2, 3}));
+  const auto root = CompileFuncToSdd(&m, BoolFunc::Random({0, 1, 2, 3}, &rng));
+  const std::string dot = SddToDot(m, root);
+  EXPECT_NE(dot.find("digraph sdd"), std::string::npos);
+  EXPECT_NE(dot.find("record"), std::string::npos);
+  // Balanced braces in records.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(DotTest, SddConstantsExport) {
+  SddManager m(Vtree::Balanced({0, 1}));
+  EXPECT_NE(SddToDot(m, m.True()).find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctsdd

@@ -1,0 +1,131 @@
+#include <set>
+
+#include "circuit/builder.h"
+#include "circuit/families.h"
+#include "circuit/primal_graph.h"
+#include "graph/elimination.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "vtree/from_decomposition.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+namespace {
+
+TEST(VtreeTest, RightLinearShape) {
+  const Vtree vt = Vtree::RightLinear({2, 5, 9});
+  EXPECT_TRUE(vt.IsRightLinear());
+  EXPECT_EQ(vt.num_leaves(), 3);
+  EXPECT_EQ(vt.LeafOrder(), (std::vector<int>{2, 5, 9}));
+  EXPECT_EQ(vt.Vars(), (std::vector<int>{2, 5, 9}));
+}
+
+TEST(VtreeTest, LeftLinearShape) {
+  const Vtree vt = Vtree::LeftLinear({1, 2, 3});
+  EXPECT_FALSE(vt.IsRightLinear());
+  EXPECT_EQ(vt.LeafOrder(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(VtreeTest, BalancedCoversVars) {
+  const Vtree vt = Vtree::Balanced({0, 1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(vt.num_leaves(), 7);
+  EXPECT_EQ(vt.Vars(), (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  // Balanced tree over 7 leaves has depth 3.
+  int max_depth = 0;
+  for (int node = 0; node < vt.num_nodes(); ++node) {
+    max_depth = std::max(max_depth, vt.depth(node));
+  }
+  EXPECT_EQ(max_depth, 3);
+}
+
+TEST(VtreeTest, SingleLeaf) {
+  Vtree vt;
+  vt.SetRoot(vt.AddLeaf(4));
+  EXPECT_EQ(vt.num_leaves(), 1);
+  EXPECT_TRUE(vt.is_leaf(vt.root()));
+  EXPECT_TRUE(vt.IsRightLinear());
+}
+
+TEST(VtreeTest, LcaAndAncestors) {
+  // ((0 1) (2 3))
+  Vtree vt;
+  const int l0 = vt.AddLeaf(0);
+  const int l1 = vt.AddLeaf(1);
+  const int l2 = vt.AddLeaf(2);
+  const int l3 = vt.AddLeaf(3);
+  const int a = vt.AddInternal(l0, l1);
+  const int b = vt.AddInternal(l2, l3);
+  const int r = vt.AddInternal(a, b);
+  vt.SetRoot(r);
+  EXPECT_EQ(vt.Lca(l0, l1), a);
+  EXPECT_EQ(vt.Lca(l0, l3), r);
+  EXPECT_EQ(vt.Lca(a, l1), a);
+  EXPECT_TRUE(vt.IsAncestorOrSelf(r, l2));
+  EXPECT_TRUE(vt.IsAncestorOrSelf(a, a));
+  EXPECT_FALSE(vt.IsAncestorOrSelf(a, l2));
+  EXPECT_EQ(vt.VarsBelow(a), (std::vector<int>{0, 1}));
+  EXPECT_EQ(vt.VarsBelow(r), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(VtreeTest, RandomVtreesValid) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vtree vt = Vtree::Random({0, 1, 2, 3, 4, 5, 6, 7}, &rng);
+    EXPECT_TRUE(vt.Validate().ok());
+    EXPECT_EQ(vt.num_leaves(), 8);
+    EXPECT_EQ(vt.Vars(), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  }
+}
+
+TEST(VtreeTest, LeafOf) {
+  const Vtree vt = Vtree::Balanced({3, 7, 11});
+  EXPECT_GE(vt.LeafOf(7), 0);
+  EXPECT_EQ(vt.var(vt.LeafOf(7)), 7);
+  EXPECT_EQ(vt.LeafOf(5), -1);
+}
+
+TEST(VtreeFromDecompositionTest, CoversCircuitVariables) {
+  const Circuit c = LadderCircuit(6, 2);
+  const auto vt = VtreeForCircuit(c);
+  ASSERT_TRUE(vt.ok()) << vt.status();
+  EXPECT_EQ(vt.value().Vars(), c.Vars());
+  EXPECT_TRUE(vt.value().Validate().ok());
+}
+
+TEST(VtreeFromDecompositionTest, WorksOnSingleVariableCircuit) {
+  Circuit c;
+  ExprFactory f(&c);
+  f.SetOutput(f.Var(0));
+  const auto vt = VtreeForCircuit(c);
+  ASSERT_TRUE(vt.ok());
+  EXPECT_EQ(vt.value().num_leaves(), 1);
+}
+
+TEST(VtreeFromDecompositionTest, FailsOnConstantCircuit) {
+  Circuit c;
+  c.SetOutput(c.ConstGate(true));
+  EXPECT_FALSE(VtreeForCircuit(c).ok());
+}
+
+TEST(VtreeFromDecompositionTest, RespectsDecompositionLocality) {
+  // For a chain-of-ANDs circuit, the Lemma 1 vtree from an optimal-width
+  // decomposition keeps each internal node's variable scope an interval-
+  // like set; at minimum every scope X_v must be a subset of the circuit
+  // variables and the scopes must nest properly (tree structure).
+  Circuit c;
+  ExprFactory f(&c);
+  Expr acc = f.Var(0);
+  for (int i = 1; i < 8; ++i) acc = acc & f.Var(i);
+  f.SetOutput(acc);
+  const Graph primal = PrimalGraph(c);
+  const auto order = GreedyEliminationOrder(primal,
+                                            EliminationHeuristic::kMinFill);
+  const auto vt = VtreeForCircuitWithOrder(c, order);
+  ASSERT_TRUE(vt.ok());
+  const Vtree& vtree = vt.value();
+  std::set<int> all(vtree.Vars().begin(), vtree.Vars().end());
+  EXPECT_EQ(all.size(), 8u);
+}
+
+}  // namespace
+}  // namespace ctsdd
