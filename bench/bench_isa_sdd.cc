@@ -17,6 +17,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -39,10 +41,11 @@ double WitnessSizeBound(const IsaParams& p) {
   return small_terms * inputs + y_spine;
 }
 
-void Run() {
+void Run(const std::string& json_path) {
   bench::Header(
       "Prop. 3: ISA on the Appendix A vtree T_n — explicit witness bound "
       "vs canonical SDD");
+  std::vector<bench::JsonMetric> metrics;
   std::printf("%4s %4s %6s %13s %12s %10s %12s %9s\n", "k", "m", "n",
               "witness<=", "n^{13/5}", "canonical", "obdd_size", "ms");
   std::vector<double> ns;
@@ -59,6 +62,9 @@ void Run() {
                 params.m, params.NumVars(), WitnessSizeBound(params),
                 std::pow(params.NumVars(), 13.0 / 5.0), comp.sdd.size,
                 obdd_size, timer.ElapsedMillis());
+    metrics.push_back({"isa_k" + std::to_string(params.k) + "_m" +
+                           std::to_string(params.m) + "_compile_ms",
+                       timer.ElapsedMillis()});
   }
   // The (5, 8) instance (n = 261) is reported analytically: the witness
   // stays polynomial while OBDDs are exponential in m; compiling the
@@ -77,12 +83,27 @@ void Run() {
               "13/5 = 2.60); canonical SDDs on T_n are larger — the "
               "canonicity/succinctness tradeoff of [15]\n",
               bench::LogLogSlope(ns, witness));
+  if (!json_path.empty()) {
+    // Appends next to the kc_micro section so one artifact carries the
+    // whole apply-core picture.
+    if (bench::WriteJsonSection(json_path, "isa_sdd", metrics,
+                                /*append=*/true)) {
+      std::printf("  appended isa_sdd section to %s\n", json_path.c_str());
+    }
+  }
 }
 
 }  // namespace
 }  // namespace ctsdd
 
-int main() {
-  ctsdd::Run();
+int main(int argc, char** argv) {
+  static constexpr char kFlag[] = "--json=";
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      json_path = argv[i] + sizeof(kFlag) - 1;
+    }
+  }
+  ctsdd::Run(json_path);
   return 0;
 }

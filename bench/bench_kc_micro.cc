@@ -1,10 +1,18 @@
 // Micro benchmarks (google-benchmark) for the knowledge-compilation
 // substrate: OBDD/SDD apply throughput, model counting, weighted model
 // counting, and the full treewidth pipeline.
+//
+// Run with --apply_core_json=PATH to instead execute the fixed apply-core
+// suite (deterministic apply-heavy workloads) and write its timings as a
+// machine-readable JSON section — the artifact tracked in
+// BENCH_apply_core.json across perf PRs.
 
+#include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "benchmark/benchmark.h"
 #include "circuit/families.h"
 #include "compile/pipeline.h"
@@ -107,7 +115,86 @@ void BM_TreewidthPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_TreewidthPipeline)->Arg(8)->Arg(16)->Arg(24);
 
+// --- Apply-core suite ------------------------------------------------------
+//
+// Fixed, deterministic, apply-heavy workloads that exercise exactly the
+// layers the high-throughput apply core owns: the OBDD/SDD unique tables
+// and computed caches, the n-ary gate folds in the compilers, and the
+// word-parallel BoolFunc kernel that CompileFuncToObdd memoizes on.
+
+void RunApplyCoreSuite(const std::string& json_path) {
+  std::vector<bench::JsonMetric> metrics;
+  auto record = [&](const char* name, double ms) {
+    metrics.push_back({name, ms});
+    std::printf("  %-28s %10.2f ms\n", name, ms);
+  };
+  bench::Header("apply-core suite");
+
+  record("obdd_parity512_compile_ms", bench::MinMillis(3, [] {
+           const Circuit c = ParityCircuit(512);
+           ObddManager m(Iota(512));
+           benchmark::DoNotOptimize(CompileCircuitToObdd(&m, c));
+         }));
+  record("obdd_majority64_compile_ms", bench::MinMillis(3, [] {
+           const Circuit c = MajorityCircuit(64);
+           ObddManager m(Iota(64));
+           benchmark::DoNotOptimize(CompileCircuitToObdd(&m, c));
+         }));
+  record("obdd_banded_cnf_compile_ms", bench::MinMillis(3, [] {
+           const Circuit c = BandedCnfCircuit(1024, 6);
+           ObddManager m(Iota(1024));
+           benchmark::DoNotOptimize(CompileCircuitToObdd(&m, c));
+         }));
+  record("obdd_func18_compile_ms", bench::MinMillis(3, [] {
+           Rng rng(271828);
+           const BoolFunc f = BoolFunc::Random(Iota(18), &rng);
+           ObddManager m(Iota(18));
+           benchmark::DoNotOptimize(CompileFuncToObdd(&m, f));
+         }));
+  record("sdd_apply_pairs12_ms", bench::MinMillis(3, [] {
+           Rng rng(314159);
+           const int n = 12, k = 8;
+           SddManager m(Vtree::Balanced(Iota(n)));
+           std::vector<SddManager::NodeId> roots;
+           for (int i = 0; i < k; ++i) {
+             roots.push_back(
+                 CompileFuncToSdd(&m, BoolFunc::Random(Iota(n), &rng)));
+           }
+           for (int i = 0; i < k; ++i) {
+             for (int j = i + 1; j < k; ++j) {
+               benchmark::DoNotOptimize(m.And(roots[i], roots[j]));
+               benchmark::DoNotOptimize(m.Or(roots[i], roots[j]));
+             }
+           }
+         }));
+  record("sdd_ladder20_compile_ms", bench::MinMillis(3, [] {
+           const Circuit c = LadderCircuit(20, 3);
+           const auto vtree = VtreeForCircuit(c);
+           SddManager m(vtree.value());
+           benchmark::DoNotOptimize(CompileCircuitToSdd(&m, c));
+         }));
+
+  if (bench::WriteJsonSection(json_path, "kc_micro_apply_core", metrics,
+                              /*append=*/false)) {
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace ctsdd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --apply_core_json=PATH runs the fixed suite instead of google-benchmark.
+  static constexpr char kFlag[] = "--apply_core_json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      ctsdd::RunApplyCoreSuite(argv[i] + sizeof(kFlag) - 1);
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

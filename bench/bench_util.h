@@ -6,8 +6,12 @@
 #ifndef CTSDD_BENCH_BENCH_UTIL_H_
 #define CTSDD_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -70,6 +74,152 @@ inline double SemiLogSlope(const std::vector<double>& x,
   }
   if (n < 2) return 0.0;
   return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+// --- Machine-readable benchmark records -----------------------------------
+//
+// Benches that feed the perf trajectory emit flat JSON files of the shape
+//   { "section": { "metric": value, ... }, ... }
+// via WriteJsonSection below. Appending re-reads the file (it must be in
+// the flat format written here — point benches at a scratch path, not at
+// a curated artifact like BENCH_apply_core.json), replaces any existing
+// section of the same name, and splices the new section before the
+// closing brace, so several bench binaries can contribute sections to one
+// file and reruns stay idempotent.
+
+struct JsonMetric {
+  std::string key;
+  double value;
+};
+
+// True iff `s` is in the flat two-level shape WriteJsonSection produces:
+// braces nest at most two deep and every depth-1 value is an object. A
+// curated artifact like BENCH_apply_core.json (nested sections, string
+// values) fails this check, which protects it from being clobbered.
+inline bool IsFlatSectionFormat(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (++depth > 2) return false;
+    } else if (c == '}') {
+      --depth;
+    } else if (c == ':' && depth == 1) {
+      size_t j = i + 1;
+      while (j < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[j]))) {
+        ++j;
+      }
+      if (j >= s.size() || s[j] != '{') return false;
+    }
+  }
+  return true;
+}
+
+// Returns false (leaving the file untouched) when the path cannot be
+// written or holds content this writer did not produce.
+inline bool WriteJsonSection(const std::string& path,
+                             const std::string& section,
+                             const std::vector<JsonMetric>& metrics,
+                             bool append = false) {
+  std::string existing;
+  if (append) {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+      if (!existing.empty() && !IsFlatSectionFormat(existing)) {
+        std::fprintf(stderr,
+                     "WriteJsonSection: refusing to append to %s: not in "
+                     "the flat bench-section format (use a scratch path)\n",
+                     path.c_str());
+        return false;
+      }
+      // Trim trailing whitespace and the closing brace.
+      while (!existing.empty() &&
+             (std::isspace(static_cast<unsigned char>(existing.back())) ||
+              existing.back() == '}')) {
+        const bool was_brace = existing.back() == '}';
+        existing.pop_back();
+        if (was_brace) break;
+      }
+      // Drop a previous section with the same name (sections are flat, so
+      // its first '}' closes it) to keep keys unique across reruns.
+      const std::string marker = "\"" + section + "\": {";
+      const size_t pos = existing.find(marker);
+      if (pos != std::string::npos) {
+        size_t end = existing.find('}', pos);
+        if (end != std::string::npos) {
+          ++end;
+          while (end < existing.size() &&
+                 (std::isspace(static_cast<unsigned char>(existing[end])) ||
+                  existing[end] == ',')) {
+            ++end;
+          }
+          size_t start = existing.rfind('\n', pos);
+          if (start == std::string::npos) start = pos;
+          existing.erase(start, end - start);
+        }
+      }
+      // Normalize the tail so exactly one separator is emitted below.
+      while (!existing.empty() &&
+             (std::isspace(static_cast<unsigned char>(existing.back())) ||
+              existing.back() == ',')) {
+        existing.pop_back();
+      }
+      if (existing == "{") existing.clear();
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "WriteJsonSection: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  if (existing.empty()) {
+    out << "{\n";
+  } else {
+    out << existing << ",\n";
+  }
+  out << "  \"" << section << "\": {\n";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.6g", metrics[i].value);
+    out << "    \"" << metrics[i].key << "\": " << num
+        << (i + 1 < metrics.size() ? ",\n" : "\n");
+  }
+  out << "  }\n}\n";
+  return true;
+}
+
+// Runs `body` `reps` times and returns the fastest wall-clock milliseconds —
+// the standard min-of-reps estimator for microbenchmarks (robust to one-off
+// scheduler noise without needing long runs).
+template <typename Body>
+double MinMillis(int reps, Body&& body) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
 }
 
 }  // namespace bench

@@ -19,6 +19,38 @@ void CheckVarsSortedUnique(const std::vector<int>& vars) {
   }
 }
 
+// Bit masks selecting table indices whose bit `pos` is 0, for pos < 6 —
+// the in-word half of the word-parallel kernels below.
+constexpr uint64_t kLowHalfMask[6] = {
+    0x5555555555555555ULL, 0x3333333333333333ULL, 0x0f0f0f0f0f0f0f0fULL,
+    0x00ff00ff00ff00ffULL, 0x0000ffff0000ffffULL, 0x00000000ffffffffULL,
+};
+
+// Duplicates each `g`-bit group of the low `count_bits` of `in` (the
+// word-level "insert a variable at position log2(g)" primitive). Requires
+// count_bits <= 32, so the result fits one word.
+uint64_t DoubleGroups(uint64_t in, int g, int count_bits) {
+  uint64_t out = 0;
+  const uint64_t mask = (1ULL << g) - 1;
+  for (int i = 0; i * g < count_bits; ++i) {
+    const uint64_t group = (in >> (i * g)) & mask;
+    out |= (group << (2 * i * g)) | (group << (2 * i * g + g));
+  }
+  return out;
+}
+
+// Keeps every second `g`-bit group of `in` (stride 2g), packing them
+// contiguously: the word-level "remove a variable at position log2(g)"
+// primitive. Produces out_bits <= 32 result bits.
+uint64_t GatherGroups(uint64_t in, int g, int out_bits) {
+  uint64_t out = 0;
+  const uint64_t mask = (1ULL << g) - 1;
+  for (int i = 0; i * g < out_bits; ++i) {
+    out |= ((in >> (2 * i * g)) & mask) << (i * g);
+  }
+  return out;
+}
+
 }  // namespace
 
 BoolFunc::BoolFunc() : BoolFunc({}, std::vector<uint64_t>(1, 0)) {}
@@ -81,17 +113,55 @@ BoolFunc BoolFunc::FromCircuitOver(const Circuit& circuit,
         << "circuit variable x" << v << " missing from BoolFunc var set";
   }
   const int n = static_cast<int>(vars.size());
+  // Word-parallel sweep: one pass evaluates the circuit on 64 assignments
+  // at once, each gate computed as a bitwise op on 64 lanes. Lane i of
+  // word w is table index w*64 + i; a variable at position p < 6 reads an
+  // alternating in-word pattern, a variable at position p >= 6 is constant
+  // across the word (bit p of the word's base index).
   const int max_var = circuit.num_vars();
-  std::vector<uint64_t> words(((1u << n) + 63) / 64, 0);
-  std::vector<bool> assignment(std::max(
-      max_var, vars.empty() ? 0 : vars.back() + 1));
-  for (uint32_t index = 0; index < (1u << n); ++index) {
-    for (int i = 0; i < n; ++i) {
-      assignment[vars[i]] = (index >> i) & 1;
+  std::vector<int> pos_of_var(std::max(max_var, vars.empty() ? 0
+                                                             : vars.back() + 1),
+                              -1);
+  for (int i = 0; i < n; ++i) pos_of_var[vars[i]] = i;
+  const size_t num_words = ((1u << n) + 63) / 64;
+  std::vector<uint64_t> words(num_words, 0);
+  std::vector<uint64_t> lanes(circuit.num_gates());
+  for (size_t w = 0; w < num_words; ++w) {
+    const uint64_t base = static_cast<uint64_t>(w) * 64;
+    for (int id = 0; id < circuit.num_gates(); ++id) {
+      const Gate& g = circuit.gate(id);
+      uint64_t v = 0;
+      switch (g.kind) {
+        case GateKind::kConstFalse:
+          v = 0;
+          break;
+        case GateKind::kConstTrue:
+          v = ~0ULL;
+          break;
+        case GateKind::kVar: {
+          const int p = pos_of_var[g.var];
+          if (p < 6) {
+            v = ~kLowHalfMask[p];  // bit pattern of position p inside a word
+          } else {
+            v = ((base >> p) & 1) ? ~0ULL : 0;
+          }
+          break;
+        }
+        case GateKind::kNot:
+          v = ~lanes[g.inputs[0]];
+          break;
+        case GateKind::kAnd:
+          v = ~0ULL;
+          for (int input : g.inputs) v &= lanes[input];
+          break;
+        case GateKind::kOr:
+          v = 0;
+          for (int input : g.inputs) v |= lanes[input];
+          break;
+      }
+      lanes[id] = v;
     }
-    if (Evaluate(circuit, assignment)) {
-      words[index / 64] |= (1ULL << (index % 64));
-    }
+    words[w] = lanes[circuit.output()];
   }
   return BoolFunc(std::move(vars), std::move(words));
 }
@@ -121,10 +191,20 @@ bool BoolFunc::Eval(const std::vector<bool>& values) const {
 bool BoolFunc::DependsOnPosition(int position) const {
   CTSDD_CHECK_GE(position, 0);
   CTSDD_CHECK_LT(position, num_vars());
-  const uint32_t bit = 1u << position;
-  for (uint32_t index = 0; index < table_size(); ++index) {
-    if ((index & bit) == 0 && EvalIndex(index) != EvalIndex(index | bit)) {
-      return true;
+  if (position < 6) {
+    // Compare the two in-word halves of every g-bit group pair.
+    const int g = 1 << position;
+    const uint64_t mask = kLowHalfMask[position];
+    for (const uint64_t w : words_) {
+      if (((w ^ (w >> g)) & mask) != 0) return true;
+    }
+    return false;
+  }
+  // Whole-word blocks: block 2j (bit = 0) vs block 2j+1 (bit = 1).
+  const size_t block = 1u << (position - 6);
+  for (size_t b = 0; b + 2 * block <= words_.size(); b += 2 * block) {
+    for (size_t i = 0; i < block; ++i) {
+      if (words_[b + i] != words_[b + block + i]) return true;
     }
   }
   return false;
@@ -136,10 +216,20 @@ uint64_t BoolFunc::CountModels() const {
   return count;
 }
 
-bool BoolFunc::IsConstantFalse() const { return CountModels() == 0; }
+bool BoolFunc::IsConstantFalse() const {
+  for (const uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
 
 bool BoolFunc::IsConstantTrue() const {
-  return CountModels() == table_size();
+  const uint32_t bits = table_size();
+  if (bits < 64) return words_[0] == (1ULL << bits) - 1;
+  for (const uint64_t w : words_) {
+    if (w != ~0ULL) return false;
+  }
+  return true;
 }
 
 int64_t BoolFunc::AnyModelIndex() const {
@@ -160,12 +250,28 @@ BoolFunc BoolFunc::Restrict(int var, bool value) const {
   new_vars.erase(new_vars.begin() + pos);
   const uint32_t new_size = table_size() >> 1;
   std::vector<uint64_t> words((new_size + 63) / 64, 0);
-  const uint32_t low_mask = (1u << pos) - 1;
-  for (uint32_t j = 0; j < new_size; ++j) {
-    // Insert `value` at bit `pos` of j to get the source index.
-    const uint32_t index = ((j & ~low_mask) << 1) | (j & low_mask) |
-                           (static_cast<uint32_t>(value) << pos);
-    if (EvalIndex(index)) words[j / 64] |= (1ULL << (j % 64));
+  if (pos >= 6) {
+    // Whole-word blocks: keep the block with bit `pos` == value.
+    const size_t block = 1u << (pos - 6);
+    const size_t offset = value ? block : 0;
+    for (size_t j = 0; j < words.size(); j += block) {
+      const size_t src = 2 * j + offset;
+      for (size_t i = 0; i < block; ++i) words[j + i] = words_[src + i];
+    }
+  } else {
+    const int g = 1 << pos;
+    if (new_size <= 32) {
+      words[0] = GatherGroups(words_[0] >> (value ? g : 0), g, new_size);
+    } else {
+      // Each output word packs 32 gathered bits from each of two inputs.
+      for (size_t j = 0; j < words.size(); ++j) {
+        const uint64_t lo =
+            GatherGroups(words_[2 * j] >> (value ? g : 0), g, 32);
+        const uint64_t hi =
+            GatherGroups(words_[2 * j + 1] >> (value ? g : 0), g, 32);
+        words[j] = lo | (hi << 32);
+      }
+    }
   }
   return BoolFunc(std::move(new_vars), std::move(words));
 }
@@ -179,23 +285,40 @@ BoolFunc BoolFunc::ExpandTo(const std::vector<int>& new_vars) const {
                             vars_.end()))
       << "ExpandTo target must be a superset";
   if (sorted == vars_) return *this;
-  // position_in_old[i] = index into vars_ for sorted[i], or -1 if new.
-  std::vector<int> position_in_old(sorted.size(), -1);
+  // Insert the missing variables one at a time in increasing target
+  // position; each insertion duplicates g-bit groups (word-parallel).
+  std::vector<uint64_t> words = words_;
+  uint32_t size = table_size();
   for (size_t i = 0, j = 0; i < sorted.size(); ++i) {
     if (j < vars_.size() && vars_[j] == sorted[i]) {
-      position_in_old[i] = static_cast<int>(j++);
+      ++j;
+      continue;
     }
-  }
-  const int n = static_cast<int>(sorted.size());
-  std::vector<uint64_t> words(((1u << n) + 63) / 64, 0);
-  for (uint32_t index = 0; index < (1u << n); ++index) {
-    uint32_t old_index = 0;
-    for (int i = 0; i < n; ++i) {
-      if (position_in_old[i] >= 0 && ((index >> i) & 1)) {
-        old_index |= (1u << position_in_old[i]);
+    const int pos = static_cast<int>(i);
+    const uint32_t new_size = size * 2;
+    std::vector<uint64_t> out((new_size + 63) / 64, 0);
+    if (pos >= 6) {
+      // Duplicate whole-word blocks of 2^(pos-6) words.
+      const size_t block = 1u << (pos - 6);
+      for (size_t src = 0, dst = 0; src < (size + 63) / 64; src += block) {
+        for (size_t k = 0; k < block; ++k) out[dst + k] = words[src + k];
+        dst += block;
+        for (size_t k = 0; k < block; ++k) out[dst + k] = words[src + k];
+        dst += block;
+      }
+    } else {
+      const int g = 1 << pos;
+      if (size <= 32) {
+        out[0] = DoubleGroups(words[0], g, size);
+      } else {
+        for (size_t src = 0; src < size / 64; ++src) {
+          out[2 * src] = DoubleGroups(words[src] & 0xffffffffULL, g, 32);
+          out[2 * src + 1] = DoubleGroups(words[src] >> 32, g, 32);
+        }
       }
     }
-    if (EvalIndex(old_index)) words[index / 64] |= (1ULL << (index % 64));
+    words = std::move(out);
+    size = new_size;
   }
   return BoolFunc(std::move(sorted), std::move(words));
 }
@@ -227,35 +350,34 @@ BoolFunc BoolFunc::operator~() const {
   return out;
 }
 
-namespace {
-
-template <typename Op>
-BoolFunc Combine(const BoolFunc& a, const BoolFunc& b, Op op) {
+BoolFunc BoolFunc::CombineWords(const BoolFunc& a, const BoolFunc& b,
+                                uint64_t (*op)(uint64_t, uint64_t)) {
   std::vector<int> all = a.vars();
   all.insert(all.end(), b.vars().begin(), b.vars().end());
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
-  const BoolFunc ea = a.ExpandTo(all);
+  BoolFunc ea = a.ExpandTo(all);
   const BoolFunc eb = b.ExpandTo(all);
-  std::vector<bool> table(ea.table_size());
-  for (uint32_t i = 0; i < ea.table_size(); ++i) {
-    table[i] = op(ea.EvalIndex(i), eb.EvalIndex(i));
+  for (size_t i = 0; i < ea.words_.size(); ++i) {
+    ea.words_[i] = op(ea.words_[i], eb.words_[i]);
   }
-  return BoolFunc::FromTable(all, table);
+  ea.MaskTail();
+  return ea;
 }
 
-}  // namespace
-
 BoolFunc operator&(const BoolFunc& a, const BoolFunc& b) {
-  return Combine(a, b, [](bool x, bool y) { return x && y; });
+  return BoolFunc::CombineWords(
+      a, b, [](uint64_t x, uint64_t y) { return x & y; });
 }
 
 BoolFunc operator|(const BoolFunc& a, const BoolFunc& b) {
-  return Combine(a, b, [](bool x, bool y) { return x || y; });
+  return BoolFunc::CombineWords(
+      a, b, [](uint64_t x, uint64_t y) { return x | y; });
 }
 
 BoolFunc operator^(const BoolFunc& a, const BoolFunc& b) {
-  return Combine(a, b, [](bool x, bool y) { return x != y; });
+  return BoolFunc::CombineWords(
+      a, b, [](uint64_t x, uint64_t y) { return x ^ y; });
 }
 
 bool operator==(const BoolFunc& a, const BoolFunc& b) {

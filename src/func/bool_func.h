@@ -96,6 +96,11 @@ class BoolFunc {
  private:
   BoolFunc(std::vector<int> vars, std::vector<uint64_t> words);
 
+  // Aligns both operands over the union of their variable sets and applies
+  // `op` to the truth tables one 64-entry word at a time.
+  static BoolFunc CombineWords(const BoolFunc& a, const BoolFunc& b,
+                               uint64_t (*op)(uint64_t, uint64_t));
+
   size_t NumWords() const { return (table_size() + 63) / 64; }
   void MaskTail();
 

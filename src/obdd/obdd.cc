@@ -5,10 +5,14 @@
 #include <functional>
 #include <set>
 
+#include "util/hashing.h"
+
 namespace ctsdd {
 
-ObddManager::ObddManager(std::vector<int> var_order)
-    : var_order_(std::move(var_order)) {
+ObddManager::ObddManager(std::vector<int> var_order, Options options)
+    : var_order_(std::move(var_order)),
+      ite_cache_(options.ite_cache_slots),
+      nary_cache_(options.nary_cache_slots) {
   for (int i = 0; i < num_levels(); ++i) {
     const auto [it, inserted] = level_of_var_.emplace(var_order_[i], i);
     CTSDD_CHECK(inserted) << "duplicate variable in order";
@@ -26,12 +30,19 @@ int ObddManager::LevelOf(int var) const {
 
 ObddManager::NodeId ObddManager::MakeNode(int level, NodeId lo, NodeId hi) {
   if (lo == hi) return lo;  // reduction rule
-  const Key key{level, lo, hi};
-  const auto it = unique_.find(key);
-  if (it != unique_.end()) return it->second;
+  CTSDD_CHECK_LT(level, nodes_[lo].level);
+  CTSDD_CHECK_LT(level, nodes_[hi].level);
+  const uint64_t hash = Hash3(static_cast<uint64_t>(level),
+                              static_cast<uint64_t>(lo),
+                              static_cast<uint64_t>(hi));
+  const int32_t found = unique_.Find(hash, [&](int32_t id) {
+    const Node& n = nodes_[id];
+    return n.level == level && n.lo == lo && n.hi == hi;
+  });
+  if (found != UniqueTable::kEmpty) return found;
   nodes_.push_back({level, lo, hi});
   const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
-  unique_.emplace(key, id);
+  unique_.Insert(hash, id);
   return id;
 }
 
@@ -53,22 +64,34 @@ ObddManager::NodeId ObddManager::CofactorHi(NodeId f, int level) const {
 }
 
 ObddManager::NodeId ObddManager::Ite(NodeId f, NodeId g, NodeId h) {
+  ++op_depth_;
+  const NodeId result = IteRec(f, g, h);
+  LeaveOp();
+  return result;
+}
+
+ObddManager::NodeId ObddManager::IteRec(NodeId f, NodeId g, NodeId h) {
   // Terminal cases.
   if (f == kTrue) return g;
   if (f == kFalse) return h;
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
   const IteKey key{f, g, h};
-  const auto it = ite_cache_.find(key);
-  if (it != ite_cache_.end()) return it->second;
+  const uint64_t hash = Hash3(static_cast<uint64_t>(f),
+                              static_cast<uint64_t>(g),
+                              static_cast<uint64_t>(h));
+  NodeId cached;
+  if (ite_cache_.Lookup(hash, key, &cached)) return cached;
+  if (ite_memo_.Lookup(hash, key, &cached)) return cached;
   const int level =
       std::min({nodes_[f].level, nodes_[g].level, nodes_[h].level});
-  const NodeId lo =
-      Ite(CofactorLo(f, level), CofactorLo(g, level), CofactorLo(h, level));
-  const NodeId hi =
-      Ite(CofactorHi(f, level), CofactorHi(g, level), CofactorHi(h, level));
+  const NodeId lo = IteRec(CofactorLo(f, level), CofactorLo(g, level),
+                           CofactorLo(h, level));
+  const NodeId hi = IteRec(CofactorHi(f, level), CofactorHi(g, level),
+                           CofactorHi(h, level));
   const NodeId result = MakeNode(level, lo, hi);
-  ite_cache_.emplace(key, result);
+  ite_cache_.Store(hash, key, result);
+  ite_memo_.Insert(hash, key, result);
   return result;
 }
 
@@ -88,13 +111,75 @@ ObddManager::NodeId ObddManager::Xor(NodeId f, NodeId g) {
   return Ite(f, Not(g), g);
 }
 
+ObddManager::NodeId ObddManager::ApplyN(std::vector<NodeId> ops,
+                                        bool is_and) {
+  ++op_depth_;
+  const NodeId result = ApplyNRec(std::move(ops), is_and);
+  LeaveOp();
+  return result;
+}
+
+ObddManager::NodeId ObddManager::ApplyNRec(std::vector<NodeId> ops,
+                                           bool is_and) {
+  const NodeId absorbing = is_and ? kFalse : kTrue;
+  const NodeId neutral = is_and ? kTrue : kFalse;
+  // Normalize: drop neutral operands, short-circuit on absorbing ones,
+  // canonicalize order (min level first) and deduplicate.
+  size_t out = 0;
+  for (const NodeId op : ops) {
+    if (op == absorbing) return absorbing;
+    if (op != neutral) ops[out++] = op;
+  }
+  ops.resize(out);
+  std::sort(ops.begin(), ops.end(), [&](NodeId a, NodeId b) {
+    return nodes_[a].level != nodes_[b].level
+               ? nodes_[a].level < nodes_[b].level
+               : a < b;
+  });
+  ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+  if (ops.empty()) return neutral;
+  if (ops.size() == 1) return ops[0];
+  if (ops.size() == 2) {
+    return is_and ? And(ops[0], ops[1]) : Or(ops[0], ops[1]);
+  }
+  uint64_t hash = HashMix64(is_and ? 0x517cc1b727220a95ULL : 1);
+  for (const NodeId op : ops) {
+    hash = HashCombine(hash, static_cast<uint64_t>(op));
+  }
+  NaryKey key{is_and, ops};
+  NodeId cached;
+  if (nary_cache_.Lookup(hash, key, &cached)) return cached;
+  if (nary_memo_.Lookup(hash, key, &cached)) return cached;
+  const int level = nodes_[ops[0]].level;  // min level after the sort
+  std::vector<NodeId> lo_ops;
+  std::vector<NodeId> hi_ops;
+  lo_ops.reserve(ops.size());
+  hi_ops.reserve(ops.size());
+  for (const NodeId op : ops) {
+    lo_ops.push_back(CofactorLo(op, level));
+    hi_ops.push_back(CofactorHi(op, level));
+  }
+  const NodeId lo = ApplyNRec(std::move(lo_ops), is_and);
+  const NodeId hi = ApplyNRec(std::move(hi_ops), is_and);
+  const NodeId result = MakeNode(level, lo, hi);
+  nary_cache_.Store(hash, key, result);
+  nary_memo_.Insert(hash, std::move(key), result);
+  return result;
+}
+
+ObddManager::NodeId ObddManager::AndN(std::vector<NodeId> ops) {
+  return ApplyN(std::move(ops), /*is_and=*/true);
+}
+
+ObddManager::NodeId ObddManager::OrN(std::vector<NodeId> ops) {
+  return ApplyN(std::move(ops), /*is_and=*/false);
+}
+
 ObddManager::NodeId ObddManager::Restrict(NodeId f, int var, bool value) {
   const int level = LevelOf(var);
   CTSDD_CHECK_GE(level, 0);
   // Recursive restrict with a local cache keyed by node id.
   std::unordered_map<NodeId, NodeId> cache;
-  std::vector<NodeId> stack = {f};
-  // Simple recursive lambda (depth bounded by number of levels).
   std::function<NodeId(NodeId)> rec = [&](NodeId u) -> NodeId {
     if (IsTerminal(u) || nodes_[u].level > level) return u;
     const auto it = cache.find(u);
@@ -108,7 +193,6 @@ ObddManager::NodeId ObddManager::Restrict(NodeId f, int var, bool value) {
     cache.emplace(u, result);
     return result;
   };
-  (void)stack;
   return rec(f);
 }
 

@@ -5,6 +5,14 @@
 // OBDDs are the linear-vtree special case of SDDs (Section 3.2.2); the
 // paper measures functions by OBDD *width* — the largest number of nodes
 // labeled by the same variable — which this package reports alongside size.
+//
+// Storage follows the classic BDD-package layout: nodes live in a flat
+// arena indexed by dense ids, hash-consed through an open-addressed unique
+// table (util/unique_table.h); operation results are memoized in bounded
+// computed caches (util/computed_cache.h) that stay fixed-size no matter
+// how long the operation sequence runs. Cache eviction can only cost
+// recomputation, never change results — canonicity lives in the unique
+// table alone.
 
 #ifndef CTSDD_OBDD_OBDD_H_
 #define CTSDD_OBDD_OBDD_H_
@@ -13,10 +21,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/computed_cache.h"
 #include "util/logging.h"
+#include "util/scoped_memo.h"
 #include "util/status.h"
+#include "util/unique_table.h"
 
 namespace ctsdd {
+
+// Computed-cache bounds (maximum slot counts; rounded up to powers of
+// two — the caches start small and grow under eviction pressure up to the
+// bound). Small bounds force eviction and recomputation but never wrong
+// results; the apply-core tests exercise exactly that. Namespace-scope
+// (not nested) so it can serve as a defaulted constructor argument.
+struct ObddOptions {
+  size_t ite_cache_slots = 1 << 22;
+  size_t nary_cache_slots = 1 << 18;
+};
 
 class ObddManager {
  public:
@@ -25,8 +46,10 @@ class ObddManager {
   static constexpr NodeId kFalse = 0;
   static constexpr NodeId kTrue = 1;
 
+  using Options = ObddOptions;
+
   // `var_order[i]` is the global variable id tested at level i.
-  explicit ObddManager(std::vector<int> var_order);
+  explicit ObddManager(std::vector<int> var_order, Options options = {});
 
   const std::vector<int>& var_order() const { return var_order_; }
   int num_levels() const { return static_cast<int>(var_order_.size()); }
@@ -42,6 +65,21 @@ class ObddManager {
   NodeId Or(NodeId f, NodeId g);
   NodeId Xor(NodeId f, NodeId g);
   NodeId Ite(NodeId f, NodeId g, NodeId h);
+
+  // Multi-way conjunction/disjunction by simultaneous cofactoring: all
+  // operands are cofactored on the smallest live level at once, so a wide
+  // gate costs one sweep instead of a chain of binary applies that re-walks
+  // the accumulated result per operand. Neutral operands are dropped and
+  // absorbing terminals short-circuit before any recursion.
+  NodeId AndN(std::vector<NodeId> ops);
+  NodeId OrN(std::vector<NodeId> ops);
+
+  // Hash-conses the node (level, lo, hi), applying the reduction rule
+  // (lo == hi collapses). Both children must already be normalized at
+  // deeper levels — the caller asserts the ordering invariant, as in the
+  // classic bdd_makenode interface. Compilers that Shannon-expand along
+  // the variable order use this to sidestep a full Ite per node.
+  NodeId MakeNode(int level, NodeId lo, NodeId hi);
 
   // Shannon cofactors of f by the level-`level` variable.
   NodeId CofactorLo(NodeId f, int level) const;
@@ -81,40 +119,42 @@ class ObddManager {
   bool IsTerminal(NodeId id) const { return id <= 1; }
 
  private:
-  NodeId MakeNode(int level, NodeId lo, NodeId hi);
-
-  struct Key {
-    int level;
-    NodeId lo;
-    NodeId hi;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    size_t operator()(const Key& k) const {
-      uint64_t h = static_cast<uint64_t>(k.level) * 0x9e3779b97f4a7c15ULL;
-      h ^= static_cast<uint64_t>(k.lo) + 0x9e3779b97f4a7c15ULL + (h << 6);
-      h ^= static_cast<uint64_t>(k.hi) + 0x9e3779b97f4a7c15ULL + (h << 6);
-      return static_cast<size_t>(h);
+  // Two-level memoization, mirroring the SDD apply path: the bounded
+  // global caches give cross-operation reuse; exact memos scoped to each
+  // top-level operation preserve the polynomial recursion bound even when
+  // the lossy caches evict (a lossy cache alone turns deep recursions
+  // exponential once the live set outgrows it). Ite and ApplyN nest into
+  // each other, so they share one depth counter and reset together when
+  // the outermost operation returns.
+  NodeId ApplyN(std::vector<NodeId> ops, bool is_and);
+  NodeId IteRec(NodeId f, NodeId g, NodeId h);
+  NodeId ApplyNRec(std::vector<NodeId> ops, bool is_and);
+  void LeaveOp() {
+    if (--op_depth_ == 0) {
+      ite_memo_.Reset();
+      nary_memo_.Reset();
     }
-  };
+  }
+
   struct IteKey {
-    NodeId f, g, h;
+    NodeId f = 0, g = 0, h = 0;
     bool operator==(const IteKey&) const = default;
   };
-  struct IteKeyHash {
-    size_t operator()(const IteKey& k) const {
-      uint64_t h = static_cast<uint64_t>(k.f) * 0x9e3779b97f4a7c15ULL;
-      h ^= static_cast<uint64_t>(k.g) + 0x9e3779b97f4a7c15ULL + (h << 6);
-      h ^= static_cast<uint64_t>(k.h) + 0x9e3779b97f4a7c15ULL + (h << 6);
-      return static_cast<size_t>(h);
-    }
+  struct NaryKey {
+    bool is_and = false;
+    std::vector<NodeId> ops;
+    bool operator==(const NaryKey&) const = default;
   };
 
   std::vector<int> var_order_;
   std::unordered_map<int, int> level_of_var_;
   std::vector<Node> nodes_;
-  std::unordered_map<Key, NodeId, KeyHash> unique_;
-  std::unordered_map<IteKey, NodeId, IteKeyHash> ite_cache_;
+  UniqueTable unique_;
+  ComputedCache<IteKey, NodeId> ite_cache_;
+  ComputedCache<NaryKey, NodeId> nary_cache_;
+  ScopedMemo<IteKey, NodeId> ite_memo_;
+  ScopedMemo<NaryKey, NodeId> nary_memo_;
+  int op_depth_ = 0;
 };
 
 }  // namespace ctsdd

@@ -26,16 +26,18 @@ ObddManager::NodeId CompileCircuitToObdd(ObddManager* manager,
       case GateKind::kNot:
         value[id] = manager->Not(value[g.inputs[0]]);
         break;
-      case GateKind::kAnd: {
-        ObddManager::NodeId acc = manager->True();
-        for (int input : g.inputs) acc = manager->And(acc, value[input]);
-        value[id] = acc;
-        break;
-      }
+      case GateKind::kAnd:
       case GateKind::kOr: {
-        ObddManager::NodeId acc = manager->False();
-        for (int input : g.inputs) acc = manager->Or(acc, value[input]);
-        value[id] = acc;
+        // Multi-way apply: one simultaneous-cofactor sweep over all
+        // operands (neutral operands dropped, absorbing terminals
+        // short-circuited inside AndN/OrN) instead of a left-linear
+        // accumulator that re-walks the partial result per input.
+        std::vector<ObddManager::NodeId> inputs;
+        inputs.reserve(g.inputs.size());
+        for (int input : g.inputs) inputs.push_back(value[input]);
+        value[id] = g.kind == GateKind::kAnd
+                        ? manager->AndN(std::move(inputs))
+                        : manager->OrN(std::move(inputs));
         break;
       }
     }
@@ -45,9 +47,8 @@ ObddManager::NodeId CompileCircuitToObdd(ObddManager* manager,
 
 ObddManager::NodeId CompileFuncToObdd(ObddManager* manager,
                                       const BoolFunc& f) {
-  // Shannon-expand along the manager's order restricted to f's variables.
-  // Memoize on the (sub)function itself.
-  std::unordered_map<BoolFunc, ObddManager::NodeId, BoolFunc::Hasher> memo;
+  if (f.IsConstantFalse()) return manager->False();
+  if (f.IsConstantTrue()) return manager->True();
   // Order f's variables by manager level.
   std::vector<int> vars = f.vars();
   std::sort(vars.begin(), vars.end(), [&](int a, int b) {
@@ -57,6 +58,40 @@ ObddManager::NodeId CompileFuncToObdd(ObddManager* manager,
     CTSDD_CHECK_GE(manager->LevelOf(v), 0)
         << "variable x" << v << " missing from OBDD order";
   }
+  const int n = static_cast<int>(vars.size());
+  if (n <= 20) {
+    // Direct layered construction: one terminal per table entry, then one
+    // MakeNode sweep per level from the deepest variable up. The unique
+    // table deduplicates and the reduction rule collapses as the layers
+    // shrink, so no function-valued memo (and none of its allocation and
+    // hashing traffic) is needed. Index convention: bit (n-1-k) of a
+    // layer index holds the value of vars[k], so the deepest variable is
+    // bit 0 and one merge step halves the layer.
+    std::vector<int> pos(n);
+    for (int k = 0; k < n; ++k) {
+      pos[k] = static_cast<int>(
+          std::lower_bound(f.vars().begin(), f.vars().end(), vars[k]) -
+          f.vars().begin());
+    }
+    std::vector<ObddManager::NodeId> layer(1u << n);
+    for (uint32_t j = 0; j < (1u << n); ++j) {
+      uint32_t index = 0;
+      for (int k = 0; k < n; ++k) {
+        if ((j >> (n - 1 - k)) & 1) index |= 1u << pos[k];
+      }
+      layer[j] = f.EvalIndex(index) ? manager->True() : manager->False();
+    }
+    for (int d = n - 1; d >= 0; --d) {
+      const int level = manager->LevelOf(vars[d]);
+      for (uint32_t j = 0; j < (1u << d); ++j) {
+        layer[j] = manager->MakeNode(level, layer[2 * j], layer[2 * j + 1]);
+      }
+    }
+    return layer[0];
+  }
+  // Beyond 2^20 table entries the layer array would dominate memory;
+  // fall back to Shannon expansion memoized on the subfunction itself.
+  std::unordered_map<BoolFunc, ObddManager::NodeId, BoolFunc::Hasher> memo;
   std::function<ObddManager::NodeId(const BoolFunc&, size_t)> rec =
       [&](const BoolFunc& g, size_t next) -> ObddManager::NodeId {
     if (g.IsConstantFalse()) return manager->False();
@@ -67,8 +102,10 @@ ObddManager::NodeId CompileFuncToObdd(ObddManager* manager,
     const int var = vars[next];
     const ObddManager::NodeId lo = rec(g.Restrict(var, false), next + 1);
     const ObddManager::NodeId hi = rec(g.Restrict(var, true), next + 1);
+    // Children are over strictly later levels, so the node can be built
+    // directly instead of through a full Ite.
     const ObddManager::NodeId result =
-        manager->Ite(manager->Literal(var, true), hi, lo);
+        manager->MakeNode(manager->LevelOf(var), lo, hi);
     memo.emplace(g, result);
     return result;
   };

@@ -1,32 +1,42 @@
 #include "sdd/sdd.h"
 
 #include <algorithm>
+#include <array>
 #include <functional>
 
+#include "util/hashing.h"
 #include "util/logging.h"
 
 namespace ctsdd {
 
-SddManager::SddManager(Vtree vtree) : vtree_(std::move(vtree)) {
+SddManager::SddManager(Vtree vtree, Options options)
+    : vtree_(std::move(vtree)),
+      apply_cache_(options.apply_cache_slots),
+      neg_cache_(options.neg_cache_slots) {
   CTSDD_CHECK_GE(vtree_.root(), 0) << "vtree must be rooted";
   // Terminal constants.
-  nodes_.push_back({Kind::kConst, false, -1, -1, {}});
-  nodes_.push_back({Kind::kConst, true, -1, -1, {}});
+  nodes_.push_back({Kind::kConst, false, -1, -1, nullptr, 0});
+  nodes_.push_back({Kind::kConst, true, -1, -1, nullptr, 0});
+  const std::vector<int>& vars = vtree_.Vars();
+  const int max_var = vars.empty() ? -1 : vars.back();
+  literal_ids_.assign(2 * (max_var + 1), -1);
 }
 
 SddManager::NodeId SddManager::Literal(int var, bool positive) {
-  const uint64_t key = (static_cast<uint64_t>(var) << 1) | positive;
-  const auto it = literal_ids_.find(key);
-  if (it != literal_ids_.end()) return it->second;
+  const size_t key = (static_cast<size_t>(var) << 1) | positive;
+  CTSDD_CHECK(var >= 0 && key < literal_ids_.size())
+      << "variable x" << var << " not in vtree";
+  if (literal_ids_[key] >= 0) return literal_ids_[key];
   const int leaf = vtree_.LeafOf(var);
   CTSDD_CHECK_GE(leaf, 0) << "variable x" << var << " not in vtree";
-  nodes_.push_back({Kind::kLiteral, positive, var, leaf, {}});
+  nodes_.push_back({Kind::kLiteral, positive, var, leaf, nullptr, 0});
   const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
-  literal_ids_.emplace(key, id);
+  literal_ids_[key] = id;
   return id;
 }
 
-SddManager::NodeId SddManager::MakeDecision(int vnode, Elements elements) {
+SddManager::NodeId SddManager::MakeDecision(int vnode, Elements* elements_in) {
+  Elements& elements = *elements_in;
   // Drop false primes.
   elements.erase(std::remove_if(elements.begin(), elements.end(),
                                 [](const auto& e) { return e.first == kFalse; }),
@@ -34,17 +44,26 @@ SddManager::NodeId SddManager::MakeDecision(int vnode, Elements elements) {
   CTSDD_CHECK(!elements.empty())
       << "decision with no satisfiable prime (primes must be exhaustive)";
   // Compress: merge elements with equal subs by disjoining their primes.
-  std::map<NodeId, NodeId> prime_of_sub;  // sub -> accumulated prime
-  for (const auto& [p, s] : elements) {
-    const auto it = prime_of_sub.find(s);
-    if (it == prime_of_sub.end()) {
-      prime_of_sub.emplace(s, p);
-    } else {
-      it->second = Apply(it->second, p, Op::kOr);
+  // Sorting by sub groups the merge candidates; all Apply calls happen
+  // before the unique-table probe below, so no table operation intervenes
+  // between Find and Insert.
+  std::sort(elements.begin(), elements.end(),
+            [](const Element& x, const Element& y) {
+              return x.second != y.second ? x.second < y.second
+                                          : x.first < y.first;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < elements.size();) {
+    const NodeId sub = elements[i].second;
+    NodeId prime = elements[i].first;
+    size_t j = i + 1;
+    for (; j < elements.size() && elements[j].second == sub; ++j) {
+      prime = Apply(prime, elements[j].first, Op::kOr);
     }
+    elements[out++] = {prime, sub};
+    i = j;
   }
-  elements.clear();
-  for (const auto& [s, p] : prime_of_sub) elements.emplace_back(p, s);
+  elements.resize(out);
   // Trim rule 1: {(true, s)} -> s.
   if (elements.size() == 1) {
     CTSDD_CHECK_EQ(elements[0].first, kTrue)
@@ -62,30 +81,58 @@ SddManager::NodeId SddManager::MakeDecision(int vnode, Elements elements) {
     if (true_prime >= 0 && false_prime >= 0) return true_prime;
   }
   std::sort(elements.begin(), elements.end());
-  const ElementsKey key{vnode, elements};
-  const auto it = unique_.find(key);
-  if (it != unique_.end()) return it->second;
-  nodes_.push_back({Kind::kDecision, false, -1, vnode, elements});
+  uint64_t hash = HashMix64(static_cast<uint64_t>(vnode));
+  for (const auto& [p, s] : elements) {
+    hash = HashCombine(hash, (static_cast<uint64_t>(p) << 32) |
+                                 static_cast<uint32_t>(s));
+  }
+  const int32_t found = unique_.Find(hash, [&](int32_t id) {
+    const Node& n = nodes_[id];
+    return n.vnode == vnode && n.num_elems == elements.size() &&
+           std::equal(elements.begin(), elements.end(), n.elems);
+  });
+  if (found != UniqueTable::kEmpty) return found;
+  Element* stored = element_arena_.Allocate(elements.size());
+  std::copy(elements.begin(), elements.end(), stored);
+  nodes_.push_back({Kind::kDecision, false, -1, vnode, stored,
+                    static_cast<uint32_t>(elements.size())});
   const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
-  unique_.emplace(key, id);
+  unique_.Insert(hash, id);
   return id;
 }
 
-SddManager::Elements SddManager::LiftTo(int vnode, NodeId a) {
+SddManager::ElementSpan SddManager::LiftTo(int vnode, NodeId a,
+                                           std::array<Element, 2>* store) {
   const Node& n = nodes_[a];
-  if (n.kind == Kind::kDecision && n.vnode == vnode) return n.elements;
+  if (n.kind == Kind::kDecision && n.vnode == vnode) {
+    return {n.elems, n.num_elems};
+  }
   const int where = n.vnode;
   CTSDD_CHECK_GE(where, 0);
   if (vtree_.IsAncestorOrSelf(vtree_.left(vnode), where)) {
     // `a` lives in the left subtree: (a AND true) OR (!a AND false).
-    return Elements{{a, kTrue}, {Not(a), kFalse}};
+    // Not(a) may grow nodes_, so `n` is dead after this point.
+    const NodeId not_a = Not(a);
+    (*store)[0] = {a, kTrue};
+    (*store)[1] = {not_a, kFalse};
+    return {store->data(), 2};
   }
   CTSDD_CHECK(vtree_.IsAncestorOrSelf(vtree_.right(vnode), where))
       << "operand does not respect the vtree";
-  return Elements{{kTrue, a}};
+  (*store)[0] = {kTrue, a};
+  return {store->data(), 1};
 }
 
 SddManager::NodeId SddManager::Apply(NodeId a, NodeId b, Op op) {
+  ++apply_depth_;
+  const NodeId result = ApplyRec(a, b, op);
+  // The exact memo only lives for the outermost operation; resetting it
+  // here keeps apply memory bounded by a single operation's footprint.
+  if (--apply_depth_ == 0) apply_memo_.Reset();
+  return result;
+}
+
+SddManager::NodeId SddManager::ApplyRec(NodeId a, NodeId b, Op op) {
   // Terminal cases.
   if (op == Op::kAnd) {
     if (a == kFalse || b == kFalse) return kFalse;
@@ -99,22 +146,37 @@ SddManager::NodeId SddManager::Apply(NodeId a, NodeId b, Op op) {
   if (a == b) return a;
   if (a > b) std::swap(a, b);
   const ApplyKey key{a, b, op};
-  const auto it = apply_cache_.find(key);
-  if (it != apply_cache_.end()) return it->second;
+  const uint64_t hash = Hash3(static_cast<uint64_t>(a),
+                              static_cast<uint64_t>(b),
+                              static_cast<uint64_t>(op));
+  NodeId cached;
+  if (apply_cache_.Lookup(hash, key, &cached)) return cached;
+  if (apply_memo_.Lookup(hash, key, &cached)) return cached;
 
-  const Node& na = nodes_[a];
-  const Node& nb = nodes_[b];
+  const Kind kind_a = nodes_[a].kind;
+  const Kind kind_b = nodes_[b].kind;
+  const int var_a = nodes_[a].var;
+  const int var_b = nodes_[b].var;
   NodeId result;
-  if (na.kind == Kind::kLiteral && nb.kind == Kind::kLiteral &&
-      na.var == nb.var) {
+  if (kind_a == Kind::kLiteral && kind_b == Kind::kLiteral &&
+      var_a == var_b) {
     // Same variable, different signs (equal handled above).
     result = (op == Op::kAnd) ? kFalse : kTrue;
   } else {
-    const int lca = vtree_.Lca(na.vnode, nb.vnode);
+    const int lca = vtree_.Lca(nodes_[a].vnode, nodes_[b].vnode);
     CTSDD_CHECK(!vtree_.is_leaf(lca));
-    const Elements ea = LiftTo(lca, a);
-    const Elements eb = LiftTo(lca, b);
-    Elements out;
+    // The spans stay valid across the recursive Apply calls below: arena
+    // chunks never move and the lift stores live on this frame.
+    std::array<Element, 2> store_a, store_b;
+    const ElementSpan ea = LiftTo(lca, a, &store_a);
+    const ElementSpan eb = LiftTo(lca, b, &store_b);
+    // Depth-indexed scratch: deeper recursive frames (including the ones
+    // MakeDecision's compression spawns) use deeper buffers, so this
+    // frame's elements survive the recursion without a fresh allocation.
+    while (scratch_.size() <= rec_depth_) scratch_.emplace_back();
+    Elements& out = scratch_[rec_depth_];
+    ++rec_depth_;
+    out.clear();
     out.reserve(ea.size() * eb.size());
     for (const auto& [p1, s1] : ea) {
       for (const auto& [p2, s2] : eb) {
@@ -123,9 +185,11 @@ SddManager::NodeId SddManager::Apply(NodeId a, NodeId b, Op op) {
         out.emplace_back(p, Apply(s1, s2, op));
       }
     }
-    result = MakeDecision(lca, std::move(out));
+    result = MakeDecision(lca, &out);
+    --rec_depth_;
   }
-  apply_cache_.emplace(key, result);
+  apply_cache_.Store(hash, key, result);
+  apply_memo_.Insert(hash, key, result);
   return result;
 }
 
@@ -137,23 +201,78 @@ SddManager::NodeId SddManager::Or(NodeId a, NodeId b) {
   return Apply(a, b, Op::kOr);
 }
 
+SddManager::NodeId SddManager::AndN(std::vector<NodeId> ops) {
+  size_t out = 0;
+  for (const NodeId op : ops) {
+    if (op == kFalse) return kFalse;
+    if (op != kTrue) ops[out++] = op;
+  }
+  ops.resize(out);
+  if (ops.empty()) return kTrue;
+  // Sequential accumulation: each conjunct constrains the accumulator, so
+  // intermediates shrink as constraints pile up (the CNF-compilation
+  // regime, where a balanced fold would first build large unconstrained
+  // halves — ~300x slower on the ladder workloads).
+  NodeId acc = ops[0];
+  for (size_t i = 1; i < ops.size(); ++i) {
+    acc = And(acc, ops[i]);
+    if (acc == kFalse) return kFalse;
+  }
+  return acc;
+}
+
+SddManager::NodeId SddManager::OrN(std::vector<NodeId> ops) {
+  size_t out = 0;
+  for (const NodeId op : ops) {
+    if (op == kTrue) return kTrue;
+    if (op != kFalse) ops[out++] = op;
+  }
+  ops.resize(out);
+  if (ops.empty()) return kFalse;
+  // Balanced pairwise fold: disjuncts do not constrain each other, so a
+  // sequential accumulator would re-walk an ever-growing DNF-like result
+  // per operand; pairing keeps intermediate results local.
+  while (ops.size() > 1) {
+    size_t next = 0;
+    for (size_t i = 0; i + 1 < ops.size(); i += 2) {
+      const NodeId combined = Or(ops[i], ops[i + 1]);
+      if (combined == kTrue) return kTrue;
+      ops[next++] = combined;
+    }
+    if (ops.size() % 2 == 1) ops[next++] = ops.back();
+    ops.resize(next);
+  }
+  return ops[0];
+}
+
 SddManager::NodeId SddManager::Not(NodeId a) {
+  ++neg_depth_;
+  const NodeId result = NotRec(a);
+  if (--neg_depth_ == 0) neg_memo_.Reset();
+  return result;
+}
+
+SddManager::NodeId SddManager::NotRec(NodeId a) {
   if (a == kFalse) return kTrue;
   if (a == kTrue) return kFalse;
-  const auto it = neg_cache_.find(a);
-  if (it != neg_cache_.end()) return it->second;
-  // Copy: recursive calls below may grow nodes_ and invalidate references.
+  NodeId cached;
+  const uint64_t hash = HashMix64(static_cast<uint64_t>(a));
+  if (neg_cache_.Lookup(hash, a, &cached)) return cached;
+  if (neg_memo_.Lookup(hash, a, &cached)) return cached;
+  // Copy the node header: recursive calls below may grow nodes_. The
+  // element pointer stays valid (arena chunks never move).
   const Node n = nodes_[a];
   NodeId result;
   if (n.kind == Kind::kLiteral) {
     result = Literal(n.var, !n.sense);
   } else {
-    Elements out = n.elements;
-    for (auto& [p, s] : out) s = Not(s);
-    result = MakeDecision(n.vnode, std::move(out));
+    Elements out(n.elems, n.elems + n.num_elems);
+    for (auto& [p, s] : out) s = NotRec(s);
+    result = MakeDecision(n.vnode, &out);
   }
-  neg_cache_.emplace(a, result);
-  neg_cache_.emplace(result, a);
+  neg_cache_.Store(hash, a, result);
+  neg_cache_.Store(HashMix64(static_cast<uint64_t>(result)), result, a);
+  neg_memo_.Insert(hash, a, result);
   return result;
 }
 
@@ -163,7 +282,7 @@ SddManager::NodeId SddManager::Restrict(NodeId a, int var, bool value) {
   std::unordered_map<NodeId, NodeId> memo;
   std::function<NodeId(NodeId)> rec = [&](NodeId u) -> NodeId {
     if (IsConst(u)) return u;
-    // Copy: recursive calls below may grow nodes_ and invalidate references.
+    // Copy the node header: recursive calls may grow nodes_.
     const Node n = nodes_[u];
     // If var is outside u's scope, u is unchanged.
     if (!vtree_.IsAncestorOrSelf(n.vnode, leaf)) return u;
@@ -173,13 +292,13 @@ SddManager::NodeId SddManager::Restrict(NodeId a, int var, bool value) {
     if (n.kind == Kind::kLiteral) {
       result = (n.sense == value) ? kTrue : kFalse;
     } else {
-      Elements out = n.elements;
+      Elements out(n.elems, n.elems + n.num_elems);
       if (vtree_.IsAncestorOrSelf(vtree_.left(n.vnode), leaf)) {
         for (auto& [p, s] : out) p = rec(p);
       } else {
         for (auto& [p, s] : out) s = rec(s);
       }
-      result = MakeDecision(n.vnode, std::move(out));
+      result = MakeDecision(n.vnode, &out);
     }
     memo.emplace(u, result);
     return result;
@@ -214,7 +333,7 @@ bool SddManager::AnyModel(NodeId a, std::map<int, bool>* out) const {
       out->emplace(n.var, n.sense);
       return true;
     }
-    for (const auto& [p, s] : n.elements) {
+    for (const auto& [p, s] : elements(u)) {
       if (s == kFalse) continue;
       // Primes are satisfiable by construction.
       if (!descend(p)) continue;
@@ -239,7 +358,7 @@ bool SddManager::Evaluate(NodeId a,
           << "assignment missing variable x" << n.var;
       return it->second == n.sense;
     }
-    for (const auto& [p, s] : n.elements) {
+    for (const auto& [p, s] : elements(u)) {
       if (rec(p)) return rec(s);
     }
     CTSDD_CHECK(false) << "primes must be exhaustive";
@@ -267,7 +386,7 @@ uint64_t SddManager::CountModelsAt(
   } else {
     const int w = n.vnode;
     uint64_t base = 0;
-    for (const auto& [p, s] : n.elements) {
+    for (const auto& [p, s] : elements(a)) {
       base += CountModelsAt(p, vtree_.left(w), memo) *
               CountModelsAt(s, vtree_.right(w), memo);
     }
@@ -300,7 +419,7 @@ double SddManager::WmcAt(NodeId a, int vnode,
   } else {
     const int w = n.vnode;
     result = 0.0;
-    for (const auto& [p, s] : n.elements) {
+    for (const auto& [p, s] : elements(a)) {
       result += WmcAt(p, vtree_.left(w), prob_of_var, memo) *
                 WmcAt(s, vtree_.right(w), prob_of_var, memo);
     }
@@ -336,7 +455,7 @@ BoolFunc SddManager::ToBoolFunc(NodeId a) const {
       result = BoolFunc::Literal(n.var, n.sense);
     } else {
       result = BoolFunc::Constant(false);
-      for (const auto& [p, s] : n.elements) {
+      for (const auto& [p, s] : elements(u)) {
         result = result | (rec(p) & rec(s));
       }
     }
@@ -363,7 +482,7 @@ int SddManager::NumDecisions(NodeId a) const {
     seen[u] = true;
     if (nodes_[u].kind == Kind::kDecision) {
       ++count;
-      for (const auto& [p, s] : nodes_[u].elements) {
+      for (const auto& [p, s] : elements(u)) {
         stack.push_back(p);
         stack.push_back(s);
       }
@@ -383,8 +502,8 @@ std::vector<int> SddManager::VtreeProfile(NodeId a) const {
     seen[u] = true;
     const Node& n = nodes_[u];
     if (n.kind == Kind::kDecision) {
-      profile[n.vnode] += static_cast<int>(n.elements.size());
-      for (const auto& [p, s] : n.elements) {
+      profile[n.vnode] += static_cast<int>(n.num_elems);
+      for (const auto& [p, s] : elements(u)) {
         stack.push_back(p);
         stack.push_back(s);
       }
@@ -408,20 +527,22 @@ Status SddManager::Validate(NodeId a) {
     stack.pop_back();
     if (IsConst(u) || seen[u]) continue;
     seen[u] = true;
-    // Copy: the disjointness checks below may grow nodes_.
+    // Copy the node header: the disjointness checks below may grow nodes_.
+    // The element pointer stays valid (arena chunks never move).
     const Node n = nodes_[u];
     if (n.kind == Kind::kLiteral) continue;
     if (vtree_.is_leaf(n.vnode)) {
       return Status::Internal("decision normalized at a vtree leaf");
     }
-    if (n.elements.size() < 2) {
+    if (n.num_elems < 2) {
       return Status::Internal("untrimmed single-element decision");
     }
     const int left = vtree_.left(n.vnode);
     const int right = vtree_.right(n.vnode);
+    const ElementSpan elems{n.elems, n.num_elems};
     uint64_t prime_models = 0;
     std::vector<NodeId> subs;
-    for (const auto& [p, s] : n.elements) {
+    for (const auto& [p, s] : elems) {
       if (p == kFalse || p == kTrue) {
         return Status::Internal("constant prime in multi-element decision");
       }
@@ -437,9 +558,9 @@ Status SddManager::Validate(NodeId a) {
       stack.push_back(s);
     }
     // Pairwise disjointness of primes.
-    for (size_t i = 0; i < n.elements.size(); ++i) {
-      for (size_t j = i + 1; j < n.elements.size(); ++j) {
-        if (And(n.elements[i].first, n.elements[j].first) != kFalse) {
+    for (size_t i = 0; i < elems.size(); ++i) {
+      for (size_t j = i + 1; j < elems.size(); ++j) {
+        if (And(elems[i].first, elems[j].first) != kFalse) {
           return Status::Internal("primes not pairwise disjoint");
         }
       }

@@ -13,21 +13,47 @@
 // the number of elements of reachable decision nodes normalized at v —
 // each element is one AND gate structured by v in the circuit reading of
 // the SDD.
+//
+// Storage: decision-node elements live in a chunked pool arena with stable
+// addresses (util/arena.h); a node is (vnode, pointer, count), so the
+// unique-table probe hashes the raw element words in place instead of
+// copying an owning vector per key, and Apply can walk an operand's
+// elements while recursive calls allocate. Apply and negation results are
+// memoized in bounded computed caches (util/computed_cache.h): eviction
+// costs recomputation, never correctness — canonicity lives in the unique
+// table alone.
 
 #ifndef CTSDD_SDD_SDD_H_
 #define CTSDD_SDD_SDD_H_
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "func/bool_func.h"
+#include "util/arena.h"
+#include "util/computed_cache.h"
+#include "util/scoped_memo.h"
 #include "util/status.h"
+#include "util/unique_table.h"
 #include "vtree/vtree.h"
 
 namespace ctsdd {
+
+// Computed-cache bounds (maximum slot counts; rounded up to powers of
+// two — the caches start small and grow under eviction pressure up to the
+// bound). Shrinking these forces eviction and recomputation but cannot
+// change any result; the apply-core tests pin that down. Namespace-scope
+// (not nested) so it can serve as a defaulted constructor argument.
+struct SddOptions {
+  size_t apply_cache_slots = 1 << 22;
+  size_t neg_cache_slots = 1 << 20;
+};
 
 class SddManager {
  public:
@@ -35,10 +61,17 @@ class SddManager {
   static constexpr NodeId kFalse = 0;
   static constexpr NodeId kTrue = 1;
 
+  // One (prime, sub) pair of a decision node.
+  using Element = std::pair<NodeId, NodeId>;
   // Elements of a decision node, sorted by (prime, sub) id.
-  using Elements = std::vector<std::pair<NodeId, NodeId>>;
+  using Elements = std::vector<Element>;
+  // Read-only view into the element arena; stays valid for the manager's
+  // lifetime (the arena never moves allocated chunks).
+  using ElementSpan = std::span<const Element>;
 
-  explicit SddManager(Vtree vtree);
+  using Options = SddOptions;
+
+  explicit SddManager(Vtree vtree, Options options = {});
 
   const Vtree& vtree() const { return vtree_; }
 
@@ -49,6 +82,14 @@ class SddManager {
   NodeId And(NodeId a, NodeId b);
   NodeId Or(NodeId a, NodeId b);
   NodeId Not(NodeId a);
+
+  // Multi-way conjunction/disjunction with neutral operands dropped and
+  // absorbing terminals short-circuited. AndN accumulates sequentially
+  // (each conjunct constrains the intermediate, the CNF regime); OrN folds
+  // pairwise in a balanced tree (disjuncts don't constrain each other, so
+  // a sequential accumulator would re-walk a growing DNF per operand).
+  NodeId AndN(std::vector<NodeId> ops);
+  NodeId OrN(std::vector<NodeId> ops);
 
   // Conditions on var := value.
   NodeId Restrict(NodeId a, int var, bool value);
@@ -103,18 +144,39 @@ class SddManager {
 
   int NumNodes() const { return static_cast<int>(nodes_.size()); }
 
+  // Computed-cache effectiveness counters, for benches and tuning.
+  struct CacheStats {
+    uint64_t lookups;
+    uint64_t hits;
+    size_t slots;
+  };
+  CacheStats apply_cache_stats() const {
+    return {apply_cache_.lookups(), apply_cache_.hits(),
+            apply_cache_.num_slots()};
+  }
+  CacheStats neg_cache_stats() const {
+    return {neg_cache_.lookups(), neg_cache_.hits(), neg_cache_.num_slots()};
+  }
+
   // --- Node access (read-only) ---
   enum class Kind : uint8_t { kConst, kLiteral, kDecision };
   struct Node {
     Kind kind;
     // kConst: value in `sense`. kLiteral: var + sense. kDecision: vnode +
-    // elements.
+    // elements in the arena.
     bool sense = false;
     int var = -1;
     int vnode = -1;  // vtree node where normalized (leaf for literals)
-    Elements elements;
+    const Element* elems = nullptr;
+    uint32_t num_elems = 0;
   };
   const Node& node(NodeId id) const { return nodes_[id]; }
+  // The (prime, sub) pairs of a decision node (empty for others). The view
+  // stays valid across later manager operations.
+  ElementSpan elements(NodeId id) const {
+    const Node& n = nodes_[id];
+    return {n.elems, n.num_elems};
+  }
   bool IsConst(NodeId id) const { return id <= 1; }
 
   // The vtree node a node is normalized at (-1 for constants).
@@ -123,34 +185,31 @@ class SddManager {
  private:
   enum class Op : uint8_t { kAnd, kOr };
 
-  NodeId MakeDecision(int vnode, Elements elements);
+  // Canonicalizes (compress + trim + hash-cons) the elements in *elements,
+  // which is consumed as scratch space. All recursive Apply calls the
+  // compression needs happen before the unique-table probe.
+  NodeId MakeDecision(int vnode, Elements* elements);
+  // Two-level memoization: the bounded global apply cache gives cross-
+  // operation reuse; an exact memo scoped to each top-level Apply call
+  // preserves the O(|a|·|b|) apply bound even when the global cache
+  // evicts (a lossy cache alone turns deep recursions exponential once
+  // the live set outgrows it). The memo is cleared when the outermost
+  // Apply returns, so its memory is bounded by one operation's footprint.
   NodeId Apply(NodeId a, NodeId b, Op op);
-  // Applies at the given vtree node, having lifted both operands to it.
-  Elements LiftTo(int vnode, NodeId a);
+  NodeId ApplyRec(NodeId a, NodeId b, Op op);
+  NodeId NotRec(NodeId a);
+  // A view of `a` as elements normalized at `vnode` (having lifted it if
+  // needed); lifted literal/decision cases materialize into *store.
+  ElementSpan LiftTo(int vnode, NodeId a, std::array<Element, 2>* store);
 
   uint64_t CountModelsAt(NodeId a, int vnode,
                          std::unordered_map<uint64_t, uint64_t>* memo) const;
   double WmcAt(NodeId a, int vnode, const std::vector<double>& prob_of_var,
                std::unordered_map<uint64_t, double>* memo) const;
 
-  struct ElementsKey {
-    int vnode;
-    Elements elements;
-    bool operator==(const ElementsKey&) const = default;
-  };
-  struct ElementsKeyHash {
-    size_t operator()(const ElementsKey& k) const {
-      uint64_t h = static_cast<uint64_t>(k.vnode) * 0x9e3779b97f4a7c15ULL;
-      for (const auto& [p, s] : k.elements) {
-        h ^= (static_cast<uint64_t>(p) << 32 | static_cast<uint32_t>(s)) +
-             0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-      }
-      return static_cast<size_t>(h);
-    }
-  };
   struct ApplyKey {
-    NodeId a, b;
-    Op op;
+    NodeId a = 0, b = 0;
+    Op op = Op::kAnd;
     bool operator==(const ApplyKey&) const = default;
   };
   struct ApplyKeyHash {
@@ -165,10 +224,24 @@ class SddManager {
 
   Vtree vtree_;
   std::vector<Node> nodes_;
-  std::unordered_map<ElementsKey, NodeId, ElementsKeyHash> unique_;
-  std::unordered_map<uint64_t, NodeId> literal_ids_;  // (var<<1|sign) -> id
-  std::unordered_map<ApplyKey, NodeId, ApplyKeyHash> apply_cache_;
-  std::unordered_map<NodeId, NodeId> neg_cache_;
+  PoolArena<Element> element_arena_;
+  UniqueTable unique_;
+  std::vector<NodeId> literal_ids_;  // (var << 1 | sign) -> id or -1
+  ComputedCache<ApplyKey, NodeId> apply_cache_;
+  ComputedCache<NodeId, NodeId> neg_cache_;
+  // Exact memos for the currently running top-level operation (see
+  // ApplyRec): they preserve the polynomial recursion bounds that the
+  // bounded lossy caches alone cannot guarantee, and are reset when the
+  // outermost operation returns so memory stays bounded per operation.
+  ScopedMemo<ApplyKey, NodeId> apply_memo_;
+  int apply_depth_ = 0;
+  ScopedMemo<NodeId, NodeId> neg_memo_;
+  int neg_depth_ = 0;
+  // Per-recursion-depth element buffers reused across ApplyRec frames, so
+  // the hot path performs no per-call allocation once warmed up. A deque
+  // keeps references stable while deeper frames extend it.
+  std::deque<Elements> scratch_;
+  size_t rec_depth_ = 0;
 };
 
 }  // namespace ctsdd

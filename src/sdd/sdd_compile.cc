@@ -8,31 +8,6 @@
 
 namespace ctsdd {
 
-namespace {
-
-// Combines wide gates by balanced pairwise reduction instead of a left
-// fold: intermediate results stay local (small scopes conjoin/disjoin
-// first), which avoids the blowup a sequential accumulation suffers on
-// wide DNF-like gates.
-SddManager::NodeId FoldBalanced(SddManager* manager,
-                                std::vector<SddManager::NodeId> items,
-                                bool is_and) {
-  if (items.empty()) return is_and ? manager->True() : manager->False();
-  while (items.size() > 1) {
-    std::vector<SddManager::NodeId> next;
-    next.reserve((items.size() + 1) / 2);
-    for (size_t i = 0; i + 1 < items.size(); i += 2) {
-      next.push_back(is_and ? manager->And(items[i], items[i + 1])
-                            : manager->Or(items[i], items[i + 1]));
-    }
-    if (items.size() % 2 == 1) next.push_back(items.back());
-    items = std::move(next);
-  }
-  return items[0];
-}
-
-}  // namespace
-
 SddManager::NodeId CompileCircuitToSdd(SddManager* manager,
                                        const Circuit& circuit) {
   CTSDD_CHECK_GE(circuit.output(), 0);
@@ -79,12 +54,21 @@ SddManager::NodeId CompileCircuitToSdd(SddManager* manager,
         std::vector<SddManager::NodeId> inputs;
         inputs.reserve(g.inputs.size());
         for (int input : g.inputs) inputs.push_back(value[input]);
-        std::stable_sort(inputs.begin(), inputs.end(),
-                         [&](SddManager::NodeId a, SddManager::NodeId b) {
-                           return position(a) < position(b);
-                         });
-        value[id] =
-            FoldBalanced(manager, std::move(inputs), g.kind == GateKind::kAnd);
+        if (g.kind == GateKind::kOr) {
+          // Balanced Or fold: scope-adjacent disjuncts combine first.
+          std::stable_sort(inputs.begin(), inputs.end(),
+                           [&](SddManager::NodeId a, SddManager::NodeId b) {
+                             return position(a) < position(b);
+                           });
+        }
+        // And inputs keep the circuit's own order: conjuncts are
+        // accumulated sequentially (SddManager::AndN) and the circuit's
+        // structural locality beats a vtree-preorder sort by orders of
+        // magnitude on constraint-chain workloads (the sort fronts the
+        // most global constraints, maximizing intermediate sizes).
+        value[id] = g.kind == GateKind::kAnd
+                        ? manager->AndN(std::move(inputs))
+                        : manager->OrN(std::move(inputs));
         break;
       }
     }

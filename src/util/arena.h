@@ -1,0 +1,56 @@
+// Chunked pool arena with stable addresses.
+//
+// Allocate(n) hands out n contiguous default-constructed slots whose
+// address never moves afterwards (chunks are never reallocated), so
+// callers can hold pointers/spans across later allocations — the property
+// the SDD manager relies on to walk a decision node's elements while
+// recursive Apply calls create new nodes. Oversized requests get a
+// dedicated chunk. No individual free: the arena lives as long as its
+// manager, like the node store itself.
+
+#ifndef CTSDD_UTIL_ARENA_H_
+#define CTSDD_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace ctsdd {
+
+template <typename T, size_t kChunkSize = 4096>
+class PoolArena {
+ public:
+  // Pointer stays valid for the arena's lifetime.
+  T* Allocate(size_t n) {
+    if (n == 0) return nullptr;
+    if (n > kChunkSize) {
+      // Dedicated chunk, spliced in *behind* the active chunk so the
+      // current chunk's remaining capacity is not orphaned.
+      chunks_.emplace_back(new T[n]);
+      T* out = chunks_.back().get();
+      if (chunks_.size() >= 2) {
+        std::swap(chunks_[chunks_.size() - 2], chunks_.back());
+      } else {
+        used_ = kChunkSize;  // the dedicated chunk is full; force a new one
+      }
+      return out;
+    }
+    if (chunks_.empty() || used_ + n > kChunkSize) {
+      chunks_.emplace_back(new T[kChunkSize]);
+      used_ = 0;
+    }
+    T* out = chunks_.back().get() + used_;
+    used_ += n;
+    return out;
+  }
+
+  size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  size_t used_ = 0;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_UTIL_ARENA_H_

@@ -1,0 +1,115 @@
+// Bounded, lossy computed cache for memoizing decision-diagram operations
+// (ITE, Apply, negation, n-ary folds) — the CUDD-style "computed table".
+//
+// Unlike the unique table, entries here are advisory: a miss only costs a
+// recomputation, so the cache is a direct-mapped array that overwrites on
+// collision. To avoid conflict thrash on apply-heavy workloads whose live
+// result set exceeds the initial array, the table doubles itself when
+// evictions of live entries pile up — but only up to the caller-supplied
+// slot bound, so memory stays bounded no matter how long an operation
+// sequence runs (the guarantee the unbounded std::unordered_map caches it
+// replaces could not give). Clear() is generational: a stamp bump
+// invalidates every entry in O(1) without touching the array.
+
+#ifndef CTSDD_UTIL_COMPUTED_CACHE_H_
+#define CTSDD_UTIL_COMPUTED_CACHE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ctsdd {
+
+// Key must be equality-comparable and cheap to copy or move.
+template <typename Key, typename Value = int32_t>
+class ComputedCache {
+ public:
+  // `max_slots` is the hard size bound. The array starts small and doubles
+  // under eviction pressure until it reaches the bound.
+  // The slot array is allocated lazily on the first Store, so managers
+  // that never exercise an operation (or tiny short-lived managers, of
+  // which order-search loops create thousands) pay nothing for the cache.
+  explicit ComputedCache(size_t max_slots = 1 << 22) {
+    max_slots_ = 2;
+    while (max_slots_ < max_slots) max_slots_ <<= 1;
+  }
+
+  size_t num_slots() const { return slots_.size(); }
+  size_t max_slots() const { return max_slots_; }
+  uint64_t lookups() const { return lookups_; }
+  uint64_t hits() const { return hits_; }
+
+  bool Lookup(uint64_t hash, const Key& key, Value* out) {
+    ++lookups_;
+    if (slots_.empty()) return false;
+    const Slot& slot = slots_[hash & (slots_.size() - 1)];
+    if (slot.stamp == generation_ && slot.key == key) {
+      *out = slot.value;
+      ++hits_;
+      return true;
+    }
+    return false;
+  }
+
+  void Store(uint64_t hash, Key key, Value value) {
+    if (slots_.empty()) {
+      slots_.resize(std::min<size_t>(max_slots_, kInitialSlots));
+    }
+    Slot& slot = slots_[hash & (slots_.size() - 1)];
+    if (slot.stamp == generation_ && !(slot.key == key)) {
+      // Conflict eviction of a live entry: when half the table has been
+      // churned since the last resize, the live result set has outgrown
+      // the array — double it (within the bound) instead of thrashing.
+      if (++evictions_ >= slots_.size() / 2 + 1 &&
+          slots_.size() < max_slots_) {
+        Grow();
+        Slot& moved = slots_[hash & (slots_.size() - 1)];
+        moved.hash = hash;
+        moved.key = std::move(key);
+        moved.value = std::move(value);
+        moved.stamp = generation_;
+        return;
+      }
+    }
+    slot.hash = hash;
+    slot.key = std::move(key);
+    slot.value = std::move(value);
+    slot.stamp = generation_;
+  }
+
+  // Invalidates all entries in O(1).
+  void Clear() { ++generation_; }
+
+ private:
+  static constexpr size_t kInitialSlots = 1 << 12;
+
+  struct Slot {
+    uint64_t hash = 0;  // retained so live entries can move on Grow()
+    Key key{};
+    Value value{};
+    uint32_t stamp = 0;  // entry is live iff stamp == generation_
+  };
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (Slot& s : old) {
+      if (s.stamp != generation_) continue;
+      slots_[s.hash & (slots_.size() - 1)] = std::move(s);
+    }
+    evictions_ = 0;
+  }
+
+  std::vector<Slot> slots_;
+  size_t max_slots_ = 0;
+  uint32_t generation_ = 1;
+  uint64_t lookups_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_UTIL_COMPUTED_CACHE_H_

@@ -1,0 +1,37 @@
+// Hash mixing primitives shared by the node-store layer (unique tables,
+// computed caches) and anything else that needs fast, well-distributed
+// 64-bit hashes of small integer tuples.
+
+#ifndef CTSDD_UTIL_HASHING_H_
+#define CTSDD_UTIL_HASHING_H_
+
+#include <cstdint>
+
+namespace ctsdd {
+
+// SplitMix64 finalizer: a full-avalanche bijection on 64-bit words.
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Incrementally folds `value` into `seed` (boost-style combine with a
+// stronger mix). Order-sensitive.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return HashMix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                           (seed >> 2)));
+}
+
+inline uint64_t Hash2(uint64_t a, uint64_t b) {
+  return HashCombine(HashMix64(a), b);
+}
+
+inline uint64_t Hash3(uint64_t a, uint64_t b, uint64_t c) {
+  return HashCombine(Hash2(a, b), c);
+}
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_UTIL_HASHING_H_

@@ -1,0 +1,88 @@
+// Open-addressed unique table for hash-consing decision-diagram nodes.
+//
+// The table stores (hash, node id) pairs in a power-of-two slot array with
+// linear probing; key material lives in the owning manager's node store, so
+// a probe is one cache line of table metadata plus the client-supplied
+// equality check against the candidate node. This replaces the
+// std::unordered_map-of-owning-keys pattern (one heap key per entry, a
+// pointer chase per probe) in the managers' hot apply loops.
+//
+// Usage pattern (no rehash can occur between Find and Insert as long as the
+// caller performs no other table operations in between):
+//
+//   const uint64_t h = <hash of key>;
+//   int32_t id = table.Find(h, [&](int32_t cand) { return <key matches cand>; });
+//   if (id < 0) {
+//     id = <create node>;
+//     table.Insert(h, id);
+//   }
+
+#ifndef CTSDD_UTIL_UNIQUE_TABLE_H_
+#define CTSDD_UTIL_UNIQUE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ctsdd {
+
+class UniqueTable {
+ public:
+  static constexpr int32_t kEmpty = -1;
+
+  explicit UniqueTable(size_t initial_slots = 1 << 10) {
+    size_t n = 16;
+    while (n < initial_slots) n <<= 1;
+    hashes_.resize(n, 0);
+    ids_.resize(n, kEmpty);
+  }
+
+  size_t size() const { return size_; }
+  size_t num_slots() const { return ids_.size(); }
+
+  // Returns the id of the entry whose stored hash equals `hash` and for
+  // which `eq(id)` is true, or kEmpty.
+  template <typename Eq>
+  int32_t Find(uint64_t hash, Eq&& eq) const {
+    const size_t mask = ids_.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      const int32_t id = ids_[i];
+      if (id == kEmpty) return kEmpty;
+      if (hashes_[i] == hash && eq(id)) return id;
+    }
+  }
+
+  // Inserts `id` under `hash`. The caller must have checked absence via
+  // Find with the same hash (duplicate keys would shadow each other).
+  void Insert(uint64_t hash, int32_t id) {
+    if ((size_ + 1) * 3 > ids_.size() * 2) Grow();
+    InsertNoGrow(hash, id);
+    ++size_;
+  }
+
+ private:
+  void InsertNoGrow(uint64_t hash, int32_t id) {
+    const size_t mask = ids_.size() - 1;
+    size_t i = hash & mask;
+    while (ids_[i] != kEmpty) i = (i + 1) & mask;
+    hashes_[i] = hash;
+    ids_[i] = id;
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_hashes = std::move(hashes_);
+    std::vector<int32_t> old_ids = std::move(ids_);
+    hashes_.assign(old_ids.size() * 2, 0);
+    ids_.assign(old_ids.size() * 2, kEmpty);
+    for (size_t i = 0; i < old_ids.size(); ++i) {
+      if (old_ids[i] != kEmpty) InsertNoGrow(old_hashes[i], old_ids[i]);
+    }
+  }
+
+  std::vector<uint64_t> hashes_;
+  std::vector<int32_t> ids_;
+  size_t size_ = 0;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_UTIL_UNIQUE_TABLE_H_

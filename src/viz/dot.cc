@@ -91,16 +91,17 @@ std::string SddToDot(const SddManager& manager, SddManager::NodeId root) {
     seen[id] = true;
     const auto& node = manager.node(id);
     if (node.kind != SddManager::Kind::kDecision) continue;
+    const auto elements = manager.elements(id);
     os << "  n" << id << " [label=\"";
-    for (size_t i = 0; i < node.elements.size(); ++i) {
-      const auto [p, s] = node.elements[i];
+    for (size_t i = 0; i < elements.size(); ++i) {
+      const auto [p, s] = elements[i];
       if (i) os << "|";
       os << "{<p" << i << "> " << SddLeafLabel(manager, p) << "|<s" << i
          << "> " << SddLeafLabel(manager, s) << "}";
     }
     os << "\" xlabel=\"v" << node.vnode << "\"];\n";
-    for (size_t i = 0; i < node.elements.size(); ++i) {
-      const auto [p, s] = node.elements[i];
+    for (size_t i = 0; i < elements.size(); ++i) {
+      const auto [p, s] = elements[i];
       if (!manager.IsConst(p) &&
           manager.node(p).kind == SddManager::Kind::kDecision) {
         os << "  n" << id << ":p" << i << " -> n" << p << ";\n";
