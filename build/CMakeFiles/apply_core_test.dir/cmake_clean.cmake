@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apply_core_test.dir/tests/apply_core_test.cc.o"
+  "CMakeFiles/apply_core_test.dir/tests/apply_core_test.cc.o.d"
+  "apply_core_test"
+  "apply_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apply_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tseitin.dir/bench/bench_ablation_tseitin.cc.o"
+  "CMakeFiles/bench_ablation_tseitin.dir/bench/bench_ablation_tseitin.cc.o.d"
+  "bench_ablation_tseitin"
+  "bench_ablation_tseitin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tseitin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disjointness_rank.dir/bench/bench_disjointness_rank.cc.o"
+  "CMakeFiles/bench_disjointness_rank.dir/bench/bench_disjointness_rank.cc.o.d"
+  "bench_disjointness_rank"
+  "bench_disjointness_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disjointness_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_disjointness_rank.
+# This may be replaced when dependencies are built.

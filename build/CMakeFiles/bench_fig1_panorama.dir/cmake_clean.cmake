@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_panorama.dir/bench/bench_fig1_panorama.cc.o"
+  "CMakeFiles/bench_fig1_panorama.dir/bench/bench_fig1_panorama.cc.o.d"
+  "bench_fig1_panorama"
+  "bench_fig1_panorama.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_panorama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ucq.dir/bench/bench_fig2_ucq.cc.o"
+  "CMakeFiles/bench_fig2_ucq.dir/bench/bench_fig2_ucq.cc.o.d"
+  "bench_fig2_ucq"
+  "bench_fig2_ucq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ucq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ucq_ineq.dir/bench/bench_fig3_ucq_ineq.cc.o"
+  "CMakeFiles/bench_fig3_ucq_ineq.dir/bench/bench_fig3_ucq_ineq.cc.o.d"
+  "bench_fig3_ucq_ineq"
+  "bench_fig3_ucq_ineq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ucq_ineq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

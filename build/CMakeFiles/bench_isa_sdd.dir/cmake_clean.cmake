@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isa_sdd.dir/bench/bench_isa_sdd.cc.o"
+  "CMakeFiles/bench_isa_sdd.dir/bench/bench_isa_sdd.cc.o.d"
+  "bench_isa_sdd"
+  "bench_isa_sdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isa_sdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

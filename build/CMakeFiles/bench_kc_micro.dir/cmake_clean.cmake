@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kc_micro.dir/bench/bench_kc_micro.cc.o"
+  "CMakeFiles/bench_kc_micro.dir/bench/bench_kc_micro.cc.o.d"
+  "bench_kc_micro"
+  "bench_kc_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kc_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

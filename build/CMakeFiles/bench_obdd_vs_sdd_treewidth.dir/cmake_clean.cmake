@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obdd_vs_sdd_treewidth.dir/bench/bench_obdd_vs_sdd_treewidth.cc.o"
+  "CMakeFiles/bench_obdd_vs_sdd_treewidth.dir/bench/bench_obdd_vs_sdd_treewidth.cc.o.d"
+  "bench_obdd_vs_sdd_treewidth"
+  "bench_obdd_vs_sdd_treewidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obdd_vs_sdd_treewidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_obdd_vs_sdd_treewidth.
+# This may be replaced when dependencies are built.

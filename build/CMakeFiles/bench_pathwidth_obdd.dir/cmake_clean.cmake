@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pathwidth_obdd.dir/bench/bench_pathwidth_obdd.cc.o"
+  "CMakeFiles/bench_pathwidth_obdd.dir/bench/bench_pathwidth_obdd.cc.o.d"
+  "bench_pathwidth_obdd"
+  "bench_pathwidth_obdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pathwidth_obdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_result1_linear_size.dir/bench/bench_result1_linear_size.cc.o"
+  "CMakeFiles/bench_result1_linear_size.dir/bench/bench_result1_linear_size.cc.o.d"
+  "bench_result1_linear_size"
+  "bench_result1_linear_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_result1_linear_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

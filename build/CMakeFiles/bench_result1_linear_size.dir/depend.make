@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_result1_linear_size.
+# This may be replaced when dependencies are built.

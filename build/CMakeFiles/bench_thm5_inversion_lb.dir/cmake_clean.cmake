@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm5_inversion_lb.dir/bench/bench_thm5_inversion_lb.cc.o"
+  "CMakeFiles/bench_thm5_inversion_lb.dir/bench/bench_thm5_inversion_lb.cc.o.d"
+  "bench_thm5_inversion_lb"
+  "bench_thm5_inversion_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm5_inversion_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_width_sandwich.dir/bench/bench_width_sandwich.cc.o"
+  "CMakeFiles/bench_width_sandwich.dir/bench/bench_width_sandwich.cc.o.d"
+  "bench_width_sandwich"
+  "bench_width_sandwich.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_width_sandwich.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_width_sandwich.
+# This may be replaced when dependencies are built.

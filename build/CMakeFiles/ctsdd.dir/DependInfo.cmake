@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/builder.cc" "CMakeFiles/ctsdd.dir/src/circuit/builder.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/circuit/builder.cc.o.d"
+  "/root/repo/src/circuit/circuit.cc" "CMakeFiles/ctsdd.dir/src/circuit/circuit.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/circuit/circuit.cc.o.d"
+  "/root/repo/src/circuit/eval.cc" "CMakeFiles/ctsdd.dir/src/circuit/eval.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/circuit/eval.cc.o.d"
+  "/root/repo/src/circuit/families.cc" "CMakeFiles/ctsdd.dir/src/circuit/families.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/circuit/families.cc.o.d"
+  "/root/repo/src/circuit/io.cc" "CMakeFiles/ctsdd.dir/src/circuit/io.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/circuit/io.cc.o.d"
+  "/root/repo/src/circuit/primal_graph.cc" "CMakeFiles/ctsdd.dir/src/circuit/primal_graph.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/circuit/primal_graph.cc.o.d"
+  "/root/repo/src/circuit/tseitin.cc" "CMakeFiles/ctsdd.dir/src/circuit/tseitin.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/circuit/tseitin.cc.o.d"
+  "/root/repo/src/compile/factor_compile.cc" "CMakeFiles/ctsdd.dir/src/compile/factor_compile.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/compile/factor_compile.cc.o.d"
+  "/root/repo/src/compile/isa.cc" "CMakeFiles/ctsdd.dir/src/compile/isa.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/compile/isa.cc.o.d"
+  "/root/repo/src/compile/pipeline.cc" "CMakeFiles/ctsdd.dir/src/compile/pipeline.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/compile/pipeline.cc.o.d"
+  "/root/repo/src/compile/sdd_canonical.cc" "CMakeFiles/ctsdd.dir/src/compile/sdd_canonical.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/compile/sdd_canonical.cc.o.d"
+  "/root/repo/src/compile/widths.cc" "CMakeFiles/ctsdd.dir/src/compile/widths.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/compile/widths.cc.o.d"
+  "/root/repo/src/db/database.cc" "CMakeFiles/ctsdd.dir/src/db/database.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/db/database.cc.o.d"
+  "/root/repo/src/db/inversion.cc" "CMakeFiles/ctsdd.dir/src/db/inversion.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/db/inversion.cc.o.d"
+  "/root/repo/src/db/lineage.cc" "CMakeFiles/ctsdd.dir/src/db/lineage.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/db/lineage.cc.o.d"
+  "/root/repo/src/db/query.cc" "CMakeFiles/ctsdd.dir/src/db/query.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/db/query.cc.o.d"
+  "/root/repo/src/db/query_compile.cc" "CMakeFiles/ctsdd.dir/src/db/query_compile.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/db/query_compile.cc.o.d"
+  "/root/repo/src/func/bool_func.cc" "CMakeFiles/ctsdd.dir/src/func/bool_func.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/func/bool_func.cc.o.d"
+  "/root/repo/src/func/factor.cc" "CMakeFiles/ctsdd.dir/src/func/factor.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/func/factor.cc.o.d"
+  "/root/repo/src/graph/elimination.cc" "CMakeFiles/ctsdd.dir/src/graph/elimination.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/graph/elimination.cc.o.d"
+  "/root/repo/src/graph/exact_treewidth.cc" "CMakeFiles/ctsdd.dir/src/graph/exact_treewidth.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/graph/exact_treewidth.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/ctsdd.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/ctsdd.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/lower_bound.cc" "CMakeFiles/ctsdd.dir/src/graph/lower_bound.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/graph/lower_bound.cc.o.d"
+  "/root/repo/src/graph/path_decomposition.cc" "CMakeFiles/ctsdd.dir/src/graph/path_decomposition.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/graph/path_decomposition.cc.o.d"
+  "/root/repo/src/graph/tree_decomposition.cc" "CMakeFiles/ctsdd.dir/src/graph/tree_decomposition.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/graph/tree_decomposition.cc.o.d"
+  "/root/repo/src/lowerbound/comm_matrix.cc" "CMakeFiles/ctsdd.dir/src/lowerbound/comm_matrix.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/lowerbound/comm_matrix.cc.o.d"
+  "/root/repo/src/lowerbound/rank.cc" "CMakeFiles/ctsdd.dir/src/lowerbound/rank.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/lowerbound/rank.cc.o.d"
+  "/root/repo/src/nnf/checks.cc" "CMakeFiles/ctsdd.dir/src/nnf/checks.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/nnf/checks.cc.o.d"
+  "/root/repo/src/nnf/nnf.cc" "CMakeFiles/ctsdd.dir/src/nnf/nnf.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/nnf/nnf.cc.o.d"
+  "/root/repo/src/nnf/rectangle_cover.cc" "CMakeFiles/ctsdd.dir/src/nnf/rectangle_cover.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/nnf/rectangle_cover.cc.o.d"
+  "/root/repo/src/nnf/wmc.cc" "CMakeFiles/ctsdd.dir/src/nnf/wmc.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/nnf/wmc.cc.o.d"
+  "/root/repo/src/obdd/obdd.cc" "CMakeFiles/ctsdd.dir/src/obdd/obdd.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/obdd/obdd.cc.o.d"
+  "/root/repo/src/obdd/obdd_compile.cc" "CMakeFiles/ctsdd.dir/src/obdd/obdd_compile.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/obdd/obdd_compile.cc.o.d"
+  "/root/repo/src/sdd/sdd.cc" "CMakeFiles/ctsdd.dir/src/sdd/sdd.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/sdd/sdd.cc.o.d"
+  "/root/repo/src/sdd/sdd_compile.cc" "CMakeFiles/ctsdd.dir/src/sdd/sdd_compile.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/sdd/sdd_compile.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/ctsdd.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "CMakeFiles/ctsdd.dir/src/util/random.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/ctsdd.dir/src/util/status.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/util/status.cc.o.d"
+  "/root/repo/src/viz/dot.cc" "CMakeFiles/ctsdd.dir/src/viz/dot.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/viz/dot.cc.o.d"
+  "/root/repo/src/vtree/from_decomposition.cc" "CMakeFiles/ctsdd.dir/src/vtree/from_decomposition.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/vtree/from_decomposition.cc.o.d"
+  "/root/repo/src/vtree/vtree.cc" "CMakeFiles/ctsdd.dir/src/vtree/vtree.cc.o" "gcc" "CMakeFiles/ctsdd.dir/src/vtree/vtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

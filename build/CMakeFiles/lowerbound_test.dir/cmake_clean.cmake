@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowerbound_test.dir/tests/lowerbound_test.cc.o"
+  "CMakeFiles/lowerbound_test.dir/tests/lowerbound_test.cc.o.d"
+  "lowerbound_test"
+  "lowerbound_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowerbound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

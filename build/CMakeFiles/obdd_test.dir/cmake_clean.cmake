@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obdd_test.dir/tests/obdd_test.cc.o"
+  "CMakeFiles/obdd_test.dir/tests/obdd_test.cc.o.d"
+  "obdd_test"
+  "obdd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probabilistic_query.dir/examples/probabilistic_query.cpp.o"
+  "CMakeFiles/probabilistic_query.dir/examples/probabilistic_query.cpp.o.d"
+  "probabilistic_query"
+  "probabilistic_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probabilistic_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

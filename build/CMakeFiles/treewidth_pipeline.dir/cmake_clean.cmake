@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewidth_pipeline.dir/examples/treewidth_pipeline.cpp.o"
+  "CMakeFiles/treewidth_pipeline.dir/examples/treewidth_pipeline.cpp.o.d"
+  "treewidth_pipeline"
+  "treewidth_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewidth_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtree_test.dir/tests/vtree_test.cc.o"
+  "CMakeFiles/vtree_test.dir/tests/vtree_test.cc.o.d"
+  "vtree_test"
+  "vtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
