@@ -21,6 +21,7 @@ StatusOr<PipelineResult> CompileWithTreewidth(const Circuit& circuit,
   TreeDecomposition td;
   if (options.prefer_exact_treewidth &&
       primal.num_vertices() <= kMaxExactVertices) {
+    // Served from the WidthCache when this circuit was compiled before.
     const auto order = OptimalEliminationOrder(primal);
     CTSDD_RETURN_IF_ERROR(order.status());
     td = DecompositionFromOrder(primal, order.value());

@@ -21,8 +21,9 @@
 namespace ctsdd {
 
 struct PipelineOptions {
-  // Use the exact treewidth DP when the circuit has at most
-  // kMaxExactVertices gates; otherwise min-fill.
+  // Use the exact branch-and-bound treewidth engine when the circuit has
+  // at most kMaxExactVertices gates (repeat compiles of the same circuit
+  // hit the process-wide WidthCache); otherwise min-fill.
   bool prefer_exact_treewidth = false;
   // Also run the factor-based constructions when feasible.
   bool compute_exact_widths = false;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "circuit/primal_graph.h"
 #include "compile/factor_compile.h"
 #include "compile/sdd_canonical.h"
+#include "graph/elimination.h"
 #include "graph/exact_treewidth.h"
+#include "graph/width_cache.h"
 #include "func/factor.h"
 #include "util/logging.h"
 
@@ -142,21 +145,47 @@ CtwBounds CircuitTreewidthBounds(const BoolFunc& f) {
   CTSDD_CHECK_GE(f.num_vars(), 1);
   CTSDD_CHECK_LE(f.num_vars(), 5);
   CtwBounds bounds;
-  // Upper bound: treewidth of the best compiled C_{F,T}.
-  int best_upper = -1;
+  // Upper bound: treewidth of the best compiled C_{F,T}. Only the minimum
+  // over the enumeration matters, so take the min-fill width of every
+  // primal graph first (cheap), then sweep the candidates from the most
+  // promising heuristic width up with ExactTreewidthAtMost capped at the
+  // running minimum: circuits that cannot improve it are refuted by the
+  // root lower bound instead of being solved exactly, and repeated primal
+  // graphs across vtree shapes are visited once.
+  struct Candidate {
+    Graph primal;
+    int heuristic;
+  };
+  std::vector<Candidate> candidates;
   int best_fw = -1;
   ForEachVtree(f.vars(), [&](const Vtree& vt) {
     const FactorCompilation comp = CompileFactorNnf(f, vt);
-    int tw;
-    if (comp.circuit.num_gates() <= kMaxExactVertices) {
-      tw = ExactCircuitTreewidth(comp.circuit).value();
-    } else {
-      tw = HeuristicCircuitTreewidth(comp.circuit);
-    }
-    if (best_upper < 0 || tw < best_upper) best_upper = tw;
+    Graph primal = PrimalGraph(comp.circuit);
+    const int heuristic = EliminationOrderWidth(
+        primal, GreedyEliminationOrder(primal, EliminationHeuristic::kMinFill));
+    candidates.push_back({std::move(primal), heuristic});
     if (best_fw < 0 || comp.fw < best_fw) best_fw = comp.fw;
     return true;
   });
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.heuristic < b.heuristic;
+            });
+  int best_upper = candidates.front().heuristic;
+  // Capped refutations are not cacheable (no exact width is produced),
+  // so dedupe repeated primal graphs here rather than re-refuting them.
+  std::set<std::vector<uint64_t>> seen;
+  for (const Candidate& candidate : candidates) {
+    if (candidate.primal.num_vertices() > kMaxExactVertices) continue;
+    if (!seen.insert(WidthCache::Signature(WidthCache::Kind::kTreewidth,
+                                           candidate.primal))
+             .second) {
+      continue;
+    }
+    best_upper = std::min(
+        best_upper,
+        ExactTreewidthAtMost(candidate.primal, best_upper).value());
+  }
   bounds.upper = best_upper;
   // Lower bound: invert Lemma 1 on fw(F).
   int k = 0;

@@ -1,43 +1,35 @@
 #include "graph/exact_treewidth.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <utility>
 
+#include "graph/elimination.h"
+#include "graph/lower_bound.h"
+#include "graph/width_cache.h"
+#include "util/hashing.h"
 #include "util/logging.h"
+#include "util/scoped_memo.h"
 
 namespace ctsdd {
 namespace {
 
-// Adjacency as bitmasks for graphs with <= kMaxExactVertices vertices.
-std::vector<uint32_t> BitAdjacency(const Graph& g) {
-  std::vector<uint32_t> adj(g.num_vertices(), 0);
+using Mask = uint64_t;
+
+struct WidthResult {
+  int width = 0;
+  std::vector<int> order;  // elimination order / vertex layout
+};
+
+std::vector<Mask> BitAdjacency(const Graph& g) {
+  std::vector<Mask> adj(g.num_vertices(), 0);
   for (int v = 0; v < g.num_vertices(); ++v) {
-    for (int w : g.Neighbors(v)) adj[v] |= (1u << w);
+    for (int w : g.Neighbors(v)) adj[v] |= (Mask{1} << w);
   }
   return adj;
-}
-
-// Q(S, v): vertices outside S∪{v} reachable from v via paths whose internal
-// vertices all lie in S. |Q(S, v)| is the degree of v when eliminated after
-// exactly the vertices of S (in the chordal completion).
-uint32_t ReachableThrough(const std::vector<uint32_t>& adj, uint32_t s,
-                          int v) {
-  // BFS from v through S.
-  uint32_t visited = (1u << v);
-  uint32_t frontier = adj[v];
-  uint32_t reach = adj[v] & ~s & ~(1u << v);
-  frontier &= s & ~visited;
-  while (frontier != 0) {
-    const int u = std::countr_zero(frontier);
-    frontier &= frontier - 1;
-    if (visited & (1u << u)) continue;
-    visited |= (1u << u);
-    reach |= adj[u] & ~s & ~(1u << v);
-    frontier |= adj[u] & s & ~visited;
-  }
-  return reach;
 }
 
 Status CheckSize(const Graph& graph) {
@@ -49,136 +41,564 @@ Status CheckSize(const Graph& graph) {
   return Status::Ok();
 }
 
-// DP over subsets: tw(S) = min_{v in S} max(|Q(S\{v}, v)|, tw(S\{v})).
-// tw(V) is the treewidth. `choice[S]` records the minimizing last vertex.
-std::vector<int8_t> TreewidthDp(const Graph& graph,
-                                std::vector<int8_t>* choice) {
-  const int n = graph.num_vertices();
-  const auto adj = BitAdjacency(graph);
-  const uint32_t full = n == 32 ? ~0u : ((1u << n) - 1);
-  std::vector<int8_t> dp(static_cast<size_t>(full) + 1, 0);
-  if (choice) choice->assign(static_cast<size_t>(full) + 1, -1);
-  for (uint32_t s = 1; s <= full; ++s) {
-    int best = std::numeric_limits<int>::max();
-    int best_v = -1;
-    uint32_t rest = s;
-    while (rest != 0) {
+// --- Treewidth branch-and-bound (QuickBB on the BFK recurrence) ---------
+//
+// States are sets S of already-eliminated vertices carrying g = the
+// largest elimination degree paid so far; the value reachable from (S, g)
+// is max(g, w(S)) where w(S), the best completion width, depends on S
+// only. The search keeps the eliminated graph G_S explicitly (one
+// adjacency row copy per tree level), prunes against the incumbent,
+// forces simplicial vertices, and dominance-prunes via a subset memo of
+// the smallest g each S has been expanded with.
+class TreewidthBnb {
+ public:
+  // `graph` must be connected and is expected to be pre-reduced.
+  explicit TreewidthBnb(const Graph& graph)
+      : n_(graph.num_vertices()),
+        full_(n_ == 0 ? 0 : (~Mask{0} >> (64 - n_))),
+        graph_(graph) {}
+
+  // Returns min(tw, cap): a width below `cap` is exact (with a matching
+  // elimination order); `cap` itself certifies tw >= cap (empty order).
+  WidthResult Solve(int cap) {
+    WidthResult result;
+    if (n_ == 0) return result;
+    // Incumbent: the better of the min-fill and min-degree orders.
+    result.order = GreedyEliminationOrder(graph_, EliminationHeuristic::kMinFill);
+    result.width = EliminationOrderWidth(graph_, result.order);
+    std::vector<int> by_degree =
+        GreedyEliminationOrder(graph_, EliminationHeuristic::kMinDegree);
+    const int degree_width = EliminationOrderWidth(graph_, by_degree);
+    if (degree_width < result.width) {
+      result.width = degree_width;
+      result.order = std::move(by_degree);
+    }
+    if (result.width >= cap) {
+      result.width = cap;  // only widths below cap are interesting
+      result.order.clear();
+    }
+    const int lb = TreewidthLowerBoundMmdPlus(graph_);
+    if (lb >= result.width) return result;  // incumbent is provably optimal
+    best_ = &result;
+    adj_levels_.assign(n_ + 1, std::vector<Mask>(n_));
+    adj_levels_[0] = BitAdjacency(graph_);
+    prefix_.clear();
+    prefix_.reserve(n_);
+    memo_.Reset();
+    Dfs(/*depth=*/0, /*eliminated=*/0, /*g=*/0);
+    return result;
+  }
+
+ private:
+  bool IsClique(const std::vector<Mask>& adj, Mask mask) const {
+    for (Mask rest = mask; rest != 0; rest &= rest - 1) {
+      const int u = std::countr_zero(rest);
+      if ((mask & ~adj[u] & ~(Mask{1} << u)) != 0) return false;
+    }
+    return true;
+  }
+
+  // True if mask minus one of its members is a clique (almost-simplicial
+  // neighborhood test).
+  bool IsAlmostClique(const std::vector<Mask>& adj, Mask mask) const {
+    for (Mask rest = mask; rest != 0; rest &= rest - 1) {
+      const int skip = std::countr_zero(rest);
+      if (IsClique(adj, mask & ~(Mask{1} << skip))) return true;
+    }
+    return false;
+  }
+
+  // MMD+ (contraction degeneracy) on the eliminated graph: each node of
+  // the search pays O(n^2) word operations here to lower-bound w(S) =
+  // tw(G_S), which prunes entire subtrees the incumbent test alone
+  // cannot. Mutates a scratch copy of the rows.
+  int LowerBoundMmdPlus(const std::vector<Mask>& adj, Mask alive) {
+    std::copy(adj.begin(), adj.end(), scratch_adj_.begin());
+    int bound = 0;
+    while (std::popcount(alive) > 1) {
+      int v = -1;
+      int min_deg = std::numeric_limits<int>::max();
+      for (Mask rest = alive; rest != 0; rest &= rest - 1) {
+        const int u = std::countr_zero(rest);
+        const int deg = std::popcount(scratch_adj_[u] & alive);
+        if (deg < min_deg) {
+          min_deg = deg;
+          v = u;
+        }
+      }
+      bound = std::max(bound, min_deg);
+      if (min_deg > 0) {
+        // Contract v into its least-degree live neighbor.
+        int w = -1;
+        int w_deg = std::numeric_limits<int>::max();
+        for (Mask rest = scratch_adj_[v] & alive; rest != 0;
+             rest &= rest - 1) {
+          const int u = std::countr_zero(rest);
+          const int deg = std::popcount(scratch_adj_[u] & alive);
+          if (deg < w_deg) {
+            w_deg = deg;
+            w = u;
+          }
+        }
+        scratch_adj_[w] |= scratch_adj_[v];
+        scratch_adj_[w] &= ~(Mask{1} << w) & ~(Mask{1} << v);
+        for (Mask rest = scratch_adj_[v] & alive; rest != 0;
+             rest &= rest - 1) {
+          const int u = std::countr_zero(rest);
+          if (u != w) scratch_adj_[u] |= Mask{1} << w;
+        }
+      }
+      alive &= ~(Mask{1} << v);
+    }
+    return bound;
+  }
+
+  // Writes G_{S + v} into adj_levels_[depth + 1].
+  void Eliminate(int depth, int v) {
+    const std::vector<Mask>& a = adj_levels_[depth];
+    std::vector<Mask>& b = adj_levels_[depth + 1];
+    const Mask vbit = Mask{1} << v;
+    const Mask nb = a[v];
+    for (int u = 0; u < n_; ++u) b[u] = a[u] & ~vbit;
+    for (Mask rest = nb; rest != 0; rest &= rest - 1) {
+      const int u = std::countr_zero(rest);
+      b[u] |= nb & ~(Mask{1} << u);
+    }
+    b[v] = 0;
+  }
+
+  // Replaces the incumbent with width g: the current prefix plus the
+  // remaining vertices in any order (only called when that tail is free,
+  // i.e. every remaining degree stays <= g).
+  void Accept(int g, Mask remaining) {
+    best_->width = g;
+    best_->order = prefix_;
+    for (Mask rest = remaining; rest != 0; rest &= rest - 1) {
+      best_->order.push_back(std::countr_zero(rest));
+    }
+  }
+
+  // Memo payload: the smallest g this subset has been expanded with
+  // (dominance) packed with the strongest proven lower bound on w(S).
+  static int32_t Pack(int g_seen, int lb) { return (g_seen << 16) | lb; }
+  static int UnpackGSeen(int32_t v) { return v >> 16; }
+  static int UnpackLb(int32_t v) { return v & 0xffff; }
+
+  int MemoChildLb(Mask child) const {
+    int32_t packed;
+    if (memo_.Lookup(HashMix64(child), child, &packed)) {
+      return UnpackLb(packed);
+    }
+    return 0;
+  }
+
+  void Dfs(int depth, Mask eliminated, int g) {
+    // Invariant: g < best_->width (strictly improving prefixes only).
+    const std::vector<Mask>& adj = adj_levels_[depth];
+    const Mask remaining = full_ & ~eliminated;
+    const int r = std::popcount(remaining);
+    if (r <= g + 1) {
+      // Any completion pays at most r - 1 <= g per elimination.
+      Accept(g, remaining);
+      return;
+    }
+    const uint64_t hash = HashMix64(eliminated);
+    int32_t packed;
+    int lb = 0;
+    bool revisit = false;
+    if (memo_.Lookup(hash, eliminated, &packed)) {
+      lb = UnpackLb(packed);
+      if (UnpackGSeen(packed) <= g) return;             // dominance
+      if (std::max(g, lb) >= best_->width) return;      // proven bound
+      revisit = true;
+    }
+    // The completion width w(S) is exactly tw(G_S), so any lower bound on
+    // the eliminated graph prunes the whole subtree. G_S depends on S
+    // only, so revisits reuse the memoized bound instead of recomputing.
+    if (!revisit) lb = std::max(lb, LowerBoundMmdPlus(adj, remaining));
+    memo_.Upsert(hash, eliminated, Pack(g, lb));
+    if (std::max(g, lb) >= best_->width) return;
+
+    // Candidate degrees in the eliminated graph, ascending (ties by id).
+    auto& candidates = candidates_[depth];
+    int count = 0;
+    for (Mask rest = remaining; rest != 0; rest &= rest - 1) {
       const int v = std::countr_zero(rest);
-      rest &= rest - 1;
-      const uint32_t without = s & ~(1u << v);
-      const int q = std::popcount(ReachableThrough(adj, without, v));
-      const int cand = std::max(q, static_cast<int>(dp[without]));
-      if (cand < best) {
-        best = cand;
-        best_v = v;
+      candidates[count++] = {std::popcount(adj[v]), v};
+    }
+    std::sort(candidates.begin(), candidates.begin() + count);
+
+    // Safe forcing (Bodlaender–Koster rules on G_S): a simplicial vertex,
+    // or an almost-simplicial vertex of degree <= lb <= tw(G_S), is an
+    // optimal first elimination — recurse on that single child, and
+    // w(S) = max(q, w(S + v)) exactly.
+    int forced_v = -1;
+    int forced_q = 0;
+    for (int i = 0; i < count; ++i) {
+      const auto [q, v] = candidates[i];
+      if (q <= 1 || IsClique(adj, adj[v]) ||
+          (q <= lb && IsAlmostClique(adj, adj[v]))) {
+        forced_v = v;
+        forced_q = q;
+        break;
       }
     }
-    dp[s] = static_cast<int8_t>(best);
-    if (choice) (*choice)[s] = static_cast<int8_t>(best_v);
+    if (forced_v >= 0) {
+      const Mask child = eliminated | (Mask{1} << forced_v);
+      if (std::max(g, forced_q) < best_->width) {
+        Eliminate(depth, forced_v);
+        prefix_.push_back(forced_v);
+        Dfs(depth + 1, child, std::max(g, forced_q));
+        prefix_.pop_back();
+      }
+      lb = std::max(lb, std::max(forced_q, MemoChildLb(child)));
+      memo_.Upsert(hash, eliminated, Pack(g, lb));
+      return;
+    }
+
+    for (int i = 0; i < count; ++i) {
+      const auto [q, v] = candidates[i];
+      if (std::max(g, q) >= best_->width) break;  // q ascending
+      Eliminate(depth, v);
+      prefix_.push_back(v);
+      Dfs(depth + 1, eliminated | (Mask{1} << v), std::max(g, q));
+      prefix_.pop_back();
+      if (g >= best_->width) break;  // incumbent overtook this prefix
+    }
+    // Propagate children's bounds: w(S) = min_v max(q_v, w(S + v)) >=
+    // min_v max(q_v, LB[S + v]) — valid no matter which children were
+    // pruned or how far the loop got.
+    int completion_lb = std::numeric_limits<int>::max();
+    for (int i = 0; i < count; ++i) {
+      const auto [q, v] = candidates[i];
+      completion_lb = std::min(
+          completion_lb,
+          std::max(q, MemoChildLb(eliminated | (Mask{1} << v))));
+    }
+    lb = std::max(lb, completion_lb);
+    memo_.Upsert(hash, eliminated, Pack(g, lb));
   }
-  return dp;
+
+  const int n_;
+  const Mask full_;
+  const Graph& graph_;
+  WidthResult* best_ = nullptr;
+  std::vector<std::vector<Mask>> adj_levels_;
+  std::array<std::array<std::pair<int, int>, kMaxExactVertices>,
+             kMaxExactVertices + 1>
+      candidates_;
+  std::array<Mask, kMaxExactVertices> scratch_adj_;
+  std::vector<int> prefix_;
+  ScopedMemo<uint64_t, int32_t> memo_;
+};
+
+// --- Pathwidth branch-and-bound (vertex separation) ---------------------
+//
+// States are sets S of placed vertices with g = the largest boundary paid
+// so far; cost(S) = |{u in S : u has a neighbor outside S}|. The boundary
+// set is threaded through the recursion (it is a function of S), so no
+// per-level graph copies are needed.
+class PathwidthBnb {
+ public:
+  explicit PathwidthBnb(const Graph& graph)
+      : n_(graph.num_vertices()),
+        full_(n_ == 0 ? 0 : (~Mask{0} >> (64 - n_))),
+        adj_(BitAdjacency(graph)),
+        graph_(graph) {}
+
+  WidthResult Solve() {
+    WidthResult result;
+    if (n_ == 0) return result;
+    result.order = GreedyLayout();
+    result.width = LayoutWidth(result.order);
+    const int lb = TreewidthLowerBoundMmdPlus(graph_);  // pw >= tw
+    if (lb >= result.width) return result;
+    best_ = &result;
+    prefix_.clear();
+    prefix_.reserve(n_);
+    memo_.Reset();
+    Dfs(/*placed=*/0, /*boundary=*/0, /*g=*/0);
+    return result;
+  }
+
+ private:
+  // Boundary set after placing v on top of `placed` (with boundary set
+  // `boundary`): v joins if it still has unplaced neighbors; placed
+  // neighbors of v whose last unplaced neighbor was v leave.
+  Mask PlacedBoundary(Mask placed, Mask boundary, int v) const {
+    const Mask placed2 = placed | (Mask{1} << v);
+    Mask b = boundary;
+    if ((adj_[v] & ~placed2) != 0) b |= Mask{1} << v;
+    for (Mask rest = boundary & adj_[v]; rest != 0; rest &= rest - 1) {
+      const int u = std::countr_zero(rest);
+      if ((adj_[u] & ~placed2) == 0) b &= ~(Mask{1} << u);
+    }
+    return b;
+  }
+
+  std::vector<int> GreedyLayout() const {
+    std::vector<int> order;
+    order.reserve(n_);
+    Mask placed = 0;
+    Mask boundary = 0;
+    for (int step = 0; step < n_; ++step) {
+      int best_v = -1;
+      int best_cost = std::numeric_limits<int>::max();
+      Mask best_boundary = 0;
+      for (Mask rest = full_ & ~placed; rest != 0; rest &= rest - 1) {
+        const int v = std::countr_zero(rest);
+        const Mask b = PlacedBoundary(placed, boundary, v);
+        const int cost = std::popcount(b);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_v = v;
+          best_boundary = b;
+        }
+      }
+      order.push_back(best_v);
+      placed |= Mask{1} << best_v;
+      boundary = best_boundary;
+    }
+    return order;
+  }
+
+  int LayoutWidth(const std::vector<int>& order) const {
+    Mask placed = 0;
+    Mask boundary = 0;
+    int width = 0;
+    for (const int v : order) {
+      boundary = PlacedBoundary(placed, boundary, v);
+      placed |= Mask{1} << v;
+      width = std::max(width, std::popcount(boundary));
+    }
+    return width;
+  }
+
+  void Dfs(Mask placed, Mask boundary, int g) {
+    // Invariant: g < best_->width and cost(placed) <= g.
+    if (placed == full_) {
+      best_->width = g;
+      best_->order = prefix_;
+      return;
+    }
+    const uint64_t hash = HashMix64(placed);
+    int32_t seen;
+    if (memo_.Lookup(hash, placed, &seen) && seen <= g) return;
+    memo_.Upsert(hash, placed, g);
+
+    // Forced move: a vertex with every neighbor placed can never hurt
+    // (placing it first never raises any later prefix's boundary).
+    for (Mask rest = full_ & ~placed; rest != 0; rest &= rest - 1) {
+      const int v = std::countr_zero(rest);
+      if ((adj_[v] & ~placed) != 0) continue;
+      prefix_.push_back(v);
+      Dfs(placed | (Mask{1} << v), PlacedBoundary(placed, boundary, v), g);
+      prefix_.pop_back();
+      return;
+    }
+
+    // Branch by resulting boundary, ascending (ties by id). Candidates
+    // live in a per-depth array: the recursion below reuses deeper rows,
+    // and this loop keeps reading its own row after returning.
+    auto& candidates = candidates_[std::popcount(placed)];
+    int count = 0;
+    for (Mask rest = full_ & ~placed; rest != 0; rest &= rest - 1) {
+      const int v = std::countr_zero(rest);
+      const Mask b = PlacedBoundary(placed, boundary, v);
+      const int cost = std::popcount(b);
+      if (std::max(g, cost) >= best_->width) continue;
+      candidates[count++] = {cost, v, b};
+    }
+    std::sort(candidates.begin(), candidates.begin() + count,
+              [](const PwCandidate& a, const PwCandidate& b) {
+                return a.cost != b.cost ? a.cost < b.cost : a.v < b.v;
+              });
+    for (int i = 0; i < count; ++i) {
+      const auto [cost, v, b] = candidates[i];
+      if (std::max(g, cost) >= best_->width) break;
+      prefix_.push_back(v);
+      Dfs(placed | (Mask{1} << v), b, std::max(g, cost));
+      prefix_.pop_back();
+      if (g >= best_->width) return;
+    }
+  }
+
+  struct PwCandidate {
+    int cost;
+    int v;
+    Mask boundary;
+  };
+
+  const int n_;
+  const Mask full_;
+  const std::vector<Mask> adj_;
+  const Graph& graph_;
+  WidthResult* best_ = nullptr;
+  std::array<std::array<PwCandidate, kMaxExactVertices>,
+             kMaxExactVertices + 1>
+      candidates_;
+  std::vector<int> prefix_;
+  ScopedMemo<uint64_t, int32_t> memo_;
+};
+
+// --- Reductions, component splitting, and the cache-backed drivers ------
+
+bool IsCliqueInGraph(const Graph& g, const std::set<int>& vertices,
+                     int skip = -1) {
+  for (auto it = vertices.begin(); it != vertices.end(); ++it) {
+    if (*it == skip) continue;
+    auto jt = it;
+    for (++jt; jt != vertices.end(); ++jt) {
+      if (*jt == skip) continue;
+      if (!g.HasEdge(*it, *jt)) return false;
+    }
+  }
+  return true;
+}
+
+// Bodlaender–Koster safe reductions on a working copy: simplicial
+// vertices are eliminated outright (recording their degree in *low);
+// almost-simplicial vertices are eliminated when their degree is at most
+// *low. Maintains tw(original) = max(*low, tw(*g restricted to *alive)),
+// and appends the eliminated vertices (a valid optimal-order prefix) to
+// *prefix.
+void ReduceForTreewidth(Graph* g, std::vector<bool>* alive, int* low,
+                        std::vector<int>* prefix) {
+  const int n = g->num_vertices();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < n; ++v) {
+      if (!(*alive)[v]) continue;
+      const std::set<int>& nbrs = g->Neighbors(v);
+      bool eliminate = false;
+      if (IsCliqueInGraph(*g, nbrs)) {
+        *low = std::max(*low, g->Degree(v));
+        eliminate = true;
+      } else if (g->Degree(v) <= *low) {
+        // Almost-simplicial: all neighbors but one form a clique.
+        for (const int u : nbrs) {
+          if (IsCliqueInGraph(*g, nbrs, /*skip=*/u)) {
+            eliminate = true;
+            break;
+          }
+        }
+      }
+      if (eliminate) {
+        g->MakeNeighborsClique(v);
+        g->IsolateVertex(v);
+        (*alive)[v] = false;
+        prefix->push_back(v);
+        changed = true;
+      }
+    }
+  }
+}
+
+// Returns min(tw, cap); the order is only meaningful when the returned
+// width is below cap (the result is then exact).
+WidthResult SolveTreewidth(const Graph& graph, int cap) {
+  Graph reduced = graph;
+  std::vector<bool> alive(graph.num_vertices(), true);
+  WidthResult result;
+  result.width = TreewidthLowerBoundMmdPlus(graph);
+  ReduceForTreewidth(&reduced, &alive, &result.width, &result.order);
+  // Split what survives into connected components and solve each.
+  for (const std::vector<int>& component : reduced.ConnectedComponents()) {
+    if (!alive[component[0]]) continue;  // isolated husk of a reduced vertex
+    const WidthResult sub =
+        TreewidthBnb(reduced.InducedSubgraph(component)).Solve(cap);
+    result.width = std::max(result.width, sub.width);
+    for (const int local : sub.order) result.order.push_back(component[local]);
+  }
+  if (result.width >= cap) {
+    result.width = cap;
+    result.order.clear();
+  }
+  return result;
+}
+
+WidthResult SolvePathwidth(const Graph& graph) {
+  WidthResult result;
+  for (const std::vector<int>& component : graph.ConnectedComponents()) {
+    // Once a component is fully placed its boundary is empty, so layouts
+    // concatenate and the cost is the max over components.
+    const WidthResult sub =
+        PathwidthBnb(graph.InducedSubgraph(component)).Solve();
+    result.width = std::max(result.width, sub.width);
+    for (const int local : sub.order) result.order.push_back(component[local]);
+  }
+  return result;
+}
+
+using Kind = WidthCache::Kind;
+
+// Cache-backed driver shared by the four entry points.
+template <typename Solver>
+StatusOr<WidthResult> CachedSolve(const Graph& graph, Kind kind,
+                                  Solver&& solver, bool want_order) {
+  CTSDD_RETURN_IF_ERROR(CheckSize(graph));
+  WidthResult result;
+  if (graph.num_vertices() == 0) return result;
+  std::vector<int>* order_out = want_order ? &result.order : nullptr;
+  if (WidthCache::Global().Lookup(kind, graph, &result.width, order_out)) {
+    return result;
+  }
+  result = solver(graph);
+  WidthCache::Global().Insert(kind, graph, result.width, result.order);
+  return result;
+}
+
+// Full treewidth solve: tw <= n - 1 < n, so a cap of n is never hit.
+WidthResult SolveTreewidthExact(const Graph& graph) {
+  return SolveTreewidth(graph, graph.num_vertices());
 }
 
 }  // namespace
 
 StatusOr<int> ExactTreewidth(const Graph& graph) {
+  auto result = CachedSolve(graph, Kind::kTreewidth, SolveTreewidthExact,
+                            /*want_order=*/false);
+  CTSDD_RETURN_IF_ERROR(result.status());
+  return result->width;
+}
+
+StatusOr<int> ExactTreewidthAtMost(const Graph& graph, int cap) {
   CTSDD_RETURN_IF_ERROR(CheckSize(graph));
-  const int n = graph.num_vertices();
-  if (n == 0) return 0;
-  const auto dp = TreewidthDp(graph, nullptr);
-  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
-  return static_cast<int>(dp[full]);
+  if (graph.num_vertices() == 0) return std::min(0, cap);
+  if (cap <= 0) return cap;
+  int width;
+  if (WidthCache::Global().Lookup(Kind::kTreewidth, graph, &width,
+                                  /*order=*/nullptr)) {
+    return std::min(width, cap);
+  }
+  WidthResult result = SolveTreewidth(graph, cap);
+  if (result.width < cap) {  // conclusive: this is the exact treewidth
+    WidthCache::Global().Insert(Kind::kTreewidth, graph, result.width,
+                                std::move(result.order));
+  }
+  return result.width;
 }
 
 StatusOr<std::vector<int>> OptimalEliminationOrder(const Graph& graph) {
-  CTSDD_RETURN_IF_ERROR(CheckSize(graph));
-  const int n = graph.num_vertices();
-  if (n == 0) return std::vector<int>{};
-  std::vector<int8_t> choice;
-  TreewidthDp(graph, &choice);
-  // dp[S] used v = choice[S] as the LAST vertex eliminated among S; unwind
-  // from the full set to recover an order (first eliminated comes first).
-  std::vector<int> reversed;
-  uint32_t s = (n == 32) ? ~0u : ((1u << n) - 1);
-  while (s != 0) {
-    const int v = choice[s];
-    CTSDD_CHECK_GE(v, 0);
-    reversed.push_back(v);
-    s &= ~(1u << v);
-  }
-  std::reverse(reversed.begin(), reversed.end());
-  return reversed;
+  auto result = CachedSolve(graph, Kind::kTreewidth, SolveTreewidthExact,
+                            /*want_order=*/true);
+  CTSDD_RETURN_IF_ERROR(result.status());
+  return std::move(result->order);
 }
 
 StatusOr<int> ExactPathwidth(const Graph& graph) {
-  CTSDD_RETURN_IF_ERROR(CheckSize(graph));
-  const int n = graph.num_vertices();
-  if (n == 0) return 0;
-  const auto adj = BitAdjacency(graph);
-  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
-  // Vertex separation DP: vs(S) = min_{v in S} max(vs(S\{v}), cost(S)),
-  // cost(S) = |{u in S : u has a neighbor outside S}|. vs(V) = pathwidth.
-  std::vector<int8_t> dp(static_cast<size_t>(full) + 1, 0);
-  for (uint32_t s = 1; s <= full; ++s) {
-    int boundary = 0;
-    uint32_t rest = s;
-    while (rest != 0) {
-      const int u = std::countr_zero(rest);
-      rest &= rest - 1;
-      if ((adj[u] & ~s) != 0) ++boundary;
-    }
-    int best = std::numeric_limits<int>::max();
-    rest = s;
-    while (rest != 0) {
-      const int v = std::countr_zero(rest);
-      rest &= rest - 1;
-      best = std::min(best, static_cast<int>(dp[s & ~(1u << v)]));
-    }
-    dp[s] = static_cast<int8_t>(std::max(best, boundary));
-  }
-  return static_cast<int>(dp[full]);
+  auto result = CachedSolve(graph, Kind::kPathwidth, SolvePathwidth,
+                            /*want_order=*/false);
+  CTSDD_RETURN_IF_ERROR(result.status());
+  return result->width;
 }
 
 StatusOr<std::vector<int>> OptimalPathLayout(const Graph& graph) {
-  CTSDD_RETURN_IF_ERROR(CheckSize(graph));
-  const int n = graph.num_vertices();
-  if (n == 0) return std::vector<int>{};
-  const auto adj = BitAdjacency(graph);
-  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
-  std::vector<int8_t> dp(static_cast<size_t>(full) + 1, 0);
-  std::vector<int8_t> choice(static_cast<size_t>(full) + 1, -1);
-  for (uint32_t s = 1; s <= full; ++s) {
-    int boundary = 0;
-    uint32_t rest = s;
-    while (rest != 0) {
-      const int u = std::countr_zero(rest);
-      rest &= rest - 1;
-      if ((adj[u] & ~s) != 0) ++boundary;
-    }
-    int best = std::numeric_limits<int>::max();
-    int best_v = -1;
-    rest = s;
-    while (rest != 0) {
-      const int v = std::countr_zero(rest);
-      rest &= rest - 1;
-      const int cand = dp[s & ~(1u << v)];
-      if (cand < best) {
-        best = cand;
-        best_v = v;
-      }
-    }
-    dp[s] = static_cast<int8_t>(std::max(best, boundary));
-    choice[s] = static_cast<int8_t>(best_v);
-  }
-  std::vector<int> layout;
-  uint32_t s = full;
-  while (s != 0) {
-    const int v = choice[s];
-    layout.push_back(v);
-    s &= ~(1u << v);
-  }
-  std::reverse(layout.begin(), layout.end());
-  return layout;
+  auto result = CachedSolve(graph, Kind::kPathwidth, SolvePathwidth,
+                            /*want_order=*/true);
+  CTSDD_RETURN_IF_ERROR(result.status());
+  return std::move(result->order);
 }
 
 }  // namespace ctsdd

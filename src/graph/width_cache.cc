@@ -1,0 +1,110 @@
+#include "graph/width_cache.h"
+
+#include <utility>
+
+#include "util/hashing.h"
+
+namespace ctsdd {
+namespace {
+
+constexpr int32_t kEmptySlot = -1;
+
+uint64_t HashSignature(const std::vector<uint64_t>& signature) {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (const uint64_t word : signature) h = HashCombine(h, word);
+  return h;
+}
+
+}  // namespace
+
+WidthCache& WidthCache::Global() {
+  static WidthCache* cache = new WidthCache();
+  return *cache;
+}
+
+std::vector<uint64_t> WidthCache::Signature(Kind kind, const Graph& graph) {
+  const int n = graph.num_vertices();
+  const int words_per_row = n == 0 ? 0 : (n - 1) / 64 + 1;
+  std::vector<uint64_t> signature;
+  signature.reserve(2 + static_cast<size_t>(n) * words_per_row);
+  signature.push_back(static_cast<uint64_t>(kind));
+  signature.push_back(static_cast<uint64_t>(n));
+  for (int v = 0; v < n; ++v) {
+    size_t row = signature.size();
+    signature.resize(row + words_per_row, 0);
+    for (const int w : graph.Neighbors(v)) {
+      signature[row + w / 64] |= (1ULL << (w % 64));
+    }
+  }
+  return signature;
+}
+
+bool WidthCache::Lookup(Kind kind, const Graph& graph, int* width,
+                        std::vector<int>* order) {
+  const std::vector<uint64_t> signature = Signature(kind, graph);
+  const uint64_t hash = HashSignature(signature);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  if (slot_entry_.empty()) return false;
+  const size_t mask = slot_entry_.size() - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    const int32_t e = slot_entry_[i];
+    if (e == kEmptySlot) return false;
+    if (hashes_[i] == hash && entries_[e].signature == signature) {
+      *width = entries_[e].width;
+      if (order != nullptr) *order = entries_[e].order;
+      ++stats_.hits;
+      return true;
+    }
+  }
+}
+
+void WidthCache::Insert(Kind kind, const Graph& graph, int width,
+                        std::vector<int> order) {
+  std::vector<uint64_t> signature = Signature(kind, graph);
+  const uint64_t hash = HashSignature(signature);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot_entry_.empty()) {
+    hashes_.assign(1 << 8, 0);
+    slot_entry_.assign(1 << 8, kEmptySlot);
+  } else if ((entries_.size() + 1) * 3 > slot_entry_.size() * 2) {
+    std::vector<uint64_t> old_hashes = std::move(hashes_);
+    std::vector<int32_t> old_slots = std::move(slot_entry_);
+    hashes_.assign(old_slots.size() * 2, 0);
+    slot_entry_.assign(old_slots.size() * 2, kEmptySlot);
+    const size_t mask = slot_entry_.size() - 1;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_slots[i] == kEmptySlot) continue;
+      size_t j = old_hashes[i] & mask;
+      while (slot_entry_[j] != kEmptySlot) j = (j + 1) & mask;
+      hashes_[j] = old_hashes[i];
+      slot_entry_[j] = old_slots[i];
+    }
+  }
+  const size_t mask = slot_entry_.size() - 1;
+  size_t i = hash & mask;
+  for (; slot_entry_[i] != kEmptySlot; i = (i + 1) & mask) {
+    if (hashes_[i] == hash &&
+        entries_[slot_entry_[i]].signature == signature) {
+      return;  // already cached (concurrent solvers may race to insert)
+    }
+  }
+  hashes_[i] = hash;
+  slot_entry_[i] = static_cast<int32_t>(entries_.size());
+  entries_.push_back({std::move(signature), width, std::move(order)});
+}
+
+WidthCache::Stats WidthCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WidthCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hashes_.clear();
+  slot_entry_.clear();
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,83 @@
+// Process-wide memo of exact width results, keyed by a canonical hash of
+// the graph's adjacency structure.
+//
+// The compile pipeline recomputes exact treewidth for the same primal
+// graph over and over (vtree enumeration in compile/widths.cc re-derives
+// C_{F,T} whose primal graph depends only on the tree shape, and repeated
+// CompileWithTreewidth calls on one circuit re-solve its primal graph
+// verbatim). Exact width is a pure function of the labeled graph, so a
+// process-wide cache turns those repeats into hash lookups. Keys are the
+// full adjacency bitmask signature — equal signatures mean equal labeled
+// graphs, so hits are exact, not heuristic.
+//
+// The cache stores the optimal order alongside the width: every solver
+// run produces one, and OptimalEliminationOrder/OptimalPathLayout hit the
+// same entries as their width-only counterparts. Guarded by a mutex so
+// future parallel compile paths stay correct; entries are never evicted
+// (exact solves are only attempted at <= kMaxExactVertices, so one entry
+// is a few hundred bytes and workloads see at most thousands of distinct
+// graphs).
+
+#ifndef CTSDD_GRAPH_WIDTH_CACHE_H_
+#define CTSDD_GRAPH_WIDTH_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ctsdd {
+
+class WidthCache {
+ public:
+  enum class Kind : uint64_t { kTreewidth = 1, kPathwidth = 2 };
+
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+  };
+
+  // The process-wide instance used by the exact solvers.
+  static WidthCache& Global();
+
+  // On a hit, fills `*width` and (when non-null) `*order` with the cached
+  // exact result and returns true.
+  bool Lookup(Kind kind, const Graph& graph, int* width,
+              std::vector<int>* order);
+
+  // Records an exact result. `order` is the optimal elimination order
+  // (treewidth) or vertex layout (pathwidth) achieving `width`.
+  void Insert(Kind kind, const Graph& graph, int width,
+              std::vector<int> order);
+
+  Stats stats() const;
+
+  // Drops all entries and resets the stats (tests).
+  void Clear();
+
+  // The cache key: [kind, n, adjacency bitmask rows]. Equal signatures
+  // are equal labeled graphs of the same kind — also useful to callers
+  // that dedupe graphs before issuing uncacheable bounded queries.
+  static std::vector<uint64_t> Signature(Kind kind, const Graph& graph);
+
+ private:
+  struct Entry {
+    std::vector<uint64_t> signature;
+    int width = 0;
+    std::vector<int> order;
+  };
+
+  mutable std::mutex mu_;
+  // Open-addressed table in the unique_table.h idiom: parallel hash/index
+  // arrays with linear probing over power-of-two slots; entry payloads
+  // live out-of-line in entries_.
+  std::vector<uint64_t> hashes_;
+  std::vector<int32_t> slot_entry_;
+  std::vector<Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_GRAPH_WIDTH_CACHE_H_

@@ -1,0 +1,103 @@
+#include "graph/width_oracle.h"
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ctsdd {
+namespace {
+
+std::vector<uint32_t> BitAdjacency(const Graph& g) {
+  std::vector<uint32_t> adj(g.num_vertices(), 0);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    for (int w : g.Neighbors(v)) adj[v] |= (1u << w);
+  }
+  return adj;
+}
+
+// Q(S, v): vertices outside S∪{v} reachable from v via paths whose internal
+// vertices all lie in S. |Q(S, v)| is the degree of v when eliminated after
+// exactly the vertices of S (in the chordal completion).
+uint32_t ReachableThrough(const std::vector<uint32_t>& adj, uint32_t s,
+                          int v) {
+  uint32_t visited = (1u << v);
+  uint32_t frontier = adj[v];
+  uint32_t reach = adj[v] & ~s & ~(1u << v);
+  frontier &= s & ~visited;
+  while (frontier != 0) {
+    const int u = std::countr_zero(frontier);
+    frontier &= frontier - 1;
+    if (visited & (1u << u)) continue;
+    visited |= (1u << u);
+    reach |= adj[u] & ~s & ~(1u << v);
+    frontier |= adj[u] & s & ~visited;
+  }
+  return reach;
+}
+
+Status CheckSize(const Graph& graph) {
+  if (graph.num_vertices() > kMaxDenseOracleVertices) {
+    return Status::ResourceExhausted(
+        "dense width oracle limited to " +
+        std::to_string(kMaxDenseOracleVertices) + " vertices; got " +
+        std::to_string(graph.num_vertices()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<int> DenseExactTreewidth(const Graph& graph) {
+  CTSDD_RETURN_IF_ERROR(CheckSize(graph));
+  const int n = graph.num_vertices();
+  if (n == 0) return 0;
+  const auto adj = BitAdjacency(graph);
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  // DP over subsets: tw(S) = min_{v in S} max(|Q(S\{v}, v)|, tw(S\{v})).
+  std::vector<int8_t> dp(static_cast<size_t>(full) + 1, 0);
+  for (uint32_t s = 1; s <= full; ++s) {
+    int best = std::numeric_limits<int>::max();
+    uint32_t rest = s;
+    while (rest != 0) {
+      const int v = std::countr_zero(rest);
+      rest &= rest - 1;
+      const uint32_t without = s & ~(1u << v);
+      const int q = std::popcount(ReachableThrough(adj, without, v));
+      best = std::min(best, std::max(q, static_cast<int>(dp[without])));
+    }
+    dp[s] = static_cast<int8_t>(best);
+  }
+  return static_cast<int>(dp[full]);
+}
+
+StatusOr<int> DenseExactPathwidth(const Graph& graph) {
+  CTSDD_RETURN_IF_ERROR(CheckSize(graph));
+  const int n = graph.num_vertices();
+  if (n == 0) return 0;
+  const auto adj = BitAdjacency(graph);
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  // Vertex separation DP: vs(S) = min_{v in S} max(vs(S\{v}), cost(S)),
+  // cost(S) = |{u in S : u has a neighbor outside S}|. vs(V) = pathwidth.
+  std::vector<int8_t> dp(static_cast<size_t>(full) + 1, 0);
+  for (uint32_t s = 1; s <= full; ++s) {
+    int boundary = 0;
+    uint32_t rest = s;
+    while (rest != 0) {
+      const int u = std::countr_zero(rest);
+      rest &= rest - 1;
+      if ((adj[u] & ~s) != 0) ++boundary;
+    }
+    int best = std::numeric_limits<int>::max();
+    rest = s;
+    while (rest != 0) {
+      const int v = std::countr_zero(rest);
+      rest &= rest - 1;
+      best = std::min(best, static_cast<int>(dp[s & ~(1u << v)]));
+    }
+    dp[s] = static_cast<int8_t>(std::max(best, boundary));
+  }
+  return static_cast<int>(dp[full]);
+}
+
+}  // namespace ctsdd

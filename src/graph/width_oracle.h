@@ -1,0 +1,30 @@
+// Dense subset-DP reference implementations of exact treewidth and
+// pathwidth (the pre-branch-and-bound engine, O(2^n * n^2) time and
+// O(2^n) space).
+//
+// These exist as an *oracle*: the randomized tests cross-check the pruned
+// branch-and-bound engine in exact_treewidth.h against them, and
+// bench_exact_width uses them as the "before" baseline. They are not
+// called from any production path — use ExactTreewidth/ExactPathwidth.
+
+#ifndef CTSDD_GRAPH_WIDTH_ORACLE_H_
+#define CTSDD_GRAPH_WIDTH_ORACLE_H_
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ctsdd {
+
+// The dense DP tables are 2^n bytes; 24 vertices (16 MiB) is the ceiling
+// the old engine shipped with and is plenty for cross-checks.
+inline constexpr int kMaxDenseOracleVertices = 24;
+
+// Exact treewidth by the full Bodlaender et al. subset DP.
+StatusOr<int> DenseExactTreewidth(const Graph& graph);
+
+// Exact pathwidth (vertex separation) by the full subset DP.
+StatusOr<int> DenseExactPathwidth(const Graph& graph);
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_GRAPH_WIDTH_ORACLE_H_

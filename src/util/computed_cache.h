@@ -83,7 +83,7 @@ class ComputedCache {
   void Clear() { ++generation_; }
 
  private:
-  static constexpr size_t kInitialSlots = 1 << 12;
+  static constexpr size_t kInitialSlots = 1 << 8;
 
   struct Slot {
     uint64_t hash = 0;  // retained so live entries can move on Grow()

@@ -56,6 +56,24 @@ class ScopedMemo {
     }
   }
 
+  // Inserts the key or overwrites the value stored under an equal key.
+  // Branch-and-bound dominance memos use this to tighten a state's bound
+  // in place when the search re-reaches it along a better prefix.
+  void Upsert(uint64_t hash, const Key& key, Value value) {
+    if (!slots_.empty()) {
+      const size_t mask = slots_.size() - 1;
+      for (size_t i = hash & mask;; i = (i + 1) & mask) {
+        Slot& slot = slots_[i];
+        if (slot.stamp != generation_) break;  // free (empty or stale)
+        if (slot.key == key) {
+          slot.value = std::move(value);
+          return;
+        }
+      }
+    }
+    Insert(hash, key, std::move(value));
+  }
+
   // Inserts a key not currently present (callers always Lookup first).
   void Insert(uint64_t hash, Key key, Value value) {
     if (slots_.empty()) {
@@ -70,7 +88,7 @@ class ScopedMemo {
   size_t num_slots() const { return slots_.size(); }
 
  private:
-  static constexpr size_t kInitialSlots = 1 << 12;
+  static constexpr size_t kInitialSlots = 1 << 8;
 
   struct Slot {
     uint64_t hash = 0;
