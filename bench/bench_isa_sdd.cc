@@ -54,8 +54,9 @@ void Run(const std::string& json_path) {
     // BENCH_apply_core.json protocol.
     int sdd_size = 0;
     int obdd_size = 0;
+    IsaCompilation comp;
     const double ms = bench::MinMillis(3, [&] {
-      const IsaCompilation comp = CompileIsaOnAppendixVtree(params);
+      comp = CompileIsaOnAppendixVtree(params);
       const Circuit c = IsaCircuit(params);
       ObddManager obdd(c.Vars());
       obdd_size = obdd.Size(CompileCircuitToObdd(&obdd, c));
@@ -67,6 +68,15 @@ void Run(const std::string& json_path) {
                 params.m, params.NumVars(), WitnessSizeBound(params),
                 std::pow(params.NumVars(), 13.0 / 5.0), sdd_size, obdd_size,
                 ms);
+    // Cache hit rates and work counters from the last timed compile, so
+    // perf regressions in this artifact come with a diagnosis.
+    {
+      const std::string label =
+          "isa_k" + std::to_string(params.k) + "_m" + std::to_string(params.m);
+      bench::PrintSddDiagnostics(label.c_str(), comp.apply_cache,
+                                 comp.sem_cache, comp.apply_memo,
+                                 comp.counters);
+    }
     metrics.push_back({"isa_k" + std::to_string(params.k) + "_m" +
                            std::to_string(params.m) + "_compile_ms",
                        ms});

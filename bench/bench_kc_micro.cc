@@ -9,6 +9,7 @@
 
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,12 @@ BENCHMARK(BM_TreewidthPipeline)->Arg(8)->Arg(16)->Arg(24);
 // and computed caches, the n-ary gate folds in the compilers, and the
 // word-parallel BoolFunc kernel that CompileFuncToObdd memoizes on.
 
+void PrintSddDiagnostics(const char* label, const SddManager& m) {
+  bench::PrintSddDiagnostics(label, m.apply_cache_stats(),
+                             m.sem_cache_stats(), m.apply_memo_stats(),
+                             m.counters());
+}
+
 void RunApplyCoreSuite(const std::string& json_path) {
   std::vector<bench::JsonMetric> metrics;
   auto record = [&](const char* name, double ms) {
@@ -151,28 +158,54 @@ void RunApplyCoreSuite(const std::string& json_path) {
            ObddManager m(Iota(18));
            benchmark::DoNotOptimize(CompileFuncToObdd(&m, f));
          }));
-  record("sdd_apply_pairs12_ms", bench::MinMillis(3, [] {
-           Rng rng(314159);
-           const int n = 12, k = 8;
-           SddManager m(Vtree::Balanced(Iota(n)));
-           std::vector<SddManager::NodeId> roots;
-           for (int i = 0; i < k; ++i) {
-             roots.push_back(
-                 CompileFuncToSdd(&m, BoolFunc::Random(Iota(n), &rng)));
-           }
-           for (int i = 0; i < k; ++i) {
-             for (int j = i + 1; j < k; ++j) {
-               benchmark::DoNotOptimize(m.And(roots[i], roots[j]));
-               benchmark::DoNotOptimize(m.Or(roots[i], roots[j]));
+  {
+    // Kept alive across reps so the last rep's manager can be inspected.
+    std::unique_ptr<SddManager> last;
+    record("sdd_apply_pairs12_ms", bench::MinMillis(3, [&] {
+             Rng rng(314159);
+             const int n = 12, k = 8;
+             last = std::make_unique<SddManager>(Vtree::Balanced(Iota(n)));
+             SddManager& m = *last;
+             std::vector<SddManager::NodeId> roots;
+             for (int i = 0; i < k; ++i) {
+               roots.push_back(
+                   CompileFuncToSdd(&m, BoolFunc::Random(Iota(n), &rng)));
              }
-           }
-         }));
-  record("sdd_ladder20_compile_ms", bench::MinMillis(3, [] {
-           const Circuit c = LadderCircuit(20, 3);
-           const auto vtree = VtreeForCircuit(c);
-           SddManager m(vtree.value());
-           benchmark::DoNotOptimize(CompileCircuitToSdd(&m, c));
-         }));
+             for (int i = 0; i < k; ++i) {
+               for (int j = i + 1; j < k; ++j) {
+                 benchmark::DoNotOptimize(m.And(roots[i], roots[j]));
+                 benchmark::DoNotOptimize(m.Or(roots[i], roots[j]));
+               }
+             }
+           }));
+    PrintSddDiagnostics("pairs12", *last);
+  }
+  {
+    // Vtree-guided semantic compilation on unstructured functions: the
+    // partition path end to end (cofactor sweeps, word partitions, the
+    // semantic node cache), with no circuit applies in sight.
+    std::unique_ptr<SddManager> last;
+    record("sdd_semantic_compile_ms", bench::MinMillis(3, [&] {
+             Rng rng(8675309);
+             const int n = 14;
+             last = std::make_unique<SddManager>(Vtree::Balanced(Iota(n)));
+             for (int i = 0; i < 12; ++i) {
+               benchmark::DoNotOptimize(CompileFuncToSdd(
+                   last.get(), BoolFunc::Random(Iota(n), &rng)));
+             }
+           }));
+    PrintSddDiagnostics("semantic_compile", *last);
+  }
+  {
+    std::unique_ptr<SddManager> last;
+    record("sdd_ladder20_compile_ms", bench::MinMillis(3, [&] {
+             const Circuit c = LadderCircuit(20, 3);
+             const auto vtree = VtreeForCircuit(c);
+             last = std::make_unique<SddManager>(vtree.value());
+             benchmark::DoNotOptimize(CompileCircuitToSdd(last.get(), c));
+           }));
+    PrintSddDiagnostics("ladder20", *last);
+  }
 
   if (bench::WriteJsonSection(json_path, "kc_micro_apply_core", metrics,
                               /*append=*/false)) {

@@ -15,8 +15,46 @@
 #include <string>
 #include <vector>
 
+#include "sdd/sdd.h"
+
 namespace ctsdd {
 namespace bench {
+
+// Cache hit rates and work counters of an SDD manager, printed after SDD
+// workloads so perf regressions in the tracked artifacts come with a
+// diagnosis (did a cache hit rate drop? did element products explode?).
+// Shared by bench_kc_micro and bench_isa_sdd.
+inline void PrintSddDiagnostics(const char* label,
+                                const SddManager::CacheStats& apply_cache,
+                                const SddManager::CacheStats& sem_cache,
+                                const SddManager::CacheStats& apply_memo,
+                                const SddManager::PerfCounters& c) {
+  auto rate = [](const SddManager::CacheStats& s) {
+    return s.lookups == 0 ? 0.0
+                          : 100.0 * static_cast<double>(s.hits) /
+                                static_cast<double>(s.lookups);
+  };
+  std::printf(
+      "    [%s] apply_cache %.1f%% of %llu, sem_cache %.1f%% of %llu, "
+      "apply_memo %.1f%% of %llu\n",
+      label, rate(apply_cache),
+      static_cast<unsigned long long>(apply_cache.lookups), rate(sem_cache),
+      static_cast<unsigned long long>(sem_cache.lookups), rate(apply_memo),
+      static_cast<unsigned long long>(apply_memo.lookups));
+  std::printf(
+      "    [%s] applies %llu, products %llu, sem_hits %llu, absorb %llu, "
+      "merges %llu, nary %llu (fallbacks %llu), partitions %llu "
+      "(memo_hits %llu)\n",
+      label, static_cast<unsigned long long>(c.apply_calls),
+      static_cast<unsigned long long>(c.element_products),
+      static_cast<unsigned long long>(c.sem_apply_hits),
+      static_cast<unsigned long long>(c.absorb_collapses),
+      static_cast<unsigned long long>(c.compression_merges),
+      static_cast<unsigned long long>(c.nary_applies),
+      static_cast<unsigned long long>(c.nary_fallbacks),
+      static_cast<unsigned long long>(c.semantic_partitions),
+      static_cast<unsigned long long>(c.semantic_memo_hits));
+}
 
 // Line-buffer stdout even when piped, so partially completed sweeps
 // survive timeouts and show up in tee'd logs as they happen.

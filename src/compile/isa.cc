@@ -29,8 +29,14 @@ IsaCompilation CompileIsaOnAppendixVtree(const IsaParams& params) {
   out.num_vars = params.NumVars();
   const Circuit circuit = IsaCircuit(params);
   SddManager manager(IsaVtree(params));
+  // ISA instances fit the semantic fast path up to n = 18
+  // (kSemanticCircuitMaxVars); larger ones take the apply route.
   const SddManager::NodeId root = CompileCircuitToSdd(&manager, circuit);
   out.sdd = ComputeSddStats(manager, root);
+  out.apply_cache = manager.apply_cache_stats();
+  out.sem_cache = manager.sem_cache_stats();
+  out.apply_memo = manager.apply_memo_stats();
+  out.counters = manager.counters();
   return out;
 }
 

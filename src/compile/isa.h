@@ -21,6 +21,12 @@ struct IsaCompilation {
   IsaParams params;
   int num_vars = 0;
   SddStats sdd;  // canonical SDD on the Appendix A vtree
+  // Manager diagnostics captured at the end of the compile, so benches
+  // can report cache effectiveness and apply/compile work counters.
+  SddManager::CacheStats apply_cache;
+  SddManager::CacheStats sem_cache;
+  SddManager::CacheStats apply_memo;
+  SddManager::PerfCounters counters;
 };
 
 // Compiles ISA on T_n and reports the canonical SDD statistics. The

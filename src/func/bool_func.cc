@@ -166,6 +166,11 @@ BoolFunc BoolFunc::FromCircuitOver(const Circuit& circuit,
   return BoolFunc(std::move(vars), std::move(words));
 }
 
+BoolFunc BoolFunc::FromWords(std::vector<int> vars,
+                             std::vector<uint64_t> words) {
+  return BoolFunc(std::move(vars), std::move(words));
+}
+
 BoolFunc BoolFunc::Random(std::vector<int> vars, Rng* rng) {
   std::sort(vars.begin(), vars.end());
   CheckVarsSortedUnique(vars);
@@ -210,6 +215,29 @@ bool BoolFunc::DependsOnPosition(int position) const {
   return false;
 }
 
+uint64_t BoolFunc::WordOver(const std::vector<int>& superset) const {
+  CTSDD_CHECK_LE(num_vars(), 6);
+  return ExpandWord(words_[0], vars_, superset);
+}
+
+uint64_t BoolFunc::ExpandWord(uint64_t w, const std::vector<int>& from,
+                              const std::vector<int>& to) {
+  CTSDD_CHECK_LE(to.size(), 6u);
+  uint32_t size = 1u << from.size();
+  size_t j = 0;
+  for (size_t i = 0; i < to.size(); ++i) {
+    if (j < from.size() && from[j] == to[i]) {
+      ++j;
+      continue;
+    }
+    // Insert an irrelevant variable at position i (duplicate 2^i-groups).
+    w = DoubleGroups(w, 1 << i, size);
+    size <<= 1;
+  }
+  CTSDD_CHECK_EQ(j, from.size()) << "ExpandWord: not a variable superset";
+  return w;
+}
+
 uint64_t BoolFunc::CountModels() const {
   uint64_t count = 0;
   for (uint64_t w : words_) count += std::popcount(w);
@@ -241,14 +269,10 @@ int64_t BoolFunc::AnyModelIndex() const {
   return -1;
 }
 
-BoolFunc BoolFunc::Restrict(int var, bool value) const {
-  const auto it = std::lower_bound(vars_.begin(), vars_.end(), var);
-  CTSDD_CHECK(it != vars_.end() && *it == var)
-      << "Restrict: variable not present";
-  const int pos = static_cast<int>(it - vars_.begin());
-  std::vector<int> new_vars = vars_;
-  new_vars.erase(new_vars.begin() + pos);
-  const uint32_t new_size = table_size() >> 1;
+std::vector<uint64_t> BoolFunc::RestrictWords(const std::vector<uint64_t>& in,
+                                              int num_vars, int pos,
+                                              bool value) {
+  const uint32_t new_size = (1u << num_vars) >> 1;
   std::vector<uint64_t> words((new_size + 63) / 64, 0);
   if (pos >= 6) {
     // Whole-word blocks: keep the block with bit `pos` == value.
@@ -256,24 +280,80 @@ BoolFunc BoolFunc::Restrict(int var, bool value) const {
     const size_t offset = value ? block : 0;
     for (size_t j = 0; j < words.size(); j += block) {
       const size_t src = 2 * j + offset;
-      for (size_t i = 0; i < block; ++i) words[j + i] = words_[src + i];
+      for (size_t i = 0; i < block; ++i) words[j + i] = in[src + i];
     }
   } else {
     const int g = 1 << pos;
     if (new_size <= 32) {
-      words[0] = GatherGroups(words_[0] >> (value ? g : 0), g, new_size);
+      words[0] = GatherGroups(in[0] >> (value ? g : 0), g, new_size);
     } else {
       // Each output word packs 32 gathered bits from each of two inputs.
       for (size_t j = 0; j < words.size(); ++j) {
-        const uint64_t lo =
-            GatherGroups(words_[2 * j] >> (value ? g : 0), g, 32);
+        const uint64_t lo = GatherGroups(in[2 * j] >> (value ? g : 0), g, 32);
         const uint64_t hi =
-            GatherGroups(words_[2 * j + 1] >> (value ? g : 0), g, 32);
+            GatherGroups(in[2 * j + 1] >> (value ? g : 0), g, 32);
         words[j] = lo | (hi << 32);
       }
     }
   }
-  return BoolFunc(std::move(new_vars), std::move(words));
+  return words;
+}
+
+BoolFunc BoolFunc::Restrict(int var, bool value) const {
+  const auto it = std::lower_bound(vars_.begin(), vars_.end(), var);
+  CTSDD_CHECK(it != vars_.end() && *it == var)
+      << "Restrict: variable not present";
+  const int pos = static_cast<int>(it - vars_.begin());
+  std::vector<int> new_vars = vars_;
+  new_vars.erase(new_vars.begin() + pos);
+  return BoolFunc(std::move(new_vars),
+                  RestrictWords(words_, num_vars(), pos, value));
+}
+
+std::vector<BoolFunc> BoolFunc::CofactorsOver(
+    const std::vector<int>& on_vars) const {
+  // Positions of on_vars within vars_ (both sorted).
+  std::vector<int> positions;
+  positions.reserve(on_vars.size());
+  {
+    size_t j = 0;
+    for (size_t i = 0; i < on_vars.size(); ++i) {
+      if (i > 0) CTSDD_CHECK_LT(on_vars[i - 1], on_vars[i]);
+      while (j < vars_.size() && vars_[j] < on_vars[i]) ++j;
+      CTSDD_CHECK(j < vars_.size() && vars_[j] == on_vars[i])
+          << "CofactorsOver: variable x" << on_vars[i] << " not present";
+      positions.push_back(static_cast<int>(j));
+    }
+  }
+  std::vector<int> rest;
+  rest.reserve(vars_.size() - on_vars.size());
+  for (int v : vars_) {
+    if (!std::binary_search(on_vars.begin(), on_vars.end(), v)) {
+      rest.push_back(v);
+    }
+  }
+  // Restriction halving, highest position first so lower positions stay
+  // valid: after processing positions p_{k-1}, ..., p_j the table at index
+  // i holds the cofactor whose low bit is the value of the j-th variable
+  // (new bits are appended low), so the final order is assignment order.
+  std::vector<std::vector<uint64_t>> tables;
+  tables.reserve(1u << on_vars.size());
+  tables.push_back(words_);
+  int cur_vars = num_vars();
+  for (int j = static_cast<int>(positions.size()) - 1; j >= 0; --j) {
+    std::vector<std::vector<uint64_t>> next;
+    next.reserve(tables.size() * 2);
+    for (const auto& t : tables) {
+      next.push_back(RestrictWords(t, cur_vars, positions[j], false));
+      next.push_back(RestrictWords(t, cur_vars, positions[j], true));
+    }
+    tables = std::move(next);
+    --cur_vars;
+  }
+  std::vector<BoolFunc> out;
+  out.reserve(tables.size());
+  for (auto& t : tables) out.push_back(BoolFunc(rest, std::move(t)));
+  return out;
 }
 
 BoolFunc BoolFunc::ExpandTo(const std::vector<int>& new_vars) const {
@@ -324,23 +404,28 @@ BoolFunc BoolFunc::ExpandTo(const std::vector<int>& new_vars) const {
 }
 
 BoolFunc BoolFunc::Shrink() const {
-  std::vector<int> needed;
-  BoolFunc current = *this;
-  // Repeatedly drop one irrelevant variable (Restrict on an irrelevant
-  // variable does not change the function).
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (int pos = 0; pos < current.num_vars(); ++pos) {
-      if (!current.DependsOnPosition(pos)) {
-        current = current.Restrict(current.vars()[pos], false);
-        changed = true;
-        break;
-      }
+  // One dependence scan suffices: dropping an irrelevant variable does not
+  // change which other variables are relevant. Restrict highest positions
+  // first so the remaining positions stay valid.
+  std::vector<int> drop;
+  for (int pos = 0; pos < num_vars(); ++pos) {
+    if (!DependsOnPosition(pos)) drop.push_back(pos);
+  }
+  if (drop.empty()) return *this;
+  std::vector<int> new_vars;
+  new_vars.reserve(vars_.size() - drop.size());
+  for (int pos = 0; pos < num_vars(); ++pos) {
+    if (!std::binary_search(drop.begin(), drop.end(), pos)) {
+      new_vars.push_back(vars_[pos]);
     }
   }
-  (void)needed;
-  return current;
+  std::vector<uint64_t> words = words_;
+  int cur_vars = num_vars();
+  for (auto it = drop.rbegin(); it != drop.rend(); ++it) {
+    words = RestrictWords(words, cur_vars, *it, false);
+    --cur_vars;
+  }
+  return BoolFunc(std::move(new_vars), std::move(words));
 }
 
 BoolFunc BoolFunc::operator~() const {

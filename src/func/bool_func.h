@@ -41,6 +41,10 @@ class BoolFunc {
   // Semantics of a circuit over a caller-chosen variable superset.
   static BoolFunc FromCircuitOver(const Circuit& circuit,
                                   std::vector<int> vars);
+  // Truth table given as packed 64-bit words (bit i of word w is F at
+  // index w*64 + i); `vars` must be sorted and unique.
+  static BoolFunc FromWords(std::vector<int> vars,
+                            std::vector<uint64_t> words);
   // Uniformly random function over the given variables.
   static BoolFunc Random(std::vector<int> vars, Rng* rng);
 
@@ -55,6 +59,16 @@ class BoolFunc {
   // True if the function ignores its i-th variable.
   bool DependsOnPosition(int position) const;
 
+  // The truth table as one word over a sorted variable superset of size
+  // <= 6 (missing variables become irrelevant positions). The small-scope
+  // interchange format with SddManager's semantic layer.
+  uint64_t WordOver(const std::vector<int>& superset) const;
+  // Word-level ExpandTo: re-expresses the one-word truth table `w` over
+  // sorted variable set `from` (|from| <= 6) as a table over the sorted
+  // superset `to` (|to| <= 6).
+  static uint64_t ExpandWord(uint64_t w, const std::vector<int>& from,
+                             const std::vector<int>& to);
+
   uint64_t CountModels() const;
   bool IsConstantFalse() const;
   bool IsConstantTrue() const;
@@ -65,6 +79,14 @@ class BoolFunc {
   // Restriction by assigning global variable `var` (must be present);
   // the result is over vars() minus {var}.
   BoolFunc Restrict(int var, bool value) const;
+  // All 2^k cofactors with respect to the k listed variables (each must be
+  // present; `on_vars` must be sorted and unique), in assignment order:
+  // entry `a` is the cofactor under the assignment whose bit j is the
+  // value of the j-th listed variable, over vars() minus on_vars. This is
+  // the vtree-guided SDD compiler's partition primitive: one call yields
+  // every left-scope cofactor via word-parallel restriction halving,
+  // instead of 2^k independent Restrict chains.
+  std::vector<BoolFunc> CofactorsOver(const std::vector<int>& on_vars) const;
   // Re-expresses the function over a variable superset (new variables are
   // irrelevant to the output).
   BoolFunc ExpandTo(const std::vector<int>& new_vars) const;
@@ -100,6 +122,13 @@ class BoolFunc {
   // `op` to the truth tables one 64-entry word at a time.
   static BoolFunc CombineWords(const BoolFunc& a, const BoolFunc& b,
                                uint64_t (*op)(uint64_t, uint64_t));
+
+  // Core of Restrict on a raw table: drops position `pos` of a
+  // `num_vars`-variable table, keeping the half where that variable is
+  // `value`. Shared by Restrict and CofactorsOver.
+  static std::vector<uint64_t> RestrictWords(const std::vector<uint64_t>& in,
+                                             int num_vars, int pos,
+                                             bool value);
 
   size_t NumWords() const { return (table_size() + 63) / 64; }
   void MaskTail();

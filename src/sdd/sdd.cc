@@ -8,18 +8,104 @@
 #include "util/logging.h"
 
 namespace ctsdd {
+namespace {
+
+// Truth table word of "index bit p is set" (the positive literal pattern
+// for a variable at scope position p < 6).
+constexpr uint64_t kIndexBitSet[6] = {
+    0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+    0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL,
+};
+
+}  // namespace
 
 SddManager::SddManager(Vtree vtree, Options options)
     : vtree_(std::move(vtree)),
       apply_cache_(options.apply_cache_slots),
-      neg_cache_(options.neg_cache_slots) {
+      sem_cache_(options.sem_cache_slots, options.sem_cache_init_slots) {
   CTSDD_CHECK_GE(vtree_.root(), 0) << "vtree must be rooted";
-  // Terminal constants.
+  // Small anchors: topmost ancestor (parents before children) whose scope
+  // still fits one truth-table word.
+  anchor_of_vnode_.assign(vtree_.num_nodes(), -1);
+  anchor_mask_of_vnode_.assign(vtree_.num_nodes(), 0);
+  std::vector<int> stack = {vtree_.root()};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (static_cast<int>(vtree_.VarsBelow(v).size()) <= kSmallScopeVars) {
+      const int parent = vtree_.parent(v);
+      const int up = (parent >= 0) ? anchor_of_vnode_[parent] : -1;
+      const int anchor = (up >= 0) ? up : v;
+      anchor_of_vnode_[v] = anchor;
+      const int bits = 1 << vtree_.VarsBelow(anchor).size();
+      anchor_mask_of_vnode_[v] =
+          (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
+    }
+    if (!vtree_.is_leaf(v)) {
+      stack.push_back(vtree_.right(v));
+      stack.push_back(vtree_.left(v));
+    }
+  }
+  // Terminal constants (negations of each other).
   nodes_.push_back({Kind::kConst, false, -1, -1, nullptr, 0});
   nodes_.push_back({Kind::kConst, true, -1, -1, nullptr, 0});
+  // Constant FastInfo entries are mostly unused (constants short-circuit
+  // before any probe), but the negation links keep KnownNegation total.
+  fast_info_.push_back({kTrue, -1, 0});
+  fast_info_.push_back({kFalse, -1, ~0ULL});
   const std::vector<int>& vars = vtree_.Vars();
   const int max_var = vars.empty() ? -1 : vars.back();
   literal_ids_.assign(2 * (max_var + 1), -1);
+}
+
+void SddManager::LinkNegations(NodeId a, NodeId b) {
+  fast_info_[a].negation = b;
+  fast_info_[b].negation = a;
+}
+
+uint64_t SddManager::Hash2SemKey(int anchor, uint64_t word) {
+  return Hash2(static_cast<uint64_t>(anchor), word);
+}
+
+void SddManager::RegisterSemantic(NodeId id) {
+  const Node& n = nodes_[id];
+  const int anchor = anchor_of_vnode_[n.vnode];
+  if (anchor < 0) {
+    fast_info_.push_back({-1, -1, 0});
+    return;
+  }
+  const uint64_t mask = anchor_mask_of_vnode_[n.vnode];
+  uint64_t w = 0;
+  if (n.kind == Kind::kLiteral) {
+    const std::vector<int>& scope = vtree_.VarsBelow(anchor);
+    const int pos = static_cast<int>(
+        std::lower_bound(scope.begin(), scope.end(), n.var) - scope.begin());
+    w = (n.sense ? kIndexBitSet[pos] : ~kIndexBitSet[pos]) & mask;
+  } else {
+    // Primes and non-constant subs live below n.vnode, so they share its
+    // anchor and their words are directly composable.
+    for (uint32_t i = 0; i < n.num_elems; ++i) {
+      const auto& [p, s] = n.elems[i];
+      const uint64_t ws =
+          (s == kFalse) ? 0 : (s == kTrue) ? mask : fast_info_[s].word;
+      w |= fast_info_[p].word & ws;
+    }
+  }
+  fast_info_.push_back({-1, anchor, w});
+  sem_cache_.Store(Hash2SemKey(anchor, w), SemKey{anchor, w}, id);
+}
+
+SddManager::NodeId SddManager::LookupSemantic(int vnode, uint64_t word) {
+  const int anchor = anchor_of_vnode_[vnode];
+  CTSDD_CHECK_GE(anchor, 0);
+  if (word == 0) return kFalse;
+  if (word == anchor_mask_of_vnode_[vnode]) return kTrue;
+  NodeId hit;
+  if (sem_cache_.Lookup(Hash2SemKey(anchor, word), SemKey{anchor, word},
+                        &hit)) {
+    return hit;
+  }
+  return -1;
 }
 
 SddManager::NodeId SddManager::Literal(int var, bool positive) {
@@ -31,7 +117,11 @@ SddManager::NodeId SddManager::Literal(int var, bool positive) {
   CTSDD_CHECK_GE(leaf, 0) << "variable x" << var << " not in vtree";
   nodes_.push_back({Kind::kLiteral, positive, var, leaf, nullptr, 0});
   const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  RegisterSemantic(id);
   literal_ids_[key] = id;
+  // Complement literals are always linked: the second one created links
+  // both, so Apply's x op !x short-circuit never misses a literal pair.
+  if (literal_ids_[key ^ 1] >= 0) LinkNegations(id, literal_ids_[key ^ 1]);
   return id;
 }
 
@@ -44,9 +134,11 @@ SddManager::NodeId SddManager::MakeDecision(int vnode, Elements* elements_in) {
   CTSDD_CHECK(!elements.empty())
       << "decision with no satisfiable prime (primes must be exhaustive)";
   // Compress: merge elements with equal subs by disjoining their primes.
-  // Sorting by sub groups the merge candidates; all Apply calls happen
-  // before the unique-table probe below, so no table operation intervenes
-  // between Find and Insert.
+  // Sorting by sub turns compression into one linear merge over the runs;
+  // each run's primes (pairwise disjoint by construction) fuse with a
+  // single balanced OrN instead of a sequential pairwise-Or chain. All
+  // Apply calls happen before the unique-table probe below, so no table
+  // operation intervenes between Find and Insert.
   std::sort(elements.begin(), elements.end(),
             [](const Element& x, const Element& y) {
               return x.second != y.second ? x.second < y.second
@@ -57,8 +149,24 @@ SddManager::NodeId SddManager::MakeDecision(int vnode, Elements* elements_in) {
     const NodeId sub = elements[i].second;
     NodeId prime = elements[i].first;
     size_t j = i + 1;
-    for (; j < elements.size() && elements[j].second == sub; ++j) {
-      prime = Apply(prime, elements[j].first, Op::kOr);
+    while (j < elements.size() && elements[j].second == sub) ++j;
+    if (j - i > 1) {
+      ++counters_.compression_merges;
+      // Balanced in-place fold of the run's primes (they are pairwise
+      // disjoint, so operand sizes roughly add: pairing keeps each Or
+      // small instead of one ever-growing accumulator).
+      size_t len = j - i;
+      while (len > 1) {
+        size_t w = 0;
+        for (size_t p = 0; p + 1 < len; p += 2) {
+          elements[i + w++].first =
+              Apply(elements[i + p].first, elements[i + p + 1].first,
+                    Op::kOr);
+        }
+        if (len % 2 == 1) elements[i + w++].first = elements[i + len - 1].first;
+        len = w;
+      }
+      prime = elements[i].first;
     }
     elements[out++] = {prime, sub};
     i = j;
@@ -97,8 +205,15 @@ SddManager::NodeId SddManager::MakeDecision(int vnode, Elements* elements_in) {
   nodes_.push_back({Kind::kDecision, false, -1, vnode, stored,
                     static_cast<uint32_t>(elements.size())});
   const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  RegisterSemantic(id);
   unique_.Insert(hash, id);
   return id;
+}
+
+SddManager::NodeId SddManager::Decision(int vnode, Elements elements) {
+  CTSDD_CHECK(!vtree_.is_leaf(vnode))
+      << "decisions are normalized at internal vtree nodes";
+  return MakeDecision(vnode, &elements);
 }
 
 SddManager::ElementSpan SddManager::LiftTo(int vnode, NodeId a,
@@ -126,24 +241,21 @@ SddManager::ElementSpan SddManager::LiftTo(int vnode, NodeId a,
 SddManager::NodeId SddManager::Apply(NodeId a, NodeId b, Op op) {
   ++apply_depth_;
   const NodeId result = ApplyRec(a, b, op);
-  // The exact memo only lives for the outermost operation; resetting it
+  // The exact memos only live for the outermost operation; resetting them
   // here keeps apply memory bounded by a single operation's footprint.
-  if (--apply_depth_ == 0) apply_memo_.Reset();
+  if (--apply_depth_ == 0) {
+    apply_memo_.Reset();
+    nary_memo_.clear();
+  }
   return result;
 }
 
 SddManager::NodeId SddManager::ApplyRec(NodeId a, NodeId b, Op op) {
-  // Terminal cases.
-  if (op == Op::kAnd) {
-    if (a == kFalse || b == kFalse) return kFalse;
-    if (a == kTrue) return b;
-    if (b == kTrue) return a;
-  } else {
-    if (a == kTrue || b == kTrue) return kTrue;
-    if (a == kFalse) return b;
-    if (b == kFalse) return a;
-  }
-  if (a == b) return a;
+  ++counters_.apply_calls;
+  // Terminals, f op f, recorded negations, and the small-scope word
+  // semantics — all resolved before any cache probe.
+  const NodeId fast = FastApply(a, b, op);
+  if (fast >= 0) return fast;
   if (a > b) std::swap(a, b);
   const ApplyKey key{a, b, op};
   const uint64_t hash = Hash3(static_cast<uint64_t>(a),
@@ -153,41 +265,55 @@ SddManager::NodeId SddManager::ApplyRec(NodeId a, NodeId b, Op op) {
   if (apply_cache_.Lookup(hash, key, &cached)) return cached;
   if (apply_memo_.Lookup(hash, key, &cached)) return cached;
 
-  const Kind kind_a = nodes_[a].kind;
-  const Kind kind_b = nodes_[b].kind;
-  const int var_a = nodes_[a].var;
-  const int var_b = nodes_[b].var;
-  NodeId result;
-  if (kind_a == Kind::kLiteral && kind_b == Kind::kLiteral &&
-      var_a == var_b) {
-    // Same variable, different signs (equal handled above).
-    result = (op == Op::kAnd) ? kFalse : kTrue;
-  } else {
-    const int lca = vtree_.Lca(nodes_[a].vnode, nodes_[b].vnode);
-    CTSDD_CHECK(!vtree_.is_leaf(lca));
-    // The spans stay valid across the recursive Apply calls below: arena
-    // chunks never move and the lift stores live on this frame.
-    std::array<Element, 2> store_a, store_b;
-    const ElementSpan ea = LiftTo(lca, a, &store_a);
-    const ElementSpan eb = LiftTo(lca, b, &store_b);
-    // Depth-indexed scratch: deeper recursive frames (including the ones
-    // MakeDecision's compression spawns) use deeper buffers, so this
-    // frame's elements survive the recursion without a fresh allocation.
-    while (scratch_.size() <= rec_depth_) scratch_.emplace_back();
-    Elements& out = scratch_[rec_depth_];
-    ++rec_depth_;
-    out.clear();
-    out.reserve(ea.size() * eb.size());
-    for (const auto& [p1, s1] : ea) {
-      for (const auto& [p2, s2] : eb) {
-        const NodeId p = Apply(p1, p2, Op::kAnd);
-        if (p == kFalse) continue;
-        out.emplace_back(p, Apply(s1, s2, op));
-      }
-    }
-    result = MakeDecision(lca, &out);
-    --rec_depth_;
+  // Distinct literals of one variable are complements, caught above; the
+  // LCA of the remaining cases is internal.
+  const int lca = vtree_.Lca(nodes_[a].vnode, nodes_[b].vnode);
+  CTSDD_CHECK(!vtree_.is_leaf(lca));
+  // The spans stay valid across the recursive Apply calls below: arena
+  // chunks never move and the lift stores live on this frame.
+  std::array<Element, 2> store_a, store_b;
+  const ElementSpan ea = LiftTo(lca, a, &store_a);
+  const ElementSpan eb = LiftTo(lca, b, &store_b);
+  // Depth-indexed scratch: deeper recursive frames (including the ones
+  // MakeDecision's compression spawns) use deeper buffers, so this
+  // frame's elements survive the recursion without a fresh allocation.
+  while (scratch_.size() <= rec_depth_) scratch_.emplace_back();
+  Elements& out = scratch_[rec_depth_];
+  ++rec_depth_;
+  out.clear();
+  out.reserve(ea.size() + eb.size() + ea.size() * eb.size());
+  // Absorbing-sub collapse: a row (column) whose sub already equals the
+  // op's absorbing terminal contributes that sub on its whole prime, and
+  // since the other operand's primes are exhaustive the merged prime
+  // collapses to the row's own prime — zero applies. (The emitted rows
+  // and columns may overlap on the absorbing sub; compression disjoins
+  // them, and X | (!X & Y) = X | Y keeps the partition exact.)
+  const NodeId absorbing = (op == Op::kAnd) ? kFalse : kTrue;
+  for (const auto& [p1, s1] : ea) {
+    if (s1 == absorbing) out.emplace_back(p1, s1);
   }
+  for (const auto& [p2, s2] : eb) {
+    if (s2 == absorbing) out.emplace_back(p2, s2);
+  }
+  counters_.absorb_collapses += out.size();
+  for (const auto& [p1, s1] : ea) {
+    if (s1 == absorbing) continue;
+    for (const auto& [p2, s2] : eb) {
+      if (s2 == absorbing) continue;
+      // Inline resolution first: for unstructured operands most prime
+      // pairs are disjoint and die in FastApply's word compare without a
+      // recursive call.
+      NodeId p = FastApply(p1, p2, Op::kAnd);
+      if (p < 0) p = ApplyRec(p1, p2, Op::kAnd);
+      if (p == kFalse) continue;
+      NodeId s = (s1 == s2) ? s1 : FastApply(s1, s2, op);
+      if (s < 0) s = ApplyRec(s1, s2, op);
+      out.emplace_back(p, s);
+    }
+  }
+  counters_.element_products += out.size();
+  const NodeId result = MakeDecision(lca, &out);
+  --rec_depth_;
   apply_cache_.Store(hash, key, result);
   apply_memo_.Insert(hash, key, result);
   return result;
@@ -201,64 +327,244 @@ SddManager::NodeId SddManager::Or(NodeId a, NodeId b) {
   return Apply(a, b, Op::kOr);
 }
 
-SddManager::NodeId SddManager::AndN(std::vector<NodeId> ops) {
-  size_t out = 0;
-  for (const NodeId op : ops) {
-    if (op == kFalse) return kFalse;
-    if (op != kTrue) ops[out++] = op;
+bool SddManager::NormalizeNaryOps(std::vector<NodeId>* ops_in, Op op,
+                                  NodeId* out) {
+  std::vector<NodeId>& ops = *ops_in;
+  const NodeId absorbing = (op == Op::kAnd) ? kFalse : kTrue;
+  const NodeId identity = (op == Op::kAnd) ? kTrue : kFalse;
+  size_t n = 0;
+  for (const NodeId x : ops) {
+    if (x == absorbing) {
+      *out = absorbing;
+      return true;
+    }
+    if (x != identity) ops[n++] = x;
   }
-  ops.resize(out);
-  if (ops.empty()) return kTrue;
-  // Sequential accumulation: each conjunct constrains the accumulator, so
-  // intermediates shrink as constraints pile up (the CNF-compilation
-  // regime, where a balanced fold would first build large unconstrained
-  // halves — ~300x slower on the ladder workloads).
-  NodeId acc = ops[0];
+  ops.resize(n);
+  // Duplicate and complementary operands decide or shrink the fold before
+  // any apply runs. The sorted probe set is scratch (reused across calls
+  // to keep this allocation-free on the hot path — NormalizeNaryOps never
+  // re-enters itself): the caller's operand order is deliberate (fold
+  // locality) and must be preserved.
+  std::vector<NodeId>& sorted = nary_probe_scratch_;
+  sorted.assign(ops.begin(), ops.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const NodeId x : sorted) {
+    const NodeId nx = fast_info_[x].negation;
+    if (nx >= 0 && std::binary_search(sorted.begin(), sorted.end(), nx)) {
+      *out = absorbing;  // x op !x
+      return true;
+    }
+  }
+  if (sorted.size() < ops.size()) {
+    // Drop duplicates, keeping first occurrences in order.
+    std::vector<NodeId> seen;
+    seen.reserve(sorted.size());
+    size_t kept = 0;
+    for (const NodeId x : ops) {
+      const auto it = std::lower_bound(seen.begin(), seen.end(), x);
+      if (it != seen.end() && *it == x) continue;
+      seen.insert(it, x);
+      ops[kept++] = x;
+    }
+    ops.resize(kept);
+  }
+  if (ops.empty()) {
+    *out = identity;
+    return true;
+  }
+  if (ops.size() == 1) {
+    *out = ops[0];
+    return true;
+  }
+  return false;
+}
+
+SddManager::NodeId SddManager::ApplyN(const std::vector<NodeId>& ops, Op op) {
+  if (ops.size() == 2) return ApplyRec(ops[0], ops[1], op);
+  NaryKey key{op, ops};
+  std::sort(key.ops.begin(), key.ops.end());  // order-insensitive memo key
+  const auto it = nary_memo_.find(key);
+  if (it != nary_memo_.end()) return it->second;
+
+  int lca = nodes_[ops[0]].vnode;
   for (size_t i = 1; i < ops.size(); ++i) {
-    acc = And(acc, ops[i]);
-    if (acc == kFalse) return kFalse;
+    lca = vtree_.Lca(lca, nodes_[ops[i]].vnode);
   }
-  return acc;
+  CTSDD_CHECK(!vtree_.is_leaf(lca));
+  // Lift every operand to `lca`. Lift stores are preallocated so the
+  // spans stay valid; LiftTo may grow nodes_, never move arena chunks.
+  std::vector<std::array<Element, 2>> stores(ops.size());
+  std::vector<ElementSpan> spans(ops.size());
+  size_t product = 1;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    spans[i] = LiftTo(lca, ops[i], &stores[i]);
+    // Saturate at the cap: the running multiply must not wrap (eight
+    // 256-element operands already reach 2^64).
+    product = (product > kNaryProductCap)
+                  ? product
+                  : product * std::max<size_t>(spans[i].size(), 1);
+  }
+  NodeId result;
+  if (product > kNaryProductCap) {
+    // The meet of these partitions is too wide for one expansion; fold
+    // with binary applies, whose per-step canonicalization keeps
+    // intermediates compressed. Sequential for And (each conjunct
+    // constrains the accumulator), balanced for Or (disjuncts don't).
+    ++counters_.nary_fallbacks;
+    if (op == Op::kAnd) {
+      result = ops[0];
+      for (size_t i = 1; i < ops.size() && result != kFalse; ++i) {
+        result = ApplyRec(result, ops[i], op);
+      }
+    } else {
+      std::vector<NodeId> fold = ops;
+      while (fold.size() > 1) {
+        size_t next = 0;
+        for (size_t i = 0; i + 1 < fold.size(); i += 2) {
+          fold[next++] = ApplyRec(fold[i], fold[i + 1], op);
+        }
+        if (fold.size() % 2 == 1) fold[next++] = fold.back();
+        fold.resize(next);
+      }
+      result = fold[0];
+    }
+    nary_memo_.emplace(std::move(key), result);
+    return result;
+  }
+
+  ++counters_.nary_applies;
+  while (scratch_.size() <= rec_depth_) scratch_.emplace_back();
+  Elements& out = scratch_[rec_depth_];
+  ++rec_depth_;
+  out.clear();
+  // Absorbing-sub collapse, n-ary: an element whose sub is already the
+  // op's absorbing terminal contributes (prime, absorbing) outright (the
+  // other operands' primes are exhaustive over its prime), and the
+  // product below skips it — its cells are covered.
+  const NodeId absorbing = (op == Op::kAnd) ? kFalse : kTrue;
+  for (const ElementSpan& span : spans) {
+    for (const auto& [p, s] : span) {
+      if (s == absorbing) {
+        out.emplace_back(p, s);
+        ++counters_.absorb_collapses;
+      }
+    }
+  }
+  // Smallest element lists first: dead partial primes prune the widest
+  // subtrees of the product as early as possible.
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return spans[x].size() < spans[y].size();
+  });
+  std::vector<NodeId> subs(spans.size());
+  std::vector<NodeId> sub_ops;  // leaf fold buffer, reused across leaves
+  sub_ops.reserve(spans.size());
+  // Depth-first element product with live-prime pruning: each level picks
+  // one element of one operand, conjoining its prime into the running
+  // cell prime; a false cell prime cuts the whole subtree. Leaves fold
+  // their collected subs with a recursive n-ary apply.
+  auto dfs = [&](auto&& self, size_t level, NodeId acc) -> void {
+    if (level == spans.size()) {
+      sub_ops.assign(subs.begin(), subs.end());
+      NodeId s;
+      if (!NormalizeNaryOps(&sub_ops, op, &s)) s = ApplyN(sub_ops, op);
+      out.emplace_back(acc, s);
+      return;
+    }
+    for (const auto& [p, s] : spans[order[level]]) {
+      if (s == absorbing) continue;  // collapsed above
+      NodeId cell = p;
+      if (acc != kTrue) {
+        cell = FastApply(acc, p, Op::kAnd);
+        if (cell < 0) cell = ApplyRec(acc, p, Op::kAnd);
+      }
+      if (cell == kFalse) continue;
+      subs[level] = s;
+      self(self, level + 1, cell);
+    }
+  };
+  dfs(dfs, 0, kTrue);
+  counters_.element_products += out.size();
+  result = MakeDecision(lca, &out);
+  --rec_depth_;
+  nary_memo_.emplace(std::move(key), result);
+  return result;
+}
+
+SddManager::NodeId SddManager::AndN(std::vector<NodeId> ops) {
+  NodeId result;
+  if (NormalizeNaryOps(&ops, Op::kAnd, &result)) return result;
+  ++apply_depth_;
+  if (ops.size() <= kNaryFoldArity) {
+    // One n-ary element product: wide gates canonicalize once instead of
+    // paying MakeDecision per binary apply.
+    result = ApplyN(ops, Op::kAnd);
+  } else {
+    // Sequential accumulation: each conjunct constrains the accumulator,
+    // so intermediates shrink as constraints pile up (the CNF-compilation
+    // regime, where a balanced fold would first build large unconstrained
+    // halves — ~300x slower on the ladder workloads).
+    result = ops[0];
+    for (size_t i = 1; i < ops.size() && result != kFalse; ++i) {
+      result = ApplyRec(result, ops[i], Op::kAnd);
+    }
+  }
+  if (--apply_depth_ == 0) {
+    apply_memo_.Reset();
+    nary_memo_.clear();
+  }
+  return result;
 }
 
 SddManager::NodeId SddManager::OrN(std::vector<NodeId> ops) {
-  size_t out = 0;
-  for (const NodeId op : ops) {
-    if (op == kTrue) return kTrue;
-    if (op != kFalse) ops[out++] = op;
-  }
-  ops.resize(out);
-  if (ops.empty()) return kFalse;
-  // Balanced pairwise fold: disjuncts do not constrain each other, so a
+  NodeId result;
+  if (NormalizeNaryOps(&ops, Op::kOr, &result)) return result;
+  ++apply_depth_;
+  // Balanced chunked fold: disjuncts do not constrain each other, so a
   // sequential accumulator would re-walk an ever-growing DNF-like result
-  // per operand; pairing keeps intermediate results local.
+  // per operand; combining up to kNaryFoldArity scope-adjacent disjuncts
+  // per n-ary product keeps intermediates local and skips their pairwise
+  // canonicalization.
   while (ops.size() > 1) {
     size_t next = 0;
-    for (size_t i = 0; i + 1 < ops.size(); i += 2) {
-      const NodeId combined = Or(ops[i], ops[i + 1]);
-      if (combined == kTrue) return kTrue;
+    bool saw_true = false;
+    for (size_t i = 0; i < ops.size() && !saw_true; i += kNaryFoldArity) {
+      const size_t end = std::min(ops.size(), i + kNaryFoldArity);
+      std::vector<NodeId> chunk(ops.begin() + i, ops.begin() + end);
+      NodeId combined;
+      if (!NormalizeNaryOps(&chunk, Op::kOr, &combined)) {
+        combined = ApplyN(chunk, Op::kOr);
+      }
+      saw_true = (combined == kTrue);
       ops[next++] = combined;
     }
-    if (ops.size() % 2 == 1) ops[next++] = ops.back();
     ops.resize(next);
+    if (saw_true) {
+      ops = {kTrue};
+      break;
+    }
   }
-  return ops[0];
-}
-
-SddManager::NodeId SddManager::Not(NodeId a) {
-  ++neg_depth_;
-  const NodeId result = NotRec(a);
-  if (--neg_depth_ == 0) neg_memo_.Reset();
+  result = ops[0];
+  if (--apply_depth_ == 0) {
+    apply_memo_.Reset();
+    nary_memo_.clear();
+  }
   return result;
 }
+
+SddManager::NodeId SddManager::Not(NodeId a) { return NotRec(a); }
 
 SddManager::NodeId SddManager::NotRec(NodeId a) {
   if (a == kFalse) return kTrue;
   if (a == kTrue) return kFalse;
-  NodeId cached;
-  const uint64_t hash = HashMix64(static_cast<uint64_t>(a));
-  if (neg_cache_.Lookup(hash, a, &cached)) return cached;
-  if (neg_memo_.Lookup(hash, a, &cached)) return cached;
+  // The exact negation links are a complete, unbounded memo: every
+  // negation ever computed (and every complement literal pair) is linked,
+  // so a hit here is O(1) and a whole-diagram negation visits each
+  // unlinked node once.
+  if (fast_info_[a].negation >= 0) return fast_info_[a].negation;
   // Copy the node header: recursive calls below may grow nodes_. The
   // element pointer stays valid (arena chunks never move).
   const Node n = nodes_[a];
@@ -270,9 +576,7 @@ SddManager::NodeId SddManager::NotRec(NodeId a) {
     for (auto& [p, s] : out) s = NotRec(s);
     result = MakeDecision(n.vnode, &out);
   }
-  neg_cache_.Store(hash, a, result);
-  neg_cache_.Store(HashMix64(static_cast<uint64_t>(result)), result, a);
-  neg_memo_.Insert(hash, a, result);
+  LinkNegations(a, result);
   return result;
 }
 

@@ -18,10 +18,11 @@
 // addresses (util/arena.h); a node is (vnode, pointer, count), so the
 // unique-table probe hashes the raw element words in place instead of
 // copying an owning vector per key, and Apply can walk an operand's
-// elements while recursive calls allocate. Apply and negation results are
-// memoized in bounded computed caches (util/computed_cache.h): eviction
-// costs recomputation, never correctness — canonicity lives in the unique
-// table alone.
+// elements while recursive calls allocate. Apply results are memoized in a
+// bounded computed cache (util/computed_cache.h): eviction costs
+// recomputation, never correctness — canonicity lives in the unique table
+// alone. Negations are exact permanent links (one int per node), and the
+// apply hot path consults them to resolve f op !f without a cache probe.
 
 #ifndef CTSDD_SDD_SDD_H_
 #define CTSDD_SDD_SDD_H_
@@ -52,7 +53,12 @@ namespace ctsdd {
 // (not nested) so it can serve as a defaulted constructor argument.
 struct SddOptions {
   size_t apply_cache_slots = 1 << 22;
-  size_t neg_cache_slots = 1 << 20;
+  size_t sem_cache_slots = 1 << 21;  // (anchor, word) -> node cache
+  // The semantic cache starts at this size instead of growing from the
+  // default 256 slots: a miss there cascades into a whole recompilation
+  // of the missed function, so warm-up thrash is disproportionately
+  // expensive.
+  size_t sem_cache_init_slots = 1 << 14;
 };
 
 class SddManager {
@@ -78,6 +84,15 @@ class SddManager {
   NodeId False() const { return kFalse; }
   NodeId True() const { return kTrue; }
   NodeId Literal(int var, bool positive);
+
+  // Canonicalizes (compress + trim + hash-cons) `elements` into a decision
+  // at internal vtree node `vnode`. The caller must supply a valid
+  // partition: primes non-false, pairwise disjoint and jointly exhaustive
+  // over the left scope of `vnode`, subs within the right scope — exactly
+  // the contract Validate() checks. This is the entry point for compilers
+  // that construct partitions directly (the vtree-guided semantic compiler
+  // in sdd/sdd_compile.cc) instead of going through Apply.
+  NodeId Decision(int vnode, Elements elements);
 
   NodeId And(NodeId a, NodeId b);
   NodeId Or(NodeId a, NodeId b);
@@ -154,9 +169,61 @@ class SddManager {
     return {apply_cache_.lookups(), apply_cache_.hits(),
             apply_cache_.num_slots()};
   }
-  CacheStats neg_cache_stats() const {
-    return {neg_cache_.lookups(), neg_cache_.hits(), neg_cache_.num_slots()};
+  // The exact per-operation apply memo (second memoization level).
+  CacheStats apply_memo_stats() const {
+    return {apply_memo_.lookups(), apply_memo_.hits(),
+            apply_memo_.num_slots()};
   }
+  // The small-scope (anchor, word) -> node semantic cache.
+  CacheStats sem_cache_stats() const {
+    return {sem_cache_.lookups(), sem_cache_.hits(), sem_cache_.num_slots()};
+  }
+
+  // Work counters for the apply/compile hot paths, for benches and
+  // regression diagnosis. Monotone over the manager's lifetime.
+  struct PerfCounters {
+    uint64_t apply_calls = 0;       // ApplyRec entries (incl. recursive)
+    uint64_t element_products = 0;  // (prime, sub) pairs emitted by apply
+    uint64_t absorb_collapses = 0;  // rows/cols fused by an absorbing sub
+    uint64_t compression_merges = 0;  // equal-sub groups fused (OrN merge)
+    uint64_t nary_applies = 0;        // n-ary element-product expansions
+    uint64_t nary_fallbacks = 0;      // ApplyN product-cap binary fallbacks
+    uint64_t sem_apply_hits = 0;       // applies resolved by word semantics
+    uint64_t semantic_partitions = 0;  // semantic-compiler vtree partitions
+    uint64_t semantic_memo_hits = 0;   // semantic-compiler subfunction hits
+  };
+  const PerfCounters& counters() const { return counters_; }
+  // The semantic compiler (sdd/sdd_compile.cc) reports its partition and
+  // memo-hit counts here so one stats surface covers both pipelines.
+  PerfCounters* mutable_counters() { return &counters_; }
+
+  // The recorded negation of `a`, or -1 when not (yet) known. Complement
+  // literal pairs and every Not() result are linked eagerly, which lets
+  // Apply short-circuit f op !f without a cache probe.
+  NodeId KnownNegation(NodeId a) const { return fast_info_[a].negation; }
+
+  // --- Small-scope semantic layer ---
+  //
+  // Every vtree subtree with at most kSmallScopeVars variables has a
+  // "small anchor": its topmost ancestor whose scope still fits one
+  // 64-bit truth table. Each node normalized inside such a subtree
+  // carries its truth table word over the anchor's scope, and a bounded
+  // cache maps (anchor, word) back to the canonical node. Apply calls
+  // whose operands share an anchor then resolve by pure word arithmetic:
+  // disjoint primes return false from one AND, subsumption returns an
+  // operand, and any result function ever materialized is found without
+  // recursing — the vtree-aware semantics of the compiler, applied to the
+  // apply hot path. Cache eviction only costs recomputation; results are
+  // canonical either way.
+  static constexpr int kSmallScopeVars = 6;
+
+  // The small anchor of `vnode`, or -1 if its scope exceeds
+  // kSmallScopeVars variables.
+  int SmallAnchor(int vnode) const { return anchor_of_vnode_[vnode]; }
+  // The canonical node computing truth table `word` over the scope of
+  // `vnode`'s small anchor, or -1 when none is cached. `vnode` must have
+  // a small anchor and `word` must be masked to the anchor's table.
+  NodeId LookupSemantic(int vnode, uint64_t word);
 
   // --- Node access (read-only) ---
   enum class Kind : uint8_t { kConst, kLiteral, kDecision };
@@ -185,6 +252,15 @@ class SddManager {
  private:
   enum class Op : uint8_t { kAnd, kOr };
 
+  // Fan-in up to which AndN/OrN use the n-ary element product (ApplyN)
+  // instead of folding binary applies; above it, AndN accumulates
+  // sequentially and OrN folds ApplyN chunks of this arity.
+  static constexpr size_t kNaryFoldArity = 8;
+  // Element-product budget for one ApplyN expansion (product of operand
+  // element counts); past it the operands fall back to binary folding,
+  // whose intermediate canonicalization keeps the meet partition in check.
+  static constexpr size_t kNaryProductCap = 4096;
+
   // Canonicalizes (compress + trim + hash-cons) the elements in *elements,
   // which is consumed as scratch space. All recursive Apply calls the
   // compression needs happen before the unique-table probe.
@@ -197,7 +273,70 @@ class SddManager {
   // Apply returns, so its memory is bounded by one operation's footprint.
   NodeId Apply(NodeId a, NodeId b, Op op);
   NodeId ApplyRec(NodeId a, NodeId b, Op op);
+  // Constant-time resolution attempt, inlined into the element-product
+  // loops so the (dominant) trivially-resolvable pairs never pay a
+  // recursive call: terminals, equality, recorded negations, and the
+  // small-scope word semantics (disjointness, coverage, subsumption, and
+  // cached result functions). Returns -1 when a full ApplyRec is needed.
+  NodeId FastApply(NodeId a, NodeId b, Op op) {
+    if (op == Op::kAnd) {
+      if (a == kFalse || b == kFalse) return kFalse;
+      if (a == kTrue) return b;
+      if (b == kTrue) return a;
+    } else {
+      if (a == kTrue || b == kTrue) return kTrue;
+      if (a == kFalse) return b;
+      if (b == kFalse) return a;
+    }
+    if (a == b) return a;
+    const FastInfo& fa = fast_info_[a];
+    const FastInfo& fb = fast_info_[b];
+    if (fa.negation == b) return (op == Op::kAnd) ? kFalse : kTrue;
+    const int anchor = fa.anchor;
+    if (anchor < 0 || anchor != fb.anchor) return -1;
+    const uint64_t wr =
+        (op == Op::kAnd) ? (fa.word & fb.word) : (fa.word | fb.word);
+    NodeId hit = -1;
+    if (wr == 0) {
+      hit = kFalse;
+    } else if (wr == anchor_mask_of_vnode_[anchor]) {
+      hit = kTrue;
+    } else if (wr == fa.word) {
+      hit = a;
+    } else if (wr == fb.word) {
+      hit = b;
+    } else {
+      NodeId cached;
+      if (sem_cache_.Lookup(Hash2SemKey(anchor, wr), SemKey{anchor, wr},
+                            &cached)) {
+        hit = cached;
+      }
+    }
+    if (hit >= 0) ++counters_.sem_apply_hits;
+    return hit;
+  }
+  static uint64_t Hash2SemKey(int anchor, uint64_t word);
+  // n-ary apply: lifts all operands to their common vtree LCA and runs one
+  // pruned element product over every operand's element list — dead
+  // (false) partial primes cut whole subtrees of the product, subs combine
+  // by a recursive n-ary fold, and the result canonicalizes once instead
+  // of once per binary apply. `ops` must be constant-free and duplicate-
+  // free with >= 2 entries (NormalizeNaryOps's postcondition); order is
+  // free — the caller's sequence is preserved, and only the internal memo
+  // key is sorted. Falls back to binary folds past kNaryProductCap.
+  NodeId ApplyN(const std::vector<NodeId>& ops, Op op);
+  // Shared operand normalization for AndN/OrN/ApplyN: drops identity
+  // operands and duplicates, sorts, and detects absorbing terminals and
+  // complementary pairs. Returns true if the fold is decided immediately
+  // (result in *out).
+  bool NormalizeNaryOps(std::vector<NodeId>* ops, Op op, NodeId* out);
   NodeId NotRec(NodeId a);
+  // Records a <-> b as negations of each other (for apply short-circuits).
+  void LinkNegations(NodeId a, NodeId b);
+  // Computes and registers the semantic word of a freshly created node
+  // whose vnode has a small anchor (no-op otherwise). Must be called for
+  // every node pushed onto nodes_, in id order.
+  void RegisterSemantic(NodeId id);
   // A view of `a` as elements normalized at `vnode` (having lifted it if
   // needed); lifted literal/decision cases materialize into *store.
   ElementSpan LiftTo(int vnode, NodeId a, std::array<Element, 2>* store);
@@ -211,6 +350,35 @@ class SddManager {
     NodeId a = 0, b = 0;
     Op op = Op::kAnd;
     bool operator==(const ApplyKey&) const = default;
+  };
+  struct NaryKey {
+    Op op = Op::kAnd;
+    std::vector<NodeId> ops;  // sorted, unique, constant-free
+    bool operator==(const NaryKey&) const = default;
+  };
+  struct NaryKeyHash {
+    size_t operator()(const NaryKey& k) const {
+      uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(k.op);
+      for (const NodeId id : k.ops) {
+        h ^= static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+             (h >> 2);
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  struct SemKey {
+    int32_t anchor = -1;
+    uint64_t word = 0;
+    bool operator==(const SemKey&) const = default;
+  };
+  // Per-node record for FastApply, packed so one pair of loads answers
+  // the negation and small-scope checks: the recorded negation (-1 if
+  // unknown), the vnode's small anchor (-1 if the scope is wide), and the
+  // truth table word over the anchor scope (valid iff anchor >= 0).
+  struct FastInfo {
+    NodeId negation = -1;
+    int32_t anchor = -1;
+    uint64_t word = 0;
   };
   struct ApplyKeyHash {
     size_t operator()(const ApplyKey& k) const {
@@ -228,20 +396,34 @@ class SddManager {
   UniqueTable unique_;
   std::vector<NodeId> literal_ids_;  // (var << 1 | sign) -> id or -1
   ComputedCache<ApplyKey, NodeId> apply_cache_;
-  ComputedCache<NodeId, NodeId> neg_cache_;
   // Exact memos for the currently running top-level operation (see
   // ApplyRec): they preserve the polynomial recursion bounds that the
   // bounded lossy caches alone cannot guarantee, and are reset when the
   // outermost operation returns so memory stays bounded per operation.
   ScopedMemo<ApplyKey, NodeId> apply_memo_;
+  // Exact memo for n-ary folds within the current top-level operation
+  // (same lifetime discipline as apply_memo_).
+  std::unordered_map<NaryKey, NodeId, NaryKeyHash> nary_memo_;
   int apply_depth_ = 0;
-  ScopedMemo<NodeId, NodeId> neg_memo_;
-  int neg_depth_ = 0;
+  // One FastInfo per node (see FastApply). The negation links double as
+  // an exact, unbounded negation memo — complement literals and every
+  // NotRec result are linked eagerly — which is why there is no separate
+  // bounded negation cache.
+  std::vector<FastInfo> fast_info_;
+  // Small-scope semantic layer (see SmallAnchor): per-vtree-node anchors
+  // and masks plus the (anchor, word) -> canonical node cache.
+  std::vector<int> anchor_of_vnode_;
+  std::vector<uint64_t> anchor_mask_of_vnode_;
+  ComputedCache<SemKey, NodeId> sem_cache_;
+  PerfCounters counters_;
   // Per-recursion-depth element buffers reused across ApplyRec frames, so
   // the hot path performs no per-call allocation once warmed up. A deque
   // keeps references stable while deeper frames extend it.
   std::deque<Elements> scratch_;
   size_t rec_depth_ = 0;
+  // Scratch for NormalizeNaryOps's sorted probe set (that function never
+  // re-enters itself, so one buffer suffices).
+  std::vector<NodeId> nary_probe_scratch_;
 };
 
 }  // namespace ctsdd

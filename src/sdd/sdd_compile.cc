@@ -1,19 +1,275 @@
 #include "sdd/sdd_compile.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 
 namespace ctsdd {
+namespace {
+
+// The vtree-guided semantic compiler (the default CompileFuncToSdd route).
+//
+// Invariant: CompileShrunk(v, g) takes a subfunction g that depends on
+// every variable in g.vars() (callers shrink first), with all of those
+// variables below vtree node `v`. It descends to the minimal vtree node
+// covering the support, so the memo can key on the function alone: the
+// canonical SDD node of a function is unique for the vtree, and the node
+// it is normalized at is determined by its support.
+class SemanticSddCompiler {
+ public:
+  explicit SemanticSddCompiler(SddManager* manager)
+      : m_(manager), vt_(manager->vtree()) {}
+
+  SddManager::NodeId Compile(const BoolFunc& f) {
+    for (int v : f.vars()) {
+      CTSDD_CHECK_GE(vt_.LeafOf(v), 0)
+          << "vtree missing function variable x" << v;
+    }
+    return CompileShrunk(vt_.root(), f.Shrink());
+  }
+
+ private:
+  using NodeId = SddManager::NodeId;
+
+  bool Covers(int node, const std::vector<int>& vars) const {
+    const std::vector<int>& below = vt_.VarsBelow(node);
+    return std::includes(below.begin(), below.end(), vars.begin(),
+                         vars.end());
+  }
+
+  NodeId CompileShrunk(int v, const BoolFunc& g) {
+    if (g.IsConstantFalse()) return SddManager::kFalse;
+    if (g.IsConstantTrue()) return SddManager::kTrue;
+    // Descend to the minimal vtree node covering g's support.
+    const std::vector<int>& gv = g.vars();
+    while (!vt_.is_leaf(v)) {
+      if (Covers(vt_.left(v), gv)) {
+        v = vt_.left(v);
+      } else if (Covers(vt_.right(v), gv)) {
+        v = vt_.right(v);
+      } else {
+        break;
+      }
+    }
+    // Small-scope functions bypass the BoolFunc-keyed memo entirely: the
+    // manager's (anchor, word) cache is their memo, probes are word ops,
+    // and every node built below registers itself on creation.
+    const int anchor = m_->SmallAnchor(v);
+    if (anchor >= 0) {
+      const NodeId hit =
+          m_->LookupSemantic(v, g.WordOver(vt_.VarsBelow(anchor)));
+      if (hit >= 0) {
+        ++m_->mutable_counters()->semantic_memo_hits;
+        return hit;
+      }
+      if (vt_.is_leaf(v)) {
+        // One relevant variable: g is that literal (a constant would
+        // have been caught above, and g depends on the variable).
+        return m_->Literal(gv[0], /*positive=*/g.EvalIndex(1));
+      }
+      return Partition(v, g);
+    }
+    const auto it = memo_.find(g);
+    if (it != memo_.end()) {
+      ++m_->mutable_counters()->semantic_memo_hits;
+      return it->second;
+    }
+    const NodeId result = Partition(v, g);
+    memo_.emplace(g, result);
+    return result;
+  }
+
+  // Decomposes g at internal vtree node v (g has support on both sides of
+  // v): enumerates all left-scope cofactors in one word-parallel sweep,
+  // groups equal ones, and emits one element per distinct cofactor. The
+  // group indicator functions are the primes — exhaustive and pairwise
+  // disjoint by construction, with distinct subs, so the partition is
+  // already compressed and MakeDecision runs zero applies.
+  NodeId Partition(int v, const BoolFunc& g) {
+    ++m_->mutable_counters()->semantic_partitions;
+    const std::vector<int>& below_left = vt_.VarsBelow(vt_.left(v));
+    std::vector<int> left_vars;
+    for (int x : g.vars()) {
+      if (std::binary_search(below_left.begin(), below_left.end(), x)) {
+        left_vars.push_back(x);
+      }
+    }
+    const int k = static_cast<int>(left_vars.size());
+    CTSDD_CHECK_GE(k, 1);
+    if (m_->SmallAnchor(vt_.left(v)) >= 0 &&
+        m_->SmallAnchor(vt_.right(v)) >= 0) {
+      return WordPartition(v, g, left_vars);
+    }
+    const std::vector<BoolFunc> cofactors = g.CofactorsOver(left_vars);
+    // Group equal cofactors; build each class's prime truth table over
+    // the left variables (bit a set iff assignment a lands in the class).
+    std::unordered_map<BoolFunc, int, BoolFunc::Hasher> class_of;
+    std::vector<const BoolFunc*> reps;  // stable: map references persist
+    std::vector<std::vector<uint64_t>> prime_words;
+    const size_t words = ((1u << k) + 63) / 64;
+    for (uint32_t a = 0; a < (1u << k); ++a) {
+      const auto [slot, inserted] =
+          class_of.emplace(cofactors[a], static_cast<int>(reps.size()));
+      if (inserted) {
+        reps.push_back(&slot->first);
+        prime_words.emplace_back(words, 0);
+      }
+      prime_words[slot->second][a >> 6] |= 1ULL << (a & 63);
+    }
+    CTSDD_CHECK_GE(reps.size(), 2u);  // g depends on some left variable
+    SddManager::Elements elements;
+    elements.reserve(reps.size());
+    for (size_t c = 0; c < reps.size(); ++c) {
+      const NodeId prime = CompileShrunk(
+          vt_.left(v),
+          BoolFunc::FromWords(left_vars, std::move(prime_words[c]))
+              .Shrink());
+      const NodeId sub = CompileShrunk(vt_.right(v), reps[c]->Shrink());
+      elements.emplace_back(prime, sub);
+    }
+    return m_->Decision(v, std::move(elements));
+  }
+
+  // Partition specialization for nodes whose children both have small
+  // (one-word) scopes: cofactor enumeration, grouping, and the prime
+  // indicators all run on plain 64-bit words with no BoolFunc
+  // allocations, and primes/subs resolve through the manager's semantic
+  // layer (building a BoolFunc only on a cache miss).
+  NodeId WordPartition(int v, const BoolFunc& g,
+                       const std::vector<int>& left_vars) {
+    const int n = g.num_vars();
+    const int k = static_cast<int>(left_vars.size());
+    const int mr = n - k;
+    CTSDD_CHECK_LE(k, 6);
+    CTSDD_CHECK_GE(mr, 1);
+    CTSDD_CHECK_LE(mr, 6);
+    std::vector<int> right_vars;
+    right_vars.reserve(mr);
+    // Bit positions of the left/right variables within g's table index.
+    int pos_left[6], pos_right[6];
+    {
+      int li = 0, ri = 0;
+      for (int i = 0; i < n; ++i) {
+        if (li < k && g.vars()[i] == left_vars[li]) {
+          pos_left[li++] = i;
+        } else {
+          pos_right[ri++] = i;
+          right_vars.push_back(g.vars()[i]);
+        }
+      }
+    }
+    // Scatter tables: table index bits of each left/right assignment.
+    uint32_t scat_left[64], scat_right[64];
+    scat_left[0] = scat_right[0] = 0;
+    for (uint32_t x = 1; x < (1u << k); ++x) {
+      scat_left[x] =
+          scat_left[x & (x - 1)] | (1u << pos_left[std::countr_zero(x)]);
+    }
+    for (uint32_t x = 1; x < (1u << mr); ++x) {
+      scat_right[x] =
+          scat_right[x & (x - 1)] | (1u << pos_right[std::countr_zero(x)]);
+    }
+    // Enumerate cofactor words and group equal ones (at most 2^k <= 64
+    // classes: a linear probe beats any hash map at this size).
+    uint64_t class_word[64], prime_word[64];
+    int num_classes = 0;
+    for (uint32_t a = 0; a < (1u << k); ++a) {
+      uint64_t w = 0;
+      const uint32_t base = scat_left[a];
+      for (uint32_t b = 0; b < (1u << mr); ++b) {
+        w |= static_cast<uint64_t>(g.EvalIndex(base | scat_right[b])) << b;
+      }
+      int c = -1;
+      for (int i = 0; i < num_classes; ++i) {
+        if (class_word[i] == w) {
+          c = i;
+          break;
+        }
+      }
+      if (c < 0) {
+        c = num_classes++;
+        class_word[c] = w;
+        prime_word[c] = 0;
+      }
+      prime_word[c] |= 1ULL << a;
+    }
+    CTSDD_CHECK_GE(num_classes, 2);
+    SddManager::Elements elements;
+    elements.reserve(num_classes);
+    for (int c = 0; c < num_classes; ++c) {
+      const NodeId prime =
+          CompileSmallWord(vt_.left(v), prime_word[c], left_vars);
+      const NodeId sub =
+          CompileSmallWord(vt_.right(v), class_word[c], right_vars);
+      elements.emplace_back(prime, sub);
+    }
+    return m_->Decision(v, std::move(elements));
+  }
+
+  // Compiles the one-word function `w` over sorted `wvars` into the small
+  // subtree at `child`: constants and semantic-layer hits are O(1); only
+  // unseen functions materialize a BoolFunc and recurse.
+  NodeId CompileSmallWord(int child, uint64_t w,
+                          const std::vector<int>& wvars) {
+    const uint32_t bits = 1u << wvars.size();
+    const uint64_t full = (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
+    if (w == 0) return SddManager::kFalse;
+    if ((w & full) == full) return SddManager::kTrue;
+    const int anchor = m_->SmallAnchor(child);
+    const NodeId hit = m_->LookupSemantic(
+        child, BoolFunc::ExpandWord(w, wvars, vt_.VarsBelow(anchor)));
+    if (hit >= 0) return hit;
+    return CompileShrunk(child,
+                         BoolFunc::FromWords(wvars, {w & full}).Shrink());
+  }
+
+  SddManager* m_;
+  const Vtree& vt_;
+  std::unordered_map<BoolFunc, NodeId, BoolFunc::Hasher> memo_;
+};
+
+SddManager::NodeId CompileFuncToSddShannon(SddManager* manager,
+                                           const BoolFunc& f) {
+  std::unordered_map<BoolFunc, SddManager::NodeId, BoolFunc::Hasher> memo;
+  std::function<SddManager::NodeId(const BoolFunc&)> rec =
+      [&](const BoolFunc& g) -> SddManager::NodeId {
+    if (g.IsConstantFalse()) return manager->False();
+    if (g.IsConstantTrue()) return manager->True();
+    const auto it = memo.find(g);
+    if (it != memo.end()) return it->second;
+    const int var = g.vars()[0];
+    const SddManager::NodeId lo = rec(g.Restrict(var, false));
+    const SddManager::NodeId hi = rec(g.Restrict(var, true));
+    const SddManager::NodeId x = manager->Literal(var, true);
+    const SddManager::NodeId result = manager->Or(
+        manager->And(x, hi), manager->And(manager->Not(x), lo));
+    memo.emplace(g, result);
+    return result;
+  };
+  return rec(f);
+}
+
+}  // namespace
 
 SddManager::NodeId CompileCircuitToSdd(SddManager* manager,
                                        const Circuit& circuit) {
   CTSDD_CHECK_GE(circuit.output(), 0);
+  // Semantic fast path: for small variable counts the word-parallel
+  // circuit sweep plus the vtree-guided partition recursion replace
+  // thousands of small applies.
+  if (static_cast<int>(circuit.Vars().size()) <= kSemanticCircuitMaxVars) {
+    return CompileFuncToSdd(
+        manager, BoolFunc::FromCircuitOver(circuit, circuit.Vars()));
+  }
   // Preorder positions of vtree nodes: inputs of wide gates are sorted by
   // the position of the vtree node they are normalized at, so that
-  // scope-adjacent operands combine first in the balanced fold.
+  // scope-adjacent operands combine first in the chunked n-ary Or fold.
   const Vtree& vt = manager->vtree();
   std::vector<int> preorder(vt.num_nodes(), 0);
   {
@@ -55,7 +311,7 @@ SddManager::NodeId CompileCircuitToSdd(SddManager* manager,
         inputs.reserve(g.inputs.size());
         for (int input : g.inputs) inputs.push_back(value[input]);
         if (g.kind == GateKind::kOr) {
-          // Balanced Or fold: scope-adjacent disjuncts combine first.
+          // Or fold: scope-adjacent disjuncts combine first.
           std::stable_sort(inputs.begin(), inputs.end(),
                            [&](SddManager::NodeId a, SddManager::NodeId b) {
                              return position(a) < position(b);
@@ -76,24 +332,12 @@ SddManager::NodeId CompileCircuitToSdd(SddManager* manager,
   return value[circuit.output()];
 }
 
-SddManager::NodeId CompileFuncToSdd(SddManager* manager, const BoolFunc& f) {
-  std::unordered_map<BoolFunc, SddManager::NodeId, BoolFunc::Hasher> memo;
-  std::function<SddManager::NodeId(const BoolFunc&)> rec =
-      [&](const BoolFunc& g) -> SddManager::NodeId {
-    if (g.IsConstantFalse()) return manager->False();
-    if (g.IsConstantTrue()) return manager->True();
-    const auto it = memo.find(g);
-    if (it != memo.end()) return it->second;
-    const int var = g.vars()[0];
-    const SddManager::NodeId lo = rec(g.Restrict(var, false));
-    const SddManager::NodeId hi = rec(g.Restrict(var, true));
-    const SddManager::NodeId x = manager->Literal(var, true);
-    const SddManager::NodeId result = manager->Or(
-        manager->And(x, hi), manager->And(manager->Not(x), lo));
-    memo.emplace(g, result);
-    return result;
-  };
-  return rec(f);
+SddManager::NodeId CompileFuncToSdd(SddManager* manager, const BoolFunc& f,
+                                    SddFuncCompile strategy) {
+  if (strategy == SddFuncCompile::kShannonApply) {
+    return CompileFuncToSddShannon(manager, f);
+  }
+  return SemanticSddCompiler(manager).Compile(f);
 }
 
 SddStats ComputeSddStats(const SddManager& manager, SddManager::NodeId root) {

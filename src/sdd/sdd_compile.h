@@ -1,11 +1,31 @@
-// Compiling circuits and semantic functions into canonical SDDs via apply.
+// Compiling circuits and semantic functions into canonical SDDs.
 //
 // Because the manager maintains compressed + trimmed (canonical) form, the
 // result is *the* canonical SDD of the function for the manager's vtree,
 // regardless of the construction route (Darwiche 2011; the paper's S_{F,T}
 // in Section 3.2.2 is the same object, and compile/sdd_canonical.cc builds
-// it directly from factors — the two constructions are cross-checked in
-// the tests).
+// it directly from factors — the constructions are cross-checked in the
+// tests).
+//
+// Two routes exist for explicit functions:
+//
+//  - kVtreeSemantic (default): recurses on the vtree. At each internal
+//    node v it partitions the current subfunction into its distinct
+//    left-scope cofactors with one word-parallel BoolFunc::CofactorsOver
+//    sweep, and emits the already-compressed {(prime_i, sub_i)} partition
+//    directly — the primes are the cofactor equivalence classes, so no
+//    Shannon expansion and no Or(And, And) applies ever run. Memoized per
+//    subfunction (the minimal vtree node is determined by the
+//    subfunction's support, so the function alone is the key).
+//  - kShannonApply: the historical variable-at-a-time Shannon expansion
+//    through binary applies. Quadratically more apply work; retained as a
+//    cross-check oracle for the randomized equivalence tests.
+//
+// Circuit compilation picks the semantic route automatically when the
+// circuit's variable count makes an explicit truth table cheap (the
+// word-parallel circuit sweep plus the partition recursion beat thousands
+// of small applies by orders of magnitude); wider circuits use the
+// bottom-up apply route with the manager's n-ary folds.
 
 #ifndef CTSDD_SDD_SDD_COMPILE_H_
 #define CTSDD_SDD_SDD_COMPILE_H_
@@ -16,13 +36,24 @@
 
 namespace ctsdd {
 
-// Bottom-up apply-based compilation of a circuit. The manager's vtree must
-// contain every circuit variable.
+// Strategy for CompileFuncToSdd. kVtreeSemantic is the production path;
+// kShannonApply is the retained oracle.
+enum class SddFuncCompile { kVtreeSemantic, kShannonApply };
+
+// Largest circuit variable count routed through the semantic compiler by
+// CompileCircuitToSdd (2^18-entry tables; must be <= BoolFunc::kMaxVars).
+inline constexpr int kSemanticCircuitMaxVars = 18;
+
+// Bottom-up apply-based compilation of a circuit, with the semantic
+// fast path for small variable counts. The manager's vtree must contain
+// every circuit variable.
 SddManager::NodeId CompileCircuitToSdd(SddManager* manager,
                                        const Circuit& circuit);
 
-// Compilation of an explicit function by Shannon expansion + apply.
-SddManager::NodeId CompileFuncToSdd(SddManager* manager, const BoolFunc& f);
+// Compilation of an explicit function (see strategy notes above).
+SddManager::NodeId CompileFuncToSdd(
+    SddManager* manager, const BoolFunc& f,
+    SddFuncCompile strategy = SddFuncCompile::kVtreeSemantic);
 
 struct SddStats {
   int size = 0;       // total elements (AND gates)

@@ -26,14 +26,21 @@ namespace ctsdd {
 template <typename Key, typename Value = int32_t>
 class ComputedCache {
  public:
-  // `max_slots` is the hard size bound. The array starts small and doubles
-  // under eviction pressure until it reaches the bound.
-  // The slot array is allocated lazily on the first Store, so managers
-  // that never exercise an operation (or tiny short-lived managers, of
-  // which order-search loops create thousands) pay nothing for the cache.
-  explicit ComputedCache(size_t max_slots = 1 << 22) {
+  // `max_slots` is the hard size bound. The array starts at `init_slots`
+  // (clamped to the bound) and doubles under eviction pressure until it
+  // reaches the bound. The slot array is allocated lazily on the first
+  // Store, so managers that never exercise an operation (or tiny
+  // short-lived managers, of which order-search loops create thousands)
+  // pay nothing for the cache. Raise `init_slots` for caches whose misses
+  // trigger cascading recomputation (e.g. the SDD semantic node cache),
+  // where warm-up thrash at the default size is costlier than the array.
+  explicit ComputedCache(size_t max_slots = 1 << 22,
+                         size_t init_slots = kInitialSlots) {
     max_slots_ = 2;
     while (max_slots_ < max_slots) max_slots_ <<= 1;
+    init_slots_ = 2;
+    while (init_slots_ < init_slots) init_slots_ <<= 1;
+    init_slots_ = std::min(init_slots_, max_slots_);
   }
 
   size_t num_slots() const { return slots_.size(); }
@@ -55,7 +62,7 @@ class ComputedCache {
 
   void Store(uint64_t hash, Key key, Value value) {
     if (slots_.empty()) {
-      slots_.resize(std::min<size_t>(max_slots_, kInitialSlots));
+      slots_.resize(init_slots_);
     }
     Slot& slot = slots_[hash & (slots_.size() - 1)];
     if (slot.stamp == generation_ && !(slot.key == key)) {
@@ -104,6 +111,7 @@ class ComputedCache {
 
   std::vector<Slot> slots_;
   size_t max_slots_ = 0;
+  size_t init_slots_ = kInitialSlots;
   uint32_t generation_ = 1;
   uint64_t lookups_ = 0;
   uint64_t hits_ = 0;

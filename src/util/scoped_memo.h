@@ -44,6 +44,7 @@ class ScopedMemo {
   }
 
   bool Lookup(uint64_t hash, const Key& key, Value* out) const {
+    ++lookups_;
     if (slots_.empty()) return false;
     const size_t mask = slots_.size() - 1;
     for (size_t i = hash & mask;; i = (i + 1) & mask) {
@@ -51,6 +52,7 @@ class ScopedMemo {
       if (slot.stamp != generation_) return false;  // free (empty or stale)
       if (slot.key == key) {
         *out = slot.value;
+        ++hits_;
         return true;
       }
     }
@@ -86,6 +88,10 @@ class ScopedMemo {
   }
 
   size_t num_slots() const { return slots_.size(); }
+  // Cumulative across generations (Reset does not clear them): memo
+  // effectiveness counters for manager-level stats reporting.
+  uint64_t lookups() const { return lookups_; }
+  uint64_t hits() const { return hits_; }
 
  private:
   static constexpr size_t kInitialSlots = 1 << 8;
@@ -117,6 +123,8 @@ class ScopedMemo {
   size_t trim_slots_ = 0;
   uint64_t generation_ = 1;
   size_t live_ = 0;
+  mutable uint64_t lookups_ = 0;
+  mutable uint64_t hits_ = 0;
 };
 
 }  // namespace ctsdd

@@ -207,7 +207,6 @@ TEST(ApplyCoreSddTest, TinyCachesNeverChangeResults) {
   for (uint64_t seed = 31; seed <= 33; ++seed) {
     SddManager::Options tiny;
     tiny.apply_cache_slots = 2;
-    tiny.neg_cache_slots = 2;
     SddManager m(Vtree::Balanced(Iota(6)), tiny);
     RunSddSequence(&m, seed, 40);
   }
@@ -219,7 +218,6 @@ TEST(ApplyCoreSddTest, TinyAndDefaultCachesAgreeNodeForNode) {
   for (uint64_t seed = 41; seed <= 43; ++seed) {
     SddManager::Options tiny;
     tiny.apply_cache_slots = 2;
-    tiny.neg_cache_slots = 2;
     SddManager a(Vtree::Balanced(Iota(6)));
     SddManager b(Vtree::Balanced(Iota(6)), tiny);
     Rng rng(seed);
