@@ -1,0 +1,312 @@
+// Steady-state serving benchmark for the serve/ subsystem.
+//
+// Models a query server in front of a *changing* database: the stream
+// issues >= 10k mixed UCQ probability requests (named Section 4 families
+// plus parameterized per-constant queries, fresh weights per request)
+// while the database content is regenerated every few hundred requests
+// — same schema and tuple ids (so the same managers keep serving), new
+// random S-edges (so every generation brings genuinely novel lineage
+// functions). That is the workload where managers grow without limit
+// today: each generation's compilations deposit nodes that nothing ever
+// reclaims.
+//
+// Reported:
+//   - steady-state throughput (QPS) and latency percentiles,
+//   - plan-cache hit rate, evictions, GC runs/reclaim,
+//   - the resident-node trajectory per decile of the stream — with GC +
+//     plan eviction it plateaus; the no-GC configuration (ceiling and
+//     plan cache effectively unbounded) climbs monotonically with every
+//     database generation,
+//   - repeated-query throughput against the cold per-query compile path
+//     (CompileQuery from scratch per request, the pre-serve regime).
+//
+// --json=PATH appends machine-readable sections (see bench_util.h);
+// point it at a scratch path, then hand-merge into ../BENCH_serve.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "db/lineage.h"
+#include "db/query.h"
+#include "db/query_compile.h"
+#include "serve/query_service.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace ctsdd {
+namespace {
+
+// R/S/T over domain [n] with tuple ids fixed by construction order
+// (R: 0..n-1, S: n..n+edges-1, T: tail) and exactly `edges` random
+// S-pairs — so every generation shares the variable universe (and thus
+// the pooled managers) while computing novel lineage functions.
+Database RandomContentDb(int n, int edges, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  db.AddRelation("R", 1);
+  db.AddRelation("S", 2);
+  db.AddRelation("T", 1);
+  for (int l = 1; l <= n; ++l) db.AddTuple("R", {l}, 0.3);
+  const std::vector<int> perm = rng.Permutation(n * n);
+  for (int i = 0; i < edges; ++i) {
+    const int l = 1 + perm[i] / n;
+    const int m = 1 + perm[i] % n;
+    db.AddTuple("S", {l, m}, 0.3);
+  }
+  for (int m = 1; m <= n; ++m) db.AddTuple("T", {m}, 0.3);
+  return db;
+}
+
+std::vector<Ucq> QueryPopulation(int domain) {
+  std::vector<Ucq> queries;
+  queries.push_back(HierarchicalRSQuery());
+  queries.push_back(NonHierarchicalH0Query());
+  queries.push_back(InequalityExampleQuery());
+  for (int c = 1; c <= domain; ++c) queries.push_back(PerConstantRsQuery(c));
+  for (int c = 1; c <= domain; ++c) {
+    for (int d = c + 1; d <= domain; ++d) {
+      Ucq pair = PerConstantRsQuery(c);
+      pair.disjuncts.push_back(PerConstantRsQuery(d).disjuncts[0]);
+      queries.push_back(std::move(pair));
+    }
+  }
+  return queries;
+}
+
+struct StreamResult {
+  double qps = 0.0;
+  std::vector<int> live_per_decile;  // resident nodes at each decile
+  ServiceStats stats;
+};
+
+StreamResult RunStream(const std::vector<Ucq>& queries,
+                       const ServeOptions& options, int total_requests,
+                       int domain, int edges, int generations,
+                       int batch_size, uint64_t seed) {
+  QueryService service(options);
+  Rng rng(seed);
+  StreamResult out;
+  Timer timer;
+  const int generation_len = std::max(1, total_requests / generations);
+  std::unique_ptr<Database> db;
+  int issued = 0;
+  int next_decile = total_requests / 10;
+  while (issued < total_requests) {
+    if (issued % generation_len == 0) {
+      // A new database generation: same ids, novel content. The old
+      // generation's plans go stale in the cache (never requested
+      // again) and are shed by LRU under the bounded configuration.
+      db = std::make_unique<Database>(
+          RandomContentDb(domain, edges, seed + issued / generation_len));
+    }
+    const int n = std::min({batch_size, total_requests - issued,
+                            generation_len - issued % generation_len});
+    std::vector<QueryRequest> batch;
+    batch.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      QueryRequest request;
+      request.query = queries[rng.NextBelow(queries.size())];
+      request.db = db.get();
+      request.route = rng.NextBool(0.5) ? PlanRoute::kObdd : PlanRoute::kSdd;
+      request.strategy = VtreeStrategy::kBalanced;
+      // Fresh weights per request: plan reuse must survive them.
+      request.weights.resize(db->num_tuples());
+      for (double& p : request.weights) p = 0.1 + 0.8 * rng.NextDouble();
+      batch.push_back(std::move(request));
+    }
+    const auto responses = service.ExecuteBatch(batch);
+    for (const QueryResponse& r : responses) {
+      if (!r.status.ok()) {
+        std::fprintf(stderr, "request failed: %s\n",
+                     r.status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+    issued += n;
+    while (issued >= next_decile && out.live_per_decile.size() < 10) {
+      out.live_per_decile.push_back(service.stats().totals.live_nodes);
+      next_decile += total_requests / 10;
+    }
+  }
+  out.qps = issued / timer.ElapsedSeconds();
+  out.stats = service.stats();
+  return out;
+}
+
+void PrintTrajectory(const char* label, const StreamResult& r) {
+  std::printf("  %-7s live-nodes per decile:", label);
+  for (int v : r.live_per_decile) std::printf(" %7d", v);
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace ctsdd
+
+int main(int argc, char** argv) {
+  using namespace ctsdd;
+  std::string json_path;
+  int total_requests = 10000;
+  int domain = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      total_requests = std::atoi(argv[i] + 11);
+    }
+    if (std::strncmp(argv[i], "--domain=", 9) == 0) {
+      domain = std::atoi(argv[i] + 9);
+    }
+  }
+  // Edge count capped by the full bipartite graph (tiny domains).
+  const int edges = std::min(4 * domain, domain * domain);
+  const int generations = 20;
+
+  bench::Header("serve: steady-state mixed UCQ stream over a changing db");
+  const std::vector<Ucq> queries = QueryPopulation(domain);
+  bench::Note("domain " + std::to_string(domain) + ", " +
+              std::to_string(2 * domain + edges) + " tuples, " +
+              std::to_string(queries.size()) + " query shapes, " +
+              std::to_string(generations) + " db generations, " +
+              std::to_string(total_requests) + " requests");
+
+  // Bounded configuration: the production shape. The ceiling must sit
+  // above the largest single working set (one generation's plans in one
+  // manager) — below that, every check collects, sheds live plans, and
+  // recompiles them on the next request (GC thrash).
+  ServeOptions bounded;
+  bounded.num_shards = 4;
+  bounded.plan_cache_capacity = 48;
+  // Pools deep enough that the long-lived managers (the named queries'
+  // fixed variable set) survive the per-constant churn and rely on node
+  // GC, not wholesale retirement, to stay bounded.
+  bounded.manager_pool_capacity = 32;
+  bounded.gc_live_node_ceiling = 1 << 17;
+  bounded.gc_check_interval = 16;
+  const StreamResult gc =
+      RunStream(queries, bounded, total_requests, domain, edges, generations,
+                /*batch_size=*/64, /*seed=*/42);
+
+  // Unbounded baseline: ceiling, plan cache, and manager pools too large
+  // to ever act — the pre-serve regime where no node is ever collected
+  // and no manager ever retired.
+  ServeOptions unbounded = bounded;
+  unbounded.plan_cache_capacity = 1 << 20;
+  unbounded.manager_pool_capacity = 1 << 20;
+  unbounded.gc_live_node_ceiling = 1 << 30;
+  const StreamResult nogc =
+      RunStream(queries, unbounded, total_requests, domain, edges,
+                generations, /*batch_size=*/64, /*seed=*/42);
+
+  PrintTrajectory("gc", gc);
+  PrintTrajectory("no-gc", nogc);
+  std::printf(
+      "  [gc]    %.0f qps, hit rate %.1f%%, p50 %.3f ms, p95 %.3f ms, "
+      "p99 %.3f ms\n",
+      gc.qps, 100.0 * gc.stats.plan_hit_rate(), gc.stats.p50_ms,
+      gc.stats.p95_ms, gc.stats.p99_ms);
+  std::printf(
+      "  [gc]    gc_runs %llu, reclaimed %llu, plan evictions %llu, "
+      "final live %d (peak %d)\n",
+      static_cast<unsigned long long>(gc.stats.totals.gc_runs),
+      static_cast<unsigned long long>(gc.stats.totals.gc_reclaimed),
+      static_cast<unsigned long long>(gc.stats.totals.plan_evictions),
+      gc.stats.totals.live_nodes, gc.stats.totals.peak_live_nodes);
+  std::printf(
+      "  [no-gc] %.0f qps, hit rate %.1f%%, final live %d "
+      "(monotone growth)\n",
+      nogc.qps, 100.0 * nogc.stats.plan_hit_rate(),
+      nogc.stats.totals.live_nodes);
+
+  bench::Header("serve: repeated query vs cold per-query compile");
+  const Database steady_db = RandomContentDb(domain, edges, /*seed=*/1);
+  const Ucq repeated = NonHierarchicalH0Query();
+  const int reps = 100;
+  // Cold path: full CompileQuery (lineage + OBDD + SDD + cross-check)
+  // from scratch per request — the one-shot pipeline regime.
+  const double cold_ms = bench::MinMillis(3, [&] {
+    for (int i = 0; i < reps; ++i) {
+      auto r = CompileQuery(repeated, steady_db, VtreeStrategy::kBalanced);
+      if (!r.ok()) std::exit(1);
+    }
+  });
+  // Served path: one shard, plan cached after the first request.
+  ServeOptions single;
+  single.num_shards = 1;
+  double served_ms = 0.0;
+  {
+    QueryService service(single);
+    Rng rng(7);
+    QueryRequest request;
+    request.query = repeated;
+    request.db = &steady_db;
+    request.route = PlanRoute::kSdd;
+    (void)service.Execute(request);  // warm the plan
+    served_ms = bench::MinMillis(3, [&] {
+      for (int i = 0; i < reps; ++i) {
+        request.weights.assign(steady_db.num_tuples(),
+                               0.1 + 0.8 * rng.NextDouble());
+        (void)service.Execute(request);
+      }
+    });
+  }
+  std::printf(
+      "  cold %.3f ms/query, served %.3f ms/query (weights varied), "
+      "speedup %.1fx\n",
+      cold_ms / reps, served_ms / reps, cold_ms / served_ms);
+
+  if (!json_path.empty()) {
+    // Plateau: sampling instants are noisy (pre/post GC), so compare
+    // halves — the second half's peak must not exceed 2x the first
+    // half's (the no-GC baseline grows ~5x half-over-half here).
+    const auto& d = gc.live_per_decile;
+    const int first_half = *std::max_element(d.begin(), d.begin() + 5);
+    const int second_half = *std::max_element(d.begin() + 5, d.end());
+    const bool plateau_ok = second_half <= 2 * first_half;
+    bench::WriteJsonSection(
+        json_path, "serve_steady_state",
+        {
+            {"requests", static_cast<double>(total_requests)},
+            {"qps", gc.qps},
+            {"p50_ms", gc.stats.p50_ms},
+            {"p95_ms", gc.stats.p95_ms},
+            {"p99_ms", gc.stats.p99_ms},
+            {"plan_hit_rate", gc.stats.plan_hit_rate()},
+            {"plan_evictions",
+             static_cast<double>(gc.stats.totals.plan_evictions)},
+            {"gc_runs", static_cast<double>(gc.stats.totals.gc_runs)},
+            {"gc_reclaimed",
+             static_cast<double>(gc.stats.totals.gc_reclaimed)},
+            {"final_live_nodes",
+             static_cast<double>(gc.stats.totals.live_nodes)},
+            {"peak_live_nodes",
+             static_cast<double>(gc.stats.totals.peak_live_nodes)},
+            {"plateau_ok", plateau_ok ? 1.0 : 0.0},
+        },
+        /*append=*/true);
+    bench::WriteJsonSection(
+        json_path, "serve_unbounded_baseline",
+        {
+            {"qps", nogc.qps},
+            {"second_decile_live_nodes",
+             static_cast<double>(nogc.live_per_decile[1])},
+            {"final_live_nodes",
+             static_cast<double>(nogc.stats.totals.live_nodes)},
+        },
+        /*append=*/true);
+    bench::WriteJsonSection(
+        json_path, "serve_repeated_vs_cold",
+        {
+            {"cold_ms_per_query", cold_ms / reps},
+            {"served_ms_per_query", served_ms / reps},
+            {"speedup", cold_ms / served_ms},
+        },
+        /*append=*/true);
+  }
+  return 0;
+}

@@ -34,6 +34,9 @@ class Database {
   int num_tuples() const { return static_cast<int>(tuple_probs_.size()); }
 
   bool HasRelation(const std::string& name) const;
+  // Relation names in declaration (index) order, for callers that iterate
+  // the whole schema (e.g. content signatures in serve/).
+  const std::vector<std::string>& RelationNames() const { return names_; }
   int RelationArity(const std::string& name) const;
   const std::vector<DbTuple>& TuplesOf(const std::string& name) const;
 

@@ -108,6 +108,15 @@ Ucq NonHierarchicalH0Query() {
   return q;
 }
 
+Ucq PerConstantRsQuery(int c) {
+  Ucq q;
+  ConjunctiveQuery cq;
+  cq.atoms.push_back({"R", {EncodeConstant(c)}});
+  cq.atoms.push_back({"S", {EncodeConstant(c), 0}});
+  q.disjuncts.push_back(std::move(cq));
+  return q;
+}
+
 Ucq DistinctPairQuery() {
   Ucq q;
   ConjunctiveQuery cq;

@@ -74,6 +74,11 @@ Ucq InequalityExampleQuery();
 // constant width" witness).
 Ucq DistinctPairQuery();
 
+// R(c), S(c, y) for a fixed constant c: one distinct lineage function
+// per constant over a shared database — the parameterized long tail the
+// serving benchmarks and GC stress tests sample from.
+Ucq PerConstantRsQuery(int c);
+
 }  // namespace ctsdd
 
 #endif  // CTSDD_DB_QUERY_H_

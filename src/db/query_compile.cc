@@ -21,6 +21,20 @@ std::string QueryCompilation::DebugString() const {
   return os.str();
 }
 
+StatusOr<Vtree> VtreeForStrategy(const Circuit& circuit,
+                                 const std::vector<int>& vars,
+                                 VtreeStrategy strategy) {
+  switch (strategy) {
+    case VtreeStrategy::kRightLinear:
+      return Vtree::RightLinear(vars);
+    case VtreeStrategy::kBalanced:
+      return Vtree::Balanced(vars);
+    case VtreeStrategy::kFromTreewidth:
+      return VtreeForCircuit(circuit);
+  }
+  return Status::InvalidArgument("unknown vtree strategy");
+}
+
 StatusOr<QueryCompilation> CompileQuery(const Ucq& query, const Database& db,
                                         VtreeStrategy strategy) {
   auto lineage = BuildLineage(query, db);
@@ -52,21 +66,9 @@ StatusOr<QueryCompilation> CompileQuery(const Ucq& query, const Database& db,
     // Constant lineage.
     sdd_prob = obdd_prob;
   } else {
-    Vtree vtree;
-    switch (strategy) {
-      case VtreeStrategy::kRightLinear:
-        vtree = Vtree::RightLinear(vars);
-        break;
-      case VtreeStrategy::kBalanced:
-        vtree = Vtree::Balanced(vars);
-        break;
-      case VtreeStrategy::kFromTreewidth: {
-        auto from_tw = VtreeForCircuit(circuit);
-        CTSDD_RETURN_IF_ERROR(from_tw.status());
-        vtree = from_tw.value();
-        break;
-      }
-    }
+    auto vtree_or = VtreeForStrategy(circuit, vars, strategy);
+    CTSDD_RETURN_IF_ERROR(vtree_or.status());
+    Vtree vtree = std::move(vtree_or).value();
     SddManager sdd(vtree);
     const auto sdd_root = CompileCircuitToSdd(&sdd, circuit);
     const SddStats stats = ComputeSddStats(sdd, sdd_root);

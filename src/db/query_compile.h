@@ -7,12 +7,16 @@
 
 #include <string>
 
+#include <vector>
+
+#include "circuit/circuit.h"
 #include "db/database.h"
 #include "db/lineage.h"
 #include "db/query.h"
 #include "obdd/obdd.h"
 #include "sdd/sdd.h"
 #include "util/status.h"
+#include "vtree/vtree.h"
 
 namespace ctsdd {
 
@@ -21,6 +25,13 @@ enum class VtreeStrategy {
   kBalanced,
   kFromTreewidth,  // Lemma 1 vtree from the lineage circuit
 };
+
+// The vtree the given strategy prescribes for compiling `circuit`, whose
+// sorted variable set is `vars` (non-empty). Shared by the one-shot
+// CompileQuery below and the serve/ layer's plan compiler.
+StatusOr<Vtree> VtreeForStrategy(const Circuit& circuit,
+                                 const std::vector<int>& vars,
+                                 VtreeStrategy strategy);
 
 struct QueryCompilation {
   int num_tuples = 0;

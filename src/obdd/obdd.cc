@@ -29,6 +29,7 @@ int ObddManager::LevelOf(int var) const {
 }
 
 ObddManager::NodeId ObddManager::MakeNode(int level, NodeId lo, NodeId hi) {
+  thread_check_.Check();
   if (lo == hi) return lo;  // reduction rule
   CTSDD_CHECK_LT(level, nodes_[lo].level);
   CTSDD_CHECK_LT(level, nodes_[hi].level);
@@ -40,10 +41,93 @@ ObddManager::NodeId ObddManager::MakeNode(int level, NodeId lo, NodeId hi) {
     return n.level == level && n.lo == lo && n.hi == hi;
   });
   if (found != UniqueTable::kEmpty) return found;
-  nodes_.push_back({level, lo, hi});
-  const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  NodeId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    nodes_[id] = {level, lo, hi};
+  } else {
+    nodes_.push_back({level, lo, hi});
+    id = static_cast<NodeId>(nodes_.size()) - 1;
+  }
   unique_.Insert(hash, id);
   return id;
+}
+
+void ObddManager::AddRootRef(NodeId id) {
+  thread_check_.Check();
+  if (IsTerminal(id)) return;
+  CTSDD_CHECK_NE(nodes_[id].level, kDeadLevel);
+  if (external_refs_.size() < nodes_.size()) {
+    external_refs_.resize(nodes_.size(), 0);
+  }
+  ++external_refs_[id];
+}
+
+void ObddManager::ReleaseRootRef(NodeId id) {
+  thread_check_.Check();
+  if (IsTerminal(id)) return;
+  CTSDD_CHECK(id >= 0 && static_cast<size_t>(id) < external_refs_.size() &&
+              external_refs_[id] > 0)
+      << "ReleaseRootRef without a matching AddRootRef";
+  --external_refs_[id];
+}
+
+size_t ObddManager::GarbageCollect() {
+  thread_check_.Check();
+  CTSDD_CHECK_EQ(op_depth_, 0) << "GC inside an operation";
+  ++gc_stats_.runs;
+  // Mark from the registered external roots.
+  std::vector<bool> marked(nodes_.size(), false);
+  marked[kFalse] = marked[kTrue] = true;
+  std::vector<NodeId> stack;
+  for (size_t id = 0; id < external_refs_.size(); ++id) {
+    if (external_refs_[id] > 0) stack.push_back(static_cast<NodeId>(id));
+  }
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (marked[u]) continue;
+    marked[u] = true;
+    stack.push_back(nodes_[u].lo);
+    stack.push_back(nodes_[u].hi);
+  }
+  // Sweep: dead internal nodes go to the free list; the unique table is
+  // rebuilt over the survivors (open addressing cannot delete in place).
+  size_t live = 0;
+  for (size_t id = 2; id < nodes_.size(); ++id) {
+    if (marked[id] && nodes_[id].level != kDeadLevel) ++live;
+  }
+  unique_.Clear(live);
+  size_t reclaimed = 0;
+  for (size_t id = 2; id < nodes_.size(); ++id) {
+    Node& n = nodes_[id];
+    if (n.level == kDeadLevel) continue;  // already on the free list
+    if (!marked[id]) {
+      n = {kDeadLevel, -1, -1};
+      free_ids_.push_back(static_cast<NodeId>(id));
+      ++reclaimed;
+      continue;
+    }
+    unique_.Insert(Hash3(static_cast<uint64_t>(n.level),
+                         static_cast<uint64_t>(n.lo),
+                         static_cast<uint64_t>(n.hi)),
+                   static_cast<int32_t>(id));
+  }
+  // Freed ids may be reused, so cached results naming them must go.
+  ite_cache_.Clear();
+  nary_cache_.Clear();
+  gc_stats_.reclaimed += reclaimed;
+  return reclaimed;
+}
+
+void ObddManager::ShrinkCaches() {
+  thread_check_.Check();
+  CTSDD_CHECK_EQ(op_depth_, 0) << "ShrinkCaches inside an operation";
+  ite_cache_.Shrink();
+  nary_cache_.Shrink();
+  ite_memo_.Shrink();
+  nary_memo_.Shrink();
 }
 
 ObddManager::NodeId ObddManager::Literal(int var, bool positive) {
@@ -64,6 +148,7 @@ ObddManager::NodeId ObddManager::CofactorHi(NodeId f, int level) const {
 }
 
 ObddManager::NodeId ObddManager::Ite(NodeId f, NodeId g, NodeId h) {
+  thread_check_.Check();
   ++op_depth_;
   const NodeId result = IteRec(f, g, h);
   LeaveOp();
@@ -113,6 +198,7 @@ ObddManager::NodeId ObddManager::Xor(NodeId f, NodeId g) {
 
 ObddManager::NodeId ObddManager::ApplyN(std::vector<NodeId> ops,
                                         bool is_and) {
+  thread_check_.Check();
   ++op_depth_;
   const NodeId result = ApplyNRec(std::move(ops), is_and);
   LeaveOp();

@@ -25,6 +25,7 @@
 #include "util/logging.h"
 #include "util/scoped_memo.h"
 #include "util/status.h"
+#include "util/thread_check.h"
 #include "util/unique_table.h"
 
 namespace ctsdd {
@@ -107,8 +108,53 @@ class ObddManager {
   // Nodes per level, for profile plots.
   std::vector<int> LevelProfile(NodeId f) const;
 
-  // Total nodes ever created (manager footprint).
+  // Total node slots ever created (manager footprint high-water mark).
   int NumNodes() const { return static_cast<int>(nodes_.size()); }
+  // Nodes currently resident (slots minus the GC free list), terminals
+  // included. This is the quantity a long-running service bounds.
+  int NumLiveNodes() const {
+    return static_cast<int>(nodes_.size() - free_ids_.size());
+  }
+
+  // --- Memory lifecycle -------------------------------------------------
+  //
+  // The manager never frees nodes on its own: canonicity requires every
+  // reachable node to stay in the unique table, and the manager cannot
+  // see which ids a caller still holds. Callers that want collection
+  // register the roots they care about; GarbageCollect() then marks from
+  // the registered roots (plus the terminals), sweeps every unreachable
+  // internal node onto a free list for MakeNode to reuse, and rebuilds
+  // the unique table over the survivors. Live node ids never change, so
+  // held NodeIds of protected roots (and anything they reach) stay valid,
+  // and recompiling a collected function reproduces pointer-identical ids
+  // for every surviving subgraph (canonicity is preserved — the tests pin
+  // this down). The computed caches are invalidated (freed ids may be
+  // reused) but that only costs recomputation.
+
+  // Registers `id` as an external root (ref-counted: k calls require k
+  // releases). Terminals need no protection.
+  void AddRootRef(NodeId id);
+  // Drops one reference added by AddRootRef.
+  void ReleaseRootRef(NodeId id);
+
+  // Mark-from-roots collection; returns the number of nodes reclaimed.
+  // Must not be called from inside an operation (apply depth 0).
+  size_t GarbageCollect();
+
+  // Returns the computed caches and per-operation memos to their initial
+  // footprint (contents dropped — only recomputation cost). Pair with
+  // GarbageCollect() when a service wants a manager back to baseline.
+  void ShrinkCaches();
+
+  struct GcStats {
+    uint64_t runs = 0;       // GarbageCollect() invocations
+    uint64_t reclaimed = 0;  // nodes freed across all runs
+  };
+  const GcStats& gc_stats() const { return gc_stats_; }
+
+  // Releases thread-affinity (debug builds assert single-threaded use);
+  // the next operation binds the manager to its calling thread.
+  void DetachOwningThread() { thread_check_.Detach(); }
 
   struct Node {
     int level;  // index into var_order_
@@ -155,6 +201,14 @@ class ObddManager {
   ScopedMemo<IteKey, NodeId> ite_memo_;
   ScopedMemo<NaryKey, NodeId> nary_memo_;
   int op_depth_ = 0;
+  // GC state: external root ref-counts (indexed by node id, lazily grown)
+  // and the free list MakeNode pops before growing nodes_. A freed slot's
+  // level is set to kDeadLevel so stale-id use trips level checks fast.
+  static constexpr int kDeadLevel = -2;
+  std::vector<int32_t> external_refs_;
+  std::vector<NodeId> free_ids_;
+  GcStats gc_stats_;
+  ThreadChecker thread_check_;
 };
 
 }  // namespace ctsdd

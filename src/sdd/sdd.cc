@@ -67,32 +67,51 @@ uint64_t SddManager::Hash2SemKey(int anchor, uint64_t word) {
   return Hash2(static_cast<uint64_t>(anchor), word);
 }
 
+uint64_t SddManager::DecisionHash(int vnode, ElementSpan elements) {
+  uint64_t hash = HashMix64(static_cast<uint64_t>(vnode));
+  for (const auto& [p, s] : elements) {
+    hash = HashCombine(hash, (static_cast<uint64_t>(p) << 32) |
+                                 static_cast<uint32_t>(s));
+  }
+  return hash;
+}
+
 void SddManager::RegisterSemantic(NodeId id) {
   const Node& n = nodes_[id];
   const int anchor = anchor_of_vnode_[n.vnode];
-  if (anchor < 0) {
-    fast_info_.push_back({-1, -1, 0});
-    return;
-  }
-  const uint64_t mask = anchor_mask_of_vnode_[n.vnode];
-  uint64_t w = 0;
-  if (n.kind == Kind::kLiteral) {
-    const std::vector<int>& scope = vtree_.VarsBelow(anchor);
-    const int pos = static_cast<int>(
-        std::lower_bound(scope.begin(), scope.end(), n.var) - scope.begin());
-    w = (n.sense ? kIndexBitSet[pos] : ~kIndexBitSet[pos]) & mask;
-  } else {
-    // Primes and non-constant subs live below n.vnode, so they share its
-    // anchor and their words are directly composable.
-    for (uint32_t i = 0; i < n.num_elems; ++i) {
-      const auto& [p, s] = n.elems[i];
-      const uint64_t ws =
-          (s == kFalse) ? 0 : (s == kTrue) ? mask : fast_info_[s].word;
-      w |= fast_info_[p].word & ws;
+  FastInfo info{-1, -1, 0};
+  if (anchor >= 0) {
+    const uint64_t mask = anchor_mask_of_vnode_[n.vnode];
+    uint64_t w = 0;
+    if (n.kind == Kind::kLiteral) {
+      const std::vector<int>& scope = vtree_.VarsBelow(anchor);
+      const int pos = static_cast<int>(
+          std::lower_bound(scope.begin(), scope.end(), n.var) - scope.begin());
+      w = (n.sense ? kIndexBitSet[pos] : ~kIndexBitSet[pos]) & mask;
+    } else {
+      // Primes and non-constant subs live below n.vnode, so they share its
+      // anchor and their words are directly composable.
+      for (uint32_t i = 0; i < n.num_elems; ++i) {
+        const auto& [p, s] = n.elems[i];
+        const uint64_t ws =
+            (s == kFalse) ? 0 : (s == kTrue) ? mask : fast_info_[s].word;
+        w |= fast_info_[p].word & ws;
+      }
     }
+    info = {-1, anchor, w};
   }
-  fast_info_.push_back({-1, anchor, w});
-  sem_cache_.Store(Hash2SemKey(anchor, w), SemKey{anchor, w}, id);
+  // Fresh nodes append; nodes created in a GC-recycled slot overwrite the
+  // dead entry in place.
+  if (static_cast<size_t>(id) < fast_info_.size()) {
+    fast_info_[id] = info;
+  } else {
+    CTSDD_CHECK_EQ(fast_info_.size(), static_cast<size_t>(id));
+    fast_info_.push_back(info);
+  }
+  if (anchor >= 0) {
+    sem_cache_.Store(Hash2SemKey(anchor, info.word),
+                     SemKey{anchor, info.word}, id);
+  }
 }
 
 SddManager::NodeId SddManager::LookupSemantic(int vnode, uint64_t word) {
@@ -108,15 +127,137 @@ SddManager::NodeId SddManager::LookupSemantic(int vnode, uint64_t word) {
   return -1;
 }
 
+namespace {
+// Dead-slot sentinel: a freed node reads as a constant with var == -2
+// until MakeDecision/Literal recycles its id (real constants never enter
+// the sweep — ids 0/1 are skipped — and live literals have var >= 0).
+constexpr int kDeadVar = -2;
+}  // namespace
+
+void SddManager::AddRootRef(NodeId id) {
+  thread_check_.Check();
+  if (IsConst(id)) return;
+  CTSDD_CHECK_NE(nodes_[id].var, kDeadVar) << "AddRootRef on a freed node";
+  if (external_refs_.size() < nodes_.size()) {
+    external_refs_.resize(nodes_.size(), 0);
+  }
+  ++external_refs_[id];
+}
+
+void SddManager::ReleaseRootRef(NodeId id) {
+  thread_check_.Check();
+  if (IsConst(id)) return;
+  CTSDD_CHECK(id >= 0 && static_cast<size_t>(id) < external_refs_.size() &&
+              external_refs_[id] > 0)
+      << "ReleaseRootRef without a matching AddRootRef";
+  --external_refs_[id];
+}
+
+size_t SddManager::GarbageCollect() {
+  thread_check_.Check();
+  CTSDD_CHECK_EQ(apply_depth_, 0) << "GC inside an operation";
+  ++gc_stats_.runs;
+  // Mark from the permanent roots (constants, literals) and every node
+  // holding an external reference.
+  std::vector<bool> marked(nodes_.size(), false);
+  marked[kFalse] = marked[kTrue] = true;
+  std::vector<NodeId> stack;
+  for (const NodeId lit : literal_ids_) {
+    if (lit >= 0) stack.push_back(lit);
+  }
+  for (size_t id = 0; id < external_refs_.size(); ++id) {
+    if (external_refs_[id] > 0) stack.push_back(static_cast<NodeId>(id));
+  }
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (marked[u]) continue;
+    marked[u] = true;
+    const Node& n = nodes_[u];
+    for (uint32_t i = 0; i < n.num_elems; ++i) {
+      stack.push_back(n.elems[i].first);
+      stack.push_back(n.elems[i].second);
+    }
+  }
+  // Rebuild the unique table over the surviving decisions (open
+  // addressing cannot delete in place), sweeping dead nodes onto the id
+  // free list and recycling their element spans by exact size.
+  size_t live_decisions = 0;
+  for (size_t id = 2; id < nodes_.size(); ++id) {
+    if (marked[id] && nodes_[id].kind == Kind::kDecision) ++live_decisions;
+  }
+  unique_.Clear(live_decisions);
+  size_t reclaimed = 0;
+  for (size_t id = 2; id < nodes_.size(); ++id) {
+    Node& n = nodes_[id];
+    if (n.var == kDeadVar && n.kind == Kind::kConst) continue;  // still free
+    if (!marked[id]) {
+      if (n.kind == Kind::kDecision && n.num_elems > 0) {
+        free_elements_[n.num_elems].push_back(const_cast<Element*>(n.elems));
+      }
+      n = {Kind::kConst, false, kDeadVar, -1, nullptr, 0};
+      fast_info_[id] = {-1, -1, 0};
+      free_ids_.push_back(static_cast<NodeId>(id));
+      ++reclaimed;
+      continue;
+    }
+    if (n.kind == Kind::kDecision) {
+      unique_.Insert(DecisionHash(n.vnode, {n.elems, n.num_elems}),
+                     static_cast<int32_t>(id));
+    }
+  }
+  // Sever negation links into collected nodes: the link slots are id-
+  // valued, and a freed id may be recycled by an unrelated function.
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    if (!marked[id]) continue;
+    NodeId& neg = fast_info_[id].negation;
+    if (neg >= 0 && !marked[neg]) neg = -1;
+  }
+  // Caches hold freed ids; invalidate them, then re-register the
+  // survivors' semantic words so FastApply does not cold-start.
+  apply_cache_.Clear();
+  sem_cache_.Clear();
+  RebuildSemanticCache();
+  gc_stats_.reclaimed += reclaimed;
+  return reclaimed;
+}
+
+void SddManager::RebuildSemanticCache() {
+  for (size_t id = 2; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    // Non-terminal kConst slots are dead sentinels (real constants are
+    // ids 0 and 1, skipped above).
+    if (n.kind == Kind::kConst) continue;
+    const FastInfo& fi = fast_info_[id];
+    if (fi.anchor >= 0) {
+      sem_cache_.Store(Hash2SemKey(fi.anchor, fi.word),
+                       SemKey{fi.anchor, fi.word}, static_cast<NodeId>(id));
+    }
+  }
+}
+
+void SddManager::ShrinkCaches() {
+  thread_check_.Check();
+  CTSDD_CHECK_EQ(apply_depth_, 0) << "ShrinkCaches inside an operation";
+  apply_cache_.Shrink();
+  apply_memo_.Shrink();
+  scratch_.clear();
+  // The semantic cache backs an invariant (live small-scope functions
+  // resolve by word), not just memoized work: release its grown array,
+  // then repopulate compactly from the live nodes.
+  sem_cache_.Shrink();
+  RebuildSemanticCache();
+}
+
 SddManager::NodeId SddManager::Literal(int var, bool positive) {
+  thread_check_.Check();
   const size_t key = (static_cast<size_t>(var) << 1) | positive;
   CTSDD_CHECK(var >= 0 && key < literal_ids_.size())
       << "variable x" << var << " not in vtree";
   if (literal_ids_[key] >= 0) return literal_ids_[key];
   const int leaf = vtree_.LeafOf(var);
   CTSDD_CHECK_GE(leaf, 0) << "variable x" << var << " not in vtree";
-  nodes_.push_back({Kind::kLiteral, positive, var, leaf, nullptr, 0});
-  const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  const NodeId id = NewNode({Kind::kLiteral, positive, var, leaf, nullptr, 0});
   RegisterSemantic(id);
   literal_ids_[key] = id;
   // Complement literals are always linked: the second one created links
@@ -189,28 +330,50 @@ SddManager::NodeId SddManager::MakeDecision(int vnode, Elements* elements_in) {
     if (true_prime >= 0 && false_prime >= 0) return true_prime;
   }
   std::sort(elements.begin(), elements.end());
-  uint64_t hash = HashMix64(static_cast<uint64_t>(vnode));
-  for (const auto& [p, s] : elements) {
-    hash = HashCombine(hash, (static_cast<uint64_t>(p) << 32) |
-                                 static_cast<uint32_t>(s));
-  }
+  const uint64_t hash = DecisionHash(vnode, {elements.data(), elements.size()});
   const int32_t found = unique_.Find(hash, [&](int32_t id) {
     const Node& n = nodes_[id];
     return n.vnode == vnode && n.num_elems == elements.size() &&
            std::equal(elements.begin(), elements.end(), n.elems);
   });
   if (found != UniqueTable::kEmpty) return found;
-  Element* stored = element_arena_.Allocate(elements.size());
+  Element* stored = AllocateElements(elements.size());
   std::copy(elements.begin(), elements.end(), stored);
-  nodes_.push_back({Kind::kDecision, false, -1, vnode, stored,
-                    static_cast<uint32_t>(elements.size())});
-  const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  const NodeId id = NewNode({Kind::kDecision, false, -1, vnode, stored,
+                             static_cast<uint32_t>(elements.size())});
   RegisterSemantic(id);
   unique_.Insert(hash, id);
   return id;
 }
 
+SddManager::NodeId SddManager::NewNode(Node n) {
+  if (!free_ids_.empty()) {
+    const NodeId id = free_ids_.back();
+    free_ids_.pop_back();
+    nodes_[id] = n;
+    return id;
+  }
+  nodes_.push_back(n);
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+SddManager::Element* SddManager::AllocateElements(size_t n) {
+  if (n == 0) return nullptr;
+  // The free map stays empty until a collection has run, so pre-GC
+  // workloads never pay the bucket probe on this hot path.
+  if (!free_elements_.empty()) {
+    const auto it = free_elements_.find(n);
+    if (it != free_elements_.end() && !it->second.empty()) {
+      Element* out = it->second.back();
+      it->second.pop_back();
+      return out;
+    }
+  }
+  return element_arena_.Allocate(n);
+}
+
 SddManager::NodeId SddManager::Decision(int vnode, Elements elements) {
+  thread_check_.Check();
   CTSDD_CHECK(!vtree_.is_leaf(vnode))
       << "decisions are normalized at internal vtree nodes";
   return MakeDecision(vnode, &elements);
@@ -239,6 +402,7 @@ SddManager::ElementSpan SddManager::LiftTo(int vnode, NodeId a,
 }
 
 SddManager::NodeId SddManager::Apply(NodeId a, NodeId b, Op op) {
+  thread_check_.Check();
   ++apply_depth_;
   const NodeId result = ApplyRec(a, b, op);
   // The exact memos only live for the outermost operation; resetting them
@@ -495,6 +659,7 @@ SddManager::NodeId SddManager::ApplyN(const std::vector<NodeId>& ops, Op op) {
 }
 
 SddManager::NodeId SddManager::AndN(std::vector<NodeId> ops) {
+  thread_check_.Check();
   NodeId result;
   if (NormalizeNaryOps(&ops, Op::kAnd, &result)) return result;
   ++apply_depth_;
@@ -520,6 +685,7 @@ SddManager::NodeId SddManager::AndN(std::vector<NodeId> ops) {
 }
 
 SddManager::NodeId SddManager::OrN(std::vector<NodeId> ops) {
+  thread_check_.Check();
   NodeId result;
   if (NormalizeNaryOps(&ops, Op::kOr, &result)) return result;
   ++apply_depth_;
@@ -555,7 +721,10 @@ SddManager::NodeId SddManager::OrN(std::vector<NodeId> ops) {
   return result;
 }
 
-SddManager::NodeId SddManager::Not(NodeId a) { return NotRec(a); }
+SddManager::NodeId SddManager::Not(NodeId a) {
+  thread_check_.Check();
+  return NotRec(a);
+}
 
 SddManager::NodeId SddManager::NotRec(NodeId a) {
   if (a == kFalse) return kTrue;
@@ -581,6 +750,7 @@ SddManager::NodeId SddManager::NotRec(NodeId a) {
 }
 
 SddManager::NodeId SddManager::Restrict(NodeId a, int var, bool value) {
+  thread_check_.Check();
   const int leaf = vtree_.LeafOf(var);
   CTSDD_CHECK_GE(leaf, 0);
   std::unordered_map<NodeId, NodeId> memo;

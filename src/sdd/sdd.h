@@ -41,6 +41,7 @@
 #include "util/computed_cache.h"
 #include "util/scoped_memo.h"
 #include "util/status.h"
+#include "util/thread_check.h"
 #include "util/unique_table.h"
 #include "vtree/vtree.h"
 
@@ -158,6 +159,49 @@ class SddManager {
   Status Validate(NodeId a);
 
   int NumNodes() const { return static_cast<int>(nodes_.size()); }
+  // Nodes currently resident (slots minus the GC free list), constants
+  // included. The quantity a long-running service bounds.
+  int NumLiveNodes() const {
+    return static_cast<int>(nodes_.size() - free_ids_.size());
+  }
+
+  // --- Memory lifecycle -------------------------------------------------
+  //
+  // Same contract as ObddManager: the manager only collects nodes that
+  // are unreachable from registered external roots (constants and the
+  // literal nodes are permanent). Live node ids never change across a
+  // collection, the unique table is rebuilt over the survivors, negation
+  // links into collected nodes are severed, and the (anchor, word)
+  // semantic cache is rebuilt from the survivors — so recompiling a
+  // collected function reproduces pointer-identical ids for every
+  // surviving subgraph. Freed decision nodes donate their element spans
+  // to a size-bucketed free list that MakeDecision reuses, so the element
+  // arena's footprint is bounded by its live + recycled high-water mark.
+
+  // Registers `id` as an external root (ref-counted). Constants and
+  // literals need no protection (they are permanent).
+  void AddRootRef(NodeId id);
+  // Drops one reference added by AddRootRef.
+  void ReleaseRootRef(NodeId id);
+
+  // Mark-from-roots collection; returns the number of nodes reclaimed.
+  // Must not be called from inside an operation (apply depth 0).
+  size_t GarbageCollect();
+
+  // Returns the computed caches and per-operation memos to their initial
+  // footprint (contents dropped — only recomputation cost; the semantic
+  // cache repopulates as nodes are created).
+  void ShrinkCaches();
+
+  struct GcStats {
+    uint64_t runs = 0;       // GarbageCollect() invocations
+    uint64_t reclaimed = 0;  // nodes freed across all runs
+  };
+  const GcStats& gc_stats() const { return gc_stats_; }
+
+  // Releases thread-affinity (debug builds assert single-threaded use);
+  // the next operation binds the manager to its calling thread.
+  void DetachOwningThread() { thread_check_.Detach(); }
 
   // Computed-cache effectiveness counters, for benches and tuning.
   struct CacheStats {
@@ -265,6 +309,18 @@ class SddManager {
   // which is consumed as scratch space. All recursive Apply calls the
   // compression needs happen before the unique-table probe.
   NodeId MakeDecision(int vnode, Elements* elements);
+  // The unique-table hash of a decision's sorted elements (shared by
+  // MakeDecision and the GC rebuild).
+  static uint64_t DecisionHash(int vnode, ElementSpan elements);
+  // Arena allocation with recycling: exact-size spans freed by the GC are
+  // reused before the arena grows.
+  Element* AllocateElements(size_t n);
+  // Places `n` in a GC-recycled slot when one is free, else appends.
+  NodeId NewNode(Node n);
+  // Re-registers every live small-scope node's (anchor, word) -> id
+  // entry, restoring the semantic layer after the cache was cleared
+  // (GC) or released (ShrinkCaches).
+  void RebuildSemanticCache();
   // Two-level memoization: the bounded global apply cache gives cross-
   // operation reuse; an exact memo scoped to each top-level Apply call
   // preserves the O(|a|·|b|) apply bound even when the global cache
@@ -424,6 +480,16 @@ class SddManager {
   // Scratch for NormalizeNaryOps's sorted probe set (that function never
   // re-enters itself, so one buffer suffices).
   std::vector<NodeId> nary_probe_scratch_;
+  // GC state: external root ref-counts (indexed by node id, lazily
+  // grown), the node-id free list MakeDecision pops before growing
+  // nodes_, and the size-bucketed element-span free list (spans are
+  // arena-backed and can never be returned to the allocator, but exact-
+  // size reuse bounds the arena at its live + recycled high-water mark).
+  std::vector<int32_t> external_refs_;
+  std::vector<NodeId> free_ids_;
+  std::unordered_map<size_t, std::vector<Element*>> free_elements_;
+  GcStats gc_stats_;
+  ThreadChecker thread_check_;
 };
 
 }  // namespace ctsdd

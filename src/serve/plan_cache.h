@@ -1,0 +1,161 @@
+// Bounded LRU cache of compiled query plans.
+//
+// A plan is the reusable product of one (query, database, strategy)
+// compilation: the rooted OBDD or SDD lineage inside a pooled manager,
+// pinned against garbage collection via the manager's external-root
+// refs, plus the variable list that turns request weights into a
+// weighted model count. Repeats — including weight-varied repeats —
+// skip recompilation entirely and pay only the WMC pass.
+//
+// The cache is single-threaded (each shard owns one; see serve/shard.h)
+// and capacity-bounded with LRU eviction. Eviction runs the owner's
+// callback so the plan's root refs are released before the entry is
+// destroyed — that is what turns an evicted plan's nodes into garbage
+// the next collection can reclaim.
+
+#ifndef CTSDD_SERVE_PLAN_CACHE_H_
+#define CTSDD_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "db/query_compile.h"
+#include "obdd/obdd.h"
+#include "sdd/sdd.h"
+#include "util/hashing.h"
+
+namespace ctsdd {
+
+// Which decision-diagram route a plan was compiled through.
+enum class PlanRoute : uint8_t { kObdd, kSdd };
+
+struct PlanKey {
+  uint64_t query_sig = 0;
+  uint64_t db_sig = 0;
+  VtreeStrategy strategy = VtreeStrategy::kBalanced;
+  PlanRoute route = PlanRoute::kSdd;
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const {
+    return static_cast<size_t>(
+        Hash3(k.query_sig, k.db_sig,
+              (static_cast<uint64_t>(k.strategy) << 8) |
+                  static_cast<uint64_t>(k.route)));
+  }
+};
+
+struct CompiledPlan {
+  PlanRoute route = PlanRoute::kSdd;
+  // Exactly one manager pointer is set for non-constant lineages; the
+  // pointed-to manager is owned by the shard's pool and outlives the
+  // plan (plan eviction precedes manager eviction).
+  ObddManager* obdd = nullptr;
+  ObddManager::NodeId obdd_root = 0;
+  SddManager* sdd = nullptr;
+  SddManager::NodeId sdd_root = 0;
+  // Sorted lineage variables (tuple ids); doubles as the OBDD order.
+  std::vector<int> vars;
+  // Constant lineage (no variables): the fixed truth value.
+  bool is_constant = false;
+  bool constant_value = false;
+  // Compile-time statistics carried into responses.
+  int lineage_gates = 0;
+  int size = 0;
+  int width = 0;
+};
+
+class PlanCache {
+ public:
+  // `on_evict` runs for every entry leaving the cache (LRU pressure,
+  // EvictOne, EraseIf) — the owner releases the plan's root refs there.
+  using EvictFn = std::function<void(const PlanKey&, CompiledPlan&)>;
+
+  // Capacity 0 is clamped to 1: Insert must return a resident plan for
+  // the request being served, so "cache nothing" still holds the newest
+  // entry (and silently-unbounded would defeat the subsystem).
+  PlanCache(size_t capacity, EvictFn on_evict)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        on_evict_(std::move(on_evict)) {}
+  ~PlanCache() { EraseIf([](const CompiledPlan&) { return true; }); }
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Returns the cached plan (bumped to most-recently-used) or nullptr.
+  // The pointer is valid until the next Insert/EvictOne/EraseIf.
+  CompiledPlan* Lookup(const PlanKey& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &entries_.front().second;
+  }
+
+  // Inserts (the key must not be present — callers Lookup first) and
+  // returns the resident plan, evicting LRU entries past capacity.
+  CompiledPlan* Insert(const PlanKey& key, CompiledPlan plan) {
+    while (entries_.size() >= capacity_) EvictOne();
+    entries_.emplace_front(key, std::move(plan));
+    index_.emplace(key, entries_.begin());
+    return &entries_.front().second;
+  }
+
+  // Evicts the least-recently-used entry; false when empty. Shards call
+  // this under GC pressure, when pinned plans alone exceed the
+  // resident-node ceiling.
+  bool EvictOne() {
+    if (entries_.empty()) return false;
+    auto& [key, plan] = entries_.back();
+    if (on_evict_) on_evict_(key, plan);
+    index_.erase(key);
+    entries_.pop_back();
+    ++evictions_;
+    return true;
+  }
+
+  // Evicts every plan for which `pred` holds (e.g. all plans inside a
+  // manager about to be destroyed).
+  template <typename Pred>
+  void EraseIf(Pred&& pred) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (!pred(static_cast<const CompiledPlan&>(it->second))) {
+        ++it;
+        continue;
+      }
+      if (on_evict_) on_evict_(it->first, it->second);
+      index_.erase(it->first);
+      it = entries_.erase(it);
+      ++evictions_;
+    }
+  }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  size_t capacity_;
+  EvictFn on_evict_;
+  // MRU-first entry list + key index (classic LRU layout; list iterators
+  // stay valid across splice, so the index never goes stale).
+  std::list<std::pair<PlanKey, CompiledPlan>> entries_;
+  std::unordered_map<PlanKey, decltype(entries_)::iterator, PlanKeyHash>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_SERVE_PLAN_CACHE_H_

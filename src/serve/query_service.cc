@@ -1,0 +1,89 @@
+#include "serve/query_service.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "serve/shard.h"
+#include "serve/signature.h"
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace ctsdd {
+
+QueryService::QueryService(ServeOptions options)
+    : options_(options),
+      latency_(std::make_unique<LatencyRecorder>(options.latency_window)) {
+  CTSDD_CHECK_GT(options_.num_shards, 0);
+  shards_.reserve(options_.num_shards);
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(
+        std::make_unique<ShardWorker>(i, options_, latency_.get()));
+  }
+}
+
+QueryService::~QueryService() = default;
+
+QueryResponse QueryService::Execute(const QueryRequest& request) {
+  return ExecuteBatch({request})[0];
+}
+
+std::vector<QueryResponse> QueryService::ExecuteBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<QueryResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+  std::atomic<int> remaining(static_cast<int>(requests.size()));
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const QueryRequest& request = requests[i];
+    if (request.db == nullptr) {
+      responses[i].status = Status::InvalidArgument("request without database");
+      rejected_requests_.fetch_add(1, std::memory_order_relaxed);
+      remaining.fetch_sub(1);
+      continue;
+    }
+    // Signature-routed sharding: repeats of a (query, database) pair
+    // always land on the shard holding their plan and managers.
+    const PlanKey key{QuerySignature(request.query),
+                      DatabaseSignature(*request.db), request.strategy,
+                      request.route};
+    const size_t shard =
+        static_cast<size_t>(Hash2(key.query_sig, key.db_sig)) %
+        shards_.size();
+    shards_[shard]->Submit(
+        {&requests[i], &responses[i], key, &remaining, &done_mu, &done_cv});
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  return responses;
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats out;
+  out.num_shards = static_cast<int>(shards_.size());
+  for (const auto& shard : shards_) {
+    const ShardStats s = shard->stats();
+    out.totals.requests += s.requests;
+    out.totals.failures += s.failures;
+    out.totals.plan_hits += s.plan_hits;
+    out.totals.plan_misses += s.plan_misses;
+    out.totals.plan_evictions += s.plan_evictions;
+    out.totals.compiles += s.compiles;
+    out.totals.gc_runs += s.gc_runs;
+    out.totals.gc_reclaimed += s.gc_reclaimed;
+    out.totals.manager_evictions += s.manager_evictions;
+    out.totals.live_nodes += s.live_nodes;
+    out.totals.peak_live_nodes += s.peak_live_nodes;
+  }
+  const uint64_t rejected =
+      rejected_requests_.load(std::memory_order_relaxed);
+  out.totals.requests += rejected;
+  out.totals.failures += rejected;
+  out.p50_ms = latency_->Percentile(0.50);
+  out.p95_ms = latency_->Percentile(0.95);
+  out.p99_ms = latency_->Percentile(0.99);
+  return out;
+}
+
+}  // namespace ctsdd

@@ -1,0 +1,98 @@
+// QueryService: the long-lived query-serving front end (the paper's
+// payoff — probabilistic UCQ evaluation through compiled lineage — run
+// as a service instead of a one-shot pipeline).
+//
+// A request is (query, database, weights): lineage L(Q, D) compiles to
+// an OBDD or SDD once per (query shape, database content, strategy) and
+// is cached; every repeat — including weight-varied repeats, since
+// tuple probabilities enter only at weighted-model-count time — pays a
+// WMC pass over the compiled diagram and nothing else.
+//
+// Requests are sharded by (query, database) signature across worker
+// threads. Each shard owns its managers (the managers stay
+// single-threaded; see util/thread_check.h) and its plan-cache
+// partition, and bounds resident memory with the managers' mark-from-
+// roots garbage collection: evicted plans release their root refs, the
+// next collection reclaims their nodes, and caches shrink back to
+// baseline — so the service runs indefinitely where the one-shot
+// pipeline's managers grow without limit.
+
+#ifndef CTSDD_SERVE_QUERY_SERVICE_H_
+#define CTSDD_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "db/database.h"
+#include "db/query.h"
+#include "db/query_compile.h"
+#include "serve/plan_cache.h"
+#include "serve/serve_stats.h"
+#include "util/status.h"
+
+namespace ctsdd {
+
+class ShardWorker;
+
+// One probability query against a tuple-independent database.
+struct QueryRequest {
+  Ucq query;
+  // Must outlive the request's execution (the service never copies it).
+  const Database* db = nullptr;
+  // Per-request tuple probabilities indexed by tuple id; ids beyond the
+  // vector (or an empty vector) fall back to the database's own
+  // probabilities. Weights never invalidate a cached plan.
+  std::vector<double> weights;
+  VtreeStrategy strategy = VtreeStrategy::kBalanced;
+  PlanRoute route = PlanRoute::kSdd;
+};
+
+struct QueryResponse {
+  Status status;  // OK unless lineage/compilation failed
+  double probability = 0.0;
+  bool plan_cache_hit = false;
+  int shard = -1;
+  double latency_ms = 0.0;
+  // Compile-time statistics of the serving plan.
+  int lineage_gates = 0;
+  int size = 0;
+  int width = 0;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServeOptions options = {});
+  ~QueryService();  // drains and joins every shard
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Executes one request (blocks until its shard answers).
+  QueryResponse Execute(const QueryRequest& request);
+
+  // Admits the whole batch at once, fans it out across shards by
+  // signature, and blocks until every response is filled. Responses are
+  // positionally aligned with requests.
+  std::vector<QueryResponse> ExecuteBatch(
+      const std::vector<QueryRequest>& requests);
+
+  // Aggregated counters over all shards plus latency percentiles.
+  ServiceStats stats() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  ServeOptions options_;
+  // Shared sliding-window latency reservoir (shards record into it).
+  std::unique_ptr<LatencyRecorder> latency_;
+  std::vector<std::unique_ptr<ShardWorker>> shards_;
+  // Requests rejected before reaching any shard (e.g. null database);
+  // folded into stats() so monitoring sees them as traffic + failures.
+  std::atomic<uint64_t> rejected_requests_{0};
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,118 @@
+// Configuration and observability surface of the query-serving subsystem.
+//
+// ServeOptions sizes the service (shards, per-shard plan cache and
+// manager pools, GC ceilings); ShardStats / ServiceStats report what a
+// long-running deployment watches: request and cache-hit counts, GC
+// reclaim, resident-node ceilings, and end-to-end latency percentiles.
+
+#ifndef CTSDD_SERVE_SERVE_STATS_H_
+#define CTSDD_SERVE_SERVE_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ctsdd {
+
+struct ServeOptions {
+  // Worker shards. Each shard owns its managers and plan-cache partition
+  // and serves requests on its own thread; a request's (query, database)
+  // signature picks its shard, so repeats always land where their plan
+  // is cached.
+  int num_shards = 4;
+  // Compiled plans retained per shard (LRU past this).
+  size_t plan_cache_capacity = 256;
+  // Managers pooled per shard and kind (OBDD by variable order, SDD by
+  // vtree); least-recently-used managers are destroyed past the cap,
+  // dropping their cached plans.
+  size_t manager_pool_capacity = 8;
+  // Per-manager resident-node ceiling. When a policy check finds a
+  // manager above it, the shard garbage-collects; if pinned plans alone
+  // keep it above, LRU plans are evicted and collection reruns.
+  int gc_live_node_ceiling = 1 << 20;
+  // Requests between GC policy checks on a shard.
+  int gc_check_interval = 16;
+  // Ring-buffer window for latency percentiles.
+  size_t latency_window = 8192;
+};
+
+// One shard's counters (a consistent snapshot taken between requests).
+struct ShardStats {
+  uint64_t requests = 0;
+  uint64_t failures = 0;
+  uint64_t plan_hits = 0;
+  uint64_t plan_misses = 0;
+  uint64_t plan_evictions = 0;
+  uint64_t compiles = 0;
+  uint64_t gc_runs = 0;
+  uint64_t gc_reclaimed = 0;
+  uint64_t manager_evictions = 0;
+  int live_nodes = 0;       // resident nodes across the shard's managers
+  int peak_live_nodes = 0;  // max of live_nodes over policy checks
+};
+
+// Aggregated service view (sums over shards + latency percentiles).
+struct ServiceStats {
+  ShardStats totals;
+  int num_shards = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  double plan_hit_rate() const {
+    const uint64_t lookups = totals.plan_hits + totals.plan_misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(totals.plan_hits) /
+                     static_cast<double>(lookups);
+  }
+};
+
+// Sliding-window latency reservoir shared by all shards. Record() is
+// mutex-guarded (one short critical section per request); Percentile()
+// copies the window and selects, so it is safe to call concurrently.
+class LatencyRecorder {
+ public:
+  // A zero window is clamped to one sample (the ring-buffer arithmetic
+  // below needs a non-empty window).
+  explicit LatencyRecorder(size_t window = 8192)
+      : window_(window == 0 ? 1 : window) {
+    samples_.reserve(window_);
+  }
+
+  void Record(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.size() < window_) {
+      samples_.push_back(ms);
+    } else {
+      samples_[next_] = ms;
+    }
+    next_ = (next_ + 1) % window_;
+  }
+
+  // p in [0, 1]; 0 when no samples have been recorded.
+  double Percentile(double p) const {
+    std::vector<double> copy;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      copy = samples_;
+    }
+    if (copy.empty()) return 0.0;
+    const size_t rank = std::min(
+        copy.size() - 1, static_cast<size_t>(p * (copy.size() - 1) + 0.5));
+    std::nth_element(copy.begin(), copy.begin() + rank, copy.end());
+    return copy[rank];
+  }
+
+ private:
+  mutable std::mutex mu_;
+  size_t window_;
+  size_t next_ = 0;
+  std::vector<double> samples_;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_SERVE_SERVE_STATS_H_

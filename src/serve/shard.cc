@@ -1,0 +1,261 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "circuit/eval.h"
+#include "db/lineage.h"
+#include "obdd/obdd_compile.h"
+#include "sdd/sdd_compile.h"
+#include "serve/signature.h"
+#include "util/timer.h"
+
+namespace ctsdd {
+
+ShardWorker::ShardWorker(int shard_id, const ServeOptions& options,
+                         LatencyRecorder* latency)
+    : id_(shard_id),
+      options_(options),
+      latency_(latency),
+      plans_(options.plan_cache_capacity,
+             [](const PlanKey&, CompiledPlan& plan) {
+               // Unpin the plan's lineage: the released nodes become
+               // garbage for the owning manager's next collection.
+               if (plan.obdd) plan.obdd->ReleaseRootRef(plan.obdd_root);
+               if (plan.sdd) plan.sdd->ReleaseRootRef(plan.sdd_root);
+             }),
+      thread_(&ShardWorker::Loop, this) {}
+
+ShardWorker::~ShardWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // The managers are bound to the (now joined) worker thread; detach so
+  // the destroying thread may release the cached plans' root refs.
+  for (PooledObdd& e : obdd_pool_) e.manager->DetachOwningThread();
+  for (PooledSdd& e : sdd_pool_) e.manager->DetachOwningThread();
+}
+
+void ShardWorker::Submit(const ShardJob& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(job);
+  }
+  cv_.notify_one();
+}
+
+ShardStats ShardWorker::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ShardWorker::Loop() {
+  for (;;) {
+    ShardJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    Process(job);
+  }
+}
+
+void ShardWorker::Process(const ShardJob& job) {
+  Timer timer;
+  const QueryRequest& request = *job.request;
+  QueryResponse& response = *job.response;
+  response.shard = id_;
+
+  CompiledPlan* plan = plans_.Lookup(job.key);
+  response.plan_cache_hit = plan != nullptr;
+  if (plan == nullptr) {
+    auto compiled = CompilePlan(request);
+    if (compiled.ok()) {
+      plan = plans_.Insert(job.key, std::move(compiled).value());
+    } else {
+      response.status = compiled.status();
+    }
+  }
+  if (plan != nullptr) {
+    response.probability = EvaluatePlan(*plan, request);
+    response.lineage_gates = plan->lineage_gates;
+    response.size = plan->size;
+    response.width = plan->width;
+  }
+
+  ++local_requests_;
+  if (plan == nullptr) ++local_failures_;
+  if (++requests_since_gc_check_ >= options_.gc_check_interval) {
+    requests_since_gc_check_ = 0;
+    RunGcPolicy();
+  }
+  response.latency_ms = timer.ElapsedMillis();
+  latency_->Record(response.latency_ms);
+  UpdateStats();
+
+  {
+    // Decrement and notify inside the critical section: the submitter's
+    // wait predicate can then only observe zero after acquiring the
+    // mutex this thread holds, so it cannot wake, return, and destroy
+    // the mutex/condvar while this thread still touches them.
+    std::lock_guard<std::mutex> lock(*job.done_mu);
+    if (job.remaining->fetch_sub(1) == 1) job.done_cv->notify_all();
+  }
+}
+
+StatusOr<CompiledPlan> ShardWorker::CompilePlan(const QueryRequest& request) {
+  ++local_compiles_;
+  auto lineage = BuildLineage(request.query, *request.db);
+  CTSDD_RETURN_IF_ERROR(lineage.status());
+  const Circuit& circuit = lineage.value();
+
+  CompiledPlan plan;
+  plan.route = request.route;
+  plan.lineage_gates = circuit.num_gates();
+  plan.vars = circuit.Vars();
+  if (plan.vars.empty()) {
+    // Constant lineage: no diagram to build, the truth value is the plan.
+    plan.is_constant = true;
+    plan.constant_value = Evaluate(
+        circuit, std::vector<bool>(std::max(circuit.num_vars(), 0), false));
+    return plan;
+  }
+  if (request.route == PlanRoute::kObdd) {
+    ObddManager* manager = ObddFor(plan.vars);
+    plan.obdd = manager;
+    plan.obdd_root = CompileCircuitToObdd(manager, circuit);
+    manager->AddRootRef(plan.obdd_root);
+    plan.size = manager->Size(plan.obdd_root);
+    plan.width = manager->Width(plan.obdd_root);
+  } else {
+    auto vtree = VtreeForStrategy(circuit, plan.vars, request.strategy);
+    CTSDD_RETURN_IF_ERROR(vtree.status());
+    SddManager* manager = SddFor(std::move(vtree).value());
+    plan.sdd = manager;
+    plan.sdd_root = CompileCircuitToSdd(manager, circuit);
+    manager->AddRootRef(plan.sdd_root);
+    const SddStats stats = ComputeSddStats(*manager, plan.sdd_root);
+    plan.size = stats.size;
+    plan.width = stats.width;
+  }
+  return plan;
+}
+
+double ShardWorker::EvaluatePlan(const CompiledPlan& plan,
+                                 const QueryRequest& request) {
+  if (plan.is_constant) return plan.constant_value ? 1.0 : 0.0;
+  const auto weight = [&](int tuple) {
+    return static_cast<size_t>(tuple) < request.weights.size()
+               ? request.weights[tuple]
+               : request.db->TupleProb(tuple);
+  };
+  if (plan.route == PlanRoute::kObdd) {
+    std::vector<double> prob_by_level(plan.vars.size());
+    for (size_t i = 0; i < plan.vars.size(); ++i) {
+      prob_by_level[i] = weight(plan.vars[i]);
+    }
+    return plan.obdd->WeightedModelCount(plan.obdd_root, prob_by_level);
+  }
+  std::map<int, double> probs;
+  for (const int v : plan.vars) probs[v] = weight(v);
+  return plan.sdd->WeightedModelCount(plan.sdd_root, probs);
+}
+
+ObddManager* ShardWorker::ObddFor(const std::vector<int>& order) {
+  for (PooledObdd& e : obdd_pool_) {
+    if (e.order == order) {
+      e.last_used = ++use_clock_;
+      return e.manager.get();
+    }
+  }
+  if (obdd_pool_.size() >= options_.manager_pool_capacity) {
+    const auto victim = std::min_element(
+        obdd_pool_.begin(), obdd_pool_.end(),
+        [](const PooledObdd& a, const PooledObdd& b) {
+          return a.last_used < b.last_used;
+        });
+    ObddManager* dying = victim->manager.get();
+    plans_.EraseIf(
+        [dying](const CompiledPlan& p) { return p.obdd == dying; });
+    obdd_pool_.erase(victim);
+    ++local_manager_evictions_;
+  }
+  obdd_pool_.push_back(
+      {order, std::make_unique<ObddManager>(order), ++use_clock_});
+  return obdd_pool_.back().manager.get();
+}
+
+SddManager* ShardWorker::SddFor(Vtree vtree) {
+  std::string key = VtreeKeyString(vtree);
+  for (PooledSdd& e : sdd_pool_) {
+    if (e.vtree_key == key) {
+      e.last_used = ++use_clock_;
+      return e.manager.get();
+    }
+  }
+  if (sdd_pool_.size() >= options_.manager_pool_capacity) {
+    const auto victim = std::min_element(
+        sdd_pool_.begin(), sdd_pool_.end(),
+        [](const PooledSdd& a, const PooledSdd& b) {
+          return a.last_used < b.last_used;
+        });
+    SddManager* dying = victim->manager.get();
+    plans_.EraseIf([dying](const CompiledPlan& p) { return p.sdd == dying; });
+    sdd_pool_.erase(victim);
+    ++local_manager_evictions_;
+  }
+  sdd_pool_.push_back({std::move(key),
+                       std::make_unique<SddManager>(std::move(vtree)),
+                       ++use_clock_});
+  return sdd_pool_.back().manager.get();
+}
+
+void ShardWorker::RunGcPolicy() {
+  const auto enforce = [&](auto* manager) {
+    if (manager->NumLiveNodes() <= options_.gc_live_node_ceiling) return;
+    ++local_gc_runs_;
+    local_gc_reclaimed_ += manager->GarbageCollect();
+    // Pinned plans alone may hold the manager above the ceiling; shed
+    // LRU plans (the cache is shard-global, so some evictions may free
+    // nodes of other managers — harmless, their next check benefits)
+    // and re-collect until under the ceiling or nothing is left to shed.
+    while (manager->NumLiveNodes() > options_.gc_live_node_ceiling &&
+           plans_.EvictOne()) {
+      ++local_gc_runs_;
+      local_gc_reclaimed_ += manager->GarbageCollect();
+    }
+    // Return cache capacity sized up by the pre-GC workload to baseline
+    // (the SDD manager repopulates its semantic cache from survivors).
+    manager->ShrinkCaches();
+  };
+  for (PooledObdd& e : obdd_pool_) enforce(e.manager.get());
+  for (PooledSdd& e : sdd_pool_) enforce(e.manager.get());
+}
+
+void ShardWorker::UpdateStats() {
+  int live = 0;
+  for (const PooledObdd& e : obdd_pool_) live += e.manager->NumLiveNodes();
+  for (const PooledSdd& e : sdd_pool_) live += e.manager->NumLiveNodes();
+  local_peak_live_ = std::max(local_peak_live_, live);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.requests = local_requests_;
+  stats_.failures = local_failures_;
+  stats_.plan_hits = plans_.hits();
+  stats_.plan_misses = plans_.misses();
+  stats_.plan_evictions = plans_.evictions();
+  stats_.compiles = local_compiles_;
+  stats_.gc_runs = local_gc_runs_;
+  stats_.gc_reclaimed = local_gc_reclaimed_;
+  stats_.manager_evictions = local_manager_evictions_;
+  stats_.live_nodes = live;
+  stats_.peak_live_nodes = local_peak_live_;
+}
+
+}  // namespace ctsdd

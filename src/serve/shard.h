@@ -1,0 +1,117 @@
+// One shard of the query service: a worker thread owning its managers.
+//
+// The managers are single-threaded by contract, so the shard is the unit
+// of both concurrency and memory accounting: it runs one thread, pools
+// its managers (OBDD managers keyed by exact variable order, SDD
+// managers keyed by exact vtree structure — the one shared structure,
+// the process-wide WidthCache, carries its own mutex), keeps the plans
+// compiled inside them pinned via external root refs, and enforces the
+// resident-node ceiling with mark-from-roots garbage collection: when a
+// manager exceeds the ceiling, the shard collects; when pinned plans
+// alone hold it above, LRU plans are evicted (releasing their roots) and
+// collection reruns. Manager pools are themselves LRU-bounded; evicting
+// a manager first evicts every plan compiled inside it.
+
+#ifndef CTSDD_SERVE_SHARD_H_
+#define CTSDD_SERVE_SHARD_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obdd/obdd.h"
+#include "sdd/sdd.h"
+#include "serve/plan_cache.h"
+#include "serve/query_service.h"
+#include "serve/serve_stats.h"
+
+namespace ctsdd {
+
+// A unit of work handed to a shard: the request/response slots live in
+// the batch submitter's frame, which blocks on (remaining, done_cv)
+// until every shard has answered.
+struct ShardJob {
+  const QueryRequest* request = nullptr;
+  QueryResponse* response = nullptr;
+  PlanKey key;  // signatures precomputed by the router
+  std::atomic<int>* remaining = nullptr;
+  std::mutex* done_mu = nullptr;
+  std::condition_variable* done_cv = nullptr;
+};
+
+class ShardWorker {
+ public:
+  ShardWorker(int shard_id, const ServeOptions& options,
+              LatencyRecorder* latency);
+  ~ShardWorker();  // drains the queue, joins the thread
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  // Enqueues a job for the worker thread (thread-safe).
+  void Submit(const ShardJob& job);
+
+  // Consistent snapshot of the shard's counters (thread-safe).
+  ShardStats stats() const;
+
+ private:
+  struct PooledObdd {
+    std::vector<int> order;  // exact key: the manager's variable order
+    std::unique_ptr<ObddManager> manager;
+    uint64_t last_used = 0;
+  };
+  struct PooledSdd {
+    std::string vtree_key;  // exact key: serialized vtree structure
+    std::unique_ptr<SddManager> manager;
+    uint64_t last_used = 0;
+  };
+
+  void Loop();
+  void Process(const ShardJob& job);
+  StatusOr<CompiledPlan> CompilePlan(const QueryRequest& request);
+  double EvaluatePlan(const CompiledPlan& plan, const QueryRequest& request);
+  ObddManager* ObddFor(const std::vector<int>& order);
+  SddManager* SddFor(Vtree vtree);
+  // Ceiling enforcement + resident-node accounting (see file comment).
+  void RunGcPolicy();
+  void UpdateStats();
+
+  const int id_;
+  const ServeOptions options_;
+  LatencyRecorder* const latency_;
+
+  // Worker-thread state (no locking: only the worker touches it). The
+  // pools are declared before the plan cache so the cache — whose
+  // eviction callback releases root refs into the pooled managers — is
+  // destroyed first.
+  std::vector<PooledObdd> obdd_pool_;
+  std::vector<PooledSdd> sdd_pool_;
+  PlanCache plans_;
+  uint64_t use_clock_ = 0;
+  int requests_since_gc_check_ = 0;
+  uint64_t local_compiles_ = 0;
+  uint64_t local_gc_runs_ = 0;
+  uint64_t local_gc_reclaimed_ = 0;
+  uint64_t local_manager_evictions_ = 0;
+  uint64_t local_requests_ = 0;
+  uint64_t local_failures_ = 0;
+  int local_peak_live_ = 0;
+
+  mutable std::mutex stats_mu_;
+  ShardStats stats_;  // published snapshot (guarded by stats_mu_)
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ShardJob> queue_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_SERVE_SHARD_H_

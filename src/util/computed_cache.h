@@ -89,6 +89,19 @@ class ComputedCache {
   // Invalidates all entries in O(1).
   void Clear() { ++generation_; }
 
+  // Invalidates all entries AND returns the slot array to its initial
+  // footprint (the array is re-allocated lazily at `init_slots` on the
+  // next Store). Clear() alone never releases capacity, so a cache that
+  // sized up under one workload's eviction pressure would pin its peak
+  // footprint for the manager's lifetime — long-running services call
+  // this from the managers' ShrinkCaches() after garbage collection.
+  void Shrink() {
+    ++generation_;
+    evictions_ = 0;
+    slots_.clear();
+    slots_.shrink_to_fit();
+  }
+
  private:
   static constexpr size_t kInitialSlots = 1 << 8;
 

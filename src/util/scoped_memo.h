@@ -43,6 +43,18 @@ class ScopedMemo {
     }
   }
 
+  // Invalidates all entries and releases the slot array entirely (it is
+  // re-allocated lazily at the initial size on the next Insert). Reset()
+  // only trims down to `trim_slots`, so a memo sized up by one giant
+  // operation keeps that much capacity; Shrink() returns it to baseline
+  // for managers entering an idle period.
+  void Shrink() {
+    ++generation_;
+    live_ = 0;
+    slots_.clear();
+    slots_.shrink_to_fit();
+  }
+
   bool Lookup(uint64_t hash, const Key& key, Value* out) const {
     ++lookups_;
     if (slots_.empty()) return false;

@@ -39,6 +39,22 @@ class UniqueTable {
   size_t size() const { return size_; }
   size_t num_slots() const { return ids_.size(); }
 
+  // Empties the table, shrinking the slot array to hold `expected_live`
+  // entries under the growth load factor (at least the construction-time
+  // minimum). Garbage collection uses this to rebuild the table over the
+  // surviving nodes: open addressing cannot delete entries in place
+  // (tombstones would break the Find/Insert probe contract), so the sweep
+  // clears and re-inserts the live set.
+  void Clear(size_t expected_live = 0) {
+    size_t n = 16;
+    while (n * 2 < expected_live * 3) n <<= 1;
+    hashes_.assign(n, 0);
+    hashes_.shrink_to_fit();
+    ids_.assign(n, kEmpty);
+    ids_.shrink_to_fit();
+    size_ = 0;
+  }
+
   // Returns the id of the entry whose stored hash equals `hash` and for
   // which `eq(id)` is true, or kEmpty.
   template <typename Eq>

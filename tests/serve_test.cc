@@ -1,0 +1,341 @@
+// Tests for the serve/ subsystem and the manager memory lifecycle it
+// rides on: mark-from-roots GC keeps long-running managers bounded and
+// canonical, and QueryService answers correct probabilities with plan
+// caching, sharding, and GC under eviction pressure.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "db/lineage.h"
+#include "db/query.h"
+#include "db/query_compile.h"
+#include "func/bool_func.h"
+#include "gtest/gtest.h"
+#include "obdd/obdd.h"
+#include "obdd/obdd_compile.h"
+#include "sdd/sdd.h"
+#include "sdd/sdd_compile.h"
+#include "serve/plan_cache.h"
+#include "serve/query_service.h"
+#include "serve/signature.h"
+#include "util/random.h"
+
+namespace ctsdd {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> vars(n);
+  for (int i = 0; i < n; ++i) vars[i] = i;
+  return vars;
+}
+
+// --- Manager GC -----------------------------------------------------------
+
+TEST(ObddGcTest, RoundTripsStayBoundedAndCanonical) {
+  const int kVars = 10;
+  ObddManager manager(Iota(kVars));
+  Rng rng(20260729);
+
+  // A protected root that must survive every collection with its id.
+  const BoolFunc pinned_func = BoolFunc::Random(Iota(kVars), &rng);
+  const ObddManager::NodeId pinned = CompileFuncToObdd(&manager, pinned_func);
+  manager.AddRootRef(pinned);
+
+  int bound_after_warmup = 0;
+  for (int round = 0; round < 1000; ++round) {
+    const BoolFunc f = BoolFunc::Random(Iota(kVars), &rng);
+    const ObddManager::NodeId root = CompileFuncToObdd(&manager, f);
+    manager.AddRootRef(root);
+    // Spot-check semantics before releasing.
+    std::vector<bool> point(kVars);
+    for (int i = 0; i < kVars; ++i) point[i] = rng.NextBool(0.5);
+    uint32_t index = 0;
+    for (int i = 0; i < kVars; ++i) index |= (point[i] ? 1u : 0u) << i;
+    EXPECT_EQ(manager.Evaluate(root, point), f.EvalIndex(index));
+    manager.ReleaseRootRef(root);
+
+    if (round % 50 == 49) {
+      manager.GarbageCollect();
+      // The pinned root keeps its id, and recompiling its function must
+      // land on the very same node (canonicity preserved across GC).
+      EXPECT_EQ(CompileFuncToObdd(&manager, pinned_func), pinned);
+      if (round == 49) bound_after_warmup = manager.NumNodes();
+    }
+  }
+  manager.GarbageCollect();
+  // Live nodes collapse to the pinned root's diagram (plus terminals).
+  EXPECT_LE(manager.NumLiveNodes(), manager.Size(pinned) + 2 + kVars);
+  // The arena high-water mark plateaus: 1000 rounds of garbage fit in
+  // the footprint established by the first 50-round window (with slack).
+  EXPECT_LE(manager.NumNodes(), 4 * bound_after_warmup);
+  EXPECT_GE(manager.gc_stats().runs, 20u);
+  EXPECT_GT(manager.gc_stats().reclaimed, 0u);
+
+  manager.ShrinkCaches();
+  const ObddManager::NodeId again = CompileFuncToObdd(&manager, pinned_func);
+  EXPECT_EQ(again, pinned);
+}
+
+TEST(SddGcTest, RoundTripsStayBoundedCanonicalAndValid) {
+  const int kVars = 8;
+  SddManager manager(Vtree::Balanced(Iota(kVars)));
+  Rng rng(777);
+
+  const BoolFunc pinned_func = BoolFunc::Random(Iota(kVars), &rng);
+  const SddManager::NodeId pinned = CompileFuncToSdd(&manager, pinned_func);
+  manager.AddRootRef(pinned);
+
+  for (int round = 0; round < 1000; ++round) {
+    const BoolFunc f = BoolFunc::Random(Iota(kVars), &rng);
+    const SddManager::NodeId root = CompileFuncToSdd(&manager, f);
+    manager.AddRootRef(root);
+    if (round % 100 == 0) {
+      EXPECT_TRUE(manager.ToBoolFunc(root) == f);
+    }
+    manager.ReleaseRootRef(root);
+
+    if (round % 50 == 49) {
+      const int live_before = manager.NumLiveNodes();
+      manager.GarbageCollect();
+      EXPECT_LE(manager.NumLiveNodes(), live_before);
+      // Pointer-identity canonicity after collection, cross-checked
+      // against BoolFunc: the same function must recompile to the same
+      // node, and the structure must still validate.
+      EXPECT_EQ(CompileFuncToSdd(&manager, pinned_func), pinned);
+      ASSERT_TRUE(manager.Validate(pinned).ok());
+      EXPECT_TRUE(manager.ToBoolFunc(pinned) == pinned_func);
+    }
+  }
+  manager.GarbageCollect();
+  // 2 constants + 2*kVars literals + the pinned diagram, nothing else.
+  EXPECT_LE(manager.NumLiveNodes(), 2 + 2 * kVars + manager.Size(pinned) +
+                                        manager.NumDecisions(pinned));
+  EXPECT_GT(manager.gc_stats().reclaimed, 0u);
+
+  // ShrinkCaches drops cache capacity but no semantics: apply still
+  // reproduces canonical nodes.
+  manager.ShrinkCaches();
+  EXPECT_EQ(CompileFuncToSdd(&manager, pinned_func), pinned);
+  ASSERT_TRUE(manager.Validate(pinned).ok());
+}
+
+TEST(SddGcTest, NegationLinksSurviveOrSeverCorrectly) {
+  const int kVars = 6;
+  SddManager manager(Vtree::Balanced(Iota(kVars)));
+  Rng rng(99);
+  for (int round = 0; round < 100; ++round) {
+    const BoolFunc f = BoolFunc::Random(Iota(kVars), &rng);
+    const SddManager::NodeId a = CompileFuncToSdd(&manager, f);
+    const SddManager::NodeId na = manager.Not(a);
+    manager.AddRootRef(a);  // keep a, let !a die
+    manager.GarbageCollect();
+    // a survived; its negation link either survived (na reachable from a
+    // only if shared structure) or was severed — recomputing must agree.
+    const SddManager::NodeId na2 = manager.Not(a);
+    EXPECT_TRUE(manager.ToBoolFunc(na2) == ~manager.ToBoolFunc(a));
+    manager.ReleaseRootRef(a);
+  }
+}
+
+TEST(ObddGcTest, RootRefsAreCounted) {
+  ObddManager manager(Iota(4));
+  const auto root = manager.And(manager.Literal(0, true),
+                                manager.Literal(1, true));
+  manager.AddRootRef(root);
+  manager.AddRootRef(root);
+  manager.ReleaseRootRef(root);
+  manager.GarbageCollect();  // one ref left: must survive
+  EXPECT_EQ(manager.And(manager.Literal(0, true), manager.Literal(1, true)),
+            root);
+  manager.ReleaseRootRef(root);
+}
+
+// --- Signatures -----------------------------------------------------------
+
+TEST(SignatureTest, QueryAndDatabaseSignaturesDiscriminate) {
+  const Ucq q1 = HierarchicalRSQuery();
+  const Ucq q2 = NonHierarchicalH0Query();
+  EXPECT_NE(QuerySignature(q1), QuerySignature(q2));
+  EXPECT_EQ(QuerySignature(q1), QuerySignature(HierarchicalRSQuery()));
+
+  const Database d1 = BipartiteRstDatabase(3, 0.5);
+  const Database d2 = BipartiteRstDatabase(4, 0.5);
+  EXPECT_NE(DatabaseSignature(d1), DatabaseSignature(d2));
+  // Probabilities are weights, not structure: they must not change the
+  // signature (plans are shared across weight settings).
+  const Database d3 = BipartiteRstDatabase(3, 0.9);
+  EXPECT_EQ(DatabaseSignature(d1), DatabaseSignature(d3));
+
+  EXPECT_EQ(VtreeKeyString(Vtree::Balanced(Iota(4))),
+            VtreeKeyString(Vtree::Balanced(Iota(4))));
+  EXPECT_NE(VtreeKeyString(Vtree::Balanced(Iota(4))),
+            VtreeKeyString(Vtree::RightLinear(Iota(4))));
+}
+
+// --- QueryService ---------------------------------------------------------
+
+TEST(QueryServiceTest, MatchesBruteForceAcrossRoutesAndStrategies) {
+  const Database db = BipartiteRstDatabase(3, 0.4);
+  const std::vector<Ucq> queries = {HierarchicalRSQuery(),
+                                    NonHierarchicalH0Query(),
+                                    InequalityExampleQuery()};
+  ServeOptions options;
+  options.num_shards = 2;
+  QueryService service(options);
+  for (const Ucq& query : queries) {
+    const double expected = BruteForceQueryProbability(query, db).value();
+    for (const PlanRoute route : {PlanRoute::kObdd, PlanRoute::kSdd}) {
+      QueryRequest request;
+      request.query = query;
+      request.db = &db;
+      request.route = route;
+      request.strategy = VtreeStrategy::kBalanced;
+      const QueryResponse response = service.Execute(request);
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_NEAR(response.probability, expected, 1e-9);
+    }
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.totals.requests, 2 * queries.size());
+  EXPECT_EQ(stats.totals.failures, 0u);
+}
+
+TEST(QueryServiceTest, RepeatsHitThePlanCacheAndWeightsVaryFreely) {
+  const Database db = BipartiteRstDatabase(3, 0.5);
+  const Ucq query = HierarchicalRSQuery();
+  QueryService service;
+
+  QueryRequest request;
+  request.query = query;
+  request.db = &db;
+  request.route = PlanRoute::kSdd;
+  const QueryResponse cold = service.Execute(request);
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_FALSE(cold.plan_cache_hit);
+
+  // Same plan, different weights: a cache hit with a different answer.
+  request.weights.assign(db.num_tuples(), 0.9);
+  const QueryResponse warm = service.Execute(request);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.plan_cache_hit);
+  EXPECT_NE(warm.probability, cold.probability);
+
+  // Cross-check the weighted answer against brute force on a database
+  // carrying those probabilities natively.
+  const Database reweighted = BipartiteRstDatabase(3, 0.9);
+  EXPECT_NEAR(warm.probability,
+              BruteForceQueryProbability(query, reweighted).value(), 1e-9);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.totals.plan_hits, 1u);
+  EXPECT_EQ(stats.totals.compiles, 1u);
+}
+
+TEST(QueryServiceTest, BatchFansOutAndAlignsResponses) {
+  const Database db = BipartiteRstDatabase(3, 0.5);
+  const std::vector<Ucq> queries = {HierarchicalRSQuery(),
+                                    NonHierarchicalH0Query(),
+                                    InequalityExampleQuery()};
+  ServeOptions options;
+  options.num_shards = 3;
+  QueryService service(options);
+
+  std::vector<QueryRequest> batch;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const Ucq& query : queries) {
+      QueryRequest request;
+      request.query = query;
+      request.db = &db;
+      request.route = rep % 2 == 0 ? PlanRoute::kObdd : PlanRoute::kSdd;
+      batch.push_back(std::move(request));
+    }
+  }
+  const std::vector<QueryResponse> responses = service.ExecuteBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status.ToString();
+    const double expected =
+        BruteForceQueryProbability(batch[i].query, db).value();
+    EXPECT_NEAR(responses[i].probability, expected, 1e-9)
+        << "batch index " << i;
+  }
+  // Each (query, route) pair compiled once; the second repetition of
+  // each route hit the cache.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.totals.requests, batch.size());
+  EXPECT_EQ(stats.totals.compiles, 6u);
+  EXPECT_EQ(stats.totals.plan_hits, batch.size() - 6);
+}
+
+TEST(QueryServiceTest, InvalidRequestsFailCleanly) {
+  QueryService service;
+  QueryRequest request;  // no database
+  request.query = HierarchicalRSQuery();
+  EXPECT_FALSE(service.Execute(request).status.ok());
+
+  // Unknown relation: the shard reports the lineage error.
+  Database db;
+  db.AddRelation("Other", 1);
+  db.AddTuple("Other", {0}, 0.5);
+  request.db = &db;
+  const QueryResponse response = service.Execute(request);
+  EXPECT_FALSE(response.status.ok());
+  // Both failures are visible to monitoring: the submitter-side
+  // rejection and the shard-side lineage error.
+  EXPECT_EQ(service.stats().totals.failures, 2u);
+  EXPECT_EQ(service.stats().totals.requests, 2u);
+}
+
+// PerConstantRsQuery (db/query.h) gives many distinct lineage functions
+// over one database, which is exactly the workload that needs node GC +
+// plan eviction to stay bounded.
+TEST(QueryServiceTest, StaysBoundedUnderEvictionPressure) {
+  const int kDomain = 6;
+  const Database db = BipartiteRstDatabase(kDomain, 0.3);
+  ServeOptions options;
+  options.num_shards = 2;
+  options.plan_cache_capacity = 4;  // far fewer than distinct queries
+  // A deliberately tiny ceiling: almost every policy check trips GC, so
+  // the whole pin/evict/release/collect/reuse cycle runs end-to-end.
+  options.gc_live_node_ceiling = 64;
+  options.gc_check_interval = 4;
+  QueryService service(options);
+
+  // Expected probabilities from the one-shot pipeline (which internally
+  // cross-checks its OBDD and SDD routes), cached per distinct query.
+  std::map<uint64_t, double> oracle;
+  for (int round = 0; round < 300; ++round) {
+    QueryRequest request;
+    request.query = PerConstantRsQuery(1 + round % kDomain);
+    if (round % 3 == 0) {
+      request.query.disjuncts.push_back(
+          PerConstantRsQuery(1 + (round / 3) % kDomain).disjuncts[0]);
+    }
+    if (round % 5 == 0) request.query = HierarchicalRSQuery();
+    if (round % 5 == 1) request.query = InequalityExampleQuery();
+    request.db = &db;
+    request.route = round % 2 == 0 ? PlanRoute::kObdd : PlanRoute::kSdd;
+    request.strategy = VtreeStrategy::kBalanced;
+    const QueryResponse response = service.Execute(request);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    const uint64_t sig = QuerySignature(request.query);
+    if (oracle.find(sig) == oracle.end()) {
+      const auto compiled =
+          CompileQuery(request.query, db, VtreeStrategy::kBalanced);
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      oracle[sig] = compiled->probability;
+    }
+    ASSERT_NEAR(response.probability, oracle[sig], 1e-9)
+        << "round " << round;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.totals.requests, 300u);
+  EXPECT_GT(stats.totals.plan_evictions, 0u);
+  EXPECT_GT(stats.totals.plan_hits, 0u);
+  EXPECT_GT(stats.totals.gc_runs, 0u);
+  EXPECT_GT(stats.totals.gc_reclaimed, 0u);
+}
+
+}  // namespace
+}  // namespace ctsdd

@@ -1,8 +1,12 @@
 #include <set>
 
 #include "gtest/gtest.h"
+#include "util/computed_cache.h"
+#include "util/hashing.h"
 #include "util/random.h"
+#include "util/scoped_memo.h"
 #include "util/status.h"
+#include "util/unique_table.h"
 
 namespace ctsdd {
 namespace {
@@ -109,6 +113,71 @@ TEST(RngTest, DoubleInUnitInterval) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+TEST(ComputedCacheTest, ShrinkReturnsCapacityToInitialSlots) {
+  ComputedCache<int, int> cache(/*max_slots=*/1 << 12, /*init_slots=*/1 << 4);
+  // Drive enough conflicting stores to grow the array past its initial
+  // size (keys hashed densely so live-entry evictions pile up).
+  for (int i = 0; i < 4096; ++i) {
+    cache.Store(HashMix64(i), i, i);
+  }
+  EXPECT_GT(cache.num_slots(), static_cast<size_t>(1 << 4));
+
+  cache.Shrink();
+  // Capacity released (lazily re-allocated), contents invalidated.
+  EXPECT_EQ(cache.num_slots(), 0u);
+  int out;
+  EXPECT_FALSE(cache.Lookup(HashMix64(7), 7, &out));
+
+  // The cache works after shrinking and restarts at init_slots.
+  cache.Store(HashMix64(1), 1, 42);
+  EXPECT_EQ(cache.num_slots(), static_cast<size_t>(1 << 4));
+  ASSERT_TRUE(cache.Lookup(HashMix64(1), 1, &out));
+  EXPECT_EQ(out, 42);
+}
+
+TEST(ComputedCacheTest, ShrinkThenGrowStaysWithinBound) {
+  ComputedCache<int, int> cache(/*max_slots=*/1 << 6, /*init_slots=*/1 << 2);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < 1024; ++i) cache.Store(HashMix64(i), i, i);
+    EXPECT_LE(cache.num_slots(), static_cast<size_t>(1 << 6));
+    cache.Shrink();
+    EXPECT_EQ(cache.num_slots(), 0u);
+  }
+}
+
+TEST(ScopedMemoTest, ShrinkReleasesAllCapacity) {
+  ScopedMemo<int, int> memo(/*trim_slots=*/1 << 4);
+  for (int i = 0; i < 1000; ++i) memo.Insert(HashMix64(i), i, i);
+  EXPECT_GT(memo.num_slots(), static_cast<size_t>(1 << 4));
+
+  memo.Shrink();
+  EXPECT_EQ(memo.num_slots(), 0u);
+  int out;
+  EXPECT_FALSE(memo.Lookup(HashMix64(3), 3, &out));
+
+  // Usable after shrinking; exactness within the new generation holds.
+  for (int i = 0; i < 100; ++i) memo.Insert(HashMix64(i), i, i * 2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(memo.Lookup(HashMix64(i), i, &out));
+    EXPECT_EQ(out, i * 2);
+  }
+}
+
+TEST(UniqueTableTest, ClearEmptiesAndResizesForExpectedLoad) {
+  UniqueTable table(1 << 4);
+  for (int i = 0; i < 100; ++i) table.Insert(HashMix64(i), i);
+  EXPECT_EQ(table.size(), 100u);
+
+  table.Clear(/*expected_live=*/10);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Find(HashMix64(5), [](int32_t) { return true; }),
+            UniqueTable::kEmpty);
+  // Sized for the expected live set under the growth load factor.
+  EXPECT_LT(table.num_slots(), static_cast<size_t>(1 << 7));
+  for (int i = 0; i < 10; ++i) table.Insert(HashMix64(i), i);
+  EXPECT_EQ(table.Find(HashMix64(7), [](int32_t id) { return id == 7; }), 7);
 }
 
 TEST(RngTest, BoolProbabilityRoughlyRespected) {
