@@ -1,0 +1,144 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05), in the C11
+// memory-order formulation of Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13).
+//
+// One owner thread pushes and pops at the bottom; any number of thieves
+// steal from the top. Every pushed item is removed exactly once — by the
+// owner's Pop or one thief's successful Steal — which is the property the
+// fork-join layer (exec/task_pool.h) builds on: a forked task runs exactly
+// once, on whichever thread removes it.
+//
+// The ring buffer grows on demand (owner-side only). Retired buffers are
+// kept alive until the deque is destroyed: a thief may still be reading a
+// stale array pointer, and the standard lock-free reclamation answer
+// (epochs/hazard pointers) costs more than the few pages a run of growths
+// leaves behind — pool deques live as long as the pool.
+
+#ifndef CTSDD_EXEC_DEQUE_H_
+#define CTSDD_EXEC_DEQUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ctsdd::exec {
+
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(size_t initial_capacity = 64) {
+    size_t cap = 8;
+    while (cap < initial_capacity) cap <<= 1;
+    auto array = std::make_unique<Ring>(cap);
+    array_.store(array.get(), std::memory_order_relaxed);
+    retired_.push_back(std::move(array));
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  // Owner only.
+  void Push(void* item) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    Ring* a = array_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<int64_t>(a->capacity) - 1) {
+      a = Grow(a, t, b);
+    }
+    a->Put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    // Release (not the paper's relaxed) for the same TSan/x86 reason as
+    // the slot accesses: a thief that observes the new bottom must also
+    // observe the slot it now covers.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  // Owner only; nullptr when empty.
+  void* Pop() {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_relaxed);
+    void* item = nullptr;
+    if (t <= b) {
+      item = a->Get(b);
+      if (t == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // a thief got there first
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  // Any thread; nullptr when empty or when the race was lost.
+  void* Steal() {
+    int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Ring* a = array_.load(std::memory_order_acquire);
+    void* item = a->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // another thief (or the owner's pop) won
+    }
+    return item;
+  }
+
+  // Racy size estimate, for idleness heuristics only.
+  bool LooksEmpty() const {
+    return top_.load(std::memory_order_relaxed) >=
+           bottom_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(size_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(std::make_unique<std::atomic<void*>[]>(cap)) {}
+    // Slot accesses are release/acquire rather than the paper's relaxed:
+    // the classic formulation publishes item *contents* through the
+    // release fence in Push, but ThreadSanitizer does not model fence
+    // synchronization — and on x86 a release store / acquire load is a
+    // plain mov, so the stronger orders cost nothing and give both TSan
+    // and the C++ memory model a direct happens-before edge from the
+    // owner's item initialization to the thief's field reads.
+    void Put(int64_t i, void* item) {
+      slots[static_cast<size_t>(i) & mask].store(item,
+                                                 std::memory_order_release);
+    }
+    void* Get(int64_t i) const {
+      return slots[static_cast<size_t>(i) & mask].load(
+          std::memory_order_acquire);
+    }
+    const size_t capacity;
+    const size_t mask;
+    std::unique_ptr<std::atomic<void*>[]> slots;
+  };
+
+  Ring* Grow(Ring* old, int64_t t, int64_t b) {
+    auto bigger = std::make_unique<Ring>(old->capacity * 2);
+    for (int64_t i = t; i < b; ++i) bigger->Put(i, old->Get(i));
+    Ring* out = bigger.get();
+    array_.store(out, std::memory_order_release);
+    retired_.push_back(std::move(bigger));  // owner-only container
+    return out;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Ring*> array_{nullptr};
+  std::vector<std::unique_ptr<Ring>> retired_;
+};
+
+}  // namespace ctsdd::exec
+
+#endif  // CTSDD_EXEC_DEQUE_H_

@@ -1,0 +1,159 @@
+#include "exec/task_pool.h"
+
+#include <algorithm>
+
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace ctsdd::exec {
+namespace {
+
+// Pool instances are distinguished by a monotone id, not by address: a
+// thread_local slot record that matched on address alone could bind a
+// stale slot when a destroyed pool's storage is reused by a new one.
+std::atomic<uint64_t> g_pool_ids{1};
+
+uint64_t NextRandom(uint64_t* state) {
+  *state = HashMix64(*state + 0x9e3779b97f4a7c15ULL);
+  return *state;
+}
+
+struct PoolIdentity {
+  const void* pool = nullptr;
+  uint64_t pool_id = 0;
+  int slot = -1;
+};
+
+// A thread rarely touches more than one live pool; four records cover
+// tests that cycle pools without any registry locking on the hot path.
+thread_local PoolIdentity tl_slots[4];
+
+}  // namespace
+
+int TaskPool::CurrentSlot() {
+  // The cheap path: re-find this pool's identity record.
+  for (PoolIdentity& r : tl_slots) {
+    if (r.pool == this && r.pool_id == id_) return r.slot;
+  }
+  // First contact: claim an external slot and an identity record (a
+  // stale record — destroyed pool, or this pool before a record was
+  // evicted — is safe to overwrite; slot numbers are monotone, so a
+  // re-claim burns a slot number but never aliases a live one).
+  const int slot = next_external_slot_.fetch_add(1, std::memory_order_relaxed);
+  CTSDD_CHECK_LT(slot, kMaxSlots)
+      << "too many distinct threads forked through one TaskPool";
+  for (PoolIdentity& r : tl_slots) {
+    if (r.pool == nullptr || r.pool == this) {
+      r = {this, id_, slot};
+      return slot;
+    }
+  }
+  tl_slots[0] = {this, id_, slot};
+  return slot;
+}
+
+TaskPool::TaskPool(int workers)
+    : workers_(workers < 1 ? 1 : workers),
+      id_(g_pool_ids.fetch_add(1, std::memory_order_relaxed)),
+      next_external_slot_(workers_ - 1) {
+  CTSDD_CHECK_LE(workers_, kMaxSlots);
+  deques_.reserve(kMaxSlots);
+  for (int i = 0; i < kMaxSlots; ++i) {
+    deques_.push_back(std::make_unique<WorkStealingDeque>());
+  }
+  threads_.reserve(workers_ - 1);
+  for (int i = 0; i + 1 < workers_; ++i) {
+    threads_.emplace_back(&TaskPool::WorkerLoop, this, i);
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::Fork(Task* task) {
+  deques_[CurrentSlot()]->Push(task);
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    // Lock before notify so a worker between its predicate check and its
+    // wait cannot miss the signal.
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_one();
+  }
+}
+
+Task* TaskPool::PopLocal() {
+  void* item = deques_[CurrentSlot()]->Pop();
+  if (item == nullptr) return nullptr;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return static_cast<Task*>(item);
+}
+
+bool TaskPool::TryRunOne(uint64_t* rng_state) {
+  const int self = CurrentSlot();
+  // Own deque first (LIFO locality), then a randomized victim sweep. The
+  // victim bound tracks the claimed-slot high-water mark so idle scans do
+  // not walk 64 forever-empty deques.
+  void* item = deques_[self]->Pop();
+  if (item == nullptr) {
+    const int limit = std::min<int>(
+        kMaxSlots, next_external_slot_.load(std::memory_order_relaxed));
+    const int start =
+        limit > 0 ? static_cast<int>(NextRandom(rng_state) % limit) : 0;
+    for (int k = 0; k < limit && item == nullptr; ++k) {
+      const int victim = start + k < limit ? start + k : start + k - limit;
+      if (victim == self) continue;
+      item = deques_[victim]->Steal();
+    }
+  }
+  if (item == nullptr) return false;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  static_cast<Task*>(item)->Execute();
+  return true;
+}
+
+void TaskPool::Join(Task* task) {
+  uint64_t rng = reinterpret_cast<uintptr_t>(task) | 1;
+  int idle_rounds = 0;
+  while (!task->done()) {
+    if (TryRunOne(&rng)) {
+      idle_rounds = 0;
+      continue;
+    }
+    // Nothing stealable but the joined task is still running elsewhere:
+    // yield so its thread gets the core (essential on few-core hosts).
+    if (++idle_rounds >= 2) std::this_thread::yield();
+  }
+}
+
+void TaskPool::WorkerLoop(int slot) {
+  // Bind this worker's identity record so CurrentSlot() is a hit.
+  tl_slots[0] = {this, id_, slot};
+  uint64_t rng = 0x2545f4914f6cdd1dULL + static_cast<uint64_t>(slot);
+  int idle_rounds = 0;
+  for (;;) {
+    if (TryRunOne(&rng)) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (++idle_rounds < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait(lock, [&] {
+      return stopping_ || pending_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    if (stopping_) return;
+    idle_rounds = 0;
+  }
+}
+
+}  // namespace ctsdd::exec

@@ -1,0 +1,196 @@
+// Work-stealing fork-join pool: the parallel runtime behind the managers'
+// multi-core apply and compile paths.
+//
+// Shape: the pool owns `workers() - 1` background threads; the thread that
+// enters a parallel operation participates as the final worker, so
+// TaskPool(1) spawns nothing and every Fork runs inline — the sequential
+// path with zero synchronization, which is what keeps the 1-worker
+// configuration at sequential throughput.
+//
+// Every participating thread (background worker or an external thread
+// that forked) holds a *slot*: a stable small integer indexing its
+// Chase–Lev deque (exec/deque.h) and any per-worker state a client keeps
+// (the managers stripe node allocation and recursion scratch by slot).
+// Background workers own slots [0, workers()-1); external threads claim
+// slots lazily from [workers()-1, kMaxSlots) the first time they touch
+// the pool and keep them for the thread's lifetime.
+//
+// Fork/join protocol: a Task lives on the forking frame's stack. Fork
+// pushes it onto the current slot's deque; Join pops it back and runs it
+// inline when no thief intervened (the overwhelmingly common case at
+// depth cutoffs), otherwise helps — running other tasks — until the thief
+// reports completion. Tasks must not throw; a task may itself fork
+// (nested joins run on the same slot, which is why per-slot client state
+// must be stack-disciplined, not exclusive).
+//
+// Determinism is the *client's* property, not the scheduler's: the
+// managers' results are canonical (hash-consed), so any interleaving
+// returns pointer-identical roots. The pool only guarantees each task
+// runs exactly once and Join's completion edge is a release/acquire pair.
+
+#ifndef CTSDD_EXEC_TASK_POOL_H_
+#define CTSDD_EXEC_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/deque.h"
+
+namespace ctsdd::exec {
+
+// A forkable unit of work. Stack-allocated by the forker; Run() is called
+// exactly once, on whichever thread removes the task from a deque. done()
+// flips with release ordering after Run() returns.
+class Task {
+ public:
+  virtual ~Task() = default;
+  // Executes the task and publishes completion.
+  void Execute() {
+    Run();
+    done_.store(true, std::memory_order_release);
+  }
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+ protected:
+  virtual void Run() = 0;
+
+ private:
+  std::atomic<bool> done_{false};
+};
+
+template <typename Fn>
+class ClosureTask final : public Task {
+ public:
+  explicit ClosureTask(Fn fn) : fn_(std::move(fn)) {}
+
+ private:
+  void Run() override { fn_(); }
+  Fn fn_;
+};
+
+class TaskPool {
+ public:
+  // Hard bound on simultaneously registered participants (background
+  // workers + external threads that ever forked through this pool).
+  // Clients size per-slot state off max_slots(), so the bound is part of
+  // the contract, not just an implementation limit.
+  static constexpr int kMaxSlots = 64;
+
+  // `workers` is the total parallelism (>= 1): workers - 1 background
+  // threads are spawned; the forking thread is the last participant.
+  explicit TaskPool(int workers);
+  ~TaskPool();  // joins background threads (all forked work must be done)
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int workers() const { return workers_; }
+  int max_slots() const { return kMaxSlots; }
+
+  // True when forking can actually buy parallelism (workers() > 1).
+  bool parallel() const { return workers_ > 1; }
+
+  // The calling thread's slot in [0, max_slots()), claiming one if this
+  // is the thread's first contact with the pool.
+  int CurrentSlot();
+
+  // Pushes `task` onto the calling thread's deque, making it stealable.
+  void Fork(Task* task);
+
+  // Retrieves the most recent un-stolen task forked by this thread, or
+  // nullptr if thieves drained the deque. The caller runs the returned
+  // task inline (it is always the caller's own task, by LIFO discipline:
+  // everything this frame forked after it has already been joined).
+  Task* PopLocal();
+
+  // Blocks until `task` completes, running other pool tasks while
+  // waiting (work-stealing join — never idles while work exists).
+  void Join(Task* task);
+
+  // Runs one pending task from any deque if one can be claimed. Returns
+  // false when no task was found.
+  bool TryRunOne(uint64_t* rng_state);
+
+ private:
+  void WorkerLoop(int slot);
+
+  const int workers_;
+  const uint64_t id_;  // distinguishes pool instances across address reuse
+  std::vector<std::unique_ptr<WorkStealingDeque>> deques_;  // one per slot
+  std::vector<std::thread> threads_;
+
+  // External-slot allocation (background workers take [0, workers_-1)).
+  std::atomic<int> next_external_slot_;
+
+  // Parking: pending_ counts forked-but-not-claimed tasks; workers sleep
+  // on cv_ when a scan finds nothing and wake when Fork raises pending_.
+  std::atomic<int64_t> pending_{0};
+  std::atomic<int> sleepers_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+// Runs a() and b(), forking b when the pool can run it elsewhere. The
+// default for independent recursive branches (OBDD cofactors, SDD element
+// product halves): b is stolen only when a worker is actually idle;
+// otherwise the forker pops it back and runs both inline.
+template <typename FA, typename FB>
+void ParallelInvoke(TaskPool* pool, FA&& a, FB&& b) {
+  if (pool == nullptr || !pool->parallel()) {
+    a();
+    b();
+    return;
+  }
+  ClosureTask<FB> tb(std::forward<FB>(b));
+  pool->Fork(&tb);
+  a();
+  for (;;) {
+    Task* t = pool->PopLocal();
+    if (t == nullptr) break;  // tb stolen (or already run)
+    t->Execute();
+    if (t == &tb) return;
+  }
+  pool->Join(&tb);
+}
+
+// Invokes fn(i) for i in [0, n), fanning out across the pool. Blocks
+// until every index completes. fn must be safe to run concurrently with
+// itself on distinct indices.
+template <typename Fn>
+void ParallelFor(TaskPool* pool, size_t n, const Fn& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || !pool->parallel() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  struct IndexTask final : public Task {
+    const Fn* fn = nullptr;
+    size_t index = 0;
+    void Run() override { (*fn)(index); }
+  };
+  std::vector<IndexTask> tasks(n - 1);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    tasks[i].fn = &fn;
+    tasks[i].index = i + 1;
+    pool->Fork(&tasks[i]);
+  }
+  fn(0);
+  // Reclaim un-stolen tasks LIFO, then help until the stolen ones land.
+  for (;;) {
+    Task* t = pool->PopLocal();
+    if (t == nullptr) break;
+    t->Execute();
+  }
+  for (size_t i = 0; i + 1 < n; ++i) pool->Join(&tasks[i]);
+}
+
+}  // namespace ctsdd::exec
+
+#endif  // CTSDD_EXEC_TASK_POOL_H_

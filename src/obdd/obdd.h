@@ -6,13 +6,26 @@
 // paper measures functions by OBDD *width* — the largest number of nodes
 // labeled by the same variable — which this package reports alongside size.
 //
-// Storage follows the classic BDD-package layout: nodes live in a flat
-// arena indexed by dense ids, hash-consed through an open-addressed unique
-// table (util/unique_table.h); operation results are memoized in bounded
+// Storage follows the classic BDD-package layout: nodes live in a chunked
+// stable-address store indexed by dense ids (util/node_store.h),
+// hash-consed through an open-addressed unique table
+// (util/unique_table.h); operation results are memoized in bounded
 // computed caches (util/computed_cache.h) that stay fixed-size no matter
 // how long the operation sequence runs. Cache eviction can only cost
 // recomputation, never change results — canonicity lives in the unique
 // table alone.
+//
+// Parallel apply (exec/): AttachExecutor hands the manager a
+// work-stealing pool; Ite and the n-ary folds then fork their independent
+// cofactor branches across the pool's workers inside a *parallel region*
+// — the one window where the single-owner contract relaxes. Within a
+// region the unique table runs its CAS insert-or-find protocol, the
+// computed caches and per-operation memos are lock-striped, node ids are
+// claimed in per-worker blocks, and the debug-build owning-thread
+// assertion is suspended (util/thread_check.h ParallelRegion). Results
+// are pointer-identical to the sequential path: canonicity hash-conses
+// every (level, lo, hi) to one id regardless of which worker builds it
+// first.
 
 #ifndef CTSDD_OBDD_OBDD_H_
 #define CTSDD_OBDD_OBDD_H_
@@ -21,9 +34,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/task_pool.h"
 #include "util/computed_cache.h"
 #include "util/logging.h"
+#include "util/node_store.h"
 #include "util/scoped_memo.h"
+#include "util/spinlock.h"
 #include "util/status.h"
 #include "util/thread_check.h"
 #include "util/unique_table.h"
@@ -116,6 +132,24 @@ class ObddManager {
     return static_cast<int>(nodes_.size() - free_ids_.size());
   }
 
+  // --- Parallel execution ------------------------------------------------
+  //
+  // AttachExecutor lends the manager a work-stealing pool; while one with
+  // workers() > 1 is attached, Ite/AndN/OrN (and everything built on
+  // them) fork independent cofactor branches across the pool inside a
+  // parallel region. BeginParallelRegion/EndParallelRegion expose the
+  // region explicitly so a compiler driving many operations (or the
+  // serve/ layer's cold compiles) pays the region transition once rather
+  // than per operation. Regions must not overlap GC/root bookkeeping, and
+  // results are pointer-identical to sequential execution (canonicity).
+
+  void AttachExecutor(exec::TaskPool* pool) { pool_ = pool; }
+  exec::TaskPool* executor() const { return pool_; }
+  bool InParallelRegion() const { return par_active_; }
+
+  void BeginParallelRegion();
+  void EndParallelRegion();
+
   // --- Memory lifecycle -------------------------------------------------
   //
   // The manager never frees nodes on its own: canonicity requires every
@@ -138,7 +172,8 @@ class ObddManager {
   void ReleaseRootRef(NodeId id);
 
   // Mark-from-roots collection; returns the number of nodes reclaimed.
-  // Must not be called from inside an operation (apply depth 0).
+  // Must not be called from inside an operation (apply depth 0) or a
+  // parallel region.
   size_t GarbageCollect();
 
   // Returns the computed caches and per-operation memos to their initial
@@ -171,10 +206,25 @@ class ObddManager {
   // the lossy caches evict (a lossy cache alone turns deep recursions
   // exponential once the live set outgrows it). Ite and ApplyN nest into
   // each other, so they share one depth counter and reset together when
-  // the outermost operation returns.
+  // the outermost operation returns. In a parallel region the memos are
+  // region-scoped instead (reset at EndParallelRegion), and both
+  // memoization levels go through their lock-striped protocols.
+  //
+  // The recursions are templated on the protocol: the kPar == false
+  // instantiation is the original single-owner code path, untouched; the
+  // kPar == true instantiation forks cofactor branches while depth <
+  // kForkDepth and uses the concurrent unique-table/cache entry points.
   NodeId ApplyN(std::vector<NodeId> ops, bool is_and);
-  NodeId IteRec(NodeId f, NodeId g, NodeId h);
-  NodeId ApplyNRec(std::vector<NodeId> ops, bool is_and);
+  template <bool kPar>
+  NodeId MakeNodeT(int level, NodeId lo, NodeId hi);
+  template <bool kPar>
+  NodeId IteRecT(NodeId f, NodeId g, NodeId h, int depth);
+  template <bool kPar>
+  NodeId ApplyNRecT(std::vector<NodeId> ops, bool is_and, int depth);
+  // Node allocation inside a parallel region: bump-allocates from the
+  // calling worker's claimed id block (util/node_store.h ClaimBlock), so
+  // the only cross-worker allocation traffic is one fetch_add per block.
+  NodeId AllocNodePar(int level, NodeId lo, NodeId hi);
   void LeaveOp() {
     if (--op_depth_ == 0) {
       ite_memo_.Reset();
@@ -192,21 +242,47 @@ class ObddManager {
     bool operator==(const NaryKey&) const = default;
   };
 
+  // Fork cutoff: cofactor branches fork while the recursion is at depth
+  // < kForkDepth, then run sequentially (still on concurrent data
+  // structures). 2^kForkDepth potential tasks keep every worker fed
+  // through the unbalanced subproblem sizes apply produces, while deep
+  // recursions stay fork-free.
+  static constexpr int kForkDepth = 7;
+  static constexpr size_t kAllocBlock = 128;  // ids per worker claim
+
+  struct AllocCursor {
+    size_t next = 0;
+    size_t end = 0;
+    // GC-recycled ids batched out of the shared free list (see
+    // AllocNodePar — parallel regions must reuse freed ids or the node
+    // store would grow monotonically across GC cycles).
+    std::vector<NodeId> recycled;
+  };
+
   std::vector<int> var_order_;
   std::unordered_map<int, int> level_of_var_;
-  std::vector<Node> nodes_;
+  NodeStore<Node> nodes_;
   UniqueTable unique_;
   ComputedCache<IteKey, NodeId> ite_cache_;
   ComputedCache<NaryKey, NodeId> nary_cache_;
   ScopedMemo<IteKey, NodeId> ite_memo_;
   ScopedMemo<NaryKey, NodeId> nary_memo_;
   int op_depth_ = 0;
+  // Parallel-region state: the attached pool, the region flag, and one
+  // id-block cursor per pool slot.
+  exec::TaskPool* pool_ = nullptr;
+  bool par_active_ = false;
+  std::vector<AllocCursor> alloc_cursors_;
   // GC state: external root ref-counts (indexed by node id, lazily grown)
   // and the free list MakeNode pops before growing nodes_. A freed slot's
   // level is set to kDeadLevel so stale-id use trips level checks fast.
   static constexpr int kDeadLevel = -2;
   std::vector<int32_t> external_refs_;
   std::vector<NodeId> free_ids_;
+  // Guards free_ids_ inside parallel regions only (AllocNodePar refills
+  // cursor batches from it); single-owner access outside regions stays
+  // lock-free, ordered by the region bracket.
+  SpinLock free_ids_lock_;
   GcStats gc_stats_;
   ThreadChecker thread_check_;
 };

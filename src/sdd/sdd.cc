@@ -17,6 +17,11 @@ constexpr uint64_t kIndexBitSet[6] = {
     0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL,
 };
 
+// Dead-slot sentinel: a freed node reads as a constant with var == -2
+// until MakeDecision/Literal recycles its id (real constants never enter
+// the sweep — ids 0/1 are skipped — and live literals have var >= 0).
+constexpr int kDeadVar = -2;
+
 }  // namespace
 
 SddManager::SddManager(Vtree vtree, Options options)
@@ -46,21 +51,23 @@ SddManager::SddManager(Vtree vtree, Options options)
       stack.push_back(vtree_.left(v));
     }
   }
+  EnsureCtxSlots(1);
   // Terminal constants (negations of each other).
-  nodes_.push_back({Kind::kConst, false, -1, -1, nullptr, 0});
-  nodes_.push_back({Kind::kConst, true, -1, -1, nullptr, 0});
+  nodes_.PushBack({Kind::kConst, false, -1, -1, nullptr, 0});
+  nodes_.PushBack({Kind::kConst, true, -1, -1, nullptr, 0});
   // Constant FastInfo entries are mostly unused (constants short-circuit
   // before any probe), but the negation links keep KnownNegation total.
-  fast_info_.push_back({kTrue, -1, 0});
-  fast_info_.push_back({kFalse, -1, ~0ULL});
+  fast_info_.Reserve(2);
+  fast_info_[0] = {kTrue, -1, 0};
+  fast_info_[1] = {kFalse, -1, ~0ULL};
   const std::vector<int>& vars = vtree_.Vars();
   const int max_var = vars.empty() ? -1 : vars.back();
   literal_ids_.assign(2 * (max_var + 1), -1);
 }
 
 void SddManager::LinkNegations(NodeId a, NodeId b) {
-  fast_info_[a].negation = b;
-  fast_info_[b].negation = a;
+  NegationOf(fast_info_[a]).store(b, std::memory_order_relaxed);
+  NegationOf(fast_info_[b]).store(a, std::memory_order_relaxed);
 }
 
 uint64_t SddManager::Hash2SemKey(int anchor, uint64_t word) {
@@ -76,41 +83,41 @@ uint64_t SddManager::DecisionHash(int vnode, ElementSpan elements) {
   return hash;
 }
 
-void SddManager::RegisterSemantic(NodeId id) {
+template <bool kPar>
+void SddManager::RegisterSemanticT(NodeId id) {
   const Node& n = nodes_[id];
   const int anchor = anchor_of_vnode_[n.vnode];
-  FastInfo info{-1, -1, 0};
-  if (anchor >= 0) {
-    const uint64_t mask = anchor_mask_of_vnode_[n.vnode];
-    uint64_t w = 0;
-    if (n.kind == Kind::kLiteral) {
-      const std::vector<int>& scope = vtree_.VarsBelow(anchor);
-      const int pos = static_cast<int>(
-          std::lower_bound(scope.begin(), scope.end(), n.var) - scope.begin());
-      w = (n.sense ? kIndexBitSet[pos] : ~kIndexBitSet[pos]) & mask;
-    } else {
-      // Primes and non-constant subs live below n.vnode, so they share its
-      // anchor and their words are directly composable.
-      for (uint32_t i = 0; i < n.num_elems; ++i) {
-        const auto& [p, s] = n.elems[i];
-        const uint64_t ws =
-            (s == kFalse) ? 0 : (s == kTrue) ? mask : fast_info_[s].word;
-        w |= fast_info_[p].word & ws;
-      }
-    }
-    info = {-1, anchor, w};
+  FastInfo& info = fast_info_[id];
+  NegationOf(info).store(-1, std::memory_order_relaxed);
+  if (anchor < 0) {
+    info.anchor = -1;
+    info.word = 0;
+    return;
   }
-  // Fresh nodes append; nodes created in a GC-recycled slot overwrite the
-  // dead entry in place.
-  if (static_cast<size_t>(id) < fast_info_.size()) {
-    fast_info_[id] = info;
+  const uint64_t mask = anchor_mask_of_vnode_[n.vnode];
+  uint64_t w = 0;
+  if (n.kind == Kind::kLiteral) {
+    const std::vector<int>& scope = vtree_.VarsBelow(anchor);
+    const int pos = static_cast<int>(
+        std::lower_bound(scope.begin(), scope.end(), n.var) - scope.begin());
+    w = (n.sense ? kIndexBitSet[pos] : ~kIndexBitSet[pos]) & mask;
   } else {
-    CTSDD_CHECK_EQ(fast_info_.size(), static_cast<size_t>(id));
-    fast_info_.push_back(info);
+    // Primes and non-constant subs live below n.vnode, so they share its
+    // anchor and their words are directly composable.
+    for (uint32_t i = 0; i < n.num_elems; ++i) {
+      const auto& [p, s] = n.elems[i];
+      const uint64_t ws =
+          (s == kFalse) ? 0 : (s == kTrue) ? mask : fast_info_[s].word;
+      w |= fast_info_[p].word & ws;
+    }
   }
-  if (anchor >= 0) {
-    sem_cache_.Store(Hash2SemKey(anchor, info.word),
-                     SemKey{anchor, info.word}, id);
+  info.anchor = anchor;
+  info.word = w;
+  const uint64_t hash = Hash2SemKey(anchor, w);
+  if constexpr (kPar) {
+    sem_cache_.StoreC(hash, SemKey{anchor, w}, id);
+  } else {
+    sem_cache_.Store(hash, SemKey{anchor, w}, id);
   }
 }
 
@@ -120,19 +127,75 @@ SddManager::NodeId SddManager::LookupSemantic(int vnode, uint64_t word) {
   if (word == 0) return kFalse;
   if (word == anchor_mask_of_vnode_[vnode]) return kTrue;
   NodeId hit;
-  if (sem_cache_.Lookup(Hash2SemKey(anchor, word), SemKey{anchor, word},
-                        &hit)) {
-    return hit;
-  }
-  return -1;
+  const uint64_t hash = Hash2SemKey(anchor, word);
+  const SemKey key{anchor, word};
+  const bool found = par_active_ ? sem_cache_.LookupC(hash, key, &hit)
+                                 : sem_cache_.Lookup(hash, key, &hit);
+  return found ? hit : -1;
 }
 
-namespace {
-// Dead-slot sentinel: a freed node reads as a constant with var == -2
-// until MakeDecision/Literal recycles its id (real constants never enter
-// the sweep — ids 0/1 are skipped — and live literals have var >= 0).
-constexpr int kDeadVar = -2;
-}  // namespace
+void SddManager::AddCounters(const PerfCounters& delta) {
+  counters_.apply_calls += delta.apply_calls;
+  counters_.element_products += delta.element_products;
+  counters_.absorb_collapses += delta.absorb_collapses;
+  counters_.compression_merges += delta.compression_merges;
+  counters_.nary_applies += delta.nary_applies;
+  counters_.nary_fallbacks += delta.nary_fallbacks;
+  counters_.sem_apply_hits += delta.sem_apply_hits;
+  counters_.semantic_partitions += delta.semantic_partitions;
+  counters_.semantic_memo_hits += delta.semantic_memo_hits;
+}
+
+void SddManager::BeginParallelRegion() {
+  CTSDD_CHECK(pool_ != nullptr && pool_->parallel())
+      << "BeginParallelRegion without a parallel executor attached";
+  CTSDD_CHECK(!par_active_) << "parallel regions do not nest";
+  CTSDD_CHECK_EQ(apply_depth_, 0) << "parallel region inside an operation";
+  thread_check_.Check();  // verify ownership before suspending it
+  // Pre-intern every literal: parallel tasks then always hit the
+  // literal_ids_ cache and never write it (or link negations through the
+  // sequential Literal path).
+  for (const int v : vtree_.Vars()) {
+    Literal(v, true);
+    Literal(v, false);
+  }
+  thread_check_.BeginShared();
+  EnsureCtxSlots(1 + static_cast<size_t>(pool_->max_slots()));
+  // Pre-size the striped caches: they cannot grow while the region runs,
+  // and a semantic-cache miss cascades into recompilation.
+  apply_cache_.BeginConcurrent(1 << 16);
+  sem_cache_.BeginConcurrent(1 << 14);
+  apply_memo_.BeginConcurrent();
+  par_active_ = true;
+}
+
+void SddManager::EndParallelRegion() {
+  CTSDD_CHECK(par_active_);
+  par_active_ = false;
+  for (Ctx& cx : ctxs_) {
+    // Unused tails of per-worker id blocks become ordinary free-list
+    // entries, reusable by the next sequential allocation and invisible
+    // to GC marking.
+    for (size_t id = cx.alloc_next; id < cx.alloc_end; ++id) {
+      nodes_[id] = {Kind::kConst, false, kDeadVar, -1, nullptr, 0};
+      fast_info_[id] = {-1, -1, 0};
+      free_ids_.push_back(static_cast<NodeId>(id));
+    }
+    cx.alloc_next = cx.alloc_end = 0;
+    // Unused recycled ids go back too (they are already dead-marked).
+    free_ids_.insert(free_ids_.end(), cx.recycled.begin(),
+                     cx.recycled.end());
+    cx.recycled.clear();
+    cx.nary_memo.clear();
+    AddCounters(cx.counters);
+    cx.counters = PerfCounters{};
+  }
+  apply_cache_.EndConcurrent();
+  sem_cache_.EndConcurrent();
+  apply_memo_.EndConcurrent();
+  apply_memo_.Reset();  // region-scoped, like LeaveOp for an operation
+  thread_check_.EndShared();
+}
 
 void SddManager::AddRootRef(NodeId id) {
   thread_check_.Check();
@@ -156,6 +219,7 @@ void SddManager::ReleaseRootRef(NodeId id) {
 size_t SddManager::GarbageCollect() {
   thread_check_.Check();
   CTSDD_CHECK_EQ(apply_depth_, 0) << "GC inside an operation";
+  CTSDD_CHECK(!par_active_) << "GC inside a parallel region";
   ++gc_stats_.runs;
   // Mark from the permanent roots (constants, literals) and every node
   // holding an external reference.
@@ -239,9 +303,10 @@ void SddManager::RebuildSemanticCache() {
 void SddManager::ShrinkCaches() {
   thread_check_.Check();
   CTSDD_CHECK_EQ(apply_depth_, 0) << "ShrinkCaches inside an operation";
+  CTSDD_CHECK(!par_active_) << "ShrinkCaches inside a parallel region";
   apply_cache_.Shrink();
   apply_memo_.Shrink();
-  scratch_.clear();
+  for (Ctx& cx : ctxs_) cx.scratch.clear();
   // The semantic cache backs an invariant (live small-scope functions
   // resolve by word), not just memoized work: release its grown array,
   // then repopulate compactly from the live nodes.
@@ -255,10 +320,13 @@ SddManager::NodeId SddManager::Literal(int var, bool positive) {
   CTSDD_CHECK(var >= 0 && key < literal_ids_.size())
       << "variable x" << var << " not in vtree";
   if (literal_ids_[key] >= 0) return literal_ids_[key];
+  CTSDD_CHECK(!par_active_)
+      << "literal interning inside a parallel region (BeginParallelRegion "
+         "pre-interns the full literal set)";
   const int leaf = vtree_.LeafOf(var);
   CTSDD_CHECK_GE(leaf, 0) << "variable x" << var << " not in vtree";
   const NodeId id = NewNode({Kind::kLiteral, positive, var, leaf, nullptr, 0});
-  RegisterSemantic(id);
+  RegisterSemanticT<false>(id);
   literal_ids_[key] = id;
   // Complement literals are always linked: the second one created links
   // both, so Apply's x op !x short-circuit never misses a literal pair.
@@ -266,7 +334,10 @@ SddManager::NodeId SddManager::Literal(int var, bool positive) {
   return id;
 }
 
-SddManager::NodeId SddManager::MakeDecision(int vnode, Elements* elements_in) {
+template <bool kPar>
+SddManager::NodeId SddManager::MakeDecisionT(Ctx& cx, int vnode,
+                                             Elements* elements_in,
+                                             int depth) {
   Elements& elements = *elements_in;
   // Drop false primes.
   elements.erase(std::remove_if(elements.begin(), elements.end(),
@@ -292,7 +363,7 @@ SddManager::NodeId SddManager::MakeDecision(int vnode, Elements* elements_in) {
     size_t j = i + 1;
     while (j < elements.size() && elements[j].second == sub) ++j;
     if (j - i > 1) {
-      ++counters_.compression_merges;
+      ++cx.counters.compression_merges;
       // Balanced in-place fold of the run's primes (they are pairwise
       // disjoint, so operand sizes roughly add: pairing keeps each Or
       // small instead of one ever-growing accumulator).
@@ -301,8 +372,8 @@ SddManager::NodeId SddManager::MakeDecision(int vnode, Elements* elements_in) {
         size_t w = 0;
         for (size_t p = 0; p + 1 < len; p += 2) {
           elements[i + w++].first =
-              Apply(elements[i + p].first, elements[i + p + 1].first,
-                    Op::kOr);
+              ApplyRecT<kPar>(cx, elements[i + p].first,
+                              elements[i + p + 1].first, Op::kOr, depth + 1);
         }
         if (len % 2 == 1) elements[i + w++].first = elements[i + len - 1].first;
         len = w;
@@ -331,56 +402,115 @@ SddManager::NodeId SddManager::MakeDecision(int vnode, Elements* elements_in) {
   }
   std::sort(elements.begin(), elements.end());
   const uint64_t hash = DecisionHash(vnode, {elements.data(), elements.size()});
-  const int32_t found = unique_.Find(hash, [&](int32_t id) {
+  const auto eq = [&](int32_t id) {
     const Node& n = nodes_[id];
     return n.vnode == vnode && n.num_elems == elements.size() &&
            std::equal(elements.begin(), elements.end(), n.elems);
-  });
-  if (found != UniqueTable::kEmpty) return found;
-  Element* stored = AllocateElements(elements.size());
-  std::copy(elements.begin(), elements.end(), stored);
-  const NodeId id = NewNode({Kind::kDecision, false, -1, vnode, stored,
-                             static_cast<uint32_t>(elements.size())});
-  RegisterSemantic(id);
-  unique_.Insert(hash, id);
-  return id;
+  };
+  if constexpr (kPar) {
+    return unique_.FindOrInsert(hash, eq, [&] {
+      Element* stored = AllocateElements<true>(cx, elements.size());
+      std::copy(elements.begin(), elements.end(), stored);
+      const NodeId id =
+          AllocNodePar(cx, {Kind::kDecision, false, -1, vnode, stored,
+                            static_cast<uint32_t>(elements.size())});
+      RegisterSemanticT<true>(id);
+      return id;
+    });
+  } else {
+    const int32_t found = unique_.Find(hash, eq);
+    if (found != UniqueTable::kEmpty) return found;
+    Element* stored = AllocateElements<false>(cx, elements.size());
+    std::copy(elements.begin(), elements.end(), stored);
+    const NodeId id = NewNode({Kind::kDecision, false, -1, vnode, stored,
+                               static_cast<uint32_t>(elements.size())});
+    RegisterSemanticT<false>(id);
+    unique_.Insert(hash, id);
+    return id;
+  }
 }
 
-SddManager::NodeId SddManager::NewNode(Node n) {
+SddManager::NodeId SddManager::NewNode(const Node& n) {
   if (!free_ids_.empty()) {
     const NodeId id = free_ids_.back();
     free_ids_.pop_back();
     nodes_[id] = n;
     return id;
   }
-  nodes_.push_back(n);
-  return static_cast<NodeId>(nodes_.size()) - 1;
+  const size_t id = nodes_.PushBack(n);
+  fast_info_.Reserve(id + 1);
+  return static_cast<NodeId>(id);
 }
 
-SddManager::Element* SddManager::AllocateElements(size_t n) {
+SddManager::NodeId SddManager::AllocNodePar(Ctx& cx, const Node& n) {
+  if (!cx.recycled.empty()) {
+    const NodeId id = cx.recycled.back();
+    cx.recycled.pop_back();
+    nodes_[id] = n;
+    return id;
+  }
+  if (cx.alloc_next == cx.alloc_end) {
+    // Refill from the GC free list before claiming fresh ids: without
+    // reuse, every parallel cold compile would grow the store past what
+    // collection can ever reclaim.
+    {
+      SpinLockGuard guard(free_ids_lock_);
+      const size_t take = std::min(kAllocBlock, free_ids_.size());
+      if (take > 0) {
+        cx.recycled.assign(free_ids_.end() - take, free_ids_.end());
+        free_ids_.resize(free_ids_.size() - take);
+      }
+    }
+    if (!cx.recycled.empty()) {
+      const NodeId id = cx.recycled.back();
+      cx.recycled.pop_back();
+      nodes_[id] = n;
+      return id;
+    }
+    cx.alloc_next = nodes_.ClaimBlock(kAllocBlock);
+    cx.alloc_end = cx.alloc_next + kAllocBlock;
+    fast_info_.Reserve(cx.alloc_end);
+  }
+  const NodeId id = static_cast<NodeId>(cx.alloc_next++);
+  nodes_[id] = n;
+  return id;
+}
+
+template <bool kPar>
+SddManager::Element* SddManager::AllocateElements(Ctx& cx, size_t n) {
   if (n == 0) return nullptr;
-  // The free map stays empty until a collection has run, so pre-GC
-  // workloads never pay the bucket probe on this hot path.
-  if (!free_elements_.empty()) {
-    const auto it = free_elements_.find(n);
-    if (it != free_elements_.end() && !it->second.empty()) {
-      Element* out = it->second.back();
-      it->second.pop_back();
-      return out;
+  if constexpr (!kPar) {
+    // The free map stays empty until a collection has run, so pre-GC
+    // workloads never pay the bucket probe on this hot path.
+    if (!free_elements_.empty()) {
+      const auto it = free_elements_.find(n);
+      if (it != free_elements_.end() && !it->second.empty()) {
+        Element* out = it->second.back();
+        it->second.pop_back();
+        return out;
+      }
     }
   }
-  return element_arena_.Allocate(n);
+  return cx.element_arena.Allocate(n);
 }
 
 SddManager::NodeId SddManager::Decision(int vnode, Elements elements) {
   thread_check_.Check();
   CTSDD_CHECK(!vtree_.is_leaf(vnode))
       << "decisions are normalized at internal vtree nodes";
-  return MakeDecision(vnode, &elements);
+  if (par_active_) {
+    return MakeDecisionT<true>(CurCtx(), vnode, &elements, 0);
+  }
+  ++apply_depth_;
+  const NodeId result = MakeDecisionT<false>(ctxs_[0], vnode, &elements, 0);
+  LeaveOp();
+  return result;
 }
 
-SddManager::ElementSpan SddManager::LiftTo(int vnode, NodeId a,
-                                           std::array<Element, 2>* store) {
+template <bool kPar>
+SddManager::ElementSpan SddManager::LiftTo(Ctx& cx, int vnode, NodeId a,
+                                           std::array<Element, 2>* store,
+                                           int depth) {
   const Node& n = nodes_[a];
   if (n.kind == Kind::kDecision && n.vnode == vnode) {
     return {n.elems, n.num_elems};
@@ -389,8 +519,8 @@ SddManager::ElementSpan SddManager::LiftTo(int vnode, NodeId a,
   CTSDD_CHECK_GE(where, 0);
   if (vtree_.IsAncestorOrSelf(vtree_.left(vnode), where)) {
     // `a` lives in the left subtree: (a AND true) OR (!a AND false).
-    // Not(a) may grow nodes_, so `n` is dead after this point.
-    const NodeId not_a = Not(a);
+    // NotRec may grow nodes_, so `n` is dead after this point.
+    const NodeId not_a = NotRecT<kPar>(cx, a, depth);
     (*store)[0] = {a, kTrue};
     (*store)[1] = {not_a, kFalse};
     return {store->data(), 2};
@@ -403,22 +533,32 @@ SddManager::ElementSpan SddManager::LiftTo(int vnode, NodeId a,
 
 SddManager::NodeId SddManager::Apply(NodeId a, NodeId b, Op op) {
   thread_check_.Check();
+  if (par_active_) {
+    // Nested call from inside an open region (compiler task or a caller
+    // spanning several operations): the region owner resets the memos.
+    return ApplyRecT<true>(CurCtx(), a, b, op, 0);
+  }
+  if (pool_ != nullptr && pool_->parallel()) {
+    BeginParallelRegion();
+    const NodeId result = ApplyRecT<true>(CurCtx(), a, b, op, 0);
+    EndParallelRegion();
+    return result;
+  }
   ++apply_depth_;
-  const NodeId result = ApplyRec(a, b, op);
+  const NodeId result = ApplyRecT<false>(ctxs_[0], a, b, op, 0);
   // The exact memos only live for the outermost operation; resetting them
   // here keeps apply memory bounded by a single operation's footprint.
-  if (--apply_depth_ == 0) {
-    apply_memo_.Reset();
-    nary_memo_.clear();
-  }
+  LeaveOp();
   return result;
 }
 
-SddManager::NodeId SddManager::ApplyRec(NodeId a, NodeId b, Op op) {
-  ++counters_.apply_calls;
+template <bool kPar>
+SddManager::NodeId SddManager::ApplyRecT(Ctx& cx, NodeId a, NodeId b, Op op,
+                                         int depth) {
+  ++cx.counters.apply_calls;
   // Terminals, f op f, recorded negations, and the small-scope word
   // semantics — all resolved before any cache probe.
-  const NodeId fast = FastApply(a, b, op);
+  const NodeId fast = FastApplyT<kPar>(cx, a, b, op);
   if (fast >= 0) return fast;
   if (a > b) std::swap(a, b);
   const ApplyKey key{a, b, op};
@@ -426,8 +566,13 @@ SddManager::NodeId SddManager::ApplyRec(NodeId a, NodeId b, Op op) {
                               static_cast<uint64_t>(b),
                               static_cast<uint64_t>(op));
   NodeId cached;
-  if (apply_cache_.Lookup(hash, key, &cached)) return cached;
-  if (apply_memo_.Lookup(hash, key, &cached)) return cached;
+  if constexpr (kPar) {
+    if (apply_cache_.LookupC(hash, key, &cached)) return cached;
+    if (apply_memo_.LookupC(hash, key, &cached)) return cached;
+  } else {
+    if (apply_cache_.Lookup(hash, key, &cached)) return cached;
+    if (apply_memo_.Lookup(hash, key, &cached)) return cached;
+  }
 
   // Distinct literals of one variable are complements, caught above; the
   // LCA of the remaining cases is internal.
@@ -436,18 +581,18 @@ SddManager::NodeId SddManager::ApplyRec(NodeId a, NodeId b, Op op) {
   // The spans stay valid across the recursive Apply calls below: arena
   // chunks never move and the lift stores live on this frame.
   std::array<Element, 2> store_a, store_b;
-  const ElementSpan ea = LiftTo(lca, a, &store_a);
-  const ElementSpan eb = LiftTo(lca, b, &store_b);
+  const ElementSpan ea = LiftTo<kPar>(cx, lca, a, &store_a, depth);
+  const ElementSpan eb = LiftTo<kPar>(cx, lca, b, &store_b, depth);
   // Depth-indexed scratch: deeper recursive frames (including the ones
   // MakeDecision's compression spawns) use deeper buffers, so this
   // frame's elements survive the recursion without a fresh allocation.
-  while (scratch_.size() <= rec_depth_) scratch_.emplace_back();
-  Elements& out = scratch_[rec_depth_];
-  ++rec_depth_;
+  while (cx.scratch.size() <= cx.rec_depth) cx.scratch.emplace_back();
+  Elements& out = cx.scratch[cx.rec_depth];
+  ++cx.rec_depth;
   out.clear();
   out.reserve(ea.size() + eb.size() + ea.size() * eb.size());
-  // Absorbing-sub collapse: a row (column) whose sub already equals the
-  // op's absorbing terminal contributes that sub on its whole prime, and
+  // Absorbing-sub collapse: a row (column) whose sub is already the op's
+  // absorbing terminal contributes that sub on its whole prime, and
   // since the other operand's primes are exhaustive the merged prime
   // collapses to the row's own prime — zero applies. (The emitted rows
   // and columns may overlap on the absorbing sub; compression disjoins
@@ -459,27 +604,67 @@ SddManager::NodeId SddManager::ApplyRec(NodeId a, NodeId b, Op op) {
   for (const auto& [p2, s2] : eb) {
     if (s2 == absorbing) out.emplace_back(p2, s2);
   }
-  counters_.absorb_collapses += out.size();
-  for (const auto& [p1, s1] : ea) {
-    if (s1 == absorbing) continue;
-    for (const auto& [p2, s2] : eb) {
-      if (s2 == absorbing) continue;
-      // Inline resolution first: for unstructured operands most prime
-      // pairs are disjoint and die in FastApply's word compare without a
-      // recursive call.
-      NodeId p = FastApply(p1, p2, Op::kAnd);
-      if (p < 0) p = ApplyRec(p1, p2, Op::kAnd);
-      if (p == kFalse) continue;
-      NodeId s = (s1 == s2) ? s1 : FastApply(s1, s2, op);
-      if (s < 0) s = ApplyRec(s1, s2, op);
-      out.emplace_back(p, s);
+  cx.counters.absorb_collapses += out.size();
+  bool forked = false;
+  if constexpr (kPar) {
+    // Row-parallel element product: each row of `ea` crosses all of `eb`
+    // independently — fork them across the pool while shallow. Rows
+    // collect into per-row buffers and merge afterwards; MakeDecision
+    // sorts, so emission order is immaterial (canonicity).
+    if (depth < kForkDepth && ea.size() >= 2) {
+      forked = true;
+      std::vector<Elements> row_out(ea.size());
+      exec::ParallelFor(
+          pool_, ea.size(), [&](size_t r) {
+            Ctx& wcx = CurCtx();
+            const auto& [p1, s1] = ea[r];
+            if (s1 == absorbing) return;
+            Elements& row = row_out[r];
+            for (const auto& [p2, s2] : eb) {
+              if (s2 == absorbing) continue;
+              NodeId p = FastApplyT<true>(wcx, p1, p2, Op::kAnd);
+              if (p < 0) {
+                p = ApplyRecT<true>(wcx, p1, p2, Op::kAnd, depth + 1);
+              }
+              if (p == kFalse) continue;
+              NodeId s =
+                  (s1 == s2) ? s1 : FastApplyT<true>(wcx, s1, s2, op);
+              if (s < 0) s = ApplyRecT<true>(wcx, s1, s2, op, depth + 1);
+              row.emplace_back(p, s);
+            }
+          });
+      for (const Elements& row : row_out) {
+        out.insert(out.end(), row.begin(), row.end());
+      }
     }
   }
-  counters_.element_products += out.size();
-  const NodeId result = MakeDecision(lca, &out);
-  --rec_depth_;
-  apply_cache_.Store(hash, key, result);
-  apply_memo_.Insert(hash, key, result);
+  if (!forked) {
+    for (const auto& [p1, s1] : ea) {
+      if (s1 == absorbing) continue;
+      for (const auto& [p2, s2] : eb) {
+        if (s2 == absorbing) continue;
+        // Inline resolution first: for unstructured operands most prime
+        // pairs are disjoint and die in FastApply's word compare without
+        // a recursive call.
+        NodeId p = FastApplyT<kPar>(cx, p1, p2, Op::kAnd);
+        if (p < 0) p = ApplyRecT<kPar>(cx, p1, p2, Op::kAnd, depth + 1);
+        if (p == kFalse) continue;
+        NodeId s = (s1 == s2) ? s1 : FastApplyT<kPar>(cx, s1, s2, op);
+        if (s < 0) s = ApplyRecT<kPar>(cx, s1, s2, op, depth + 1);
+        out.emplace_back(p, s);
+      }
+    }
+  }
+  cx.counters.element_products += out.size();
+  const NodeId result = MakeDecisionT<kPar>(cx, lca, &out, depth);
+  --cx.rec_depth;
+  if constexpr (kPar) {
+    apply_cache_.StoreC(hash, key, result);
+    apply_memo_.InsertC(hash, key, result);
+  } else {
+    apply_cache_.Store(hash, key, result);
+    apply_memo_.Insert(hash, key, result);
+  }
   return result;
 }
 
@@ -491,8 +676,8 @@ SddManager::NodeId SddManager::Or(NodeId a, NodeId b) {
   return Apply(a, b, Op::kOr);
 }
 
-bool SddManager::NormalizeNaryOps(std::vector<NodeId>* ops_in, Op op,
-                                  NodeId* out) {
+bool SddManager::NormalizeNaryOps(Ctx& cx, std::vector<NodeId>* ops_in,
+                                  Op op, NodeId* out) {
   std::vector<NodeId>& ops = *ops_in;
   const NodeId absorbing = (op == Op::kAnd) ? kFalse : kTrue;
   const NodeId identity = (op == Op::kAnd) ? kTrue : kFalse;
@@ -508,14 +693,15 @@ bool SddManager::NormalizeNaryOps(std::vector<NodeId>* ops_in, Op op,
   // Duplicate and complementary operands decide or shrink the fold before
   // any apply runs. The sorted probe set is scratch (reused across calls
   // to keep this allocation-free on the hot path — NormalizeNaryOps never
-  // re-enters itself): the caller's operand order is deliberate (fold
-  // locality) and must be preserved.
-  std::vector<NodeId>& sorted = nary_probe_scratch_;
+  // re-enters itself within a context): the caller's operand order is
+  // deliberate (fold locality) and must be preserved.
+  std::vector<NodeId>& sorted = cx.nary_probe_scratch;
   sorted.assign(ops.begin(), ops.end());
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
   for (const NodeId x : sorted) {
-    const NodeId nx = fast_info_[x].negation;
+    const NodeId nx =
+        NegationOf(fast_info_[x]).load(std::memory_order_relaxed);
     if (nx >= 0 && std::binary_search(sorted.begin(), sorted.end(), nx)) {
       *out = absorbing;  // x op !x
       return true;
@@ -545,12 +731,15 @@ bool SddManager::NormalizeNaryOps(std::vector<NodeId>* ops_in, Op op,
   return false;
 }
 
-SddManager::NodeId SddManager::ApplyN(const std::vector<NodeId>& ops, Op op) {
-  if (ops.size() == 2) return ApplyRec(ops[0], ops[1], op);
+template <bool kPar>
+SddManager::NodeId SddManager::ApplyNT(Ctx& cx,
+                                       const std::vector<NodeId>& ops, Op op,
+                                       int depth) {
+  if (ops.size() == 2) return ApplyRecT<kPar>(cx, ops[0], ops[1], op, depth);
   NaryKey key{op, ops};
   std::sort(key.ops.begin(), key.ops.end());  // order-insensitive memo key
-  const auto it = nary_memo_.find(key);
-  if (it != nary_memo_.end()) return it->second;
+  const auto it = cx.nary_memo.find(key);
+  if (it != cx.nary_memo.end()) return it->second;
 
   int lca = nodes_[ops[0]].vnode;
   for (size_t i = 1; i < ops.size(); ++i) {
@@ -563,7 +752,7 @@ SddManager::NodeId SddManager::ApplyN(const std::vector<NodeId>& ops, Op op) {
   std::vector<ElementSpan> spans(ops.size());
   size_t product = 1;
   for (size_t i = 0; i < ops.size(); ++i) {
-    spans[i] = LiftTo(lca, ops[i], &stores[i]);
+    spans[i] = LiftTo<kPar>(cx, lca, ops[i], &stores[i], depth);
     // Saturate at the cap: the running multiply must not wrap (eight
     // 256-element operands already reach 2^64).
     product = (product > kNaryProductCap)
@@ -576,32 +765,32 @@ SddManager::NodeId SddManager::ApplyN(const std::vector<NodeId>& ops, Op op) {
     // with binary applies, whose per-step canonicalization keeps
     // intermediates compressed. Sequential for And (each conjunct
     // constrains the accumulator), balanced for Or (disjuncts don't).
-    ++counters_.nary_fallbacks;
+    ++cx.counters.nary_fallbacks;
     if (op == Op::kAnd) {
       result = ops[0];
       for (size_t i = 1; i < ops.size() && result != kFalse; ++i) {
-        result = ApplyRec(result, ops[i], op);
+        result = ApplyRecT<kPar>(cx, result, ops[i], op, depth);
       }
     } else {
       std::vector<NodeId> fold = ops;
       while (fold.size() > 1) {
         size_t next = 0;
         for (size_t i = 0; i + 1 < fold.size(); i += 2) {
-          fold[next++] = ApplyRec(fold[i], fold[i + 1], op);
+          fold[next++] = ApplyRecT<kPar>(cx, fold[i], fold[i + 1], op, depth);
         }
         if (fold.size() % 2 == 1) fold[next++] = fold.back();
         fold.resize(next);
       }
       result = fold[0];
     }
-    nary_memo_.emplace(std::move(key), result);
+    cx.nary_memo.emplace(std::move(key), result);
     return result;
   }
 
-  ++counters_.nary_applies;
-  while (scratch_.size() <= rec_depth_) scratch_.emplace_back();
-  Elements& out = scratch_[rec_depth_];
-  ++rec_depth_;
+  ++cx.counters.nary_applies;
+  while (cx.scratch.size() <= cx.rec_depth) cx.scratch.emplace_back();
+  Elements& out = cx.scratch[cx.rec_depth];
+  ++cx.rec_depth;
   out.clear();
   // Absorbing-sub collapse, n-ary: an element whose sub is already the
   // op's absorbing terminal contributes (prime, absorbing) outright (the
@@ -612,7 +801,7 @@ SddManager::NodeId SddManager::ApplyN(const std::vector<NodeId>& ops, Op op) {
     for (const auto& [p, s] : span) {
       if (s == absorbing) {
         out.emplace_back(p, s);
-        ++counters_.absorb_collapses;
+        ++cx.counters.absorb_collapses;
       }
     }
   }
@@ -634,7 +823,9 @@ SddManager::NodeId SddManager::ApplyN(const std::vector<NodeId>& ops, Op op) {
     if (level == spans.size()) {
       sub_ops.assign(subs.begin(), subs.end());
       NodeId s;
-      if (!NormalizeNaryOps(&sub_ops, op, &s)) s = ApplyN(sub_ops, op);
+      if (!NormalizeNaryOps(cx, &sub_ops, op, &s)) {
+        s = ApplyNT<kPar>(cx, sub_ops, op, depth + 1);
+      }
       out.emplace_back(acc, s);
       return;
     }
@@ -642,8 +833,8 @@ SddManager::NodeId SddManager::ApplyN(const std::vector<NodeId>& ops, Op op) {
       if (s == absorbing) continue;  // collapsed above
       NodeId cell = p;
       if (acc != kTrue) {
-        cell = FastApply(acc, p, Op::kAnd);
-        if (cell < 0) cell = ApplyRec(acc, p, Op::kAnd);
+        cell = FastApplyT<kPar>(cx, acc, p, Op::kAnd);
+        if (cell < 0) cell = ApplyRecT<kPar>(cx, acc, p, Op::kAnd, depth + 1);
       }
       if (cell == kFalse) continue;
       subs[level] = s;
@@ -651,22 +842,21 @@ SddManager::NodeId SddManager::ApplyN(const std::vector<NodeId>& ops, Op op) {
     }
   };
   dfs(dfs, 0, kTrue);
-  counters_.element_products += out.size();
-  result = MakeDecision(lca, &out);
-  --rec_depth_;
-  nary_memo_.emplace(std::move(key), result);
+  cx.counters.element_products += out.size();
+  result = MakeDecisionT<kPar>(cx, lca, &out, depth);
+  --cx.rec_depth;
+  cx.nary_memo.emplace(std::move(key), result);
   return result;
 }
 
-SddManager::NodeId SddManager::AndN(std::vector<NodeId> ops) {
-  thread_check_.Check();
+template <bool kPar>
+SddManager::NodeId SddManager::AndNT(Ctx& cx, std::vector<NodeId> ops) {
   NodeId result;
-  if (NormalizeNaryOps(&ops, Op::kAnd, &result)) return result;
-  ++apply_depth_;
+  if (NormalizeNaryOps(cx, &ops, Op::kAnd, &result)) return result;
   if (ops.size() <= kNaryFoldArity) {
     // One n-ary element product: wide gates canonicalize once instead of
     // paying MakeDecision per binary apply.
-    result = ApplyN(ops, Op::kAnd);
+    result = ApplyNT<kPar>(cx, ops, Op::kAnd, 0);
   } else {
     // Sequential accumulation: each conjunct constrains the accumulator,
     // so intermediates shrink as constraints pile up (the CNF-compilation
@@ -674,21 +864,16 @@ SddManager::NodeId SddManager::AndN(std::vector<NodeId> ops) {
     // halves — ~300x slower on the ladder workloads).
     result = ops[0];
     for (size_t i = 1; i < ops.size() && result != kFalse; ++i) {
-      result = ApplyRec(result, ops[i], Op::kAnd);
+      result = ApplyRecT<kPar>(cx, result, ops[i], Op::kAnd, 0);
     }
-  }
-  if (--apply_depth_ == 0) {
-    apply_memo_.Reset();
-    nary_memo_.clear();
   }
   return result;
 }
 
-SddManager::NodeId SddManager::OrN(std::vector<NodeId> ops) {
-  thread_check_.Check();
+template <bool kPar>
+SddManager::NodeId SddManager::OrNT(Ctx& cx, std::vector<NodeId> ops) {
   NodeId result;
-  if (NormalizeNaryOps(&ops, Op::kOr, &result)) return result;
-  ++apply_depth_;
+  if (NormalizeNaryOps(cx, &ops, Op::kOr, &result)) return result;
   // Balanced chunked fold: disjuncts do not constrain each other, so a
   // sequential accumulator would re-walk an ever-growing DNF-like result
   // per operand; combining up to kNaryFoldArity scope-adjacent disjuncts
@@ -701,8 +886,8 @@ SddManager::NodeId SddManager::OrN(std::vector<NodeId> ops) {
       const size_t end = std::min(ops.size(), i + kNaryFoldArity);
       std::vector<NodeId> chunk(ops.begin() + i, ops.begin() + end);
       NodeId combined;
-      if (!NormalizeNaryOps(&chunk, Op::kOr, &combined)) {
-        combined = ApplyN(chunk, Op::kOr);
+      if (!NormalizeNaryOps(cx, &chunk, Op::kOr, &combined)) {
+        combined = ApplyNT<kPar>(cx, chunk, Op::kOr, 0);
       }
       saw_true = (combined == kTrue);
       ops[next++] = combined;
@@ -713,27 +898,65 @@ SddManager::NodeId SddManager::OrN(std::vector<NodeId> ops) {
       break;
     }
   }
-  result = ops[0];
-  if (--apply_depth_ == 0) {
-    apply_memo_.Reset();
-    nary_memo_.clear();
+  return ops[0];
+}
+
+SddManager::NodeId SddManager::AndN(std::vector<NodeId> ops) {
+  thread_check_.Check();
+  if (par_active_) {
+    return AndNT<true>(CurCtx(), std::move(ops));
   }
+  if (pool_ != nullptr && pool_->parallel()) {
+    BeginParallelRegion();
+    const NodeId result = AndNT<true>(CurCtx(), std::move(ops));
+    EndParallelRegion();
+    return result;
+  }
+  ++apply_depth_;
+  const NodeId result = AndNT<false>(ctxs_[0], std::move(ops));
+  LeaveOp();
+  return result;
+}
+
+SddManager::NodeId SddManager::OrN(std::vector<NodeId> ops) {
+  thread_check_.Check();
+  if (par_active_) {
+    return OrNT<true>(CurCtx(), std::move(ops));
+  }
+  if (pool_ != nullptr && pool_->parallel()) {
+    BeginParallelRegion();
+    const NodeId result = OrNT<true>(CurCtx(), std::move(ops));
+    EndParallelRegion();
+    return result;
+  }
+  ++apply_depth_;
+  const NodeId result = OrNT<false>(ctxs_[0], std::move(ops));
+  LeaveOp();
   return result;
 }
 
 SddManager::NodeId SddManager::Not(NodeId a) {
   thread_check_.Check();
-  return NotRec(a);
+  if (par_active_) {
+    return NotRecT<true>(CurCtx(), a, 0);
+  }
+  ++apply_depth_;
+  const NodeId result = NotRecT<false>(ctxs_[0], a, 0);
+  LeaveOp();
+  return result;
 }
 
-SddManager::NodeId SddManager::NotRec(NodeId a) {
+template <bool kPar>
+SddManager::NodeId SddManager::NotRecT(Ctx& cx, NodeId a, int depth) {
   if (a == kFalse) return kTrue;
   if (a == kTrue) return kFalse;
   // The exact negation links are a complete, unbounded memo: every
   // negation ever computed (and every complement literal pair) is linked,
   // so a hit here is O(1) and a whole-diagram negation visits each
   // unlinked node once.
-  if (fast_info_[a].negation >= 0) return fast_info_[a].negation;
+  const NodeId linked =
+      NegationOf(fast_info_[a]).load(std::memory_order_relaxed);
+  if (linked >= 0) return linked;
   // Copy the node header: recursive calls below may grow nodes_. The
   // element pointer stays valid (arena chunks never move).
   const Node n = nodes_[a];
@@ -742,8 +965,8 @@ SddManager::NodeId SddManager::NotRec(NodeId a) {
     result = Literal(n.var, !n.sense);
   } else {
     Elements out(n.elems, n.elems + n.num_elems);
-    for (auto& [p, s] : out) s = NotRec(s);
-    result = MakeDecision(n.vnode, &out);
+    for (auto& [p, s] : out) s = NotRecT<kPar>(cx, s, depth);
+    result = MakeDecisionT<kPar>(cx, n.vnode, &out, depth);
   }
   LinkNegations(a, result);
   return result;
@@ -751,8 +974,10 @@ SddManager::NodeId SddManager::NotRec(NodeId a) {
 
 SddManager::NodeId SddManager::Restrict(NodeId a, int var, bool value) {
   thread_check_.Check();
+  CTSDD_CHECK(!par_active_) << "Restrict inside a parallel region";
   const int leaf = vtree_.LeafOf(var);
   CTSDD_CHECK_GE(leaf, 0);
+  ++apply_depth_;
   std::unordered_map<NodeId, NodeId> memo;
   std::function<NodeId(NodeId)> rec = [&](NodeId u) -> NodeId {
     if (IsConst(u)) return u;
@@ -772,12 +997,14 @@ SddManager::NodeId SddManager::Restrict(NodeId a, int var, bool value) {
       } else {
         for (auto& [p, s] : out) s = rec(s);
       }
-      result = MakeDecision(n.vnode, &out);
+      result = MakeDecisionT<false>(ctxs_[0], n.vnode, &out, 0);
     }
     memo.emplace(u, result);
     return result;
   };
-  return rec(a);
+  const NodeId result = rec(a);
+  LeaveOp();
+  return result;
 }
 
 SddManager::NodeId SddManager::Exists(NodeId a, int var) {

@@ -14,20 +14,36 @@
 // each element is one AND gate structured by v in the circuit reading of
 // the SDD.
 //
-// Storage: decision-node elements live in a chunked pool arena with stable
-// addresses (util/arena.h); a node is (vnode, pointer, count), so the
-// unique-table probe hashes the raw element words in place instead of
-// copying an owning vector per key, and Apply can walk an operand's
-// elements while recursive calls allocate. Apply results are memoized in a
-// bounded computed cache (util/computed_cache.h): eviction costs
-// recomputation, never correctness — canonicity lives in the unique table
-// alone. Negations are exact permanent links (one int per node), and the
-// apply hot path consults them to resolve f op !f without a cache probe.
+// Storage: nodes live in a chunked stable-address store
+// (util/node_store.h); decision-node elements live in per-context pool
+// arenas with stable addresses (util/arena.h); a node is (vnode, pointer,
+// count), so the unique-table probe hashes the raw element words in place
+// instead of copying an owning vector per key, and Apply can walk an
+// operand's elements while recursive calls allocate. Apply results are
+// memoized in a bounded computed cache (util/computed_cache.h): eviction
+// costs recomputation, never correctness — canonicity lives in the unique
+// table alone. Negations are exact permanent links (one atomic int per
+// node), and the apply hot path consults them to resolve f op !f without
+// a cache probe.
+//
+// Parallel apply/compile (exec/): AttachExecutor lends the manager a
+// work-stealing pool; apply entry points then fork independent element
+// products across workers inside a *parallel region*, and the
+// vtree-guided semantic compiler (sdd/sdd_compile.cc) forks its
+// left-scope cofactor partitions the same way. Within a region the
+// unique table runs its CAS insert-or-find protocol, the apply/semantic
+// caches and the apply memo are lock-striped, node ids and element spans
+// are allocated from per-worker stripes, and the owning-thread assertion
+// is suspended (util/thread_check.h ParallelRegion). Results are
+// pointer-identical to sequential compilation — canonicity hash-conses
+// every decision to one id regardless of which worker builds it first —
+// so GC, negation links, and the semantic cache work unchanged.
 
 #ifndef CTSDD_SDD_SDD_H_
 #define CTSDD_SDD_SDD_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -36,10 +52,13 @@
 #include <utility>
 #include <vector>
 
+#include "exec/task_pool.h"
 #include "func/bool_func.h"
 #include "util/arena.h"
 #include "util/computed_cache.h"
+#include "util/node_store.h"
 #include "util/scoped_memo.h"
+#include "util/spinlock.h"
 #include "util/status.h"
 #include "util/thread_check.h"
 #include "util/unique_table.h"
@@ -72,8 +91,8 @@ class SddManager {
   using Element = std::pair<NodeId, NodeId>;
   // Elements of a decision node, sorted by (prime, sub) id.
   using Elements = std::vector<Element>;
-  // Read-only view into the element arena; stays valid for the manager's
-  // lifetime (the arena never moves allocated chunks).
+  // Read-only view into an element arena; stays valid for the manager's
+  // lifetime (arenas never move allocated chunks).
   using ElementSpan = std::span<const Element>;
 
   using Options = SddOptions;
@@ -92,7 +111,8 @@ class SddManager {
   // over the left scope of `vnode`, subs within the right scope — exactly
   // the contract Validate() checks. This is the entry point for compilers
   // that construct partitions directly (the vtree-guided semantic compiler
-  // in sdd/sdd_compile.cc) instead of going through Apply.
+  // in sdd/sdd_compile.cc) instead of going through Apply. Safe to call
+  // from worker tasks inside an open parallel region.
   NodeId Decision(int vnode, Elements elements);
 
   NodeId And(NodeId a, NodeId b);
@@ -165,6 +185,21 @@ class SddManager {
     return static_cast<int>(nodes_.size() - free_ids_.size());
   }
 
+  // --- Parallel execution ------------------------------------------------
+  //
+  // Same contract as ObddManager: with a parallel pool attached, apply
+  // entry points fork inside an exec-managed region, and compilers (the
+  // vtree-semantic path) may span many operations in one explicit region.
+  // Regions exclude GC/root bookkeeping; results are pointer-identical
+  // to sequential execution.
+
+  void AttachExecutor(exec::TaskPool* pool) { pool_ = pool; }
+  exec::TaskPool* executor() const { return pool_; }
+  bool InParallelRegion() const { return par_active_; }
+
+  void BeginParallelRegion();
+  void EndParallelRegion();
+
   // --- Memory lifecycle -------------------------------------------------
   //
   // Same contract as ObddManager: the manager only collects nodes that
@@ -176,7 +211,7 @@ class SddManager {
   // collected function reproduces pointer-identical ids for every
   // surviving subgraph. Freed decision nodes donate their element spans
   // to a size-bucketed free list that MakeDecision reuses, so the element
-  // arena's footprint is bounded by its live + recycled high-water mark.
+  // arenas' footprint is bounded by their live + recycled high-water mark.
 
   // Registers `id` as an external root (ref-counted). Constants and
   // literals need no protection (they are permanent).
@@ -185,7 +220,8 @@ class SddManager {
   void ReleaseRootRef(NodeId id);
 
   // Mark-from-roots collection; returns the number of nodes reclaimed.
-  // Must not be called from inside an operation (apply depth 0).
+  // Must not be called from inside an operation (apply depth 0) or a
+  // parallel region.
   size_t GarbageCollect();
 
   // Returns the computed caches and per-operation memos to their initial
@@ -224,7 +260,9 @@ class SddManager {
   }
 
   // Work counters for the apply/compile hot paths, for benches and
-  // regression diagnosis. Monotone over the manager's lifetime.
+  // regression diagnosis. Monotone over the manager's lifetime; inside a
+  // parallel region increments accumulate per worker and merge when the
+  // region ends, so read them outside regions.
   struct PerfCounters {
     uint64_t apply_calls = 0;       // ApplyRec entries (incl. recursive)
     uint64_t element_products = 0;  // (prime, sub) pairs emitted by apply
@@ -239,12 +277,20 @@ class SddManager {
   const PerfCounters& counters() const { return counters_; }
   // The semantic compiler (sdd/sdd_compile.cc) reports its partition and
   // memo-hit counts here so one stats surface covers both pipelines.
+  // Single-owner contexts only; worker tasks report through
+  // AddCounters().
   PerfCounters* mutable_counters() { return &counters_; }
+  // Merges a batch of externally accumulated counters (the parallel
+  // semantic compiler's per-task tallies).
+  void AddCounters(const PerfCounters& delta);
 
   // The recorded negation of `a`, or -1 when not (yet) known. Complement
   // literal pairs and every Not() result are linked eagerly, which lets
   // Apply short-circuit f op !f without a cache probe.
-  NodeId KnownNegation(NodeId a) const { return fast_info_[a].negation; }
+  NodeId KnownNegation(NodeId a) const {
+    return NegationOf(const_cast<FastInfo&>(fast_info_[a]))
+        .load(std::memory_order_relaxed);
+  }
 
   // --- Small-scope semantic layer ---
   //
@@ -267,6 +313,7 @@ class SddManager {
   // The canonical node computing truth table `word` over the scope of
   // `vnode`'s small anchor, or -1 when none is cached. `vnode` must have
   // a small anchor and `word` must be masked to the anchor's table.
+  // Routes through the striped cache protocol inside a parallel region.
   NodeId LookupSemantic(int vnode, uint64_t word);
 
   // --- Node access (read-only) ---
@@ -296,117 +343,6 @@ class SddManager {
  private:
   enum class Op : uint8_t { kAnd, kOr };
 
-  // Fan-in up to which AndN/OrN use the n-ary element product (ApplyN)
-  // instead of folding binary applies; above it, AndN accumulates
-  // sequentially and OrN folds ApplyN chunks of this arity.
-  static constexpr size_t kNaryFoldArity = 8;
-  // Element-product budget for one ApplyN expansion (product of operand
-  // element counts); past it the operands fall back to binary folding,
-  // whose intermediate canonicalization keeps the meet partition in check.
-  static constexpr size_t kNaryProductCap = 4096;
-
-  // Canonicalizes (compress + trim + hash-cons) the elements in *elements,
-  // which is consumed as scratch space. All recursive Apply calls the
-  // compression needs happen before the unique-table probe.
-  NodeId MakeDecision(int vnode, Elements* elements);
-  // The unique-table hash of a decision's sorted elements (shared by
-  // MakeDecision and the GC rebuild).
-  static uint64_t DecisionHash(int vnode, ElementSpan elements);
-  // Arena allocation with recycling: exact-size spans freed by the GC are
-  // reused before the arena grows.
-  Element* AllocateElements(size_t n);
-  // Places `n` in a GC-recycled slot when one is free, else appends.
-  NodeId NewNode(Node n);
-  // Re-registers every live small-scope node's (anchor, word) -> id
-  // entry, restoring the semantic layer after the cache was cleared
-  // (GC) or released (ShrinkCaches).
-  void RebuildSemanticCache();
-  // Two-level memoization: the bounded global apply cache gives cross-
-  // operation reuse; an exact memo scoped to each top-level Apply call
-  // preserves the O(|a|·|b|) apply bound even when the global cache
-  // evicts (a lossy cache alone turns deep recursions exponential once
-  // the live set outgrows it). The memo is cleared when the outermost
-  // Apply returns, so its memory is bounded by one operation's footprint.
-  NodeId Apply(NodeId a, NodeId b, Op op);
-  NodeId ApplyRec(NodeId a, NodeId b, Op op);
-  // Constant-time resolution attempt, inlined into the element-product
-  // loops so the (dominant) trivially-resolvable pairs never pay a
-  // recursive call: terminals, equality, recorded negations, and the
-  // small-scope word semantics (disjointness, coverage, subsumption, and
-  // cached result functions). Returns -1 when a full ApplyRec is needed.
-  NodeId FastApply(NodeId a, NodeId b, Op op) {
-    if (op == Op::kAnd) {
-      if (a == kFalse || b == kFalse) return kFalse;
-      if (a == kTrue) return b;
-      if (b == kTrue) return a;
-    } else {
-      if (a == kTrue || b == kTrue) return kTrue;
-      if (a == kFalse) return b;
-      if (b == kFalse) return a;
-    }
-    if (a == b) return a;
-    const FastInfo& fa = fast_info_[a];
-    const FastInfo& fb = fast_info_[b];
-    if (fa.negation == b) return (op == Op::kAnd) ? kFalse : kTrue;
-    const int anchor = fa.anchor;
-    if (anchor < 0 || anchor != fb.anchor) return -1;
-    const uint64_t wr =
-        (op == Op::kAnd) ? (fa.word & fb.word) : (fa.word | fb.word);
-    NodeId hit = -1;
-    if (wr == 0) {
-      hit = kFalse;
-    } else if (wr == anchor_mask_of_vnode_[anchor]) {
-      hit = kTrue;
-    } else if (wr == fa.word) {
-      hit = a;
-    } else if (wr == fb.word) {
-      hit = b;
-    } else {
-      NodeId cached;
-      if (sem_cache_.Lookup(Hash2SemKey(anchor, wr), SemKey{anchor, wr},
-                            &cached)) {
-        hit = cached;
-      }
-    }
-    if (hit >= 0) ++counters_.sem_apply_hits;
-    return hit;
-  }
-  static uint64_t Hash2SemKey(int anchor, uint64_t word);
-  // n-ary apply: lifts all operands to their common vtree LCA and runs one
-  // pruned element product over every operand's element list — dead
-  // (false) partial primes cut whole subtrees of the product, subs combine
-  // by a recursive n-ary fold, and the result canonicalizes once instead
-  // of once per binary apply. `ops` must be constant-free and duplicate-
-  // free with >= 2 entries (NormalizeNaryOps's postcondition); order is
-  // free — the caller's sequence is preserved, and only the internal memo
-  // key is sorted. Falls back to binary folds past kNaryProductCap.
-  NodeId ApplyN(const std::vector<NodeId>& ops, Op op);
-  // Shared operand normalization for AndN/OrN/ApplyN: drops identity
-  // operands and duplicates, sorts, and detects absorbing terminals and
-  // complementary pairs. Returns true if the fold is decided immediately
-  // (result in *out).
-  bool NormalizeNaryOps(std::vector<NodeId>* ops, Op op, NodeId* out);
-  NodeId NotRec(NodeId a);
-  // Records a <-> b as negations of each other (for apply short-circuits).
-  void LinkNegations(NodeId a, NodeId b);
-  // Computes and registers the semantic word of a freshly created node
-  // whose vnode has a small anchor (no-op otherwise). Must be called for
-  // every node pushed onto nodes_, in id order.
-  void RegisterSemantic(NodeId id);
-  // A view of `a` as elements normalized at `vnode` (having lifted it if
-  // needed); lifted literal/decision cases materialize into *store.
-  ElementSpan LiftTo(int vnode, NodeId a, std::array<Element, 2>* store);
-
-  uint64_t CountModelsAt(NodeId a, int vnode,
-                         std::unordered_map<uint64_t, uint64_t>* memo) const;
-  double WmcAt(NodeId a, int vnode, const std::vector<double>& prob_of_var,
-               std::unordered_map<uint64_t, double>* memo) const;
-
-  struct ApplyKey {
-    NodeId a = 0, b = 0;
-    Op op = Op::kAnd;
-    bool operator==(const ApplyKey&) const = default;
-  };
   struct NaryKey {
     Op op = Op::kAnd;
     std::vector<NodeId> ops;  // sorted, unique, constant-free
@@ -422,6 +358,206 @@ class SddManager {
       return static_cast<size_t>(h);
     }
   };
+
+  // Per-execution-context state: one Ctx per pool slot (plus slot 0 for
+  // the single-owner path). Everything an apply recursion mutates that is
+  // not a shared, protocol-guarded structure lives here, so workers never
+  // contend: depth-indexed element scratch, the n-ary memo and probe
+  // buffer, the element arena stripe, the node-id block cursor, and the
+  // worker's counter tally (merged into counters_ at region end).
+  struct Ctx {
+    // Per-recursion-depth element buffers reused across ApplyRec frames,
+    // so the hot path performs no per-call allocation once warmed up. A
+    // deque keeps references stable while deeper frames extend it.
+    std::deque<Elements> scratch;
+    size_t rec_depth = 0;
+    // Scratch for NormalizeNaryOps's sorted probe set (that function
+    // never re-enters itself within a context, so one buffer suffices).
+    std::vector<NodeId> nary_probe_scratch;
+    // Exact memo for n-ary folds within the current top-level operation.
+    // Context-local even in parallel regions: a duplicated n-ary fold
+    // across workers costs recomputation, never correctness.
+    std::unordered_map<NaryKey, NodeId, NaryKeyHash> nary_memo;
+    // Element span stripe (stable addresses; see AllocateElements).
+    PoolArena<Element> element_arena;
+    // Node-id block cursor (parallel regions only), plus the context's
+    // batch of GC-recycled ids (refilled from the shared free list under
+    // free_ids_lock_ — parallel regions must reuse freed ids or the node
+    // store would grow monotonically across GC cycles).
+    size_t alloc_next = 0;
+    size_t alloc_end = 0;
+    std::vector<NodeId> recycled;
+    PerfCounters counters;
+  };
+
+  // Fan-in up to which AndN/OrN use the n-ary element product (ApplyN)
+  // instead of folding binary applies; above it, AndN accumulates
+  // sequentially and OrN folds ApplyN chunks of this arity.
+  static constexpr size_t kNaryFoldArity = 8;
+  // Element-product budget for one ApplyN expansion (product of operand
+  // element counts); past it the operands fall back to binary folding,
+  // whose intermediate canonicalization keeps the meet partition in check.
+  static constexpr size_t kNaryProductCap = 4096;
+  // Fork cutoff for the parallel apply path: element-product rows fork
+  // while the recursion is at depth < kForkDepth (the row fan-out per
+  // level is the operand's element count, so a shallow cutoff already
+  // yields hundreds of tasks).
+  static constexpr int kForkDepth = 4;
+  static constexpr size_t kAllocBlock = 128;  // node ids per worker claim
+
+  // The execution context for the current thread: slot 0 outside
+  // parallel regions, 1 + pool slot inside.
+  Ctx& CurCtx() {
+    return par_active_ ? ctxs_[1 + static_cast<size_t>(pool_->CurrentSlot())]
+                       : ctxs_[0];
+  }
+
+  // Canonicalizes (compress + trim + hash-cons) the elements in *elements,
+  // which is consumed as scratch space. All recursive Apply calls the
+  // compression needs happen before the unique-table probe.
+  template <bool kPar>
+  NodeId MakeDecisionT(Ctx& cx, int vnode, Elements* elements, int depth);
+  // The unique-table hash of a decision's sorted elements (shared by
+  // MakeDecision and the GC rebuild).
+  static uint64_t DecisionHash(int vnode, ElementSpan elements);
+  // Arena allocation with recycling: exact-size spans freed by the GC are
+  // reused before the arena grows (single-owner path; parallel contexts
+  // allocate straight from their stripe).
+  template <bool kPar>
+  Element* AllocateElements(Ctx& cx, size_t n);
+  // Places `n` in a GC-recycled slot when one is free, else appends
+  // (single-owner path).
+  NodeId NewNode(const Node& n);
+  // Node allocation inside a parallel region: bump-allocates from the
+  // context's claimed id block.
+  NodeId AllocNodePar(Ctx& cx, const Node& n);
+  // Re-registers every live small-scope node's (anchor, word) -> id
+  // entry, restoring the semantic layer after the cache was cleared
+  // (GC) or released (ShrinkCaches).
+  void RebuildSemanticCache();
+  // Two-level memoization: the bounded global apply cache gives cross-
+  // operation reuse; an exact memo scoped to each top-level Apply call
+  // preserves the O(|a|·|b|) apply bound even when the global cache
+  // evicts (a lossy cache alone turns deep recursions exponential once
+  // the live set outgrows it). The memo is cleared when the outermost
+  // Apply returns (or the parallel region ends), so its memory is
+  // bounded by one operation's (region's) footprint.
+  //
+  // The recursions are templated on the protocol, like the OBDD manager:
+  // kPar == false is the original single-owner path; kPar == true forks
+  // element-product rows below kForkDepth and uses the concurrent
+  // unique-table/cache entry points.
+  NodeId Apply(NodeId a, NodeId b, Op op);
+  template <bool kPar>
+  NodeId ApplyRecT(Ctx& cx, NodeId a, NodeId b, Op op, int depth);
+  // Constant-time resolution attempt, inlined into the element-product
+  // loops so the (dominant) trivially-resolvable pairs never pay a
+  // recursive call: terminals, equality, recorded negations, and the
+  // small-scope word semantics (disjointness, coverage, subsumption, and
+  // cached result functions). Returns -1 when a full ApplyRec is needed.
+  template <bool kPar>
+  NodeId FastApplyT(Ctx& cx, NodeId a, NodeId b, Op op) {
+    if (op == Op::kAnd) {
+      if (a == kFalse || b == kFalse) return kFalse;
+      if (a == kTrue) return b;
+      if (b == kTrue) return a;
+    } else {
+      if (a == kTrue || b == kTrue) return kTrue;
+      if (a == kFalse) return b;
+      if (b == kFalse) return a;
+    }
+    if (a == b) return a;
+    FastInfo& fa = fast_info_[a];
+    FastInfo& fb = fast_info_[b];
+    if (NegationOf(fa).load(std::memory_order_relaxed) == b) {
+      return (op == Op::kAnd) ? kFalse : kTrue;
+    }
+    const int anchor = fa.anchor;
+    if (anchor < 0 || anchor != fb.anchor) return -1;
+    const uint64_t wr =
+        (op == Op::kAnd) ? (fa.word & fb.word) : (fa.word | fb.word);
+    NodeId hit = -1;
+    if (wr == 0) {
+      hit = kFalse;
+    } else if (wr == anchor_mask_of_vnode_[anchor]) {
+      hit = kTrue;
+    } else if (wr == fa.word) {
+      hit = a;
+    } else if (wr == fb.word) {
+      hit = b;
+    } else {
+      NodeId cached;
+      const uint64_t hash = Hash2SemKey(anchor, wr);
+      const SemKey key{anchor, wr};
+      const bool found = kPar ? sem_cache_.LookupC(hash, key, &cached)
+                              : sem_cache_.Lookup(hash, key, &cached);
+      if (found) hit = cached;
+    }
+    if (hit >= 0) ++cx.counters.sem_apply_hits;
+    return hit;
+  }
+  static uint64_t Hash2SemKey(int anchor, uint64_t word);
+  // n-ary apply: lifts all operands to their common vtree LCA and runs one
+  // pruned element product over every operand's element list — dead
+  // (false) partial primes cut whole subtrees of the product, subs combine
+  // by a recursive n-ary fold, and the result canonicalizes once instead
+  // of once per binary apply. `ops` must be constant-free and duplicate-
+  // free with >= 2 entries (NormalizeNaryOps's postcondition); order is
+  // free — the caller's sequence is preserved, and only the internal memo
+  // key is sorted. Falls back to binary folds past kNaryProductCap.
+  template <bool kPar>
+  NodeId ApplyNT(Ctx& cx, const std::vector<NodeId>& ops, Op op, int depth);
+  template <bool kPar>
+  NodeId AndNT(Ctx& cx, std::vector<NodeId> ops);
+  template <bool kPar>
+  NodeId OrNT(Ctx& cx, std::vector<NodeId> ops);
+  // Shared operand normalization for AndN/OrN/ApplyN: drops identity
+  // operands and duplicates, sorts, and detects absorbing terminals and
+  // complementary pairs. Returns true if the fold is decided immediately
+  // (result in *out).
+  bool NormalizeNaryOps(Ctx& cx, std::vector<NodeId>* ops, Op op,
+                        NodeId* out);
+  template <bool kPar>
+  NodeId NotRecT(Ctx& cx, NodeId a, int depth);
+  // Records a <-> b as negations of each other (for apply short-circuits).
+  // Concurrent last-writer-wins is benign: negations are canonical, so
+  // racing writers store the same pair.
+  void LinkNegations(NodeId a, NodeId b);
+  // Computes and registers the semantic word of a freshly created node
+  // whose vnode has a small anchor (no-op otherwise). Must be called for
+  // every node before its id is published.
+  template <bool kPar>
+  void RegisterSemanticT(NodeId id);
+  // A view of `a` as elements normalized at `vnode` (having lifted it if
+  // needed); lifted literal/decision cases materialize into *store.
+  template <bool kPar>
+  ElementSpan LiftTo(Ctx& cx, int vnode, NodeId a,
+                     std::array<Element, 2>* store, int depth);
+  // Resets the memos when the outermost single-owner operation returns,
+  // and folds the sequential context's counter tally into the manager's
+  // (parallel contexts merge at EndParallelRegion instead).
+  void LeaveOp() {
+    if (--apply_depth_ == 0) {
+      apply_memo_.Reset();
+      ctxs_[0].nary_memo.clear();
+      AddCounters(ctxs_[0].counters);
+      ctxs_[0].counters = PerfCounters{};
+    }
+  }
+  void EnsureCtxSlots(size_t n) {
+    while (ctxs_.size() < n) ctxs_.emplace_back();
+  }
+
+  uint64_t CountModelsAt(NodeId a, int vnode,
+                         std::unordered_map<uint64_t, uint64_t>* memo) const;
+  double WmcAt(NodeId a, int vnode, const std::vector<double>& prob_of_var,
+               std::unordered_map<uint64_t, double>* memo) const;
+
+  struct ApplyKey {
+    NodeId a = 0, b = 0;
+    Op op = Op::kAnd;
+    bool operator==(const ApplyKey&) const = default;
+  };
   struct SemKey {
     int32_t anchor = -1;
     uint64_t word = 0;
@@ -429,13 +565,23 @@ class SddManager {
   };
   // Per-node record for FastApply, packed so one pair of loads answers
   // the negation and small-scope checks: the recorded negation (-1 if
-  // unknown), the vnode's small anchor (-1 if the scope is wide), and the
-  // truth table word over the anchor scope (valid iff anchor >= 0).
+  // unknown), the vnode's small anchor (-1 if the scope is wide), and
+  // the truth table word over the anchor scope (valid iff anchor >= 0;
+  // written before the node id is published, read-only afterwards). The
+  // struct stays POD — chunk allocation leaves entries untouched until
+  // their id is created — and the negation field, which parallel tasks
+  // link while others read, is accessed through std::atomic_ref (below).
   struct FastInfo {
-    NodeId negation = -1;
-    int32_t anchor = -1;
-    uint64_t word = 0;
+    NodeId negation;
+    int32_t anchor;
+    uint64_t word;
   };
+  // Atomic view of a FastInfo's negation link (relaxed loads/stores are
+  // plain moves on x86; the view is what makes concurrent LinkNegations
+  // vs FastApply reads well-defined).
+  static std::atomic_ref<NodeId> NegationOf(FastInfo& info) {
+    return std::atomic_ref<NodeId>(info.negation);
+  }
   struct ApplyKeyHash {
     size_t operator()(const ApplyKey& k) const {
       uint64_t h = (static_cast<uint64_t>(k.a) << 33) ^
@@ -447,46 +593,42 @@ class SddManager {
   };
 
   Vtree vtree_;
-  std::vector<Node> nodes_;
-  PoolArena<Element> element_arena_;
+  NodeStore<Node> nodes_;
+  NodeStore<FastInfo> fast_info_;  // indexed in lockstep with nodes_
   UniqueTable unique_;
   std::vector<NodeId> literal_ids_;  // (var << 1 | sign) -> id or -1
   ComputedCache<ApplyKey, NodeId> apply_cache_;
-  // Exact memos for the currently running top-level operation (see
-  // ApplyRec): they preserve the polynomial recursion bounds that the
-  // bounded lossy caches alone cannot guarantee, and are reset when the
-  // outermost operation returns so memory stays bounded per operation.
+  // Exact memo for the currently running top-level operation (see
+  // ApplyRecT): preserves the polynomial recursion bounds that the
+  // bounded lossy caches alone cannot guarantee; reset when the
+  // outermost operation (or parallel region) ends so memory stays
+  // bounded per operation.
   ScopedMemo<ApplyKey, NodeId> apply_memo_;
-  // Exact memo for n-ary folds within the current top-level operation
-  // (same lifetime discipline as apply_memo_).
-  std::unordered_map<NaryKey, NodeId, NaryKeyHash> nary_memo_;
   int apply_depth_ = 0;
-  // One FastInfo per node (see FastApply). The negation links double as
-  // an exact, unbounded negation memo — complement literals and every
-  // NotRec result are linked eagerly — which is why there is no separate
-  // bounded negation cache.
-  std::vector<FastInfo> fast_info_;
   // Small-scope semantic layer (see SmallAnchor): per-vtree-node anchors
   // and masks plus the (anchor, word) -> canonical node cache.
   std::vector<int> anchor_of_vnode_;
   std::vector<uint64_t> anchor_mask_of_vnode_;
   ComputedCache<SemKey, NodeId> sem_cache_;
   PerfCounters counters_;
-  // Per-recursion-depth element buffers reused across ApplyRec frames, so
-  // the hot path performs no per-call allocation once warmed up. A deque
-  // keeps references stable while deeper frames extend it.
-  std::deque<Elements> scratch_;
-  size_t rec_depth_ = 0;
-  // Scratch for NormalizeNaryOps's sorted probe set (that function never
-  // re-enters itself, so one buffer suffices).
-  std::vector<NodeId> nary_probe_scratch_;
+  // Execution contexts: ctxs_[0] is the single-owner context; parallel
+  // regions use ctxs_[1 + slot]. A deque keeps references stable while
+  // EnsureCtxSlots appends.
+  std::deque<Ctx> ctxs_;
+  exec::TaskPool* pool_ = nullptr;
+  bool par_active_ = false;
   // GC state: external root ref-counts (indexed by node id, lazily
   // grown), the node-id free list MakeDecision pops before growing
   // nodes_, and the size-bucketed element-span free list (spans are
   // arena-backed and can never be returned to the allocator, but exact-
-  // size reuse bounds the arena at its live + recycled high-water mark).
+  // size reuse bounds the arenas at their live + recycled high-water
+  // mark).
   std::vector<int32_t> external_refs_;
   std::vector<NodeId> free_ids_;
+  // Guards free_ids_ inside parallel regions only (AllocNodePar refills
+  // context batches from it); single-owner access outside regions stays
+  // lock-free, ordered by the region bracket.
+  SpinLock free_ids_lock_;
   std::unordered_map<size_t, std::vector<Element*>> free_elements_;
   GcStats gc_stats_;
   ThreadChecker thread_check_;

@@ -1,13 +1,17 @@
 #include "sdd/sdd_compile.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "exec/task_pool.h"
 #include "util/logging.h"
 
 namespace ctsdd {
@@ -21,21 +25,47 @@ namespace {
 // covering the support, so the memo can key on the function alone: the
 // canonical SDD node of a function is unique for the vtree, and the node
 // it is normalized at is determined by its support.
+//
+// Parallel compilation: when the manager carries a parallel executor,
+// Compile opens one manager parallel region for the whole recursion and
+// Partition forks its left-scope cofactor classes across the pool — each
+// class's (prime, sub) pair compiles independently, and Decision
+// canonicalizes through the manager's concurrent protocol, so the result
+// is pointer-identical to the sequential compile. The subfunction memo is
+// sharded under short mutexes (one BoolFunc hash per probe), and counter
+// tallies accumulate relaxed-atomically, merged into the manager when the
+// compile finishes.
 class SemanticSddCompiler {
  public:
   explicit SemanticSddCompiler(SddManager* manager)
-      : m_(manager), vt_(manager->vtree()) {}
+      : m_(manager), vt_(manager->vtree()), pool_(manager->executor()) {}
 
   SddManager::NodeId Compile(const BoolFunc& f) {
     for (int v : f.vars()) {
       CTSDD_CHECK_GE(vt_.LeafOf(v), 0)
           << "vtree missing function variable x" << v;
     }
-    return CompileShrunk(vt_.root(), f.Shrink());
+    const bool open_region = pool_ != nullptr && pool_->parallel() &&
+                             !m_->InParallelRegion();
+    if (open_region) m_->BeginParallelRegion();
+    const SddManager::NodeId result = CompileShrunk(vt_.root(), f.Shrink(), 0);
+    if (open_region) m_->EndParallelRegion();
+    SddManager::PerfCounters tally;
+    tally.semantic_partitions =
+        partitions_.load(std::memory_order_relaxed);
+    tally.semantic_memo_hits = memo_hits_.load(std::memory_order_relaxed);
+    m_->AddCounters(tally);
+    return result;
   }
 
  private:
   using NodeId = SddManager::NodeId;
+
+  // Fork cutoff: partition classes fork while the vtree recursion is at
+  // depth < kForkDepth. Class counts are the cofactor multiplicities
+  // (up to 2^|left vars|), so shallow levels alone saturate the pool.
+  static constexpr int kForkDepth = 8;
+  static constexpr size_t kMemoShards = 16;
 
   bool Covers(int node, const std::vector<int>& vars) const {
     const std::vector<int>& below = vt_.VarsBelow(node);
@@ -43,7 +73,9 @@ class SemanticSddCompiler {
                          vars.end());
   }
 
-  NodeId CompileShrunk(int v, const BoolFunc& g) {
+  bool InParallel() const { return m_->InParallelRegion(); }
+
+  NodeId CompileShrunk(int v, const BoolFunc& g, int depth) {
     if (g.IsConstantFalse()) return SddManager::kFalse;
     if (g.IsConstantTrue()) return SddManager::kTrue;
     // Descend to the minimal vtree node covering g's support.
@@ -65,7 +97,7 @@ class SemanticSddCompiler {
       const NodeId hit =
           m_->LookupSemantic(v, g.WordOver(vt_.VarsBelow(anchor)));
       if (hit >= 0) {
-        ++m_->mutable_counters()->semantic_memo_hits;
+        memo_hits_.fetch_add(1, std::memory_order_relaxed);
         return hit;
       }
       if (vt_.is_leaf(v)) {
@@ -73,15 +105,25 @@ class SemanticSddCompiler {
         // have been caught above, and g depends on the variable).
         return m_->Literal(gv[0], /*positive=*/g.EvalIndex(1));
       }
-      return Partition(v, g);
+      return Partition(v, g, depth);
     }
-    const auto it = memo_.find(g);
-    if (it != memo_.end()) {
-      ++m_->mutable_counters()->semantic_memo_hits;
-      return it->second;
+    const uint64_t ghash = BoolFunc::Hasher{}(g);
+    MemoShard& shard = memo_[ghash % kMemoShards];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.map.find(g);
+      if (it != shard.map.end()) {
+        memo_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
     }
-    const NodeId result = Partition(v, g);
-    memo_.emplace(g, result);
+    const NodeId result = Partition(v, g, depth);
+    {
+      // A racing task may have compiled g concurrently; both computed
+      // the same canonical node, so either entry wins.
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.emplace(g, result);
+    }
     return result;
   }
 
@@ -90,9 +132,11 @@ class SemanticSddCompiler {
   // groups equal ones, and emits one element per distinct cofactor. The
   // group indicator functions are the primes — exhaustive and pairwise
   // disjoint by construction, with distinct subs, so the partition is
-  // already compressed and MakeDecision runs zero applies.
-  NodeId Partition(int v, const BoolFunc& g) {
-    ++m_->mutable_counters()->semantic_partitions;
+  // already compressed and MakeDecision runs zero applies. With a pool
+  // attached, the classes — independent (prime, sub) compilations — fork
+  // across workers.
+  NodeId Partition(int v, const BoolFunc& g, int depth) {
+    partitions_.fetch_add(1, std::memory_order_relaxed);
     const std::vector<int>& below_left = vt_.VarsBelow(vt_.left(v));
     std::vector<int> left_vars;
     for (int x : g.vars()) {
@@ -104,7 +148,7 @@ class SemanticSddCompiler {
     CTSDD_CHECK_GE(k, 1);
     if (m_->SmallAnchor(vt_.left(v)) >= 0 &&
         m_->SmallAnchor(vt_.right(v)) >= 0) {
-      return WordPartition(v, g, left_vars);
+      return WordPartition(v, g, left_vars, depth);
     }
     const std::vector<BoolFunc> cofactors = g.CofactorsOver(left_vars);
     // Group equal cofactors; build each class's prime truth table over
@@ -123,15 +167,21 @@ class SemanticSddCompiler {
       prime_words[slot->second][a >> 6] |= 1ULL << (a & 63);
     }
     CTSDD_CHECK_GE(reps.size(), 2u);  // g depends on some left variable
-    SddManager::Elements elements;
-    elements.reserve(reps.size());
-    for (size_t c = 0; c < reps.size(); ++c) {
+    SddManager::Elements elements(reps.size());
+    const auto compile_class = [&](size_t c) {
       const NodeId prime = CompileShrunk(
           vt_.left(v),
           BoolFunc::FromWords(left_vars, std::move(prime_words[c]))
-              .Shrink());
-      const NodeId sub = CompileShrunk(vt_.right(v), reps[c]->Shrink());
-      elements.emplace_back(prime, sub);
+              .Shrink(),
+          depth + 1);
+      const NodeId sub =
+          CompileShrunk(vt_.right(v), reps[c]->Shrink(), depth + 1);
+      elements[c] = {prime, sub};
+    };
+    if (InParallel() && depth < kForkDepth) {
+      exec::ParallelFor(pool_, reps.size(), compile_class);
+    } else {
+      for (size_t c = 0; c < reps.size(); ++c) compile_class(c);
     }
     return m_->Decision(v, std::move(elements));
   }
@@ -142,7 +192,7 @@ class SemanticSddCompiler {
   // allocations, and primes/subs resolve through the manager's semantic
   // layer (building a BoolFunc only on a cache miss).
   NodeId WordPartition(int v, const BoolFunc& g,
-                       const std::vector<int>& left_vars) {
+                       const std::vector<int>& left_vars, int depth) {
     const int n = g.num_vars();
     const int k = static_cast<int>(left_vars.size());
     const int mr = n - k;
@@ -204,9 +254,9 @@ class SemanticSddCompiler {
     elements.reserve(num_classes);
     for (int c = 0; c < num_classes; ++c) {
       const NodeId prime =
-          CompileSmallWord(vt_.left(v), prime_word[c], left_vars);
+          CompileSmallWord(vt_.left(v), prime_word[c], left_vars, depth);
       const NodeId sub =
-          CompileSmallWord(vt_.right(v), class_word[c], right_vars);
+          CompileSmallWord(vt_.right(v), class_word[c], right_vars, depth);
       elements.emplace_back(prime, sub);
     }
     return m_->Decision(v, std::move(elements));
@@ -216,7 +266,7 @@ class SemanticSddCompiler {
   // subtree at `child`: constants and semantic-layer hits are O(1); only
   // unseen functions materialize a BoolFunc and recurse.
   NodeId CompileSmallWord(int child, uint64_t w,
-                          const std::vector<int>& wvars) {
+                          const std::vector<int>& wvars, int depth) {
     const uint32_t bits = 1u << wvars.size();
     const uint64_t full = (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
     if (w == 0) return SddManager::kFalse;
@@ -226,12 +276,21 @@ class SemanticSddCompiler {
         child, BoolFunc::ExpandWord(w, wvars, vt_.VarsBelow(anchor)));
     if (hit >= 0) return hit;
     return CompileShrunk(child,
-                         BoolFunc::FromWords(wvars, {w & full}).Shrink());
+                         BoolFunc::FromWords(wvars, {w & full}).Shrink(),
+                         depth + 1);
   }
+
+  struct MemoShard {
+    std::mutex mu;
+    std::unordered_map<BoolFunc, NodeId, BoolFunc::Hasher> map;
+  };
 
   SddManager* m_;
   const Vtree& vt_;
-  std::unordered_map<BoolFunc, NodeId, BoolFunc::Hasher> memo_;
+  exec::TaskPool* pool_;
+  std::array<MemoShard, kMemoShards> memo_;
+  std::atomic<uint64_t> partitions_{0};
+  std::atomic<uint64_t> memo_hits_{0};
 };
 
 SddManager::NodeId CompileFuncToSddShannon(SddManager* manager,
@@ -289,6 +348,13 @@ SddManager::NodeId CompileCircuitToSdd(SddManager* manager,
     const int vnode = manager->VtreeOf(id);
     return vnode < 0 ? -1 : preorder[vnode];
   };
+  // One parallel region for the whole bottom-up sweep: each gate's n-ary
+  // fold forks internally, and the per-gate region transition cost is
+  // paid once.
+  const bool open_region = manager->executor() != nullptr &&
+                           manager->executor()->parallel() &&
+                           !manager->InParallelRegion();
+  if (open_region) manager->BeginParallelRegion();
   std::vector<SddManager::NodeId> value(circuit.num_gates());
   for (int id = 0; id < circuit.num_gates(); ++id) {
     const Gate& g = circuit.gate(id);
@@ -329,6 +395,7 @@ SddManager::NodeId CompileCircuitToSdd(SddManager* manager,
       }
     }
   }
+  if (open_region) manager->EndParallelRegion();
   return value[circuit.output()];
 }
 

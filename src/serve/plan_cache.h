@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <list>
 #include <unordered_map>
 #include <utility>
@@ -68,6 +69,11 @@ struct CompiledPlan {
   int lineage_gates = 0;
   int size = 0;
   int width = 0;
+  // Nodes this plan pins in its manager while cached (reachable internal
+  // OBDD nodes / SDD decision nodes from the pinned root). The GC policy
+  // uses it to target eviction at the manager actually over its
+  // resident-node ceiling instead of shedding in global LRU order.
+  int pinned_nodes = 0;
 };
 
 class PlanCache {
@@ -120,6 +126,37 @@ class PlanCache {
     entries_.pop_back();
     ++evictions_;
     return true;
+  }
+
+  // Evicts the least-recently-used entry for which `pred` holds; false
+  // when none matches. The GC policy uses this to shed plans pinned in
+  // the one manager over its resident-node ceiling, preserving every
+  // other manager's cached plans (LRU order still decides *which* of the
+  // matching plans goes).
+  template <typename Pred>
+  bool EvictOneMatching(Pred&& pred) {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (!pred(static_cast<const CompiledPlan&>(it->second))) continue;
+      if (on_evict_) on_evict_(it->first, it->second);
+      index_.erase(it->first);
+      entries_.erase(std::next(it).base());
+      ++evictions_;
+      return true;
+    }
+    return false;
+  }
+
+  // Total pinned_nodes over cached plans for which `pred` holds — the
+  // per-manager pinned-node accounting behind the eviction policy.
+  template <typename Pred>
+  int PinnedNodesMatching(Pred&& pred) const {
+    int total = 0;
+    for (const auto& [key, plan] : entries_) {
+      if (pred(static_cast<const CompiledPlan&>(plan))) {
+        total += plan.pinned_nodes;
+      }
+    }
+    return total;
   }
 
   // Evicts every plan for which `pred` holds (e.g. all plans inside a

@@ -13,12 +13,16 @@ namespace ctsdd {
 
 QueryService::QueryService(ServeOptions options)
     : options_(options),
+      exec_pool_(options.exec_workers > 1
+                     ? std::make_unique<exec::TaskPool>(options.exec_workers)
+                     : nullptr),
       latency_(std::make_unique<LatencyRecorder>(options.latency_window)) {
   CTSDD_CHECK_GT(options_.num_shards, 0);
   shards_.reserve(options_.num_shards);
   for (int i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(
-        std::make_unique<ShardWorker>(i, options_, latency_.get()));
+    shards_.push_back(std::make_unique<ShardWorker>(i, options_,
+                                                    latency_.get(),
+                                                    exec_pool_.get()));
   }
 }
 
@@ -69,6 +73,7 @@ ServiceStats QueryService::stats() const {
     out.totals.plan_hits += s.plan_hits;
     out.totals.plan_misses += s.plan_misses;
     out.totals.plan_evictions += s.plan_evictions;
+    out.totals.targeted_evictions += s.targeted_evictions;
     out.totals.compiles += s.compiles;
     out.totals.gc_runs += s.gc_runs;
     out.totals.gc_reclaimed += s.gc_reclaimed;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "exec/task_pool.h"
 #include "db/query.h"
 #include "db/query_compile.h"
 #include "serve/plan_cache.h"
@@ -85,6 +86,10 @@ class QueryService {
 
  private:
   ServeOptions options_;
+  // Service-wide work-stealing pool lent to shards for cold compiles
+  // (null when options_.exec_workers <= 1). Declared before the shards
+  // so it outlives every manager that borrowed it.
+  std::unique_ptr<exec::TaskPool> exec_pool_;
   // Shared sliding-window latency reservoir (shards record into it).
   std::unique_ptr<LatencyRecorder> latency_;
   std::vector<std::unique_ptr<ShardWorker>> shards_;

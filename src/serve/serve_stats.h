@@ -36,6 +36,14 @@ struct ServeOptions {
   int gc_check_interval = 16;
   // Ring-buffer window for latency percentiles.
   size_t latency_window = 8192;
+  // Workers in the shared exec/ pool the service lends to shards for
+  // cold compiles (parallel apply/compile inside the managers; see
+  // src/exec/). 0 or 1 keeps every compile on the shard's own thread —
+  // the sequential path. The pool is shared: shards borrow it for the
+  // duration of one compile, so `exec_workers` caps the *extra*
+  // parallelism a single cold compile can recruit, not a per-shard
+  // reservation.
+  int exec_workers = 0;
 };
 
 // One shard's counters (a consistent snapshot taken between requests).
@@ -45,6 +53,9 @@ struct ShardStats {
   uint64_t plan_hits = 0;
   uint64_t plan_misses = 0;
   uint64_t plan_evictions = 0;
+  // Evictions the GC policy targeted at the specific manager over its
+  // resident-node ceiling (vs. global-LRU fallback shedding).
+  uint64_t targeted_evictions = 0;
   uint64_t compiles = 0;
   uint64_t gc_runs = 0;
   uint64_t gc_reclaimed = 0;

@@ -14,10 +14,11 @@
 namespace ctsdd {
 
 ShardWorker::ShardWorker(int shard_id, const ServeOptions& options,
-                         LatencyRecorder* latency)
+                         LatencyRecorder* latency, exec::TaskPool* exec_pool)
     : id_(shard_id),
       options_(options),
       latency_(latency),
+      exec_pool_(exec_pool),
       plans_(options.plan_cache_capacity,
              [](const PlanKey&, CompiledPlan& plan) {
                // Unpin the plan's lineage: the released nodes become
@@ -134,6 +135,7 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const QueryRequest& request) {
     manager->AddRootRef(plan.obdd_root);
     plan.size = manager->Size(plan.obdd_root);
     plan.width = manager->Width(plan.obdd_root);
+    plan.pinned_nodes = plan.size;
   } else {
     auto vtree = VtreeForStrategy(circuit, plan.vars, request.strategy);
     CTSDD_RETURN_IF_ERROR(vtree.status());
@@ -144,6 +146,7 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const QueryRequest& request) {
     const SddStats stats = ComputeSddStats(*manager, plan.sdd_root);
     plan.size = stats.size;
     plan.width = stats.width;
+    plan.pinned_nodes = stats.decisions;
   }
   return plan;
 }
@@ -189,6 +192,9 @@ ObddManager* ShardWorker::ObddFor(const std::vector<int>& order) {
   }
   obdd_pool_.push_back(
       {order, std::make_unique<ObddManager>(order), ++use_clock_});
+  // Lend the managers the service-wide pool: cold compiles inside this
+  // manager fork across its workers (exec-managed parallel regions).
+  obdd_pool_.back().manager->AttachExecutor(exec_pool_);
   return obdd_pool_.back().manager.get();
 }
 
@@ -214,6 +220,7 @@ SddManager* ShardWorker::SddFor(Vtree vtree) {
   sdd_pool_.push_back({std::move(key),
                        std::make_unique<SddManager>(std::move(vtree)),
                        ++use_clock_});
+  sdd_pool_.back().manager->AttachExecutor(exec_pool_);
   return sdd_pool_.back().manager.get();
 }
 
@@ -222,12 +229,21 @@ void ShardWorker::RunGcPolicy() {
     if (manager->NumLiveNodes() <= options_.gc_live_node_ceiling) return;
     ++local_gc_runs_;
     local_gc_reclaimed_ += manager->GarbageCollect();
-    // Pinned plans alone may hold the manager above the ceiling; shed
-    // LRU plans (the cache is shard-global, so some evictions may free
-    // nodes of other managers — harmless, their next check benefits)
-    // and re-collect until under the ceiling or nothing is left to shed.
+    // Pinned plans alone may hold the manager above the ceiling. The
+    // per-plan pinned-node accounting targets eviction at *this*
+    // manager's plans (LRU order among them): a plan's roots pin nodes
+    // only in its own manager, so shedding another manager's plans can
+    // never bring this one under its ceiling — the old global-LRU
+    // fallback only destroyed innocent bystanders' cache hits. When the
+    // over-ceiling manager has nothing left to shed, its live set is all
+    // permanent (literals) or externally pinned, and the policy stops.
+    const auto in_this_manager = [manager](const CompiledPlan& p) {
+      return p.obdd == static_cast<const void*>(manager) ||
+             p.sdd == static_cast<const void*>(manager);
+    };
     while (manager->NumLiveNodes() > options_.gc_live_node_ceiling &&
-           plans_.EvictOne()) {
+           plans_.EvictOneMatching(in_this_manager)) {
+      ++local_targeted_evictions_;
       ++local_gc_runs_;
       local_gc_reclaimed_ += manager->GarbageCollect();
     }
@@ -250,6 +266,7 @@ void ShardWorker::UpdateStats() {
   stats_.plan_hits = plans_.hits();
   stats_.plan_misses = plans_.misses();
   stats_.plan_evictions = plans_.evictions();
+  stats_.targeted_evictions = local_targeted_evictions_;
   stats_.compiles = local_compiles_;
   stats_.gc_runs = local_gc_runs_;
   stats_.gc_reclaimed = local_gc_reclaimed_;

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/task_pool.h"
 #include "obdd/obdd.h"
 #include "sdd/sdd.h"
 #include "serve/plan_cache.h"
@@ -46,8 +47,12 @@ struct ShardJob {
 
 class ShardWorker {
  public:
+  // `exec_pool` (optional, may be null) is the service-wide work-stealing
+  // pool lent to this shard's managers for cold compiles; the shard
+  // attaches it to every manager it pools, and the managers open
+  // exec-managed parallel regions around their apply/compile operations.
   ShardWorker(int shard_id, const ServeOptions& options,
-              LatencyRecorder* latency);
+              LatencyRecorder* latency, exec::TaskPool* exec_pool);
   ~ShardWorker();  // drains the queue, joins the thread
 
   ShardWorker(const ShardWorker&) = delete;
@@ -84,6 +89,7 @@ class ShardWorker {
   const int id_;
   const ServeOptions options_;
   LatencyRecorder* const latency_;
+  exec::TaskPool* const exec_pool_;  // shared, may be null
 
   // Worker-thread state (no locking: only the worker touches it). The
   // pools are declared before the plan cache so the cache — whose
@@ -98,6 +104,7 @@ class ShardWorker {
   uint64_t local_gc_runs_ = 0;
   uint64_t local_gc_reclaimed_ = 0;
   uint64_t local_manager_evictions_ = 0;
+  uint64_t local_targeted_evictions_ = 0;
   uint64_t local_requests_ = 0;
   uint64_t local_failures_ = 0;
   int local_peak_live_ = 0;

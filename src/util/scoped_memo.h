@@ -10,14 +10,30 @@
 //
 // Exactness holds within a generation: nothing goes stale mid-operation,
 // so probe sequences are stable and an inserted key is always found.
+//
+// Concurrent protocol (exec-managed parallel regions): the memo is
+// lock-striped by hash — BeginConcurrent() activates kStripes shards,
+// each an independent probe array guarded by its own spinlock, selected
+// by the hash's top bits (the low bits index within the shard). A probe
+// chain therefore never leaves its stripe, and one short critical
+// section covers lookup, insert, and any in-shard growth. LookupC /
+// InsertC are the striped entry points; sequential Lookup/Insert/Upsert
+// stay lock-free on a separate inline table and must not interleave with
+// them (the managers' parallel-region contract — memos are reset between
+// operations, so no entry outlives the protocol it was written under).
 
 #ifndef CTSDD_UTIL_SCOPED_MEMO_H_
 #define CTSDD_UTIL_SCOPED_MEMO_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
+
+#include "util/spinlock.h"
 
 namespace ctsdd {
 
@@ -25,7 +41,7 @@ namespace ctsdd {
 template <typename Key, typename Value = int32_t>
 class ScopedMemo {
  public:
-  // The slot array is allocated lazily on the first Insert, so managers
+  // The slot arrays are allocated lazily on the first Insert, so managers
   // that never run an apply pay nothing for the memo.
   explicit ScopedMemo(size_t trim_slots = 1 << 20) {
     trim_slots_ = kInitialSlots;
@@ -36,48 +52,47 @@ class ScopedMemo {
   // excess capacity left behind by an unusually large previous operation.
   void Reset() {
     ++generation_;
-    live_ = 0;
-    if (slots_.size() > trim_slots_) {
-      slots_.assign(trim_slots_, Slot{});
-      // assign leaves stamp 0 everywhere; generation_ > 0 keeps them free.
-    }
+    ResetShard(&seq_, trim_slots_);
+    // The trim budget bounds the whole memo, not each stripe: divide it
+    // across the stripes so a large parallel region cannot leave
+    // kStripes x trim_slots_ resident behind.
+    const size_t stripe_trim =
+        std::max(kInitialSlots, trim_slots_ / kStripes);
+    for (Shard& shard : stripes_) ResetShard(&shard, stripe_trim);
   }
 
-  // Invalidates all entries and releases the slot array entirely (it is
-  // re-allocated lazily at the initial size on the next Insert). Reset()
-  // only trims down to `trim_slots`, so a memo sized up by one giant
-  // operation keeps that much capacity; Shrink() returns it to baseline
-  // for managers entering an idle period.
+  // Invalidates all entries and releases the slot arrays entirely (they
+  // are re-allocated lazily at the initial size on the next Insert).
+  // Reset() only trims down to `trim_slots`, so a memo sized up by one
+  // giant operation keeps that much capacity; Shrink() returns it to
+  // baseline for managers entering an idle period.
   void Shrink() {
     ++generation_;
-    live_ = 0;
-    slots_.clear();
-    slots_.shrink_to_fit();
+    seq_.live = 0;
+    seq_.slots.clear();
+    seq_.slots.shrink_to_fit();
+    stripes_.clear();
+    stripes_.shrink_to_fit();
   }
 
   bool Lookup(uint64_t hash, const Key& key, Value* out) const {
     ++lookups_;
-    if (slots_.empty()) return false;
-    const size_t mask = slots_.size() - 1;
-    for (size_t i = hash & mask;; i = (i + 1) & mask) {
-      const Slot& slot = slots_[i];
-      if (slot.stamp != generation_) return false;  // free (empty or stale)
-      if (slot.key == key) {
-        *out = slot.value;
-        ++hits_;
-        return true;
-      }
+    if (LookupIn(seq_, hash, key, out)) {
+      ++hits_;
+      return true;
     }
+    return false;
   }
 
   // Inserts the key or overwrites the value stored under an equal key.
   // Branch-and-bound dominance memos use this to tighten a state's bound
   // in place when the search re-reaches it along a better prefix.
   void Upsert(uint64_t hash, const Key& key, Value value) {
-    if (!slots_.empty()) {
-      const size_t mask = slots_.size() - 1;
+    Shard& shard = seq_;
+    if (!shard.slots.empty()) {
+      const size_t mask = shard.slots.size() - 1;
       for (size_t i = hash & mask;; i = (i + 1) & mask) {
-        Slot& slot = slots_[i];
+        Slot& slot = shard.slots[i];
         if (slot.stamp != generation_) break;  // free (empty or stale)
         if (slot.key == key) {
           slot.value = std::move(value);
@@ -90,23 +105,71 @@ class ScopedMemo {
 
   // Inserts a key not currently present (callers always Lookup first).
   void Insert(uint64_t hash, Key key, Value value) {
-    if (slots_.empty()) {
-      slots_.resize(kInitialSlots);
-    } else if ((live_ + 1) * 3 > slots_.size() * 2) {
-      Grow();
-    }
-    InsertNoGrow(hash, std::move(key), std::move(value));
-    ++live_;
+    InsertIn(&seq_, hash, std::move(key), std::move(value));
   }
 
-  size_t num_slots() const { return slots_.size(); }
+  // --- Concurrent protocol (see file comment) ---------------------------
+
+  void BeginConcurrent() {
+    if (locks_ == nullptr) {
+      locks_ = std::make_unique<SpinLock[]>(kStripes);
+    }
+    if (stripes_.size() < kStripes) stripes_.resize(kStripes);
+    concurrent_ = true;
+  }
+
+  void EndConcurrent() { concurrent_ = false; }
+  bool concurrent() const { return concurrent_; }
+
+  bool LookupC(uint64_t hash, const Key& key, Value* out) const {
+    c_lookups_.fetch_add(1, std::memory_order_relaxed);
+    const size_t stripe = StripeOf(hash);
+    SpinLockGuard guard(locks_[stripe]);
+    if (LookupIn(stripes_[stripe], hash, key, out)) {
+      c_hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // Insert-or-overwrite: two workers may race to compute the same key
+  // (both missed before either finished); the results are identical —
+  // canonical node ids — so last-writer-wins is exact, not lossy.
+  void InsertC(uint64_t hash, Key key, Value value) {
+    const size_t stripe = StripeOf(hash);
+    SpinLockGuard guard(locks_[stripe]);
+    Shard& shard = stripes_[stripe];
+    if (!shard.slots.empty()) {
+      const size_t mask = shard.slots.size() - 1;
+      for (size_t i = hash & mask;; i = (i + 1) & mask) {
+        Slot& slot = shard.slots[i];
+        if (slot.stamp != generation_) break;
+        if (slot.key == key) {
+          slot.value = std::move(value);
+          return;
+        }
+      }
+    }
+    InsertIn(&shard, hash, std::move(key), std::move(value));
+  }
+
+  size_t num_slots() const {
+    size_t total = seq_.slots.size();
+    for (const Shard& shard : stripes_) total += shard.slots.size();
+    return total;
+  }
   // Cumulative across generations (Reset does not clear them): memo
   // effectiveness counters for manager-level stats reporting.
-  uint64_t lookups() const { return lookups_; }
-  uint64_t hits() const { return hits_; }
+  uint64_t lookups() const {
+    return lookups_ + c_lookups_.load(std::memory_order_relaxed);
+  }
+  uint64_t hits() const {
+    return hits_ + c_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   static constexpr size_t kInitialSlots = 1 << 8;
+  static constexpr size_t kStripes = 64;
 
   struct Slot {
     uint64_t hash = 0;
@@ -115,28 +178,83 @@ class ScopedMemo {
     uint64_t stamp = 0;  // slot is live iff stamp == generation_
   };
 
-  void InsertNoGrow(uint64_t hash, Key key, Value value) {
-    const size_t mask = slots_.size() - 1;
-    size_t i = hash & mask;
-    while (slots_[i].stamp == generation_) i = (i + 1) & mask;
-    slots_[i] = {hash, std::move(key), std::move(value), generation_};
-  }
+  struct Shard {
+    std::vector<Slot> slots;
+    size_t live = 0;
+  };
 
-  void Grow() {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.size() * 2, Slot{});
-    for (Slot& s : old) {
-      if (s.stamp != generation_) continue;
-      InsertNoGrow(s.hash, std::move(s.key), std::move(s.value));
+  void ResetShard(Shard* shard, size_t trim) {
+    shard->live = 0;
+    if (shard->slots.size() > trim) {
+      shard->slots.assign(trim, Slot{});
+      // assign leaves stamp 0 everywhere; generation_ > 0 keeps them
+      // free.
     }
   }
 
-  std::vector<Slot> slots_;
+  static size_t StripeOf(uint64_t hash) {
+    // Top bits pick the stripe; the low bits index within the shard, so
+    // the two selections stay independent.
+    return hash >> 58;  // 64 - log2(kStripes)
+  }
+
+  bool LookupIn(const Shard& shard, uint64_t hash, const Key& key,
+                Value* out) const {
+    if (shard.slots.empty()) return false;
+    const size_t mask = shard.slots.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      const Slot& slot = shard.slots[i];
+      if (slot.stamp != generation_) return false;  // free (empty/stale)
+      if (slot.key == key) {
+        *out = slot.value;
+        return true;
+      }
+    }
+  }
+
+  void InsertIn(Shard* shard, uint64_t hash, Key key, Value value) {
+    if (shard->slots.empty()) {
+      shard->slots.resize(kInitialSlots);
+    } else if ((shard->live + 1) * 3 > shard->slots.size() * 2) {
+      GrowShard(shard);
+    }
+    InsertNoGrow(shard, hash, std::move(key), std::move(value));
+    ++shard->live;
+  }
+
+  void InsertNoGrow(Shard* shard, uint64_t hash, Key key, Value value) {
+    const size_t mask = shard->slots.size() - 1;
+    size_t i = hash & mask;
+    while (shard->slots[i].stamp == generation_) i = (i + 1) & mask;
+    shard->slots[i] = {hash, std::move(key), std::move(value), generation_};
+  }
+
+  void GrowShard(Shard* shard) {
+    std::vector<Slot> old = std::move(shard->slots);
+    shard->slots.assign(old.size() * 2, Slot{});
+    for (Slot& s : old) {
+      if (s.stamp != generation_) continue;
+      InsertNoGrow(shard, s.hash, std::move(s.key), std::move(s.value));
+    }
+  }
+
+  // The single-owner table lives inline (the original flat layout: one
+  // pointer load per probe); the lock-striped tables exist only once
+  // BeginConcurrent ran. Entries never migrate between the two — memos
+  // are reset between operations, and an operation runs under exactly
+  // one protocol.
+  Shard seq_;
+  std::vector<Shard> stripes_;
   size_t trim_slots_ = 0;
   uint64_t generation_ = 1;
-  size_t live_ = 0;
   mutable uint64_t lookups_ = 0;
   mutable uint64_t hits_ = 0;
+  // Concurrent-protocol state, separate so the sequential hot path never
+  // pays an atomic increment.
+  std::unique_ptr<SpinLock[]> locks_;
+  bool concurrent_ = false;
+  mutable std::atomic<uint64_t> c_lookups_{0};
+  mutable std::atomic<uint64_t> c_hits_{0};
 };
 
 }  // namespace ctsdd

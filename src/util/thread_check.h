@@ -13,6 +13,15 @@
 // built on one thread can be handed off to another (a shard worker
 // adopting a manager constructed by the pool); the next Check() rebinds.
 //
+// Exec-managed escape: inside a parallel region (exec/ work-stealing
+// apply/compile), the component is *deliberately* shared — the concurrent
+// unique-table and lock-striped cache paths carry the synchronization.
+// A ParallelRegion guard suspends the single-owner assertion for exactly
+// the region's extent (guards nest), so the assertion stays armed
+// everywhere else: any cross-thread touch outside an exec-managed region
+// still aborts. Leaving the outermost region releases ownership (the
+// next Check() rebinds), matching the Detach() hand-off semantics.
+//
 // Release builds (NDEBUG) compile the whole thing to nothing.
 
 #ifndef CTSDD_UTIL_THREAD_CHECK_H_
@@ -32,6 +41,7 @@ namespace ctsdd {
 class ThreadChecker {
  public:
   void Check() const {
+    if (shared_depth_.load(std::memory_order_relaxed) > 0) return;
     const std::thread::id self = std::this_thread::get_id();
     // Atomic bind: two unbound-state racers must not both "win" through
     // an unsynchronized write — the checker's own detection would then
@@ -50,8 +60,20 @@ class ThreadChecker {
   // Releases ownership; the next Check() binds to its calling thread.
   void Detach() { owner_.store(std::thread::id{}, std::memory_order_relaxed); }
 
+  // Shared-mode escape (see ParallelRegion below). Nestable.
+  void BeginShared() const {
+    shared_depth_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void EndShared() const {
+    if (shared_depth_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+      // Release ownership: the next single-threaded Check() rebinds.
+      owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    }
+  }
+
  private:
   mutable std::atomic<std::thread::id> owner_{};
+  mutable std::atomic<int> shared_depth_{0};
 };
 
 #else  // NDEBUG
@@ -60,9 +82,30 @@ class ThreadChecker {
  public:
   void Check() const {}
   void Detach() {}
+  void BeginShared() const {}
+  void EndShared() const {}
 };
 
 #endif  // NDEBUG
+
+// RAII shared-mode window for a ThreadChecker: while at least one
+// ParallelRegion is live, Check() passes on every thread (the exec layer
+// owns synchronization there); when the last one ends, ownership resets
+// and the single-owner assertion re-arms for whoever touches the
+// component next. No-op in release builds, like the checker itself.
+class ParallelRegion {
+ public:
+  explicit ParallelRegion(const ThreadChecker& checker) : checker_(&checker) {
+    checker_->BeginShared();
+  }
+  ~ParallelRegion() { checker_->EndShared(); }
+
+  ParallelRegion(const ParallelRegion&) = delete;
+  ParallelRegion& operator=(const ParallelRegion&) = delete;
+
+ private:
+  const ThreadChecker* checker_;
+};
 
 }  // namespace ctsdd
 

@@ -1,0 +1,383 @@
+// Determinism and correctness of the exec-managed parallel apply/compile
+// paths: parallel results must be POINTER-IDENTICAL to sequential ones —
+// not merely equivalent — because canonicity hash-conses every node to
+// one id per manager regardless of which worker builds it first. The
+// suite drives randomized operation sequences through both managers in
+// both orders (sequential-then-parallel and parallel-then-sequential),
+// cross-checks semantics against BoolFunc ground truth, validates SDD
+// invariants on every parallel-built root, and round-trips garbage
+// collection after a parallel compile (canonicity across GC).
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "exec/task_pool.h"
+#include "func/bool_func.h"
+#include "gtest/gtest.h"
+#include "obdd/obdd.h"
+#include "obdd/obdd_compile.h"
+#include "circuit/eval.h"
+#include "circuit/families.h"
+#include "vtree/from_decomposition.h"
+#include "sdd/sdd.h"
+#include "sdd/sdd_compile.h"
+#include "util/random.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+// --- OBDD ------------------------------------------------------------------
+
+TEST(ParallelObddTest, ParallelApplyMatchesSequentialPointerwise) {
+  Rng rng(20260729);
+  exec::TaskPool pool(4);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 8 + static_cast<int>(rng.NextBelow(5));  // 8..12
+    ObddManager m(Iota(n));
+    const BoolFunc fa = BoolFunc::Random(Iota(n), &rng);
+    const BoolFunc fb = BoolFunc::Random(Iota(n), &rng);
+    const BoolFunc fc = BoolFunc::Random(Iota(n), &rng);
+    const auto a = CompileFuncToObdd(&m, fa);
+    const auto b = CompileFuncToObdd(&m, fb);
+    const auto c = CompileFuncToObdd(&m, fc);
+    // Sequential results first.
+    const auto seq_and = m.And(a, b);
+    const auto seq_or = m.Or(a, c);
+    const auto seq_xor = m.Xor(b, c);
+    const auto seq_ite = m.Ite(a, b, c);
+    const auto seq_andn = m.AndN({a, b, c});
+    const auto seq_orn = m.OrN({a, b, c});
+    // Same operations with the pool attached: every node already exists,
+    // so the parallel recursion must find pointer-identical results.
+    m.AttachExecutor(&pool);
+    EXPECT_EQ(m.And(a, b), seq_and);
+    EXPECT_EQ(m.Or(a, c), seq_or);
+    EXPECT_EQ(m.Xor(b, c), seq_xor);
+    EXPECT_EQ(m.Ite(a, b, c), seq_ite);
+    EXPECT_EQ(m.AndN({a, b, c}), seq_andn);
+    EXPECT_EQ(m.OrN({a, b, c}), seq_orn);
+    m.AttachExecutor(nullptr);
+    // Ground truth.
+    const BoolFunc expect_ite = (fa & fb) | (~fa & fc);
+    std::vector<bool> values(n);
+    for (int probe = 0; probe < 64; ++probe) {
+      uint32_t index =
+          static_cast<uint32_t>(rng.NextBelow(1u << n));
+      for (int i = 0; i < n; ++i) values[i] = (index >> i) & 1;
+      EXPECT_EQ(m.Evaluate(seq_ite, values), expect_ite.EvalIndex(index));
+    }
+  }
+}
+
+TEST(ParallelObddTest, ParallelFirstThenSequentialIsIdentical) {
+  Rng rng(7);
+  exec::TaskPool pool(4);
+  const int n = 12;
+  ObddManager m(Iota(n));
+  m.AttachExecutor(&pool);
+  const BoolFunc fa = BoolFunc::Random(Iota(n), &rng);
+  const BoolFunc fb = BoolFunc::Random(Iota(n), &rng);
+  const auto a = CompileFuncToObdd(&m, fa);
+  const auto b = CompileFuncToObdd(&m, fb);
+  const auto par_and = m.And(a, b);
+  const auto par_ite = m.Ite(a, b, par_and);
+  m.AttachExecutor(nullptr);
+  EXPECT_EQ(m.And(a, b), par_and);
+  EXPECT_EQ(m.Ite(a, b, par_and), par_ite);
+  // Semantics.
+  const BoolFunc expect = fa & fb;
+  std::vector<bool> values(n);
+  for (uint32_t index = 0; index < (1u << n); index += 37) {
+    for (int i = 0; i < n; ++i) values[i] = (index >> i) & 1;
+    EXPECT_EQ(m.Evaluate(par_and, values), expect.EvalIndex(index));
+  }
+}
+
+TEST(ParallelObddTest, CircuitCompileParallelMatchesSequential) {
+  exec::TaskPool pool(4);
+  const int n = 48;
+  const Circuit c = BandedCnfCircuit(n, 4);
+  ObddManager seq(Iota(n));
+  const auto seq_root = CompileCircuitToObdd(&seq, c);
+  ObddManager par(Iota(n));
+  par.AttachExecutor(&pool);
+  const auto par_root = CompileCircuitToObdd(&par, c);
+  par.AttachExecutor(nullptr);
+  // Different managers may assign different ids; compare canonical size,
+  // then recompile in the parallel manager without the pool: within one
+  // manager the roots must be pointer-identical.
+  EXPECT_EQ(seq.Size(seq_root), par.Size(par_root));
+  const auto par_root_again = CompileCircuitToObdd(&par, c);
+  EXPECT_EQ(par_root_again, par_root);
+  // Semantics against direct circuit evaluation.
+  std::vector<bool> values(n, false);
+  Rng rng(99);
+  for (int probe = 0; probe < 128; ++probe) {
+    const uint64_t bits = rng.Next64();
+    for (int i = 0; i < n; ++i) values[i] = (bits >> (i % 64)) & 1;
+    EXPECT_EQ(par.Evaluate(par_root, values), Evaluate(c, values));
+  }
+}
+
+// --- SDD -------------------------------------------------------------------
+
+std::vector<Vtree> TestVtrees(int n, Rng* rng) {
+  std::vector<Vtree> out;
+  out.push_back(Vtree::Balanced(Iota(n)));
+  out.push_back(Vtree::RightLinear(Iota(n)));
+  out.push_back(Vtree::Random(Iota(n), rng));
+  return out;
+}
+
+TEST(ParallelSddTest, SemanticCompileParallelIsPointerIdentical) {
+  Rng rng(314159);
+  exec::TaskPool pool(4);
+  for (const int n : {8, 11, 14}) {
+    for (Vtree& vt : TestVtrees(n, &rng)) {
+      SddManager m(vt);
+      std::vector<BoolFunc> funcs;
+      std::vector<SddManager::NodeId> seq_roots;
+      for (int i = 0; i < 6; ++i) {
+        funcs.push_back(BoolFunc::Random(Iota(n), &rng));
+        seq_roots.push_back(CompileFuncToSdd(&m, funcs.back()));
+      }
+      // Recompile with the pool attached: pointer-identical roots.
+      m.AttachExecutor(&pool);
+      for (int i = 0; i < 6; ++i) {
+        EXPECT_EQ(CompileFuncToSdd(&m, funcs[i]), seq_roots[i])
+            << "n=" << n << " func " << i;
+      }
+      m.AttachExecutor(nullptr);
+      for (int i = 0; i < 6; ++i) {
+        EXPECT_EQ(m.ToBoolFunc(seq_roots[i]), funcs[i].ExpandTo(Iota(n)));
+      }
+    }
+  }
+}
+
+TEST(ParallelSddTest, ParallelFirstCompileThenSequentialIsIdentical) {
+  Rng rng(8675309);
+  exec::TaskPool pool(4);
+  for (const int n : {10, 13}) {
+    Vtree vt = Vtree::Balanced(Iota(n));
+    SddManager m(vt);
+    m.AttachExecutor(&pool);
+    std::vector<BoolFunc> funcs;
+    std::vector<SddManager::NodeId> par_roots;
+    for (int i = 0; i < 5; ++i) {
+      funcs.push_back(BoolFunc::Random(Iota(n), &rng));
+      par_roots.push_back(CompileFuncToSdd(&m, funcs.back()));
+      EXPECT_TRUE(m.Validate(par_roots.back()).ok());
+    }
+    m.AttachExecutor(nullptr);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(CompileFuncToSdd(&m, funcs[i]), par_roots[i]);
+      EXPECT_EQ(m.ToBoolFunc(par_roots[i]), funcs[i].ExpandTo(Iota(n)));
+    }
+  }
+}
+
+TEST(ParallelSddTest, ParallelApplyMatchesSequentialPointerwise) {
+  Rng rng(271828);
+  exec::TaskPool pool(4);
+  for (const int n : {10, 12}) {
+    SddManager m(Vtree::Balanced(Iota(n)));
+    std::vector<SddManager::NodeId> roots;
+    std::vector<BoolFunc> funcs;
+    for (int i = 0; i < 5; ++i) {
+      funcs.push_back(BoolFunc::Random(Iota(n), &rng));
+      roots.push_back(CompileFuncToSdd(&m, funcs[i]));
+    }
+    std::vector<SddManager::NodeId> seq_results;
+    for (size_t i = 0; i < roots.size(); ++i) {
+      for (size_t j = i + 1; j < roots.size(); ++j) {
+        seq_results.push_back(m.And(roots[i], roots[j]));
+        seq_results.push_back(m.Or(roots[i], roots[j]));
+      }
+    }
+    seq_results.push_back(m.AndN({roots[0], roots[1], roots[2]}));
+    seq_results.push_back(m.OrN({roots[2], roots[3], roots[4]}));
+    seq_results.push_back(m.Not(roots[0]));
+    m.AttachExecutor(&pool);
+    size_t k = 0;
+    for (size_t i = 0; i < roots.size(); ++i) {
+      for (size_t j = i + 1; j < roots.size(); ++j) {
+        EXPECT_EQ(m.And(roots[i], roots[j]), seq_results[k++]);
+        EXPECT_EQ(m.Or(roots[i], roots[j]), seq_results[k++]);
+      }
+    }
+    EXPECT_EQ(m.AndN({roots[0], roots[1], roots[2]}), seq_results[k++]);
+    EXPECT_EQ(m.OrN({roots[2], roots[3], roots[4]}), seq_results[k++]);
+    EXPECT_EQ(m.Not(roots[0]), seq_results[k++]);
+    m.AttachExecutor(nullptr);
+    // Semantic ground truth for a few of the pairs.
+    EXPECT_EQ(m.ToBoolFunc(seq_results[0]),
+              (funcs[0] & funcs[1]).ExpandTo(Iota(n)));
+    EXPECT_EQ(m.ToBoolFunc(seq_results[1]),
+              (funcs[0] | funcs[1]).ExpandTo(Iota(n)));
+  }
+}
+
+TEST(ParallelSddTest, ParallelApplyFirstValidatesAndMatchesTruth) {
+  Rng rng(5551212);
+  exec::TaskPool pool(4);
+  const int n = 12;
+  SddManager m(Vtree::Balanced(Iota(n)));
+  m.AttachExecutor(&pool);
+  const BoolFunc fa = BoolFunc::Random(Iota(n), &rng);
+  const BoolFunc fb = BoolFunc::Random(Iota(n), &rng);
+  const auto a = CompileFuncToSdd(&m, fa);
+  const auto b = CompileFuncToSdd(&m, fb);
+  const auto par_and = m.And(a, b);
+  const auto par_or = m.Or(a, b);
+  EXPECT_TRUE(m.Validate(par_and).ok());
+  EXPECT_TRUE(m.Validate(par_or).ok());
+  m.AttachExecutor(nullptr);
+  EXPECT_EQ(m.And(a, b), par_and);
+  EXPECT_EQ(m.Or(a, b), par_or);
+  EXPECT_EQ(m.ToBoolFunc(par_and), (fa & fb).ExpandTo(Iota(n)));
+  EXPECT_EQ(m.ToBoolFunc(par_or), (fa | fb).ExpandTo(Iota(n)));
+}
+
+TEST(ParallelSddTest, CircuitCompileParallelMatchesSequentialInOneManager) {
+  exec::TaskPool pool(4);
+  const Circuit c = LadderCircuit(16, 3);
+  const auto vtree = VtreeForCircuit(c);
+  ASSERT_TRUE(vtree.ok());
+  SddManager m(vtree.value());
+  const auto seq_root = CompileCircuitToSdd(&m, c);
+  m.AttachExecutor(&pool);
+  const auto par_root = CompileCircuitToSdd(&m, c);
+  m.AttachExecutor(nullptr);
+  EXPECT_EQ(par_root, seq_root);
+}
+
+TEST(ParallelSddTest, GcAfterParallelCompileRoundTripsCanonically) {
+  Rng rng(424242);
+  exec::TaskPool pool(4);
+  const int n = 12;
+  SddManager m(Vtree::Balanced(Iota(n)));
+  m.AttachExecutor(&pool);
+  const BoolFunc keep_f = BoolFunc::Random(Iota(n), &rng);
+  const BoolFunc drop_f = BoolFunc::Random(Iota(n), &rng);
+  const auto keep = CompileFuncToSdd(&m, keep_f);
+  const auto drop = CompileFuncToSdd(&m, drop_f);
+  const auto keep_and_drop = m.And(keep, drop);
+  (void)keep_and_drop;
+  m.AddRootRef(keep);
+  const int live_before = m.NumLiveNodes();
+  // Collect: everything reachable only from `drop` and the And result
+  // goes; `keep`'s subgraph must survive with identical ids.
+  const size_t reclaimed = m.GarbageCollect();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_LT(m.NumLiveNodes(), live_before);
+  // Parallel recompilation after GC: pointer-identical for the survivor,
+  // and the dropped function rebuilds to a valid, semantically equal SDD.
+  const auto keep_again = CompileFuncToSdd(&m, keep_f);
+  EXPECT_EQ(keep_again, keep);
+  const auto drop_again = CompileFuncToSdd(&m, drop_f);
+  EXPECT_TRUE(m.Validate(drop_again).ok());
+  m.AttachExecutor(nullptr);
+  EXPECT_EQ(m.ToBoolFunc(drop_again), drop_f.ExpandTo(Iota(n)));
+  EXPECT_EQ(m.ToBoolFunc(keep), keep_f.ExpandTo(Iota(n)));
+  m.ReleaseRootRef(keep);
+}
+
+// Parallel regions must reuse GC-freed ids: a serve-style
+// compile/release/collect loop with a pool attached has to plateau the
+// node-store high-water mark, not grow it monotonically.
+TEST(ParallelSddTest, ParallelRegionsReuseFreedIds) {
+  Rng rng(31337);
+  exec::TaskPool pool(4);
+  const int n = 10;
+  SddManager m(Vtree::Balanced(Iota(n)));
+  m.AttachExecutor(&pool);
+  auto churn = [&](int rounds) {
+    for (int round = 0; round < rounds; ++round) {
+      const SddManager::NodeId root =
+          CompileFuncToSdd(&m, BoolFunc::Random(Iota(n), &rng));
+      m.AddRootRef(root);
+      m.ReleaseRootRef(root);
+      if (round % 10 == 9) m.GarbageCollect();
+    }
+  };
+  churn(50);
+  const int high_water_after_warmup = m.NumNodes();
+  churn(300);
+  EXPECT_LE(m.NumNodes(), 4 * high_water_after_warmup)
+      << "parallel compiles are not reusing the GC free list";
+}
+
+TEST(ParallelObddTest, ParallelRegionsReuseFreedIds) {
+  Rng rng(1729);
+  exec::TaskPool pool(4);
+  const int n = 12;
+  ObddManager m(Iota(n));
+  m.AttachExecutor(&pool);
+  auto churn = [&](int rounds) {
+    for (int round = 0; round < rounds; ++round) {
+      const auto a = CompileFuncToObdd(&m, BoolFunc::Random(Iota(n), &rng));
+      const auto b = CompileFuncToObdd(&m, BoolFunc::Random(Iota(n), &rng));
+      const auto root = m.And(a, b);
+      m.AddRootRef(root);
+      m.ReleaseRootRef(root);
+      if (round % 10 == 9) m.GarbageCollect();
+    }
+  };
+  churn(50);
+  const int high_water_after_warmup = m.NumNodes();
+  churn(300);
+  EXPECT_LE(m.NumNodes(), 4 * high_water_after_warmup)
+      << "parallel operations are not reusing the GC free list";
+}
+
+// The sequential path must keep feeding the manager's diagnostic
+// counters (they merge from the per-context tallies at LeaveOp).
+TEST(ParallelSddTest, SequentialCountersStillAccumulate) {
+  Rng rng(4242);
+  const int n = 10;
+  SddManager m(Vtree::Balanced(Iota(n)));
+  const auto a = CompileFuncToSdd(&m, BoolFunc::Random(Iota(n), &rng));
+  const auto b = CompileFuncToSdd(&m, BoolFunc::Random(Iota(n), &rng));
+  (void)m.And(a, b);
+  (void)m.Or(a, b);
+  EXPECT_GT(m.counters().apply_calls, 0u);
+  EXPECT_GT(m.counters().element_products, 0u);
+}
+
+// OBDD GC round-trip after parallel work, mirroring the SDD case.
+TEST(ParallelObddTest, GcAfterParallelApplyRoundTripsCanonically) {
+  Rng rng(1001);
+  exec::TaskPool pool(4);
+  const int n = 12;
+  ObddManager m(Iota(n));
+  m.AttachExecutor(&pool);
+  const BoolFunc keep_f = BoolFunc::Random(Iota(n), &rng);
+  const BoolFunc drop_f = BoolFunc::Random(Iota(n), &rng);
+  const auto keep = CompileFuncToObdd(&m, keep_f);
+  const auto drop = CompileFuncToObdd(&m, drop_f);
+  (void)m.And(keep, drop);
+  m.AddRootRef(keep);
+  const size_t reclaimed = m.GarbageCollect();
+  EXPECT_GT(reclaimed, 0u);
+  const auto keep_again = CompileFuncToObdd(&m, keep_f);
+  EXPECT_EQ(keep_again, keep);
+  m.AttachExecutor(nullptr);
+  std::vector<bool> values(n);
+  for (uint32_t index = 0; index < (1u << n); index += 29) {
+    for (int i = 0; i < n; ++i) values[i] = (index >> i) & 1;
+    EXPECT_EQ(m.Evaluate(keep, values), keep_f.EvalIndex(index));
+  }
+  m.ReleaseRootRef(keep);
+}
+
+}  // namespace
+}  // namespace ctsdd

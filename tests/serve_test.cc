@@ -337,5 +337,162 @@ TEST(QueryServiceTest, StaysBoundedUnderEvictionPressure) {
   EXPECT_GT(stats.totals.gc_reclaimed, 0u);
 }
 
+// --- Eviction fairness ----------------------------------------------------
+
+TEST(PlanCacheTest, EvictOneMatchingTakesLruWithinPredicate) {
+  std::vector<int> evicted;
+  PlanCache cache(16, [&](const PlanKey&, CompiledPlan& plan) {
+    evicted.push_back(plan.pinned_nodes);
+  });
+  // Tag plans by pinned_nodes; odd tags simulate "manager A", even "B".
+  for (int i = 1; i <= 6; ++i) {
+    PlanKey key;
+    key.query_sig = static_cast<uint64_t>(i);
+    CompiledPlan plan;
+    plan.pinned_nodes = i;
+    cache.Insert(key, std::move(plan));
+  }
+  const auto odd = [](const CompiledPlan& p) { return p.pinned_nodes % 2 == 1; };
+  EXPECT_EQ(cache.PinnedNodesMatching(odd), 1 + 3 + 5);
+  // LRU within the predicate: 1 was inserted first, so it goes first
+  // even though 2 is the global LRU... (2 is older? inserted order 1..6,
+  // LRU is 1). Evict odd: 1, then 3, then 5.
+  EXPECT_TRUE(cache.EvictOneMatching(odd));
+  EXPECT_TRUE(cache.EvictOneMatching(odd));
+  EXPECT_TRUE(cache.EvictOneMatching(odd));
+  EXPECT_FALSE(cache.EvictOneMatching(odd));
+  EXPECT_EQ(evicted, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(cache.PinnedNodesMatching(odd), 0);
+  // The even plans survived untouched.
+  EXPECT_EQ(cache.size(), 3u);
+  for (int i = 2; i <= 6; i += 2) {
+    PlanKey key;
+    key.query_sig = static_cast<uint64_t>(i);
+    EXPECT_NE(cache.Lookup(key), nullptr) << "even plan " << i;
+  }
+}
+
+// Under ceiling pressure the policy sheds plans of the over-ceiling
+// manager (targeted) before falling back to global LRU order, so small
+// plans in under-ceiling managers keep hitting.
+TEST(QueryServiceTest, GcPolicyTargetsTheOverCeilingManager) {
+  const Database db = BipartiteRstDatabase(6, 0.3);
+  ServeOptions options;
+  options.num_shards = 1;  // both routes share one shard's plan cache
+  options.plan_cache_capacity = 64;
+  options.gc_live_node_ceiling = 64;
+  options.gc_check_interval = 2;
+  QueryService service(options);
+  // A stream of distinct SDD-route queries keeps the SDD managers hot
+  // and over ceiling; one tiny OBDD-route plan (single-constant query,
+  // a handful of lineage tuples) sits in the same cache inside an
+  // always-under-ceiling manager.
+  QueryRequest small;
+  small.query = PerConstantRsQuery(1);
+  small.db = &db;
+  small.route = PlanRoute::kObdd;
+  ASSERT_TRUE(service.Execute(small).status.ok());
+  for (int round = 0; round < 100; ++round) {
+    QueryRequest request;
+    request.query = PerConstantRsQuery(1 + round % 6);
+    request.query.disjuncts.push_back(
+        PerConstantRsQuery(1 + (round / 2) % 6).disjuncts[0]);
+    if (round % 5 == 0) request.query = HierarchicalRSQuery();
+    if (round % 5 == 1) request.query = InequalityExampleQuery();
+    request.db = &db;
+    request.route = PlanRoute::kSdd;
+    ASSERT_TRUE(service.Execute(request).status.ok());
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.totals.targeted_evictions, 0u);
+  // The OBDD plan was never the eviction target of SDD-manager pressure:
+  // its repeat still hits the cache.
+  const QueryResponse again = service.Execute(small);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_TRUE(again.plan_cache_hit);
+}
+
+// --- Parallel cold compiles (shared exec pool) ----------------------------
+
+TEST(QueryServiceTest, ParallelColdCompilesMatchSequentialService) {
+  const Database db = BipartiteRstDatabase(4, 0.35);
+  const std::vector<Ucq> queries = {HierarchicalRSQuery(),
+                                    NonHierarchicalH0Query(),
+                                    InequalityExampleQuery(),
+                                    PerConstantRsQuery(1),
+                                    PerConstantRsQuery(2)};
+  ServeOptions sequential;
+  sequential.num_shards = 2;
+  QueryService seq_service(sequential);
+  ServeOptions parallel = sequential;
+  parallel.exec_workers = 3;
+  QueryService par_service(parallel);
+  for (const Ucq& query : queries) {
+    for (const PlanRoute route : {PlanRoute::kObdd, PlanRoute::kSdd}) {
+      QueryRequest request;
+      request.query = query;
+      request.db = &db;
+      request.route = route;
+      const QueryResponse seq = seq_service.Execute(request);
+      const QueryResponse par = par_service.Execute(request);
+      ASSERT_TRUE(seq.status.ok());
+      ASSERT_TRUE(par.status.ok());
+      // The diagrams are canonically identical, but node *ids* differ
+      // across managers (parallel block allocation), and the WMC sum
+      // visits elements in id order — so the float accumulation order
+      // differs: equal to rounding, not bitwise.
+      EXPECT_NEAR(par.probability, seq.probability, 1e-12);
+      EXPECT_EQ(par.size, seq.size);
+      EXPECT_EQ(par.width, seq.width);
+    }
+  }
+}
+
+// GC-after-parallel-compile canonicity round-trip, end to end: cold
+// compiles run on the shared pool, eviction pressure forces collections,
+// and recompiled (parallel) plans must answer identically forever.
+TEST(QueryServiceTest, ParallelCompilesStayCanonicalUnderGcPressure) {
+  const int kDomain = 6;
+  const Database db = BipartiteRstDatabase(kDomain, 0.3);
+  ServeOptions options;
+  options.num_shards = 2;
+  options.plan_cache_capacity = 3;
+  options.gc_live_node_ceiling = 64;
+  options.gc_check_interval = 3;
+  options.exec_workers = 3;
+  QueryService service(options);
+  std::map<uint64_t, double> first_answer;
+  for (int round = 0; round < 200; ++round) {
+    QueryRequest request;
+    request.query = PerConstantRsQuery(1 + round % kDomain);
+    if (round % 3 == 0) {
+      request.query.disjuncts.push_back(
+          PerConstantRsQuery(1 + (round / 3) % kDomain).disjuncts[0]);
+    }
+    if (round % 5 == 0) request.query = HierarchicalRSQuery();
+    if (round % 5 == 1) request.query = InequalityExampleQuery();
+    request.db = &db;
+    request.route = round % 2 == 0 ? PlanRoute::kObdd : PlanRoute::kSdd;
+    const QueryResponse response = service.Execute(request);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    const uint64_t sig = QuerySignature(request.query) ^
+                         (request.route == PlanRoute::kObdd ? 0 : 1);
+    const auto [it, inserted] =
+        first_answer.emplace(sig, response.probability);
+    if (!inserted) {
+      // The recompiled diagram is canonically identical, but fresh node
+      // ids are schedule-dependent under parallel block allocation and
+      // WMC sums in id order — so answers agree to rounding, not
+      // bitwise.
+      ASSERT_NEAR(response.probability, it->second, 1e-12)
+          << "round " << round;
+    }
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.totals.plan_evictions, 0u);
+  EXPECT_GT(stats.totals.gc_runs, 0u);
+  EXPECT_GT(stats.totals.gc_reclaimed, 0u);
+}
+
 }  // namespace
 }  // namespace ctsdd
