@@ -24,11 +24,15 @@
 // point it at a scratch path, then hand-merge into ../BENCH_serve.json.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -146,6 +150,107 @@ void PrintTrajectory(const char* label, const StreamResult& r) {
   std::printf("\n");
 }
 
+// --- Overload section: open-loop arrivals past capacity -------------------
+
+// 20% of the overload stream is adversarial: unions of `width`
+// per-constant disjuncts — wide lineages whose compiles dwarf the
+// typical request and (under a compile budget) exercise the
+// degradation ladder.
+std::vector<Ucq> AdversarialPopulation(int domain, int width) {
+  std::vector<Ucq> queries;
+  for (int c = 1; c <= domain; ++c) {
+    Ucq wide = PerConstantRsQuery(c);
+    for (int k = 1; k < width; ++k) {
+      wide.disjuncts.push_back(
+          PerConstantRsQuery(1 + (c - 1 + k) % domain).disjuncts[0]);
+    }
+    queries.push_back(std::move(wide));
+  }
+  return queries;
+}
+
+struct OverloadResult {
+  double offered_qps = 0.0;
+  double accepted_p99_ms = 0.0;
+  double shed_rate = 0.0;       // sheds / offered
+  double failure_rate = 0.0;    // any typed failure / offered
+  uint64_t wrong_answers = 0;   // accepted answers not matching the oracle
+  ServiceStats stats;
+};
+
+// Paced open-loop driver: arrival i is due at i/target_qps; a small
+// submitter pool picks up due arrivals and blocks per-request on the
+// service (sheds return immediately, so submitters keep pace even when
+// the shard queues are full). Accepted-request latency is measured
+// client-side, queue wait included.
+OverloadResult RunOverload(const std::vector<Ucq>& shapes,
+                           const std::vector<double>& oracle,
+                           const std::vector<int>& schedule,
+                           const Database& db, const ServeOptions& options,
+                           double target_qps) {
+  QueryService service(options);
+  std::atomic<size_t> next(0);
+  std::mutex agg_mu;
+  std::vector<double> accepted_ms;
+  uint64_t sheds = 0, failures = 0, wrong = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto submitter = [&] {
+    std::vector<double> local_ms;
+    uint64_t local_sheds = 0, local_failures = 0, local_wrong = 0;
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= schedule.size()) break;
+      const auto due =
+          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(i / target_qps));
+      std::this_thread::sleep_until(due);
+      QueryRequest request;
+      request.query = shapes[schedule[i]];
+      request.db = &db;
+      request.route =
+          schedule[i] % 2 == 0 ? PlanRoute::kObdd : PlanRoute::kSdd;
+      const auto start = std::chrono::steady_clock::now();
+      const QueryResponse response = service.Execute(request);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      if (response.status.ok()) {
+        local_ms.push_back(ms);
+        if (std::abs(response.probability - oracle[schedule[i]]) > 1e-9) {
+          ++local_wrong;
+        }
+      } else {
+        ++local_failures;
+        if (response.status.code() == StatusCode::kUnavailable) ++local_sheds;
+      }
+    }
+    std::lock_guard<std::mutex> lock(agg_mu);
+    accepted_ms.insert(accepted_ms.end(), local_ms.begin(), local_ms.end());
+    sheds += local_sheds;
+    failures += local_failures;
+    wrong += local_wrong;
+  };
+  std::vector<std::thread> threads;
+  // Enough submitters that arrivals keep their schedule even when the
+  // service lags — otherwise the driver degenerates to closed-loop and
+  // the shard queues never fill.
+  for (int t = 0; t < 64; ++t) threads.emplace_back(submitter);
+  for (auto& t : threads) t.join();
+
+  OverloadResult out;
+  out.offered_qps = target_qps;
+  if (!accepted_ms.empty()) {
+    std::sort(accepted_ms.begin(), accepted_ms.end());
+    out.accepted_p99_ms =
+        accepted_ms[static_cast<size_t>(0.99 * (accepted_ms.size() - 1))];
+  }
+  out.shed_rate = static_cast<double>(sheds) / schedule.size();
+  out.failure_rate = static_cast<double>(failures) / schedule.size();
+  out.wrong_answers = wrong;
+  out.stats = service.stats();
+  return out;
+}
+
 }  // namespace
 }  // namespace ctsdd
 
@@ -260,6 +365,94 @@ int main(int argc, char** argv) {
       "speedup %.1fx\n",
       cold_ms / reps, served_ms / reps, cold_ms / served_ms);
 
+  bench::Header("serve: overload — open-loop arrivals at 1.5x capacity");
+  // 80% mixed shapes, 20% adversarial wide unions (4 disjuncts each).
+  std::vector<Ucq> shapes = QueryPopulation(domain);
+  const size_t normal_shapes = shapes.size();
+  for (Ucq& wide : AdversarialPopulation(domain, 6)) {
+    shapes.push_back(std::move(wide));
+  }
+  std::vector<double> oracle(shapes.size());
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    auto r = CompileQuery(shapes[i], steady_db, VtreeStrategy::kBalanced);
+    if (!r.ok()) std::exit(1);
+    oracle[i] = r->probability;
+  }
+  Rng sched_rng(99);
+  std::vector<int> schedule(3000);
+  for (int& s : schedule) {
+    s = sched_rng.NextBool(0.2)
+            ? static_cast<int>(
+                  normal_shapes + sched_rng.NextBelow(shapes.size() -
+                                                      normal_shapes))
+            : static_cast<int>(sched_rng.NextBelow(normal_shapes));
+  }
+
+  // The robustness configuration: bounded queues shed past depth 8 per
+  // shard, a 50 ms deadline bounds queue wait, and an 8192-node compile
+  // budget caps any single adversarial compile (tripping it runs the
+  // degradation ladder to the alternate representation).
+  ServeOptions overloaded = bounded;
+  overloaded.max_queue_depth = 8;
+  overloaded.default_deadline_ms = 50;
+  overloaded.compile_node_budget = 8192;
+
+  // Capacity: closed-loop throughput of this exact population and
+  // configuration (warm caches, no pacing).
+  double capacity_qps = 0.0;
+  {
+    QueryService service(overloaded);
+    Timer timer;
+    for (size_t at = 0; at < schedule.size();) {
+      const size_t n = std::min<size_t>(64, schedule.size() - at);
+      std::vector<QueryRequest> batch(n);
+      for (size_t i = 0; i < n; ++i) {
+        batch[i].query = shapes[schedule[at + i]];
+        batch[i].db = &steady_db;
+        batch[i].route = schedule[at + i] % 2 == 0 ? PlanRoute::kObdd
+                                                   : PlanRoute::kSdd;
+      }
+      (void)service.ExecuteBatch(batch);
+      at += n;
+    }
+    capacity_qps = schedule.size() / timer.ElapsedSeconds();
+  }
+
+  const OverloadResult unloaded = RunOverload(
+      shapes, oracle, schedule, steady_db, overloaded, 0.5 * capacity_qps);
+  const OverloadResult overload = RunOverload(
+      shapes, oracle, schedule, steady_db, overloaded, 1.5 * capacity_qps);
+  const double p99_ratio =
+      unloaded.accepted_p99_ms > 0
+          ? overload.accepted_p99_ms / unloaded.accepted_p99_ms
+          : 0.0;
+  const bool resident_ok = overload.stats.totals.peak_live_nodes <=
+                           2 * unloaded.stats.totals.peak_live_nodes + 1024;
+  std::printf("  capacity %.0f qps (closed loop, warm)\n", capacity_qps);
+  std::printf(
+      "  [0.5x]  accepted p99 %.3f ms, shed rate %.1f%%, failures %.1f%%\n",
+      unloaded.accepted_p99_ms, 100.0 * unloaded.shed_rate,
+      100.0 * unloaded.failure_rate);
+  std::printf(
+      "  [1.5x]  accepted p99 %.3f ms (%.2fx baseline), shed rate %.1f%%, "
+      "failures %.1f%%, wrong answers %llu\n",
+      overload.accepted_p99_ms, p99_ratio, 100.0 * overload.shed_rate,
+      100.0 * overload.failure_rate,
+      static_cast<unsigned long long>(overload.wrong_answers));
+  std::printf(
+      "  [1.5x]  peak live %d (0.5x peak %d, bounded: %s), "
+      "gc pause p99 %.3f ms\n",
+      overload.stats.totals.peak_live_nodes,
+      unloaded.stats.totals.peak_live_nodes, resident_ok ? "yes" : "NO",
+      overload.stats.gc_pause_p99_ms);
+  std::printf(
+      "  [1.5x]  timeouts %llu, sheds %llu, budget aborts %llu, "
+      "ladder fallbacks %llu\n",
+      static_cast<unsigned long long>(overload.stats.totals.timeouts),
+      static_cast<unsigned long long>(overload.stats.totals.sheds),
+      static_cast<unsigned long long>(overload.stats.totals.budget_aborts),
+      static_cast<unsigned long long>(overload.stats.totals.fallbacks));
+
   if (!json_path.empty()) {
     // Plateau: sampling instants are noisy (pre/post GC), so compare
     // halves — the second half's peak must not exceed 2x the first
@@ -305,6 +498,25 @@ int main(int argc, char** argv) {
             {"cold_ms_per_query", cold_ms / reps},
             {"served_ms_per_query", served_ms / reps},
             {"speedup", cold_ms / served_ms},
+        },
+        /*append=*/true);
+    bench::WriteJsonSection(
+        json_path, "serve_overload",
+        {
+            {"capacity_qps", capacity_qps},
+            {"offered_multiplier", 1.5},
+            {"adversarial_fraction", 0.2},
+            {"accepted_p99_ms", overload.accepted_p99_ms},
+            {"unloaded_p99_ms", unloaded.accepted_p99_ms},
+            {"p99_ratio", p99_ratio},
+            {"shed_rate", overload.shed_rate},
+            {"failure_rate", overload.failure_rate},
+            {"wrong_answers",
+             static_cast<double>(overload.wrong_answers)},
+            {"peak_live_nodes",
+             static_cast<double>(overload.stats.totals.peak_live_nodes)},
+            {"resident_bounded", resident_ok ? 1.0 : 0.0},
+            {"gc_pause_p99_ms", overload.stats.gc_pause_p99_ms},
         },
         /*append=*/true);
   }

@@ -162,26 +162,42 @@ void ParallelInvoke(TaskPool* pool, FA&& a, FB&& b) {
 
 // Invokes fn(i) for i in [0, n), fanning out across the pool. Blocks
 // until every index completes. fn must be safe to run concurrently with
-// itself on distinct indices.
+// itself on distinct indices. When `cancel` is non-null and becomes
+// true, indices that have not started yet are skipped (their tasks
+// still drain through the deques, so the join remains prompt and
+// deterministic); indices already running finish normally.
 template <typename Fn>
-void ParallelFor(TaskPool* pool, size_t n, const Fn& fn) {
+void ParallelFor(TaskPool* pool, size_t n, const std::atomic<bool>* cancel,
+                 const Fn& fn) {
   if (n == 0) return;
   if (pool == nullptr || !pool->parallel() || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        return;
+      }
+      fn(i);
+    }
     return;
   }
   struct IndexTask final : public Task {
     const Fn* fn = nullptr;
+    const std::atomic<bool>* cancel = nullptr;
     size_t index = 0;
-    void Run() override { (*fn)(index); }
+    void Run() override {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        return;
+      }
+      (*fn)(index);
+    }
   };
   std::vector<IndexTask> tasks(n - 1);
   for (size_t i = 0; i + 1 < n; ++i) {
     tasks[i].fn = &fn;
+    tasks[i].cancel = cancel;
     tasks[i].index = i + 1;
     pool->Fork(&tasks[i]);
   }
-  fn(0);
+  if (cancel == nullptr || !cancel->load(std::memory_order_relaxed)) fn(0);
   // Reclaim un-stolen tasks LIFO, then help until the stolen ones land.
   for (;;) {
     Task* t = pool->PopLocal();
@@ -189,6 +205,11 @@ void ParallelFor(TaskPool* pool, size_t n, const Fn& fn) {
     t->Execute();
   }
   for (size_t i = 0; i + 1 < n; ++i) pool->Join(&tasks[i]);
+}
+
+template <typename Fn>
+void ParallelFor(TaskPool* pool, size_t n, const Fn& fn) {
+  ParallelFor(pool, n, nullptr, fn);
 }
 
 }  // namespace ctsdd::exec

@@ -5,6 +5,7 @@
 #include <functional>
 #include <set>
 
+#include "util/fault_injection.h"
 #include "util/hashing.h"
 
 namespace ctsdd {
@@ -31,6 +32,11 @@ int ObddManager::LevelOf(int var) const {
 template <bool kPar>
 ObddManager::NodeId ObddManager::MakeNodeT(int level, NodeId lo, NodeId hi) {
   if (lo == hi) return lo;  // reduction rule
+  // Abort-sentinel children unwind the construction. The register-only
+  // sign test beats consulting the budget here: kAborted only arises
+  // while a budget is attached, and a tripped budget is re-observed at
+  // the next lease refill (denying the allocation) anyway.
+  if ((lo | hi) < 0) return kAborted;
   CTSDD_CHECK_LT(level, nodes_[lo].level);
   CTSDD_CHECK_LT(level, nodes_[hi].level);
   const uint64_t hash = Hash3(static_cast<uint64_t>(level),
@@ -46,6 +52,8 @@ ObddManager::NodeId ObddManager::MakeNodeT(int level, NodeId lo, NodeId hi) {
   } else {
     const int32_t found = unique_.Find(hash, eq);
     if (found != UniqueTable::kEmpty) return found;
+    if (budget_ != nullptr && !ChargeSeq()) return kAborted;
+    CTSDD_FAULT_POINT("obdd.alloc");
     NodeId id;
     if (!free_ids_.empty()) {
       id = free_ids_.back();
@@ -62,6 +70,8 @@ ObddManager::NodeId ObddManager::MakeNodeT(int level, NodeId lo, NodeId hi) {
 ObddManager::NodeId ObddManager::AllocNodePar(int level, NodeId lo,
                                               NodeId hi) {
   AllocCursor& cursor = alloc_cursors_[pool_->CurrentSlot()];
+  if (budget_ != nullptr) ChargePar(cursor);
+  CTSDD_FAULT_POINT("obdd.alloc");
   if (!cursor.recycled.empty()) {
     const NodeId id = cursor.recycled.back();
     cursor.recycled.pop_back();
@@ -142,6 +152,88 @@ void ObddManager::EndParallelRegion() {
   ite_memo_.Reset();
   nary_memo_.Reset();
   thread_check_.EndShared();
+}
+
+void ObddManager::AttachBudget(WorkBudget* budget) {
+  thread_check_.Check();
+  CTSDD_CHECK_EQ(op_depth_, 0) << "AttachBudget inside an operation";
+  CTSDD_CHECK(!par_active_) << "AttachBudget inside a parallel region";
+  budget_ = budget;
+  budget_lease_ = 0;
+  lease_chunk_ = 0;
+  if (budget != nullptr) {
+    // Lease granularity: fine enough that overshoot stays within the
+    // acceptance bound (<= budget/16), coarse enough that the shared
+    // atomic is off the per-node path.
+    const uint64_t b = budget->node_budget();
+    lease_chunk_ = static_cast<uint32_t>(
+        b == 0 ? 256
+               : std::min<uint64_t>(256, std::max<uint64_t>(1, b / 16)));
+  }
+}
+
+bool ObddManager::RefillSeqLease() {
+  budget_lease_ = static_cast<uint32_t>(budget_->AcquireLease(lease_chunk_));
+  if (budget_lease_ == 0) return false;
+  --budget_lease_;
+  return true;
+}
+
+void ObddManager::RefillParLease(AllocCursor& cursor) {
+  cursor.lease = static_cast<uint32_t>(budget_->AcquireLease(lease_chunk_));
+  if (cursor.lease > 0) --cursor.lease;
+}
+
+Status ObddManager::Validate() const {
+  const int levels = num_levels();
+  const size_t n = nodes_.size();
+  std::vector<bool> dead(n, false);
+  for (const NodeId id : free_ids_) {
+    if (id < 2 || static_cast<size_t>(id) >= n) {
+      return Status::Internal("free-list id out of range");
+    }
+    if (nodes_[id].level != kDeadLevel) {
+      return Status::Internal("free-list id not dead-marked");
+    }
+    dead[id] = true;
+  }
+  for (size_t id = 2; id < n; ++id) {
+    const Node& node = nodes_[id];
+    if (node.level == kDeadLevel) {
+      if (!dead[id]) {
+        return Status::Internal("dead node missing from the free list");
+      }
+      continue;
+    }
+    if (node.level < 0 || node.level >= levels) {
+      return Status::Internal("node level out of range");
+    }
+    if (node.lo < 0 || static_cast<size_t>(node.lo) >= n || node.hi < 0 ||
+        static_cast<size_t>(node.hi) >= n) {
+      return Status::Internal("node child out of range");
+    }
+    if (node.lo == node.hi) {
+      return Status::Internal("unreduced node (lo == hi)");
+    }
+    if (nodes_[node.lo].level <= node.level ||
+        nodes_[node.hi].level <= node.level) {
+      return Status::Internal("child level not below parent (or dead child)");
+    }
+    const uint64_t hash = Hash3(static_cast<uint64_t>(node.level),
+                                static_cast<uint64_t>(node.lo),
+                                static_cast<uint64_t>(node.hi));
+    const int32_t found = unique_.Find(hash, [&](int32_t cand) {
+      const Node& c = nodes_[cand];
+      return c.level == node.level && c.lo == node.lo && c.hi == node.hi;
+    });
+    if (found != static_cast<int32_t>(id)) {
+      return Status::Internal(
+          found == UniqueTable::kEmpty
+              ? "live node missing from the unique table"
+              : "duplicate node in the unique table");
+    }
+  }
+  return Status::Ok();
 }
 
 void ObddManager::AddRootRef(NodeId id) {
@@ -262,6 +354,9 @@ ObddManager::NodeId ObddManager::Ite(NodeId f, NodeId g, NodeId h) {
 template <bool kPar>
 ObddManager::NodeId ObddManager::IteRecT(NodeId f, NodeId g, NodeId h,
                                          int depth) {
+  if (budget_ != nullptr && ((f | g | h) < 0 || budget_->tripped())) {
+    return kAborted;
+  }
   // Terminal cases.
   if (f == kTrue) return g;
   if (f == kFalse) return h;
@@ -300,6 +395,7 @@ ObddManager::NodeId ObddManager::IteRecT(NodeId f, NodeId g, NodeId h,
     hi = IteRecT<false>(fh, gh, hh, depth + 1);
   }
   const NodeId result = MakeNodeT<kPar>(level, lo, hi);
+  if (budget_ != nullptr && result < 0) return result;  // never cached
   if constexpr (kPar) {
     ite_cache_.StoreC(hash, key, result);
     ite_memo_.InsertC(hash, key, result);
@@ -347,6 +443,12 @@ ObddManager::NodeId ObddManager::ApplyN(std::vector<NodeId> ops,
 template <bool kPar>
 ObddManager::NodeId ObddManager::ApplyNRecT(std::vector<NodeId> ops,
                                             bool is_and, int depth) {
+  if (budget_ != nullptr) {
+    if (budget_->tripped()) return kAborted;
+    for (const NodeId op : ops) {
+      if (op < 0) return kAborted;
+    }
+  }
   const NodeId absorbing = is_and ? kFalse : kTrue;
   const NodeId neutral = is_and ? kTrue : kFalse;
   // Normalize: drop neutral operands, short-circuit on absorbing ones,
@@ -417,6 +519,7 @@ ObddManager::NodeId ObddManager::ApplyNRecT(std::vector<NodeId> ops,
     hi = ApplyNRecT<false>(std::move(hi_ops), is_and, depth + 1);
   }
   const NodeId result = MakeNodeT<kPar>(level, lo, hi);
+  if (budget_ != nullptr && result < 0) return result;  // never cached
   if constexpr (kPar) {
     nary_cache_.StoreC(hash, key, result);
     nary_memo_.InsertC(hash, std::move(key), result);

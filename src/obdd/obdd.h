@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "exec/task_pool.h"
+#include "util/budget.h"
 #include "util/computed_cache.h"
 #include "util/logging.h"
 #include "util/node_store.h"
@@ -59,9 +60,15 @@ struct ObddOptions {
 class ObddManager {
  public:
   // Node ids: 0 = false terminal, 1 = true terminal, >= 2 internal.
+  // kAborted is the cooperative-abort sentinel: when an attached
+  // WorkBudget trips, operations unwind by returning it instead of a
+  // node. It is never stored in the unique table, caches, or memos, so
+  // an aborted operation leaves no trace beyond unreferenced garbage
+  // nodes (reclaimed by the next GarbageCollect).
   using NodeId = int;
   static constexpr NodeId kFalse = 0;
   static constexpr NodeId kTrue = 1;
+  static constexpr NodeId kAborted = -2;
 
   using Options = ObddOptions;
 
@@ -149,6 +156,38 @@ class ObddManager {
 
   void BeginParallelRegion();
   void EndParallelRegion();
+
+  // --- Budgets and cancellation ------------------------------------------
+  //
+  // While a budget is attached, every operation that allocates nodes
+  // (Ite/AndN/OrN/MakeNode and the compilers built on them) charges the
+  // budget per node allocation (amortized through per-context leases)
+  // and unwinds with kAborted once it trips — on node exhaustion, on
+  // deadline, or on an external Cancel(). The abort is cooperative and
+  // exception-free: recursions observe a negative operand or the tripped
+  // flag and return kAborted without touching the unique table or
+  // caches, so the manager stays Validate()-clean and a post-abort
+  // recompile (after detaching or refreshing the budget) is
+  // pointer-identical by canonicity. Attach/Detach must happen outside
+  // operations and parallel regions. With no budget attached the hot
+  // path pays a single predictable branch.
+
+  void AttachBudget(WorkBudget* budget);
+  void DetachBudget() { AttachBudget(nullptr); }
+  WorkBudget* budget() const { return budget_; }
+  bool AbortRequested() const {
+    return budget_ != nullptr && budget_->tripped();
+  }
+  // Cancel token for exec::ParallelFor, or nullptr without a budget.
+  const std::atomic<bool>* budget_token() const {
+    return budget_ == nullptr ? nullptr : budget_->token();
+  }
+
+  // Structural self-check: every live node is reduced (lo != hi), level-
+  // ordered, reachable children are live, and the unique table maps each
+  // live node to itself (no duplicates, no strays). Used by tests to
+  // assert aborted operations left the manager consistent. O(nodes).
+  Status Validate() const;
 
   // --- Memory lifecycle -------------------------------------------------
   //
@@ -253,11 +292,41 @@ class ObddManager {
   struct AllocCursor {
     size_t next = 0;
     size_t end = 0;
+    // Remaining node allocations pre-charged against the attached
+    // budget (see ChargePar).
+    uint32_t lease = 0;
     // GC-recycled ids batched out of the shared free list (see
     // AllocNodePar — parallel regions must reuse freed ids or the node
     // store would grow monotonically across GC cycles).
     std::vector<NodeId> recycled;
   };
+
+  // Budget charging, amortized via leases: the shared budget atomic is
+  // touched once per lease_chunk_ allocations, not once per node.
+  // ChargeSeq returns false when the budget denies the allocation (the
+  // caller returns kAborted before allocating). ChargePar charges but
+  // never denies: a worker that loses the refill race still allocates
+  // its node (the trip is already recorded), bounding total overshoot by
+  // the number of in-flight workers — well under one id block.
+  // The refills stay out of line: AcquireLease (atomics, clock reads)
+  // inlined into MakeNodeT bloats the unbudgeted allocation fast path
+  // enough to measurably slow the layered compilers.
+  bool ChargeSeq() {
+    if (budget_lease_ > 0) {
+      --budget_lease_;
+      return true;
+    }
+    return RefillSeqLease();
+  }
+  bool RefillSeqLease();
+  void ChargePar(AllocCursor& cursor) {
+    if (cursor.lease > 0) {
+      --cursor.lease;
+      return;
+    }
+    RefillParLease(cursor);
+  }
+  void RefillParLease(AllocCursor& cursor);
 
   std::vector<int> var_order_;
   std::unordered_map<int, int> level_of_var_;
@@ -273,6 +342,10 @@ class ObddManager {
   exec::TaskPool* pool_ = nullptr;
   bool par_active_ = false;
   std::vector<AllocCursor> alloc_cursors_;
+  // Attached budget (may be null) and the sequential-path lease state.
+  WorkBudget* budget_ = nullptr;
+  uint32_t budget_lease_ = 0;
+  uint32_t lease_chunk_ = 0;
   // GC state: external root ref-counts (indexed by node id, lazily grown)
   // and the free list MakeNode pops before growing nodes_. A freed slot's
   // level is set to kDeadLevel so stale-id use trips level checks fast.

@@ -114,6 +114,7 @@ ObddManager::NodeId CompileFuncToObdd(ObddManager* manager,
     // directly instead of through a full Ite.
     const ObddManager::NodeId result =
         manager->MakeNode(manager->LevelOf(var), lo, hi);
+    if (result < 0) return result;  // budget abort: never memoized
     memo.emplace(g, result);
     return result;
   };

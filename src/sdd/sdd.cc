@@ -4,6 +4,7 @@
 #include <array>
 #include <functional>
 
+#include "util/fault_injection.h"
 #include "util/hashing.h"
 #include "util/logging.h"
 
@@ -197,6 +198,99 @@ void SddManager::EndParallelRegion() {
   thread_check_.EndShared();
 }
 
+void SddManager::AttachBudget(WorkBudget* budget) {
+  thread_check_.Check();
+  CTSDD_CHECK_EQ(apply_depth_, 0) << "AttachBudget inside an operation";
+  CTSDD_CHECK(!par_active_) << "AttachBudget inside a parallel region";
+  budget_ = budget;
+  lease_chunk_ = 0;
+  for (Ctx& cx : ctxs_) cx.budget_lease = 0;
+  if (budget != nullptr) {
+    // Lease granularity: fine enough that overshoot stays within the
+    // acceptance bound (<= budget/16), coarse enough that the shared
+    // atomic is off the per-node path.
+    const uint64_t b = budget->node_budget();
+    lease_chunk_ = static_cast<uint32_t>(
+        b == 0 ? 256
+               : std::min<uint64_t>(256, std::max<uint64_t>(1, b / 16)));
+  }
+}
+
+Status SddManager::Validate() const {
+  const size_t n = nodes_.size();
+  std::vector<bool> dead(n, false);
+  for (const NodeId id : free_ids_) {
+    if (id < 2 || static_cast<size_t>(id) >= n) {
+      return Status::Internal("free-list id out of range");
+    }
+    const Node& slot = nodes_[id];
+    if (slot.kind != Kind::kConst || slot.var != kDeadVar) {
+      return Status::Internal("free-list id not dead-marked");
+    }
+    dead[id] = true;
+  }
+  for (size_t id = 2; id < n; ++id) {
+    const Node& node = nodes_[id];
+    if (node.kind == Kind::kConst) {
+      if (node.var != kDeadVar) {
+        return Status::Internal("non-terminal constant node");
+      }
+      if (!dead[id]) {
+        return Status::Internal("dead node missing from the free list");
+      }
+      continue;
+    }
+    if (node.kind == Kind::kLiteral) {
+      if (node.var < 0 || !vtree_.is_leaf(node.vnode) ||
+          vtree_.LeafOf(node.var) != node.vnode) {
+        return Status::Internal("malformed literal node");
+      }
+      const size_t key = (static_cast<size_t>(node.var) << 1) | node.sense;
+      if (key >= literal_ids_.size() ||
+          literal_ids_[key] != static_cast<NodeId>(id)) {
+        return Status::Internal("literal not interned under its variable");
+      }
+      continue;
+    }
+    if (vtree_.is_leaf(node.vnode)) {
+      return Status::Internal("decision normalized at a vtree leaf");
+    }
+    if (node.num_elems < 2 || node.elems == nullptr) {
+      return Status::Internal("untrimmed or element-less decision");
+    }
+    for (uint32_t i = 0; i < node.num_elems; ++i) {
+      const auto& [p, s] = node.elems[i];
+      for (const NodeId child : {p, s}) {
+        if (child < 0 || static_cast<size_t>(child) >= n) {
+          return Status::Internal("element id out of range");
+        }
+        const Node& c = nodes_[child];
+        if (child > 1 && c.kind == Kind::kConst) {
+          return Status::Internal("element references a dead node");
+        }
+      }
+      if (p <= 1) {
+        return Status::Internal("constant prime in multi-element decision");
+      }
+    }
+    const int32_t found = unique_.Find(
+        DecisionHash(node.vnode, {node.elems, node.num_elems}),
+        [&](int32_t cand) {
+          const Node& c = nodes_[cand];
+          return c.vnode == node.vnode && c.num_elems == node.num_elems &&
+                 std::equal(node.elems, node.elems + node.num_elems,
+                            c.elems);
+        });
+    if (found != static_cast<int32_t>(id)) {
+      return Status::Internal(
+          found == UniqueTable::kEmpty
+              ? "live decision missing from the unique table"
+              : "duplicate decision in the unique table");
+    }
+  }
+  return Status::Ok();
+}
+
 void SddManager::AddRootRef(NodeId id) {
   thread_check_.Check();
   if (IsConst(id)) return;
@@ -339,6 +433,7 @@ SddManager::NodeId SddManager::MakeDecisionT(Ctx& cx, int vnode,
                                              Elements* elements_in,
                                              int depth) {
   Elements& elements = *elements_in;
+  if (budget_ != nullptr && budget_->tripped()) return kAborted;
   // Drop false primes.
   elements.erase(std::remove_if(elements.begin(), elements.end(),
                                 [](const auto& e) { return e.first == kFalse; }),
@@ -384,6 +479,15 @@ SddManager::NodeId SddManager::MakeDecisionT(Ctx& cx, int vnode,
     i = j;
   }
   elements.resize(out);
+  // Abort propagation: a negative prime or sub is an upstream kAborted
+  // (either passed in or produced by the compression applies above).
+  // Checked before the trim-rule CHECKs and the unique-table probe so an
+  // aborted partial decision never materializes.
+  if (budget_ != nullptr) {
+    for (const auto& [p, s] : elements) {
+      if ((p | s) < 0) return kAborted;
+    }
+  }
   // Trim rule 1: {(true, s)} -> s.
   if (elements.size() == 1) {
     CTSDD_CHECK_EQ(elements[0].first, kTrue)
@@ -409,6 +513,8 @@ SddManager::NodeId SddManager::MakeDecisionT(Ctx& cx, int vnode,
   };
   if constexpr (kPar) {
     return unique_.FindOrInsert(hash, eq, [&] {
+      if (budget_ != nullptr) ChargePar(cx);
+      CTSDD_FAULT_POINT("sdd.alloc");
       Element* stored = AllocateElements<true>(cx, elements.size());
       std::copy(elements.begin(), elements.end(), stored);
       const NodeId id =
@@ -420,6 +526,8 @@ SddManager::NodeId SddManager::MakeDecisionT(Ctx& cx, int vnode,
   } else {
     const int32_t found = unique_.Find(hash, eq);
     if (found != UniqueTable::kEmpty) return found;
+    if (budget_ != nullptr && !ChargeSeq(cx)) return kAborted;
+    CTSDD_FAULT_POINT("sdd.alloc");
     Element* stored = AllocateElements<false>(cx, elements.size());
     std::copy(elements.begin(), elements.end(), stored);
     const NodeId id = NewNode({Kind::kDecision, false, -1, vnode, stored,
@@ -521,6 +629,9 @@ SddManager::ElementSpan SddManager::LiftTo(Ctx& cx, int vnode, NodeId a,
     // `a` lives in the left subtree: (a AND true) OR (!a AND false).
     // NotRec may grow nodes_, so `n` is dead after this point.
     const NodeId not_a = NotRecT<kPar>(cx, a, depth);
+    // Valid lifts are never empty, so an empty span is the abort
+    // sentinel (callers check before reading elements).
+    if (budget_ != nullptr && not_a < 0) return {};
     (*store)[0] = {a, kTrue};
     (*store)[1] = {not_a, kFalse};
     return {store->data(), 2};
@@ -555,6 +666,9 @@ SddManager::NodeId SddManager::Apply(NodeId a, NodeId b, Op op) {
 template <bool kPar>
 SddManager::NodeId SddManager::ApplyRecT(Ctx& cx, NodeId a, NodeId b, Op op,
                                          int depth) {
+  if (budget_ != nullptr && ((a | b) < 0 || budget_->tripped())) {
+    return kAborted;
+  }
   ++cx.counters.apply_calls;
   // Terminals, f op f, recorded negations, and the small-scope word
   // semantics — all resolved before any cache probe.
@@ -583,6 +697,8 @@ SddManager::NodeId SddManager::ApplyRecT(Ctx& cx, NodeId a, NodeId b, Op op,
   std::array<Element, 2> store_a, store_b;
   const ElementSpan ea = LiftTo<kPar>(cx, lca, a, &store_a, depth);
   const ElementSpan eb = LiftTo<kPar>(cx, lca, b, &store_b, depth);
+  // An empty span is LiftTo's abort sentinel (valid lifts never are).
+  if (budget_ != nullptr && (ea.empty() || eb.empty())) return kAborted;
   // Depth-indexed scratch: deeper recursive frames (including the ones
   // MakeDecision's compression spawns) use deeper buffers, so this
   // frame's elements survive the recursion without a fresh allocation.
@@ -615,7 +731,7 @@ SddManager::NodeId SddManager::ApplyRecT(Ctx& cx, NodeId a, NodeId b, Op op,
       forked = true;
       std::vector<Elements> row_out(ea.size());
       exec::ParallelFor(
-          pool_, ea.size(), [&](size_t r) {
+          pool_, ea.size(), budget_token(), [&](size_t r) {
             Ctx& wcx = CurCtx();
             const auto& [p1, s1] = ea[r];
             if (s1 == absorbing) return;
@@ -658,6 +774,7 @@ SddManager::NodeId SddManager::ApplyRecT(Ctx& cx, NodeId a, NodeId b, Op op,
   cx.counters.element_products += out.size();
   const NodeId result = MakeDecisionT<kPar>(cx, lca, &out, depth);
   --cx.rec_depth;
+  if (budget_ != nullptr && result < 0) return result;  // never cached
   if constexpr (kPar) {
     apply_cache_.StoreC(hash, key, result);
     apply_memo_.InsertC(hash, key, result);
@@ -679,6 +796,16 @@ SddManager::NodeId SddManager::Or(NodeId a, NodeId b) {
 bool SddManager::NormalizeNaryOps(Ctx& cx, std::vector<NodeId>* ops_in,
                                   Op op, NodeId* out) {
   std::vector<NodeId>& ops = *ops_in;
+  // Abort propagation, checked before the fast_info_ negation probes
+  // below dereference any operand.
+  if (budget_ != nullptr) {
+    for (const NodeId x : ops) {
+      if (x < 0) {
+        *out = kAborted;
+        return true;
+      }
+    }
+  }
   const NodeId absorbing = (op == Op::kAnd) ? kFalse : kTrue;
   const NodeId identity = (op == Op::kAnd) ? kTrue : kFalse;
   size_t n = 0;
@@ -736,6 +863,12 @@ SddManager::NodeId SddManager::ApplyNT(Ctx& cx,
                                        const std::vector<NodeId>& ops, Op op,
                                        int depth) {
   if (ops.size() == 2) return ApplyRecT<kPar>(cx, ops[0], ops[1], op, depth);
+  if (budget_ != nullptr) {
+    if (budget_->tripped()) return kAborted;
+    for (const NodeId x : ops) {
+      if (x < 0) return kAborted;
+    }
+  }
   NaryKey key{op, ops};
   std::sort(key.ops.begin(), key.ops.end());  // order-insensitive memo key
   const auto it = cx.nary_memo.find(key);
@@ -753,6 +886,8 @@ SddManager::NodeId SddManager::ApplyNT(Ctx& cx,
   size_t product = 1;
   for (size_t i = 0; i < ops.size(); ++i) {
     spans[i] = LiftTo<kPar>(cx, lca, ops[i], &stores[i], depth);
+    // An empty span is LiftTo's abort sentinel.
+    if (budget_ != nullptr && spans[i].empty()) return kAborted;
     // Saturate at the cap: the running multiply must not wrap (eight
     // 256-element operands already reach 2^64).
     product = (product > kNaryProductCap)
@@ -783,6 +918,7 @@ SddManager::NodeId SddManager::ApplyNT(Ctx& cx,
       }
       result = fold[0];
     }
+    if (budget_ != nullptr && result < 0) return result;  // never memoized
     cx.nary_memo.emplace(std::move(key), result);
     return result;
   }
@@ -836,15 +972,23 @@ SddManager::NodeId SddManager::ApplyNT(Ctx& cx,
         cell = FastApplyT<kPar>(cx, acc, p, Op::kAnd);
         if (cell < 0) cell = ApplyRecT<kPar>(cx, acc, p, Op::kAnd, depth + 1);
       }
+      // Aborted cell prime: skip the subtree — the tripped check after
+      // the product returns kAborted before anything uses `out`.
+      if (budget_ != nullptr && cell < 0) return;
       if (cell == kFalse) continue;
       subs[level] = s;
       self(self, level + 1, cell);
     }
   };
   dfs(dfs, 0, kTrue);
+  if (budget_ != nullptr && budget_->tripped()) {
+    --cx.rec_depth;
+    return kAborted;
+  }
   cx.counters.element_products += out.size();
   result = MakeDecisionT<kPar>(cx, lca, &out, depth);
   --cx.rec_depth;
+  if (budget_ != nullptr && result < 0) return result;  // never memoized
   cx.nary_memo.emplace(std::move(key), result);
   return result;
 }
@@ -948,6 +1092,7 @@ SddManager::NodeId SddManager::Not(NodeId a) {
 
 template <bool kPar>
 SddManager::NodeId SddManager::NotRecT(Ctx& cx, NodeId a, int depth) {
+  if (budget_ != nullptr && (a < 0 || budget_->tripped())) return kAborted;
   if (a == kFalse) return kTrue;
   if (a == kTrue) return kFalse;
   // The exact negation links are a complete, unbounded memo: every
@@ -968,6 +1113,7 @@ SddManager::NodeId SddManager::NotRecT(Ctx& cx, NodeId a, int depth) {
     for (auto& [p, s] : out) s = NotRecT<kPar>(cx, s, depth);
     result = MakeDecisionT<kPar>(cx, n.vnode, &out, depth);
   }
+  if (budget_ != nullptr && result < 0) return result;  // never linked
   LinkNegations(a, result);
   return result;
 }

@@ -55,6 +55,7 @@
 #include "exec/task_pool.h"
 #include "func/bool_func.h"
 #include "util/arena.h"
+#include "util/budget.h"
 #include "util/computed_cache.h"
 #include "util/node_store.h"
 #include "util/scoped_memo.h"
@@ -86,6 +87,10 @@ class SddManager {
   using NodeId = int;
   static constexpr NodeId kFalse = 0;
   static constexpr NodeId kTrue = 1;
+  // Cooperative-abort sentinel (see AttachBudget): returned in place of a
+  // node id when an attached WorkBudget trips. Never stored in the unique
+  // table, caches, memos, or negation links.
+  static constexpr NodeId kAborted = -2;
 
   // One (prime, sub) pair of a decision node.
   using Element = std::pair<NodeId, NodeId>;
@@ -199,6 +204,37 @@ class SddManager {
 
   void BeginParallelRegion();
   void EndParallelRegion();
+
+  // --- Budgets and cancellation ------------------------------------------
+  //
+  // Same contract as ObddManager: while a budget is attached, decision
+  // allocations charge it (amortized through per-context leases) and
+  // every apply/compile recursion unwinds with kAborted once it trips —
+  // on node exhaustion, deadline, or external Cancel(). Aborted partial
+  // results are never cached, interned, or negation-linked, so the
+  // manager stays Validate()-clean, the garbage left behind is
+  // unreferenced (reclaimed by GarbageCollect), and a post-abort
+  // recompile is pointer-identical by canonicity. Literal interning is
+  // never charged (bounded by 2·|vars|). Attach/Detach must happen
+  // outside operations and parallel regions.
+
+  void AttachBudget(WorkBudget* budget);
+  void DetachBudget() { AttachBudget(nullptr); }
+  WorkBudget* budget() const { return budget_; }
+  bool AbortRequested() const {
+    return budget_ != nullptr && budget_->tripped();
+  }
+  // Cancel token for exec::ParallelFor, or nullptr without a budget.
+  const std::atomic<bool>* budget_token() const {
+    return budget_ == nullptr ? nullptr : budget_->token();
+  }
+
+  // Manager-wide structural self-check (contrast Validate(NodeId), which
+  // checks one root's partition semantics): every live node is well-
+  // formed, element ids are live and in range, dead slots match the free
+  // list, and the unique table maps each live decision to itself. Used
+  // by tests to assert aborted operations left the manager consistent.
+  Status Validate() const;
 
   // --- Memory lifecycle -------------------------------------------------
   //
@@ -388,6 +424,9 @@ class SddManager {
     size_t alloc_end = 0;
     std::vector<NodeId> recycled;
     PerfCounters counters;
+    // Remaining node allocations pre-charged against the attached budget
+    // (see ChargeSeq/ChargePar; reset by AttachBudget).
+    uint32_t budget_lease = 0;
   };
 
   // Fan-in up to which AndN/OrN use the n-ary element product (ApplyN)
@@ -410,6 +449,29 @@ class SddManager {
   Ctx& CurCtx() {
     return par_active_ ? ctxs_[1 + static_cast<size_t>(pool_->CurrentSlot())]
                        : ctxs_[0];
+  }
+
+  // Budget charging, amortized via per-context leases (one shared-atomic
+  // touch per lease_chunk_ allocations). ChargeSeq denies (the caller
+  // returns kAborted before allocating); ChargePar charges but never
+  // denies — a worker losing the refill race still allocates, bounding
+  // overshoot by the number of in-flight workers.
+  bool ChargeSeq(Ctx& cx) {
+    if (cx.budget_lease == 0) {
+      cx.budget_lease =
+          static_cast<uint32_t>(budget_->AcquireLease(lease_chunk_));
+      if (cx.budget_lease == 0) return false;
+    }
+    --cx.budget_lease;
+    return true;
+  }
+  void ChargePar(Ctx& cx) {
+    if (cx.budget_lease == 0) {
+      cx.budget_lease =
+          static_cast<uint32_t>(budget_->AcquireLease(lease_chunk_));
+      if (cx.budget_lease == 0) return;
+    }
+    --cx.budget_lease;
   }
 
   // Canonicalizes (compress + trim + hash-cons) the elements in *elements,
@@ -617,6 +679,10 @@ class SddManager {
   std::deque<Ctx> ctxs_;
   exec::TaskPool* pool_ = nullptr;
   bool par_active_ = false;
+  // Attached budget (may be null) and the lease granularity derived from
+  // its node budget at attach time.
+  WorkBudget* budget_ = nullptr;
+  uint32_t lease_chunk_ = 0;
   // GC state: external root ref-counts (indexed by node id, lazily
   // grown), the node-id free list MakeDecision pops before growing
   // nodes_, and the size-bucketed element-span free list (spans are

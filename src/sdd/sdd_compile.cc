@@ -76,6 +76,12 @@ class SemanticSddCompiler {
   bool InParallel() const { return m_->InParallelRegion(); }
 
   NodeId CompileShrunk(int v, const BoolFunc& g, int depth) {
+    // Budget poll: covers the deadline/cancel paths even when this
+    // subtree resolves entirely from memos (no allocations to charge).
+    WorkBudget* const budget = m_->budget();
+    if (budget != nullptr && !budget->CheckPoint()) {
+      return SddManager::kAborted;
+    }
     if (g.IsConstantFalse()) return SddManager::kFalse;
     if (g.IsConstantTrue()) return SddManager::kTrue;
     // Descend to the minimal vtree node covering g's support.
@@ -118,7 +124,7 @@ class SemanticSddCompiler {
       }
     }
     const NodeId result = Partition(v, g, depth);
-    {
+    if (result >= 0) {  // aborted results are never memoized
       // A racing task may have compiled g concurrently; both computed
       // the same canonical node, so either entry wins.
       std::lock_guard<std::mutex> lock(shard.mu);
@@ -179,10 +185,14 @@ class SemanticSddCompiler {
       elements[c] = {prime, sub};
     };
     if (InParallel() && depth < kForkDepth) {
-      exec::ParallelFor(pool_, reps.size(), compile_class);
+      exec::ParallelFor(pool_, reps.size(), m_->budget_token(),
+                        compile_class);
     } else {
       for (size_t c = 0; c < reps.size(); ++c) compile_class(c);
     }
+    // A cancelled ParallelFor may have skipped classes entirely, leaving
+    // default-constructed elements: abort before they canonicalize.
+    if (m_->AbortRequested()) return SddManager::kAborted;
     return m_->Decision(v, std::move(elements));
   }
 
@@ -308,6 +318,7 @@ SddManager::NodeId CompileFuncToSddShannon(SddManager* manager,
     const SddManager::NodeId x = manager->Literal(var, true);
     const SddManager::NodeId result = manager->Or(
         manager->And(x, hi), manager->And(manager->Not(x), lo));
+    if (result < 0) return result;  // budget abort: never memoized
     memo.emplace(g, result);
     return result;
   };
@@ -345,6 +356,7 @@ SddManager::NodeId CompileCircuitToSdd(SddManager* manager,
     }
   }
   auto position = [&](SddManager::NodeId id) {
+    if (id < 0) return -1;  // aborted operand (budget trip upstream)
     const int vnode = manager->VtreeOf(id);
     return vnode < 0 ? -1 : preorder[vnode];
   };

@@ -1,6 +1,7 @@
 #include "serve/query_service.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -16,13 +17,13 @@ QueryService::QueryService(ServeOptions options)
       exec_pool_(options.exec_workers > 1
                      ? std::make_unique<exec::TaskPool>(options.exec_workers)
                      : nullptr),
-      latency_(std::make_unique<LatencyRecorder>(options.latency_window)) {
+      latency_(std::make_unique<LatencyRecorder>(options.latency_window)),
+      gc_latency_(std::make_unique<LatencyRecorder>(options.latency_window)) {
   CTSDD_CHECK_GT(options_.num_shards, 0);
   shards_.reserve(options_.num_shards);
   for (int i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<ShardWorker>(i, options_,
-                                                    latency_.get(),
-                                                    exec_pool_.get()));
+    shards_.push_back(std::make_unique<ShardWorker>(
+        i, options_, latency_.get(), gc_latency_.get(), exec_pool_.get()));
   }
 }
 
@@ -39,6 +40,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
   std::atomic<int> remaining(static_cast<int>(requests.size()));
   std::mutex done_mu;
   std::condition_variable done_cv;
+  const auto admitted_at = std::chrono::steady_clock::now();
   for (size_t i = 0; i < requests.size(); ++i) {
     const QueryRequest& request = requests[i];
     if (request.db == nullptr) {
@@ -55,8 +57,29 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     const size_t shard =
         static_cast<size_t>(Hash2(key.query_sig, key.db_sig)) %
         shards_.size();
-    shards_[shard]->Submit(
-        {&requests[i], &responses[i], key, &remaining, &done_mu, &done_cv});
+    ShardJob job{&requests[i], &responses[i],      key, false, {},
+                 &remaining,   &done_mu,           &done_cv};
+    const double deadline_ms = request.deadline_ms > 0
+                                   ? request.deadline_ms
+                                   : options_.default_deadline_ms;
+    if (deadline_ms > 0) {
+      job.has_deadline = true;
+      job.deadline =
+          admitted_at + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                deadline_ms));
+    }
+    double retry_after_ms = 0;
+    if (!shards_[shard]->Submit(job, &retry_after_ms)) {
+      // Admission control shed the job: fail it typed, with a backoff
+      // hint, instead of queueing without bound.
+      responses[i].status =
+          Status::Unavailable("shard queue full; retry later");
+      responses[i].shard = static_cast<int>(shard);
+      responses[i].retry_after_ms = retry_after_ms;
+      remaining.fetch_sub(1);
+    }
   }
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return remaining.load() == 0; });
@@ -78,16 +101,24 @@ ServiceStats QueryService::stats() const {
     out.totals.gc_runs += s.gc_runs;
     out.totals.gc_reclaimed += s.gc_reclaimed;
     out.totals.manager_evictions += s.manager_evictions;
+    out.totals.timeouts += s.timeouts;
+    out.totals.sheds += s.sheds;
+    out.totals.fallbacks += s.fallbacks;
+    out.totals.budget_aborts += s.budget_aborts;
     out.totals.live_nodes += s.live_nodes;
     out.totals.peak_live_nodes += s.peak_live_nodes;
   }
   const uint64_t rejected =
       rejected_requests_.load(std::memory_order_relaxed);
-  out.totals.requests += rejected;
-  out.totals.failures += rejected;
+  // Rejected and shed requests never reach a worker's counters; fold
+  // them in so monitoring sees them as traffic + failures.
+  out.totals.requests += rejected + out.totals.sheds;
+  out.totals.failures += rejected + out.totals.sheds;
   out.p50_ms = latency_->Percentile(0.50);
   out.p95_ms = latency_->Percentile(0.95);
   out.p99_ms = latency_->Percentile(0.99);
+  out.gc_pause_p50_ms = gc_latency_->Percentile(0.50);
+  out.gc_pause_p99_ms = gc_latency_->Percentile(0.99);
   return out;
 }
 

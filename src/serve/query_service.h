@@ -48,6 +48,11 @@ struct QueryRequest {
   std::vector<double> weights;
   VtreeStrategy strategy = VtreeStrategy::kBalanced;
   PlanRoute route = PlanRoute::kSdd;
+  // Per-request deadline measured from batch admission; 0 falls back to
+  // ServeOptions::default_deadline_ms (0 there too = no deadline). A
+  // request still queued past its deadline fails with DEADLINE_EXCEEDED
+  // without compiling; an in-flight compile aborts at the deadline.
+  double deadline_ms = 0;
 };
 
 struct QueryResponse {
@@ -56,6 +61,15 @@ struct QueryResponse {
   bool plan_cache_hit = false;
   int shard = -1;
   double latency_ms = 0.0;
+  // True when the serving plan came off the degradation ladder: the
+  // requested route's compile tripped its budget and the alternate
+  // representation (OBDD <-> SDD) answered instead. The answer itself is
+  // exact — both routes compute the same weighted model count.
+  bool degraded = false;
+  // Set alongside an UNAVAILABLE shed: the caller's backoff hint,
+  // estimated from the shard's queue depth and its smoothed per-request
+  // service time.
+  double retry_after_ms = 0;
   // Compile-time statistics of the serving plan.
   int lineage_gates = 0;
   int size = 0;
@@ -90,8 +104,10 @@ class QueryService {
   // (null when options_.exec_workers <= 1). Declared before the shards
   // so it outlives every manager that borrowed it.
   std::unique_ptr<exec::TaskPool> exec_pool_;
-  // Shared sliding-window latency reservoir (shards record into it).
+  // Shared sliding-window latency reservoirs (shards record into them):
+  // end-to-end request latency and GC pause durations.
   std::unique_ptr<LatencyRecorder> latency_;
+  std::unique_ptr<LatencyRecorder> gc_latency_;
   std::vector<std::unique_ptr<ShardWorker>> shards_;
   // Requests rejected before reaching any shard (e.g. null database);
   // folded into stats() so monitoring sees them as traffic + failures.

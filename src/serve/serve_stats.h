@@ -44,6 +44,20 @@ struct ServeOptions {
   // parallelism a single cold compile can recruit, not a per-shard
   // reservation.
   int exec_workers = 0;
+  // Node-allocation budget per cold compile (0 = unlimited). A compile
+  // that trips it aborts cleanly, the shard reclaims the partial nodes,
+  // and the degradation ladder retries the alternate route (OBDD <-> SDD)
+  // once with a fresh budget before reporting RESOURCE_EXHAUSTED.
+  uint64_t compile_node_budget = 0;
+  // Deadline applied to requests that do not carry their own (0 = none).
+  // Measured from batch admission; requests still queued past it are
+  // failed with DEADLINE_EXCEEDED without compiling, and in-flight
+  // compiles abort at the deadline.
+  double default_deadline_ms = 0;
+  // Admission control: jobs beyond this per-shard queue depth are shed
+  // with UNAVAILABLE and a retry-after hint instead of queueing without
+  // bound (0 = unbounded).
+  size_t max_queue_depth = 0;
 };
 
 // One shard's counters (a consistent snapshot taken between requests).
@@ -60,6 +74,16 @@ struct ShardStats {
   uint64_t gc_runs = 0;
   uint64_t gc_reclaimed = 0;
   uint64_t manager_evictions = 0;
+  // Requests failed with DEADLINE_EXCEEDED — expired while queued or
+  // aborted mid-compile by their deadline.
+  uint64_t timeouts = 0;
+  // Jobs rejected at admission (queue depth over max_queue_depth).
+  uint64_t sheds = 0;
+  // Degradation-ladder retries on the alternate route after a budget
+  // abort on the requested one.
+  uint64_t fallbacks = 0;
+  // Compiles aborted by the node-allocation budget.
+  uint64_t budget_aborts = 0;
   int live_nodes = 0;       // resident nodes across the shard's managers
   int peak_live_nodes = 0;  // max of live_nodes over policy checks
 };
@@ -71,6 +95,9 @@ struct ServiceStats {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  // Garbage-collection pause percentiles (one sample per collection).
+  double gc_pause_p50_ms = 0.0;
+  double gc_pause_p99_ms = 0.0;
 
   double plan_hit_rate() const {
     const uint64_t lookups = totals.plan_hits + totals.plan_misses;

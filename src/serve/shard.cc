@@ -9,16 +9,20 @@
 #include "obdd/obdd_compile.h"
 #include "sdd/sdd_compile.h"
 #include "serve/signature.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace ctsdd {
 
 ShardWorker::ShardWorker(int shard_id, const ServeOptions& options,
-                         LatencyRecorder* latency, exec::TaskPool* exec_pool)
+                         LatencyRecorder* latency, LatencyRecorder* gc_latency,
+                         exec::TaskPool* exec_pool)
     : id_(shard_id),
       options_(options),
       latency_(latency),
+      gc_latency_(gc_latency),
       exec_pool_(exec_pool),
+      gc_interval_(std::max(1, options.gc_check_interval)),
       plans_(options.plan_cache_capacity,
              [](const PlanKey&, CompiledPlan& plan) {
                // Unpin the plan's lineage: the released nodes become
@@ -41,17 +45,35 @@ ShardWorker::~ShardWorker() {
   for (PooledSdd& e : sdd_pool_) e.manager->DetachOwningThread();
 }
 
-void ShardWorker::Submit(const ShardJob& job) {
+bool ShardWorker::Submit(const ShardJob& job, double* retry_after_ms) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(job);
+    if (options_.max_queue_depth == 0 ||
+        queue_.size() < options_.max_queue_depth) {
+      queue_.push_back(job);
+      cv_.notify_one();
+      return true;
+    }
+    depth = queue_.size();
   }
-  cv_.notify_one();
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+  if (retry_after_ms != nullptr) {
+    // Expected drain time of the queue ahead of a retry: depth jobs at
+    // the smoothed per-request service time.
+    *retry_after_ms = static_cast<double>(depth) *
+                      ewma_service_ms_.load(std::memory_order_relaxed);
+  }
+  return false;
 }
 
 ShardStats ShardWorker::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ShardStats out = stats_;
+  // Sheds are counted on client threads at admission; fold them in here
+  // so they show even when the worker never published a snapshot.
+  out.sheds = sheds_.load(std::memory_order_relaxed);
+  return out;
 }
 
 void ShardWorker::Loop() {
@@ -69,19 +91,39 @@ void ShardWorker::Loop() {
 }
 
 void ShardWorker::Process(const ShardJob& job) {
+  CTSDD_FAULT_POINT("serve.shard.process");
   Timer timer;
   const QueryRequest& request = *job.request;
   QueryResponse& response = *job.response;
   response.shard = id_;
 
+  // Deadline respect at dequeue: a job that expired while queued fails
+  // typed, without paying for a compile it can no longer use.
+  if (job.has_deadline && std::chrono::steady_clock::now() >= job.deadline) {
+    response.status =
+        Status::DeadlineExceeded("deadline expired while queued");
+    ++local_requests_;
+    ++local_failures_;
+    ++local_timeouts_;
+    response.latency_ms = timer.ElapsedMillis();
+    latency_->Record(response.latency_ms);
+    UpdateStats();
+    std::lock_guard<std::mutex> lock(*job.done_mu);
+    if (job.remaining->fetch_sub(1) == 1) job.done_cv->notify_all();
+    return;
+  }
+
   CompiledPlan* plan = plans_.Lookup(job.key);
   response.plan_cache_hit = plan != nullptr;
   if (plan == nullptr) {
-    auto compiled = CompilePlan(request);
+    auto compiled = CompilePlan(request, job);
     if (compiled.ok()) {
       plan = plans_.Insert(job.key, std::move(compiled).value());
     } else {
       response.status = compiled.status();
+      if (response.status.code() == StatusCode::kDeadlineExceeded) {
+        ++local_timeouts_;
+      }
     }
   }
   if (plan != nullptr) {
@@ -89,16 +131,22 @@ void ShardWorker::Process(const ShardJob& job) {
     response.lineage_gates = plan->lineage_gates;
     response.size = plan->size;
     response.width = plan->width;
+    // A cached ladder plan keeps answering for the original key, so
+    // repeats report degraded too.
+    response.degraded = plan->route != request.route;
   }
 
   ++local_requests_;
   if (plan == nullptr) ++local_failures_;
-  if (++requests_since_gc_check_ >= options_.gc_check_interval) {
+  if (++requests_since_gc_check_ >= gc_interval_) {
     requests_since_gc_check_ = 0;
     RunGcPolicy();
   }
   response.latency_ms = timer.ElapsedMillis();
   latency_->Record(response.latency_ms);
+  const double ewma = ewma_service_ms_.load(std::memory_order_relaxed);
+  ewma_service_ms_.store(0.8 * ewma + 0.2 * response.latency_ms,
+                         std::memory_order_relaxed);
   UpdateStats();
 
   {
@@ -111,39 +159,113 @@ void ShardWorker::Process(const ShardJob& job) {
   }
 }
 
-StatusOr<CompiledPlan> ShardWorker::CompilePlan(const QueryRequest& request) {
+namespace {
+
+// Remaining milliseconds until the job's deadline (0 = no deadline,
+// which WorkBudget reads as "none"). A job whose deadline just passed
+// gets an expired-but-armed budget, tripping on the first lease.
+double DeadlineLeftMs(const ShardJob& job) {
+  if (!job.has_deadline) return 0;
+  const double left =
+      std::chrono::duration<double, std::milli>(
+          job.deadline - std::chrono::steady_clock::now())
+          .count();
+  return std::max(left, 1e-9);
+}
+
+PlanRoute AlternateRoute(PlanRoute route) {
+  return route == PlanRoute::kObdd ? PlanRoute::kSdd : PlanRoute::kObdd;
+}
+
+}  // namespace
+
+StatusOr<CompiledPlan> ShardWorker::CompilePlan(const QueryRequest& request,
+                                                const ShardJob& job) {
+  CTSDD_FAULT_POINT("serve.compile");
   ++local_compiles_;
   auto lineage = BuildLineage(request.query, *request.db);
   CTSDD_RETURN_IF_ERROR(lineage.status());
   const Circuit& circuit = lineage.value();
-
-  CompiledPlan plan;
-  plan.route = request.route;
-  plan.lineage_gates = circuit.num_gates();
-  plan.vars = circuit.Vars();
-  if (plan.vars.empty()) {
+  std::vector<int> vars = circuit.Vars();
+  if (vars.empty()) {
     // Constant lineage: no diagram to build, the truth value is the plan.
+    CompiledPlan plan;
+    plan.route = request.route;
+    plan.lineage_gates = circuit.num_gates();
     plan.is_constant = true;
     plan.constant_value = Evaluate(
         circuit, std::vector<bool>(std::max(circuit.num_vars(), 0), false));
     return plan;
   }
-  if (request.route == PlanRoute::kObdd) {
+
+  if (options_.compile_node_budget == 0 && !job.has_deadline) {
+    // Unbudgeted fast path: no budget attached, no abort branches taken.
+    return CompileRoute(request, request.route, circuit, std::move(vars),
+                        nullptr);
+  }
+
+  WorkBudget primary(options_.compile_node_budget, DeadlineLeftMs(job));
+  auto first = CompileRoute(request, request.route, circuit, vars, &primary);
+  if (first.ok() || primary.reason() != StatusCode::kResourceExhausted) {
+    // Success, a non-budget failure (e.g. bad vtree), or a deadline/
+    // cancel trip — the ladder only retries node-budget exhaustion
+    // (more time cannot be bought, but a different representation can
+    // be smaller).
+    return first;
+  }
+  ++local_budget_aborts_;
+  ++local_fallbacks_;
+  WorkBudget fallback(options_.compile_node_budget, DeadlineLeftMs(job));
+  auto second = CompileRoute(request, AlternateRoute(request.route), circuit,
+                             std::move(vars), &fallback);
+  if (second.ok()) return second;
+  if (fallback.reason() == StatusCode::kResourceExhausted) {
+    ++local_budget_aborts_;
+  }
+  return second;
+}
+
+StatusOr<CompiledPlan> ShardWorker::CompileRoute(const QueryRequest& request,
+                                                 PlanRoute route,
+                                                 const Circuit& circuit,
+                                                 std::vector<int> vars,
+                                                 WorkBudget* budget) {
+  CompiledPlan plan;
+  plan.route = route;
+  plan.lineage_gates = circuit.num_gates();
+  plan.vars = std::move(vars);
+  if (route == PlanRoute::kObdd) {
     ObddManager* manager = ObddFor(plan.vars);
+    if (budget != nullptr) manager->AttachBudget(budget);
+    const auto root = CompileCircuitToObdd(manager, circuit);
+    if (budget != nullptr) manager->DetachBudget();
+    if (root < 0) {
+      // Reclaim the aborted compile's partial nodes now instead of
+      // letting them ride until the next policy check.
+      TimedGc(manager);
+      return budget->status();
+    }
     plan.obdd = manager;
-    plan.obdd_root = CompileCircuitToObdd(manager, circuit);
-    manager->AddRootRef(plan.obdd_root);
-    plan.size = manager->Size(plan.obdd_root);
-    plan.width = manager->Width(plan.obdd_root);
+    plan.obdd_root = root;
+    manager->AddRootRef(root);
+    plan.size = manager->Size(root);
+    plan.width = manager->Width(root);
     plan.pinned_nodes = plan.size;
   } else {
     auto vtree = VtreeForStrategy(circuit, plan.vars, request.strategy);
     CTSDD_RETURN_IF_ERROR(vtree.status());
     SddManager* manager = SddFor(std::move(vtree).value());
+    if (budget != nullptr) manager->AttachBudget(budget);
+    const auto root = CompileCircuitToSdd(manager, circuit);
+    if (budget != nullptr) manager->DetachBudget();
+    if (root < 0) {
+      TimedGc(manager);
+      return budget->status();
+    }
     plan.sdd = manager;
-    plan.sdd_root = CompileCircuitToSdd(manager, circuit);
-    manager->AddRootRef(plan.sdd_root);
-    const SddStats stats = ComputeSddStats(*manager, plan.sdd_root);
+    plan.sdd_root = root;
+    manager->AddRootRef(root);
+    const SddStats stats = ComputeSddStats(*manager, root);
     plan.size = stats.size;
     plan.width = stats.width;
     plan.pinned_nodes = stats.decisions;
@@ -224,11 +346,23 @@ SddManager* ShardWorker::SddFor(Vtree vtree) {
   return sdd_pool_.back().manager.get();
 }
 
+template <typename Manager>
+size_t ShardWorker::TimedGc(Manager* manager) {
+  Timer timer;
+  const size_t reclaimed = manager->GarbageCollect();
+  gc_latency_->Record(timer.ElapsedMillis());
+  ++local_gc_runs_;
+  local_gc_reclaimed_ += reclaimed;
+  return reclaimed;
+}
+
 void ShardWorker::RunGcPolicy() {
+  size_t reclaimed_this_check = 0;
+  bool saw_pressure = false;
   const auto enforce = [&](auto* manager) {
     if (manager->NumLiveNodes() <= options_.gc_live_node_ceiling) return;
-    ++local_gc_runs_;
-    local_gc_reclaimed_ += manager->GarbageCollect();
+    saw_pressure = true;
+    reclaimed_this_check += TimedGc(manager);
     // Pinned plans alone may hold the manager above the ceiling. The
     // per-plan pinned-node accounting targets eviction at *this*
     // manager's plans (LRU order among them): a plan's roots pin nodes
@@ -244,8 +378,7 @@ void ShardWorker::RunGcPolicy() {
     while (manager->NumLiveNodes() > options_.gc_live_node_ceiling &&
            plans_.EvictOneMatching(in_this_manager)) {
       ++local_targeted_evictions_;
-      ++local_gc_runs_;
-      local_gc_reclaimed_ += manager->GarbageCollect();
+      reclaimed_this_check += TimedGc(manager);
     }
     // Return cache capacity sized up by the pre-GC workload to baseline
     // (the SDD manager repopulates its semantic cache from survivors).
@@ -253,6 +386,15 @@ void ShardWorker::RunGcPolicy() {
   };
   for (PooledObdd& e : obdd_pool_) enforce(e.manager.get());
   for (PooledSdd& e : sdd_pool_) enforce(e.manager.get());
+  // Reclaim-rate feedback: when a check finds pressure (a manager over
+  // its ceiling, or nodes actually reclaimed) check again sooner; when
+  // it finds nothing, back off — up to 8x the configured cadence.
+  if (saw_pressure || reclaimed_this_check > 0) {
+    gc_interval_ = std::max(1, gc_interval_ / 2);
+  } else {
+    gc_interval_ = std::min(gc_interval_ * 2,
+                            8 * std::max(1, options_.gc_check_interval));
+  }
 }
 
 void ShardWorker::UpdateStats() {
@@ -263,6 +405,9 @@ void ShardWorker::UpdateStats() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.requests = local_requests_;
   stats_.failures = local_failures_;
+  stats_.timeouts = local_timeouts_;
+  stats_.fallbacks = local_fallbacks_;
+  stats_.budget_aborts = local_budget_aborts_;
   stats_.plan_hits = plans_.hits();
   stats_.plan_misses = plans_.misses();
   stats_.plan_evictions = plans_.evictions();

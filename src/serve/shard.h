@@ -16,6 +16,7 @@
 #define CTSDD_SERVE_SHARD_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -24,12 +25,14 @@
 #include <thread>
 #include <vector>
 
+#include "circuit/circuit.h"
 #include "exec/task_pool.h"
 #include "obdd/obdd.h"
 #include "sdd/sdd.h"
 #include "serve/plan_cache.h"
 #include "serve/query_service.h"
 #include "serve/serve_stats.h"
+#include "util/budget.h"
 
 namespace ctsdd {
 
@@ -40,6 +43,12 @@ struct ShardJob {
   const QueryRequest* request = nullptr;
   QueryResponse* response = nullptr;
   PlanKey key;  // signatures precomputed by the router
+  // Absolute deadline (from the request's or the service's default
+  // deadline_ms, stamped at admission). Checked at dequeue — a job that
+  // expired while queued fails without compiling — and threaded into the
+  // compile's WorkBudget so in-flight work aborts at the deadline too.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline;
   std::atomic<int>* remaining = nullptr;
   std::mutex* done_mu = nullptr;
   std::condition_variable* done_cv = nullptr;
@@ -52,14 +61,18 @@ class ShardWorker {
   // attaches it to every manager it pools, and the managers open
   // exec-managed parallel regions around their apply/compile operations.
   ShardWorker(int shard_id, const ServeOptions& options,
-              LatencyRecorder* latency, exec::TaskPool* exec_pool);
+              LatencyRecorder* latency, LatencyRecorder* gc_latency,
+              exec::TaskPool* exec_pool);
   ~ShardWorker();  // drains the queue, joins the thread
 
   ShardWorker(const ShardWorker&) = delete;
   ShardWorker& operator=(const ShardWorker&) = delete;
 
-  // Enqueues a job for the worker thread (thread-safe).
-  void Submit(const ShardJob& job);
+  // Enqueues a job for the worker thread (thread-safe). Returns false —
+  // shedding the job — when the queue is at max_queue_depth; the caller
+  // gets a backoff hint (queue depth x smoothed service time) in
+  // `*retry_after_ms` and must complete the response itself.
+  bool Submit(const ShardJob& job, double* retry_after_ms);
 
   // Consistent snapshot of the shard's counters (thread-safe).
   ShardStats stats() const;
@@ -78,17 +91,34 @@ class ShardWorker {
 
   void Loop();
   void Process(const ShardJob& job);
-  StatusOr<CompiledPlan> CompilePlan(const QueryRequest& request);
+  // Compiles the request's plan, enforcing the compile budget/deadline
+  // and running the degradation ladder: requested route first; on a
+  // node-budget abort, the alternate route once with a fresh budget; then
+  // the typed over-budget status. Deadline/cancel trips never retry.
+  StatusOr<CompiledPlan> CompilePlan(const QueryRequest& request,
+                                     const ShardJob& job);
+  // One budgeted compile on `route` (budget may be null = unbudgeted).
+  // On abort the partial nodes are collected immediately and the
+  // budget's typed status is returned.
+  StatusOr<CompiledPlan> CompileRoute(const QueryRequest& request,
+                                      PlanRoute route, const Circuit& circuit,
+                                      std::vector<int> vars,
+                                      WorkBudget* budget);
   double EvaluatePlan(const CompiledPlan& plan, const QueryRequest& request);
   ObddManager* ObddFor(const std::vector<int>& order);
   SddManager* SddFor(Vtree vtree);
   // Ceiling enforcement + resident-node accounting (see file comment).
   void RunGcPolicy();
+  // GarbageCollect with the pause recorded into the service's GC
+  // latency reservoir and the shard's reclaim counters.
+  template <typename Manager>
+  size_t TimedGc(Manager* manager);
   void UpdateStats();
 
   const int id_;
   const ServeOptions options_;
   LatencyRecorder* const latency_;
+  LatencyRecorder* const gc_latency_;
   exec::TaskPool* const exec_pool_;  // shared, may be null
 
   // Worker-thread state (no locking: only the worker touches it). The
@@ -100,6 +130,11 @@ class ShardWorker {
   PlanCache plans_;
   uint64_t use_clock_ = 0;
   int requests_since_gc_check_ = 0;
+  // Adaptive GC cadence (requests between policy checks): halved when a
+  // check reclaims nodes or finds a manager over its ceiling, doubled
+  // (up to 8x the configured interval) when a check finds nothing to do
+  // — reclaim-rate feedback instead of a fixed period.
+  int gc_interval_ = 1;
   uint64_t local_compiles_ = 0;
   uint64_t local_gc_runs_ = 0;
   uint64_t local_gc_reclaimed_ = 0;
@@ -107,7 +142,15 @@ class ShardWorker {
   uint64_t local_targeted_evictions_ = 0;
   uint64_t local_requests_ = 0;
   uint64_t local_failures_ = 0;
+  uint64_t local_timeouts_ = 0;
+  uint64_t local_fallbacks_ = 0;
+  uint64_t local_budget_aborts_ = 0;
   int local_peak_live_ = 0;
+  // Written by the worker thread, read by Submit on client threads for
+  // the retry-after hint.
+  std::atomic<double> ewma_service_ms_{1.0};
+  // Bumped by Submit (client threads) when admission sheds a job.
+  std::atomic<uint64_t> sheds_{0};
 
   mutable std::mutex stats_mu_;
   ShardStats stats_;  // published snapshot (guarded by stats_mu_)

@@ -1,0 +1,141 @@
+// WorkBudget: a cooperative resource budget for long-running compiles.
+//
+// A budget carries up to three independent limits — a node-allocation
+// budget, a wall-clock deadline, and an external cancel flag — and trips
+// exactly once, remembering the first reason. Hot paths interact with it
+// in two cheap ways:
+//
+//   - AcquireLease(want): charge up to `want` node allocations against
+//     the budget in one atomic fetch_add. Callers amortize by leasing a
+//     block (e.g. budget/16, capped) and decrementing a thread-local
+//     counter, so the shared atomic is touched once per lease, not once
+//     per node.
+//   - CheckPoint(): amortized deadline poll — the (relatively expensive)
+//     steady_clock read runs only every 256th call.
+//
+// Both return "keep going?" and never block. Once tripped, every
+// subsequent lease is denied and `tripped()` / `token()` read true, so
+// concurrent workers in a parallel region all observe the abort promptly.
+// The tripped flag is exposed as a raw `const std::atomic<bool>*` token
+// so cancellation can be threaded into exec::ParallelFor without the
+// callee knowing about budgets.
+//
+// Thread-safety: all members are atomics; a single WorkBudget may be
+// polled and charged from any number of threads concurrently. Cancel()
+// may be called from outside the compiling thread(s).
+
+#ifndef CTSDD_UTIL_BUDGET_H_
+#define CTSDD_UTIL_BUDGET_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace ctsdd {
+
+class WorkBudget {
+ public:
+  // `node_budget` = 0 means unlimited nodes; `deadline_ms` <= 0 means no
+  // deadline. A budget with both unlimited still honours Cancel().
+  explicit WorkBudget(uint64_t node_budget, double deadline_ms = 0)
+      : node_budget_(node_budget),
+        has_deadline_(deadline_ms > 0),
+        deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          deadline_ms > 0 ? deadline_ms : 0))) {}
+
+  WorkBudget(const WorkBudget&) = delete;
+  WorkBudget& operator=(const WorkBudget&) = delete;
+
+  // Trips the budget from outside (e.g. a client disconnect).
+  void Cancel() { Trip(StatusCode::kCancelled); }
+
+  bool tripped() const {
+    return tripped_flag_.load(std::memory_order_relaxed);
+  }
+
+  // Address of the tripped flag, for exec::ParallelFor-style cancel
+  // tokens. Valid for the lifetime of the budget.
+  const std::atomic<bool>* token() const { return &tripped_flag_; }
+
+  // First trip reason, or kOk if not tripped.
+  StatusCode reason() const {
+    return static_cast<StatusCode>(reason_.load(std::memory_order_acquire));
+  }
+
+  // Status describing why the budget tripped (Ok if it has not).
+  Status status() const {
+    switch (reason()) {
+      case StatusCode::kResourceExhausted:
+        return Status::ResourceExhausted("node budget exhausted");
+      case StatusCode::kDeadlineExceeded:
+        return Status::DeadlineExceeded("compile deadline exceeded");
+      case StatusCode::kCancelled:
+        return Status::Cancelled("compile cancelled");
+      default:
+        return Status::Ok();
+    }
+  }
+
+  // Charges up to `want` node allocations; returns how many were
+  // granted (0 if the budget is tripped or exhausted). A short grant
+  // (< want) means the budget boundary was reached: the caller may
+  // allocate the granted count and must re-lease afterwards.
+  uint64_t AcquireLease(uint64_t want) {
+    if (tripped()) return 0;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      Trip(StatusCode::kDeadlineExceeded);
+      return 0;
+    }
+    if (node_budget_ == 0) return want;
+    const uint64_t old = used_.fetch_add(want, std::memory_order_relaxed);
+    if (old >= node_budget_) {
+      Trip(StatusCode::kResourceExhausted);
+      return 0;
+    }
+    return std::min(want, node_budget_ - old);
+  }
+
+  // Amortized deadline/cancel poll: cheap counter bump, with the clock
+  // read every 256th call. Returns false once tripped.
+  bool CheckPoint() {
+    if (tripped()) return false;
+    if (!has_deadline_) return true;
+    if ((polls_.fetch_add(1, std::memory_order_relaxed) & 0xFF) != 0) {
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      Trip(StatusCode::kDeadlineExceeded);
+      return false;
+    }
+    return true;
+  }
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t node_budget() const { return node_budget_; }
+
+ private:
+  void Trip(StatusCode code) {
+    int expected = 0;
+    reason_.compare_exchange_strong(expected, static_cast<int>(code),
+                                    std::memory_order_acq_rel);
+    tripped_flag_.store(true, std::memory_order_release);
+  }
+
+  const uint64_t node_budget_;
+  const bool has_deadline_;
+  const std::chrono::steady_clock::time_point deadline_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint32_t> polls_{0};
+  std::atomic<int> reason_{0};  // StatusCode of the first trip, 0 = none
+  std::atomic<bool> tripped_flag_{false};
+};
+
+}  // namespace ctsdd
+
+#endif  // CTSDD_UTIL_BUDGET_H_

@@ -1,0 +1,96 @@
+#include "util/fault_injection.h"
+
+#ifndef NDEBUG
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace ctsdd {
+namespace fault {
+
+std::atomic<int> g_armed_count{0};
+
+namespace {
+
+struct ArmedSite {
+  FaultSpec spec;
+  uint64_t hits = 0;
+  Rng rng{1};
+};
+
+std::mutex& Mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, ArmedSite>& Registry() {
+  static std::unordered_map<std::string, ArmedSite> sites;
+  return sites;
+}
+
+}  // namespace
+
+void Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto& registry = Registry();
+  auto it = registry.find(site);
+  if (it == registry.end()) {
+    g_armed_count.fetch_add(1, std::memory_order_relaxed);
+    it = registry.emplace(site, ArmedSite{}).first;
+  }
+  it->second.hits = 0;
+  it->second.rng = Rng(spec.seed == 0 ? 1 : spec.seed);
+  it->second.spec = std::move(spec);
+}
+
+void Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  if (Registry().erase(site) > 0) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  g_armed_count.fetch_sub(static_cast<int>(Registry().size()),
+                          std::memory_order_relaxed);
+  Registry().clear();
+}
+
+uint64_t HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+void HitSlow(const char* site) {
+  std::function<void()> action;
+  int delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(Mutex());
+    auto it = Registry().find(site);
+    if (it == Registry().end()) return;
+    ArmedSite& armed = it->second;
+    ++armed.hits;
+    bool fire = armed.spec.fire_at != 0 && armed.hits == armed.spec.fire_at;
+    if (!fire && armed.spec.probability > 0) {
+      fire = armed.rng.NextDouble() < armed.spec.probability;
+    }
+    if (!fire) return;
+    action = armed.spec.action;  // copy: run outside the lock
+    delay_ms = armed.spec.delay_ms;
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  if (action) action();
+}
+
+}  // namespace fault
+}  // namespace ctsdd
+
+#endif  // NDEBUG

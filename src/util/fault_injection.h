@@ -1,0 +1,90 @@
+// Deterministic, seeded fault injection for robustness tests.
+//
+// Production code marks interesting failure points with
+// CTSDD_FAULT_POINT("site.name"); tests arm sites with a FaultSpec
+// (fire at the Nth hit, or probabilistically from a seeded RNG) whose
+// action runs inline at the hit — typically cancelling a WorkBudget or
+// sleeping to simulate a stall. In NDEBUG builds the macro compiles to
+// nothing and Enabled() is false, so release hot paths carry zero cost.
+//
+// The fast path when no site is armed is a single relaxed atomic load
+// of a global count. Arming/disarming takes a mutex; hits on armed
+// sites take the same mutex, which is acceptable because faults are
+// only armed in tests.
+
+#ifndef CTSDD_UTIL_FAULT_INJECTION_H_
+#define CTSDD_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ctsdd {
+namespace fault {
+
+// True when fault injection is compiled in (debug / sanitizer builds).
+constexpr bool Enabled() {
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+struct FaultSpec {
+  // Fire on the Nth hit of the site (1-based). 0 disables count firing.
+  uint64_t fire_at = 0;
+  // Independently of fire_at, fire each hit with this probability using
+  // a deterministic RNG seeded with `seed` (0 disables).
+  double probability = 0;
+  uint64_t seed = 1;
+  // Sleep this long when the fault fires (simulated stall).
+  int delay_ms = 0;
+  // Arbitrary action run when the fault fires (e.g. budget->Cancel()).
+  std::function<void()> action;
+};
+
+#ifndef NDEBUG
+
+// Arms `site`, replacing any existing spec. Resets the hit counter.
+void Arm(const std::string& site, FaultSpec spec);
+
+// Disarms one site / all sites.
+void Disarm(const std::string& site);
+void DisarmAll();
+
+// Number of times the site was hit since it was armed.
+uint64_t HitCount(const std::string& site);
+
+// Internal: called by CTSDD_FAULT_POINT when any site is armed.
+void HitSlow(const char* site);
+
+// Global count of armed sites; the macro's fast-path guard.
+extern std::atomic<int> g_armed_count;
+
+#define CTSDD_FAULT_POINT(site)                                        \
+  do {                                                                 \
+    if (::ctsdd::fault::g_armed_count.load(std::memory_order_relaxed) > \
+        0) {                                                           \
+      ::ctsdd::fault::HitSlow(site);                                   \
+    }                                                                  \
+  } while (0)
+
+#else  // NDEBUG
+
+inline void Arm(const std::string&, FaultSpec) {}
+inline void Disarm(const std::string&) {}
+inline void DisarmAll() {}
+inline uint64_t HitCount(const std::string&) { return 0; }
+
+#define CTSDD_FAULT_POINT(site) \
+  do {                          \
+  } while (0)
+
+#endif  // NDEBUG
+
+}  // namespace fault
+}  // namespace ctsdd
+
+#endif  // CTSDD_UTIL_FAULT_INJECTION_H_

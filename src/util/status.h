@@ -24,6 +24,9 @@ enum class StatusCode {
   kInternal = 5,
   kResourceExhausted = 6,
   kFailedPrecondition = 7,
+  kDeadlineExceeded = 8,
+  kCancelled = 9,
+  kUnavailable = 10,
 };
 
 // Returns a stable human-readable name for a status code.
@@ -58,6 +61,15 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,447 @@
+// Budgeted, cancellable compilation: the tentpole robustness contract.
+//
+// An aborted compile must be invisible afterwards: the manager passes its
+// structural Validate(), the partial nodes it left behind are unreferenced
+// garbage that one GarbageCollect() returns to the pre-compile resident
+// count, the node-budget overshoot is bounded (<= B/16 lease slack plus
+// one parallel id block), and a subsequent compile — budgeted or not —
+// produces the same canonical result a never-aborted manager would.
+// Randomized over functions, budgets, vtrees, and both the sequential and
+// parallel execution paths of both managers; deadline, cancel, and
+// fault-injection trips ride the same unwind.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "circuit/eval.h"
+#include "circuit/families.h"
+#include "exec/task_pool.h"
+#include "func/bool_func.h"
+#include "gtest/gtest.h"
+#include "obdd/obdd.h"
+#include "obdd/obdd_compile.h"
+#include "sdd/sdd.h"
+#include "sdd/sdd_compile.h"
+#include "util/budget.h"
+#include "util/fault_injection.h"
+#include "util/random.h"
+#include "vtree/vtree.h"
+
+namespace ctsdd {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+// Overshoot ceiling from the ISSUE contract: lease slack (budget / 16,
+// leases are capped at 256) plus one parallel allocation id block.
+uint64_t OvershootCeiling(uint64_t budget_nodes) {
+  return budget_nodes + budget_nodes / 16 + 128;
+}
+
+// Interns every literal up front so the budgeted compile under test
+// charges only for the nodes it genuinely builds and the GC baseline is
+// stable (literals are never collected in either manager).
+void InternLiterals(ObddManager* m, int n) {
+  for (int v = 0; v < n; ++v) {
+    m->Literal(v, true);
+    m->Literal(v, false);
+  }
+}
+void InternLiterals(SddManager* m, int n) {
+  for (int v = 0; v < n; ++v) {
+    m->Literal(v, true);
+    m->Literal(v, false);
+  }
+}
+
+// --- OBDD ------------------------------------------------------------------
+
+TEST(BudgetAbortTest, ObddSequentialRandomized) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 12 + static_cast<int>(rng.NextBelow(3));  // 12..14
+    ObddManager m(Iota(n));
+    InternLiterals(&m, n);
+    const BoolFunc fa = BoolFunc::Random(Iota(n), &rng);
+    const auto a = CompileFuncToObdd(&m, fa);
+    if (!m.IsTerminal(a)) m.AddRootRef(a);
+    m.GarbageCollect();
+    const int baseline = m.NumLiveNodes();
+
+    const BoolFunc fb = BoolFunc::Random(Iota(n), &rng);
+    const uint64_t budget_nodes = 8 + rng.NextBelow(48);
+    WorkBudget budget(budget_nodes);
+    m.AttachBudget(&budget);
+    const auto aborted = CompileFuncToObdd(&m, fb);
+    m.DetachBudget();
+    ASSERT_EQ(aborted, ObddManager::kAborted) << "budget " << budget_nodes;
+    EXPECT_EQ(budget.reason(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(budget.status().code(), StatusCode::kResourceExhausted);
+
+    // Sequential charging denies before allocating, so the overshoot
+    // bound holds with room to spare.
+    EXPECT_LE(static_cast<uint64_t>(m.NumLiveNodes() - baseline),
+              OvershootCeiling(budget_nodes));
+    const Status valid = m.Validate();
+    EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+    // One collection reclaims every partial node the abort left behind.
+    m.GarbageCollect();
+    EXPECT_EQ(m.NumLiveNodes(), baseline);
+    const Status valid_after_gc = m.Validate();
+    EXPECT_TRUE(valid_after_gc.ok()) << valid_after_gc.ToString();
+
+    // Post-abort compiles are canonical: unbudgeted, repeated, and
+    // roomy-budgeted compiles all return one identical root.
+    const auto full = CompileFuncToObdd(&m, fb);
+    ASSERT_GE(full, 0);
+    EXPECT_EQ(CompileFuncToObdd(&m, fb), full);
+    WorkBudget roomy(1u << 22);
+    m.AttachBudget(&roomy);
+    EXPECT_EQ(CompileFuncToObdd(&m, fb), full);
+    m.DetachBudget();
+    EXPECT_FALSE(roomy.tripped());
+    const Status valid_final = m.Validate();
+    EXPECT_TRUE(valid_final.ok()) << valid_final.ToString();
+
+    // Semantics survived the abort.
+    std::vector<bool> values(n);
+    for (int probe = 0; probe < 64; ++probe) {
+      const uint32_t index = static_cast<uint32_t>(rng.NextBelow(1u << n));
+      for (int i = 0; i < n; ++i) values[i] = (index >> i) & 1;
+      EXPECT_EQ(m.Evaluate(full, values), fb.EvalIndex(index));
+    }
+  }
+}
+
+TEST(BudgetAbortTest, ObddParallelRandomized) {
+  Rng rng(424242);
+  exec::TaskPool pool(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int n = 40 + static_cast<int>(rng.NextBelow(3)) * 4;  // 40/44/48
+    const Circuit circuit = BandedCnfCircuit(n, 4);
+    ObddManager m(Iota(n));
+    InternLiterals(&m, n);
+    m.GarbageCollect();
+    const int baseline = m.NumLiveNodes();
+
+    const uint64_t budget_nodes = 32 + rng.NextBelow(96);
+    WorkBudget budget(budget_nodes);
+    m.AttachBudget(&budget);
+    m.AttachExecutor(&pool);
+    const auto aborted = CompileCircuitToObdd(&m, circuit);
+    m.AttachExecutor(nullptr);
+    m.DetachBudget();
+    ASSERT_EQ(aborted, ObddManager::kAborted) << "budget " << budget_nodes;
+    EXPECT_EQ(budget.reason(), StatusCode::kResourceExhausted);
+
+    // Parallel charging can overshoot by at most the in-flight workers
+    // plus lease slack — well under one id block.
+    EXPECT_LE(static_cast<uint64_t>(m.NumLiveNodes() - baseline),
+              OvershootCeiling(budget_nodes));
+    const Status valid = m.Validate();
+    EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+    m.GarbageCollect();
+    EXPECT_EQ(m.NumLiveNodes(), baseline);
+
+    // Post-abort parallel recompile agrees with a sequential compile in
+    // the same manager, pointer-identically.
+    const auto seq_root = CompileCircuitToObdd(&m, circuit);
+    ASSERT_GE(seq_root, 0);
+    m.AttachExecutor(&pool);
+    EXPECT_EQ(CompileCircuitToObdd(&m, circuit), seq_root);
+    m.AttachExecutor(nullptr);
+    const Status valid_final = m.Validate();
+    EXPECT_TRUE(valid_final.ok()) << valid_final.ToString();
+
+    std::vector<bool> values(n, false);
+    for (int probe = 0; probe < 64; ++probe) {
+      const uint64_t bits = rng.Next64();
+      for (int i = 0; i < n; ++i) values[i] = (bits >> (i % 64)) & 1;
+      EXPECT_EQ(m.Evaluate(seq_root, values), Evaluate(circuit, values));
+    }
+  }
+}
+
+TEST(BudgetAbortTest, ObddDeadlineAndCancel) {
+  const int n = 14;
+  ObddManager m(Iota(n));
+  Rng rng(7);
+  const BoolFunc f = BoolFunc::Random(Iota(n), &rng);
+
+  // An already-expired deadline aborts the compile before it can finish.
+  WorkBudget expired(0, 1e-6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  m.AttachBudget(&expired);
+  EXPECT_EQ(CompileFuncToObdd(&m, f), ObddManager::kAborted);
+  m.DetachBudget();
+  EXPECT_EQ(expired.reason(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+
+  // A pre-cancelled budget aborts the same way, reporting kCancelled.
+  WorkBudget cancelled(0);
+  cancelled.Cancel();
+  m.AttachBudget(&cancelled);
+  EXPECT_EQ(CompileFuncToObdd(&m, f), ObddManager::kAborted);
+  m.DetachBudget();
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+
+  // The manager shrugs both off.
+  EXPECT_TRUE(m.Validate().ok());
+  m.GarbageCollect();
+  const auto root = CompileFuncToObdd(&m, f);
+  ASSERT_GE(root, 0);
+  EXPECT_EQ(CompileFuncToObdd(&m, f), root);
+}
+
+// --- SDD -------------------------------------------------------------------
+
+std::vector<Vtree> TestVtrees(int n, Rng* rng) {
+  std::vector<Vtree> out;
+  out.push_back(Vtree::Balanced(Iota(n)));
+  out.push_back(Vtree::RightLinear(Iota(n)));
+  out.push_back(Vtree::Random(Iota(n), rng));
+  return out;
+}
+
+TEST(BudgetAbortTest, SddSequentialRandomized) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int n = 12 + trial;  // 12..14
+    for (Vtree& vt : TestVtrees(n, &rng)) {
+      SddManager m(vt);
+      InternLiterals(&m, n);
+      const BoolFunc fa = BoolFunc::Random(Iota(n), &rng);
+      const auto a = CompileFuncToSdd(&m, fa);
+      if (a > 1) m.AddRootRef(a);
+      m.GarbageCollect();
+      const int baseline = m.NumLiveNodes();
+
+      const BoolFunc fb = BoolFunc::Random(Iota(n), &rng);
+      const uint64_t budget_nodes = 8 + rng.NextBelow(32);
+      WorkBudget budget(budget_nodes);
+      m.AttachBudget(&budget);
+      const auto aborted = CompileFuncToSdd(&m, fb);
+      m.DetachBudget();
+      ASSERT_EQ(aborted, SddManager::kAborted) << "budget " << budget_nodes;
+      EXPECT_EQ(budget.reason(), StatusCode::kResourceExhausted);
+
+      EXPECT_LE(static_cast<uint64_t>(m.NumLiveNodes() - baseline),
+                OvershootCeiling(budget_nodes));
+      const Status valid = m.Validate();
+      EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+      m.GarbageCollect();
+      EXPECT_EQ(m.NumLiveNodes(), baseline);
+
+      const auto full = CompileFuncToSdd(&m, fb);
+      ASSERT_GE(full, 0);
+      EXPECT_EQ(CompileFuncToSdd(&m, fb), full);
+      WorkBudget roomy(1u << 22);
+      m.AttachBudget(&roomy);
+      EXPECT_EQ(CompileFuncToSdd(&m, fb), full);
+      m.DetachBudget();
+      EXPECT_FALSE(roomy.tripped());
+      const Status valid_final = m.Validate();
+      EXPECT_TRUE(valid_final.ok()) << valid_final.ToString();
+      // Semantic + per-root partition invariants both hold.
+      EXPECT_TRUE(m.Validate(full).ok());
+      EXPECT_EQ(m.ToBoolFunc(full), fb.ExpandTo(Iota(n)));
+    }
+  }
+}
+
+TEST(BudgetAbortTest, SddParallelRandomized) {
+  Rng rng(271828);
+  exec::TaskPool pool(3);
+  for (const int n : {12, 14}) {
+    SddManager m(Vtree::Balanced(Iota(n)));
+    InternLiterals(&m, n);
+    const BoolFunc fa = BoolFunc::Random(Iota(n), &rng);
+    const auto a = CompileFuncToSdd(&m, fa);
+    if (a > 1) m.AddRootRef(a);
+    m.GarbageCollect();
+    const int baseline = m.NumLiveNodes();
+
+    const BoolFunc fb = BoolFunc::Random(Iota(n), &rng);
+    const uint64_t budget_nodes = 8 + rng.NextBelow(32);
+    WorkBudget budget(budget_nodes);
+    m.AttachBudget(&budget);
+    m.AttachExecutor(&pool);
+    const auto aborted = CompileFuncToSdd(&m, fb);
+    m.AttachExecutor(nullptr);
+    m.DetachBudget();
+    ASSERT_EQ(aborted, SddManager::kAborted) << "budget " << budget_nodes;
+    EXPECT_EQ(budget.reason(), StatusCode::kResourceExhausted);
+
+    EXPECT_LE(static_cast<uint64_t>(m.NumLiveNodes() - baseline),
+              OvershootCeiling(budget_nodes));
+    const Status valid = m.Validate();
+    EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+    m.GarbageCollect();
+    EXPECT_EQ(m.NumLiveNodes(), baseline);
+
+    // Sequential and parallel post-abort compiles agree pointer-wise.
+    const auto seq_root = CompileFuncToSdd(&m, fb);
+    ASSERT_GE(seq_root, 0);
+    m.AttachExecutor(&pool);
+    EXPECT_EQ(CompileFuncToSdd(&m, fb), seq_root);
+    m.AttachExecutor(nullptr);
+    EXPECT_TRUE(m.Validate().ok());
+    EXPECT_EQ(m.ToBoolFunc(seq_root), fb.ExpandTo(Iota(n)));
+  }
+}
+
+TEST(BudgetAbortTest, SddDeadlineAndCancel) {
+  const int n = 14;
+  SddManager m(Vtree::Balanced(Iota(n)));
+  Rng rng(99);
+  const BoolFunc f = BoolFunc::Random(Iota(n), &rng);
+
+  WorkBudget expired(0, 1e-6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  m.AttachBudget(&expired);
+  EXPECT_EQ(CompileFuncToSdd(&m, f), SddManager::kAborted);
+  m.DetachBudget();
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+
+  WorkBudget cancelled(0);
+  cancelled.Cancel();
+  m.AttachBudget(&cancelled);
+  EXPECT_EQ(CompileFuncToSdd(&m, f), SddManager::kAborted);
+  m.DetachBudget();
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+
+  EXPECT_TRUE(m.Validate().ok());
+  m.GarbageCollect();
+  const auto root = CompileFuncToSdd(&m, f);
+  ASSERT_GE(root, 0);
+  EXPECT_EQ(CompileFuncToSdd(&m, f), root);
+  EXPECT_EQ(m.ToBoolFunc(root), f.ExpandTo(Iota(n)));
+}
+
+// --- Apply-path aborts -----------------------------------------------------
+
+TEST(BudgetAbortTest, ObddApplyAbortsMidOperation) {
+  Rng rng(5150);
+  const int n = 14;
+  ObddManager m(Iota(n));
+  const BoolFunc fa = BoolFunc::Random(Iota(n), &rng);
+  const BoolFunc fb = BoolFunc::Random(Iota(n), &rng);
+  const auto a = CompileFuncToObdd(&m, fa);
+  const auto b = CompileFuncToObdd(&m, fb);
+  m.AddRootRef(a);
+  m.AddRootRef(b);
+  const auto expected = m.And(a, b);  // canonical answer, pre-abort
+  if (!m.IsTerminal(expected)) m.AddRootRef(expected);
+  m.GarbageCollect();
+  const int baseline = m.NumLiveNodes();
+
+  WorkBudget tiny(2);
+  m.AttachBudget(&tiny);
+  const auto aborted = m.Xor(a, b);  // disjoint structure: needs new nodes
+  m.DetachBudget();
+  ASSERT_EQ(aborted, ObddManager::kAborted);
+  EXPECT_TRUE(m.Validate().ok());
+  m.GarbageCollect();
+  EXPECT_EQ(m.NumLiveNodes(), baseline);
+  // The canonical And is reproduced bit-for-bit after the aborted Xor.
+  EXPECT_EQ(m.And(a, b), expected);
+}
+
+TEST(BudgetAbortTest, SddApplyAbortsMidOperation) {
+  Rng rng(6174);
+  const int n = 13;
+  SddManager m(Vtree::Balanced(Iota(n)));
+  const BoolFunc fa = BoolFunc::Random(Iota(n), &rng);
+  const BoolFunc fb = BoolFunc::Random(Iota(n), &rng);
+  const auto a = CompileFuncToSdd(&m, fa);
+  const auto b = CompileFuncToSdd(&m, fb);
+  m.AddRootRef(a);
+  m.AddRootRef(b);
+  m.GarbageCollect();
+  const int baseline = m.NumLiveNodes();
+
+  WorkBudget tiny(2);
+  m.AttachBudget(&tiny);
+  const auto aborted = m.And(a, m.Not(b) < 0 ? b : m.Not(b));
+  m.DetachBudget();
+  // Not() itself may abort (negations allocate); either way the manager
+  // must be clean and GC must restore the baseline.
+  if (aborted >= 0) GTEST_SKIP() << "budget did not trip (tiny inputs)";
+  EXPECT_TRUE(m.Validate().ok());
+  m.GarbageCollect();
+  EXPECT_EQ(m.NumLiveNodes(), baseline);
+  const auto full = m.And(a, m.Not(b));
+  ASSERT_GE(full, 0);
+  EXPECT_EQ(m.ToBoolFunc(full),
+            (fa.ExpandTo(Iota(n)) & ~fb.ExpandTo(Iota(n))));
+}
+
+// --- Fault injection -------------------------------------------------------
+
+TEST(FaultInjectionTest, CancelsCompileAtNthAllocation) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+  const int n = 14;
+  ObddManager m(Iota(n));
+  Rng rng(1234);
+  const BoolFunc f = BoolFunc::Random(Iota(n), &rng);
+
+  WorkBudget budget(0);  // unlimited — only the fault can stop it
+  fault::FaultSpec spec;
+  spec.fire_at = 40;
+  spec.action = [&budget] { budget.Cancel(); };
+  fault::Arm("obdd.alloc", spec);
+  m.AttachBudget(&budget);
+  const auto aborted = CompileFuncToObdd(&m, f);
+  m.DetachBudget();
+  const uint64_t hits = fault::HitCount("obdd.alloc");
+  fault::DisarmAll();
+  ASSERT_EQ(aborted, ObddManager::kAborted);
+  EXPECT_EQ(budget.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(hits, 40u);  // fired at the 40th allocation, then unwound
+  EXPECT_TRUE(m.Validate().ok());
+  m.GarbageCollect();
+  const auto root = CompileFuncToObdd(&m, f);
+  ASSERT_GE(root, 0);
+}
+
+TEST(FaultInjectionTest, SddProbabilisticCancelIsDeterministic) {
+  if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
+  const int n = 13;
+  Rng rng(5678);
+  const BoolFunc f = BoolFunc::Random(Iota(n), &rng);
+  // The same seed must fire at the same hit, so two runs abort with the
+  // same manager growth.
+  std::vector<int> live_after;
+  for (int run = 0; run < 2; ++run) {
+    SddManager m(Vtree::Balanced(Iota(n)));
+    WorkBudget budget(0);
+    fault::FaultSpec spec;
+    spec.probability = 0.05;
+    spec.seed = 77;
+    spec.action = [&budget] { budget.Cancel(); };
+    fault::Arm("sdd.alloc", spec);
+    m.AttachBudget(&budget);
+    const auto result = CompileFuncToSdd(&m, f);
+    m.DetachBudget();
+    fault::DisarmAll();
+    if (result >= 0) {
+      live_after.push_back(-1);  // never fired (possible at 5%)
+    } else {
+      EXPECT_TRUE(m.Validate().ok());
+      live_after.push_back(m.NumLiveNodes());
+    }
+  }
+  EXPECT_EQ(live_after[0], live_after[1]);
+}
+
+}  // namespace
+}  // namespace ctsdd
