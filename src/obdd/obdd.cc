@@ -1,7 +1,9 @@
 #include "obdd/obdd.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <set>
 
@@ -261,19 +263,41 @@ size_t ObddManager::GarbageCollect() {
   CTSDD_CHECK(!par_active_) << "GC inside a parallel region";
   ++gc_stats_.runs;
   // Mark from the registered external roots.
-  std::vector<bool> marked(nodes_.size(), false);
-  marked[kFalse] = marked[kTrue] = true;
-  std::vector<NodeId> stack;
+  std::vector<uint8_t> marked(nodes_.size(), 0);
+  marked[kFalse] = marked[kTrue] = 1;
+  std::vector<NodeId> roots;
   for (size_t id = 0; id < external_refs_.size(); ++id) {
-    if (external_refs_[id] > 0) stack.push_back(static_cast<NodeId>(id));
+    if (external_refs_[id] > 0) roots.push_back(static_cast<NodeId>(id));
   }
-  while (!stack.empty()) {
-    const NodeId u = stack.back();
-    stack.pop_back();
-    if (marked[u]) continue;
-    marked[u] = true;
-    stack.push_back(nodes_[u].lo);
-    stack.push_back(nodes_[u].hi);
+  if (pool_ != nullptr && pool_->parallel() && roots.size() > 1) {
+    // Mark as exec tasks, one DFS per root: claiming a node with a
+    // relaxed atomic exchange makes subgraphs shared between roots
+    // traverse exactly once, and running on the shared pool lets a cold
+    // compile on another shard overlap this GC pause instead of
+    // serializing behind it.
+    exec::ParallelFor(pool_, roots.size(), [&](size_t i) {
+      std::vector<NodeId> stack{roots[i]};
+      while (!stack.empty()) {
+        const NodeId u = stack.back();
+        stack.pop_back();
+        if (std::atomic_ref<uint8_t>(marked[u]).exchange(
+                1, std::memory_order_relaxed)) {
+          continue;
+        }
+        stack.push_back(nodes_[u].lo);
+        stack.push_back(nodes_[u].hi);
+      }
+    });
+  } else {
+    std::vector<NodeId> stack = std::move(roots);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      if (marked[u]) continue;
+      marked[u] = 1;
+      stack.push_back(nodes_[u].lo);
+      stack.push_back(nodes_[u].hi);
+    }
   }
   // Sweep: dead internal nodes go to the free list; the unique table is
   // rebuilt over the survivors (open addressing cannot delete in place).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 
 #include "util/fault_injection.h"
@@ -317,24 +319,48 @@ size_t SddManager::GarbageCollect() {
   ++gc_stats_.runs;
   // Mark from the permanent roots (constants, literals) and every node
   // holding an external reference.
-  std::vector<bool> marked(nodes_.size(), false);
-  marked[kFalse] = marked[kTrue] = true;
-  std::vector<NodeId> stack;
+  std::vector<uint8_t> marked(nodes_.size(), 0);
+  marked[kFalse] = marked[kTrue] = 1;
+  std::vector<NodeId> roots;
   for (const NodeId lit : literal_ids_) {
-    if (lit >= 0) stack.push_back(lit);
+    if (lit >= 0) roots.push_back(lit);
   }
   for (size_t id = 0; id < external_refs_.size(); ++id) {
-    if (external_refs_[id] > 0) stack.push_back(static_cast<NodeId>(id));
+    if (external_refs_[id] > 0) roots.push_back(static_cast<NodeId>(id));
   }
-  while (!stack.empty()) {
-    const NodeId u = stack.back();
-    stack.pop_back();
-    if (marked[u]) continue;
-    marked[u] = true;
-    const Node& n = nodes_[u];
-    for (uint32_t i = 0; i < n.num_elems; ++i) {
-      stack.push_back(n.elems[i].first);
-      stack.push_back(n.elems[i].second);
+  if (pool_ != nullptr && pool_->parallel() && roots.size() > 1) {
+    // Mark as exec tasks, one DFS per root: nodes are claimed with a
+    // relaxed atomic exchange so shared subgraphs traverse once, and a
+    // cold compile on another shard overlaps this GC pause on the
+    // shared pool instead of serializing behind it.
+    exec::ParallelFor(pool_, roots.size(), [&](size_t i) {
+      std::vector<NodeId> stack{roots[i]};
+      while (!stack.empty()) {
+        const NodeId u = stack.back();
+        stack.pop_back();
+        if (std::atomic_ref<uint8_t>(marked[u]).exchange(
+                1, std::memory_order_relaxed)) {
+          continue;
+        }
+        const Node& n = nodes_[u];
+        for (uint32_t j = 0; j < n.num_elems; ++j) {
+          stack.push_back(n.elems[j].first);
+          stack.push_back(n.elems[j].second);
+        }
+      }
+    });
+  } else {
+    std::vector<NodeId> stack = std::move(roots);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      if (marked[u]) continue;
+      marked[u] = 1;
+      const Node& n = nodes_[u];
+      for (uint32_t i = 0; i < n.num_elems; ++i) {
+        stack.push_back(n.elems[i].first);
+        stack.push_back(n.elems[i].second);
+      }
     }
   }
   // Rebuild the unique table over the surviving decisions (open

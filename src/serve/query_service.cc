@@ -4,9 +4,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <utility>
 
 #include "serve/shard.h"
 #include "serve/signature.h"
+#include "serve/supervisor.h"
 #include "util/hashing.h"
 #include "util/logging.h"
 
@@ -18,16 +20,34 @@ QueryService::QueryService(ServeOptions options)
                      ? std::make_unique<exec::TaskPool>(options.exec_workers)
                      : nullptr),
       latency_(std::make_unique<LatencyRecorder>(options.latency_window)),
-      gc_latency_(std::make_unique<LatencyRecorder>(options.latency_window)) {
+      gc_latency_(std::make_unique<LatencyRecorder>(options.latency_window)),
+      quarantine_(std::make_unique<Quarantine>(Quarantine::Options{
+          options.quarantine_threshold, options.quarantine_parole_ms,
+          options.quarantine_parole_max_ms, options.quarantine_capacity,
+          /*trial_timeout_ms=*/std::max(10000.0,
+                                        4 * options.quarantine_parole_ms)})),
+      sup_counters_(std::make_unique<SupervisionCounters>()) {
   CTSDD_CHECK_GT(options_.num_shards, 0);
-  shards_.reserve(options_.num_shards);
+  slots_.reserve(options_.num_shards);
   for (int i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<ShardWorker>(
-        i, options_, latency_.get(), gc_latency_.get(), exec_pool_.get()));
+    auto slot = std::make_unique<ShardSlot>();
+    slot->worker = MakeWorker(i);
+    slots_.push_back(std::move(slot));
+  }
+  if (options_.heartbeat_window_ms > 0) {
+    supervisor_ = std::make_unique<Supervisor>(
+        options_, &slots_, sup_counters_.get(),
+        [this](int shard_id) { return MakeWorker(shard_id); });
   }
 }
 
 QueryService::~QueryService() = default;
+
+std::shared_ptr<ShardWorker> QueryService::MakeWorker(int shard_id) {
+  return std::make_shared<ShardWorker>(shard_id, options_, latency_.get(),
+                                       gc_latency_.get(), exec_pool_.get(),
+                                       quarantine_.get(), sup_counters_.get());
+}
 
 QueryResponse QueryService::Execute(const QueryRequest& request) {
   return ExecuteBatch({request})[0];
@@ -54,24 +74,54 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     const PlanKey key{QuerySignature(request.query),
                       DatabaseSignature(*request.db), request.strategy,
                       request.route};
+    // Poison-query quarantine at admission: a quarantined signature
+    // fails typed RESOURCE_EXHAUSTED here, without queueing — no compile
+    // slot burnt, no worker touched.
+    Quarantine::Admission admission = Quarantine::Admission::kAdmit;
+    if (quarantine_->enabled()) {
+      double parole_hint = 0;
+      admission = quarantine_->Admit(key.query_sig, key.db_sig, admitted_at,
+                                     &parole_hint);
+      if (admission == Quarantine::Admission::kReject) {
+        responses[i].status = Status::ResourceExhausted(
+            "query signature quarantined; retry after parole");
+        responses[i].retry_after_ms = parole_hint;
+        remaining.fetch_sub(1);
+        continue;
+      }
+    }
     const size_t shard =
         static_cast<size_t>(Hash2(key.query_sig, key.db_sig)) %
-        shards_.size();
-    ShardJob job{&requests[i], &responses[i],      key, false, {},
-                 &remaining,   &done_mu,           &done_cv};
+        slots_.size();
+    auto state = std::make_shared<JobState>();
+    state->request = request;  // owned copy: survives hedging/fail-over
+    state->response = &responses[i];
+    state->key = key;
+    state->primary_shard = static_cast<int>(shard);
+    state->submitted_at = admitted_at;
+    state->is_parole_trial = admission == Quarantine::Admission::kTrial;
+    state->remaining = &remaining;
+    state->done_mu = &done_mu;
+    state->done_cv = &done_cv;
     const double deadline_ms = request.deadline_ms > 0
                                    ? request.deadline_ms
                                    : options_.default_deadline_ms;
     if (deadline_ms > 0) {
-      job.has_deadline = true;
-      job.deadline =
+      state->has_deadline = true;
+      state->deadline =
           admitted_at + std::chrono::duration_cast<
                             std::chrono::steady_clock::duration>(
                             std::chrono::duration<double, std::milli>(
                                 deadline_ms));
     }
+    std::shared_ptr<ShardWorker> worker;
+    {
+      std::lock_guard<std::mutex> lock(slots_[shard]->mu);
+      worker = slots_[shard]->worker;
+    }
     double retry_after_ms = 0;
-    if (!shards_[shard]->Submit(job, &retry_after_ms)) {
+    if (!worker->Submit(ShardJob{state, /*is_hedge=*/false},
+                        &retry_after_ms)) {
       // Admission control shed the job: fail it typed, with a backoff
       // hint, instead of queueing without bound.
       responses[i].status =
@@ -88,32 +138,30 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
 
 ServiceStats QueryService::stats() const {
   ServiceStats out;
-  out.num_shards = static_cast<int>(shards_.size());
-  for (const auto& shard : shards_) {
-    const ShardStats s = shard->stats();
-    out.totals.requests += s.requests;
-    out.totals.failures += s.failures;
-    out.totals.plan_hits += s.plan_hits;
-    out.totals.plan_misses += s.plan_misses;
-    out.totals.plan_evictions += s.plan_evictions;
-    out.totals.targeted_evictions += s.targeted_evictions;
-    out.totals.compiles += s.compiles;
-    out.totals.gc_runs += s.gc_runs;
-    out.totals.gc_reclaimed += s.gc_reclaimed;
-    out.totals.manager_evictions += s.manager_evictions;
-    out.totals.timeouts += s.timeouts;
-    out.totals.sheds += s.sheds;
-    out.totals.fallbacks += s.fallbacks;
-    out.totals.budget_aborts += s.budget_aborts;
-    out.totals.live_nodes += s.live_nodes;
-    out.totals.peak_live_nodes += s.peak_live_nodes;
+  out.num_shards = static_cast<int>(slots_.size());
+  for (const auto& slot : slots_) {
+    AccumulateShardStats(out.totals, slot->Get()->stats());
   }
+  // Workers retired by supervisor restarts keep their history.
+  if (supervisor_ != nullptr) supervisor_->AddRetiredStats(&out.totals);
+  out.supervision = sup_counters_->Snapshot();
+  const Quarantine::Counters q = quarantine_->counters();
+  out.supervision.quarantine_rejects = q.rejects;
+  out.supervision.quarantine_strikes = q.strikes;
+  out.supervision.parole_trials = q.parole_trials;
+  out.supervision.parole_successes = q.parole_successes;
+  out.supervision.quarantine_entries = q.entries;
   const uint64_t rejected =
       rejected_requests_.load(std::memory_order_relaxed);
-  // Rejected and shed requests never reach a worker's counters; fold
-  // them in so monitoring sees them as traffic + failures.
-  out.totals.requests += rejected + out.totals.sheds;
-  out.totals.failures += rejected + out.totals.sheds;
+  // Requests answered outside any worker — invalid-argument rejects,
+  // admission sheds, quarantine rejects, and supervisor restart
+  // failures — never reach a worker's counters; fold them in so
+  // monitoring sees them as traffic + failures.
+  const uint64_t outside = rejected + out.totals.sheds +
+                           out.supervision.quarantine_rejects +
+                           out.supervision.failed_on_restart;
+  out.totals.requests += outside;
+  out.totals.failures += outside;
   out.p50_ms = latency_->Percentile(0.50);
   out.p95_ms = latency_->Percentile(0.95);
   out.p99_ms = latency_->Percentile(0.99);

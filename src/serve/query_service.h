@@ -30,12 +30,15 @@
 #include "db/query.h"
 #include "db/query_compile.h"
 #include "serve/plan_cache.h"
+#include "serve/quarantine.h"
 #include "serve/serve_stats.h"
 #include "util/status.h"
 
 namespace ctsdd {
 
 class ShardWorker;
+class Supervisor;
+struct ShardSlot;
 
 // One probability query against a tuple-independent database.
 struct QueryRequest {
@@ -66,9 +69,11 @@ struct QueryResponse {
   // representation (OBDD <-> SDD) answered instead. The answer itself is
   // exact — both routes compute the same weighted model count.
   bool degraded = false;
-  // Set alongside an UNAVAILABLE shed: the caller's backoff hint,
-  // estimated from the shard's queue depth and its smoothed per-request
-  // service time.
+  // Set alongside transient typed failures — an UNAVAILABLE shed or
+  // shard restart, or a RESOURCE_EXHAUSTED quarantine reject: the
+  // caller's backoff hint (queue drain estimate, detection window, or
+  // time to the next parole, respectively), clamped to
+  // ServeOptions::retry_after_max_ms for the queue-derived cases.
   double retry_after_ms = 0;
   // Compile-time statistics of the serving plan.
   int lineage_gates = 0;
@@ -99,6 +104,8 @@ class QueryService {
   const ServeOptions& options() const { return options_; }
 
  private:
+  std::shared_ptr<ShardWorker> MakeWorker(int shard_id);
+
   ServeOptions options_;
   // Service-wide work-stealing pool lent to shards for cold compiles
   // (null when options_.exec_workers <= 1). Declared before the shards
@@ -108,10 +115,22 @@ class QueryService {
   // end-to-end request latency and GC pause durations.
   std::unique_ptr<LatencyRecorder> latency_;
   std::unique_ptr<LatencyRecorder> gc_latency_;
-  std::vector<std::unique_ptr<ShardWorker>> shards_;
+  // Poison-query negative cache, checked at admission and before cold
+  // compiles. Service-level on purpose: it must survive shard restarts,
+  // or every restart would buy a poisonous signature `threshold` more
+  // ladder compiles.
+  std::unique_ptr<Quarantine> quarantine_;
+  // Shared atomics behind ServiceStats::supervision.
+  std::unique_ptr<SupervisionCounters> sup_counters_;
+  // Shard table: worker pointers swap under per-slot mutexes when the
+  // supervisor restarts a shard.
+  std::vector<std::unique_ptr<ShardSlot>> slots_;
   // Requests rejected before reaching any shard (e.g. null database);
   // folded into stats() so monitoring sees them as traffic + failures.
   std::atomic<uint64_t> rejected_requests_{0};
+  // Declared last: the supervisor's scan thread walks slots_, so it must
+  // stop before any of the above is torn down.
+  std::unique_ptr<Supervisor> supervisor_;
 };
 
 }  // namespace ctsdd

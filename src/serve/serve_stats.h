@@ -9,6 +9,7 @@
 #define CTSDD_SERVE_SERVE_STATS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -58,6 +59,89 @@ struct ServeOptions {
   // with UNAVAILABLE and a retry-after hint instead of queueing without
   // bound (0 = unbounded).
   size_t max_queue_depth = 0;
+  // Upper clamp on every retry_after_ms hint handed to clients. Deep
+  // queues times a momentarily inflated service-time EWMA can otherwise
+  // produce hints of minutes; a well-behaved client sleeping that long
+  // turns one overload blip into an outage of its own making.
+  double retry_after_max_ms = 250;
+  // Supervision: a shard whose worker is busy but whose progress counter
+  // has not advanced for this long is declared hung and restarted; a
+  // worker thread that exited without being asked is declared dead.
+  // Queued and in-flight requests of the torn-down shard fail typed
+  // UNAVAILABLE with a retry hint. 0 disables the supervisor thread
+  // entirely (no heartbeats, no hedging).
+  double heartbeat_window_ms = 0;
+  // Hedged re-dispatch: a request waiting on one shard longer than this
+  // is re-submitted once to a healthy sibling shard; the first exact
+  // answer wins and the loser's in-flight compile budget is cancelled.
+  // 0 disables hedging. Requires the supervisor (heartbeat_window_ms).
+  double hedge_after_ms = 0;
+  // Poison-query quarantine: a signature whose compiles exhaust the
+  // node budget on BOTH ladder routes this many times is negative-cached
+  // and fails RESOURCE_EXHAUSTED at admission without burning a compile
+  // slot. 0 disables quarantine.
+  int quarantine_threshold = 0;
+  // Parole: after this long in quarantine one trial request is admitted;
+  // success clears the entry, another double-route exhaustion doubles
+  // the parole interval (capped below). Pre-quarantine strikes decay by
+  // halving per parole interval, so transient pressure is forgiven.
+  double quarantine_parole_ms = 1000;
+  double quarantine_parole_max_ms = 60000;
+  // Bound on distinct quarantined signatures (oldest strike evicted).
+  size_t quarantine_capacity = 1024;
+};
+
+// Counters owned by the supervision layer (service-level, not summed
+// from shards): detection/restart events, hedging, and quarantine.
+struct SupervisionStats {
+  uint64_t hangs_detected = 0;
+  uint64_t deaths_detected = 0;
+  uint64_t shard_restarts = 0;
+  // Queued or in-flight requests failed typed UNAVAILABLE when their
+  // shard was torn down.
+  uint64_t failed_on_restart = 0;
+  uint64_t hedges_dispatched = 0;
+  // Hedge submissions dropped because the sibling's queue was full (the
+  // primary copy is still in flight, so nothing is lost).
+  uint64_t hedge_sheds = 0;
+  // Requests answered by the hedge copy (the primary lost the claim).
+  uint64_t hedge_wins = 0;
+  // In-flight compile budgets cancelled by a claim winner.
+  uint64_t hedge_cancels = 0;
+  uint64_t quarantine_rejects = 0;
+  // Double-route budget exhaustions recorded against a signature — each
+  // strike is one full ladder compile burned on a poison query.
+  uint64_t quarantine_strikes = 0;
+  uint64_t parole_trials = 0;
+  uint64_t parole_successes = 0;
+  uint64_t quarantine_entries = 0;  // current negative-cache size
+};
+
+// The live atomics behind SupervisionStats' event counters: the
+// supervisor thread and shard workers both bump them; the quarantine
+// fields are filled from the Quarantine's own counters at snapshot time.
+struct SupervisionCounters {
+  std::atomic<uint64_t> hangs_detected{0};
+  std::atomic<uint64_t> deaths_detected{0};
+  std::atomic<uint64_t> shard_restarts{0};
+  std::atomic<uint64_t> failed_on_restart{0};
+  std::atomic<uint64_t> hedges_dispatched{0};
+  std::atomic<uint64_t> hedge_sheds{0};
+  std::atomic<uint64_t> hedge_wins{0};
+  std::atomic<uint64_t> hedge_cancels{0};
+
+  SupervisionStats Snapshot() const {
+    SupervisionStats out;
+    out.hangs_detected = hangs_detected.load(std::memory_order_relaxed);
+    out.deaths_detected = deaths_detected.load(std::memory_order_relaxed);
+    out.shard_restarts = shard_restarts.load(std::memory_order_relaxed);
+    out.failed_on_restart = failed_on_restart.load(std::memory_order_relaxed);
+    out.hedges_dispatched = hedges_dispatched.load(std::memory_order_relaxed);
+    out.hedge_sheds = hedge_sheds.load(std::memory_order_relaxed);
+    out.hedge_wins = hedge_wins.load(std::memory_order_relaxed);
+    out.hedge_cancels = hedge_cancels.load(std::memory_order_relaxed);
+    return out;
+  }
 };
 
 // One shard's counters (a consistent snapshot taken between requests).
@@ -84,13 +168,46 @@ struct ShardStats {
   uint64_t fallbacks = 0;
   // Compiles aborted by the node-allocation budget.
   uint64_t budget_aborts = 0;
+  // Jobs this worker dequeued after another copy (hedge or supervisor)
+  // had already answered them — skipped without compiling.
+  uint64_t duplicate_skips = 0;
+  // Largest retry_after_ms hint handed out by this shard's admission
+  // control (post-clamp), for observing hint sanity under deep queues.
+  double max_retry_hint_ms = 0;
   int live_nodes = 0;       // resident nodes across the shard's managers
   int peak_live_nodes = 0;  // max of live_nodes over policy checks
 };
 
+// Field-wise sum of shard counter snapshots (service totals over live
+// and retired workers). max_retry_hint_ms takes the max, not the sum.
+inline void AccumulateShardStats(ShardStats& into, const ShardStats& s) {
+  into.requests += s.requests;
+  into.failures += s.failures;
+  into.plan_hits += s.plan_hits;
+  into.plan_misses += s.plan_misses;
+  into.plan_evictions += s.plan_evictions;
+  into.targeted_evictions += s.targeted_evictions;
+  into.compiles += s.compiles;
+  into.gc_runs += s.gc_runs;
+  into.gc_reclaimed += s.gc_reclaimed;
+  into.manager_evictions += s.manager_evictions;
+  into.timeouts += s.timeouts;
+  into.sheds += s.sheds;
+  into.fallbacks += s.fallbacks;
+  into.budget_aborts += s.budget_aborts;
+  into.duplicate_skips += s.duplicate_skips;
+  into.max_retry_hint_ms =
+      std::max(into.max_retry_hint_ms, s.max_retry_hint_ms);
+  into.live_nodes += s.live_nodes;
+  into.peak_live_nodes += s.peak_live_nodes;
+}
+
 // Aggregated service view (sums over shards + latency percentiles).
+// Shard totals include workers retired by supervisor restarts, so the
+// counters stay monotone across the life of the service.
 struct ServiceStats {
   ShardStats totals;
+  SupervisionStats supervision;
   int num_shards = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;

@@ -14,14 +14,33 @@
 
 namespace ctsdd {
 
+namespace {
+
+// Fault-action hooks run on the worker's own thread (HitSlow calls the
+// armed action inline at the fault point), so thread-locals address
+// "this worker" without any registry.
+thread_local bool t_death_requested = false;
+thread_local WorkBudget* t_active_budget = nullptr;
+
+}  // namespace
+
+void ShardWorker::RequestDeathOnCurrentThread() { t_death_requested = true; }
+
+void ShardWorker::TripActiveBudgetOnCurrentThread(StatusCode code) {
+  if (t_active_budget != nullptr) t_active_budget->Cancel(code);
+}
+
 ShardWorker::ShardWorker(int shard_id, const ServeOptions& options,
                          LatencyRecorder* latency, LatencyRecorder* gc_latency,
-                         exec::TaskPool* exec_pool)
+                         exec::TaskPool* exec_pool, Quarantine* quarantine,
+                         SupervisionCounters* sup)
     : id_(shard_id),
       options_(options),
       latency_(latency),
       gc_latency_(gc_latency),
       exec_pool_(exec_pool),
+      quarantine_(quarantine),
+      sup_(sup),
       gc_interval_(std::max(1, options.gc_check_interval)),
       plans_(options.plan_cache_capacity,
              [](const PlanKey&, CompiledPlan& plan) {
@@ -49,20 +68,32 @@ bool ShardWorker::Submit(const ShardJob& job, double* retry_after_ms) {
   size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (options_.max_queue_depth == 0 ||
-        queue_.size() < options_.max_queue_depth) {
+    if (!stopping_ && (options_.max_queue_depth == 0 ||
+                       queue_.size() < options_.max_queue_depth)) {
       queue_.push_back(job);
       cv_.notify_one();
       return true;
     }
     depth = queue_.size();
   }
-  sheds_.fetch_add(1, std::memory_order_relaxed);
+  // Hedge sheds are invisible to the shard's own counters: the primary
+  // copy is still in flight, so nothing was lost — the supervisor
+  // tracks them separately.
+  if (!job.is_hedge) sheds_.fetch_add(1, std::memory_order_relaxed);
   if (retry_after_ms != nullptr) {
     // Expected drain time of the queue ahead of a retry: depth jobs at
-    // the smoothed per-request service time.
-    *retry_after_ms = static_cast<double>(depth) *
-                      ewma_service_ms_.load(std::memory_order_relaxed);
+    // the smoothed per-request service time — clamped, because a deep
+    // queue times a momentarily inflated EWMA would otherwise tell a
+    // well-behaved client to go away for minutes.
+    const double hint = std::clamp(
+        static_cast<double>(depth) *
+            ewma_service_ms_.load(std::memory_order_relaxed),
+        0.1, std::max(0.1, options_.retry_after_max_ms));
+    *retry_after_ms = hint;
+    double seen = max_retry_hint_.load(std::memory_order_relaxed);
+    while (hint > seen && !max_retry_hint_.compare_exchange_weak(
+                              seen, hint, std::memory_order_relaxed)) {
+    }
   }
   return false;
 }
@@ -70,10 +101,42 @@ bool ShardWorker::Submit(const ShardJob& job, double* retry_after_ms) {
 ShardStats ShardWorker::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   ShardStats out = stats_;
-  // Sheds are counted on client threads at admission; fold them in here
-  // so they show even when the worker never published a snapshot.
+  // Shed counts and retry hints are written on client threads at
+  // admission; fold them in here so they show even when the worker
+  // never published a snapshot.
   out.sheds = sheds_.load(std::memory_order_relaxed);
+  out.max_retry_hint_ms = max_retry_hint_.load(std::memory_order_relaxed);
   return out;
+}
+
+void ShardWorker::Retire(std::vector<ShardJob>* drained, ShardJob* in_flight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopping_ = true;
+  while (!queue_.empty()) {
+    drained->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  if (current_ != nullptr) {
+    in_flight->state = current_;
+    in_flight->is_hedge = current_is_hedge_;
+  }
+  cv_.notify_all();
+}
+
+void ShardWorker::CollectHedgeCandidates(
+    std::chrono::steady_clock::time_point cutoff,
+    std::vector<std::shared_ptr<JobState>>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto consider = [&](const std::shared_ptr<JobState>& state) {
+    if (state == nullptr) return;
+    if (state->submitted_at > cutoff) return;
+    if (state->claimed.load(std::memory_order_acquire)) return;
+    // One hedge per request: the exchange both tests and marks.
+    if (state->hedged.exchange(true, std::memory_order_acq_rel)) return;
+    out->push_back(state);
+  };
+  consider(current_);
+  for (const ShardJob& job : queue_) consider(job.state);
 }
 
 void ShardWorker::Loop() {
@@ -82,50 +145,88 @@ void ShardWorker::Loop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      job = queue_.front();
+      if (queue_.empty()) {
+        exited_.store(true, std::memory_order_release);
+        return;  // stopping and drained
+      }
+      job = std::move(queue_.front());
       queue_.pop_front();
+      current_ = job.state;
+      current_is_hedge_ = job.is_hedge;
+    }
+    busy_.store(true, std::memory_order_release);
+    Beat();
+    // Chaos sites: a hang stalls the worker here (supervisor sees busy +
+    // stale progress), a death makes the thread exit abandoning the
+    // in-flight job (supervisor sees an exit it did not request).
+    CTSDD_FAULT_POINT_COARSE("serve.shard.hang");
+    CTSDD_FAULT_POINT_COARSE("serve.shard.death");
+    if (t_death_requested) {
+      t_death_requested = false;
+      exited_.store(true, std::memory_order_release);
+      return;
     }
     Process(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_.reset();
+    }
+    busy_.store(false, std::memory_order_release);
+    Beat();
   }
 }
 
 void ShardWorker::Process(const ShardJob& job) {
-  CTSDD_FAULT_POINT("serve.shard.process");
+  JobState& state = *job.state;
+  if (state.claimed.load(std::memory_order_acquire)) {
+    // Another copy (hedge sibling or the supervisor) already answered.
+    ++local_duplicate_skips_;
+    UpdateStats();
+    return;
+  }
+  CTSDD_FAULT_POINT_COARSE("serve.shard.process");
   Timer timer;
-  const QueryRequest& request = *job.request;
-  QueryResponse& response = *job.response;
+  const QueryRequest& request = state.request;
+  QueryResponse response;  // local: delivered only through the claim
   response.shard = id_;
 
   // Deadline respect at dequeue: a job that expired while queued fails
   // typed, without paying for a compile it can no longer use.
-  if (job.has_deadline && std::chrono::steady_clock::now() >= job.deadline) {
+  if (state.has_deadline &&
+      std::chrono::steady_clock::now() >= state.deadline) {
     response.status =
         Status::DeadlineExceeded("deadline expired while queued");
-    ++local_requests_;
-    ++local_failures_;
-    ++local_timeouts_;
-    response.latency_ms = timer.ElapsedMillis();
-    latency_->Record(response.latency_ms);
-    UpdateStats();
-    std::lock_guard<std::mutex> lock(*job.done_mu);
-    if (job.remaining->fetch_sub(1) == 1) job.done_cv->notify_all();
+    FinishJob(job, response, timer.ElapsedMillis());
     return;
   }
 
-  CompiledPlan* plan = plans_.Lookup(job.key);
+  CompiledPlan* plan = plans_.Lookup(state.key);
   response.plan_cache_hit = plan != nullptr;
+  Beat();
   if (plan == nullptr) {
-    auto compiled = CompilePlan(request, job);
+    // Quarantine re-check at compile time: the signature may have been
+    // quarantined after this copy was admitted (several poison requests
+    // in flight at once), and a restart must not buy poison a fresh
+    // compile. Parole trials skip the check — they *are* the probe.
+    if (quarantine_ != nullptr && !state.is_parole_trial &&
+        quarantine_->Rejects(state.key.query_sig, state.key.db_sig,
+                             std::chrono::steady_clock::now())) {
+      response.status = Status::ResourceExhausted(
+          "query signature quarantined; retry after parole");
+      FinishJob(job, response, timer.ElapsedMillis());
+      return;
+    }
+    auto compiled = CompilePlan(job);
     if (compiled.ok()) {
-      plan = plans_.Insert(job.key, std::move(compiled).value());
+      plan = plans_.Insert(state.key, std::move(compiled).value());
+      if (quarantine_ != nullptr) {
+        quarantine_->ReportSuccess(state.key.query_sig, state.key.db_sig);
+      }
     } else {
       response.status = compiled.status();
-      if (response.status.code() == StatusCode::kDeadlineExceeded) {
-        ++local_timeouts_;
-      }
     }
   }
+  Beat();
   if (plan != nullptr) {
     response.probability = EvaluatePlan(*plan, request);
     response.lineage_gates = plan->lineage_gates;
@@ -135,28 +236,48 @@ void ShardWorker::Process(const ShardJob& job) {
     // repeats report degraded too.
     response.degraded = plan->route != request.route;
   }
+  Beat();
 
-  ++local_requests_;
-  if (plan == nullptr) ++local_failures_;
   if (++requests_since_gc_check_ >= gc_interval_) {
     requests_since_gc_check_ = 0;
     RunGcPolicy();
   }
-  response.latency_ms = timer.ElapsedMillis();
-  latency_->Record(response.latency_ms);
-  const double ewma = ewma_service_ms_.load(std::memory_order_relaxed);
-  ewma_service_ms_.store(0.8 * ewma + 0.2 * response.latency_ms,
-                         std::memory_order_relaxed);
-  UpdateStats();
+  FinishJob(job, response, timer.ElapsedMillis());
+}
 
-  {
-    // Decrement and notify inside the critical section: the submitter's
-    // wait predicate can then only observe zero after acquiring the
-    // mutex this thread holds, so it cannot wake, return, and destroy
-    // the mutex/condvar while this thread still touches them.
-    std::lock_guard<std::mutex> lock(*job.done_mu);
-    if (job.remaining->fetch_sub(1) == 1) job.done_cv->notify_all();
+void ShardWorker::FinishJob(const ShardJob& job, QueryResponse& response,
+                            double ms) {
+  response.latency_ms = ms;
+  Beat();
+  if (!job.state->TryClaim()) {
+    // The computed result is discarded; the plan (if any) stays cached,
+    // so the duplicate work still warms this shard.
+    ++local_duplicate_skips_;
+    UpdateStats();
+    return;
   }
+  const bool cancelled_other =
+      job.state->CancelLoserBudgets(StatusCode::kCancelled);
+  if (sup_ != nullptr) {
+    if (job.is_hedge) sup_->hedge_wins.fetch_add(1, std::memory_order_relaxed);
+    if (cancelled_other) {
+      sup_->hedge_cancels.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ++local_requests_;
+  if (!response.status.ok()) {
+    ++local_failures_;
+    if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      ++local_timeouts_;
+    }
+  }
+  latency_->Record(ms);
+  const double ewma = ewma_service_ms_.load(std::memory_order_relaxed);
+  ewma_service_ms_.store(0.8 * ewma + 0.2 * ms, std::memory_order_relaxed);
+  // Publish counters before waking the submitter: a stats() call racing
+  // the batch's return must already see this request accounted for.
+  UpdateStats();
+  job.state->Publish(response);
 }
 
 namespace {
@@ -164,11 +285,11 @@ namespace {
 // Remaining milliseconds until the job's deadline (0 = no deadline,
 // which WorkBudget reads as "none"). A job whose deadline just passed
 // gets an expired-but-armed budget, tripping on the first lease.
-double DeadlineLeftMs(const ShardJob& job) {
-  if (!job.has_deadline) return 0;
+double DeadlineLeftMs(const JobState& state) {
+  if (!state.has_deadline) return 0;
   const double left =
       std::chrono::duration<double, std::milli>(
-          job.deadline - std::chrono::steady_clock::now())
+          state.deadline - std::chrono::steady_clock::now())
           .count();
   return std::max(left, 1e-9);
 }
@@ -179,9 +300,11 @@ PlanRoute AlternateRoute(PlanRoute route) {
 
 }  // namespace
 
-StatusOr<CompiledPlan> ShardWorker::CompilePlan(const QueryRequest& request,
-                                                const ShardJob& job) {
-  CTSDD_FAULT_POINT("serve.compile");
+StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
+  CTSDD_FAULT_POINT_COARSE("serve.compile");
+  JobState& state = *job.state;
+  const QueryRequest& request = state.request;
+  const int side = job.is_hedge ? 1 : 0;
   ++local_compiles_;
   auto lineage = BuildLineage(request.query, *request.db);
   CTSDD_RETURN_IF_ERROR(lineage.status());
@@ -198,14 +321,23 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const QueryRequest& request,
     return plan;
   }
 
-  if (options_.compile_node_budget == 0 && !job.has_deadline) {
+  if (options_.compile_node_budget == 0 && !state.has_deadline &&
+      sup_ == nullptr) {
     // Unbudgeted fast path: no budget attached, no abort branches taken.
+    // Under supervision the budgeted path runs even with unlimited
+    // limits — its lease pulse is what keeps a long compile's heartbeat
+    // alive (and gives the supervisor a cancel handle on restart).
     return CompileRoute(request, request.route, circuit, std::move(vars),
                         nullptr);
   }
 
-  WorkBudget primary(options_.compile_node_budget, DeadlineLeftMs(job));
+  WorkBudget primary(options_.compile_node_budget, DeadlineLeftMs(state));
+  primary.BindPulse(&progress_);
+  state.RegisterBudget(side, &primary);
+  t_active_budget = &primary;
   auto first = CompileRoute(request, request.route, circuit, vars, &primary);
+  t_active_budget = nullptr;
+  state.RegisterBudget(side, nullptr);
   if (first.ok() || primary.reason() != StatusCode::kResourceExhausted) {
     // Success, a non-budget failure (e.g. bad vtree), or a deadline/
     // cancel trip — the ladder only retries node-budget exhaustion
@@ -215,12 +347,24 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const QueryRequest& request,
   }
   ++local_budget_aborts_;
   ++local_fallbacks_;
-  WorkBudget fallback(options_.compile_node_budget, DeadlineLeftMs(job));
+  WorkBudget fallback(options_.compile_node_budget, DeadlineLeftMs(state));
+  fallback.BindPulse(&progress_);
+  state.RegisterBudget(side, &fallback);
+  t_active_budget = &fallback;
   auto second = CompileRoute(request, AlternateRoute(request.route), circuit,
                              std::move(vars), &fallback);
+  t_active_budget = nullptr;
+  state.RegisterBudget(side, nullptr);
   if (second.ok()) return second;
   if (fallback.reason() == StatusCode::kResourceExhausted) {
     ++local_budget_aborts_;
+    // Both ladder routes exhausted their budgets: this signature is
+    // poison for the current budget — strike it so repeats stop burning
+    // full ladder compiles.
+    if (quarantine_ != nullptr) {
+      quarantine_->ReportExhausted(state.key.query_sig, state.key.db_sig,
+                                   std::chrono::steady_clock::now());
+    }
   }
   return second;
 }
@@ -230,6 +374,7 @@ StatusOr<CompiledPlan> ShardWorker::CompileRoute(const QueryRequest& request,
                                                  const Circuit& circuit,
                                                  std::vector<int> vars,
                                                  WorkBudget* budget) {
+  CTSDD_FAULT_POINT_COARSE("serve.compile.route");
   CompiledPlan plan;
   plan.route = route;
   plan.lineage_gates = circuit.num_gates();
@@ -408,6 +553,7 @@ void ShardWorker::UpdateStats() {
   stats_.timeouts = local_timeouts_;
   stats_.fallbacks = local_fallbacks_;
   stats_.budget_aborts = local_budget_aborts_;
+  stats_.duplicate_skips = local_duplicate_skips_;
   stats_.plan_hits = plans_.hits();
   stats_.plan_misses = plans_.misses();
   stats_.plan_evictions = plans_.evictions();

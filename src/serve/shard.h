@@ -11,6 +11,16 @@
 // alone hold it above, LRU plans are evicted (releasing their roots) and
 // collection reruns. Manager pools are themselves LRU-bounded; evicting
 // a manager first evicts every plan compiled inside it.
+//
+// Supervision surface: the worker stamps an atomic progress counter at
+// every job phase and flags busy/exited, so the service's supervisor can
+// detect a hang (busy with stale progress past the heartbeat window) or
+// a death (thread exited unbidden) from outside. A request may be
+// dispatched more than once — a hedge copy to a sibling shard, or a
+// supervisor failing it typed when its shard is torn down — so the
+// request/response slots live in a shared, claim-guarded JobState:
+// exactly one completer wins the atomic claim and fills the response,
+// and the winner cancels every other copy's in-flight compile budget.
 
 #ifndef CTSDD_SERVE_SHARD_H_
 #define CTSDD_SERVE_SHARD_H_
@@ -30,28 +40,104 @@
 #include "obdd/obdd.h"
 #include "sdd/sdd.h"
 #include "serve/plan_cache.h"
+#include "serve/quarantine.h"
 #include "serve/query_service.h"
 #include "serve/serve_stats.h"
 #include "util/budget.h"
 
 namespace ctsdd {
 
-// A unit of work handed to a shard: the request/response slots live in
-// the batch submitter's frame, which blocks on (remaining, done_cv)
-// until every shard has answered.
-struct ShardJob {
-  const QueryRequest* request = nullptr;
+// Shared completion record for one request. Every dispatched copy
+// (primary shard job, hedge copy, supervisor fail-over) holds a
+// reference; the request/response slots point into the batch
+// submitter's frame, which blocks on (remaining, done_mu, done_cv)
+// until every response is filled — so they are valid exactly until the
+// claim winner decrements `remaining`.
+struct JobState {
+  QueryRequest request;  // owned copy: outlives the submitter's loop frame
   QueryResponse* response = nullptr;
   PlanKey key;  // signatures precomputed by the router
+  int primary_shard = -1;
   // Absolute deadline (from the request's or the service's default
   // deadline_ms, stamped at admission). Checked at dequeue — a job that
   // expired while queued fails without compiling — and threaded into the
   // compile's WorkBudget so in-flight work aborts at the deadline too.
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline;
+  std::chrono::steady_clock::time_point submitted_at;
+  // True when quarantine admission let this request through as a parole
+  // trial; workers skip the quarantine re-check for it.
+  bool is_parole_trial = false;
   std::atomic<int>* remaining = nullptr;
   std::mutex* done_mu = nullptr;
   std::condition_variable* done_cv = nullptr;
+
+  // First completer wins; every other copy observes `claimed` and
+  // discards its result.
+  std::atomic<bool> claimed{false};
+  // At most one hedge copy per request (set by the supervisor when it
+  // collects the candidate).
+  std::atomic<bool> hedged{false};
+
+  // In-flight compile budgets of the dispatched copies (slot 0 =
+  // primary shard, slot 1 = hedge), registered around the compile under
+  // `budget_mu` so the claim winner can cancel a loser's stack-allocated
+  // budget without racing its destruction.
+  std::mutex budget_mu;
+  WorkBudget* budgets[2] = {nullptr, nullptr};
+
+  // Registers (or, with null, deregisters) a copy's compile budget. If
+  // the job was claimed while the budget was being set up, it is
+  // cancelled immediately — closing the race with a winner that
+  // cancelled before registration.
+  void RegisterBudget(int side, WorkBudget* budget) {
+    std::lock_guard<std::mutex> lock(budget_mu);
+    budgets[side] = budget;
+    if (budget != nullptr && claimed.load(std::memory_order_acquire)) {
+      budget->Cancel(StatusCode::kCancelled);
+    }
+  }
+
+  // Completion happens in three steps so the winner can finish its
+  // bookkeeping between winning and waking the submitter (a stats()
+  // call racing the batch return must already see the request counted):
+  //   if (TryClaim()) { CancelLoserBudgets(...); <account>; Publish(r); }
+
+  // Wins or loses the one claim. A loser discards its result.
+  bool TryClaim() { return !claimed.exchange(true, std::memory_order_acq_rel); }
+
+  // Winner-only: cancels every still-registered copy's budget with
+  // `loser_reason` (duplicate work dies through WorkBudget::Cancel).
+  // Returns whether a live budget was actually cancelled.
+  bool CancelLoserBudgets(StatusCode loser_reason) {
+    bool cancelled_any = false;
+    std::lock_guard<std::mutex> lock(budget_mu);
+    for (WorkBudget*& budget : budgets) {
+      if (budget != nullptr) {
+        budget->Cancel(loser_reason);
+        cancelled_any = true;
+        budget = nullptr;
+      }
+    }
+    return cancelled_any;
+  }
+
+  // Winner-only: fills the response slot and releases the submitter.
+  void Publish(const QueryResponse& result) {
+    *response = result;
+    // Decrement and notify inside the critical section: the submitter's
+    // wait predicate can then only observe zero after acquiring the
+    // mutex this thread holds, so it cannot wake, return, and destroy
+    // the mutex/condvar while this thread still touches them.
+    std::lock_guard<std::mutex> lock(*done_mu);
+    if (remaining->fetch_sub(1) == 1) done_cv->notify_all();
+  }
+};
+
+// A unit of work handed to a shard.
+struct ShardJob {
+  std::shared_ptr<JobState> state;
+  bool is_hedge = false;
 };
 
 class ShardWorker {
@@ -60,22 +146,64 @@ class ShardWorker {
   // pool lent to this shard's managers for cold compiles; the shard
   // attaches it to every manager it pools, and the managers open
   // exec-managed parallel regions around their apply/compile operations.
+  // `quarantine` (may be null) is the service-level poison negative
+  // cache: workers re-check it before a cold compile and report compile
+  // outcomes into it. `sup` (may be null) carries the shared supervision
+  // counters (hedge wins/cancels).
   ShardWorker(int shard_id, const ServeOptions& options,
               LatencyRecorder* latency, LatencyRecorder* gc_latency,
-              exec::TaskPool* exec_pool);
+              exec::TaskPool* exec_pool, Quarantine* quarantine,
+              SupervisionCounters* sup);
   ~ShardWorker();  // drains the queue, joins the thread
 
   ShardWorker(const ShardWorker&) = delete;
   ShardWorker& operator=(const ShardWorker&) = delete;
 
   // Enqueues a job for the worker thread (thread-safe). Returns false —
-  // shedding the job — when the queue is at max_queue_depth; the caller
-  // gets a backoff hint (queue depth x smoothed service time) in
-  // `*retry_after_ms` and must complete the response itself.
+  // shedding the job — when the queue is at max_queue_depth or the
+  // worker is retiring; the caller gets a backoff hint (queue depth x
+  // smoothed service time, clamped to ServeOptions::retry_after_max_ms)
+  // in `*retry_after_ms` and must complete the response itself. Hedge
+  // sheds are not counted against the shard (the primary copy is still
+  // in flight).
   bool Submit(const ShardJob& job, double* retry_after_ms);
 
   // Consistent snapshot of the shard's counters (thread-safe).
   ShardStats stats() const;
+
+  // --- Supervision surface (all thread-safe) ---
+
+  // Progress counter stamped at every job phase; a busy worker whose
+  // progress does not advance within the heartbeat window is hung.
+  uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+  // True while a job is being processed (between dequeue and completion).
+  bool busy() const { return busy_.load(std::memory_order_acquire); }
+  // True once the worker thread has returned — after a requested drain,
+  // or unbidden (a death fault); the supervisor treats an exit it did
+  // not request as a crash.
+  bool exited() const { return exited_.load(std::memory_order_acquire); }
+
+  // Begins teardown: marks the worker stopping (subsequent Submits
+  // shed), steals every queued job into `*drained`, and reports the
+  // in-flight job (state left null when idle). The caller fails the
+  // stolen jobs typed; the worker thread exits once its current job —
+  // if any — finishes or its budget is cancelled.
+  void Retire(std::vector<ShardJob>* drained, ShardJob* in_flight);
+
+  // Collects jobs submitted before `cutoff` that are still unclaimed and
+  // not yet hedged, marking them hedged. Called by the supervisor.
+  void CollectHedgeCandidates(std::chrono::steady_clock::time_point cutoff,
+                              std::vector<std::shared_ptr<JobState>>* out);
+
+  // Fault-injection hooks, to be called from a fault action running on
+  // this worker's thread: make the worker thread exit before its next
+  // job (abandoning the current one), or trip the budget of the compile
+  // currently running on this thread (simulating budget exhaustion or
+  // external cancellation mid-compile).
+  static void RequestDeathOnCurrentThread();
+  static void TripActiveBudgetOnCurrentThread(StatusCode code);
 
  private:
   struct PooledObdd {
@@ -91,12 +219,16 @@ class ShardWorker {
 
   void Loop();
   void Process(const ShardJob& job);
+  // Delivers `response` through the job's claim; on a win, records
+  // latency and folds the outcome into the shard counters.
+  void FinishJob(const ShardJob& job, QueryResponse& response, double ms);
+  void Beat() { progress_.fetch_add(1, std::memory_order_relaxed); }
   // Compiles the request's plan, enforcing the compile budget/deadline
   // and running the degradation ladder: requested route first; on a
   // node-budget abort, the alternate route once with a fresh budget; then
   // the typed over-budget status. Deadline/cancel trips never retry.
-  StatusOr<CompiledPlan> CompilePlan(const QueryRequest& request,
-                                     const ShardJob& job);
+  // Reports double-route budget exhaustion into the quarantine.
+  StatusOr<CompiledPlan> CompilePlan(const ShardJob& job);
   // One budgeted compile on `route` (budget may be null = unbudgeted).
   // On abort the partial nodes are collected immediately and the
   // budget's typed status is returned.
@@ -119,7 +251,9 @@ class ShardWorker {
   const ServeOptions options_;
   LatencyRecorder* const latency_;
   LatencyRecorder* const gc_latency_;
-  exec::TaskPool* const exec_pool_;  // shared, may be null
+  exec::TaskPool* const exec_pool_;    // shared, may be null
+  Quarantine* const quarantine_;       // shared, may be null
+  SupervisionCounters* const sup_;     // shared, may be null
 
   // Worker-thread state (no locking: only the worker touches it). The
   // pools are declared before the plan cache so the cache — whose
@@ -145,12 +279,20 @@ class ShardWorker {
   uint64_t local_timeouts_ = 0;
   uint64_t local_fallbacks_ = 0;
   uint64_t local_budget_aborts_ = 0;
+  uint64_t local_duplicate_skips_ = 0;
   int local_peak_live_ = 0;
   // Written by the worker thread, read by Submit on client threads for
   // the retry-after hint.
   std::atomic<double> ewma_service_ms_{1.0};
   // Bumped by Submit (client threads) when admission sheds a job.
   std::atomic<uint64_t> sheds_{0};
+  // Largest post-clamp retry hint handed out (client threads; CAS max).
+  std::atomic<double> max_retry_hint_{0};
+
+  // Supervision heartbeats (see accessors above).
+  std::atomic<uint64_t> progress_{0};
+  std::atomic<bool> busy_{false};
+  std::atomic<bool> exited_{false};
 
   mutable std::mutex stats_mu_;
   ShardStats stats_;  // published snapshot (guarded by stats_mu_)
@@ -158,6 +300,10 @@ class ShardWorker {
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<ShardJob> queue_;
+  // In-flight job (guarded by mu_): set at dequeue, cleared after
+  // completion; Retire reports it so the supervisor can fail it typed.
+  std::shared_ptr<JobState> current_;
+  bool current_is_hedge_ = false;
   bool stopping_ = false;
   std::thread thread_;
 };

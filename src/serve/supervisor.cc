@@ -1,0 +1,182 @@
+#include "serve/supervisor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ctsdd {
+
+namespace {
+
+double SinceMs(std::chrono::steady_clock::time_point then,
+               std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - then).count();
+}
+
+}  // namespace
+
+Supervisor::Supervisor(const ServeOptions& options,
+                       std::vector<std::unique_ptr<ShardSlot>>* slots,
+                       SupervisionCounters* counters, WorkerFactory factory)
+    : options_(options),
+      slots_(slots),
+      counters_(counters),
+      factory_(std::move(factory)),
+      seen_(slots->size()),
+      thread_(&Supervisor::Loop, this) {}
+
+Supervisor::~Supervisor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Destroy the carcasses: their destructors join, which blocks until a
+  // hung worker's (finite) stall elapses. Fold the final counters so a
+  // stats() call through a still-live service keeps seeing them.
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  for (auto& worker : retired_) {
+    AccumulateShardStats(reaped_totals_, worker->stats());
+  }
+  retired_.clear();
+}
+
+void Supervisor::AddRetiredStats(ShardStats* totals) const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  AccumulateShardStats(*totals, reaped_totals_);
+  for (const auto& worker : retired_) {
+    AccumulateShardStats(*totals, worker->stats());
+  }
+}
+
+void Supervisor::Loop() {
+  // Scan a few times per heartbeat window so detection latency is a
+  // fraction of the window, not a multiple of it.
+  const double period_ms = std::max(0.5, options_.heartbeat_window_ms / 4.0);
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(period_ms));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, period, [&] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    ScanOnce(std::chrono::steady_clock::now());
+    lock.lock();
+  }
+}
+
+void Supervisor::ScanOnce(std::chrono::steady_clock::time_point now) {
+  Reap();
+  for (size_t i = 0; i < slots_->size(); ++i) {
+    std::shared_ptr<ShardWorker> worker = (*slots_)[i]->Get();
+    if (worker->exited()) {
+      // The supervisor never asked this worker to stop, so an exited
+      // thread is a crash.
+      counters_->deaths_detected.fetch_add(1, std::memory_order_relaxed);
+      Restart(i, std::move(worker), now);
+      continue;
+    }
+    if (worker->busy()) {
+      const uint64_t progress = worker->progress();
+      if (progress != seen_[i].progress) {
+        seen_[i] = {progress, now};
+      } else if (SinceMs(seen_[i].at, now) > options_.heartbeat_window_ms) {
+        counters_->hangs_detected.fetch_add(1, std::memory_order_relaxed);
+        Restart(i, std::move(worker), now);
+      }
+      continue;
+    }
+    seen_[i] = {worker->progress(), now};
+  }
+  if (options_.hedge_after_ms > 0 && slots_->size() > 1) DispatchHedges(now);
+}
+
+void Supervisor::Restart(size_t i, std::shared_ptr<ShardWorker> old,
+                         std::chrono::steady_clock::time_point now) {
+  counters_->shard_restarts.fetch_add(1, std::memory_order_relaxed);
+  // Fresh worker first: new traffic flows while the carcass drains. Its
+  // recompiles are pointer-identical by canonicity, so swapping managers
+  // under the plans is invisible to answers.
+  std::shared_ptr<ShardWorker> fresh = factory_(static_cast<int>(i));
+  {
+    std::lock_guard<std::mutex> lock((*slots_)[i]->mu);
+    (*slots_)[i]->worker = std::move(fresh);
+  }
+  // Enroll the carcass in the retired list *before* failing its jobs:
+  // the moment a failed response unblocks a submitter, a stats() call
+  // must still find the old worker's counters (it is no longer in the
+  // slot, so the retired list is its only home).
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.push_back(old);
+  }
+  std::vector<ShardJob> orphans;
+  ShardJob in_flight;
+  old->Retire(&orphans, &in_flight);
+  if (in_flight.state != nullptr) orphans.push_back(std::move(in_flight));
+  for (const ShardJob& job : orphans) {
+    QueryResponse response;
+    response.status =
+        Status::Unavailable("shard restarted; retry");
+    response.shard = static_cast<int>(i);
+    // Backoff hint: the fresh worker is accepting immediately, but give
+    // clients one detection window so a retry storm does not land while
+    // the carcass still holds the CPU.
+    response.retry_after_ms =
+        std::clamp(options_.heartbeat_window_ms, 0.1,
+                   std::max(0.1, options_.retry_after_max_ms));
+    // Claim may fail if the job's hedge copy answered in the meantime —
+    // then there is nothing to fail. The winner path cancels the hung
+    // copy's registered budget (typed kUnavailable) so a budget-bound
+    // stall unwinds instead of running to completion. Counter bumps
+    // precede Publish so a stats() racing the batch return sees them.
+    if (job.state->TryClaim()) {
+      job.state->CancelLoserBudgets(StatusCode::kUnavailable);
+      counters_->failed_on_restart.fetch_add(1, std::memory_order_relaxed);
+      job.state->Publish(response);
+    }
+  }
+  seen_[i] = {0, now};
+}
+
+void Supervisor::DispatchHedges(std::chrono::steady_clock::time_point now) {
+  const auto cutoff =
+      now - std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    options_.hedge_after_ms));
+  std::vector<std::shared_ptr<JobState>> candidates;
+  for (const auto& slot : *slots_) {
+    slot->Get()->CollectHedgeCandidates(cutoff, &candidates);
+  }
+  for (std::shared_ptr<JobState>& state : candidates) {
+    // Next healthy sibling of the primary shard. With every sibling
+    // exited (mass death mid-restart) the hedge is skipped; the primary
+    // copy still completes or fails through its own shard's restart.
+    const size_t n = slots_->size();
+    for (size_t k = 1; k < n; ++k) {
+      const size_t j = (static_cast<size_t>(state->primary_shard) + k) % n;
+      std::shared_ptr<ShardWorker> sibling = (*slots_)[j]->Get();
+      if (sibling->exited()) continue;
+      counters_->hedges_dispatched.fetch_add(1, std::memory_order_relaxed);
+      if (!sibling->Submit(ShardJob{state, /*is_hedge=*/true}, nullptr)) {
+        counters_->hedge_sheds.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+  }
+}
+
+void Supervisor::Reap() {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    if ((*it)->exited()) {
+      AccumulateShardStats(reaped_totals_, (*it)->stats());
+      it = retired_.erase(it);  // destructor joins an exited thread: fast
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ctsdd

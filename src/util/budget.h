@@ -52,8 +52,12 @@ class WorkBudget {
   WorkBudget(const WorkBudget&) = delete;
   WorkBudget& operator=(const WorkBudget&) = delete;
 
-  // Trips the budget from outside (e.g. a client disconnect).
-  void Cancel() { Trip(StatusCode::kCancelled); }
+  // Trips the budget from outside. The default reason models a client
+  // disconnect; callers that abort for a different typed cause (a
+  // supervisor failing a hung shard's in-flight compile with
+  // kUnavailable, a fault action simulating budget exhaustion with
+  // kResourceExhausted) pass their own code so the unwind stays typed.
+  void Cancel(StatusCode code = StatusCode::kCancelled) { Trip(code); }
 
   bool tripped() const {
     return tripped_flag_.load(std::memory_order_relaxed);
@@ -77,16 +81,26 @@ class WorkBudget {
         return Status::DeadlineExceeded("compile deadline exceeded");
       case StatusCode::kCancelled:
         return Status::Cancelled("compile cancelled");
+      case StatusCode::kUnavailable:
+        return Status::Unavailable("compile cancelled: shard unavailable");
       default:
         return Status::Ok();
     }
   }
+
+  // Binds a liveness pulse: every granted lease bumps `*pulse`. Shard
+  // supervision reads the same counter as the worker's heartbeat, so a
+  // long compile that is still allocating reads as progress while a
+  // stalled one goes stale. Bind before handing the budget to any
+  // compiling thread (binding is not synchronized against leases).
+  void BindPulse(std::atomic<uint64_t>* pulse) { pulse_ = pulse; }
 
   // Charges up to `want` node allocations; returns how many were
   // granted (0 if the budget is tripped or exhausted). A short grant
   // (< want) means the budget boundary was reached: the caller may
   // allocate the granted count and must re-lease afterwards.
   uint64_t AcquireLease(uint64_t want) {
+    if (pulse_ != nullptr) pulse_->fetch_add(1, std::memory_order_relaxed);
     if (tripped()) return 0;
     if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
       Trip(StatusCode::kDeadlineExceeded);
@@ -130,6 +144,7 @@ class WorkBudget {
   const uint64_t node_budget_;
   const bool has_deadline_;
   const std::chrono::steady_clock::time_point deadline_;
+  std::atomic<uint64_t>* pulse_ = nullptr;
   std::atomic<uint64_t> used_{0};
   std::atomic<uint32_t> polls_{0};
   std::atomic<int> reason_{0};  // StatusCode of the first trip, 0 = none

@@ -1,11 +1,10 @@
 #include "util/fault_injection.h"
 
-#ifndef NDEBUG
-
 #include <chrono>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "util/random.h"
 
@@ -19,6 +18,7 @@ namespace {
 struct ArmedSite {
   FaultSpec spec;
   uint64_t hits = 0;
+  uint64_t fires = 0;
   Rng rng{1};
 };
 
@@ -43,6 +43,7 @@ void Arm(const std::string& site, FaultSpec spec) {
     it = registry.emplace(site, ArmedSite{}).first;
   }
   it->second.hits = 0;
+  it->second.fires = 0;
   it->second.rng = Rng(spec.seed == 0 ? 1 : spec.seed);
   it->second.spec = std::move(spec);
 }
@@ -67,6 +68,12 @@ uint64_t HitCount(const std::string& site) {
   return it == Registry().end() ? 0 : it->second.hits;
 }
 
+uint64_t FireCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
 void HitSlow(const char* site) {
   std::function<void()> action;
   int delay_ms = 0;
@@ -77,10 +84,14 @@ void HitSlow(const char* site) {
     ArmedSite& armed = it->second;
     ++armed.hits;
     bool fire = armed.spec.fire_at != 0 && armed.hits == armed.spec.fire_at;
+    if (!fire && armed.spec.fire_every != 0) {
+      fire = armed.hits % armed.spec.fire_every == 0;
+    }
     if (!fire && armed.spec.probability > 0) {
       fire = armed.rng.NextDouble() < armed.spec.probability;
     }
     if (!fire) return;
+    ++armed.fires;
     action = armed.spec.action;  // copy: run outside the lock
     delay_ms = armed.spec.delay_ms;
   }
@@ -92,5 +103,3 @@ void HitSlow(const char* site) {
 
 }  // namespace fault
 }  // namespace ctsdd
-
-#endif  // NDEBUG

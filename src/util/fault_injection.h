@@ -1,16 +1,24 @@
-// Deterministic, seeded fault injection for robustness tests.
+// Deterministic, seeded fault injection for robustness tests and chaos
+// benchmarks.
 //
-// Production code marks interesting failure points with
-// CTSDD_FAULT_POINT("site.name"); tests arm sites with a FaultSpec
-// (fire at the Nth hit, or probabilistically from a seeded RNG) whose
-// action runs inline at the hit — typically cancelling a WorkBudget or
-// sleeping to simulate a stall. In NDEBUG builds the macro compiles to
-// nothing and Enabled() is false, so release hot paths carry zero cost.
+// Production code marks interesting failure points with one of two
+// macros; tests arm sites with a FaultSpec (fire at the Nth hit, every
+// Nth hit, or probabilistically from a seeded RNG) whose action runs
+// inline at the hit — typically cancelling a WorkBudget, sleeping to
+// simulate a stall, or requesting the death of a shard worker thread.
 //
-// The fast path when no site is armed is a single relaxed atomic load
-// of a global count. Arming/disarming takes a mutex; hits on armed
-// sites take the same mutex, which is acceptable because faults are
-// only armed in tests.
+//   - CTSDD_FAULT_POINT(site): fine-grained sites on allocation-rate hot
+//     paths (obdd.alloc, sdd.alloc). Compiled out under NDEBUG so
+//     release hot loops carry zero cost; Enabled() reports whether they
+//     are live.
+//   - CTSDD_FAULT_POINT_COARSE(site): request-granularity sites in the
+//     serving layer (serve.shard.*, serve.compile*). Always compiled —
+//     the fast path is one relaxed atomic load per request, which lets
+//     release-build chaos benchmarks drive hang/death/poison injection.
+//
+// Arming/disarming takes a mutex; hits on armed sites take the same
+// mutex, which is acceptable because faults are only armed in tests and
+// chaos runs.
 
 #ifndef CTSDD_UTIL_FAULT_INJECTION_H_
 #define CTSDD_UTIL_FAULT_INJECTION_H_
@@ -23,7 +31,8 @@
 namespace ctsdd {
 namespace fault {
 
-// True when fault injection is compiled in (debug / sanitizer builds).
+// True when the fine-grained (hot-path) sites are compiled in (debug /
+// sanitizer builds). Coarse sites are live in every build.
 constexpr bool Enabled() {
 #ifdef NDEBUG
   return false;
@@ -35,17 +44,21 @@ constexpr bool Enabled() {
 struct FaultSpec {
   // Fire on the Nth hit of the site (1-based). 0 disables count firing.
   uint64_t fire_at = 0;
-  // Independently of fire_at, fire each hit with this probability using
-  // a deterministic RNG seeded with `seed` (0 disables).
+  // Fire on every Nth hit (hits divisible by fire_every). 0 disables.
+  // Independent of fire_at; the periodic mode drives chaos streams
+  // ("hang a shard every ~200 requests").
+  uint64_t fire_every = 0;
+  // Independently of the count modes, fire each hit with this
+  // probability using a deterministic RNG seeded with `seed` (0
+  // disables).
   double probability = 0;
   uint64_t seed = 1;
-  // Sleep this long when the fault fires (simulated stall).
+  // Sleep this long when the fault fires (simulated stall / hang).
   int delay_ms = 0;
-  // Arbitrary action run when the fault fires (e.g. budget->Cancel()).
+  // Arbitrary action run when the fault fires (e.g. budget->Cancel() or
+  // ShardWorker::RequestDeathOnCurrentThread()).
   std::function<void()> action;
 };
-
-#ifndef NDEBUG
 
 // Arms `site`, replacing any existing spec. Resets the hit counter.
 void Arm(const std::string& site, FaultSpec spec);
@@ -57,32 +70,34 @@ void DisarmAll();
 // Number of times the site was hit since it was armed.
 uint64_t HitCount(const std::string& site);
 
-// Internal: called by CTSDD_FAULT_POINT when any site is armed.
+// Number of times the site actually fired since it was armed.
+uint64_t FireCount(const std::string& site);
+
+// Internal: called by the fault-point macros when any site is armed.
 void HitSlow(const char* site);
 
-// Global count of armed sites; the macro's fast-path guard.
+// Global count of armed sites; the macros' fast-path guard.
 extern std::atomic<int> g_armed_count;
 
-#define CTSDD_FAULT_POINT(site)                                        \
-  do {                                                                 \
-    if (::ctsdd::fault::g_armed_count.load(std::memory_order_relaxed) > \
-        0) {                                                           \
-      ::ctsdd::fault::HitSlow(site);                                   \
-    }                                                                  \
+// Request-granularity sites: always compiled, one relaxed load when
+// nothing is armed.
+#define CTSDD_FAULT_POINT_COARSE(site)                                   \
+  do {                                                                   \
+    if (::ctsdd::fault::g_armed_count.load(std::memory_order_relaxed) >  \
+        0) {                                                             \
+      ::ctsdd::fault::HitSlow(site);                                     \
+    }                                                                    \
   } while (0)
 
-#else  // NDEBUG
-
-inline void Arm(const std::string&, FaultSpec) {}
-inline void Disarm(const std::string&) {}
-inline void DisarmAll() {}
-inline uint64_t HitCount(const std::string&) { return 0; }
-
+#ifndef NDEBUG
+// Hot-path sites: identical to the coarse macro in debug builds,
+// nothing in release builds.
+#define CTSDD_FAULT_POINT(site) CTSDD_FAULT_POINT_COARSE(site)
+#else
 #define CTSDD_FAULT_POINT(site) \
   do {                          \
   } while (0)
-
-#endif  // NDEBUG
+#endif
 
 }  // namespace fault
 }  // namespace ctsdd

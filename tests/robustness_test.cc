@@ -413,6 +413,55 @@ TEST(FaultInjectionTest, CancelsCompileAtNthAllocation) {
   ASSERT_GE(root, 0);
 }
 
+// The coarse-site registry is live in every build: fire_at fires on the
+// exact Nth hit, fire_every on each multiple, independently combinable
+// — the cadence that drives "hang a shard every ~200 requests" chaos.
+TEST(FaultInjectionTest, PeriodicFiringDrivesChaosCadence) {
+  int fired = 0;
+  fault::FaultSpec spec;
+  spec.fire_at = 2;
+  spec.fire_every = 10;
+  spec.action = [&fired] { ++fired; };
+  fault::Arm("test.periodic", spec);
+  for (int i = 0; i < 23; ++i) fault::HitSlow("test.periodic");
+  EXPECT_EQ(fault::HitCount("test.periodic"), 23u);
+  // Fired at hit 2 (fire_at) and hits 10 and 20 (fire_every).
+  EXPECT_EQ(fault::FireCount("test.periodic"), 3u);
+  EXPECT_EQ(fired, 3);
+
+  // Re-arming resets the counters.
+  fault::FaultSpec every;
+  every.fire_every = 5;
+  fault::Arm("test.periodic", every);
+  for (int i = 0; i < 11; ++i) fault::HitSlow("test.periodic");
+  EXPECT_EQ(fault::FireCount("test.periodic"), 2u);  // hits 5 and 10
+  fault::DisarmAll();
+}
+
+// Cancellation carries its cause: a supervisor failing a hung shard
+// cancels with kUnavailable, a fault simulating poison cancels with
+// kResourceExhausted, and the unwinding compile reports that code.
+TEST(BudgetAbortTest, TypedCancelMapsToTypedStatus) {
+  WorkBudget plain(0);
+  plain.Cancel();
+  EXPECT_TRUE(plain.tripped());
+  EXPECT_EQ(plain.status().code(), StatusCode::kCancelled);
+
+  WorkBudget unavailable(0);
+  unavailable.Cancel(StatusCode::kUnavailable);
+  EXPECT_TRUE(unavailable.tripped());
+  EXPECT_EQ(unavailable.reason(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.AcquireLease(16), 0u);  // denied once tripped
+
+  WorkBudget exhausted(0);
+  exhausted.Cancel(StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted);
+  // The first reason sticks: a later cancel cannot retype the trip.
+  exhausted.Cancel(StatusCode::kCancelled);
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted);
+}
+
 TEST(FaultInjectionTest, SddProbabilisticCancelIsDeterministic) {
   if (!fault::Enabled()) GTEST_SKIP() << "fault injection compiled out";
   const int n = 13;

@@ -3,8 +3,11 @@
 // canonical, and QueryService answers correct probabilities with plan
 // caching, sharding, and GC under eviction pressure.
 
+#include <chrono>
+#include <cstdlib>
 #include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "db/lineage.h"
@@ -18,6 +21,7 @@
 #include "sdd/sdd_compile.h"
 #include "serve/plan_cache.h"
 #include "serve/query_service.h"
+#include "serve/shard.h"
 #include "serve/signature.h"
 #include "util/budget.h"
 #include "util/fault_injection.h"
@@ -763,6 +767,336 @@ TEST(QueryServiceRobustnessTest, ChaosAcceptedAnswersStayOracleCorrect) {
                 options.gc_live_node_ceiling);
   // GC pauses were recorded for the percentile surface.
   EXPECT_GT(stats.gc_pause_p99_ms, 0.0);
+}
+
+// --- Supervision: hangs, deaths, quarantine, hedging ----------------------
+
+// A worker that stalls past the heartbeat window while busy is declared
+// hung; its queued and in-flight requests fail typed UNAVAILABLE with a
+// retry hint — never silently dropped — and the restarted shard serves
+// the retry.
+TEST(QueryServiceSupervisionTest, HungShardFailsQueuedRequestsTyped) {
+  const Database db = BipartiteRstDatabase(4, 0.4);
+  ServeOptions options;
+  options.num_shards = 1;
+  options.heartbeat_window_ms = 10;
+  QueryService service(options);
+
+  fault::FaultSpec hang;
+  hang.fire_at = 1;       // the first dequeue stalls...
+  hang.delay_ms = 150;    // ...far past the heartbeat window
+  fault::Arm("serve.shard.hang", hang);
+
+  std::vector<QueryRequest> batch;
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest request;
+    request.query = PerConstantRsQuery(1 + i);
+    request.db = &db;
+    request.route = PlanRoute::kSdd;
+    batch.push_back(std::move(request));
+  }
+  // ExecuteBatch returning at all proves no request was dropped: it
+  // blocks until every response slot is filled.
+  const std::vector<QueryResponse> responses = service.ExecuteBatch(batch);
+  fault::DisarmAll();
+  ASSERT_EQ(responses.size(), batch.size());
+  for (const QueryResponse& response : responses) {
+    EXPECT_EQ(response.status.code(), StatusCode::kUnavailable)
+        << response.status.ToString();
+    EXPECT_GT(response.retry_after_ms, 0.0);
+  }
+
+  const ServiceStats during = service.stats();
+  EXPECT_GE(during.supervision.hangs_detected, 1u);
+  EXPECT_GE(during.supervision.shard_restarts, 1u);
+  EXPECT_GE(during.supervision.failed_on_restart, batch.size());
+  EXPECT_EQ(during.totals.requests, batch.size());
+  EXPECT_EQ(during.totals.failures, batch.size());
+
+  // The fresh worker serves the retry with a correct answer.
+  const QueryResponse retry = service.Execute(batch.front());
+  ASSERT_TRUE(retry.status.ok()) << retry.status.ToString();
+  const auto oracle =
+      CompileQuery(batch.front().query, db, VtreeStrategy::kBalanced);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NEAR(retry.probability, oracle->probability, 1e-9);
+  // Counters stayed monotone across the restart.
+  EXPECT_EQ(service.stats().totals.requests, batch.size() + 1);
+}
+
+// A worker thread that exits unbidden is declared dead; the supervisor
+// restarts the shard and the recompile on the fresh worker reproduces
+// the exact pre-death answer (canonical compilation is deterministic).
+TEST(QueryServiceSupervisionTest, DeadWorkerIsRestartedAndRecompilesExactly) {
+  const Database db = BipartiteRstDatabase(4, 0.4);
+  ServeOptions options;
+  options.num_shards = 1;
+  options.heartbeat_window_ms = 10;
+  QueryService service(options);
+
+  QueryRequest request;
+  request.query = HierarchicalRSQuery();
+  request.db = &db;
+  request.route = PlanRoute::kSdd;
+  const QueryResponse before = service.Execute(request);
+  ASSERT_TRUE(before.status.ok()) << before.status.ToString();
+
+  fault::FaultSpec death;
+  death.fire_at = 1;
+  death.action = [] { ShardWorker::RequestDeathOnCurrentThread(); };
+  fault::Arm("serve.shard.death", death);
+  const QueryResponse abandoned = service.Execute(request);
+  fault::DisarmAll();
+  // The abandoned in-flight job was failed typed by the supervisor.
+  EXPECT_EQ(abandoned.status.code(), StatusCode::kUnavailable)
+      << abandoned.status.ToString();
+  EXPECT_GT(abandoned.retry_after_ms, 0.0);
+
+  const QueryResponse after = service.Execute(request);
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  // The plan cache died with the worker: this was a cold recompile, and
+  // determinism makes it bitwise-identical to the pre-death answer.
+  EXPECT_FALSE(after.plan_cache_hit);
+  EXPECT_EQ(after.probability, before.probability);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.supervision.deaths_detected, 1u);
+  EXPECT_GE(stats.supervision.shard_restarts, 1u);
+  EXPECT_EQ(stats.totals.requests, 3u);
+  EXPECT_EQ(stats.totals.failures, 1u);
+}
+
+// A signature whose compiles exhaust the budget on both ladder routes
+// `threshold` times is negative-cached: repeats fail RESOURCE_EXHAUSTED
+// at admission without burning another compile slot, so permanent
+// poison costs at most `threshold` ladder compiles — ever.
+TEST(QueryServiceSupervisionTest, PermanentPoisonPaysAtMostThresholdCompiles) {
+  const Database db = BipartiteRstDatabase(4, 0.4);
+  ServeOptions options;
+  options.num_shards = 1;
+  options.compile_node_budget = 1;  // nothing can compile
+  options.quarantine_threshold = 2;
+  options.quarantine_parole_ms = 1e7;  // parole never comes in this test
+  options.quarantine_parole_max_ms = 1e7;
+  QueryService service(options);
+
+  QueryRequest request;
+  request.query = HierarchicalRSQuery();
+  request.db = &db;
+  request.route = PlanRoute::kSdd;
+  for (int i = 0; i < 8; ++i) {
+    const QueryResponse response = service.Execute(request);
+    EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted)
+        << "attempt " << i << ": " << response.status.ToString();
+    if (i >= options.quarantine_threshold) {
+      // Quarantine rejects carry the time until the next parole window.
+      EXPECT_GT(response.retry_after_ms, 0.0) << "attempt " << i;
+    }
+  }
+  const ServiceStats stats = service.stats();
+  // Exactly `threshold` ladder compiles were burned; the other six
+  // requests were rejected at admission.
+  EXPECT_EQ(stats.totals.compiles, 2u);
+  EXPECT_EQ(stats.totals.budget_aborts, 4u);  // two routes per ladder
+  EXPECT_EQ(stats.supervision.quarantine_strikes, 2u);
+  EXPECT_EQ(stats.supervision.quarantine_rejects, 6u);
+  EXPECT_EQ(stats.supervision.quarantine_entries, 1u);
+  // Every attempt is visible to monitoring.
+  EXPECT_EQ(stats.totals.requests, 8u);
+  EXPECT_EQ(stats.totals.failures, 8u);
+}
+
+// A transiently-poisoned signature (exhaustions caused by injected
+// budget trips, not the query) is re-admitted on parole once the
+// interval passes; the clean trial erases the entry and the next repeat
+// is an ordinary plan-cache hit.
+TEST(QueryServiceSupervisionTest, TransientPoisonIsParoledThenCached) {
+  const Database db = BipartiteRstDatabase(4, 0.4);
+  ServeOptions options;
+  options.num_shards = 1;
+  options.compile_node_budget = 1u << 30;  // roomy: only faults trip it
+  options.quarantine_threshold = 1;
+  options.quarantine_parole_ms = 40;
+  QueryService service(options);
+
+  fault::FaultSpec trip;
+  trip.fire_every = 1;  // every route compile exhausts its budget
+  trip.action = [] {
+    ShardWorker::TripActiveBudgetOnCurrentThread(
+        StatusCode::kResourceExhausted);
+  };
+  fault::Arm("serve.compile.route", trip);
+
+  QueryRequest request;
+  request.query = HierarchicalRSQuery();
+  request.db = &db;
+  request.route = PlanRoute::kSdd;
+  // Both ladder routes exhaust: one strike, immediate quarantine.
+  const QueryResponse struck = service.Execute(request);
+  EXPECT_EQ(struck.status.code(), StatusCode::kResourceExhausted)
+      << struck.status.ToString();
+  // A repeat before parole fails fast at admission.
+  const QueryResponse rejected = service.Execute(request);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(rejected.retry_after_ms, 0.0);
+  fault::DisarmAll();
+
+  // After the parole interval the trial request is admitted, compiles
+  // cleanly, and earns full forgiveness.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  const QueryResponse trial = service.Execute(request);
+  ASSERT_TRUE(trial.status.ok()) << trial.status.ToString();
+  const auto oracle = CompileQuery(request.query, db, VtreeStrategy::kBalanced);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NEAR(trial.probability, oracle->probability, 1e-9);
+
+  const QueryResponse warm = service.Execute(request);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.plan_cache_hit);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.supervision.parole_trials, 1u);
+  EXPECT_EQ(stats.supervision.parole_successes, 1u);
+  EXPECT_EQ(stats.supervision.quarantine_entries, 0u);
+  EXPECT_EQ(stats.totals.requests, 4u);
+}
+
+// A request stuck behind a stalled compile is hedged to a sibling
+// shard; the sibling's exact answer wins, the primary's in-flight
+// budget is cancelled, and the late duplicate is skipped — exactly one
+// response reaches the client.
+TEST(QueryServiceSupervisionTest, HedgedRequestWinsOnceAndCancelsTheLoser) {
+  const Database db = BipartiteRstDatabase(4, 0.4);
+  ServeOptions options;
+  options.num_shards = 2;
+  options.heartbeat_window_ms = 100;  // scan every 25ms; stall < window
+  options.hedge_after_ms = 5;
+  options.compile_node_budget = 1u << 30;  // a budget exists to cancel
+  QueryService service(options);
+
+  fault::FaultSpec stall;
+  stall.fire_at = 1;    // only the primary's compile stalls
+  stall.delay_ms = 80;  // long enough to hedge, short of a hang verdict
+  fault::Arm("serve.compile.route", stall);
+
+  QueryRequest request;
+  request.query = HierarchicalRSQuery();
+  request.db = &db;
+  request.route = PlanRoute::kSdd;
+  const QueryResponse response = service.Execute(request);
+  fault::DisarmAll();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  const auto oracle = CompileQuery(request.query, db, VtreeStrategy::kBalanced);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NEAR(response.probability, oracle->probability, 1e-9);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.supervision.hedges_dispatched, 1u);
+  EXPECT_EQ(stats.supervision.hedge_wins, 1u);
+  // The winner cancelled the primary's registered compile budget.
+  EXPECT_EQ(stats.supervision.hedge_cancels, 1u);
+
+  // The stalled primary eventually wakes, loses the claim, and skips:
+  // the request is counted exactly once.
+  for (int spin = 0; spin < 200; ++spin) {
+    if (service.stats().totals.duplicate_skips >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const ServiceStats settled = service.stats();
+  EXPECT_GE(settled.totals.duplicate_skips, 1u);
+  EXPECT_EQ(settled.totals.requests, 1u);
+}
+
+// Chaos soak: periodic hangs and thread deaths ride a mixed stream with
+// budgets, deadlines, and bounded queues. Every outcome must be typed,
+// every accepted answer oracle-exact, and the counters must reconcile.
+// CTSDD_CHAOS_SOAK_ROUNDS scales the stream for CI soak runs.
+TEST(QueryServiceSupervisionTest, ChaosSoakSurvivesHangsAndDeaths) {
+  int rounds = 6;
+  if (const char* env = std::getenv("CTSDD_CHAOS_SOAK_ROUNDS")) {
+    rounds = std::max(1, std::atoi(env));
+  }
+  const int kDomain = 5;
+  const Database db = BipartiteRstDatabase(kDomain, 0.3);
+  ServeOptions options;
+  options.num_shards = 2;
+  options.plan_cache_capacity = 4;
+  options.gc_live_node_ceiling = 64;
+  options.gc_check_interval = 4;
+  options.compile_node_budget = 600;
+  options.max_queue_depth = 4;
+  options.heartbeat_window_ms = 10;
+  options.quarantine_threshold = 3;
+  options.quarantine_parole_ms = 50;
+  QueryService service(options);
+
+  fault::FaultSpec hang;
+  hang.fire_every = 37;
+  hang.delay_ms = 30;  // past the heartbeat window: a detected hang
+  fault::Arm("serve.shard.hang", hang);
+  fault::FaultSpec death;
+  death.fire_every = 53;
+  death.action = [] { ShardWorker::RequestDeathOnCurrentThread(); };
+  fault::Arm("serve.shard.death", death);
+
+  std::map<uint64_t, double> oracle;
+  uint64_t accepted = 0, rejected = 0;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<QueryRequest> batch;
+    for (int i = 0; i < 16; ++i) {
+      const int step = round * 16 + i;
+      QueryRequest request;
+      request.query = PerConstantRsQuery(1 + step % kDomain);
+      if (step % 3 == 0) {
+        request.query.disjuncts.push_back(
+            PerConstantRsQuery(1 + (step / 3) % kDomain).disjuncts[0]);
+      }
+      if (step % 5 == 0) request.query = HierarchicalRSQuery();
+      request.db = &db;
+      request.route = step % 2 == 0 ? PlanRoute::kObdd : PlanRoute::kSdd;
+      batch.push_back(std::move(request));
+    }
+    const std::vector<QueryResponse> responses = service.ExecuteBatch(batch);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      const QueryResponse& response = responses[i];
+      if (!response.status.ok()) {
+        const StatusCode code = response.status.code();
+        EXPECT_TRUE(code == StatusCode::kDeadlineExceeded ||
+                    code == StatusCode::kResourceExhausted ||
+                    code == StatusCode::kUnavailable)
+            << response.status.ToString();
+        ++rejected;
+        continue;
+      }
+      ++accepted;
+      const uint64_t sig = QuerySignature(batch[i].query);
+      if (oracle.find(sig) == oracle.end()) {
+        const auto compiled =
+            CompileQuery(batch[i].query, db, VtreeStrategy::kBalanced);
+        ASSERT_TRUE(compiled.ok());
+        oracle[sig] = compiled->probability;
+      }
+      ASSERT_NEAR(response.probability, oracle[sig], 1e-9)
+          << "round " << round << " index " << i;
+    }
+  }
+  fault::DisarmAll();
+  EXPECT_GT(accepted, 0u);
+  const ServiceStats stats = service.stats();
+  // 96+ dequeues against fire cadences of 37 and 53: at least one
+  // restart happened, and the books still balance.
+  EXPECT_GE(stats.supervision.shard_restarts, 1u);
+  EXPECT_EQ(stats.totals.requests, accepted + rejected);
+  // Residency: each live worker is bounded by its GC policy (ceiling x
+  // pool, with 2x slack for between-check growth and aborted partial
+  // compiles); every restart can additionally leave one unreaped
+  // carcass whose frozen nodes still fold into the totals.
+  const int per_worker_bound =
+      2 * static_cast<int>(options.manager_pool_capacity) *
+      options.gc_live_node_ceiling;
+  EXPECT_LE(static_cast<uint64_t>(stats.totals.live_nodes),
+            (options.num_shards + stats.supervision.shard_restarts) *
+                static_cast<uint64_t>(per_worker_bound));
 }
 
 }  // namespace
