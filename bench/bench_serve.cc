@@ -48,6 +48,7 @@
 #include "serve/shard.h"
 #include "util/budget.h"
 #include "util/fault_injection.h"
+#include "util/mem_governor.h"
 #include "util/random.h"
 #include "util/timer.h"
 #include "vtree/vtree.h"
@@ -643,6 +644,82 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(overload.retries),
       static_cast<unsigned long long>(overload.retry_successes));
 
+  bench::Header("serve: memory pressure — hard ceiling at 60% of peak bytes");
+  // Phase 1 (unconstrained): the same open-loop stream with accounting
+  // flowing into a disabled governor (hard = 0: charges and peak are
+  // tracked, nothing is enforced) to measure the unbounded accounted
+  // footprint.
+  const double mem_rate = 0.5 * capacity_qps;
+  MemGovernor unbounded_gov;
+  ServeOptions unconstrained_opts = overloaded;
+  unconstrained_opts.mem_governor = &unbounded_gov;
+  const OverloadResult unconstrained = RunOverload(
+      shapes, oracle, schedule, steady_db, unconstrained_opts, mem_rate);
+  const uint64_t unbounded_peak = unbounded_gov.peak_bytes();
+
+  // Phase 2 (governed): hard ceiling at 60% of that peak, plus
+  // byte-level reservation chaos — every ~257th governed reservation is
+  // an injected allocation failure. Memory rejections are typed
+  // RESOURCE_EXHAUSTED with a retry hint and final to these clients;
+  // every accepted answer must still be oracle-exact, and the accounted
+  // bytes must never cross the ceiling.
+  const uint64_t mem_hard = unbounded_peak - unbounded_peak * 2 / 5;
+  MemGovernor governed_gov;
+  governed_gov.SetWatermarks(0, mem_hard);
+  ServeOptions governed_opts = overloaded;
+  governed_opts.mem_governor = &governed_gov;
+  fault::FaultSpec flaky_reserve;
+  flaky_reserve.fire_every = 257;
+  flaky_reserve.action = [] {
+    MemGovernor::FailNextReservationOnCurrentThread();
+  };
+  fault::Arm("mem.reserve", flaky_reserve);
+  const OverloadResult governed = RunOverload(
+      shapes, oracle, schedule, steady_db, governed_opts, mem_rate);
+  fault::DisarmAll();
+
+  const MemGovernorStats& mem = governed.stats.governor;
+  const bool ceiling_ok =
+      governed_gov.peak_bytes() <= mem_hard && mem.hard_breaches == 0;
+  const double mem_p99_ratio =
+      unconstrained.accepted_p99_ms > 0
+          ? governed.accepted_p99_ms / unconstrained.accepted_p99_ms
+          : 0.0;
+  const bool mem_p99_ok =
+      governed.accepted_p99_ms <= 2.0 * unconstrained.accepted_p99_ms;
+  std::printf(
+      "  unconstrained peak %.1f MB; governed ceiling %.1f MB (60%%)\n",
+      unbounded_peak / (1024.0 * 1024.0), mem_hard / (1024.0 * 1024.0));
+  std::printf(
+      "  governed peak %.1f MB, hard breaches %llu (ceiling held: %s), "
+      "wrong answers %llu\n",
+      governed_gov.peak_bytes() / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(mem.hard_breaches),
+      ceiling_ok ? "yes" : "NO",
+      static_cast<unsigned long long>(governed.wrong_answers));
+  std::printf(
+      "  accepted p99 %.3f ms (%.2fx unconstrained %.3f ms, within 2x: %s), "
+      "failures %.1f%%\n",
+      governed.accepted_p99_ms, mem_p99_ratio, unconstrained.accepted_p99_ms,
+      mem_p99_ok ? "yes" : "NO", 100.0 * governed.failure_rate);
+  std::printf(
+      "  admit denials %llu (injected %llu), compile cancels %llu, "
+      "mem rejects %llu, mem aborts %llu, pressure evictions %llu\n",
+      static_cast<unsigned long long>(mem.admit_denials),
+      static_cast<unsigned long long>(mem.injected_denials),
+      static_cast<unsigned long long>(mem.compile_cancels),
+      static_cast<unsigned long long>(governed.stats.totals.mem_rejects),
+      static_cast<unsigned long long>(governed.stats.totals.mem_aborts),
+      static_cast<unsigned long long>(
+          governed.stats.totals.pressure_evictions));
+  std::printf(
+      "  tier transitions soft %llu / critical %llu; rejected by cause: "
+      "memory %llu, quarantine %llu\n",
+      static_cast<unsigned long long>(mem.soft_transitions),
+      static_cast<unsigned long long>(mem.critical_transitions),
+      static_cast<unsigned long long>(governed.stats.rejected_memory),
+      static_cast<unsigned long long>(governed.stats.rejected_quarantine));
+
   bench::Header("serve: recovery — chaos stream under supervision");
   // Poison: the shape whose *cheaper* ladder route demands the most
   // nodes. The serving budget is pinned between the rest of the
@@ -843,6 +920,39 @@ int main(int argc, char** argv) {
             {"client_retries", static_cast<double>(overload.retries)},
             {"retry_successes",
              static_cast<double>(overload.retry_successes)},
+        },
+        /*append=*/true);
+    bench::WriteJsonSection(
+        json_path, "memory_pressure",
+        {
+            {"unbounded_peak_bytes", static_cast<double>(unbounded_peak)},
+            {"hard_bytes", static_cast<double>(mem_hard)},
+            {"governed_peak_bytes",
+             static_cast<double>(governed_gov.peak_bytes())},
+            {"hard_breaches", static_cast<double>(mem.hard_breaches)},
+            {"ceiling_held", ceiling_ok ? 1.0 : 0.0},
+            {"wrong_answers", static_cast<double>(governed.wrong_answers)},
+            {"accepted_p99_ms", governed.accepted_p99_ms},
+            {"unconstrained_p99_ms", unconstrained.accepted_p99_ms},
+            {"p99_ratio", mem_p99_ratio},
+            {"p99_ok", mem_p99_ok ? 1.0 : 0.0},
+            {"failure_rate", governed.failure_rate},
+            {"admit_denials", static_cast<double>(mem.admit_denials)},
+            {"injected_denials", static_cast<double>(mem.injected_denials)},
+            {"compile_cancels", static_cast<double>(mem.compile_cancels)},
+            {"mem_rejects",
+             static_cast<double>(governed.stats.totals.mem_rejects)},
+            {"mem_aborts",
+             static_cast<double>(governed.stats.totals.mem_aborts)},
+            {"pressure_evictions",
+             static_cast<double>(governed.stats.totals.pressure_evictions)},
+            {"soft_transitions", static_cast<double>(mem.soft_transitions)},
+            {"critical_transitions",
+             static_cast<double>(mem.critical_transitions)},
+            {"rejected_memory",
+             static_cast<double>(governed.stats.rejected_memory)},
+            {"rejected_quarantine",
+             static_cast<double>(governed.stats.rejected_quarantine)},
         },
         /*append=*/true);
     bench::WriteJsonSection(

@@ -175,6 +175,7 @@ void ObddManager::AttachBudget(WorkBudget* budget) {
 }
 
 bool ObddManager::RefillSeqLease() {
+  if (!AdmitMemGrowth()) return false;
   budget_lease_ = static_cast<uint32_t>(budget_->AcquireLease(lease_chunk_));
   if (budget_lease_ == 0) return false;
   --budget_lease_;
@@ -182,8 +183,45 @@ bool ObddManager::RefillSeqLease() {
 }
 
 void ObddManager::RefillParLease(AllocCursor& cursor) {
+  if (!AdmitMemGrowth()) {
+    cursor.lease = 0;
+    return;
+  }
   cursor.lease = static_cast<uint32_t>(budget_->AcquireLease(lease_chunk_));
   if (cursor.lease > 0) --cursor.lease;
+}
+
+bool ObddManager::AdmitMemGrowth() {
+  if (mem_governor_ == nullptr || !mem_governor_->enabled()) return true;
+  // Worst-case accounted growth before the next refill check: the unique
+  // table may double (possibly twice while small), each memo shard may
+  // double or lazily allocate, and the node store may open fresh chunks.
+  // Charging is deny-before-allocate at this seam only, so the margin
+  // must cover everything mandatory-charged in between. Memo bytes come
+  // from the account's atomic per-layer counter, not the memos' num_slots
+  // walk — parallel workers hit this seam while other stripes grow.
+  const uint64_t burst =
+      2 * unique_.MemoryBytes() +
+      static_cast<uint64_t>(mem_account_->bytes(MemLayer::kMemo)) +
+      kMemBurstSlack;
+  if (mem_governor_->AdmitProjected(burst)) return true;
+  budget_->MarkMemoryPressure();
+  budget_->Cancel(StatusCode::kResourceExhausted);
+  return false;
+}
+
+void ObddManager::AttachMemAccount(MemAccount* account) {
+  thread_check_.Check();
+  CTSDD_CHECK_EQ(op_depth_, 0) << "AttachMemAccount inside an operation";
+  CTSDD_CHECK(!par_active_) << "AttachMemAccount inside a parallel region";
+  mem_account_ = account;
+  mem_governor_ = account != nullptr ? account->governor() : nullptr;
+  nodes_.SetMemAccount(account);
+  unique_.SetMemAccount(account);
+  ite_cache_.SetMemAccount(account);
+  nary_cache_.SetMemAccount(account);
+  ite_memo_.SetMemAccount(account);
+  nary_memo_.SetMemAccount(account);
 }
 
 Status ObddManager::Validate() const {
@@ -325,6 +363,15 @@ size_t ObddManager::GarbageCollect() {
   ite_cache_.Clear();
   nary_cache_.Clear();
   gc_stats_.reclaimed += reclaimed;
+#ifndef NDEBUG
+  // GC is a quiescent point: the rolled-up account must agree with the
+  // recomputed per-structure bytes exactly, or accounting has drifted.
+  if (mem_account_ != nullptr) {
+    CTSDD_CHECK_EQ(mem_account_->bytes(),
+                   static_cast<uint64_t>(MemoryBytes()))
+        << "OBDD memory accounting drift after GC";
+  }
+#endif
   return reclaimed;
 }
 

@@ -38,6 +38,7 @@
 #include "util/budget.h"
 #include "util/computed_cache.h"
 #include "util/logging.h"
+#include "util/mem_governor.h"
 #include "util/node_store.h"
 #include "util/scoped_memo.h"
 #include "util/spinlock.h"
@@ -189,6 +190,29 @@ class ObddManager {
   // assert aborted operations left the manager consistent. O(nodes).
   Status Validate() const;
 
+  // --- Memory accounting --------------------------------------------------
+  //
+  // AttachMemAccount charges every byte-owning structure (node store,
+  // unique table, computed caches, per-operation memos) to `account`,
+  // transferring the already-resident bytes; pass nullptr to detach.
+  // When the account chains to an enabled MemGovernor AND a budget is
+  // attached, the budget-lease refill seams become enforcement points:
+  // a refill whose worst-case allocation burst no longer fits under the
+  // hard watermark trips the budget typed RESOURCE_EXHAUSTED with the
+  // memory-pressure marker *before* allocating, so accounted bytes never
+  // cross the ceiling. Attach outside operations and parallel regions.
+
+  void AttachMemAccount(MemAccount* account);
+  MemAccount* mem_account() const { return mem_account_; }
+  // Recomputed accounted-resident bytes across all instrumented
+  // structures; equals mem_account()->bytes() at quiescent points
+  // (debug-asserted at the end of every GarbageCollect).
+  size_t MemoryBytes() const {
+    return nodes_.MemoryBytes() + unique_.MemoryBytes() +
+           ite_cache_.MemoryBytes() + nary_cache_.MemoryBytes() +
+           ite_memo_.MemoryBytes() + nary_memo_.MemoryBytes();
+  }
+
   // --- Memory lifecycle -------------------------------------------------
   //
   // The manager never frees nodes on its own: canonicity requires every
@@ -319,6 +343,11 @@ class ObddManager {
     return RefillSeqLease();
   }
   bool RefillSeqLease();
+  // Deny-before-allocate gate at the lease seams: asks the governor for
+  // headroom covering one lease's worst-case allocation burst (unique-
+  // table doubling + memo growth + fresh chunks). Trips the budget with
+  // the memory-pressure marker on denial.
+  bool AdmitMemGrowth();
   void ChargePar(AllocCursor& cursor) {
     if (cursor.lease > 0) {
       --cursor.lease;
@@ -346,6 +375,14 @@ class ObddManager {
   WorkBudget* budget_ = nullptr;
   uint32_t budget_lease_ = 0;
   uint32_t lease_chunk_ = 0;
+  // Governor accounting (may be null). The governor pointer is resolved
+  // once at attach so the refill seams pay loads, not a parent walk.
+  // The slack term in the admission burst covers fixed-size mandatory
+  // allocations a lease can trigger: node-store chunks, lazy memo-shard
+  // arrays across all stripes, and the computed caches' floor arrays.
+  static constexpr uint64_t kMemBurstSlack = 1u << 20;
+  MemAccount* mem_account_ = nullptr;
+  MemGovernor* mem_governor_ = nullptr;
   // GC state: external root ref-counts (indexed by node id, lazily grown)
   // and the free list MakeNode pops before growing nodes_. A freed slot's
   // level is set to kDeadLevel so stale-id use trips level checks fast.

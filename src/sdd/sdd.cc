@@ -218,6 +218,45 @@ void SddManager::AttachBudget(WorkBudget* budget) {
   }
 }
 
+bool SddManager::RefillLease(Ctx& cx) {
+  if (!AdmitMemGrowth()) return false;
+  cx.budget_lease =
+      static_cast<uint32_t>(budget_->AcquireLease(lease_chunk_));
+  return cx.budget_lease > 0;
+}
+
+bool SddManager::AdmitMemGrowth() {
+  if (mem_governor_ == nullptr || !mem_governor_->enabled()) return true;
+  // Worst-case accounted growth before the next refill check: the unique
+  // table may double, the apply memo may double or lazily allocate
+  // shards, and the stores/arenas may open fresh chunks. Memo bytes come
+  // from the account's atomic per-layer counter (workers hit this seam
+  // while other stripes grow); the slack covers the chunk-granular rest.
+  const uint64_t burst =
+      2 * unique_.MemoryBytes() +
+      static_cast<uint64_t>(mem_account_->bytes(MemLayer::kMemo)) +
+      kMemBurstSlack;
+  if (mem_governor_->AdmitProjected(burst)) return true;
+  budget_->MarkMemoryPressure();
+  budget_->Cancel(StatusCode::kResourceExhausted);
+  return false;
+}
+
+void SddManager::AttachMemAccount(MemAccount* account) {
+  thread_check_.Check();
+  CTSDD_CHECK_EQ(apply_depth_, 0) << "AttachMemAccount inside an operation";
+  CTSDD_CHECK(!par_active_) << "AttachMemAccount inside a parallel region";
+  mem_account_ = account;
+  mem_governor_ = account != nullptr ? account->governor() : nullptr;
+  nodes_.SetMemAccount(account);
+  fast_info_.SetMemAccount(account);
+  unique_.SetMemAccount(account);
+  apply_cache_.SetMemAccount(account);
+  sem_cache_.SetMemAccount(account);
+  apply_memo_.SetMemAccount(account);
+  for (Ctx& cx : ctxs_) cx.element_arena.SetMemAccount(account);
+}
+
 Status SddManager::Validate() const {
   const size_t n = nodes_.size();
   std::vector<bool> dead(n, false);
@@ -403,6 +442,15 @@ size_t SddManager::GarbageCollect() {
   sem_cache_.Clear();
   RebuildSemanticCache();
   gc_stats_.reclaimed += reclaimed;
+#ifndef NDEBUG
+  // GC is a quiescent point: the rolled-up account must agree with the
+  // recomputed per-structure bytes exactly, or accounting has drifted.
+  if (mem_account_ != nullptr) {
+    CTSDD_CHECK_EQ(mem_account_->bytes(),
+                   static_cast<uint64_t>(MemoryBytes()))
+        << "SDD memory accounting drift after GC";
+  }
+#endif
   return reclaimed;
 }
 

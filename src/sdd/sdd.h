@@ -57,6 +57,7 @@
 #include "util/arena.h"
 #include "util/budget.h"
 #include "util/computed_cache.h"
+#include "util/mem_governor.h"
 #include "util/node_store.h"
 #include "util/scoped_memo.h"
 #include "util/spinlock.h"
@@ -271,6 +272,31 @@ class SddManager {
   };
   const GcStats& gc_stats() const { return gc_stats_; }
 
+  // --- Memory accounting --------------------------------------------------
+  //
+  // Same contract as ObddManager: AttachMemAccount charges every byte-
+  // owning structure (both node stores, the unique table, apply/semantic
+  // caches, the apply memo, and every context's element arena) to
+  // `account`, transferring already-resident bytes; nullptr detaches.
+  // With an enabled governor in the account chain AND an attached budget,
+  // the lease-refill seams deny-before-allocate: a refill whose worst-
+  // case burst no longer fits under the hard watermark trips the budget
+  // typed RESOURCE_EXHAUSTED with the memory-pressure marker. Attach
+  // outside operations and parallel regions.
+
+  void AttachMemAccount(MemAccount* account);
+  MemAccount* mem_account() const { return mem_account_; }
+  // Recomputed accounted-resident bytes; equals mem_account()->bytes()
+  // at quiescent points (debug-asserted at the end of GarbageCollect).
+  // Sequential contexts only (walks the context arenas).
+  size_t MemoryBytes() const {
+    size_t total = nodes_.MemoryBytes() + fast_info_.MemoryBytes() +
+                   unique_.MemoryBytes() + apply_cache_.MemoryBytes() +
+                   sem_cache_.MemoryBytes() + apply_memo_.MemoryBytes();
+    for (const Ctx& cx : ctxs_) total += cx.element_arena.MemoryBytes();
+    return total;
+  }
+
   // Releases thread-affinity (debug builds assert single-threaded use);
   // the next operation binds the manager to its calling thread.
   void DetachOwningThread() { thread_check_.Detach(); }
@@ -458,21 +484,24 @@ class SddManager {
   // overshoot by the number of in-flight workers.
   bool ChargeSeq(Ctx& cx) {
     if (cx.budget_lease == 0) {
-      cx.budget_lease =
-          static_cast<uint32_t>(budget_->AcquireLease(lease_chunk_));
-      if (cx.budget_lease == 0) return false;
+      if (!RefillLease(cx)) return false;
     }
     --cx.budget_lease;
     return true;
   }
   void ChargePar(Ctx& cx) {
     if (cx.budget_lease == 0) {
-      cx.budget_lease =
-          static_cast<uint32_t>(budget_->AcquireLease(lease_chunk_));
-      if (cx.budget_lease == 0) return;
+      if (!RefillLease(cx)) return;
     }
     --cx.budget_lease;
   }
+  // Out-of-line lease refill (slow path, once per lease_chunk_
+  // allocations): the governor's deny-before-allocate admission check,
+  // then the shared-atomic lease acquisition. Safe from worker threads.
+  bool RefillLease(Ctx& cx);
+  // See ObddManager::AdmitMemGrowth: trips the budget with the memory-
+  // pressure marker when the projected burst no longer fits.
+  bool AdmitMemGrowth();
 
   // Canonicalizes (compress + trim + hash-cons) the elements in *elements,
   // which is consumed as scratch space. All recursive Apply calls the
@@ -607,7 +636,10 @@ class SddManager {
     }
   }
   void EnsureCtxSlots(size_t n) {
-    while (ctxs_.size() < n) ctxs_.emplace_back();
+    while (ctxs_.size() < n) {
+      ctxs_.emplace_back();
+      ctxs_.back().element_arena.SetMemAccount(mem_account_);
+    }
   }
 
   uint64_t CountModelsAt(NodeId a, int vnode,
@@ -683,6 +715,13 @@ class SddManager {
   // its node budget at attach time.
   WorkBudget* budget_ = nullptr;
   uint32_t lease_chunk_ = 0;
+  // Governor accounting (may be null); the governor pointer is resolved
+  // once at attach. The burst slack covers fixed-size mandatory
+  // allocations per lease: store and arena chunks, lazy memo shards,
+  // and the caches' floor arrays.
+  static constexpr uint64_t kMemBurstSlack = 1u << 20;
+  MemAccount* mem_account_ = nullptr;
+  MemGovernor* mem_governor_ = nullptr;
   // GC state: external root ref-counts (indexed by node id, lazily
   // grown), the node-id free list MakeDecision pops before growing
   // nodes_, and the size-bucketed element-span free list (spans are

@@ -28,6 +28,7 @@
 #include "obdd/obdd.h"
 #include "sdd/sdd.h"
 #include "util/hashing.h"
+#include "util/mem_governor.h"
 
 namespace ctsdd {
 
@@ -93,6 +94,15 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
+  // Attaches the governor account; entry overhead (the entry itself plus
+  // the plan's variable list) is charged under MemLayer::kPlanCache at
+  // Insert and released at eviction. The pinned diagram nodes themselves
+  // are store/arena bytes of the owning manager's account, not counted
+  // here (no double-charging). Attach before the first Insert.
+  void SetMemAccount(MemAccount* account) { account_ = account; }
+
+  size_t MemoryBytes() const { return charged_bytes_; }
+
   // Returns the cached plan (bumped to most-recently-used) or nullptr.
   // The pointer is valid until the next Insert/EvictOne/EraseIf.
   CompiledPlan* Lookup(const PlanKey& key) {
@@ -112,6 +122,7 @@ class PlanCache {
     while (entries_.size() >= capacity_) EvictOne();
     entries_.emplace_front(key, std::move(plan));
     index_.emplace(key, entries_.begin());
+    ChargeEntry(entries_.front().second, +1);
     return &entries_.front().second;
   }
 
@@ -122,6 +133,7 @@ class PlanCache {
     if (entries_.empty()) return false;
     auto& [key, plan] = entries_.back();
     if (on_evict_) on_evict_(key, plan);
+    ChargeEntry(plan, -1);
     index_.erase(key);
     entries_.pop_back();
     ++evictions_;
@@ -138,6 +150,7 @@ class PlanCache {
     for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
       if (!pred(static_cast<const CompiledPlan&>(it->second))) continue;
       if (on_evict_) on_evict_(it->first, it->second);
+      ChargeEntry(it->second, -1);
       index_.erase(it->first);
       entries_.erase(std::next(it).base());
       ++evictions_;
@@ -169,6 +182,7 @@ class PlanCache {
         continue;
       }
       if (on_evict_) on_evict_(it->first, it->second);
+      ChargeEntry(it->second, -1);
       index_.erase(it->first);
       it = entries_.erase(it);
       ++evictions_;
@@ -181,8 +195,31 @@ class PlanCache {
   uint64_t evictions() const { return evictions_; }
 
  private:
+  // Heap overhead of one cached entry: the list node payload plus the
+  // plan's variable list. Computed identically at insert and evict (the
+  // plan is immutable while cached), so charges round-trip exactly.
+  static size_t EntryBytes(const CompiledPlan& plan) {
+    return sizeof(std::pair<PlanKey, CompiledPlan>) +
+           plan.vars.capacity() * sizeof(int);
+  }
+
+  void ChargeEntry(const CompiledPlan& plan, int sign) {
+    const size_t bytes = EntryBytes(plan);
+    if (sign > 0) {
+      charged_bytes_ += bytes;
+    } else {
+      charged_bytes_ -= bytes;
+    }
+    if (account_ != nullptr) {
+      account_->Charge(MemLayer::kPlanCache,
+                       sign * static_cast<int64_t>(bytes));
+    }
+  }
+
   size_t capacity_;
   EvictFn on_evict_;
+  MemAccount* account_ = nullptr;
+  size_t charged_bytes_ = 0;
   // MRU-first entry list + key index (classic LRU layout; list iterators
   // stay valid across splice, so the index never goes stale).
   std::list<std::pair<PlanKey, CompiledPlan>> entries_;

@@ -28,6 +28,15 @@ QueryService::QueryService(ServeOptions options)
                                         4 * options.quarantine_parole_ms)})),
       sup_counters_(std::make_unique<SupervisionCounters>()) {
   CTSDD_CHECK_GT(options_.num_shards, 0);
+  // Memory governor before any shard exists: MakeWorker stamps
+  // options_.mem_governor into each worker's account at construction.
+  // An embedding that supplies its own governor keeps it; otherwise a
+  // non-zero hard watermark turns governed serving on.
+  if (options_.mem_governor == nullptr && options_.mem_hard_bytes > 0) {
+    governor_ = std::make_unique<MemGovernor>();
+    governor_->SetWatermarks(options_.mem_soft_bytes, options_.mem_hard_bytes);
+    options_.mem_governor = governor_.get();
+  }
   slots_.reserve(options_.num_shards);
   for (int i = 0; i < options_.num_shards; ++i) {
     auto slot = std::make_unique<ShardSlot>();
@@ -162,6 +171,12 @@ ServiceStats QueryService::stats() const {
                            out.supervision.failed_on_restart;
   out.totals.requests += outside;
   out.totals.failures += outside;
+  out.governor = SnapshotGovernor(options_.mem_governor);
+  // RESOURCE_EXHAUSTED by cause. The populations are disjoint: memory
+  // trips never strike quarantine (see CompilePlan), quarantine rejects
+  // never touch the governor.
+  out.rejected_quarantine = q.rejects;
+  out.rejected_memory = out.totals.mem_rejects + out.totals.mem_aborts;
   out.p50_ms = latency_->Percentile(0.50);
   out.p95_ms = latency_->Percentile(0.95);
   out.p99_ms = latency_->Percentile(0.99);

@@ -122,6 +122,10 @@ class QueryService {
   std::unique_ptr<Quarantine> quarantine_;
   // Shared atomics behind ServiceStats::supervision.
   std::unique_ptr<SupervisionCounters> sup_counters_;
+  // Process-wide memory governor (created when mem_hard_bytes > 0 and no
+  // external governor was supplied); options_.mem_governor points at it.
+  // Declared before slots_: every shard account parents into it.
+  std::unique_ptr<MemGovernor> governor_;
   // Shard table: worker pointers swap under per-slot mutexes when the
   // supervisor restarts a shard.
   std::vector<std::unique_ptr<ShardSlot>> slots_;

@@ -9,11 +9,14 @@
 #define CTSDD_SERVE_SERVE_STATS_H_
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <vector>
+
+#include "util/mem_governor.h"
 
 namespace ctsdd {
 
@@ -71,11 +74,32 @@ struct ServeOptions {
   // UNAVAILABLE with a retry hint. 0 disables the supervisor thread
   // entirely (no heartbeats, no hedging).
   double heartbeat_window_ms = 0;
-  // Hedged re-dispatch: a request waiting on one shard longer than this
-  // is re-submitted once to a healthy sibling shard; the first exact
-  // answer wins and the loser's in-flight compile budget is cancelled.
-  // 0 disables hedging. Requires the supervisor (heartbeat_window_ms).
+  // Hedged re-dispatch: a request waiting on one shard longer than the
+  // hedge threshold is re-submitted once to a healthy sibling shard; the
+  // first exact answer wins and the loser's in-flight compile budget is
+  // cancelled. 0 disables hedging. Requires the supervisor
+  // (heartbeat_window_ms). The threshold adapts per shard: each worker
+  // tracks a latency EWMA and deviation, and the supervisor hedges jobs
+  // older than ewma + 2 sigma — this value is the *floor* of that
+  // adaptive threshold and 8x this value is its ceiling, so a
+  // misbehaving estimate can neither hedge instantly nor never.
   double hedge_after_ms = 0;
+  // Memory governor watermarks over the process-total accounted bytes
+  // (util/mem_governor.h). hard = 0 disables governing entirely;
+  // soft = 0 derives soft as 3/4 of hard. With a hard ceiling set, every
+  // byte-owning structure in every shard is charged to a per-shard
+  // account rolled up into one service governor, compiles are admission-
+  // checked at their allocation seams (deny-before-allocate, typed
+  // RESOURCE_EXHAUSTED with a retry hint), and the shards run a tiered
+  // shed ladder (shrink caches, GC, evict plans, evict managers) — the
+  // hard ceiling is never crossed by accounted bytes.
+  uint64_t mem_soft_bytes = 0;
+  uint64_t mem_hard_bytes = 0;
+  // Internal plumbing: the service stamps its governor here in the
+  // options copy handed to each worker. Leave null in user-built
+  // options (a non-null value is honored, for embedding scenarios that
+  // share one governor across services).
+  MemGovernor* mem_governor = nullptr;
   // Poison-query quarantine: a signature whose compiles exhaust the
   // node budget on BOTH ladder routes this many times is negative-cached
   // and fails RESOURCE_EXHAUSTED at admission without burning a compile
@@ -174,6 +198,19 @@ struct ShardStats {
   // Largest retry_after_ms hint handed out by this shard's admission
   // control (post-clamp), for observing hint sanity under deep queues.
   double max_retry_hint_ms = 0;
+  // Memory-governor interactions (all zero when ungoverned):
+  // cold compiles rejected typed RESOURCE_EXHAUSTED at the critical
+  // pressure tier, compiles tripped mid-flight by the governor's
+  // deny-before-allocate admission (distinguished from node-budget
+  // aborts by WorkBudget's memory-pressure marker), and plan/manager
+  // evictions forced by the pressure shed ladder.
+  uint64_t mem_rejects = 0;
+  uint64_t mem_aborts = 0;
+  uint64_t pressure_evictions = 0;
+  // Accounted resident bytes of this shard (total and by layer),
+  // snapshotted from the shard's MemAccount at stats() time.
+  uint64_t mem_bytes = 0;
+  std::array<uint64_t, kMemLayerCount> mem_bytes_by_layer = {};
   int live_nodes = 0;       // resident nodes across the shard's managers
   int peak_live_nodes = 0;  // max of live_nodes over policy checks
 };
@@ -198,8 +235,55 @@ inline void AccumulateShardStats(ShardStats& into, const ShardStats& s) {
   into.duplicate_skips += s.duplicate_skips;
   into.max_retry_hint_ms =
       std::max(into.max_retry_hint_ms, s.max_retry_hint_ms);
+  into.mem_rejects += s.mem_rejects;
+  into.mem_aborts += s.mem_aborts;
+  into.pressure_evictions += s.pressure_evictions;
+  into.mem_bytes += s.mem_bytes;
+  for (int l = 0; l < kMemLayerCount; ++l) {
+    into.mem_bytes_by_layer[static_cast<size_t>(l)] +=
+        s.mem_bytes_by_layer[static_cast<size_t>(l)];
+  }
   into.live_nodes += s.live_nodes;
   into.peak_live_nodes += s.peak_live_nodes;
+}
+
+// Snapshot of the service's memory governor (all zero / disabled when no
+// hard watermark is configured).
+struct MemGovernorStats {
+  bool enabled = false;
+  uint64_t soft_bytes = 0;
+  uint64_t hard_bytes = 0;
+  uint64_t bytes = 0;       // current governor-accounted process bytes
+  uint64_t peak_bytes = 0;  // high-water mark of the above
+  int tier = 0;             // MemGovernor::Tier at snapshot time
+  uint64_t admit_denials = 0;
+  uint64_t optional_growth_denials = 0;
+  uint64_t compile_cancels = 0;
+  uint64_t injected_denials = 0;  // mem.reserve fault-injected denials
+  uint64_t soft_transitions = 0;
+  uint64_t critical_transitions = 0;
+  // Charges observed above the hard ceiling — zero by construction when
+  // every allocating path reserves first; tests and the bench gate on it.
+  uint64_t hard_breaches = 0;
+};
+
+inline MemGovernorStats SnapshotGovernor(const MemGovernor* gov) {
+  MemGovernorStats out;
+  if (gov == nullptr) return out;
+  out.enabled = gov->enabled();
+  out.soft_bytes = gov->soft_bytes();
+  out.hard_bytes = gov->hard_bytes();
+  out.bytes = gov->bytes();
+  out.peak_bytes = gov->peak_bytes();
+  out.tier = static_cast<int>(gov->tier());
+  out.admit_denials = gov->admit_denials();
+  out.optional_growth_denials = gov->optional_growth_denials();
+  out.compile_cancels = gov->compile_cancels();
+  out.injected_denials = gov->injected_denials();
+  out.soft_transitions = gov->soft_transitions();
+  out.critical_transitions = gov->critical_transitions();
+  out.hard_breaches = gov->hard_breaches();
+  return out;
 }
 
 // Aggregated service view (sums over shards + latency percentiles).
@@ -208,6 +292,13 @@ inline void AccumulateShardStats(ShardStats& into, const ShardStats& s) {
 struct ServiceStats {
   ShardStats totals;
   SupervisionStats supervision;
+  MemGovernorStats governor;
+  // RESOURCE_EXHAUSTED responses split by cause: memory pressure
+  // (critical-tier cold-compile rejects + governor-tripped compiles) vs
+  // poison-query quarantine. Memory rejects never feed quarantine
+  // strikes, so the two populations are disjoint.
+  uint64_t rejected_memory = 0;
+  uint64_t rejected_quarantine = 0;
   int num_shards = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;

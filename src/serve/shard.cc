@@ -1,6 +1,7 @@
 #include "serve/shard.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <utility>
 
@@ -49,7 +50,12 @@ ShardWorker::ShardWorker(int shard_id, const ServeOptions& options,
                if (plan.obdd) plan.obdd->ReleaseRootRef(plan.obdd_root);
                if (plan.sdd) plan.sdd->ReleaseRootRef(plan.sdd_root);
              }),
-      thread_(&ShardWorker::Loop, this) {}
+      thread_(&ShardWorker::Loop, this) {
+  // Safe after the worker thread started: no job can be submitted (and
+  // so no byte charged) before this constructor returns the worker.
+  account_.SetGovernor(options_.mem_governor);
+  plans_.SetMemAccount(&account_);
+}
 
 ShardWorker::~ShardWorker() {
   {
@@ -99,14 +105,31 @@ bool ShardWorker::Submit(const ShardJob& job, double* retry_after_ms) {
 }
 
 ShardStats ShardWorker::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ShardStats out = stats_;
+  ShardStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
   // Shed counts and retry hints are written on client threads at
   // admission; fold them in here so they show even when the worker
   // never published a snapshot.
   out.sheds = sheds_.load(std::memory_order_relaxed);
   out.max_retry_hint_ms = max_retry_hint_.load(std::memory_order_relaxed);
+  // Byte accounting reads straight from the shard account's atomics —
+  // always current, even mid-compile.
+  out.mem_bytes = account_.bytes();
+  for (int l = 0; l < kMemLayerCount; ++l) {
+    out.mem_bytes_by_layer[static_cast<size_t>(l)] =
+        account_.bytes(static_cast<MemLayer>(l));
+  }
   return out;
+}
+
+double ShardWorker::AdaptiveHedgeMs(double floor_ms) const {
+  const double ewma = ewma_service_ms_.load(std::memory_order_relaxed);
+  const double var = ewma_var_ms2_.load(std::memory_order_relaxed);
+  const double threshold = ewma + 2.0 * std::sqrt(std::max(var, 0.0));
+  return std::clamp(threshold, floor_ms, 8.0 * floor_ms);
 }
 
 void ShardWorker::Retire(std::vector<ShardJob>* drained, ShardJob* in_flight) {
@@ -216,6 +239,20 @@ void ShardWorker::Process(const ShardJob& job) {
       FinishJob(job, response, timer.ElapsedMillis());
       return;
     }
+    // Critical-tier admission tightening: a cold compile is the one
+    // discretionary load a pressured process can refuse outright. Reject
+    // it typed with a backoff hint (cache hits above keep serving) and
+    // run the shed ladder now — the reject alone frees nothing.
+    if (options_.mem_governor != nullptr &&
+        options_.mem_governor->tier() == MemGovernor::Tier::kCritical) {
+      ++local_mem_rejects_;
+      RunMemPressureLadder();
+      response.status = Status::ResourceExhausted(
+          "memory pressure: cold compile rejected; retry later");
+      response.retry_after_ms = MemRetryHintMs();
+      FinishJob(job, response, timer.ElapsedMillis());
+      return;
+    }
     auto compiled = CompilePlan(job);
     if (compiled.ok()) {
       plan = plans_.Insert(state.key, std::move(compiled).value());
@@ -224,6 +261,12 @@ void ShardWorker::Process(const ShardJob& job) {
       }
     } else {
       response.status = compiled.status();
+      if (last_compile_mem_pressure_) {
+        // The governor tripped this compile at an allocation seam: hand
+        // the client a backoff hint and shed before the next request.
+        response.retry_after_ms = MemRetryHintMs();
+        RunMemPressureLadder();
+      }
     }
   }
   Beat();
@@ -273,7 +316,14 @@ void ShardWorker::FinishJob(const ShardJob& job, QueryResponse& response,
   }
   latency_->Record(ms);
   const double ewma = ewma_service_ms_.load(std::memory_order_relaxed);
-  ewma_service_ms_.store(0.8 * ewma + 0.2 * ms, std::memory_order_relaxed);
+  const double next_ewma = 0.8 * ewma + 0.2 * ms;
+  ewma_service_ms_.store(next_ewma, std::memory_order_relaxed);
+  // Squared-deviation EWMA of the same stream: the spread estimate
+  // behind the adaptive hedge threshold (ewma + 2 sigma).
+  const double dev = ms - next_ewma;
+  const double var = ewma_var_ms2_.load(std::memory_order_relaxed);
+  ewma_var_ms2_.store(0.8 * var + 0.2 * dev * dev,
+                      std::memory_order_relaxed);
   // Publish counters before waking the submitter: a stats() call racing
   // the batch's return must already see this request accounted for.
   UpdateStats();
@@ -306,6 +356,7 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
   const QueryRequest& request = state.request;
   const int side = job.is_hedge ? 1 : 0;
   ++local_compiles_;
+  last_compile_mem_pressure_ = false;
   auto lineage = BuildLineage(request.query, *request.db);
   CTSDD_RETURN_IF_ERROR(lineage.status());
   const Circuit& circuit = lineage.value();
@@ -322,7 +373,7 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
   }
 
   if (options_.compile_node_budget == 0 && !state.has_deadline &&
-      sup_ == nullptr) {
+      sup_ == nullptr && options_.mem_governor == nullptr) {
     // Unbudgeted fast path: no budget attached, no abort branches taken.
     // Under supervision the budgeted path runs even with unlimited
     // limits — its lease pulse is what keeps a long compile's heartbeat
@@ -338,11 +389,18 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
   auto first = CompileRoute(request, request.route, circuit, vars, &primary);
   t_active_budget = nullptr;
   state.RegisterBudget(side, nullptr);
-  if (first.ok() || primary.reason() != StatusCode::kResourceExhausted) {
+  if (first.ok() || primary.reason() != StatusCode::kResourceExhausted ||
+      primary.memory_pressure()) {
     // Success, a non-budget failure (e.g. bad vtree), or a deadline/
     // cancel trip — the ladder only retries node-budget exhaustion
     // (more time cannot be bought, but a different representation can
-    // be smaller).
+    // be smaller). A memory-pressure trip also returns directly: the
+    // alternate route would hit the same process-wide ceiling, so the
+    // caller sheds and backs the client off instead.
+    if (!first.ok() && primary.memory_pressure()) {
+      ++local_mem_aborts_;
+      last_compile_mem_pressure_ = true;
+    }
     return first;
   }
   ++local_budget_aborts_;
@@ -357,6 +415,13 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
   state.RegisterBudget(side, nullptr);
   if (second.ok()) return second;
   if (fallback.reason() == StatusCode::kResourceExhausted) {
+    if (fallback.memory_pressure()) {
+      // The fallback died at the memory ceiling, not on its node budget:
+      // a process-state problem, not a poison signature — no strike.
+      ++local_mem_aborts_;
+      last_compile_mem_pressure_ = true;
+      return second;
+    }
     ++local_budget_aborts_;
     // Both ladder routes exhausted their budgets: this signature is
     // poison for the current budget — strike it so repeats stop burning
@@ -379,10 +444,18 @@ StatusOr<CompiledPlan> ShardWorker::CompileRoute(const QueryRequest& request,
   plan.route = route;
   plan.lineage_gates = circuit.num_gates();
   plan.vars = std::move(vars);
+  MemGovernor* gov = options_.mem_governor;
   if (route == PlanRoute::kObdd) {
     ObddManager* manager = ObddFor(plan.vars);
     if (budget != nullptr) manager->AttachBudget(budget);
+    // Register with the governor while the compile is in flight: when
+    // another shard drives the process to the hard ceiling, the governor
+    // cancels the largest registered compile by account bytes.
+    if (gov != nullptr && budget != nullptr) {
+      gov->RegisterCompile(budget, manager->mem_account());
+    }
     const auto root = CompileCircuitToObdd(manager, circuit);
+    if (gov != nullptr && budget != nullptr) gov->UnregisterCompile(budget);
     if (budget != nullptr) manager->DetachBudget();
     if (root < 0) {
       // Reclaim the aborted compile's partial nodes now instead of
@@ -401,7 +474,11 @@ StatusOr<CompiledPlan> ShardWorker::CompileRoute(const QueryRequest& request,
     CTSDD_RETURN_IF_ERROR(vtree.status());
     SddManager* manager = SddFor(std::move(vtree).value());
     if (budget != nullptr) manager->AttachBudget(budget);
+    if (gov != nullptr && budget != nullptr) {
+      gov->RegisterCompile(budget, manager->mem_account());
+    }
     const auto root = CompileCircuitToSdd(manager, circuit);
+    if (gov != nullptr && budget != nullptr) gov->UnregisterCompile(budget);
     if (budget != nullptr) manager->DetachBudget();
     if (root < 0) {
       TimedGc(manager);
@@ -457,11 +534,12 @@ ObddManager* ShardWorker::ObddFor(const std::vector<int>& order) {
     obdd_pool_.erase(victim);
     ++local_manager_evictions_;
   }
-  obdd_pool_.push_back(
-      {order, std::make_unique<ObddManager>(order), ++use_clock_});
+  obdd_pool_.push_back({order, std::make_unique<MemAccount>(&account_),
+                        std::make_unique<ObddManager>(order), ++use_clock_});
   // Lend the managers the service-wide pool: cold compiles inside this
   // manager fork across its workers (exec-managed parallel regions).
   obdd_pool_.back().manager->AttachExecutor(exec_pool_);
+  obdd_pool_.back().manager->AttachMemAccount(obdd_pool_.back().account.get());
   return obdd_pool_.back().manager.get();
 }
 
@@ -484,10 +562,11 @@ SddManager* ShardWorker::SddFor(Vtree vtree) {
     sdd_pool_.erase(victim);
     ++local_manager_evictions_;
   }
-  sdd_pool_.push_back({std::move(key),
+  sdd_pool_.push_back({std::move(key), std::make_unique<MemAccount>(&account_),
                        std::make_unique<SddManager>(std::move(vtree)),
                        ++use_clock_});
   sdd_pool_.back().manager->AttachExecutor(exec_pool_);
+  sdd_pool_.back().manager->AttachMemAccount(sdd_pool_.back().account.get());
   return sdd_pool_.back().manager.get();
 }
 
@@ -501,7 +580,73 @@ size_t ShardWorker::TimedGc(Manager* manager) {
   return reclaimed;
 }
 
+double ShardWorker::MemRetryHintMs() const {
+  // A few service times of backoff: enough for the ladder run the caller
+  // just triggered to take effect before the client retries.
+  return std::clamp(4.0 * ewma_service_ms_.load(std::memory_order_relaxed),
+                    0.1, std::max(0.1, options_.retry_after_max_ms));
+}
+
+bool ShardWorker::EvictLruManager() {
+  const auto obdd_it =
+      std::min_element(obdd_pool_.begin(), obdd_pool_.end(),
+                       [](const PooledObdd& a, const PooledObdd& b) {
+                         return a.last_used < b.last_used;
+                       });
+  const auto sdd_it =
+      std::min_element(sdd_pool_.begin(), sdd_pool_.end(),
+                       [](const PooledSdd& a, const PooledSdd& b) {
+                         return a.last_used < b.last_used;
+                       });
+  const bool have_obdd = obdd_it != obdd_pool_.end();
+  const bool have_sdd = sdd_it != sdd_pool_.end();
+  if (!have_obdd && !have_sdd) return false;
+  if (have_obdd && (!have_sdd || obdd_it->last_used <= sdd_it->last_used)) {
+    ObddManager* dying = obdd_it->manager.get();
+    plans_.EraseIf([dying](const CompiledPlan& p) { return p.obdd == dying; });
+    obdd_pool_.erase(obdd_it);
+  } else {
+    SddManager* dying = sdd_it->manager.get();
+    plans_.EraseIf([dying](const CompiledPlan& p) { return p.sdd == dying; });
+    sdd_pool_.erase(sdd_it);
+  }
+  ++local_manager_evictions_;
+  return true;
+}
+
+void ShardWorker::RunMemPressureLadder() {
+  MemGovernor* gov = options_.mem_governor;
+  if (gov == nullptr || gov->tier() == MemGovernor::Tier::kNone) return;
+  // Soft tier: give back everything that regrows on demand — collect
+  // garbage and shrink the computed caches in every pooled manager.
+  for (PooledObdd& e : obdd_pool_) {
+    TimedGc(e.manager.get());
+    e.manager->ShrinkCaches();
+  }
+  for (PooledSdd& e : sdd_pool_) {
+    TimedGc(e.manager.get());
+    e.manager->ShrinkCaches();
+  }
+  // Critical tier: shed state — unpinned (LRU) plans in batches, each
+  // batch followed by a collection so the released roots turn into
+  // bytes; then whole managers. Destroying a manager is the only step
+  // that returns node-store and arena chunks to the allocator.
+  while (gov->tier() == MemGovernor::Tier::kCritical) {
+    int evicted = 0;
+    while (evicted < 8 && plans_.EvictOne()) ++evicted;
+    if (evicted > 0) {
+      local_pressure_evictions_ += static_cast<uint64_t>(evicted);
+      for (PooledObdd& e : obdd_pool_) TimedGc(e.manager.get());
+      for (PooledSdd& e : sdd_pool_) TimedGc(e.manager.get());
+      continue;
+    }
+    if (!EvictLruManager()) break;  // nothing left to shed on this shard
+    ++local_pressure_evictions_;
+  }
+}
+
 void ShardWorker::RunGcPolicy() {
+  RunMemPressureLadder();
   size_t reclaimed_this_check = 0;
   bool saw_pressure = false;
   const auto enforce = [&](auto* manager) {
@@ -562,6 +707,9 @@ void ShardWorker::UpdateStats() {
   stats_.gc_runs = local_gc_runs_;
   stats_.gc_reclaimed = local_gc_reclaimed_;
   stats_.manager_evictions = local_manager_evictions_;
+  stats_.mem_rejects = local_mem_rejects_;
+  stats_.mem_aborts = local_mem_aborts_;
+  stats_.pressure_evictions = local_pressure_evictions_;
   stats_.live_nodes = live;
   stats_.peak_live_nodes = local_peak_live_;
 }

@@ -29,6 +29,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -171,6 +172,18 @@ class ShardWorker {
   // Consistent snapshot of the shard's counters (thread-safe).
   ShardStats stats() const;
 
+  // The shard's memory account (root of its managers' and plan cache's
+  // accounting subtree); chains to the service governor when one is
+  // configured. Byte reads are thread-safe.
+  const MemAccount& mem_account() const { return account_; }
+
+  // Adaptive hedge threshold for this shard: latency EWMA plus two
+  // standard deviations (of the same smoothing window), clamped to
+  // [floor_ms, 8 * floor_ms] so a cold or misbehaving estimate can
+  // neither hedge instantly nor never. Thread-safe (supervisor reads it
+  // each scan).
+  double AdaptiveHedgeMs(double floor_ms) const;
+
   // --- Supervision surface (all thread-safe) ---
 
   // Progress counter stamped at every job phase; a busy worker whose
@@ -206,13 +219,21 @@ class ShardWorker {
   static void TripActiveBudgetOnCurrentThread(StatusCode code);
 
  private:
+  // The account is declared before the manager so the manager is
+  // destroyed first and releases its bytes into it. Heap-held (and the
+  // pools are std::list, whose entries are never moved or re-assigned)
+  // so the address the manager's structures charge through is stable —
+  // and so no container operation can destroy an account while a live
+  // manager still points at it.
   struct PooledObdd {
     std::vector<int> order;  // exact key: the manager's variable order
+    std::unique_ptr<MemAccount> account;
     std::unique_ptr<ObddManager> manager;
     uint64_t last_used = 0;
   };
   struct PooledSdd {
     std::string vtree_key;  // exact key: serialized vtree structure
+    std::unique_ptr<MemAccount> account;
     std::unique_ptr<SddManager> manager;
     uint64_t last_used = 0;
   };
@@ -241,6 +262,17 @@ class ShardWorker {
   SddManager* SddFor(Vtree vtree);
   // Ceiling enforcement + resident-node accounting (see file comment).
   void RunGcPolicy();
+  // Memory-pressure shed ladder, run when the governor reports pressure:
+  // shrink caches + collect every pooled manager (soft tier), then while
+  // still critical evict LRU plans and finally whole LRU managers —
+  // manager destruction being the only step that returns store/arena
+  // chunk bytes to the allocator.
+  void RunMemPressureLadder();
+  // Backoff hint attached to memory-pressure rejects.
+  double MemRetryHintMs() const;
+  // LRU manager eviction across both pools (plans inside it first);
+  // false when both pools are empty.
+  bool EvictLruManager();
   // GarbageCollect with the pause recorded into the service's GC
   // latency reservoir and the shard's reclaim counters.
   template <typename Manager>
@@ -255,12 +287,18 @@ class ShardWorker {
   Quarantine* const quarantine_;       // shared, may be null
   SupervisionCounters* const sup_;     // shared, may be null
 
+  // Shard memory account: parent of the per-manager accounts and the
+  // plan cache's charges; chains to the service governor (stamped into
+  // options_.mem_governor). Declared before the pools and the plan
+  // cache so everything releasing bytes into it is destroyed first.
+  MemAccount account_;
+
   // Worker-thread state (no locking: only the worker touches it). The
   // pools are declared before the plan cache so the cache — whose
   // eviction callback releases root refs into the pooled managers — is
   // destroyed first.
-  std::vector<PooledObdd> obdd_pool_;
-  std::vector<PooledSdd> sdd_pool_;
+  std::list<PooledObdd> obdd_pool_;
+  std::list<PooledSdd> sdd_pool_;
   PlanCache plans_;
   uint64_t use_clock_ = 0;
   int requests_since_gc_check_ = 0;
@@ -280,10 +318,20 @@ class ShardWorker {
   uint64_t local_fallbacks_ = 0;
   uint64_t local_budget_aborts_ = 0;
   uint64_t local_duplicate_skips_ = 0;
+  uint64_t local_mem_rejects_ = 0;
+  uint64_t local_mem_aborts_ = 0;
+  uint64_t local_pressure_evictions_ = 0;
+  // Set by CompilePlan when the compile it just ran was tripped by the
+  // memory governor (worker-thread local; read by Process immediately
+  // after the CompilePlan call).
+  bool last_compile_mem_pressure_ = false;
   int local_peak_live_ = 0;
   // Written by the worker thread, read by Submit on client threads for
   // the retry-after hint.
   std::atomic<double> ewma_service_ms_{1.0};
+  // Squared-deviation EWMA of the same latency stream (same 0.8/0.2
+  // smoothing), read by the supervisor for the adaptive hedge threshold.
+  std::atomic<double> ewma_var_ms2_{0.0};
   // Bumped by Submit (client threads) when admission sheds a job.
   std::atomic<uint64_t> sheds_{0};
   // Largest post-clamp retry hint handed out (client threads; CAS max).

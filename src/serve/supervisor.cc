@@ -141,13 +141,18 @@ void Supervisor::Restart(size_t i, std::shared_ptr<ShardWorker> old,
 }
 
 void Supervisor::DispatchHedges(std::chrono::steady_clock::time_point now) {
-  const auto cutoff =
-      now - std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                std::chrono::duration<double, std::milli>(
-                    options_.hedge_after_ms));
   std::vector<std::shared_ptr<JobState>> candidates;
   for (const auto& slot : *slots_) {
-    slot->Get()->CollectHedgeCandidates(cutoff, &candidates);
+    // Per-shard adaptive threshold: the shard's own latency EWMA plus
+    // two sigma, clamped to [hedge_after_ms, 8x]. A shard serving cache
+    // hits hedges stragglers fast; one grinding through cold compiles
+    // does not hedge its own normal work.
+    std::shared_ptr<ShardWorker> worker = slot->Get();
+    const double after_ms = worker->AdaptiveHedgeMs(options_.hedge_after_ms);
+    const auto cutoff =
+        now - std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(after_ms));
+    worker->CollectHedgeCandidates(cutoff, &candidates);
   }
   for (std::shared_ptr<JobState>& state : candidates) {
     // Next healthy sibling of the primary shard. With every sibling

@@ -7,19 +7,33 @@
 // recursive Apply calls create new nodes. Oversized requests get a
 // dedicated chunk. No individual free: the arena lives as long as its
 // manager, like the node store itself.
+//
+// Memory-governor accounting: chunk allocations (the only allocation
+// events) charge their exact byte size to an attached MemAccount, and the
+// destructor releases the total — so charges are chunk-granular and the
+// arena's accounted bytes equal MemoryBytes() at all times.
 
 #ifndef CTSDD_UTIL_ARENA_H_
 #define CTSDD_UTIL_ARENA_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
+
+#include "util/mem_governor.h"
 
 namespace ctsdd {
 
 template <typename T, size_t kChunkSize = 4096>
 class PoolArena {
  public:
+  ~PoolArena() {
+    if (account_ != nullptr && bytes_ > 0) {
+      account_->Charge(MemLayer::kArena, -static_cast<int64_t>(bytes_));
+    }
+  }
+
   // Pointer stays valid for the arena's lifetime.
   T* Allocate(size_t n) {
     if (n == 0) return nullptr;
@@ -27,6 +41,7 @@ class PoolArena {
       // Dedicated chunk, spliced in *behind* the active chunk so the
       // current chunk's remaining capacity is not orphaned.
       chunks_.emplace_back(new T[n]);
+      ChargeChunk(n);
       T* out = chunks_.back().get();
       if (chunks_.size() >= 2) {
         std::swap(chunks_[chunks_.size() - 2], chunks_.back());
@@ -37,6 +52,7 @@ class PoolArena {
     }
     if (chunks_.empty() || used_ + n > kChunkSize) {
       chunks_.emplace_back(new T[kChunkSize]);
+      ChargeChunk(kChunkSize);
       used_ = 0;
     }
     T* out = chunks_.back().get() + used_;
@@ -46,9 +62,36 @@ class PoolArena {
 
   size_t num_chunks() const { return chunks_.size(); }
 
+  // Attaches the governor account (releasing from any previous one).
+  // Call from the owning thread; the arena itself is single-owner.
+  void SetMemAccount(MemAccount* account) {
+    if (account_ != nullptr && bytes_ > 0) {
+      account_->Charge(MemLayer::kArena, -static_cast<int64_t>(bytes_));
+    }
+    account_ = account;
+    if (account_ != nullptr && bytes_ > 0) {
+      account_->Charge(MemLayer::kArena, static_cast<int64_t>(bytes_));
+    }
+  }
+
+  // Recomputed resident bytes (tracked at allocation, verified against
+  // the account at quiescent points).
+  size_t MemoryBytes() const { return bytes_; }
+
  private:
+  void ChargeChunk(size_t n) {
+    const size_t chunk_bytes = n * sizeof(T);
+    bytes_ += chunk_bytes;
+    if (account_ != nullptr) {
+      account_->Charge(MemLayer::kArena,
+                       static_cast<int64_t>(chunk_bytes));
+    }
+  }
+
   std::vector<std::unique_ptr<T[]>> chunks_;
   size_t used_ = 0;
+  size_t bytes_ = 0;
+  MemAccount* account_ = nullptr;
 };
 
 }  // namespace ctsdd

@@ -88,6 +88,18 @@ class WorkBudget {
     }
   }
 
+  // Marks this budget's trip as memory-pressure-caused (set by the
+  // memory governor just before Cancel(kResourceExhausted)). Serving
+  // uses the marker to keep pressure rejects out of the poison
+  // quarantine: a compile denied for process memory says nothing about
+  // the query. Sticky for the budget's lifetime.
+  void MarkMemoryPressure() {
+    memory_pressure_.store(true, std::memory_order_release);
+  }
+  bool memory_pressure() const {
+    return memory_pressure_.load(std::memory_order_acquire);
+  }
+
   // Binds a liveness pulse: every granted lease bumps `*pulse`. Shard
   // supervision reads the same counter as the worker's heartbeat, so a
   // long compile that is still allocating reads as progress while a
@@ -149,6 +161,7 @@ class WorkBudget {
   std::atomic<uint32_t> polls_{0};
   std::atomic<int> reason_{0};  // StatusCode of the first trip, 0 = none
   std::atomic<bool> tripped_flag_{false};
+  std::atomic<bool> memory_pressure_{false};
 };
 
 }  // namespace ctsdd

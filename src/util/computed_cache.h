@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/mem_governor.h"
 #include "util/spinlock.h"
 
 namespace ctsdd {
@@ -57,6 +58,33 @@ class ComputedCache {
     init_slots_ = std::min(init_slots_, max_slots_);
   }
 
+  ~ComputedCache() {
+    if (account_ != nullptr && charged_bytes_ > 0) {
+      account_->Charge(MemLayer::kCache,
+                       -static_cast<int64_t>(charged_bytes_));
+    }
+  }
+
+  // Attaches the governor account. Cache growth is *discretionary*: a
+  // miss only costs recomputation, so above the soft watermark the
+  // governor denies doubling (and clamps presizes) instead of being
+  // charged for it — the one layer that sheds by simply not growing.
+  // Sequential-context only (growth never happens inside the striped
+  // protocol).
+  void SetMemAccount(MemAccount* account) {
+    if (account_ != nullptr && charged_bytes_ > 0) {
+      account_->Charge(MemLayer::kCache,
+                       -static_cast<int64_t>(charged_bytes_));
+    }
+    account_ = account;
+    if (account_ != nullptr && charged_bytes_ > 0) {
+      account_->Charge(MemLayer::kCache,
+                       static_cast<int64_t>(charged_bytes_));
+    }
+  }
+
+  size_t MemoryBytes() const { return slots_.size() * sizeof(Slot); }
+
   size_t num_slots() const { return slots_.size(); }
   size_t max_slots() const { return max_slots_; }
   uint64_t lookups() const {
@@ -80,7 +108,13 @@ class ComputedCache {
 
   void Store(uint64_t hash, Key key, Value value) {
     if (slots_.empty()) {
-      slots_.resize(init_slots_);
+      // Under soft-watermark pressure the lazy array comes up at the
+      // floor instead of the tuned init size; misses recompute.
+      const size_t init = AllowGrowthTo(init_slots_)
+                              ? init_slots_
+                              : std::min(init_slots_, kInitialSlots);
+      slots_.resize(init);
+      SyncBytes();
     }
     Slot& slot = slots_[hash & (slots_.size() - 1)];
     if (slot.stamp == generation_ && !(slot.key == key)) {
@@ -88,7 +122,7 @@ class ComputedCache {
       // churned since the last resize, the live result set has outgrown
       // the array — double it (within the bound) instead of thrashing.
       if (++evictions_ >= slots_.size() / 2 + 1 &&
-          slots_.size() < max_slots_) {
+          slots_.size() < max_slots_ && AllowGrowthTo(slots_.size() * 2)) {
         Grow();
         Slot& moved = slots_[hash & (slots_.size() - 1)];
         moved.hash = hash;
@@ -116,12 +150,22 @@ class ComputedCache {
     }
     size_t target = std::max<size_t>(min_slots, kStripes);
     target = std::min(target, max_slots_);
+    size_t init = init_slots_;
+    // The presize is a warm-up optimization (the array is frozen for the
+    // region, so thrash would be locked in); under pressure the governor
+    // trades that thrash for bytes. One slot per stripe stays mandatory.
+    if (!AllowGrowthTo(std::max(target, init))) {
+      target = std::min<size_t>(std::max<size_t>(kStripes, kInitialSlots),
+                                max_slots_);
+      init = target;
+    }
     if (slots_.empty()) {
-      size_t n = init_slots_;
+      size_t n = init;
       while (n < target) n <<= 1;
       slots_.resize(std::min(n, max_slots_));
     }
     while (slots_.size() < target) Grow();
+    SyncBytes();
     concurrent_ = true;
   }
 
@@ -165,6 +209,7 @@ class ComputedCache {
     evictions_ = 0;
     slots_.clear();
     slots_.shrink_to_fit();
+    SyncBytes();
   }
 
  private:
@@ -186,11 +231,34 @@ class ComputedCache {
       slots_[s.hash & (slots_.size() - 1)] = std::move(s);
     }
     evictions_ = 0;
+    SyncBytes();
+  }
+
+  // True iff sizing the slot array to `target_slots` is within the
+  // governor's discretionary-growth allowance (always true ungoverned).
+  bool AllowGrowthTo(size_t target_slots) const {
+    if (account_ == nullptr || target_slots <= slots_.size()) return true;
+    MemGovernor* gov = account_->governor();
+    if (gov == nullptr) return true;
+    return gov->AllowOptionalGrowth(
+        (target_slots - slots_.size()) * sizeof(Slot));
+  }
+
+  void SyncBytes() {
+    const size_t now = slots_.size() * sizeof(Slot);
+    if (account_ != nullptr && now != charged_bytes_) {
+      account_->Charge(MemLayer::kCache, static_cast<int64_t>(now) -
+                                             static_cast<int64_t>(
+                                                 charged_bytes_));
+    }
+    charged_bytes_ = now;
   }
 
   std::vector<Slot> slots_;
   size_t max_slots_ = 0;
   size_t init_slots_ = kInitialSlots;
+  size_t charged_bytes_ = 0;
+  MemAccount* account_ = nullptr;
   uint32_t generation_ = 1;
   uint64_t lookups_ = 0;
   uint64_t hits_ = 0;

@@ -39,10 +39,12 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/mem_governor.h"
 
 namespace ctsdd {
 
@@ -58,6 +60,10 @@ class NodeStore {
 
   ~NodeStore() {
     for (size_t i = 0; i < num_chunks_; ++i) delete[] chunks_[i];
+    if (account_ != nullptr && num_chunks_ > 0) {
+      account_->Charge(MemLayer::kNodeStore,
+                       -static_cast<int64_t>(num_chunks_ * kChunkBytes));
+    }
   }
 
   NodeStore(const NodeStore&) = delete;
@@ -93,7 +99,31 @@ class NodeStore {
   // per-node FastInfo records). Thread-safe.
   void Reserve(size_t upto) { EnsureCapacity(upto); }
 
+  // Memory-governor accounting: charges the already-allocated chunks to
+  // `account` (releasing them from any previous account) and every
+  // future chunk as it is created. Attach while quiescent or from the
+  // owning thread; charges themselves are chunk-granular and ride the
+  // grow lock.
+  void SetMemAccount(MemAccount* account) {
+    std::lock_guard<std::mutex> lock(grow_mu_);
+    const int64_t held = static_cast<int64_t>(num_chunks_ * kChunkBytes);
+    if (account_ != nullptr && held > 0) {
+      account_->Charge(MemLayer::kNodeStore, -held);
+    }
+    account_ = account;
+    if (account_ != nullptr && held > 0) {
+      account_->Charge(MemLayer::kNodeStore, held);
+    }
+  }
+
+  // Recomputed resident bytes, for exactness asserts at quiescent points.
+  size_t MemoryBytes() const {
+    return chunks_ready_.load(std::memory_order_acquire) * kChunkBytes;
+  }
+
  private:
+  static constexpr size_t kChunkBytes = kChunkSize * sizeof(T);
+
   // Makes every chunk covering ids [0, upto) exist. Thread-safe; cheap
   // when already satisfied (one relaxed load).
   void EnsureCapacity(size_t upto) {
@@ -109,6 +139,10 @@ class NodeStore {
       // of a chunk is paid by use, not by allocation.
       chunks_[num_chunks_] = new T[kChunkSize];
       ++num_chunks_;
+      if (account_ != nullptr) {
+        account_->Charge(MemLayer::kNodeStore,
+                         static_cast<int64_t>(kChunkBytes));
+      }
     }
     // The release pairs with the fast-path acquire above: a claimer that
     // sees chunks_ready_ >= needed also sees the chunk pointers. Readers
@@ -120,6 +154,7 @@ class NodeStore {
   std::atomic<size_t> size_{0};
   std::atomic<size_t> chunks_ready_{0};  // fast-path guard
   size_t num_chunks_ = 0;                // guarded by grow_mu_
+  MemAccount* account_ = nullptr;        // guarded by grow_mu_
   std::mutex grow_mu_;
   T* chunks_[kMaxChunks];
 };

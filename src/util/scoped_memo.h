@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/mem_governor.h"
 #include "util/spinlock.h"
 
 namespace ctsdd {
@@ -47,6 +48,24 @@ class ScopedMemo {
     trim_slots_ = kInitialSlots;
     while (trim_slots_ < trim_slots) trim_slots_ <<= 1;
   }
+
+  ~ScopedMemo() {
+    ChargeBytes(-static_cast<int64_t>(num_slots() * sizeof(Slot)));
+  }
+
+  // Attaches the governor account (releasing from any previous one).
+  // Memo growth is *mandatory* — linear probing needs headroom for
+  // exactness — so it is charged, never denied; the managers' admission
+  // burst margin covers it. Attach while quiescent; growth charges may
+  // come from stripe threads (the account is atomic).
+  void SetMemAccount(MemAccount* account) {
+    const int64_t held = static_cast<int64_t>(num_slots() * sizeof(Slot));
+    ChargeBytes(-held);
+    account_ = account;
+    ChargeBytes(held);
+  }
+
+  size_t MemoryBytes() const { return num_slots() * sizeof(Slot); }
 
   // Starts a new operation: invalidates every entry in O(1) and releases
   // excess capacity left behind by an unusually large previous operation.
@@ -67,6 +86,7 @@ class ScopedMemo {
   // giant operation keeps that much capacity; Shrink() returns it to
   // baseline for managers entering an idle period.
   void Shrink() {
+    ChargeBytes(-static_cast<int64_t>(num_slots() * sizeof(Slot)));
     ++generation_;
     seq_.live = 0;
     seq_.slots.clear();
@@ -186,6 +206,8 @@ class ScopedMemo {
   void ResetShard(Shard* shard, size_t trim) {
     shard->live = 0;
     if (shard->slots.size() > trim) {
+      ChargeBytes(-static_cast<int64_t>(
+          (shard->slots.size() - trim) * sizeof(Slot)));
       shard->slots.assign(trim, Slot{});
       // assign leaves stamp 0 everywhere; generation_ > 0 keeps them
       // free.
@@ -215,6 +237,7 @@ class ScopedMemo {
   void InsertIn(Shard* shard, uint64_t hash, Key key, Value value) {
     if (shard->slots.empty()) {
       shard->slots.resize(kInitialSlots);
+      ChargeBytes(static_cast<int64_t>(kInitialSlots * sizeof(Slot)));
     } else if ((shard->live + 1) * 3 > shard->slots.size() * 2) {
       GrowShard(shard);
     }
@@ -232,9 +255,16 @@ class ScopedMemo {
   void GrowShard(Shard* shard) {
     std::vector<Slot> old = std::move(shard->slots);
     shard->slots.assign(old.size() * 2, Slot{});
+    ChargeBytes(static_cast<int64_t>(old.size() * sizeof(Slot)));
     for (Slot& s : old) {
       if (s.stamp != generation_) continue;
       InsertNoGrow(shard, s.hash, std::move(s.key), std::move(s.value));
+    }
+  }
+
+  void ChargeBytes(int64_t delta) {
+    if (account_ != nullptr && delta != 0) {
+      account_->Charge(MemLayer::kMemo, delta);
     }
   }
 
@@ -245,6 +275,7 @@ class ScopedMemo {
   // one protocol.
   Shard seq_;
   std::vector<Shard> stripes_;
+  MemAccount* account_ = nullptr;
   size_t trim_slots_ = 0;
   uint64_t generation_ = 1;
   mutable uint64_t lookups_ = 0;

@@ -44,6 +44,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "util/mem_governor.h"
+
 namespace ctsdd {
 
 class UniqueTable {
@@ -58,9 +60,35 @@ class UniqueTable {
     Allocate(n);
   }
 
+  ~UniqueTable() {
+    if (account_ != nullptr) {
+      account_->Charge(MemLayer::kUniqueTable,
+                       -static_cast<int64_t>(MemoryBytes()));
+    }
+  }
+
   size_t size() const { return size_.load(std::memory_order_relaxed); }
   size_t num_slots() const {
     return num_slots_.load(std::memory_order_relaxed);
+  }
+
+  // Attaches the governor account (releasing from any previous one).
+  // Doubling is mandatory growth — charged, never denied; the managers'
+  // admission burst margin budgets for it up front. Attach while
+  // quiescent; Allocate charges under the rebuild's exclusivity.
+  void SetMemAccount(MemAccount* account) {
+    const int64_t held = static_cast<int64_t>(MemoryBytes());
+    if (account_ != nullptr) {
+      account_->Charge(MemLayer::kUniqueTable, -held);
+    }
+    account_ = account;
+    if (account_ != nullptr) {
+      account_->Charge(MemLayer::kUniqueTable, held);
+    }
+  }
+
+  size_t MemoryBytes() const {
+    return num_slots_.load(std::memory_order_relaxed) * kSlotBytes;
   }
 
   // Empties the table, shrinking the slot array to hold `expected_live`
@@ -160,7 +188,11 @@ class UniqueTable {
   }
 
  private:
+  static constexpr size_t kSlotBytes =
+      sizeof(std::atomic<uint64_t>) + sizeof(std::atomic<int32_t>);
+
   void Allocate(size_t n) {
+    const size_t old_n = num_slots_.load(std::memory_order_relaxed);
     hashes_ = std::make_unique<std::atomic<uint64_t>[]>(n);
     ids_ = std::make_unique<std::atomic<int32_t>[]>(n);
     for (size_t i = 0; i < n; ++i) {
@@ -168,6 +200,12 @@ class UniqueTable {
       ids_[i].store(kEmpty, std::memory_order_relaxed);
     }
     num_slots_.store(n, std::memory_order_relaxed);
+    if (account_ != nullptr && n != old_n) {
+      account_->Charge(MemLayer::kUniqueTable,
+                       (static_cast<int64_t>(n) -
+                        static_cast<int64_t>(old_n)) *
+                           static_cast<int64_t>(kSlotBytes));
+    }
   }
 
   void InsertNoGrow(uint64_t hash, int32_t id) {
@@ -202,6 +240,7 @@ class UniqueTable {
   // local copy inside its lock section.
   std::atomic<size_t> num_slots_{0};
   std::atomic<size_t> size_{0};
+  MemAccount* account_ = nullptr;
   std::shared_mutex resize_mu_;
 };
 

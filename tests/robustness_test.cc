@@ -25,6 +25,7 @@
 #include "sdd/sdd_compile.h"
 #include "util/budget.h"
 #include "util/fault_injection.h"
+#include "util/mem_governor.h"
 #include "util/random.h"
 #include "vtree/vtree.h"
 
@@ -460,6 +461,180 @@ TEST(BudgetAbortTest, TypedCancelMapsToTypedStatus) {
   // The first reason sticks: a later cancel cannot retype the trip.
   exhausted.Cancel(StatusCode::kCancelled);
   EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Memory accounting -----------------------------------------------------
+
+// Byte-accurate accounting round-trips: at every quiescent point —
+// after a compile, after releasing roots and collecting, after a cache
+// shrink — the account's atomic byte counters equal the manager's
+// recomputed MemoryBytes() sums. Randomized over functions and pin
+// lifetimes, through both the sequential and parallel compile paths.
+
+TEST(MemAccountingTest, ObddRoundTripExactness) {
+  Rng rng(20260807);
+  exec::TaskPool pool(3);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int n = 12 + trial;  // 12..14
+    ObddManager m(Iota(n));
+    MemAccount account;
+    m.AttachMemAccount(&account);
+    ASSERT_EQ(account.bytes(), static_cast<uint64_t>(m.MemoryBytes()));
+    std::vector<ObddManager::NodeId> roots;
+    for (int round = 0; round < 6; ++round) {
+      if (round == 3) m.AttachExecutor(&pool);
+      const BoolFunc f = BoolFunc::Random(Iota(n), &rng);
+      const auto root = CompileFuncToObdd(&m, f);
+      ASSERT_GE(root, 0);
+      if (!m.IsTerminal(root)) {
+        m.AddRootRef(root);
+        roots.push_back(root);
+      }
+      EXPECT_EQ(account.bytes(), static_cast<uint64_t>(m.MemoryBytes()));
+      // Evict a random subset of the pinned roots, then collect.
+      for (size_t i = roots.size(); i-- > 0;) {
+        if (rng.NextBelow(2) == 0) {
+          m.ReleaseRootRef(roots[i]);
+          roots.erase(roots.begin() + static_cast<long>(i));
+        }
+      }
+      m.GarbageCollect();
+      EXPECT_EQ(account.bytes(), static_cast<uint64_t>(m.MemoryBytes()));
+      m.ShrinkCaches();
+      EXPECT_EQ(account.bytes(), static_cast<uint64_t>(m.MemoryBytes()));
+    }
+    m.AttachExecutor(nullptr);
+    EXPECT_TRUE(m.Validate().ok());
+  }
+}
+
+TEST(MemAccountingTest, SddRoundTripExactness) {
+  Rng rng(20260808);
+  exec::TaskPool pool(3);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int n = 12 + trial;  // 12..14
+    SddManager m(Vtree::Balanced(Iota(n)));
+    MemAccount account;
+    m.AttachMemAccount(&account);
+    ASSERT_EQ(account.bytes(), static_cast<uint64_t>(m.MemoryBytes()));
+    std::vector<SddManager::NodeId> roots;
+    for (int round = 0; round < 6; ++round) {
+      if (round == 3) m.AttachExecutor(&pool);
+      const BoolFunc f = BoolFunc::Random(Iota(n), &rng);
+      const auto root = CompileFuncToSdd(&m, f);
+      ASSERT_GE(root, 0);
+      if (root > 1) {
+        m.AddRootRef(root);
+        roots.push_back(root);
+      }
+      EXPECT_EQ(account.bytes(), static_cast<uint64_t>(m.MemoryBytes()));
+      for (size_t i = roots.size(); i-- > 0;) {
+        if (rng.NextBelow(2) == 0) {
+          m.ReleaseRootRef(roots[i]);
+          roots.erase(roots.begin() + static_cast<long>(i));
+        }
+      }
+      m.GarbageCollect();
+      EXPECT_EQ(account.bytes(), static_cast<uint64_t>(m.MemoryBytes()));
+      m.ShrinkCaches();
+      EXPECT_EQ(account.bytes(), static_cast<uint64_t>(m.MemoryBytes()));
+    }
+    m.AttachExecutor(nullptr);
+    EXPECT_TRUE(m.Validate().ok());
+  }
+}
+
+// A governed compile that cannot fit its projected burst under the hard
+// ceiling trips typed RESOURCE_EXHAUSTED with the memory-pressure
+// marker, before allocating: the ceiling is never breached, the manager
+// stays valid, accounting stays exact, and lifting the ceiling makes
+// the same compile succeed canonically.
+TEST(MemAccountingTest, GovernedDenialIsTypedAndRecoverable) {
+  Rng rng(777);
+  const int n = 14;
+  const BoolFunc f = BoolFunc::Random(Iota(n), &rng);
+
+  ObddManager om(Iota(n));
+  MemAccount oacc;
+  MemGovernor ogov;
+  oacc.SetGovernor(&ogov);
+  om.AttachMemAccount(&oacc);
+  // Ceiling 64KB above the manager's baseline: room for the mandatory
+  // lazy-init floors (memo/cache slot arrays, charged but never denied
+  // and covered by the admission slack), yet far below the first
+  // reservation's worst-case burst — the compile is denied up front.
+  ogov.SetWatermarks(0, oacc.bytes() + (64u << 10));
+  WorkBudget obudget(0);
+  om.AttachBudget(&obudget);
+  ASSERT_EQ(CompileFuncToObdd(&om, f), ObddManager::kAborted);
+  om.DetachBudget();
+  EXPECT_EQ(obudget.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(obudget.memory_pressure());
+  EXPECT_GE(ogov.admit_denials(), 1u);
+  EXPECT_EQ(ogov.hard_breaches(), 0u);
+  EXPECT_TRUE(om.Validate().ok());
+  om.GarbageCollect();
+  EXPECT_EQ(oacc.bytes(), static_cast<uint64_t>(om.MemoryBytes()));
+  ogov.SetWatermarks(0, 0);  // lift the ceiling
+  const auto oroot = CompileFuncToObdd(&om, f);
+  ASSERT_GE(oroot, 0);
+  EXPECT_EQ(CompileFuncToObdd(&om, f), oroot);  // canonical recompile
+
+  SddManager sm(Vtree::Balanced(Iota(n)));
+  MemAccount sacc;
+  MemGovernor sgov;
+  sacc.SetGovernor(&sgov);
+  sm.AttachMemAccount(&sacc);
+  sgov.SetWatermarks(0, sacc.bytes() + (64u << 10));
+  WorkBudget sbudget(0);
+  sm.AttachBudget(&sbudget);
+  ASSERT_EQ(CompileFuncToSdd(&sm, f), SddManager::kAborted);
+  sm.DetachBudget();
+  EXPECT_EQ(sbudget.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(sbudget.memory_pressure());
+  EXPECT_GE(sgov.admit_denials(), 1u);
+  EXPECT_EQ(sgov.hard_breaches(), 0u);
+  EXPECT_TRUE(sm.Validate().ok());
+  sm.GarbageCollect();
+  EXPECT_EQ(sacc.bytes(), static_cast<uint64_t>(sm.MemoryBytes()));
+  sgov.SetWatermarks(0, 0);
+  const auto sroot = CompileFuncToSdd(&sm, f);
+  ASSERT_GE(sroot, 0);
+  EXPECT_EQ(CompileFuncToSdd(&sm, f), sroot);
+}
+
+// The `mem.reserve` fault site injects a byte-level reservation failure
+// into an otherwise roomy governor: the compile aborts exactly as a
+// real denial would (typed, marked, clean unwind), deterministically.
+TEST(MemAccountingTest, InjectedReservationFailureIsTyped) {
+  Rng rng(4321);
+  const int n = 13;
+  const BoolFunc f = BoolFunc::Random(Iota(n), &rng);
+  ObddManager m(Iota(n));
+  MemAccount account;
+  MemGovernor gov;
+  account.SetGovernor(&gov);
+  m.AttachMemAccount(&account);
+  gov.SetWatermarks(0, 1ull << 30);  // roomy: only the fault can deny
+
+  fault::FaultSpec spec;
+  spec.fire_at = 2;  // the second governed reservation fails
+  spec.action = [] { MemGovernor::FailNextReservationOnCurrentThread(); };
+  fault::Arm("mem.reserve", spec);
+  WorkBudget budget(0);
+  m.AttachBudget(&budget);
+  const auto aborted = CompileFuncToObdd(&m, f);
+  m.DetachBudget();
+  fault::DisarmAll();
+  ASSERT_EQ(aborted, ObddManager::kAborted);
+  EXPECT_EQ(budget.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(budget.memory_pressure());
+  EXPECT_EQ(gov.injected_denials(), 1u);
+  EXPECT_EQ(gov.hard_breaches(), 0u);
+  EXPECT_TRUE(m.Validate().ok());
+  m.GarbageCollect();
+  EXPECT_EQ(account.bytes(), static_cast<uint64_t>(m.MemoryBytes()));
+  ASSERT_GE(CompileFuncToObdd(&m, f), 0);
 }
 
 TEST(FaultInjectionTest, SddProbabilisticCancelIsDeterministic) {

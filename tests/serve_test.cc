@@ -25,6 +25,7 @@
 #include "serve/signature.h"
 #include "util/budget.h"
 #include "util/fault_injection.h"
+#include "util/mem_governor.h"
 #include "util/random.h"
 
 namespace ctsdd {
@@ -767,6 +768,154 @@ TEST(QueryServiceRobustnessTest, ChaosAcceptedAnswersStayOracleCorrect) {
                 options.gc_live_node_ceiling);
   // GC pauses were recorded for the percentile surface.
   EXPECT_GT(stats.gc_pause_p99_ms, 0.0);
+}
+
+// --- Memory governor ------------------------------------------------------
+
+// Governed serving end to end: accepted answers stay oracle-exact, the
+// governor's accounted bytes never cross the hard ceiling (peak included,
+// zero breaches), and at the quiescent end the process total equals the
+// sum of the shard accounts — the serve-layer accounting round-trip.
+TEST(QueryServiceMemoryTest, GovernedServingStaysUnderCeilingAndExact) {
+  const int kDomain = 5;
+  const Database db = BipartiteRstDatabase(kDomain, 0.3);
+  ServeOptions options;
+  options.num_shards = 2;
+  options.plan_cache_capacity = 8;
+  options.gc_check_interval = 4;
+  options.mem_hard_bytes = 64ull << 20;
+  QueryService service(options);
+
+  std::map<uint64_t, double> oracle;
+  for (int step = 0; step < 60; ++step) {
+    QueryRequest request;
+    request.query = PerConstantRsQuery(1 + step % kDomain);
+    if (step % 3 == 0) {
+      request.query.disjuncts.push_back(
+          PerConstantRsQuery(1 + (step / 3) % kDomain).disjuncts[0]);
+    }
+    request.db = &db;
+    request.route = step % 2 == 0 ? PlanRoute::kObdd : PlanRoute::kSdd;
+    const QueryResponse response = service.Execute(request);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    const uint64_t sig = QuerySignature(request.query);
+    if (oracle.find(sig) == oracle.end()) {
+      const auto compiled =
+          CompileQuery(request.query, db, VtreeStrategy::kBalanced);
+      ASSERT_TRUE(compiled.ok());
+      oracle[sig] = compiled->probability;
+    }
+    ASSERT_NEAR(response.probability, oracle[sig], 1e-9) << "step " << step;
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_TRUE(stats.governor.enabled);
+  EXPECT_EQ(stats.governor.hard_bytes, options.mem_hard_bytes);
+  EXPECT_GT(stats.governor.bytes, 0u);
+  EXPECT_EQ(stats.governor.hard_breaches, 0u);
+  EXPECT_LE(stats.governor.peak_bytes, options.mem_hard_bytes);
+  // Quiescent exactness across the serve layer: the process total is
+  // exactly the sum of the shard accounts (no supervisor -> no retired
+  // workers outside the live slots).
+  EXPECT_EQ(stats.governor.bytes, stats.totals.mem_bytes);
+  uint64_t layered = 0;
+  for (const uint64_t b : stats.totals.mem_bytes_by_layer) layered += b;
+  EXPECT_EQ(layered, stats.totals.mem_bytes);
+  EXPECT_EQ(stats.rejected_memory,
+            stats.totals.mem_rejects + stats.totals.mem_aborts);
+}
+
+// `mem.reserve` chaos: injected byte-level reservation failures make
+// governed compiles die typed RESOURCE_EXHAUSTED with a backoff hint —
+// counted as memory rejects, never quarantine strikes — and once the
+// fault is disarmed the same queries serve exactly.
+TEST(QueryServiceMemoryTest, InjectedMemoryPressureIsTypedNotQuarantined) {
+  const int kDomain = 5;
+  const Database db = BipartiteRstDatabase(kDomain, 0.3);
+  ServeOptions options;
+  options.num_shards = 1;  // one worker: a deterministic reservation stream
+  options.mem_hard_bytes = 1ull << 30;  // roomy: only injection denies
+  QueryService service(options);
+
+  fault::FaultSpec spec;
+  spec.fire_every = 5;  // every 5th governed reservation fails
+  spec.action = [] { MemGovernor::FailNextReservationOnCurrentThread(); };
+  fault::Arm("mem.reserve", spec);
+  std::vector<QueryRequest> failed;
+  uint64_t accepted = 0, mem_failed = 0;
+  for (int step = 0; step < 40; ++step) {
+    QueryRequest request;
+    request.query = PerConstantRsQuery(1 + step % kDomain);
+    if (step % 2 == 0) {
+      request.query.disjuncts.push_back(
+          PerConstantRsQuery(1 + (step / 2) % kDomain).disjuncts[0]);
+    }
+    request.db = &db;
+    const QueryResponse response = service.Execute(request);
+    if (response.status.ok()) {
+      ++accepted;
+      continue;
+    }
+    ASSERT_EQ(response.status.code(), StatusCode::kResourceExhausted)
+        << response.status.ToString();
+    EXPECT_GT(response.retry_after_ms, 0.0);
+    ++mem_failed;
+    failed.push_back(request);
+  }
+  fault::DisarmAll();
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(mem_failed, 0u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.governor.injected_denials, 0u);
+  EXPECT_GT(stats.rejected_memory, 0u);
+  EXPECT_EQ(stats.rejected_quarantine, 0u);
+  EXPECT_EQ(stats.supervision.quarantine_strikes, 0u);
+
+  // Disarmed, every previously failed query serves — exactly.
+  for (const QueryRequest& request : failed) {
+    const QueryResponse response = service.Execute(request);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    const auto compiled =
+        CompileQuery(request.query, db, VtreeStrategy::kBalanced);
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_NEAR(response.probability, compiled->probability, 1e-9);
+  }
+}
+
+// An embedding-supplied governor is honored: an impossible ceiling makes
+// every request fail typed (reject or abort, never a wrong answer, never
+// a quarantine strike), and lifting the ceiling on the same service
+// restores exact serving.
+TEST(QueryServiceMemoryTest, ExternalGovernorCeilingDeniesThenRecovers) {
+  const Database db = BipartiteRstDatabase(4, 0.4);
+  MemGovernor gov;
+  gov.SetWatermarks(0, 1);  // nothing fits
+  ServeOptions options;
+  options.num_shards = 1;
+  options.mem_governor = &gov;
+  QueryService service(options);
+
+  QueryRequest request;
+  request.query = PerConstantRsQuery(1);
+  request.db = &db;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const QueryResponse denied = service.Execute(request);
+    ASSERT_FALSE(denied.status.ok());
+    EXPECT_EQ(denied.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_GT(denied.retry_after_ms, 0.0);
+  }
+  const ServiceStats mid = service.stats();
+  EXPECT_GT(mid.rejected_memory, 0u);
+  EXPECT_EQ(mid.rejected_quarantine, 0u);
+  EXPECT_EQ(mid.supervision.quarantine_strikes, 0u);
+
+  gov.SetWatermarks(0, 0);  // lift the ceiling
+  const QueryResponse served = service.Execute(request);
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+  const auto oracle = CompileQuery(request.query, db, VtreeStrategy::kBalanced);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NEAR(served.probability, oracle->probability, 1e-9);
 }
 
 // --- Supervision: hangs, deaths, quarantine, hedging ----------------------
