@@ -162,6 +162,7 @@ void Run(const std::string& json_path, bool skip_dense) {
     }
     if (ok && bench::WriteJsonSection(json_path, "exact_width_bnb", bnb,
                                       /*append=*/!skip_dense)) {
+      bench::WriteMetaSection(json_path);
       std::printf("  wrote %s\n", json_path.c_str());
     }
   }

@@ -103,6 +103,7 @@ void Run(const std::string& json_path) {
     // whole apply-core picture.
     if (bench::WriteJsonSection(json_path, "isa_sdd", metrics,
                                 /*append=*/true)) {
+      bench::WriteMetaSection(json_path);
       std::printf("  appended isa_sdd section to %s\n", json_path.c_str());
     }
   }

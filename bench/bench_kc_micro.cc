@@ -209,6 +209,7 @@ void RunApplyCoreSuite(const std::string& json_path) {
 
   if (bench::WriteJsonSection(json_path, "kc_micro_apply_core", metrics,
                               /*append=*/false)) {
+    bench::WriteMetaSection(json_path);
     std::printf("  wrote %s\n", json_path.c_str());
   }
 }

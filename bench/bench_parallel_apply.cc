@@ -159,10 +159,7 @@ void Run(const std::string& json_path) {
               });
 
   if (!json_path.empty()) {
-    bench::WriteJsonSection(
-        json_path, "host",
-        {{"cpus", static_cast<double>(host_cpus)}},
-        /*append=*/true);
+    bench::WriteMetaSection(json_path);
     std::printf("  wrote %s\n", json_path.c_str());
   }
 }

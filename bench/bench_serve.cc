@@ -38,6 +38,7 @@
 
 #include "bench/bench_util.h"
 #include "db/lineage.h"
+#include "obs/trace.h"
 #include "db/query.h"
 #include "db/query_compile.h"
 #include "obdd/obdd.h"
@@ -443,10 +444,18 @@ RecoveryResult RunRecovery(const std::vector<Ucq>& shapes,
 int main(int argc, char** argv) {
   using namespace ctsdd;
   std::string json_path;
+  std::string trace_out;
+  std::string metrics_out;
   int total_requests = 10000;
   int domain = 8;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--trace_out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    }
+    if (std::strncmp(argv[i], "--metrics_out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    }
     if (std::strncmp(argv[i], "--requests=", 11) == 0) {
       total_requests = std::atoi(argv[i] + 11);
     }
@@ -853,7 +862,76 @@ int main(int argc, char** argv) {
       fault_free.stats.totals.peak_live_nodes,
       recovery_resident_ok ? "yes" : "NO");
 
+  // --- Traced segment: a short stream with the tracer armed ---------------
+  // Fresh database content (cold compiles) and exec workers, so the
+  // exported trace carries the full span taxonomy: request tracks,
+  // queue.wait, shard.process, compile (+ budget.lease instants), wmc,
+  // gc spans, and exec.task spans on the exec-N tracks. The segment runs
+  // at a capped domain regardless of --domain: the export is a taxonomy
+  // artifact gated by scripts/validate_trace.py, and it must fit the
+  // per-thread rings without wrapping (a wrapped ring overwrites early
+  // terminal events and leaves async request tracks unbalanced).
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    bench::Header("serve: traced segment (tracer armed)");
+    obs::Tracer::Clear();
+    obs::Tracer::Arm(/*events_per_thread=*/size_t{1} << 17);
+    ServeOptions traced = bounded;
+    traced.num_shards = 2;
+    traced.exec_workers = 2;  // cold compiles fork: exec.task spans appear
+    traced.heartbeat_window_ms = 200;
+    traced.hedge_after_ms = 50;
+    const int traced_domain = std::min(domain, 5);
+    const int traced_edges =
+        std::min(4 * traced_domain, traced_domain * traced_domain);
+    const std::vector<Ucq> traced_queries = QueryPopulation(traced_domain);
+    {
+      QueryService service(traced);
+      const Database traced_db =
+          RandomContentDb(traced_domain, traced_edges, /*seed=*/777);
+      Rng rng(123);
+      std::vector<QueryRequest> batch;
+      for (int i = 0; i < 256; ++i) {
+        QueryRequest request;
+        request.query = traced_queries[rng.NextBelow(traced_queries.size())];
+        request.db = &traced_db;
+        request.route =
+            rng.NextBool(0.5) ? PlanRoute::kObdd : PlanRoute::kSdd;
+        batch.push_back(std::move(request));
+        if (batch.size() == 32) {
+          (void)service.ExecuteBatch(batch);
+          batch.clear();
+        }
+      }
+      if (!batch.empty()) (void)service.ExecuteBatch(batch);
+      if (!metrics_out.empty()) {
+        const std::string metrics_json = service.MetricsJson();
+        if (std::FILE* f = std::fopen(metrics_out.c_str(), "w")) {
+          std::fwrite(metrics_json.data(), 1, metrics_json.size(), f);
+          std::fclose(f);
+          std::printf("  metrics snapshot -> %s\n", metrics_out.c_str());
+        } else {
+          std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+          return 1;
+        }
+      }
+    }
+    obs::Tracer::Disarm();
+    if (!trace_out.empty()) {
+      if (!obs::Tracer::WriteChromeTrace(trace_out)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      std::printf("  chrome trace -> %s (%llu events dropped)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(obs::Tracer::Dropped()));
+    }
+    obs::Tracer::Clear();
+  }
+
   if (!json_path.empty()) {
+    bench::WriteMetaSection(
+        json_path,
+        {{"governed_ceiling_bytes", static_cast<double>(mem_hard)}});
     // Plateau: sampling instants are noisy (pre/post GC), so compare
     // halves — the second half's peak must not exceed 2x the first
     // half's (the no-GC baseline grows ~5x half-over-half here).

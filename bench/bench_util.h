@@ -13,6 +13,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "sdd/sdd.h"
@@ -240,6 +242,27 @@ inline bool WriteJsonSection(const std::string& path,
   }
   out << "  }\n}\n";
   return true;
+}
+
+// Version of the flat-section schema above. Bump on any change to the
+// section shape or metric semantics so trajectory consumers can gate.
+inline constexpr double kBenchSchemaVersion = 2;
+
+// Writes (or refreshes) the shared "meta" section every emitter stamps
+// into its BENCH_*.json: schema version plus the host topology the
+// numbers were measured on — without it, a perf delta between two
+// artifact snapshots cannot be told apart from a host change. `extras`
+// carries emitter-specific context (e.g. the governed memory ceiling).
+inline bool WriteMetaSection(const std::string& path,
+                             std::vector<JsonMetric> extras = {},
+                             bool append = true) {
+  std::vector<JsonMetric> metrics;
+  metrics.push_back({"schema_version", kBenchSchemaVersion});
+  metrics.push_back(
+      {"host_cores",
+       static_cast<double>(std::thread::hardware_concurrency())});
+  for (JsonMetric& m : extras) metrics.push_back(std::move(m));
+  return WriteJsonSection(path, "meta", metrics, append);
 }
 
 // Runs `body` `reps` times and returns the fastest wall-clock milliseconds —

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Gate the disarmed-tracing overhead on the apply-core suite.
+
+Compares the kc_micro_apply_core sections of two bench JSONs — a
+baseline built with -DCTSDD_TRACE=OFF (guards folded to constants) and
+the default traced build (guards live, tracer disarmed) — and fails
+when the geometric-mean ratio of the shared *_ms metrics exceeds the
+bound. The suite takes min-of-3 per metric, so run-to-run noise is
+already partly absorbed; pass each file several runs deep if the
+runner is noisy.
+
+Usage: check_trace_overhead.py BASELINE_JSON TRACED_JSON [MAX_RATIO]
+"""
+
+import json
+import math
+import sys
+
+
+def load_section(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    return doc["kc_micro_apply_core"]
+
+
+def main() -> int:
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = load_section(sys.argv[1])
+    traced = load_section(sys.argv[2])
+    max_ratio = float(sys.argv[3]) if len(sys.argv) == 4 else 1.02
+
+    keys = sorted(
+        k
+        for k in baseline
+        if k.endswith("_ms") and k in traced and baseline[k] > 0
+    )
+    if not keys:
+        print("FAIL: no shared *_ms metrics", file=sys.stderr)
+        return 1
+    log_sum = 0.0
+    for key in keys:
+        ratio = traced[key] / baseline[key]
+        log_sum += math.log(ratio)
+        print(f"  {key:32s} {baseline[key]:10.2f} -> {traced[key]:10.2f} ms "
+              f"(x{ratio:.3f})")
+    geomean = math.exp(log_sum / len(keys))
+    print(f"geomean ratio over {len(keys)} metrics: x{geomean:.4f} "
+          f"(bound x{max_ratio:.2f})")
+    if geomean > max_ratio:
+        print("FAIL: disarmed tracing overhead exceeds the bound",
+              file=sys.stderr)
+        return 1
+    print("OK: disarmed tracing overhead within bound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

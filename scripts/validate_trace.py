@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON exported by the obs/ tracer.
+
+Checks (CI gate for `bench_serve --trace_out=...`):
+  1. the file parses as {"traceEvents": [...]};
+  2. complete ('X') events on each thread track obey stack discipline
+     (properly nested or disjoint — a tracer that emitted overlapping
+     sibling spans on one thread is lying about parentage);
+  3. async 'b'/'e' pairs balance per (cat, name, id) — in particular,
+     every request track gets exactly one terminal end;
+  4. the span taxonomy's load-bearing names are all present.
+
+Usage: validate_trace.py TRACE_JSON
+"""
+
+import collections
+import json
+import sys
+
+REQUIRED_NAMES = {
+    "request",
+    "queue.wait",
+    "shard.process",
+    "wmc",
+    "compile",
+    "exec.task",
+}
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    if not events:
+        print("FAIL: no trace events", file=sys.stderr)
+        return 1
+
+    # Per-thread stack discipline over complete events.
+    by_tid = collections.defaultdict(list)
+    for e in events:
+        if e["ph"] == "X":
+            by_tid[e["tid"]].append((e["ts"], e["ts"] + e["dur"], e["name"]))
+    violations = 0
+    for tid, intervals in sorted(by_tid.items()):
+        intervals.sort()
+        stack = []
+        for start, end, name in intervals:
+            while stack and start >= stack[-1][0]:
+                stack.pop()
+            if stack and end > stack[-1][0]:
+                print(
+                    f"FAIL: tid {tid}: '{name}' [{start:.3f}, {end:.3f}] "
+                    f"overlaps enclosing '{stack[-1][1]}' ending "
+                    f"{stack[-1][0]:.3f}",
+                    file=sys.stderr,
+                )
+                violations += 1
+            stack.append((end, name))
+
+    # Async begin/end balance.
+    balance = collections.Counter()
+    for e in events:
+        if e["ph"] in ("b", "e"):
+            key = (e.get("cat", ""), e["name"], e["id"])
+            balance[key] += 1 if e["ph"] == "b" else -1
+    unbalanced = {k: v for k, v in balance.items() if v != 0}
+    for key, v in sorted(unbalanced.items()):
+        print(f"FAIL: async track {key} unbalanced by {v}", file=sys.stderr)
+
+    names = {e["name"] for e in events if e["ph"] in ("X", "i", "b")}
+    missing = REQUIRED_NAMES - names
+    if missing:
+        print(f"FAIL: missing span names: {sorted(missing)}", file=sys.stderr)
+
+    counts = collections.Counter(e["ph"] for e in events)
+    print(
+        f"{len(events)} events ({dict(sorted(counts.items()))}), "
+        f"{len(by_tid)} threads, {len(balance)} async tracks"
+    )
+    if violations or unbalanced or missing:
+        return 1
+    print("OK: spans nest, async tracks balance, taxonomy complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

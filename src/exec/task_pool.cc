@@ -1,6 +1,7 @@
 #include "exec/task_pool.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/hashing.h"
 #include "util/logging.h"
@@ -77,7 +78,14 @@ TaskPool::~TaskPool() {
 }
 
 void TaskPool::Fork(Task* task) {
-  deques_[CurrentSlot()]->Push(task);
+  const int slot = CurrentSlot();
+  if (obs::TraceArmed()) {
+    // Capture before the push makes the task stealable: a thief may run
+    // it the instant it lands in the deque.
+    task->trace_ctx = obs::CurrentContext();
+    task->forked_slot = slot;
+  }
+  deques_[slot]->Push(task);
   pending_.fetch_add(1, std::memory_order_seq_cst);
   if (sleepers_.load(std::memory_order_seq_cst) > 0) {
     // Lock before notify so a worker between its predicate check and its
@@ -113,7 +121,7 @@ bool TaskPool::TryRunOne(uint64_t* rng_state) {
   }
   if (item == nullptr) return false;
   pending_.fetch_sub(1, std::memory_order_relaxed);
-  static_cast<Task*>(item)->Execute();
+  RunTask(static_cast<Task*>(item));
   return true;
 }
 
@@ -134,6 +142,7 @@ void TaskPool::Join(Task* task) {
 void TaskPool::WorkerLoop(int slot) {
   // Bind this worker's identity record so CurrentSlot() is a hit.
   tl_slots[0] = {this, id_, slot};
+  obs::SetCurrentThreadName("exec-" + std::to_string(slot));
   uint64_t rng = 0x2545f4914f6cdd1dULL + static_cast<uint64_t>(slot);
   int idle_rounds = 0;
   for (;;) {

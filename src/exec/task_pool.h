@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "exec/deque.h"
+#include "obs/trace.h"
 
 namespace ctsdd::exec {
 
@@ -56,6 +57,13 @@ class Task {
     done_.store(true, std::memory_order_release);
   }
   bool done() const { return done_.load(std::memory_order_acquire); }
+
+  // Tracing hand-off, stamped by Fork when the tracer is armed: the
+  // forker's span context (so a task stolen by another thread stays
+  // parented under the forking computation) and the forking slot (so
+  // the executing side can tell a steal from a local pop).
+  obs::TraceContext trace_ctx;
+  int forked_slot = -1;
 
  protected:
   virtual void Run() = 0;
@@ -117,6 +125,24 @@ class TaskPool {
   // false when no task was found.
   bool TryRunOne(uint64_t* rng_state);
 
+  // Executes `task`, wrapped in an "exec.task" span when the tracer is
+  // armed (parented under the forker's captured context; the `stolen`
+  // arg distinguishes cross-slot steals from local pops). Every task
+  // execution path — inline reclaim, helping join, worker loop — funnels
+  // through here so exec-pool work shows up in request traces.
+  void RunTask(Task* task) {
+    if (obs::TraceArmed()) {
+      obs::TraceSpan span("exec", "exec.task", task->trace_ctx);
+      span.AddArg("stolen",
+                  task->forked_slot >= 0 && task->forked_slot != CurrentSlot()
+                      ? 1
+                      : 0);
+      task->Execute();
+      return;
+    }
+    task->Execute();
+  }
+
  private:
   void WorkerLoop(int slot);
 
@@ -154,7 +180,7 @@ void ParallelInvoke(TaskPool* pool, FA&& a, FB&& b) {
   for (;;) {
     Task* t = pool->PopLocal();
     if (t == nullptr) break;  // tb stolen (or already run)
-    t->Execute();
+    pool->RunTask(t);
     if (t == &tb) return;
   }
   pool->Join(&tb);
@@ -202,7 +228,7 @@ void ParallelFor(TaskPool* pool, size_t n, const std::atomic<bool>* cancel,
   for (;;) {
     Task* t = pool->PopLocal();
     if (t == nullptr) break;
-    t->Execute();
+    pool->RunTask(t);
   }
   for (size_t i = 0; i + 1 < n; ++i) pool->Join(&tasks[i]);
 }

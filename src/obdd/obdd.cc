@@ -7,6 +7,7 @@
 #include <functional>
 #include <set>
 
+#include "obs/trace.h"
 #include "util/fault_injection.h"
 #include "util/hashing.h"
 
@@ -299,6 +300,7 @@ size_t ObddManager::GarbageCollect() {
   thread_check_.Check();
   CTSDD_CHECK_EQ(op_depth_, 0) << "GC inside an operation";
   CTSDD_CHECK(!par_active_) << "GC inside a parallel region";
+  obs::TraceSpan gc_span("gc", "obdd.gc");
   ++gc_stats_.runs;
   // Mark from the registered external roots.
   std::vector<uint8_t> marked(nodes_.size(), 0);
@@ -372,6 +374,7 @@ size_t ObddManager::GarbageCollect() {
         << "OBDD memory accounting drift after GC";
   }
 #endif
+  gc_span.AddArg("reclaimed", reclaimed);
   return reclaimed;
 }
 

@@ -1,0 +1,140 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace ctsdd::obs {
+
+uint64_t Histogram::ValueAtPercentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const uint64_t rank = std::min<uint64_t>(
+      n - 1, static_cast<uint64_t>(p * static_cast<double>(n - 1) + 0.5));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += bucket(i);
+    if (cumulative > rank) return BucketValue(i);
+  }
+  return max();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  CTSDD_CHECK(e.gauge == nullptr && e.histogram == nullptr)
+      << "metric kind mismatch for " << name;
+  if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  CTSDD_CHECK(e.counter == nullptr && e.histogram == nullptr)
+      << "metric kind mismatch for " << name;
+  if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  CTSDD_CHECK(e.counter == nullptr && e.gauge == nullptr)
+      << "metric kind mismatch for " << name;
+  if (e.histogram == nullptr) e.histogram = std::make_unique<Histogram>();
+  return e.histogram.get();
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n";
+  bool first = true;
+  char buf[256];
+  for (const auto& [name, e] : entries_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + name + "\": ";
+    if (e.counter != nullptr) {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(e.counter->value()));
+      out += buf;
+    } else if (e.gauge != nullptr) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(e.gauge->value()));
+      out += buf;
+    } else {
+      const Histogram& h = *e.histogram;
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"count\": %llu, \"sum\": %llu, \"min\": %llu, \"max\": %llu, "
+          "\"p50\": %llu, \"p90\": %llu, \"p99\": %llu, \"p999\": %llu}",
+          static_cast<unsigned long long>(h.count()),
+          static_cast<unsigned long long>(h.sum()),
+          static_cast<unsigned long long>(h.min()),
+          static_cast<unsigned long long>(h.max()),
+          static_cast<unsigned long long>(h.ValueAtPercentile(0.50)),
+          static_cast<unsigned long long>(h.ValueAtPercentile(0.90)),
+          static_cast<unsigned long long>(h.ValueAtPercentile(0.99)),
+          static_cast<unsigned long long>(h.ValueAtPercentile(0.999)));
+      out += buf;
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[160];
+  for (const auto& [name, e] : entries_) {
+    const std::string prom = PrometheusName(name);
+    if (e.counter != nullptr) {
+      out += "# TYPE " + prom + " counter\n";
+      std::snprintf(buf, sizeof(buf), "%s %llu\n", prom.c_str(),
+                    static_cast<unsigned long long>(e.counter->value()));
+      out += buf;
+    } else if (e.gauge != nullptr) {
+      out += "# TYPE " + prom + " gauge\n";
+      std::snprintf(buf, sizeof(buf), "%s %lld\n", prom.c_str(),
+                    static_cast<long long>(e.gauge->value()));
+      out += buf;
+    } else {
+      const Histogram& h = *e.histogram;
+      out += "# TYPE " + prom + " summary\n";
+      static constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+      for (const double q : kQuantiles) {
+        std::snprintf(buf, sizeof(buf), "%s{quantile=\"%g\"} %llu\n",
+                      prom.c_str(), q,
+                      static_cast<unsigned long long>(h.ValueAtPercentile(q)));
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), "%s_sum %llu\n%s_count %llu\n",
+                    prom.c_str(), static_cast<unsigned long long>(h.sum()),
+                    prom.c_str(), static_cast<unsigned long long>(h.count()));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace ctsdd::obs

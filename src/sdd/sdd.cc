@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/trace.h"
 #include "util/fault_injection.h"
 #include "util/hashing.h"
 #include "util/logging.h"
@@ -355,6 +356,7 @@ size_t SddManager::GarbageCollect() {
   thread_check_.Check();
   CTSDD_CHECK_EQ(apply_depth_, 0) << "GC inside an operation";
   CTSDD_CHECK(!par_active_) << "GC inside a parallel region";
+  obs::TraceSpan gc_span("gc", "sdd.gc");
   ++gc_stats_.runs;
   // Mark from the permanent roots (constants, literals) and every node
   // holding an external reference.
@@ -451,6 +453,7 @@ size_t SddManager::GarbageCollect() {
         << "SDD memory accounting drift after GC";
   }
 #endif
+  gc_span.AddArg("reclaimed", reclaimed);
   return reclaimed;
 }
 

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/trace.h"
 #include "serve/shard.h"
 #include "serve/signature.h"
 #include "serve/supervisor.h"
@@ -19,8 +20,11 @@ QueryService::QueryService(ServeOptions options)
       exec_pool_(options.exec_workers > 1
                      ? std::make_unique<exec::TaskPool>(options.exec_workers)
                      : nullptr),
-      latency_(std::make_unique<LatencyRecorder>(options.latency_window)),
-      gc_latency_(std::make_unique<LatencyRecorder>(options.latency_window)),
+      metrics_(std::make_unique<obs::MetricsRegistry>()),
+      flight_(std::make_unique<obs::FlightRecorder>(
+          obs::FlightRecorder::Options{options.flight_recorder_capacity,
+                                       options.flight_dump_dir,
+                                       /*min_dump_interval_ms=*/250})),
       quarantine_(std::make_unique<Quarantine>(Quarantine::Options{
           options.quarantine_threshold, options.quarantine_parole_ms,
           options.quarantine_parole_max_ms, options.quarantine_capacity,
@@ -28,6 +32,10 @@ QueryService::QueryService(ServeOptions options)
                                         4 * options.quarantine_parole_ms)})),
       sup_counters_(std::make_unique<SupervisionCounters>()) {
   CTSDD_CHECK_GT(options_.num_shards, 0);
+  // Histograms before any shard exists: MakeWorker hands each worker the
+  // shared recorder pointers.
+  latency_us_ = metrics_->GetHistogram("serve.latency_us");
+  gc_pause_us_ = metrics_->GetHistogram("serve.gc_pause_us");
   // Memory governor before any shard exists: MakeWorker stamps
   // options_.mem_governor into each worker's account at construction.
   // An embedding that supplies its own governor keeps it; otherwise a
@@ -45,7 +53,7 @@ QueryService::QueryService(ServeOptions options)
   }
   if (options_.heartbeat_window_ms > 0) {
     supervisor_ = std::make_unique<Supervisor>(
-        options_, &slots_, sup_counters_.get(),
+        options_, &slots_, sup_counters_.get(), flight_.get(),
         [this](int shard_id) { return MakeWorker(shard_id); });
   }
 }
@@ -53,9 +61,9 @@ QueryService::QueryService(ServeOptions options)
 QueryService::~QueryService() = default;
 
 std::shared_ptr<ShardWorker> QueryService::MakeWorker(int shard_id) {
-  return std::make_shared<ShardWorker>(shard_id, options_, latency_.get(),
-                                       gc_latency_.get(), exec_pool_.get(),
-                                       quarantine_.get(), sup_counters_.get());
+  return std::make_shared<ShardWorker>(
+      shard_id, options_, latency_us_, gc_pause_us_, flight_.get(),
+      exec_pool_.get(), quarantine_.get(), sup_counters_.get());
 }
 
 QueryResponse QueryService::Execute(const QueryRequest& request) {
@@ -75,6 +83,9 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     if (request.db == nullptr) {
       responses[i].status = Status::InvalidArgument("request without database");
       rejected_requests_.fetch_add(1, std::memory_order_relaxed);
+      obs::FlightRecord rec;
+      rec.status_code = static_cast<int>(StatusCode::kInvalidArgument);
+      flight_->Record(rec);
       remaining.fetch_sub(1);
       continue;
     }
@@ -95,6 +106,11 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
         responses[i].status = Status::ResourceExhausted(
             "query signature quarantined; retry after parole");
         responses[i].retry_after_ms = parole_hint;
+        obs::FlightRecord rec;
+        rec.query_sig = key.query_sig;
+        rec.db_sig = key.db_sig;
+        rec.status_code = static_cast<int>(StatusCode::kResourceExhausted);
+        flight_->Record(rec);
         remaining.fetch_sub(1);
         continue;
       }
@@ -112,6 +128,14 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     state->remaining = &remaining;
     state->done_mu = &done_mu;
     state->done_cv = &done_cv;
+    if (obs::TraceArmed()) {
+      // One trace per request, rooted here: the async request track runs
+      // admission -> publish; queue/compile/WMC spans parent under it by
+      // trace_id. Publish (claim winner only) emits the matching end.
+      state->trace = {obs::NewTraceId(), 0};
+      state->submit_ts_us = obs::TraceNowUs();
+      obs::TraceAsyncBegin("request", "request", state->trace.trace_id);
+    }
     const double deadline_ms = request.deadline_ms > 0
                                    ? request.deadline_ms
                                    : options_.default_deadline_ms;
@@ -137,6 +161,17 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
           Status::Unavailable("shard queue full; retry later");
       responses[i].shard = static_cast<int>(shard);
       responses[i].retry_after_ms = retry_after_ms;
+      obs::FlightRecord rec;
+      rec.trace_id = state->trace.trace_id;
+      rec.query_sig = key.query_sig;
+      rec.db_sig = key.db_sig;
+      rec.shard = static_cast<int>(shard);
+      rec.status_code = static_cast<int>(StatusCode::kUnavailable);
+      flight_->Record(rec);
+      // The shed request never reaches Publish: close its track here.
+      if (state->trace.trace_id != 0) {
+        obs::TraceAsyncEnd("request", "request", state->trace.trace_id);
+      }
       remaining.fetch_sub(1);
     }
   }
@@ -177,12 +212,84 @@ ServiceStats QueryService::stats() const {
   // never touch the governor.
   out.rejected_quarantine = q.rejects;
   out.rejected_memory = out.totals.mem_rejects + out.totals.mem_aborts;
-  out.p50_ms = latency_->Percentile(0.50);
-  out.p95_ms = latency_->Percentile(0.95);
-  out.p99_ms = latency_->Percentile(0.99);
-  out.gc_pause_p50_ms = gc_latency_->Percentile(0.50);
-  out.gc_pause_p99_ms = gc_latency_->Percentile(0.99);
+  out.p50_ms = static_cast<double>(latency_us_->ValueAtPercentile(0.50)) / 1e3;
+  out.p95_ms = static_cast<double>(latency_us_->ValueAtPercentile(0.95)) / 1e3;
+  out.p99_ms = static_cast<double>(latency_us_->ValueAtPercentile(0.99)) / 1e3;
+  out.gc_pause_p50_ms =
+      static_cast<double>(gc_pause_us_->ValueAtPercentile(0.50)) / 1e3;
+  out.gc_pause_p99_ms =
+      static_cast<double>(gc_pause_us_->ValueAtPercentile(0.99)) / 1e3;
   return out;
+}
+
+void QueryService::PublishMetrics() {
+  const ServiceStats s = stats();
+  const auto set = [&](const char* name, uint64_t v) {
+    metrics_->GetCounter(name)->Set(v);
+  };
+  set("serve.requests", s.totals.requests);
+  set("serve.failures", s.totals.failures);
+  set("serve.timeouts", s.totals.timeouts);
+  set("serve.sheds", s.totals.sheds);
+  set("serve.fallbacks", s.totals.fallbacks);
+  set("serve.budget_aborts", s.totals.budget_aborts);
+  set("serve.duplicate_skips", s.totals.duplicate_skips);
+  set("serve.compiles", s.totals.compiles);
+  set("serve.rejected_memory", s.rejected_memory);
+  set("serve.rejected_quarantine", s.rejected_quarantine);
+  set("plan_cache.hits", s.totals.plan_hits);
+  set("plan_cache.misses", s.totals.plan_misses);
+  set("plan_cache.evictions", s.totals.plan_evictions);
+  set("plan_cache.targeted_evictions", s.totals.targeted_evictions);
+  set("plan_cache.manager_evictions", s.totals.manager_evictions);
+  set("gc.runs", s.totals.gc_runs);
+  set("gc.reclaimed_nodes", s.totals.gc_reclaimed);
+  set("supervision.hangs_detected", s.supervision.hangs_detected);
+  set("supervision.deaths_detected", s.supervision.deaths_detected);
+  set("supervision.shard_restarts", s.supervision.shard_restarts);
+  set("supervision.failed_on_restart", s.supervision.failed_on_restart);
+  set("supervision.hedges_dispatched", s.supervision.hedges_dispatched);
+  set("supervision.hedge_wins", s.supervision.hedge_wins);
+  set("supervision.hedge_cancels", s.supervision.hedge_cancels);
+  set("quarantine.rejects", s.supervision.quarantine_rejects);
+  set("quarantine.strikes", s.supervision.quarantine_strikes);
+  set("quarantine.parole_trials", s.supervision.parole_trials);
+  set("quarantine.parole_successes", s.supervision.parole_successes);
+  set("governor.admit_denials", s.governor.admit_denials);
+  set("governor.optional_growth_denials", s.governor.optional_growth_denials);
+  set("governor.compile_cancels", s.governor.compile_cancels);
+  set("governor.soft_transitions", s.governor.soft_transitions);
+  set("governor.critical_transitions", s.governor.critical_transitions);
+  set("governor.hard_breaches", s.governor.hard_breaches);
+  set("flight.records", flight_->records());
+  set("flight.anomalies", flight_->anomalies());
+  set("flight.dumps", flight_->dumps());
+  for (int a = 0; a < obs::kAnomalyCount; ++a) {
+    const auto anomaly = static_cast<obs::Anomaly>(a);
+    set((std::string("flight.anomaly.") + obs::AnomalyName(anomaly)).c_str(),
+        flight_->anomaly_count(anomaly));
+  }
+  const auto gauge = [&](const char* name, int64_t v) {
+    metrics_->GetGauge(name)->Set(v);
+  };
+  gauge("serve.live_nodes", s.totals.live_nodes);
+  gauge("serve.peak_live_nodes", s.totals.peak_live_nodes);
+  gauge("mem.bytes", static_cast<int64_t>(s.totals.mem_bytes));
+  gauge("governor.bytes", static_cast<int64_t>(s.governor.bytes));
+  gauge("governor.peak_bytes", static_cast<int64_t>(s.governor.peak_bytes));
+  gauge("governor.tier", s.governor.tier);
+  gauge("quarantine.entries",
+        static_cast<int64_t>(s.supervision.quarantine_entries));
+}
+
+std::string QueryService::MetricsJson() {
+  PublishMetrics();
+  return metrics_->JsonSnapshot();
+}
+
+std::string QueryService::MetricsPrometheus() {
+  PublishMetrics();
+  return metrics_->PrometheusText();
 }
 
 }  // namespace ctsdd

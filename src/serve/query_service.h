@@ -23,12 +23,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "db/database.h"
 #include "exec/task_pool.h"
 #include "db/query.h"
 #include "db/query_compile.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "serve/plan_cache.h"
 #include "serve/quarantine.h"
 #include "serve/serve_stats.h"
@@ -101,20 +104,38 @@ class QueryService {
   // Aggregated counters over all shards plus latency percentiles.
   ServiceStats stats() const;
 
+  // The service's always-on flight recorder (never null): recent request
+  // records plus anomaly/dump counters, for tests and embedders.
+  obs::FlightRecorder* flight_recorder() const { return flight_.get(); }
+
+  // The unified metrics registry, refreshed from the current counters on
+  // each call. JSON is a stable flat object; Prometheus is a text
+  // exposition. Both include the latency/GC histograms.
+  std::string MetricsJson();
+  std::string MetricsPrometheus();
+  obs::MetricsRegistry* metrics_registry() { return metrics_.get(); }
+
   const ServeOptions& options() const { return options_; }
 
  private:
   std::shared_ptr<ShardWorker> MakeWorker(int shard_id);
+
+  // Folds the live ServiceStats + flight-recorder counters into the
+  // registry (histograms are recorded in place by the shards).
+  void PublishMetrics();
 
   ServeOptions options_;
   // Service-wide work-stealing pool lent to shards for cold compiles
   // (null when options_.exec_workers <= 1). Declared before the shards
   // so it outlives every manager that borrowed it.
   std::unique_ptr<exec::TaskPool> exec_pool_;
-  // Shared sliding-window latency reservoirs (shards record into them):
-  // end-to-end request latency and GC pause durations.
-  std::unique_ptr<LatencyRecorder> latency_;
-  std::unique_ptr<LatencyRecorder> gc_latency_;
+  // Unified metrics registry; latency_us_/gc_pause_us_ are its shared
+  // histograms (microsecond samples, recorded by every shard). flight_
+  // is the bounded ring of recent request records with anomaly dumps.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::Histogram* latency_us_ = nullptr;
+  obs::Histogram* gc_pause_us_ = nullptr;
+  std::unique_ptr<obs::FlightRecorder> flight_;
   // Poison-query negative cache, checked at admission and before cold
   // compiles. Service-level on purpose: it must survive shard restarts,
   // or every restart would buy a poisonous signature `threshold` more

@@ -4,6 +4,10 @@
 // manager pools, GC ceilings); ShardStats / ServiceStats report what a
 // long-running deployment watches: request and cache-hit counts, GC
 // reclaim, resident-node ceilings, and end-to-end latency percentiles.
+// Latency percentiles come from the service's obs::Histogram recorders
+// (src/obs/metrics.h): lossless log-linear histograms, so no sample is
+// ever dropped under load the way the old sliding-window reservoir
+// dropped them.
 
 #ifndef CTSDD_SERVE_SERVE_STATS_H_
 #define CTSDD_SERVE_SERVE_STATS_H_
@@ -13,8 +17,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <vector>
+#include <string>
 
 #include "util/mem_governor.h"
 
@@ -38,8 +41,6 @@ struct ServeOptions {
   int gc_live_node_ceiling = 1 << 20;
   // Requests between GC policy checks on a shard.
   int gc_check_interval = 16;
-  // Ring-buffer window for latency percentiles.
-  size_t latency_window = 8192;
   // Workers in the shared exec/ pool the service lends to shards for
   // cold compiles (parallel apply/compile inside the managers; see
   // src/exec/). 0 or 1 keeps every compile on the shard's own thread —
@@ -113,6 +114,13 @@ struct ServeOptions {
   double quarantine_parole_max_ms = 60000;
   // Bound on distinct quarantined signatures (oldest strike evicted).
   size_t quarantine_capacity = 1024;
+  // Flight recorder (obs/flight_recorder.h): most recent request records
+  // retained for anomaly dumps. Always on; sizes the evidence window.
+  size_t flight_recorder_capacity = 256;
+  // When non-empty, anomaly dumps are also written to
+  // <dir>/flight_<seq>.json (the latest dump is always readable via
+  // QueryService::flight_recorder()->last_dump_json()).
+  std::string flight_dump_dir;
 };
 
 // Counters owned by the supervision layer (service-level, not summed
@@ -314,49 +322,6 @@ struct ServiceStats {
                : static_cast<double>(totals.plan_hits) /
                      static_cast<double>(lookups);
   }
-};
-
-// Sliding-window latency reservoir shared by all shards. Record() is
-// mutex-guarded (one short critical section per request); Percentile()
-// copies the window and selects, so it is safe to call concurrently.
-class LatencyRecorder {
- public:
-  // A zero window is clamped to one sample (the ring-buffer arithmetic
-  // below needs a non-empty window).
-  explicit LatencyRecorder(size_t window = 8192)
-      : window_(window == 0 ? 1 : window) {
-    samples_.reserve(window_);
-  }
-
-  void Record(double ms) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (samples_.size() < window_) {
-      samples_.push_back(ms);
-    } else {
-      samples_[next_] = ms;
-    }
-    next_ = (next_ + 1) % window_;
-  }
-
-  // p in [0, 1]; 0 when no samples have been recorded.
-  double Percentile(double p) const {
-    std::vector<double> copy;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      copy = samples_;
-    }
-    if (copy.empty()) return 0.0;
-    const size_t rank = std::min(
-        copy.size() - 1, static_cast<size_t>(p * (copy.size() - 1) + 0.5));
-    std::nth_element(copy.begin(), copy.begin() + rank, copy.end());
-    return copy[rank];
-  }
-
- private:
-  mutable std::mutex mu_;
-  size_t window_;
-  size_t next_ = 0;
-  std::vector<double> samples_;
 };
 
 }  // namespace ctsdd

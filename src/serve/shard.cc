@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <string>
 #include <utility>
 
 #include "circuit/eval.h"
 #include "db/lineage.h"
 #include "obdd/obdd_compile.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "sdd/sdd_compile.h"
 #include "serve/signature.h"
 #include "util/fault_injection.h"
@@ -32,13 +35,14 @@ void ShardWorker::TripActiveBudgetOnCurrentThread(StatusCode code) {
 }
 
 ShardWorker::ShardWorker(int shard_id, const ServeOptions& options,
-                         LatencyRecorder* latency, LatencyRecorder* gc_latency,
-                         exec::TaskPool* exec_pool, Quarantine* quarantine,
-                         SupervisionCounters* sup)
+                         obs::Histogram* latency_us, obs::Histogram* gc_pause_us,
+                         obs::FlightRecorder* flight, exec::TaskPool* exec_pool,
+                         Quarantine* quarantine, SupervisionCounters* sup)
     : id_(shard_id),
       options_(options),
-      latency_(latency),
-      gc_latency_(gc_latency),
+      latency_us_(latency_us),
+      gc_pause_us_(gc_pause_us),
+      flight_(flight),
       exec_pool_(exec_pool),
       quarantine_(quarantine),
       sup_(sup),
@@ -163,6 +167,7 @@ void ShardWorker::CollectHedgeCandidates(
 }
 
 void ShardWorker::Loop() {
+  obs::SetCurrentThreadName("shard-" + std::to_string(id_));
   for (;;) {
     ShardJob job;
     {
@@ -213,6 +218,34 @@ void ShardWorker::Process(const ShardJob& job) {
   QueryResponse response;  // local: delivered only through the claim
   response.shard = id_;
 
+  // Start the request's flight record (completed in FinishJob on a claim
+  // win; duplicate skips never record).
+  pending_record_ = obs::FlightRecord{};
+  pending_record_.trace_id = state.trace.trace_id;
+  pending_record_.query_sig = state.key.query_sig;
+  pending_record_.db_sig = state.key.db_sig;
+  pending_record_.shard = id_;
+  pending_record_.hedged = job.is_hedge;
+  pending_record_.queue_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - state.submitted_at)
+          .count();
+  request_gc_ms_ = 0;
+  bytes_at_request_start_ = account_.bytes();
+  // Queue wait lives on the request's async track, not this thread's:
+  // it started while this worker was busy with earlier requests, so an
+  // 'X' event here would overlap and break per-thread span nesting.
+  if (obs::TraceArmed() && state.submit_ts_us > 0 &&
+      state.trace.trace_id != 0) {
+    obs::TraceAsyncSince("serve", "queue.wait", state.trace.trace_id,
+                         state.submit_ts_us);
+  }
+  obs::TraceSpan process_span("serve", "shard.process", state.trace);
+  if (process_span.armed()) {
+    process_span.AddArg("shard", static_cast<uint64_t>(id_));
+    if (job.is_hedge) process_span.AddArg2("hedge", 1);
+  }
+
   // Deadline respect at dequeue: a job that expired while queued fails
   // typed, without paying for a compile it can no longer use.
   if (state.has_deadline &&
@@ -225,6 +258,7 @@ void ShardWorker::Process(const ShardJob& job) {
 
   CompiledPlan* plan = plans_.Lookup(state.key);
   response.plan_cache_hit = plan != nullptr;
+  pending_record_.cache_hit = plan != nullptr;
   Beat();
   if (plan == nullptr) {
     // Quarantine re-check at compile time: the signature may have been
@@ -246,6 +280,11 @@ void ShardWorker::Process(const ShardJob& job) {
     if (options_.mem_governor != nullptr &&
         options_.mem_governor->tier() == MemGovernor::Tier::kCritical) {
       ++local_mem_rejects_;
+      if (flight_ != nullptr) {
+        flight_->NoteAnomaly(obs::Anomaly::kMemoryDenial,
+                             "shard " + std::to_string(id_) +
+                                 ": critical tier rejected cold compile");
+      }
       RunMemPressureLadder();
       response.status = Status::ResourceExhausted(
           "memory pressure: cold compile rejected; retry later");
@@ -253,7 +292,9 @@ void ShardWorker::Process(const ShardJob& job) {
       FinishJob(job, response, timer.ElapsedMillis());
       return;
     }
+    Timer compile_timer;
     auto compiled = CompilePlan(job);
+    pending_record_.compile_ms = compile_timer.ElapsedMillis();
     if (compiled.ok()) {
       plan = plans_.Insert(state.key, std::move(compiled).value());
       if (quarantine_ != nullptr) {
@@ -265,19 +306,35 @@ void ShardWorker::Process(const ShardJob& job) {
         // The governor tripped this compile at an allocation seam: hand
         // the client a backoff hint and shed before the next request.
         response.retry_after_ms = MemRetryHintMs();
+        if (flight_ != nullptr) {
+          flight_->NoteAnomaly(obs::Anomaly::kMemoryDenial,
+                               "shard " + std::to_string(id_) +
+                                   ": governor tripped in-flight compile");
+        }
         RunMemPressureLadder();
       }
     }
   }
   Beat();
   if (plan != nullptr) {
-    response.probability = EvaluatePlan(*plan, request);
+    pending_record_.route = static_cast<int>(plan->route);
+    pending_record_.plan_size = plan->size;
+    {
+      obs::TraceSpan wmc_span("serve", "wmc", state.trace);
+      Timer wmc_timer;
+      response.probability = EvaluatePlan(*plan, request);
+      pending_record_.wmc_ms = wmc_timer.ElapsedMillis();
+      if (wmc_span.armed()) {
+        wmc_span.AddArg("plan_size", static_cast<uint64_t>(plan->size));
+      }
+    }
     response.lineage_gates = plan->lineage_gates;
     response.size = plan->size;
     response.width = plan->width;
     // A cached ladder plan keeps answering for the original key, so
     // repeats report degraded too.
     response.degraded = plan->route != request.route;
+    pending_record_.degraded = response.degraded;
   }
   Beat();
 
@@ -314,7 +371,23 @@ void ShardWorker::FinishJob(const ShardJob& job, QueryResponse& response,
       ++local_timeouts_;
     }
   }
-  latency_->Record(ms);
+  latency_us_->Record(static_cast<uint64_t>(ms * 1000.0));
+  if (flight_ != nullptr) {
+    pending_record_.status_code = static_cast<int>(response.status.code());
+    pending_record_.total_ms = ms;
+    pending_record_.gc_ms = request_gc_ms_;
+    pending_record_.bytes_charged =
+        static_cast<int64_t>(account_.bytes()) -
+        static_cast<int64_t>(bytes_at_request_start_);
+    flight_->Record(pending_record_);
+    // Refresh the outlier bar from the live latency distribution every
+    // so often: far-above-p99 completions then dump the ring.
+    if (++wins_since_outlier_refresh_ >= 64) {
+      wins_since_outlier_refresh_ = 0;
+      const double p99_ms = latency_us_->ValueAtPercentile(0.99) / 1000.0;
+      if (p99_ms > 0) flight_->SetLatencyOutlierMs(8.0 * p99_ms);
+    }
+  }
   const double ewma = ewma_service_ms_.load(std::memory_order_relaxed);
   const double next_ewma = 0.8 * ewma + 0.2 * ms;
   ewma_service_ms_.store(next_ewma, std::memory_order_relaxed);
@@ -357,6 +430,10 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
   const int side = job.is_hedge ? 1 : 0;
   ++local_compiles_;
   last_compile_mem_pressure_ = false;
+  obs::TraceSpan compile_span("compile", "compile", state.trace);
+  if (compile_span.armed()) {
+    compile_span.AddArg("route", static_cast<uint64_t>(request.route));
+  }
   auto lineage = BuildLineage(request.query, *request.db);
   CTSDD_RETURN_IF_ERROR(lineage.status());
   const Circuit& circuit = lineage.value();
@@ -384,6 +461,7 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
 
   WorkBudget primary(options_.compile_node_budget, DeadlineLeftMs(state));
   primary.BindPulse(&progress_);
+  if (obs::TraceArmed()) primary.SetTraceContext(obs::CurrentContext());
   state.RegisterBudget(side, &primary);
   t_active_budget = &primary;
   auto first = CompileRoute(request, request.route, circuit, vars, &primary);
@@ -407,6 +485,7 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
   ++local_fallbacks_;
   WorkBudget fallback(options_.compile_node_budget, DeadlineLeftMs(state));
   fallback.BindPulse(&progress_);
+  if (obs::TraceArmed()) fallback.SetTraceContext(obs::CurrentContext());
   state.RegisterBudget(side, &fallback);
   t_active_budget = &fallback;
   auto second = CompileRoute(request, AlternateRoute(request.route), circuit,
@@ -429,6 +508,11 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
     if (quarantine_ != nullptr) {
       quarantine_->ReportExhausted(state.key.query_sig, state.key.db_sig,
                                    std::chrono::steady_clock::now());
+      if (flight_ != nullptr) {
+        flight_->NoteAnomaly(obs::Anomaly::kQuarantineStrike,
+                             "shard " + std::to_string(id_) +
+                                 ": double-route budget exhaustion");
+      }
     }
   }
   return second;
@@ -574,7 +658,9 @@ template <typename Manager>
 size_t ShardWorker::TimedGc(Manager* manager) {
   Timer timer;
   const size_t reclaimed = manager->GarbageCollect();
-  gc_latency_->Record(timer.ElapsedMillis());
+  const double ms = timer.ElapsedMillis();
+  gc_pause_us_->Record(static_cast<uint64_t>(ms * 1000.0));
+  request_gc_ms_ += ms;
   ++local_gc_runs_;
   local_gc_reclaimed_ += reclaimed;
   return reclaimed;

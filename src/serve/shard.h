@@ -38,6 +38,9 @@
 
 #include "circuit/circuit.h"
 #include "exec/task_pool.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "obdd/obdd.h"
 #include "sdd/sdd.h"
 #include "serve/plan_cache.h"
@@ -69,6 +72,11 @@ struct JobState {
   // True when quarantine admission let this request through as a parole
   // trial; workers skip the quarantine re-check for it.
   bool is_parole_trial = false;
+  // Tracing hand-off (zero when the tracer was disarmed at admission):
+  // every dispatched copy roots its spans under the same trace id, and
+  // the claim winner emits the terminal async end event in Publish.
+  obs::TraceContext trace;
+  double submit_ts_us = 0;  // TraceNowUs() at admission, for queue.wait
   std::atomic<int>* remaining = nullptr;
   std::mutex* done_mu = nullptr;
   std::condition_variable* done_cv = nullptr;
@@ -126,6 +134,11 @@ struct JobState {
   // Winner-only: fills the response slot and releases the submitter.
   void Publish(const QueryResponse& result) {
     *response = result;
+    // Exactly-once terminal span of the request's async track: only the
+    // claim winner reaches Publish.
+    if (trace.trace_id != 0) {
+      obs::TraceAsyncEnd("request", "request", trace.trace_id);
+    }
     // Decrement and notify inside the critical section: the submitter's
     // wait predicate can then only observe zero after acquiring the
     // mutex this thread holds, so it cannot wake, return, and destroy
@@ -150,11 +163,15 @@ class ShardWorker {
   // `quarantine` (may be null) is the service-level poison negative
   // cache: workers re-check it before a cold compile and report compile
   // outcomes into it. `sup` (may be null) carries the shared supervision
-  // counters (hedge wins/cancels).
+  // counters (hedge wins/cancels). `latency_us` / `gc_pause_us` are the
+  // service's shared histograms (microsecond samples); `flight` (may be
+  // null) is the service's flight recorder — the worker appends one
+  // record per claim-winning completion and raises quarantine-strike /
+  // memory-denial anomalies.
   ShardWorker(int shard_id, const ServeOptions& options,
-              LatencyRecorder* latency, LatencyRecorder* gc_latency,
-              exec::TaskPool* exec_pool, Quarantine* quarantine,
-              SupervisionCounters* sup);
+              obs::Histogram* latency_us, obs::Histogram* gc_pause_us,
+              obs::FlightRecorder* flight, exec::TaskPool* exec_pool,
+              Quarantine* quarantine, SupervisionCounters* sup);
   ~ShardWorker();  // drains the queue, joins the thread
 
   ShardWorker(const ShardWorker&) = delete;
@@ -281,8 +298,9 @@ class ShardWorker {
 
   const int id_;
   const ServeOptions options_;
-  LatencyRecorder* const latency_;
-  LatencyRecorder* const gc_latency_;
+  obs::Histogram* const latency_us_;   // shared service histogram
+  obs::Histogram* const gc_pause_us_;  // shared service histogram
+  obs::FlightRecorder* const flight_;  // shared, may be null
   exec::TaskPool* const exec_pool_;    // shared, may be null
   Quarantine* const quarantine_;       // shared, may be null
   SupervisionCounters* const sup_;     // shared, may be null
@@ -326,6 +344,16 @@ class ShardWorker {
   // after the CompilePlan call).
   bool last_compile_mem_pressure_ = false;
   int local_peak_live_ = 0;
+  // Flight-record assembly for the request being processed (worker-
+  // thread local): Process fills the identity and phase fields, TimedGc
+  // accumulates pause time, FinishJob completes and appends it on a
+  // claim win.
+  obs::FlightRecord pending_record_;
+  double request_gc_ms_ = 0;
+  uint64_t bytes_at_request_start_ = 0;
+  // Claim wins since the outlier bar was last refreshed from the
+  // latency histogram.
+  uint32_t wins_since_outlier_refresh_ = 0;
   // Written by the worker thread, read by Submit on client threads for
   // the retry-after hint.
   std::atomic<double> ewma_service_ms_{1.0};

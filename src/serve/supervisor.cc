@@ -1,7 +1,10 @@
 #include "serve/supervisor.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace ctsdd {
 
@@ -16,10 +19,12 @@ double SinceMs(std::chrono::steady_clock::time_point then,
 
 Supervisor::Supervisor(const ServeOptions& options,
                        std::vector<std::unique_ptr<ShardSlot>>* slots,
-                       SupervisionCounters* counters, WorkerFactory factory)
+                       SupervisionCounters* counters,
+                       obs::FlightRecorder* flight, WorkerFactory factory)
     : options_(options),
       slots_(slots),
       counters_(counters),
+      flight_(flight),
       factory_(std::move(factory)),
       seen_(slots->size()),
       thread_(&Supervisor::Loop, this) {}
@@ -74,6 +79,13 @@ void Supervisor::ScanOnce(std::chrono::steady_clock::time_point now) {
       // The supervisor never asked this worker to stop, so an exited
       // thread is a crash.
       counters_->deaths_detected.fetch_add(1, std::memory_order_relaxed);
+      if (flight_ != nullptr) {
+        flight_->NoteAnomaly(
+            obs::Anomaly::kHangDetected,
+            "shard " + std::to_string(i) + ": worker thread died");
+      }
+      obs::TraceInstant("serve", "shard.death", {},
+                        "shard", static_cast<uint64_t>(i));
       Restart(i, std::move(worker), now);
       continue;
     }
@@ -83,6 +95,13 @@ void Supervisor::ScanOnce(std::chrono::steady_clock::time_point now) {
         seen_[i] = {progress, now};
       } else if (SinceMs(seen_[i].at, now) > options_.heartbeat_window_ms) {
         counters_->hangs_detected.fetch_add(1, std::memory_order_relaxed);
+        if (flight_ != nullptr) {
+          flight_->NoteAnomaly(
+              obs::Anomaly::kHangDetected,
+              "shard " + std::to_string(i) + ": no progress for window");
+        }
+        obs::TraceInstant("serve", "shard.hang", {},
+                          "shard", static_cast<uint64_t>(i));
         Restart(i, std::move(worker), now);
       }
       continue;
@@ -134,6 +153,18 @@ void Supervisor::Restart(size_t i, std::shared_ptr<ShardWorker> old,
     if (job.state->TryClaim()) {
       job.state->CancelLoserBudgets(StatusCode::kUnavailable);
       counters_->failed_on_restart.fetch_add(1, std::memory_order_relaxed);
+      if (flight_ != nullptr) {
+        // Restart failures bypass the worker's FinishJob path; account
+        // for them here so the ring covers every typed rejection.
+        obs::FlightRecord rec;
+        rec.trace_id = job.state->trace.trace_id;
+        rec.query_sig = job.state->key.query_sig;
+        rec.db_sig = job.state->key.db_sig;
+        rec.shard = static_cast<int>(i);
+        rec.status_code = static_cast<int>(StatusCode::kUnavailable);
+        rec.hedged = job.is_hedge;
+        flight_->Record(rec);
+      }
       job.state->Publish(response);
     }
   }
@@ -164,6 +195,8 @@ void Supervisor::DispatchHedges(std::chrono::steady_clock::time_point now) {
       std::shared_ptr<ShardWorker> sibling = (*slots_)[j]->Get();
       if (sibling->exited()) continue;
       counters_->hedges_dispatched.fetch_add(1, std::memory_order_relaxed);
+      obs::TraceInstant("serve", "hedge.dispatch", state->trace,
+                        "target", static_cast<uint64_t>(j));
       if (!sibling->Submit(ShardJob{state, /*is_hedge=*/true}, nullptr)) {
         counters_->hedge_sheds.fetch_add(1, std::memory_order_relaxed);
       }

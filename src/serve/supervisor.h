@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "serve/serve_stats.h"
 #include "serve/shard.h"
 
@@ -63,9 +64,12 @@ class Supervisor {
 
   // `slots` must outlive the supervisor (the service destroys the
   // supervisor first). `factory` builds a replacement worker for a slot.
+  // `flight` (may be null) receives hang/death anomalies and one record
+  // per request failed by a restart.
   Supervisor(const ServeOptions& options,
              std::vector<std::unique_ptr<ShardSlot>>* slots,
-             SupervisionCounters* counters, WorkerFactory factory);
+             SupervisionCounters* counters, obs::FlightRecorder* flight,
+             WorkerFactory factory);
   ~Supervisor();  // stops the scan thread, then drains retired workers
 
   Supervisor(const Supervisor&) = delete;
@@ -96,6 +100,7 @@ class Supervisor {
   const ServeOptions options_;
   std::vector<std::unique_ptr<ShardSlot>>* const slots_;
   SupervisionCounters* const counters_;
+  obs::FlightRecorder* const flight_;  // may be null
   const WorkerFactory factory_;
 
   std::vector<Seen> seen_;  // scan-thread only

@@ -32,6 +32,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace ctsdd {
@@ -107,6 +108,11 @@ class WorkBudget {
   // compiling thread (binding is not synchronized against leases).
   void BindPulse(std::atomic<uint64_t>* pulse) { pulse_ = pulse; }
 
+  // Attaches the owning request's trace context so lease grants show up
+  // as span events under the request's compile span when the tracer is
+  // armed. Set before handing the budget to any compiling thread.
+  void SetTraceContext(obs::TraceContext ctx) { trace_ctx_ = ctx; }
+
   // Charges up to `want` node allocations; returns how many were
   // granted (0 if the budget is tripped or exhausted). A short grant
   // (< want) means the budget boundary was reached: the caller may
@@ -118,13 +124,28 @@ class WorkBudget {
       Trip(StatusCode::kDeadlineExceeded);
       return 0;
     }
-    if (node_budget_ == 0) return want;
+    if (node_budget_ == 0) {
+      if (obs::TraceArmed()) {
+        obs::TraceInstant("compile", "budget.lease", trace_ctx_, "granted",
+                          want);
+      }
+      return want;
+    }
     const uint64_t old = used_.fetch_add(want, std::memory_order_relaxed);
     if (old >= node_budget_) {
       Trip(StatusCode::kResourceExhausted);
+      if (obs::TraceArmed()) {
+        obs::TraceInstant("compile", "budget.exhausted", trace_ctx_, "used",
+                          old);
+      }
       return 0;
     }
-    return std::min(want, node_budget_ - old);
+    const uint64_t granted = std::min(want, node_budget_ - old);
+    if (obs::TraceArmed()) {
+      obs::TraceInstant("compile", "budget.lease", trace_ctx_, "granted",
+                        granted);
+    }
+    return granted;
   }
 
   // Amortized deadline/cancel poll: cheap counter bump, with the clock
@@ -157,6 +178,8 @@ class WorkBudget {
   const bool has_deadline_;
   const std::chrono::steady_clock::time_point deadline_;
   std::atomic<uint64_t>* pulse_ = nullptr;
+  // Set while quiescent (before compile threads run); read-only after.
+  obs::TraceContext trace_ctx_;
   std::atomic<uint64_t> used_{0};
   std::atomic<uint32_t> polls_{0};
   std::atomic<int> reason_{0};  // StatusCode of the first trip, 0 = none

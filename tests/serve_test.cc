@@ -15,6 +15,7 @@
 #include "db/query_compile.h"
 #include "func/bool_func.h"
 #include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
 #include "obdd/obdd.h"
 #include "obdd/obdd_compile.h"
 #include "sdd/sdd.h"
@@ -696,6 +697,7 @@ TEST(QueryServiceRobustnessTest, ChaosAcceptedAnswersStayOracleCorrect) {
   options.gc_check_interval = 4;
   options.compile_node_budget = 600;  // some compiles abort, some ladder
   options.max_queue_depth = 4;
+  options.flight_recorder_capacity = 1024;  // every request stays in the ring
   QueryService service(options);
   if (fault::Enabled()) {
     fault::FaultSpec stall;
@@ -768,6 +770,18 @@ TEST(QueryServiceRobustnessTest, ChaosAcceptedAnswersStayOracleCorrect) {
                 options.gc_live_node_ceiling);
   // GC pauses were recorded for the percentile surface.
   EXPECT_GT(stats.gc_pause_p99_ms, 0.0);
+
+  // The flight recorder accounted every outcome exactly once: each
+  // accepted answer and each typed rejection is one ring record.
+  const obs::FlightRecorder* flight = service.flight_recorder();
+  ASSERT_NE(flight, nullptr);
+  EXPECT_EQ(flight->records(), accepted + rejected);
+  uint64_t ok_records = 0, failed_records = 0;
+  for (const obs::FlightRecord& record : flight->Snapshot()) {
+    record.status_code == 0 ? ++ok_records : ++failed_records;
+  }
+  EXPECT_EQ(ok_records, accepted);
+  EXPECT_EQ(failed_records, rejected);
 }
 
 // --- Memory governor ------------------------------------------------------
@@ -871,6 +885,12 @@ TEST(QueryServiceMemoryTest, InjectedMemoryPressureIsTypedNotQuarantined) {
   EXPECT_GT(stats.rejected_memory, 0u);
   EXPECT_EQ(stats.rejected_quarantine, 0u);
   EXPECT_EQ(stats.supervision.quarantine_strikes, 0u);
+  // Each governor denial registered as a memory-denial anomaly and the
+  // first one produced an evidence dump.
+  EXPECT_GE(service.flight_recorder()->anomaly_count(
+                obs::Anomaly::kMemoryDenial),
+            1u);
+  EXPECT_GE(service.flight_recorder()->dumps(), 1u);
 
   // Disarmed, every previously failed query serves — exactly.
   for (const QueryRequest& request : failed) {
@@ -958,6 +978,11 @@ TEST(QueryServiceSupervisionTest, HungShardFailsQueuedRequestsTyped) {
   const ServiceStats during = service.stats();
   EXPECT_GE(during.supervision.hangs_detected, 1u);
   EXPECT_GE(during.supervision.shard_restarts, 1u);
+  // The hang verdict registered as an anomaly with an evidence dump.
+  EXPECT_GE(service.flight_recorder()->anomaly_count(
+                obs::Anomaly::kHangDetected),
+            1u);
+  EXPECT_GE(service.flight_recorder()->dumps(), 1u);
   EXPECT_GE(during.supervision.failed_on_restart, batch.size());
   EXPECT_EQ(during.totals.requests, batch.size());
   EXPECT_EQ(during.totals.failures, batch.size());
@@ -1053,6 +1078,13 @@ TEST(QueryServiceSupervisionTest, PermanentPoisonPaysAtMostThresholdCompiles) {
   // Every attempt is visible to monitoring.
   EXPECT_EQ(stats.totals.requests, 8u);
   EXPECT_EQ(stats.totals.failures, 8u);
+  // Both strikes registered as anomalies, and all eight rejections —
+  // the two worker-side exhaustions and the six admission rejects —
+  // landed in the flight ring.
+  EXPECT_EQ(service.flight_recorder()->anomaly_count(
+                obs::Anomaly::kQuarantineStrike),
+            2u);
+  EXPECT_EQ(service.flight_recorder()->records(), 8u);
 }
 
 // A transiently-poisoned signature (exhaustions caused by injected
