@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition page (as served by /metrics).
+
+Checks the subset of the exposition format the repo's MetricsRegistry
+emits, strictly enough to catch real regressions:
+
+  * every sample belongs to a metric family announced by # TYPE;
+  * every family has a # HELP line, and HELP precedes TYPE;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * label values are properly quoted and escaped (\\, \", \n);
+  * histogram families expose _bucket/_sum/_count, bucket counts are
+    cumulative (non-decreasing in le order), the le="+Inf" bucket exists
+    and equals _count;
+  * no duplicate TYPE/HELP announcements and no duplicate samples.
+
+Usage:
+  validate_prometheus.py <file>      # or '-' / no arg for stdin
+Exit status 0 when valid; 1 with one line per violation otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_family(name):
+    """Family a sample belongs to ('x_bucket' -> 'x' for histograms)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_le(raw):
+    if raw == "+Inf":
+        return float("inf")
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def validate(text):
+    errors = []
+    types = {}      # family -> type
+    helps = set()   # families with a HELP line
+    seen_samples = set()
+    # family -> list of (le, count) in emission order
+    buckets = {}
+    sums = {}
+    counts = {}
+    sample_families = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        def err(msg):
+            errors.append("line %d: %s (%r)" % (lineno, msg, line[:120]))
+
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                err("malformed HELP line")
+                continue
+            family = parts[2]
+            if not NAME_RE.match(family):
+                err("HELP for invalid metric name %r" % family)
+            if family in helps:
+                err("duplicate HELP for %r" % family)
+            if family in types:
+                err("HELP after TYPE for %r (HELP must come first)" % family)
+            helps.add(family)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                err("malformed TYPE line")
+                continue
+            family, kind = parts[2], parts[3]
+            if not NAME_RE.match(family):
+                err("TYPE for invalid metric name %r" % family)
+            if kind not in VALID_TYPES:
+                err("unknown metric type %r" % kind)
+            if family in types:
+                err("duplicate TYPE for %r" % family)
+            if family in sample_families:
+                err("TYPE for %r after its samples" % family)
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue  # comment
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err("unparseable sample line")
+            continue
+        name = m.group("name")
+        family = base_family(name)
+        sample_families.add(family)
+        labels_raw = m.group("labels")
+        labels = {}
+        if labels_raw is not None:
+            consumed = LABEL_RE.findall(labels_raw)
+            # Rebuild to ensure the whole label blob was well-formed.
+            rebuilt = ",".join('%s="%s"' % (k, v) for k, v in consumed)
+            if rebuilt != labels_raw:
+                err("malformed label set %r" % labels_raw)
+                continue
+            labels = dict(consumed)
+            for value in labels.values():
+                # Only \\ \" \n escapes are legal in label values.
+                if re.search(r'\\(?![\\"n])', value):
+                    err("invalid escape in label value %r" % value)
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            err("non-numeric sample value %r" % m.group("value"))
+            continue
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            err("duplicate sample %r" % (key,))
+        seen_samples.add(key)
+
+        if family not in types:
+            err("sample for %r before/without a TYPE line" % name)
+            continue
+        if family not in helps:
+            err("sample for %r without a HELP line" % name)
+
+        if types[family] == "histogram":
+            if name.endswith("_bucket"):
+                le = parse_le(labels.get("le", ""))
+                if le is None:
+                    err("histogram bucket without a valid le label")
+                else:
+                    buckets.setdefault(family, []).append((le, value))
+            elif name.endswith("_sum"):
+                sums[family] = value
+            elif name.endswith("_count"):
+                counts[family] = value
+            else:
+                err("bare sample %r inside histogram family" % name)
+
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        series = buckets.get(family, [])
+        if not series:
+            errors.append("histogram %r has no _bucket samples" % family)
+            continue
+        if family not in counts:
+            errors.append("histogram %r has no _count" % family)
+        if family not in sums:
+            errors.append("histogram %r has no _sum" % family)
+        les = [le for le, _ in series]
+        if les != sorted(les):
+            errors.append("histogram %r buckets not in ascending le order" %
+                          family)
+        values = [v for _, v in series]
+        if any(b < a for a, b in zip(values, values[1:])):
+            errors.append("histogram %r bucket counts not cumulative" % family)
+        if les[-1] != float("inf"):
+            errors.append("histogram %r missing le=\"+Inf\" bucket" % family)
+        elif family in counts and values[-1] != counts[family]:
+            errors.append(
+                "histogram %r +Inf bucket %g != _count %g" %
+                (family, values[-1], counts[family]))
+
+    return errors
+
+
+def main(argv):
+    if len(argv) > 1 and argv[1] != "-":
+        with open(argv[1], "r") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    errors = validate(text)
+    for e in errors:
+        print("INVALID: %s" % e, file=sys.stderr)
+    if errors:
+        return 1
+    families = len([1 for line in text.splitlines()
+                    if line.startswith("# TYPE ")])
+    print("OK: %d metric families validated" % families)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -117,6 +117,7 @@ bool TaskPool::TryRunOne(uint64_t* rng_state) {
       const int victim = start + k < limit ? start + k : start + k - limit;
       if (victim == self) continue;
       item = deques_[victim]->Steal();
+      if (item != nullptr) steals_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (item == nullptr) return false;
@@ -155,6 +156,7 @@ void TaskPool::WorkerLoop(int slot) {
       continue;
     }
     std::unique_lock<std::mutex> lock(mu_);
+    parks_.fetch_add(1, std::memory_order_relaxed);
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     cv_.wait(lock, [&] {
       return stopping_ || pending_.load(std::memory_order_seq_cst) > 0;

@@ -131,6 +131,7 @@ class TaskPool {
   // execution path — inline reclaim, helping join, worker loop — funnels
   // through here so exec-pool work shows up in request traces.
   void RunTask(Task* task) {
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
     if (obs::TraceArmed()) {
       obs::TraceSpan span("exec", "exec.task", task->trace_ctx);
       span.AddArg("stolen",
@@ -142,6 +143,16 @@ class TaskPool {
     }
     task->Execute();
   }
+
+  // Lifetime activity counters (monotone, relaxed): every task executed
+  // anywhere (workers, joins, inline reclaims), cross-slot steals that
+  // yielded a task, and worker park events (cv sleeps after an idle
+  // scan). Exported through the metrics registry by the serving layer.
+  uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  uint64_t parks() const { return parks_.load(std::memory_order_relaxed); }
 
  private:
   void WorkerLoop(int slot);
@@ -161,6 +172,10 @@ class TaskPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> parks_{0};
 };
 
 // Runs a() and b(), forking b when the pool can run it elsewhere. The

@@ -1,0 +1,239 @@
+#include "obs/debug_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace ctsdd::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+// Writes the full buffer, tolerating short writes; MSG_NOSIGNAL so a
+// client that hung up mid-response costs an errno, not a SIGPIPE.
+void SendAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client gone or stalled past SO_SNDTIMEO; give up
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void WriteResponse(int fd, const DebugServer::Response& r) {
+  std::string head = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                     StatusText(r.status) + "\r\n";
+  head += "Content-Type: " + r.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  for (const auto& [k, v] : r.headers) head += k + ": " + v + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  SendAll(fd, head.data(), head.size());
+  SendAll(fd, r.body.data(), r.body.size());
+}
+
+}  // namespace
+
+int64_t DebugServer::Request::IntParam(const std::string& key, int64_t def,
+                                       int64_t lo, int64_t hi) const {
+  auto it = params.find(key);
+  int64_t v = def;
+  if (it != params.end() && !it->second.empty()) {
+    char* end = nullptr;
+    long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0') v = parsed;
+  }
+  if (v < lo) v = lo;
+  if (v > hi) v = hi;
+  return v;
+}
+
+void DebugServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+bool DebugServer::Start(int port, const std::string& bind_addr) {
+  if (running_.load(std::memory_order_acquire)) {
+    error_ = "already running";
+    return false;
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad bind address: " + bind_addr;
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, 8) != 0) {
+    error_ = std::string("bind/listen: ") + std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return true;
+}
+
+void DebugServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void DebugServer::ServeLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Bound how long a stalled client can hold the (single) server
+    // thread on either side of the exchange.
+    timeval tv{.tv_sec = 5, .tv_usec = 0};
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+void DebugServer::ServeConnection(int fd) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string req;
+  req.reserve(1024);
+  char buf[1024];
+  bool have_headers = false;
+  while (req.size() <= kMaxRequestBytes) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // client closed, or SO_RCVTIMEO expired
+    req.append(buf, static_cast<size_t>(n));
+    if (req.find("\r\n\r\n") != std::string::npos ||
+        req.find("\n\n") != std::string::npos) {
+      have_headers = true;
+      break;
+    }
+  }
+  if (req.size() > kMaxRequestBytes) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    WriteResponse(fd, {413, "text/plain; charset=utf-8",
+                       "request exceeds " + std::to_string(kMaxRequestBytes) +
+                           " bytes\n"});
+    return;
+  }
+  if (!have_headers || req.empty()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    WriteResponse(fd, {400, "text/plain; charset=utf-8",
+                       "malformed request\n"});
+    return;
+  }
+
+  // Request line: METHOD SP target SP version.
+  const size_t eol = req.find_first_of("\r\n");
+  const std::string line = req.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    WriteResponse(fd, {400, "text/plain; charset=utf-8",
+                       "malformed request line\n"});
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    Response r{405, "text/plain; charset=utf-8",
+               "only GET is supported\n"};
+    r.headers.emplace_back("Allow", "GET");
+    WriteResponse(fd, r);
+    return;
+  }
+
+  Request parsed;
+  const size_t q = target.find('?');
+  parsed.path = target.substr(0, q);
+  if (q != std::string::npos) {
+    std::string query = target.substr(q + 1);
+    size_t pos = 0;
+    while (pos < query.size()) {
+      size_t amp = query.find('&', pos);
+      if (amp == std::string::npos) amp = query.size();
+      std::string pair = query.substr(pos, amp - pos);
+      const size_t eq = pair.find('=');
+      if (eq != std::string::npos) {
+        parsed.params[pair.substr(0, eq)] = pair.substr(eq + 1);
+      } else if (!pair.empty()) {
+        parsed.params[pair] = "";
+      }
+      pos = amp + 1;
+    }
+  }
+
+  auto it = handlers_.find(parsed.path);
+  if (it == handlers_.end()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    std::string body = "404: unknown path " + parsed.path + "\nendpoints:\n";
+    for (const auto& [path, handler] : handlers_) body += "  " + path + "\n";
+    WriteResponse(fd, {404, "text/plain; charset=utf-8", std::move(body)});
+    return;
+  }
+  Response resp;
+  try {
+    resp = it->second(parsed);
+  } catch (const std::exception& e) {
+    resp = {500, "text/plain; charset=utf-8",
+            std::string("handler error: ") + e.what() + "\n"};
+  } catch (...) {
+    resp = {500, "text/plain; charset=utf-8", "handler error\n"};
+  }
+  WriteResponse(fd, resp);
+}
+
+}  // namespace ctsdd::obs

@@ -1,0 +1,108 @@
+// Minimal dependency-free HTTP/1.1 introspection endpoint.
+//
+// One background thread owns one listening POSIX socket and serves one
+// connection at a time: accept, read a bounded GET request, dispatch to
+// a registered handler, write the response, close. That is deliberately
+// all — no keep-alive, no pipelining, no TLS, no thread pool. The
+// server exists so an operator (or CI) can curl a live process; it is
+// not a web framework, and serializing requests means a misbehaving
+// scraper can slow introspection but can never amplify load on the
+// serving threads.
+//
+// Security posture: binds 127.0.0.1 unless explicitly told otherwise.
+// The endpoints expose internals (plans, memory, stacks) — never bind a
+// non-loopback address on an untrusted network.
+//
+// Robustness: requests larger than kMaxRequestBytes get 413, non-GET
+// gets 405, unparseable gets 400, unknown paths get 404 listing the
+// registered endpoints. Per-connection socket timeouts bound how long a
+// stalled client can hold the server. Handlers run on the server
+// thread and may block (e.g. /tracez arms the tracer and sleeps); the
+// accept queue simply backs up meanwhile.
+
+#ifndef CTSDD_OBS_DEBUG_SERVER_H_
+#define CTSDD_OBS_DEBUG_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ctsdd::obs {
+
+class DebugServer {
+ public:
+  static constexpr size_t kMaxRequestBytes = 8192;
+
+  struct Request {
+    std::string path;                          // decoded path, no query
+    std::map<std::string, std::string> params;  // query key=value pairs
+
+    // Integer query param with fallback; clamped to [lo, hi].
+    int64_t IntParam(const std::string& key, int64_t def, int64_t lo,
+                     int64_t hi) const;
+  };
+
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+    // Extra response headers, e.g. exact profiler drop counts.
+    std::vector<std::pair<std::string, std::string>> headers;
+  };
+
+  using Handler = std::function<Response(const Request&)>;
+
+  DebugServer() = default;
+  ~DebugServer() { Stop(); }
+  DebugServer(const DebugServer&) = delete;
+  DebugServer& operator=(const DebugServer&) = delete;
+
+  // Registers an exact-path handler. Call before Start(); the handler
+  // table is not mutated afterwards, so the server thread reads it
+  // without locks.
+  void Handle(std::string path, Handler handler);
+
+  // Binds `bind_addr:port` (port 0 picks an ephemeral port, readable
+  // via port()) and starts the server thread. False on bind/listen
+  // failure with the reason in error().
+  bool Start(int port, const std::string& bind_addr = "127.0.0.1");
+
+  // Stops the server thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  int port() const { return port_; }
+  const std::string& error() const { return error_; }
+
+  // Requests served / rejected (4xx/5xx from the framing layer, not
+  // handler-returned statuses), for the metrics registry.
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ServeLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::string error_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace ctsdd::obs
+
+#endif  // CTSDD_OBS_DEBUG_SERVER_H_

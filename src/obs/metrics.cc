@@ -22,29 +22,35 @@ uint64_t Histogram::ValueAtPercentile(double p) const {
   return max();
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name) {
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[name];
   CTSDD_CHECK(e.gauge == nullptr && e.histogram == nullptr)
       << "metric kind mismatch for " << name;
+  if (e.help.empty()) e.help = help;
   if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
   return e.counter.get();
 }
 
-Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[name];
   CTSDD_CHECK(e.counter == nullptr && e.histogram == nullptr)
       << "metric kind mismatch for " << name;
+  if (e.help.empty()) e.help = help;
   if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
   return e.gauge.get();
 }
 
-Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[name];
   CTSDD_CHECK(e.counter == nullptr && e.gauge == nullptr)
       << "metric kind mismatch for " << name;
+  if (e.help.empty()) e.help = help;
   if (e.histogram == nullptr) e.histogram = std::make_unique<Histogram>();
   return e.histogram.get();
 }
@@ -97,6 +103,33 @@ std::string PrometheusName(const std::string& name) {
                     (c >= '0' && c <= '9') || c == '_' || c == ':';
     out.push_back(ok ? c : '_');
   }
+  // Metric names must not start with a digit.
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+// HELP text escaping per the exposition format: backslash and newline.
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+// Label-value escaping: backslash, double-quote, newline.
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
   return out;
 }
 
@@ -108,6 +141,8 @@ std::string MetricsRegistry::PrometheusText() const {
   char buf[160];
   for (const auto& [name, e] : entries_) {
     const std::string prom = PrometheusName(name);
+    const std::string help = e.help.empty() ? name : e.help;
+    out += "# HELP " + prom + " " + EscapeHelp(help) + "\n";
     if (e.counter != nullptr) {
       out += "# TYPE " + prom + " counter\n";
       std::snprintf(buf, sizeof(buf), "%s %llu\n", prom.c_str(),
@@ -120,17 +155,44 @@ std::string MetricsRegistry::PrometheusText() const {
       out += buf;
     } else {
       const Histogram& h = *e.histogram;
-      out += "# TYPE " + prom + " summary\n";
-      static constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
-      for (const double q : kQuantiles) {
-        std::snprintf(buf, sizeof(buf), "%s{quantile=\"%g\"} %llu\n",
-                      prom.c_str(), q,
-                      static_cast<unsigned long long>(h.ValueAtPercentile(q)));
-        out += buf;
+      out += "# TYPE " + prom + " histogram\n";
+      // One snapshot of the fine buckets drives every exported line, so
+      // the +Inf bucket and _count agree even while other threads
+      // record. Fine buckets tile power-of-two blocks exactly, so
+      // boundaries of the form 2^k - 1 (all values < 2^k) are exact,
+      // never approximated.
+      uint64_t fine[Histogram::kBucketCount];
+      uint64_t total = 0;
+      uint64_t top = 0;  // largest upper bound with any mass
+      for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+        fine[i] = h.bucket(i);
+        if (fine[i] != 0) {
+          total += fine[i];
+          top = Histogram::BucketUpperBound(i);
+        }
       }
-      std::snprintf(buf, sizeof(buf), "%s_sum %llu\n%s_count %llu\n",
+      size_t i = 0;
+      uint64_t cumulative = 0;
+      for (int k = 0; k < 64; ++k) {
+        const uint64_t boundary = (uint64_t{1} << k) - 1;
+        while (i < Histogram::kBucketCount &&
+               Histogram::BucketUpperBound(i) <= boundary) {
+          cumulative += fine[i];
+          ++i;
+        }
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%s\"} %llu\n",
+                      prom.c_str(),
+                      EscapeLabelValue(std::to_string(boundary)).c_str(),
+                      static_cast<unsigned long long>(cumulative));
+        out += buf;
+        if (boundary >= top) break;  // remaining boundaries add nothing
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n"
+                    "%s_count %llu\n",
+                    prom.c_str(), static_cast<unsigned long long>(total),
                     prom.c_str(), static_cast<unsigned long long>(h.sum()),
-                    prom.c_str(), static_cast<unsigned long long>(h.count()));
+                    prom.c_str(), static_cast<unsigned long long>(total));
       out += buf;
     }
   }

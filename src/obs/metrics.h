@@ -90,6 +90,18 @@ class Histogram {
     return lower + ((uint64_t{1} << shift) >> 1);
   }
 
+  // Largest value mapped to a bucket (inclusive). Fine buckets tile
+  // each [2^w, 2^(w+1)) block exactly, so no bucket straddles a
+  // power-of-two boundary — the property the Prometheus exposition
+  // leans on to coarsen 1920 fine buckets into exact cumulative
+  // power-of-two `le` buckets.
+  static uint64_t BucketUpperBound(size_t index) {
+    if (index < 2 * kSubCount) return static_cast<uint64_t>(index);
+    const int shift = static_cast<int>(index >> kSubBits) - 1;
+    const uint64_t lower = (kSubCount + (index & (kSubCount - 1))) << shift;
+    return lower + ((uint64_t{1} << shift) - 1);
+  }
+
   void Record(uint64_t value) {
     buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
@@ -159,21 +171,28 @@ class MetricsRegistry {
 
   // Stable pointers (valid for the registry's lifetime); registering the
   // same name twice returns the same object. A name registered as one
-  // kind must not be re-requested as another (checked).
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  // kind must not be re-requested as another (checked). `help` becomes
+  // the Prometheus HELP line; the first non-empty help for a name wins.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "");
 
   // Flat JSON object, keys sorted: scalars as integers, histograms as
   // {"count","sum","min","max","p50","p90","p99","p999"}.
   std::string JsonSnapshot() const;
 
-  // Prometheus text exposition (dots become underscores; histograms
-  // export as summaries with quantile labels).
+  // Prometheus text exposition, conformant: every metric gets HELP and
+  // TYPE lines (dots become underscores); histograms export cumulative
+  // `_bucket{le=...}` series on exact power-of-two boundaries plus
+  // `_sum`/`_count`, with the `le="+Inf"` bucket and `_count` computed
+  // from the same bucket snapshot so they always agree under concurrent
+  // recording.
   std::string PrometheusText() const;
 
  private:
   struct Entry {
+    std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;

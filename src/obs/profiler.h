@@ -1,0 +1,103 @@
+// Sampling CPU profiler: per-thread POSIX interval timers delivering
+// SIGPROF on the thread's own CPU clock, an async-signal-safe
+// frame-pointer unwinder, and per-thread lock-free sample buffers
+// aggregated off-signal into flamegraph-collapsed folded stacks.
+//
+// The design center mirrors the tracer's (obs/trace.h): ProfilerArmed()
+// is one relaxed load, so a service that never arms the profiler pays a
+// load and a predictable branch at its (few) registration sites and
+// nothing anywhere else — there is no instrumentation on computation
+// paths at all; samples are taken by the kernel's timer interrupt.
+//
+// Sampling discipline (same as the trace rings): the signal handler
+// appends [depth, pc...] frames to a pre-allocated per-thread buffer
+// with plain stores published by one release store of the cursor; when
+// the buffer is full the sample is counted in dropped() and discarded,
+// so accounting is exact — attempted() == samples() + dropped() always.
+// The handler allocates nothing, takes no locks, and touches only
+// thread-own state; buffer words are read by the collector only below
+// the acquired cursor, so collection during disarm is race-free.
+//
+// Threads opt in via RegisterCurrentThread() (called automatically by
+// obs::SetCurrentThreadName, which every serve/exec worker thread hits
+// at startup). Registration while armed self-creates the thread's
+// timer; threads that exit simply stop producing samples.
+//
+// Platform: Linux x86_64 (timer_create + SIGEV_THREAD_ID + RBP chain).
+// Elsewhere Supported() is false and Arm() fails cleanly. Meaningful
+// stacks need frame pointers (-fno-omit-frame-pointer, set for Release
+// in CMakeLists) and exported symbols for dladdr (CMAKE_ENABLE_EXPORTS).
+
+#ifndef CTSDD_OBS_PROFILER_H_
+#define CTSDD_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ctsdd::obs {
+
+namespace internal {
+extern std::atomic<bool> g_profiler_armed;
+}  // namespace internal
+
+// One relaxed load; the disarmed fast path everywhere.
+inline bool ProfilerArmed() {
+  return internal::g_profiler_armed.load(std::memory_order_relaxed);
+}
+
+class Profiler {
+ public:
+  struct Stats {
+    uint64_t attempted = 0;  // timer fires that reached the handler
+    uint64_t samples = 0;    // stored in a buffer
+    uint64_t dropped = 0;    // discarded: buffer full (exact)
+    uint64_t truncated = 0;  // stored, but the unwind hit the depth cap
+    int threads = 0;         // registered threads at snapshot time
+  };
+
+  // True when this build/platform can sample (Linux x86_64).
+  static bool Supported();
+
+  // Registers the calling thread for sampling, idempotently. `name`
+  // labels the thread's stacks in the collapsed output (empty = "tid-N").
+  // Called by obs::SetCurrentThreadName; call directly for threads that
+  // never name themselves (e.g. a bench main).
+  static void RegisterCurrentThread(const std::string& name = "");
+
+  // Arms sampling on every registered thread: one CPU-clock interval
+  // timer per thread at `interval_us` microseconds of thread CPU time,
+  // buffers sized to `buffer_words` uintptr_t words each (a sample costs
+  // depth + 1 words). False when unsupported or already armed. The
+  // default interval is prime, so periodic program structure cannot
+  // alias against the sampling clock.
+  //
+  // Rate caveat: Linux expires CPU-clock timers at scheduler-tick
+  // granularity, so the delivered rate is bounded by CONFIG_HZ
+  // (typically 250 fires per CPU-second per thread) no matter how small
+  // `interval_us` is, and threads that are mostly blocked accrue
+  // samples only in proportion to CPU actually burned — which is the
+  // point of sampling on the CPU clock.
+  static bool Arm(int interval_us = 997, size_t buffer_words = size_t{1} << 18);
+  static void Disarm();
+  static bool armed() { return ProfilerArmed(); }
+
+  static Stats stats();
+
+  // Folded-stack aggregation of everything sampled since the last
+  // Clear(): one "thread;outer;...;leaf count" line per distinct stack,
+  // flamegraph.pl / speedscope ready, sorted by descending count.
+  // Symbolized via dladdr (module+offset fallback). Call while
+  // disarmed — collection is only ordered against handlers that already
+  // published their cursor.
+  static std::string Collapsed();
+
+  // Drops buffered samples and resets the counters (keeps registrations
+  // and buffers).
+  static void Clear();
+};
+
+}  // namespace ctsdd::obs
+
+#endif  // CTSDD_OBS_PROFILER_H_

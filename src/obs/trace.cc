@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/profiler.h"
 #include "util/spinlock.h"
 
 namespace ctsdd::obs {
@@ -114,9 +115,14 @@ uint32_t NewSpanId() {
 }
 
 void SetCurrentThreadName(const std::string& name) {
-  ThreadBuffer& buf = *State().buffer;
-  SpinLockGuard guard(buf.lock);
-  buf.name = name;
+  {
+    ThreadBuffer& buf = *State().buffer;
+    SpinLockGuard guard(buf.lock);
+    buf.name = name;
+  }
+  // Every named thread is a profiling candidate; registration is
+  // idempotent and costs one TLS check after the first call.
+  Profiler::RegisterCurrentThread(name);
 }
 
 TraceContext CurrentContext() {

@@ -27,6 +27,7 @@
 #include "db/query_compile.h"
 #include "obdd/obdd.h"
 #include "sdd/sdd.h"
+#include "serve/plan_stats.h"
 #include "util/hashing.h"
 #include "util/mem_governor.h"
 
@@ -75,6 +76,10 @@ struct CompiledPlan {
   // uses it to target eviction at the manager actually over its
   // resident-node ceiling instead of shedding in global LRU order.
   int pinned_nodes = 0;
+  // Per-plan telemetry, shared with the PlanStatsRegistry live table so
+  // the debug server reads it without touching this (single-threaded)
+  // cache. Null only for plans built before telemetry wiring (tests).
+  std::shared_ptr<PlanStats> stats;
 };
 
 class PlanCache {
@@ -199,8 +204,12 @@ class PlanCache {
   // plan's variable list. Computed identically at insert and evict (the
   // plan is immutable while cached), so charges round-trip exactly.
   static size_t EntryBytes(const CompiledPlan& plan) {
+    // The stats block (dominated by its inline histogram) is charged
+    // here too; the pointer is immutable while cached, so insert and
+    // evict see the same size.
     return sizeof(std::pair<PlanKey, CompiledPlan>) +
-           plan.vars.capacity() * sizeof(int);
+           plan.vars.capacity() * sizeof(int) +
+           (plan.stats != nullptr ? sizeof(PlanStats) : 0);
   }
 
   void ChargeEntry(const CompiledPlan& plan, int sign) {

@@ -1,0 +1,49 @@
+#include "serve/plan_stats.h"
+
+#include <algorithm>
+
+namespace ctsdd {
+
+PlanStatsRegistry::PlanStatsRegistry(obs::MetricsRegistry* metrics)
+    : evicted_wmc_us_(metrics->GetHistogram(
+          "plan.evicted_wmc_us",
+          "WMC latency (us) of evaluations whose plan was later evicted; "
+          "merge target that keeps per-plan histogram mass conserved")),
+      evicted_plans_(metrics->GetCounter(
+          "plan.evicted_plans", "plans evicted from all shard plan caches")),
+      evicted_hits_(metrics->GetCounter(
+          "plan.evicted_hits", "cache hits accumulated by evicted plans")),
+      evicted_evals_(metrics->GetCounter(
+          "plan.evicted_evals",
+          "WMC evaluations accumulated by evicted plans")) {}
+
+void PlanStatsRegistry::Register(std::shared_ptr<PlanStats> stats) {
+  if (stats == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.push_back(std::move(stats));
+}
+
+void PlanStatsRegistry::OnEviction(const std::shared_ptr<PlanStats>& stats) {
+  if (stats == nullptr) return;
+  // Merge before unpublishing: a /plansz scrape racing this eviction
+  // either still sees the live block or sees its mass in the evicted
+  // totals (it can briefly see both, never neither).
+  evicted_wmc_us_->Merge(stats->wmc_us);
+  evicted_plans_->Add(1);
+  evicted_hits_->Add(stats->hits.load(std::memory_order_relaxed));
+  evicted_evals_->Add(stats->wmc_us.count());
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(std::remove(live_.begin(), live_.end(), stats), live_.end());
+}
+
+std::vector<std::shared_ptr<PlanStats>> PlanStatsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+size_t PlanStatsRegistry::live_plans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+}  // namespace ctsdd

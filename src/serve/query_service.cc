@@ -4,8 +4,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 #include <utility>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serve/shard.h"
 #include "serve/signature.h"
@@ -14,6 +16,89 @@
 #include "util/logging.h"
 
 namespace ctsdd {
+
+namespace {
+
+const char* MemLayerName(MemLayer layer) {
+  switch (layer) {
+    case MemLayer::kNodeStore:
+      return "node_store";
+    case MemLayer::kArena:
+      return "arena";
+    case MemLayer::kUniqueTable:
+      return "unique_table";
+    case MemLayer::kCache:
+      return "cache";
+    case MemLayer::kMemo:
+      return "memo";
+    case MemLayer::kPlanCache:
+      return "plan_cache";
+  }
+  return "unknown";
+}
+
+const char* RouteName(int route) {
+  return static_cast<PlanRoute>(route) == PlanRoute::kObdd ? "obdd" : "sdd";
+}
+
+// Minimal append-only JSON writer for the introspection handlers. Keys
+// are trusted literals and values are numeric / boolean / controlled
+// identifiers, so no general escaping is needed; 64-bit signatures are
+// emitted as decimal strings to survive JavaScript number parsing.
+struct JsonOut {
+  std::string s;
+  bool comma = false;
+
+  void Sep() {
+    if (comma) s += ',';
+    comma = true;
+  }
+  void Key(const char* key) {
+    Sep();
+    if (key != nullptr) {
+      s += '"';
+      s += key;
+      s += "\":";
+    }
+  }
+  void Open(const char* key, char bracket) {
+    Key(key);
+    s += bracket;
+    comma = false;
+  }
+  void Close(char bracket) {
+    s += bracket;
+    comma = true;
+  }
+  template <typename T>
+  void Num(const char* key, T v) {
+    Key(key);
+    s += std::to_string(v);
+  }
+  // 64-bit value as a decimal string (exact in every JSON consumer).
+  void NumStr(const char* key, uint64_t v) {
+    Key(key);
+    s += '"';
+    s += std::to_string(v);
+    s += '"';
+  }
+  void Bool(const char* key, bool v) {
+    Key(key);
+    s += v ? "true" : "false";
+  }
+  void Str(const char* key, const char* v) {
+    Key(key);
+    s += '"';
+    s += v;
+    s += '"';
+  }
+  void Raw(const char* key, const std::string& json) {
+    Key(key);
+    s += json;
+  }
+};
+
+}  // namespace
 
 QueryService::QueryService(ServeOptions options)
     : options_(options),
@@ -32,10 +117,16 @@ QueryService::QueryService(ServeOptions options)
                                         4 * options.quarantine_parole_ms)})),
       sup_counters_(std::make_unique<SupervisionCounters>()) {
   CTSDD_CHECK_GT(options_.num_shards, 0);
+  start_time_ = std::chrono::steady_clock::now();
   // Histograms before any shard exists: MakeWorker hands each worker the
   // shared recorder pointers.
-  latency_us_ = metrics_->GetHistogram("serve.latency_us");
-  gc_pause_us_ = metrics_->GetHistogram("serve.gc_pause_us");
+  latency_us_ = metrics_->GetHistogram(
+      "serve.latency_us", "End-to-end request latency in microseconds");
+  gc_pause_us_ = metrics_->GetHistogram(
+      "serve.gc_pause_us", "Garbage-collection pause in microseconds");
+  // Plan telemetry before any shard exists: MakeWorker hands each worker
+  // the registry pointer, and worker teardown evicts into it.
+  plan_stats_ = std::make_unique<PlanStatsRegistry>(metrics_.get());
   // Memory governor before any shard exists: MakeWorker stamps
   // options_.mem_governor into each worker's account at construction.
   // An embedding that supplies its own governor keeps it; otherwise a
@@ -56,14 +147,319 @@ QueryService::QueryService(ServeOptions options)
         options_, &slots_, sup_counters_.get(), flight_.get(),
         [this](int shard_id) { return MakeWorker(shard_id); });
   }
+  if (options_.debug_port >= 0) StartDebugServer();
 }
 
-QueryService::~QueryService() = default;
+QueryService::~QueryService() {
+  // Stop serving introspection before any state the handlers read is
+  // torn down (member order already guarantees this; being explicit
+  // keeps the dependency obvious).
+  if (debug_server_ != nullptr) debug_server_->Stop();
+}
 
 std::shared_ptr<ShardWorker> QueryService::MakeWorker(int shard_id) {
   return std::make_shared<ShardWorker>(
       shard_id, options_, latency_us_, gc_pause_us_, flight_.get(),
-      exec_pool_.get(), quarantine_.get(), sup_counters_.get());
+      exec_pool_.get(), quarantine_.get(), sup_counters_.get(),
+      plan_stats_.get());
+}
+
+void QueryService::StartDebugServer() {
+  debug_server_ = std::make_unique<obs::DebugServer>();
+  obs::DebugServer* server = debug_server_.get();
+  using Request = obs::DebugServer::Request;
+  using Response = obs::DebugServer::Response;
+
+  server->Handle("/metrics", [this](const Request&) {
+    Response r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = MetricsPrometheus();
+    return r;
+  });
+
+  // /healthz judges liveness by the same signals the supervisor uses: a
+  // busy shard whose progress counter has not advanced within the
+  // heartbeat window is hung; an exited worker is dead. The previous
+  // observation per shard lives in handler state — the server serves one
+  // connection at a time, so no lock is needed.
+  struct HealthPrev {
+    uint64_t progress = 0;
+    std::chrono::steady_clock::time_point changed;
+    bool init = false;
+  };
+  auto prev = std::make_shared<std::vector<HealthPrev>>(slots_.size());
+  const double window_ms =
+      options_.heartbeat_window_ms > 0 ? options_.heartbeat_window_ms : 1000.0;
+  server->Handle("/healthz", [this, prev, window_ms](const Request&) {
+    const auto now = std::chrono::steady_clock::now();
+    int hung = 0;
+    int exited = 0;
+    JsonOut shards;
+    shards.Open(nullptr, '[');
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      const auto worker = slots_[i]->Get();
+      const bool is_busy = worker->busy();
+      const bool is_exited = worker->exited();
+      const uint64_t progress = worker->progress();
+      HealthPrev& p = (*prev)[i];
+      // An idle worker or any progress resets the staleness clock; only
+      // busy-with-frozen-progress accumulates toward "hung".
+      if (!p.init || progress != p.progress || !is_busy) {
+        p.init = true;
+        p.progress = progress;
+        p.changed = now;
+      }
+      const double stale_ms =
+          std::chrono::duration<double, std::milli>(now - p.changed).count();
+      const bool is_hung = is_busy && stale_ms > window_ms;
+      hung += is_hung ? 1 : 0;
+      exited += is_exited ? 1 : 0;
+      shards.Open(nullptr, '{');
+      shards.Num("shard", i);
+      shards.Bool("busy", is_busy);
+      shards.Bool("exited", is_exited);
+      shards.Bool("hung", is_hung);
+      shards.Num("queue_depth", worker->queue_depth());
+      shards.Num("progress", progress);
+      shards.Close('}');
+    }
+    shards.Close(']');
+    const bool healthy = hung == 0 && exited == 0;
+    JsonOut j;
+    j.Open(nullptr, '{');
+    j.Str("status", healthy ? "ok" : "unhealthy");
+    j.Num("hung_shards", hung);
+    j.Num("exited_shards", exited);
+    j.Num("quarantine_entries", quarantine_->counters().entries);
+    j.Raw("shards", shards.s);
+    j.Close('}');
+    Response r;
+    r.status = healthy ? 200 : 503;
+    r.content_type = "application/json";
+    r.body = std::move(j.s);
+    return r;
+  });
+
+  server->Handle("/statusz", [this](const Request&) {
+    const ServiceStats s = stats();
+    JsonOut j;
+    j.Open(nullptr, '{');
+    j.Num("uptime_s", std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_time_)
+                          .count());
+    j.Num("num_shards", s.num_shards);
+    j.Open("totals", '{');
+    j.Num("requests", s.totals.requests);
+    j.Num("failures", s.totals.failures);
+    j.Num("timeouts", s.totals.timeouts);
+    j.Num("sheds", s.totals.sheds);
+    j.Num("compiles", s.totals.compiles);
+    j.Num("plan_hits", s.totals.plan_hits);
+    j.Num("plan_misses", s.totals.plan_misses);
+    j.Num("plan_evictions", s.totals.plan_evictions);
+    j.Num("plan_cache_size", s.totals.plan_cache_size);
+    j.Num("live_nodes", s.totals.live_nodes);
+    j.Num("mem_bytes", s.totals.mem_bytes);
+    j.Close('}');
+    j.Open("latency_ms", '{');
+    j.Num("p50", s.p50_ms);
+    j.Num("p95", s.p95_ms);
+    j.Num("p99", s.p99_ms);
+    j.Close('}');
+    j.Open("governor", '{');
+    j.Bool("enabled", s.governor.enabled);
+    j.Num("tier", s.governor.tier);
+    j.Num("bytes", s.governor.bytes);
+    j.Num("peak_bytes", s.governor.peak_bytes);
+    j.Num("soft_bytes", s.governor.soft_bytes);
+    j.Num("hard_bytes", s.governor.hard_bytes);
+    j.Close('}');
+    j.Open("plans", '{');
+    j.Num("live", plan_stats_->live_plans());
+    j.Num("evicted", plan_stats_->evicted_plans());
+    j.Close('}');
+    j.Open("shards", '[');
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      const auto worker = slots_[i]->Get();
+      const ShardStats ss = worker->stats();
+      j.Open(nullptr, '{');
+      j.Num("shard", i);
+      j.Bool("busy", worker->busy());
+      j.Bool("exited", worker->exited());
+      j.Num("queue_depth", worker->queue_depth());
+      j.Num("requests", ss.requests);
+      j.Num("failures", ss.failures);
+      j.Num("plan_cache_size", ss.plan_cache_size);
+      j.Num("live_nodes", ss.live_nodes);
+      j.Num("mem_bytes", ss.mem_bytes);
+      j.Close('}');
+    }
+    j.Close(']');
+    j.Close('}');
+    Response r;
+    r.content_type = "application/json";
+    r.body = std::move(j.s);
+    return r;
+  });
+
+  // /memz is a depth-2 memory tree: governor totals, then each shard's
+  // account broken down by layer. Per-manager child accounts are owned
+  // by their single-threaded workers and deliberately not walked from
+  // here; the layer totals include their bytes.
+  server->Handle("/memz", [this](const Request&) {
+    JsonOut j;
+    j.Open(nullptr, '{');
+    const MemGovernorStats g = SnapshotGovernor(options_.mem_governor);
+    j.Open("governor", '{');
+    j.Bool("enabled", g.enabled);
+    j.Num("tier", g.tier);
+    j.Num("bytes", g.bytes);
+    j.Num("peak_bytes", g.peak_bytes);
+    j.Num("soft_bytes", g.soft_bytes);
+    j.Num("hard_bytes", g.hard_bytes);
+    j.Close('}');
+    j.Open("shards", '[');
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      const auto worker = slots_[i]->Get();
+      const MemAccount& acct = worker->mem_account();
+      j.Open(nullptr, '{');
+      j.Num("shard", i);
+      j.Num("bytes", acct.bytes());
+      j.Open("layers", '{');
+      for (int l = 0; l < kMemLayerCount; ++l) {
+        const auto layer = static_cast<MemLayer>(l);
+        j.Num(MemLayerName(layer), acct.bytes(layer));
+      }
+      j.Close('}');
+      j.Close('}');
+    }
+    j.Close(']');
+    j.Close('}');
+    Response r;
+    r.content_type = "application/json";
+    r.body = std::move(j.s);
+    return r;
+  });
+
+  server->Handle("/plansz", [this](const Request&) {
+    const auto plans = plan_stats_->Snapshot();
+    uint64_t live_hits = 0;
+    uint64_t live_evals = 0;
+    JsonOut rows;
+    rows.Open(nullptr, '[');
+    for (const auto& p : plans) {
+      const uint64_t hits = p->hits.load(std::memory_order_relaxed);
+      const uint64_t evals = p->evaluations();
+      live_hits += hits;
+      live_evals += evals;
+      rows.Open(nullptr, '{');
+      rows.NumStr("query_sig", p->query_sig);
+      rows.NumStr("db_sig", p->db_sig);
+      rows.Num("shard", p->shard);
+      rows.Str("route", RouteName(p->route));
+      rows.Str("requested_route", RouteName(p->requested_route));
+      rows.Num("ladder_hops", p->ladder_hops);
+      rows.Bool("is_constant", p->is_constant);
+      rows.Num("compile_us", p->compile_us);
+      rows.Num("lineage_gates", p->lineage_gates);
+      rows.Num("num_vars", p->num_vars);
+      rows.Num("nodes", p->nodes);
+      rows.Num("edges", p->edges);
+      rows.Num("width", p->width);
+      rows.Num("pinned_nodes", p->pinned_nodes);
+      rows.Num("pinned_bytes", p->pinned_bytes);
+      rows.Num("predicted_treewidth", p->predicted_treewidth);
+      rows.Num("exact_treewidth", p->exact_treewidth);
+      rows.Num("exact_pathwidth", p->exact_pathwidth);
+      rows.Num("hits", hits);
+      rows.Num("evaluations", evals);
+      rows.Open("wmc_us", '{');
+      rows.Num("count", p->wmc_us.count());
+      rows.Num("p50", p->wmc_us.ValueAtPercentile(0.50));
+      rows.Num("p99", p->wmc_us.ValueAtPercentile(0.99));
+      rows.Num("max", p->wmc_us.max());
+      rows.Close('}');
+      rows.Close('}');
+    }
+    rows.Close(']');
+    const uint64_t evicted_evals = plan_stats_->evicted_wmc_us().count();
+    JsonOut j;
+    j.Open(nullptr, '{');
+    j.Open("summary", '{');
+    j.Num("live_plans", plans.size());
+    j.Num("evicted_plans", plan_stats_->evicted_plans());
+    j.Num("live_hits", live_hits);
+    j.Num("live_evaluations", live_evals);
+    j.Num("evicted_evaluations", evicted_evals);
+    // Conservation invariant dumped alongside the data: live + evicted
+    // evaluation counts account for every WMC pass ever recorded.
+    j.Num("total_evaluations", live_evals + evicted_evals);
+    j.Close('}');
+    j.Raw("plans", rows.s);
+    j.Close('}');
+    Response r;
+    r.content_type = "application/json";
+    r.body = std::move(j.s);
+    return r;
+  });
+
+  server->Handle("/flightz", [this](const Request&) {
+    Response r;
+    r.content_type = "application/json";
+    r.body = flight_->DumpJson("debug_server");
+    return r;
+  });
+
+  server->Handle("/tracez", [](const Request& req) {
+    Response r;
+    if (obs::TraceArmed()) {
+      r.status = 409;
+      r.body = "tracer already armed\n";
+      return r;
+    }
+    const int64_t ms = req.IntParam("ms", 250, 10, 10000);
+    obs::Tracer::Clear();
+    obs::Tracer::Arm();
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    obs::Tracer::Disarm();
+    r.content_type = "application/json";
+    r.headers.emplace_back("X-Trace-Dropped",
+                           std::to_string(obs::Tracer::Dropped()));
+    r.body = obs::Tracer::ChromeTraceJson();
+    return r;
+  });
+
+  server->Handle("/profilez", [](const Request& req) {
+    Response r;
+    if (!obs::Profiler::Supported()) {
+      r.status = 501;
+      r.body = "sampling profiler unsupported on this platform\n";
+      return r;
+    }
+    if (obs::Profiler::armed()) {
+      r.status = 409;
+      r.body = "profiler already armed\n";
+      return r;
+    }
+    const int64_t ms = req.IntParam("ms", 1000, 10, 30000);
+    obs::Profiler::Clear();
+    obs::Profiler::Arm();
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    obs::Profiler::Disarm();
+    // Exact capture accounting travels as headers, not as comment lines:
+    // flamegraph toolchains choke on non-stack lines in collapsed input.
+    const obs::Profiler::Stats st = obs::Profiler::stats();
+    r.headers.emplace_back("X-Profile-Attempted", std::to_string(st.attempted));
+    r.headers.emplace_back("X-Profile-Samples", std::to_string(st.samples));
+    r.headers.emplace_back("X-Profile-Dropped", std::to_string(st.dropped));
+    r.headers.emplace_back("X-Profile-Threads", std::to_string(st.threads));
+    r.body = obs::Profiler::Collapsed();
+    return r;
+  });
+
+  // Bind failure (port in use, bad address) is not fatal to serving:
+  // debug_port() reports -1 and error() holds the reason.
+  debug_server_->Start(options_.debug_port, options_.debug_bind_addr);
 }
 
 QueryResponse QueryService::Execute(const QueryRequest& request) {
@@ -269,6 +665,37 @@ void QueryService::PublishMetrics() {
     set((std::string("flight.anomaly.") + obs::AnomalyName(anomaly)).c_str(),
         flight_->anomaly_count(anomaly));
   }
+  if (exec_pool_ != nullptr) {
+    metrics_->GetCounter("exec.tasks_run", "Tasks executed by the exec pool")
+        ->Set(exec_pool_->tasks_run());
+    metrics_->GetCounter("exec.steals", "Cross-worker deque steals")
+        ->Set(exec_pool_->steals());
+    metrics_->GetCounter("exec.parks", "Worker sleeps after idle spinning")
+        ->Set(exec_pool_->parks());
+  }
+  metrics_
+      ->GetCounter("trace.dropped_events",
+                   "Trace events dropped by full per-thread rings")
+      ->Set(obs::Tracer::Dropped());
+  const obs::Profiler::Stats prof = obs::Profiler::stats();
+  metrics_
+      ->GetCounter("profiler.attempted",
+                   "Profiler signal deliveries (samples + dropped)")
+      ->Set(prof.attempted);
+  metrics_->GetCounter("profiler.samples", "Profiler samples captured")
+      ->Set(prof.samples);
+  metrics_
+      ->GetCounter("profiler.dropped",
+                   "Profiler samples dropped by full per-thread buffers")
+      ->Set(prof.dropped);
+  if (debug_server_ != nullptr) {
+    metrics_->GetCounter("debug.requests", "Debug-server requests served")
+        ->Set(debug_server_->requests());
+    metrics_
+        ->GetCounter("debug.rejected",
+                     "Debug-server requests rejected by the framing layer")
+        ->Set(debug_server_->rejected());
+  }
   const auto gauge = [&](const char* name, int64_t v) {
     metrics_->GetGauge(name)->Set(v);
   };
@@ -280,6 +707,11 @@ void QueryService::PublishMetrics() {
   gauge("governor.tier", s.governor.tier);
   gauge("quarantine.entries",
         static_cast<int64_t>(s.supervision.quarantine_entries));
+  gauge("plan_cache.size", static_cast<int64_t>(s.totals.plan_cache_size));
+  metrics_
+      ->GetGauge("plan.live_plans",
+                 "Plans with live telemetry blocks in the registry")
+      ->Set(static_cast<int64_t>(plan_stats_->live_plans()));
 }
 
 std::string QueryService::MetricsJson() {

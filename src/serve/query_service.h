@@ -21,6 +21,7 @@
 #define CTSDD_SERVE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -30,9 +31,11 @@
 #include "exec/task_pool.h"
 #include "db/query.h"
 #include "db/query_compile.h"
+#include "obs/debug_server.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "serve/plan_cache.h"
+#include "serve/plan_stats.h"
 #include "serve/quarantine.h"
 #include "serve/serve_stats.h"
 #include "util/status.h"
@@ -115,10 +118,25 @@ class QueryService {
   std::string MetricsPrometheus();
   obs::MetricsRegistry* metrics_registry() { return metrics_.get(); }
 
+  // Per-plan telemetry registry (never null): live stats block per
+  // cached plan plus the evicted-plan merge totals.
+  PlanStatsRegistry* plan_stats() const { return plan_stats_.get(); }
+
+  // Live introspection server (ServeOptions::debug_port). debug_port()
+  // is the actually-bound port — useful with port 0 — or -1 when the
+  // server is disabled or failed to bind.
+  obs::DebugServer* debug_server() const { return debug_server_.get(); }
+  int debug_port() const {
+    return debug_server_ != nullptr && debug_server_->running()
+               ? debug_server_->port()
+               : -1;
+  }
+
   const ServeOptions& options() const { return options_; }
 
  private:
   std::shared_ptr<ShardWorker> MakeWorker(int shard_id);
+  void StartDebugServer();
 
   // Folds the live ServiceStats + flight-recorder counters into the
   // registry (histograms are recorded in place by the shards).
@@ -143,6 +161,10 @@ class QueryService {
   std::unique_ptr<Quarantine> quarantine_;
   // Shared atomics behind ServiceStats::supervision.
   std::unique_ptr<SupervisionCounters> sup_counters_;
+  // Per-plan telemetry registry. Declared after metrics_ (it holds
+  // registry pointers) and before slots_ (workers publish into it and
+  // merge on eviction — including the evictions their destructors run).
+  std::unique_ptr<PlanStatsRegistry> plan_stats_;
   // Process-wide memory governor (created when mem_hard_bytes > 0 and no
   // external governor was supplied); options_.mem_governor points at it.
   // Declared before slots_: every shard account parents into it.
@@ -153,9 +175,13 @@ class QueryService {
   // Requests rejected before reaching any shard (e.g. null database);
   // folded into stats() so monitoring sees them as traffic + failures.
   std::atomic<uint64_t> rejected_requests_{0};
-  // Declared last: the supervisor's scan thread walks slots_, so it must
-  // stop before any of the above is torn down.
+  // Declared after slots_: the supervisor's scan thread walks slots_, so
+  // it must stop before any of the above is torn down.
   std::unique_ptr<Supervisor> supervisor_;
+  // Declared very last: the debug server's handlers read everything
+  // above (slots, governor, registries), so it must stop serving first.
+  std::unique_ptr<obs::DebugServer> debug_server_;
+  std::chrono::steady_clock::time_point start_time_;
 };
 
 }  // namespace ctsdd

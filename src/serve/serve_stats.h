@@ -121,6 +121,23 @@ struct ServeOptions {
   // <dir>/flight_<seq>.json (the latest dump is always readable via
   // QueryService::flight_recorder()->last_dump_json()).
   std::string flight_dump_dir;
+  // Live introspection endpoint (obs/debug_server.h): -1 disables,
+  // 0 binds an ephemeral port (read it back via
+  // QueryService::debug_port()), otherwise the given port. The server
+  // exposes /metrics, /healthz, /statusz, /memz, /plansz, /flightz,
+  // /tracez and /profilez for the life of the service.
+  int debug_port = -1;
+  // Bind address for the debug server. Loopback by default on purpose:
+  // the endpoints expose plans, memory maps and stacks — widen only on
+  // trusted networks.
+  std::string debug_bind_addr = "127.0.0.1";
+  // Width-prediction gate for per-plan telemetry: cold compiles whose
+  // lineage circuit has at most this many gates also run the min-fill
+  // treewidth heuristic (and the exact treewidth/pathwidth engines when
+  // small enough), recording predicted-width vs. actual-size pairs for
+  // the admission-router training set. 0 disables prediction. The
+  // default keeps the heuristic's cost well under a typical compile.
+  int width_predict_max_gates = 256;
 };
 
 // Counters owned by the supervision layer (service-level, not summed
@@ -221,6 +238,9 @@ struct ShardStats {
   std::array<uint64_t, kMemLayerCount> mem_bytes_by_layer = {};
   int live_nodes = 0;       // resident nodes across the shard's managers
   int peak_live_nodes = 0;  // max of live_nodes over policy checks
+  // Plans currently resident in this shard's cache (occupancy gauge,
+  // not a monotone counter).
+  uint64_t plan_cache_size = 0;
 };
 
 // Field-wise sum of shard counter snapshots (service totals over live
@@ -253,6 +273,7 @@ inline void AccumulateShardStats(ShardStats& into, const ShardStats& s) {
   }
   into.live_nodes += s.live_nodes;
   into.peak_live_nodes += s.peak_live_nodes;
+  into.plan_cache_size += s.plan_cache_size;
 }
 
 // Snapshot of the service's memory governor (all zero / disabled when no

@@ -7,7 +7,9 @@
 #include <utility>
 
 #include "circuit/eval.h"
+#include "circuit/primal_graph.h"
 #include "db/lineage.h"
+#include "graph/exact_treewidth.h"
 #include "obdd/obdd_compile.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
@@ -37,7 +39,8 @@ void ShardWorker::TripActiveBudgetOnCurrentThread(StatusCode code) {
 ShardWorker::ShardWorker(int shard_id, const ServeOptions& options,
                          obs::Histogram* latency_us, obs::Histogram* gc_pause_us,
                          obs::FlightRecorder* flight, exec::TaskPool* exec_pool,
-                         Quarantine* quarantine, SupervisionCounters* sup)
+                         Quarantine* quarantine, SupervisionCounters* sup,
+                         PlanStatsRegistry* plan_stats)
     : id_(shard_id),
       options_(options),
       latency_us_(latency_us),
@@ -46,13 +49,22 @@ ShardWorker::ShardWorker(int shard_id, const ServeOptions& options,
       exec_pool_(exec_pool),
       quarantine_(quarantine),
       sup_(sup),
+      plan_stats_(plan_stats),
       gc_interval_(std::max(1, options.gc_check_interval)),
       plans_(options.plan_cache_capacity,
-             [](const PlanKey&, CompiledPlan& plan) {
+             [this](const PlanKey&, CompiledPlan& plan) {
                // Unpin the plan's lineage: the released nodes become
                // garbage for the owning manager's next collection.
                if (plan.obdd) plan.obdd->ReleaseRootRef(plan.obdd_root);
                if (plan.sdd) plan.sdd->ReleaseRootRef(plan.sdd_root);
+               // Telemetry conservation: fold the evicted plan's
+               // histogram and counters into the service totals before
+               // the block leaves the live table. Covers every removal
+               // path — LRU pressure, GC shedding, manager eviction,
+               // shard restart, cache destruction.
+               if (plan_stats_ != nullptr && plan.stats != nullptr) {
+                 plan_stats_->OnEviction(plan.stats);
+               }
              }),
       thread_(&ShardWorker::Loop, this) {
   // Safe after the worker thread started: no job can be submitted (and
@@ -259,6 +271,9 @@ void ShardWorker::Process(const ShardJob& job) {
   CompiledPlan* plan = plans_.Lookup(state.key);
   response.plan_cache_hit = plan != nullptr;
   pending_record_.cache_hit = plan != nullptr;
+  if (plan != nullptr && plan->stats != nullptr) {
+    plan->stats->hits.fetch_add(1, std::memory_order_relaxed);
+  }
   Beat();
   if (plan == nullptr) {
     // Quarantine re-check at compile time: the signature may have been
@@ -297,6 +312,16 @@ void ShardWorker::Process(const ShardJob& job) {
     pending_record_.compile_ms = compile_timer.ElapsedMillis();
     if (compiled.ok()) {
       plan = plans_.Insert(state.key, std::move(compiled).value());
+      if (plan->stats != nullptr) {
+        // Finish the descriptive fields, then publish: the registry's
+        // readers only ever see a complete block.
+        plan->stats->compile_us =
+            static_cast<uint64_t>(pending_record_.compile_ms * 1000.0);
+        plan->stats->query_sig = state.key.query_sig;
+        plan->stats->db_sig = state.key.db_sig;
+        plan->stats->shard = id_;
+        if (plan_stats_ != nullptr) plan_stats_->Register(plan->stats);
+      }
       if (quarantine_ != nullptr) {
         quarantine_->ReportSuccess(state.key.query_sig, state.key.db_sig);
       }
@@ -324,6 +349,10 @@ void ShardWorker::Process(const ShardJob& job) {
       Timer wmc_timer;
       response.probability = EvaluatePlan(*plan, request);
       pending_record_.wmc_ms = wmc_timer.ElapsedMillis();
+      if (plan->stats != nullptr) {
+        plan->stats->wmc_us.Record(
+            static_cast<uint64_t>(pending_record_.wmc_ms * 1000.0));
+      }
       if (wmc_span.armed()) {
         wmc_span.AddArg("plan_size", static_cast<uint64_t>(plan->size));
       }
@@ -446,8 +475,41 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
     plan.is_constant = true;
     plan.constant_value = Evaluate(
         circuit, std::vector<bool>(std::max(circuit.num_vars(), 0), false));
+    plan.stats = std::make_shared<PlanStats>();
+    plan.stats->route = static_cast<int>(plan.route);
+    plan.stats->requested_route = static_cast<int>(request.route);
+    plan.stats->is_constant = true;
+    plan.stats->lineage_gates = plan.lineage_gates;
     return plan;
   }
+
+  // Width predictions for the admission-router training set (ROADMAP
+  // item 4): a min-fill upper bound on the lineage circuit's treewidth,
+  // plus exact treewidth/pathwidth when the circuit fits the exact
+  // engines. Gated on gate count so the heuristic stays a small fixed
+  // fraction of a cold compile; results are stamped onto whichever
+  // ladder plan ultimately wins.
+  int pred_tw = -1;
+  int exact_tw = -1;
+  int exact_pw = -1;
+  if (options_.width_predict_max_gates > 0 &&
+      circuit.num_gates() <= options_.width_predict_max_gates) {
+    pred_tw = HeuristicCircuitTreewidth(circuit);
+    if (circuit.num_gates() <= kMaxExactVertices) {
+      auto tw = ExactCircuitTreewidth(circuit);
+      if (tw.ok()) exact_tw = tw.value();
+      auto pw = ExactPathwidth(PrimalGraph(circuit));
+      if (pw.ok()) exact_pw = pw.value();
+    }
+  }
+  const auto stamp = [&](StatusOr<CompiledPlan>& result, int hops) {
+    if (!result.ok() || result.value().stats == nullptr) return;
+    PlanStats& s = *result.value().stats;
+    s.ladder_hops = hops;
+    s.predicted_treewidth = pred_tw;
+    s.exact_treewidth = exact_tw;
+    s.exact_pathwidth = exact_pw;
+  };
 
   if (options_.compile_node_budget == 0 && !state.has_deadline &&
       sup_ == nullptr && options_.mem_governor == nullptr) {
@@ -455,8 +517,10 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
     // Under supervision the budgeted path runs even with unlimited
     // limits — its lease pulse is what keeps a long compile's heartbeat
     // alive (and gives the supervisor a cancel handle on restart).
-    return CompileRoute(request, request.route, circuit, std::move(vars),
-                        nullptr);
+    auto fast = CompileRoute(request, request.route, circuit, std::move(vars),
+                             nullptr);
+    stamp(fast, 1);
+    return fast;
   }
 
   WorkBudget primary(options_.compile_node_budget, DeadlineLeftMs(state));
@@ -479,6 +543,7 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
       ++local_mem_aborts_;
       last_compile_mem_pressure_ = true;
     }
+    stamp(first, 1);
     return first;
   }
   ++local_budget_aborts_;
@@ -492,6 +557,7 @@ StatusOr<CompiledPlan> ShardWorker::CompilePlan(const ShardJob& job) {
                              std::move(vars), &fallback);
   t_active_budget = nullptr;
   state.RegisterBudget(side, nullptr);
+  stamp(second, 2);
   if (second.ok()) return second;
   if (fallback.reason() == StatusCode::kResourceExhausted) {
     if (fallback.memory_pressure()) {
@@ -528,9 +594,16 @@ StatusOr<CompiledPlan> ShardWorker::CompileRoute(const QueryRequest& request,
   plan.route = route;
   plan.lineage_gates = circuit.num_gates();
   plan.vars = std::move(vars);
+  plan.stats = std::make_shared<PlanStats>();
+  plan.stats->route = static_cast<int>(route);
+  plan.stats->requested_route = static_cast<int>(request.route);
+  plan.stats->lineage_gates = plan.lineage_gates;
+  plan.stats->num_vars = static_cast<int>(plan.vars.size());
   MemGovernor* gov = options_.mem_governor;
   if (route == PlanRoute::kObdd) {
     ObddManager* manager = ObddFor(plan.vars);
+    const MemAccount* acct = manager->mem_account();
+    const uint64_t bytes_before = acct != nullptr ? acct->bytes() : 0;
     if (budget != nullptr) manager->AttachBudget(budget);
     // Register with the governor while the compile is in flight: when
     // another shard drives the process to the hard ceiling, the governor
@@ -553,10 +626,19 @@ StatusOr<CompiledPlan> ShardWorker::CompileRoute(const QueryRequest& request,
     plan.size = manager->Size(root);
     plan.width = manager->Width(root);
     plan.pinned_nodes = plan.size;
+    plan.stats->nodes = static_cast<uint64_t>(plan.size);
+    plan.stats->edges = 2 * static_cast<uint64_t>(plan.size);
+    plan.stats->width = static_cast<uint64_t>(plan.width);
+    plan.stats->pinned_nodes = static_cast<uint64_t>(plan.pinned_nodes);
+    const uint64_t bytes_after = acct != nullptr ? acct->bytes() : 0;
+    plan.stats->pinned_bytes =
+        bytes_after > bytes_before ? bytes_after - bytes_before : 0;
   } else {
     auto vtree = VtreeForStrategy(circuit, plan.vars, request.strategy);
     CTSDD_RETURN_IF_ERROR(vtree.status());
     SddManager* manager = SddFor(std::move(vtree).value());
+    const MemAccount* acct = manager->mem_account();
+    const uint64_t bytes_before = acct != nullptr ? acct->bytes() : 0;
     if (budget != nullptr) manager->AttachBudget(budget);
     if (gov != nullptr && budget != nullptr) {
       gov->RegisterCompile(budget, manager->mem_account());
@@ -575,6 +657,13 @@ StatusOr<CompiledPlan> ShardWorker::CompileRoute(const QueryRequest& request,
     plan.size = stats.size;
     plan.width = stats.width;
     plan.pinned_nodes = stats.decisions;
+    plan.stats->nodes = static_cast<uint64_t>(stats.size);
+    plan.stats->edges = 2 * static_cast<uint64_t>(stats.size);
+    plan.stats->width = static_cast<uint64_t>(stats.width);
+    plan.stats->pinned_nodes = static_cast<uint64_t>(stats.decisions);
+    const uint64_t bytes_after = acct != nullptr ? acct->bytes() : 0;
+    plan.stats->pinned_bytes =
+        bytes_after > bytes_before ? bytes_after - bytes_before : 0;
   }
   return plan;
 }
@@ -798,6 +887,7 @@ void ShardWorker::UpdateStats() {
   stats_.pressure_evictions = local_pressure_evictions_;
   stats_.live_nodes = live;
   stats_.peak_live_nodes = local_peak_live_;
+  stats_.plan_cache_size = plans_.size();
 }
 
 }  // namespace ctsdd

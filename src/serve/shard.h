@@ -167,11 +167,14 @@ class ShardWorker {
   // service's shared histograms (microsecond samples); `flight` (may be
   // null) is the service's flight recorder — the worker appends one
   // record per claim-winning completion and raises quarantine-strike /
-  // memory-denial anomalies.
+  // memory-denial anomalies. `plan_stats` (may be null) is the service's
+  // per-plan telemetry registry: every compiled plan gets a stats block
+  // published there and merged back on eviction.
   ShardWorker(int shard_id, const ServeOptions& options,
               obs::Histogram* latency_us, obs::Histogram* gc_pause_us,
               obs::FlightRecorder* flight, exec::TaskPool* exec_pool,
-              Quarantine* quarantine, SupervisionCounters* sup);
+              Quarantine* quarantine, SupervisionCounters* sup,
+              PlanStatsRegistry* plan_stats = nullptr);
   ~ShardWorker();  // drains the queue, joins the thread
 
   ShardWorker(const ShardWorker&) = delete;
@@ -210,6 +213,11 @@ class ShardWorker {
   }
   // True while a job is being processed (between dequeue and completion).
   bool busy() const { return busy_.load(std::memory_order_acquire); }
+  // Jobs waiting in the shard queue right now (thread-safe; /statusz).
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
   // True once the worker thread has returned — after a requested drain,
   // or unbidden (a death fault); the supervisor treats an exit it did
   // not request as a crash.
@@ -304,6 +312,7 @@ class ShardWorker {
   exec::TaskPool* const exec_pool_;    // shared, may be null
   Quarantine* const quarantine_;       // shared, may be null
   SupervisionCounters* const sup_;     // shared, may be null
+  PlanStatsRegistry* const plan_stats_;  // shared, may be null
 
   // Shard memory account: parent of the per-manager accounts and the
   // plan cache's charges; chains to the service governor (stamped into
@@ -373,7 +382,7 @@ class ShardWorker {
   mutable std::mutex stats_mu_;
   ShardStats stats_;  // published snapshot (guarded by stats_mu_)
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<ShardJob> queue_;
   // In-flight job (guarded by mu_): set at dequeue, cleared after

@@ -133,12 +133,43 @@ TEST(MetricsRegistryTest, StablePointersAndDumps) {
       << json;
 
   const std::string prom = registry.PrometheusText();
+  EXPECT_NE(prom.find("# HELP test_requests"), std::string::npos);
   EXPECT_NE(prom.find("# TYPE test_requests counter"), std::string::npos);
   EXPECT_NE(prom.find("test_requests 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE test_live gauge"), std::string::npos);
   EXPECT_NE(prom.find("test_live -5"), std::string::npos);
-  EXPECT_NE(prom.find("test_latency_us{quantile=\"0.5\"}"),
+  // Histograms use native Prometheus exposition: cumulative le buckets
+  // ending in +Inf, with _count equal to the +Inf bucket.
+  EXPECT_NE(prom.find("# TYPE test_latency_us histogram"), std::string::npos);
+  EXPECT_NE(prom.find("test_latency_us_bucket{le=\""), std::string::npos);
+  EXPECT_NE(prom.find("test_latency_us_bucket{le=\"+Inf\"} 2"),
             std::string::npos);
+  EXPECT_NE(prom.find("test_latency_us_sum 30"), std::string::npos);
   EXPECT_NE(prom.find("test_latency_us_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusHistogramBucketsAreCumulative) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("hist", "help text");
+  // Values straddling several power-of-two boundaries.
+  for (const uint64_t v : {0ull, 1ull, 3ull, 7ull, 100ull, 5000ull}) {
+    h->Record(v);
+  }
+  const std::string prom = registry.PrometheusText();
+  // le="0" sees the single zero; le="1" sees two; le="3" sees three.
+  EXPECT_NE(prom.find("hist_bucket{le=\"0\"} 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("hist_bucket{le=\"1\"} 2"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("hist_bucket{le=\"3\"} 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("hist_bucket{le=\"7\"} 4"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("hist_bucket{le=\"+Inf\"} 6"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("hist_count 6"), std::string::npos) << prom;
+  // HELP precedes TYPE and carries the registered help string.
+  const size_t help_pos = prom.find("# HELP hist help text");
+  const size_t type_pos = prom.find("# TYPE hist histogram");
+  ASSERT_NE(help_pos, std::string::npos) << prom;
+  ASSERT_NE(type_pos, std::string::npos) << prom;
+  EXPECT_LT(help_pos, type_pos);
 }
 
 // --- Flight recorder ------------------------------------------------------
